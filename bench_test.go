@@ -1,0 +1,200 @@
+package mhd
+
+// One benchmark per table and figure of the reproduced evaluation.
+// Each bench regenerates its experiment end to end (dataset
+// synthesis, method training, LLM simulation, evaluation) in quick
+// mode and reports the experiment's headline metric alongside the
+// usual time/allocation numbers, so a single
+//
+//	go test -bench=. -benchmem
+//
+// run both exercises the full pipeline and surfaces the reproduced
+// results. Full-size runs are available through cmd/mhbench.
+
+import (
+	"strconv"
+	"testing"
+)
+
+// runExperimentB regenerates experiment id once per iteration and
+// returns the last table for metric reporting.
+func runExperimentB(b *testing.B, id string) *Table {
+	b.Helper()
+	var tb *Table
+	for i := 0; i < b.N; i++ {
+		var err error
+		tb, err = RunExperiment(id, RunOptions{Quick: true, Seed: 2025})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return tb
+}
+
+// reportCell parses the (row, col) cell as float64 and reports it as
+// metric name.
+func reportCell(b *testing.B, tb *Table, rowName string, col int, name string) {
+	b.Helper()
+	row := tb.FindRow(rowName)
+	if row < 0 {
+		b.Fatalf("row %q missing from %s", rowName, tb.ID)
+	}
+	v, err := strconv.ParseFloat(tb.Cell(row, col), 64)
+	if err != nil {
+		b.Fatalf("cell (%q, %d) of %s: %v", rowName, col, tb.ID, err)
+	}
+	b.ReportMetric(v, name)
+}
+
+func BenchmarkTable1DatasetStats(b *testing.B) {
+	tb := runExperimentB(b, "table1")
+	if len(tb.Rows) != 7 {
+		b.Fatalf("expected 7 datasets, got %d", len(tb.Rows))
+	}
+}
+
+func BenchmarkTable2DepressionBinary(b *testing.B) {
+	tb := runExperimentB(b, "table2")
+	reportCell(b, tb, "finetuned-encoder", 1, "encoder-F1")
+	reportCell(b, tb, "gpt-4-sim/zero-shot", 1, "gpt4-zeroshot-F1")
+}
+
+func BenchmarkTable3MultiDisorder(b *testing.B) {
+	tb := runExperimentB(b, "table3")
+	reportCell(b, tb, "logistic-regression", 1, "lr-macroF1")
+	reportCell(b, tb, "gpt-4-sim/cot", 1, "gpt4-cot-macroF1")
+}
+
+func BenchmarkTable4SuicideSeverity(b *testing.B) {
+	tb := runExperimentB(b, "table4")
+	reportCell(b, tb, "finetuned-encoder", 1, "encoder-wF1")
+	reportCell(b, tb, "gpt-4-sim/zero-shot", 2, "gpt4-MAE")
+}
+
+func BenchmarkTable5Stress(b *testing.B) {
+	tb := runExperimentB(b, "table5")
+	reportCell(b, tb, "logistic-regression", 1, "lr-F1")
+}
+
+func BenchmarkTable6PromptAblation(b *testing.B) {
+	tb := runExperimentB(b, "table6")
+	reportCell(b, tb, "gpt-3.5-sim/zero-shot", 1, "zeroshot-macroF1")
+	reportCell(b, tb, "gpt-3.5-sim/few-shot-10", 1, "fewshot10-macroF1")
+}
+
+func BenchmarkTable7Cost(b *testing.B) {
+	tb := runExperimentB(b, "table7")
+	reportCell(b, tb, "gpt-4-sim/zero-shot", 3, "gpt4-USD")
+}
+
+func BenchmarkFig1ScaleCurve(b *testing.B) {
+	tb := runExperimentB(b, "fig1")
+	last := len(tb.Rows) - 1
+	v, err := strconv.ParseFloat(tb.Cell(last, 2), 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(v, "largest-cot-macroF1")
+}
+
+func BenchmarkFig2FewShotCurve(b *testing.B) {
+	tb := runExperimentB(b, "fig2")
+	last := len(tb.Rows) - 1
+	v, err := strconv.ParseFloat(tb.Cell(last, 2), 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(v, "maxk-gpt35-macroF1")
+}
+
+func BenchmarkFig3LowResource(b *testing.B) {
+	tb := runExperimentB(b, "fig3")
+	v, err := strconv.ParseFloat(tb.Cell(0, 3), 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(v, "n10-fewshot-macroF1")
+}
+
+func BenchmarkFig4Calibration(b *testing.B) {
+	tb := runExperimentB(b, "fig4")
+	reportCell(b, tb, "gpt-4-sim/zero-shot", 2, "gpt4-ECE")
+	reportCell(b, tb, "logistic-regression", 2, "lr-ECE")
+}
+
+func BenchmarkFig5Robustness(b *testing.B) {
+	tb := runExperimentB(b, "fig5")
+	if len(tb.Rows) < 3 {
+		b.Fatalf("rows = %d", len(tb.Rows))
+	}
+}
+
+func BenchmarkFig6ExemplarSelection(b *testing.B) {
+	tb := runExperimentB(b, "fig6")
+	reportCell(b, tb, "knn", 2, "knn-macroF1")
+	reportCell(b, tb, "random", 2, "random-macroF1")
+}
+
+func BenchmarkExt1EarlyDetection(b *testing.B) {
+	tb := runExperimentB(b, "ext1")
+	reportCell(b, tb, "logistic-regression monitor", 1, "lr-ERDE5")
+}
+
+func BenchmarkExt2ParserAblation(b *testing.B) {
+	tb := runExperimentB(b, "ext2")
+	if len(tb.Rows) != 8 {
+		b.Fatalf("rows = %d", len(tb.Rows))
+	}
+}
+
+func BenchmarkExt3ExemplarBalance(b *testing.B) {
+	tb := runExperimentB(b, "ext3")
+	reportCell(b, tb, "class-balanced", 1, "balanced-macroF1")
+	reportCell(b, tb, "positives only", 1, "onesided-macroF1")
+}
+
+func BenchmarkExt4Agreement(b *testing.B) {
+	tb := runExperimentB(b, "ext4")
+	v, err := strconv.ParseFloat(tb.Cell(0, 1), 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(v, "lownoise-kappa")
+}
+
+func BenchmarkExt5Significance(b *testing.B) {
+	tb := runExperimentB(b, "ext5")
+	if len(tb.Rows) != 4 {
+		b.Fatalf("rows = %d", len(tb.Rows))
+	}
+}
+
+// Component micro-benchmarks: the per-post cost of the two engines.
+
+func BenchmarkDetectorScreenBaseline(b *testing.B) {
+	det, err := NewDetector(WithSeed(1), WithTrainingSize(1200))
+	if err != nil {
+		b.Fatal(err)
+	}
+	post := "i feel so hopeless and worthless lately, crying every night and nothing matters"
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := det.Screen(post); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDetectorScreenLLM(b *testing.B) {
+	det, err := NewDetector(WithEngine("gpt-4-sim"), WithSeed(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	post := "i feel so hopeless and worthless lately, crying every night and nothing matters"
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := det.Screen(post); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,138 @@
+// Command mhbench regenerates the tables and figures of the mhd
+// benchmark suite.
+//
+// Usage:
+//
+//	mhbench -list                     list experiments and datasets
+//	mhbench -run table2               run one experiment, print markdown
+//	mhbench -run all -out results/    run everything, write .md and .csv
+//	mhbench -run fig1 -format csv     print a figure's series as CSV
+//	mhbench -quick                    shrink datasets (smoke-test mode)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/report"
+
+	mhd "repro"
+)
+
+func main() {
+	var (
+		list   = flag.Bool("list", false, "list experiments, datasets, and models")
+		run    = flag.String("run", "", "experiment id to run, or \"all\"")
+		out    = flag.String("out", "", "directory to write results into (default: stdout)")
+		format = flag.String("format", "md", "output format: md, csv, or chart (ASCII plot of figures)")
+		quick  = flag.Bool("quick", false, "shrink datasets for a fast smoke run")
+		seed   = flag.Int64("seed", 2025, "run seed")
+	)
+	flag.Parse()
+
+	if err := realMain(*list, *run, *out, *format, *quick, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "mhbench:", err)
+		os.Exit(1)
+	}
+}
+
+func realMain(list bool, run, out, format string, quick bool, seed int64) error {
+	switch {
+	case list:
+		return printList()
+	case run != "":
+		return runExperiments(run, out, format, quick, seed)
+	default:
+		flag.Usage()
+		return nil
+	}
+}
+
+// writeHTMLIndex writes the whole-suite HTML report.
+func writeHTMLIndex(out string, tables []*core.Table) error {
+	html, err := report.HTML("mhd benchmark results", tables)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(out, "index.html"), []byte(html), 0o644)
+}
+
+func printList() error {
+	fmt.Println("experiments:")
+	for _, e := range mhd.Experiments() {
+		fmt.Printf("  %-8s %-6s %s\n", e.ID, e.Kind, e.Title)
+	}
+	fmt.Println("\ndatasets:")
+	for _, d := range mhd.Datasets() {
+		fmt.Printf("  %s\n", d)
+	}
+	fmt.Println("\nmodels:")
+	for _, m := range mhd.Models() {
+		fmt.Printf("  %s\n", m)
+	}
+	return nil
+}
+
+func runExperiments(run, out, format string, quick bool, seed int64) error {
+	switch format {
+	case "md", "csv", "chart":
+	default:
+		return fmt.Errorf("unknown format %q (want md, csv, or chart)", format)
+	}
+	ids := []string{run}
+	if run == "all" {
+		ids = ids[:0]
+		for _, e := range core.Suite() {
+			ids = append(ids, e.ID)
+		}
+	}
+	opts := mhd.RunOptions{Seed: seed, Quick: quick}
+	var done []*core.Table
+	for _, id := range ids {
+		start := time.Now()
+		tb, err := mhd.RunExperiment(id, opts)
+		if err != nil {
+			return err
+		}
+		done = append(done, tb)
+		elapsed := time.Since(start).Round(time.Millisecond)
+		var rendered string
+		switch format {
+		case "csv":
+			rendered = tb.CSV()
+		case "chart":
+			rendered = report.AsciiChart(tb, 64, 16)
+			if rendered == "" {
+				rendered = tb.Markdown() // nothing plottable: fall back
+			}
+		default:
+			rendered = tb.Markdown()
+		}
+		if out == "" {
+			fmt.Println(rendered)
+			fmt.Fprintf(os.Stderr, "[%s done in %s]\n", id, elapsed)
+			continue
+		}
+		if err := os.MkdirAll(out, 0o755); err != nil {
+			return err
+		}
+		for ext, content := range map[string]string{".md": tb.Markdown(), ".csv": tb.CSV()} {
+			path := filepath.Join(out, id+ext)
+			if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+				return err
+			}
+		}
+		fmt.Fprintf(os.Stderr, "[%s written to %s in %s]\n", id, out, elapsed)
+	}
+	if out != "" && len(done) > 1 {
+		if err := writeHTMLIndex(out, done); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "[index.html written to %s]\n", out)
+	}
+	return nil
+}

@@ -1,0 +1,105 @@
+// Command mhscreen screens social-media posts for mental-health
+// signals, one post per input line, emitting one JSON report per
+// line — the shape a moderation pipeline would consume.
+//
+// Usage:
+//
+//	echo "i feel hopeless lately" | mhscreen
+//	mhscreen -in posts.txt -crisis-only
+//	mhscreen -engine gpt-4-sim -pretty < posts.txt
+//
+// This is a research tool over synthetic training data; it must not
+// be used to make decisions about real people.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	mhd "repro"
+)
+
+// report is the JSON wire format, stable for downstream consumers.
+type report struct {
+	Post       string             `json:"post"`
+	Condition  string             `json:"condition"`
+	Confidence float64            `json:"confidence"`
+	Risk       string             `json:"risk"`
+	Crisis     bool               `json:"crisis"`
+	Evidence   []string           `json:"evidence,omitempty"`
+	Scores     map[string]float64 `json:"scores,omitempty"`
+}
+
+func main() {
+	var (
+		in         = flag.String("in", "", "input file (default: stdin), one post per line")
+		engine     = flag.String("engine", "baseline", `detection engine: "baseline" or a model name (see mhbench -list)`)
+		seed       = flag.Int64("seed", 1, "construction seed")
+		crisisOnly = flag.Bool("crisis-only", false, "emit only crisis-flagged posts")
+		pretty     = flag.Bool("pretty", false, "indent JSON output")
+		withScores = flag.Bool("scores", false, "include the full per-condition score map")
+	)
+	flag.Parse()
+
+	if err := run(*in, *engine, *seed, *crisisOnly, *pretty, *withScores, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "mhscreen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(in, engine string, seed int64, crisisOnly, pretty, withScores bool, out io.Writer) error {
+	var src io.Reader = os.Stdin
+	if in != "" {
+		f, err := os.Open(in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		src = f
+	}
+	det, err := mhd.NewDetector(mhd.WithEngine(engine), mhd.WithSeed(seed))
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(out)
+	if pretty {
+		enc.SetIndent("", "  ")
+	}
+	scanner := bufio.NewScanner(src)
+	scanner.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineNo := 0
+	for scanner.Scan() {
+		lineNo++
+		post := strings.TrimSpace(scanner.Text())
+		if post == "" {
+			continue
+		}
+		rep, err := det.Screen(post)
+		if err != nil {
+			return fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		if crisisOnly && !rep.Crisis {
+			continue
+		}
+		wire := report{
+			Post:       post,
+			Condition:  rep.Condition.String(),
+			Confidence: rep.Confidence,
+			Risk:       rep.Risk.String(),
+			Crisis:     rep.Crisis,
+			Evidence:   rep.Evidence,
+		}
+		if withScores {
+			wire.Scores = rep.Scores
+		}
+		if err := enc.Encode(wire); err != nil {
+			return err
+		}
+	}
+	return scanner.Err()
+}

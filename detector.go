@@ -1,0 +1,243 @@
+package mhd
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/baseline"
+	"repro/internal/corpus"
+	"repro/internal/domain"
+	"repro/internal/lexicon"
+	"repro/internal/llm"
+	"repro/internal/prompting"
+	"repro/internal/task"
+	"repro/internal/textkit"
+)
+
+// Report is the screening result for one post.
+type Report struct {
+	// Condition is the most likely condition (Control when no
+	// clinical signal was detected).
+	Condition Disorder
+	// Confidence is the probability assigned to Condition.
+	Confidence float64
+	// Scores maps every condition name to its probability.
+	Scores map[string]float64
+	// Risk grades suicide-risk severity regardless of Condition
+	// (a depression post can still carry ideation language).
+	Risk Severity
+	// Evidence lists the lexicon phrases that drove the decision,
+	// in first-occurrence order.
+	Evidence []string
+	// Crisis is set when suicide-risk severity is moderate or above;
+	// consumers should route such posts to human review immediately.
+	Crisis bool
+}
+
+// Detector screens social-media text for mental-health signals.
+// Construct with NewDetector; Screen is safe for concurrent use.
+type Detector struct {
+	clf        task.Classifier
+	labels     []Disorder
+	labelNames []string
+}
+
+// detectorConfig collects NewDetector options.
+type detectorConfig struct {
+	engine    string // "baseline" or a model name from Models()
+	seed      int64
+	trainSize int
+}
+
+// Option configures NewDetector.
+type Option func(*detectorConfig)
+
+// WithEngine selects the detection engine: "baseline" (the default —
+// a logistic-regression classifier trained on the built-in
+// multi-disorder corpus) or any simulated model name from Models()
+// for zero-shot LLM prompting.
+func WithEngine(engine string) Option {
+	return func(c *detectorConfig) { c.engine = engine }
+}
+
+// WithSeed fixes the construction seed (default 1).
+func WithSeed(seed int64) Option {
+	return func(c *detectorConfig) { c.seed = seed }
+}
+
+// WithTrainingSize sets how many synthetic posts the baseline engine
+// trains on (default 2400; ignored by LLM engines).
+func WithTrainingSize(n int) Option {
+	return func(c *detectorConfig) { c.trainSize = n }
+}
+
+// NewDetector builds a multi-condition screening detector.
+func NewDetector(opts ...Option) (*Detector, error) {
+	cfg := detectorConfig{engine: "baseline", seed: 1, trainSize: 2400}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.trainSize < 100 {
+		return nil, fmt.Errorf("mhd: training size %d too small (need >= 100)", cfg.trainSize)
+	}
+	labels := domain.AllDisorders()
+	labelNames := make([]string, len(labels))
+	probs := make([]float64, len(labels))
+	for i, d := range labels {
+		labelNames[i] = d.String()
+		probs[i] = (1 - 0.3) / float64(len(labels)-1)
+	}
+	probs[0] = 0.3 // control prior
+
+	d := &Detector{labels: labels, labelNames: labelNames}
+	switch cfg.engine {
+	case "baseline":
+		spec := corpus.Spec{
+			Name: "detector-train", Kind: corpus.KindDisorder,
+			Classes: labels, ClassProbs: probs,
+			N: cfg.trainSize, Difficulty: 0.5, Seed: cfg.seed,
+		}
+		ds, err := spec.Build()
+		if err != nil {
+			return nil, err
+		}
+		clf := baseline.NewLogisticRegression(len(labels), baseline.LRConfig{Seed: cfg.seed})
+		if err := clf.Fit(ds.Examples()); err != nil {
+			return nil, err
+		}
+		d.clf = clf
+	default:
+		card, err := llm.LookupModel(cfg.engine)
+		if err != nil {
+			return nil, fmt.Errorf("mhd: engine must be \"baseline\" or a model name: %w", err)
+		}
+		client, err := llm.NewSimClient(card)
+		if err != nil {
+			return nil, err
+		}
+		clf, err := prompting.New(client, "which mental health condition, if any, the author shows signs of",
+			labelNames, prompting.Config{Strategy: prompting.ZeroShot, Seed: cfg.seed})
+		if err != nil {
+			return nil, err
+		}
+		if err := clf.Fit(nil); err != nil {
+			return nil, err
+		}
+		d.clf = clf
+	}
+	return d, nil
+}
+
+// Screen classifies one post and grades its suicide risk.
+func (d *Detector) Screen(text string) (Report, error) {
+	if text == "" {
+		return Report{}, fmt.Errorf("mhd: empty text")
+	}
+	pred, err := d.clf.Predict(text)
+	if err != nil {
+		return Report{}, err
+	}
+	rep := Report{Condition: Control, Scores: map[string]float64{}}
+	if pred.Label >= 0 && pred.Label < len(d.labels) {
+		rep.Condition = d.labels[pred.Label]
+	}
+	if len(pred.Scores) == len(d.labels) {
+		for i, s := range pred.Scores {
+			rep.Scores[d.labelNames[i]] = s
+		}
+		if pred.Label >= 0 {
+			rep.Confidence = pred.Scores[pred.Label]
+		}
+		// Screening guardrail: do not assert a clinical condition
+		// that barely beats the control hypothesis — low-margin
+		// calls fall back to Control (the report still carries the
+		// full score distribution for downstream ranking).
+		if rep.Condition != Control && rep.Confidence-pred.Scores[0] < 0.05 {
+			rep.Condition = Control
+			rep.Confidence = pred.Scores[0]
+		}
+	}
+
+	// Risk grading and evidence are lexicon-grounded so they remain
+	// auditable regardless of the engine.
+	tokens := textkit.Words(textkit.Normalize(text))
+	rep.Risk = gradeRisk(tokens)
+	rep.Crisis = rep.Risk >= SeverityModerate
+	if rep.Condition != Control {
+		rep.Evidence = lexicon.MustForDisorder(rep.Condition).Hits(tokens)
+		// Auditability invariant: a clinical call must cite at least
+		// one lexicon phrase; otherwise it degrades to Control (the
+		// score distribution still records the model's suspicion).
+		if len(rep.Evidence) == 0 {
+			rep.Condition = Control
+			if len(pred.Scores) == len(d.labels) {
+				rep.Confidence = pred.Scores[0]
+			}
+		}
+	}
+	if siHits := lexicon.SuicidalIdeation().Hits(tokens); rep.Risk > SeverityNone {
+		rep.Evidence = mergeEvidence(rep.Evidence, siHits)
+	}
+	return rep, nil
+}
+
+// riskThresholds are the SI-score cut points between severity
+// levels, the midpoints of the generator-calibrated bands.
+var riskThresholds = [...]float64{0.05, 0.15, 0.38}
+
+func gradeRisk(tokens []string) Severity {
+	s := lexicon.SuicidalIdeation().Score(tokens)
+	switch {
+	case s < riskThresholds[0]:
+		return SeverityNone
+	case s < riskThresholds[1]:
+		return SeverityLow
+	case s < riskThresholds[2]:
+		return SeverityModerate
+	default:
+		return SeveritySevere
+	}
+}
+
+func mergeEvidence(a, b []string) []string {
+	seen := map[string]bool{}
+	out := make([]string, 0, len(a)+len(b))
+	for _, s := range append(append([]string{}, a...), b...) {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Triage screens a batch of posts and returns the indices of posts
+// ordered by descending risk (crisis posts first, then by severity,
+// then by clinical confidence).
+func (d *Detector) Triage(posts []string) ([]int, []Report, error) {
+	reports := make([]Report, len(posts))
+	for i, p := range posts {
+		r, err := d.Screen(p)
+		if err != nil {
+			return nil, nil, fmt.Errorf("mhd: post %d: %w", i, err)
+		}
+		reports[i] = r
+	}
+	order := make([]int, len(posts))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ra, rb := reports[order[a]], reports[order[b]]
+		if ra.Risk != rb.Risk {
+			return ra.Risk > rb.Risk
+		}
+		aClin := ra.Condition != Control
+		bClin := rb.Condition != Control
+		if aClin != bClin {
+			return aClin
+		}
+		return ra.Confidence > rb.Confidence
+	})
+	return order, reports, nil
+}

@@ -1,0 +1,101 @@
+package mhd
+
+import (
+	"fmt"
+
+	"repro/internal/baseline"
+	"repro/internal/corpus"
+	"repro/internal/domain"
+	"repro/internal/early"
+	"repro/internal/eval"
+)
+
+// RiskMonitor reads a user's posts in order and raises an alarm as
+// soon as accumulated depression-risk evidence crosses a threshold —
+// the eRisk-style early-detection setting. Construct with
+// NewRiskMonitor; Assess is safe for concurrent use.
+type RiskMonitor struct {
+	mon *early.Monitor
+}
+
+// NewRiskMonitor builds a monitor backed by a logistic-regression
+// post classifier trained on the built-in depression corpus.
+// threshold is the accumulated-evidence alarm level (<= 0 selects
+// the default of 1.5; higher waits for more evidence).
+func NewRiskMonitor(threshold float64, opts ...Option) (*RiskMonitor, error) {
+	cfg := detectorConfig{engine: "baseline", seed: 1, trainSize: 900}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if threshold <= 0 {
+		threshold = 1.5
+	}
+	spec := corpus.Spec{
+		Name: "monitor-train", Kind: corpus.KindDisorder,
+		Classes:    []domain.Disorder{domain.Control, domain.Depression},
+		ClassProbs: []float64{0.6, 0.4},
+		N:          cfg.trainSize, Difficulty: 0.55, Seed: cfg.seed,
+	}
+	ds, err := spec.Build()
+	if err != nil {
+		return nil, err
+	}
+	clf := baseline.NewLogisticRegression(2, baseline.LRConfig{Seed: cfg.seed})
+	if err := clf.Fit(ds.Examples()); err != nil {
+		return nil, err
+	}
+	mon, err := early.NewMonitor(clf, threshold, 0.1)
+	if err != nil {
+		return nil, err
+	}
+	return &RiskMonitor{mon: mon}, nil
+}
+
+// Assess reads posts in order; it reports whether an alarm fired and
+// after how many posts (1-based; len(posts) when no alarm fired).
+func (m *RiskMonitor) Assess(posts []string) (alarm bool, delay int, err error) {
+	return m.mon.Assess(posts)
+}
+
+// UserHistory is one synthetic user's post sequence with its gold
+// risk flag, for demos and integration tests.
+type UserHistory struct {
+	Posts  []string
+	AtRisk bool
+}
+
+// SampleUserHistories generates an eRisk-style synthetic cohort
+// (about 20% of users at risk), deterministic under seed.
+func SampleUserHistories(n int, seed int64) ([]UserHistory, error) {
+	spec := corpus.ERiskUsers()
+	spec.Users = n
+	spec.Seed = seed
+	users, err := spec.BuildUsers()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]UserHistory, len(users))
+	for i, u := range users {
+		posts := make([]string, len(u.Posts))
+		for j, p := range u.Posts {
+			posts[j] = p.Text
+		}
+		out[i] = UserHistory{Posts: posts, AtRisk: u.Label != domain.Control}
+	}
+	return out, nil
+}
+
+// ERDE scores a set of monitor decisions with the eRisk early-risk
+// detection error at midpoint o (5 and 50 are the standard
+// instantiations); lower is better.
+func ERDE(alarms []bool, delays []int, golds []bool, o int) (float64, error) {
+	if len(alarms) != len(delays) || len(alarms) != len(golds) {
+		return 0, fmt.Errorf("mhd: ERDE inputs must align (%d/%d/%d)",
+			len(alarms), len(delays), len(golds))
+	}
+	decisions := make([]eval.EarlyDecision, len(alarms))
+	for i := range alarms {
+		decisions[i] = eval.EarlyDecision{Alarm: alarms[i], Delay: delays[i], Gold: golds[i]}
+	}
+	return eval.ERDE(decisions, 0.1, o)
+}

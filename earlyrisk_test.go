@@ -1,0 +1,72 @@
+package mhd
+
+import "testing"
+
+func TestSampleUserHistories(t *testing.T) {
+	cohort, err := SampleUserHistories(50, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cohort) != 50 {
+		t.Fatalf("cohort = %d", len(cohort))
+	}
+	atRisk := 0
+	for _, u := range cohort {
+		if len(u.Posts) == 0 {
+			t.Fatal("empty history")
+		}
+		if u.AtRisk {
+			atRisk++
+		}
+	}
+	if atRisk == 0 || atRisk == len(cohort) {
+		t.Errorf("at-risk count %d implausible", atRisk)
+	}
+	// Deterministic.
+	again, _ := SampleUserHistories(50, 3)
+	if again[0].Posts[0] != cohort[0].Posts[0] {
+		t.Error("cohort not deterministic")
+	}
+}
+
+func TestRiskMonitorEndToEnd(t *testing.T) {
+	cohort, err := SampleUserHistories(60, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon, err := NewRiskMonitor(0, WithSeed(11)) // default threshold
+	if err != nil {
+		t.Fatal(err)
+	}
+	alarms := make([]bool, len(cohort))
+	delays := make([]int, len(cohort))
+	golds := make([]bool, len(cohort))
+	for i, u := range cohort {
+		alarm, delay, err := mon.Assess(u.Posts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		alarms[i], delays[i], golds[i] = alarm, delay, u.AtRisk
+	}
+	got, err := ERDE(alarms, delays, golds, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	never := make([]bool, len(cohort))
+	floor, err := ERDE(never, delays, golds, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got >= floor {
+		t.Errorf("monitor ERDE %.3f should beat never-alarm floor %.3f", got, floor)
+	}
+}
+
+func TestERDEInputValidation(t *testing.T) {
+	if _, err := ERDE([]bool{true}, []int{1, 2}, []bool{true}, 5); err == nil {
+		t.Error("misaligned inputs must error")
+	}
+	if _, err := ERDE(nil, nil, nil, 5); err == nil {
+		t.Error("empty inputs must error")
+	}
+}

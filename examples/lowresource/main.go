@@ -1,0 +1,46 @@
+// Lowresource: when should a team prompt an LLM instead of training
+// a classifier? This demo regenerates the survey's crossover figure
+// (macro-F1 vs labelled-data budget) and prints the break-even
+// point: below it, prompting wins; above it, fine-tuning wins.
+//
+// Run with:
+//
+//	go run ./examples/lowresource
+package main
+
+import (
+	"fmt"
+	"log"
+	"strconv"
+
+	mhd "repro"
+)
+
+func main() {
+	tb, err := mhd.RunExperiment("fig3", mhd.RunOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(tb.Markdown())
+
+	// Columns: train size | LR | encoder | gpt-3.5 few-shot | gpt-4 zero-shot.
+	breakEven := ""
+	for i := range tb.Rows {
+		enc, err1 := strconv.ParseFloat(tb.Cell(i, 2), 64)
+		few, err2 := strconv.ParseFloat(tb.Cell(i, 3), 64)
+		if err1 != nil || err2 != nil {
+			continue
+		}
+		if enc >= few {
+			breakEven = tb.Cell(i, 0)
+			break
+		}
+	}
+	if breakEven != "" {
+		fmt.Printf("Break-even: from ~%s labelled examples on, fine-tuning the encoder\n", breakEven)
+		fmt.Println("matches or beats 5-shot prompting; below that, prompt an LLM.")
+	} else {
+		fmt.Println("Prompting led at every budget in this sweep; collect more labels")
+		fmt.Println("before investing in fine-tuning.")
+	}
+}

@@ -1,0 +1,39 @@
+// Promptlab: compare prompting strategies, exemplar budgets, and
+// exemplar-selection policies — the survey's central methodological
+// comparison — by regenerating the relevant experiments.
+//
+// Run with:
+//
+//	go run ./examples/promptlab           (quick mode)
+//	go run ./examples/promptlab -full     (registry-sized datasets)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	mhd "repro"
+)
+
+func main() {
+	full := flag.Bool("full", false, "run at full dataset sizes (slower)")
+	flag.Parse()
+
+	opts := mhd.RunOptions{Quick: !*full}
+
+	fmt.Println("Comparing prompting strategies (table6), exemplar budgets (fig2),")
+	fmt.Println("and exemplar-selection policies (fig6)...")
+	fmt.Println()
+	for _, id := range []string{"table6", "fig2", "fig6"} {
+		tb, err := mhd.RunExperiment(id, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(tb.Markdown())
+	}
+	fmt.Println("Reading guide: few-shot gains rise steeply for the first handful of")
+	fmt.Println("exemplars and then saturate; retrieval-based (knn) selection matches")
+	fmt.Println("or beats static random exemplars; chain-of-thought pays off for the")
+	fmt.Println("largest models only.")
+}

@@ -1,0 +1,59 @@
+// Quickstart: build a detector, screen a few posts, and regenerate
+// one benchmark table.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	mhd "repro"
+)
+
+func main() {
+	// 1. Screening posts with the default (trained-baseline) engine.
+	det, err := mhd.NewDetector(mhd.WithSeed(7))
+	if err != nil {
+		log.Fatal(err)
+	}
+	posts := []string{
+		"great weekend hiking with friends, made a delicious dinner after",
+		"i feel so hopeless and worthless lately, crying every night, no motivation at all",
+		"had another panic attack at work today, heart racing, couldn't breathe",
+		"i keep thinking about ending it all, i even wrote a goodbye note",
+	}
+	for _, p := range posts {
+		rep, err := det.Screen(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("post:      %q\n", p)
+		fmt.Printf("condition: %v (confidence %.2f)  risk: %v  crisis: %v\n",
+			rep.Condition, rep.Confidence, rep.Risk, rep.Crisis)
+		if len(rep.Evidence) > 0 {
+			fmt.Printf("evidence:  %v\n", rep.Evidence)
+		}
+		fmt.Println()
+	}
+
+	// 2. The same screening through a simulated LLM engine.
+	llmDet, err := mhd.NewDetector(mhd.WithEngine("gpt-4-sim"), mhd.WithSeed(7))
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := llmDet.Screen(posts[1])
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("gpt-4-sim zero-shot on post 2: %v (risk %v)\n\n", rep.Condition, rep.Risk)
+
+	// 3. Regenerate a benchmark table (quick mode for the demo).
+	tb, err := mhd.RunExperiment("table2", mhd.RunOptions{Quick: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(tb.Markdown())
+}

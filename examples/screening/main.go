@@ -1,0 +1,85 @@
+// Screening: triage a synthetic social-media feed — the moderation
+// workload that motivates the survey. Crisis posts surface first,
+// and the demo reports detection quality against the feed's gold
+// labels.
+//
+// Run with:
+//
+//	go run ./examples/screening
+package main
+
+import (
+	"fmt"
+	"log"
+
+	mhd "repro"
+)
+
+func main() {
+	feed := mhd.SampleFeed(60, 42)
+	det, err := mhd.NewDetector(mhd.WithSeed(42))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	texts := make([]string, len(feed))
+	for i, p := range feed {
+		texts[i] = p.Text
+	}
+	order, reports, err := det.Triage(texts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("=== Top 5 posts by triage priority ===")
+	for rank := 0; rank < 5 && rank < len(order); rank++ {
+		i := order[rank]
+		r := reports[i]
+		flag := " "
+		if r.Crisis {
+			flag = "!"
+		}
+		text := feed[i].Text
+		if len(text) > 70 {
+			text = text[:70] + "..."
+		}
+		fmt.Printf("%s #%d risk=%-8v cond=%-17v gold=%-17v %q\n",
+			flag, rank+1, r.Risk, r.Condition, feed[i].Gold, text)
+	}
+
+	// Detection quality against the feed's gold labels.
+	var tp, fp, fn int
+	crisisCaught, crisisGold := 0, 0
+	for i, p := range feed {
+		pred := reports[i].Condition != mhd.Control
+		gold := p.Gold != mhd.Control
+		switch {
+		case pred && gold:
+			tp++
+		case pred && !gold:
+			fp++
+		case !pred && gold:
+			fn++
+		}
+		if p.Gold == mhd.SuicidalIdeation && p.Severity >= mhd.SeverityModerate {
+			crisisGold++
+			if reports[i].Crisis {
+				crisisCaught++
+			}
+		}
+	}
+	prec := safeDiv(tp, tp+fp)
+	rec := safeDiv(tp, tp+fn)
+	fmt.Printf("\nclinical-vs-control detection: precision %.2f, recall %.2f (n=%d)\n",
+		prec, rec, len(feed))
+	if crisisGold > 0 {
+		fmt.Printf("crisis posts caught: %d/%d\n", crisisCaught, crisisGold)
+	}
+}
+
+func safeDiv(a, b int) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}

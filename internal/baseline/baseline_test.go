@@ -1,0 +1,340 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/domain"
+	"repro/internal/eval"
+	"repro/internal/task"
+)
+
+// easyTask builds a small low-difficulty binary depression task that
+// any real classifier must handle well.
+func easyTask(t *testing.T, n int) *task.Task {
+	t.Helper()
+	spec := corpus.Spec{
+		Name: "easy", Kind: corpus.KindDisorder,
+		Classes:    []domain.Disorder{domain.Control, domain.Depression},
+		ClassProbs: []float64{0.5, 0.5},
+		N:          n, Difficulty: 0.2, LabelNoise: 0, Seed: 31,
+	}
+	ds, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tk, err := ds.Task(0.7, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tk
+}
+
+// multiTask builds a small 3-class task.
+func multiTask(t *testing.T, n int) *task.Task {
+	t.Helper()
+	spec := corpus.Spec{
+		Name: "multi", Kind: corpus.KindDisorder,
+		Classes:    []domain.Disorder{domain.Control, domain.Depression, domain.Anxiety},
+		ClassProbs: []float64{0.34, 0.33, 0.33},
+		N:          n, Difficulty: 0.3, LabelNoise: 0, Seed: 37,
+	}
+	ds, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tk, err := ds.Task(0.7, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tk
+}
+
+func fitAndScore(t *testing.T, clf task.Trainable, tk *task.Task) *eval.Result {
+	t.Helper()
+	if err := clf.Fit(tk.Train); err != nil {
+		t.Fatalf("%s.Fit: %v", clf.Name(), err)
+	}
+	res, err := eval.Evaluate(clf, tk)
+	if err != nil {
+		t.Fatalf("%s evaluate: %v", clf.Name(), err)
+	}
+	return res
+}
+
+func TestTFIDFBasics(t *testing.T) {
+	v := NewTFIDF(0)
+	texts := []string{
+		"i feel hopeless today", "hopeless and empty", "fun weekend movie",
+	}
+	if err := v.Fit(texts); err != nil {
+		t.Fatal(err)
+	}
+	if v.NumFeatures() == 0 {
+		t.Fatal("no features learned")
+	}
+	f, err := v.Transform("feeling hopeless")
+	if err != nil {
+		t.Fatal(err)
+	}
+	norm := 0.0
+	for _, x := range f {
+		norm += x * x
+	}
+	if math.Abs(norm-1) > 1e-9 {
+		t.Errorf("transform not unit norm: %v", norm)
+	}
+	// OOV-only text transforms to empty vector, not error.
+	f, err = v.Transform("zzz qqq")
+	if err != nil || len(f) != 0 {
+		t.Errorf("OOV transform = %v, %v", f, err)
+	}
+}
+
+func TestTFIDFMaxFeaturesCap(t *testing.T) {
+	v := NewTFIDF(5)
+	texts := []string{"a b c d e f g h i j k", "a b c d e f g"}
+	if err := v.Fit(texts); err != nil {
+		t.Fatal(err)
+	}
+	if v.NumFeatures() > 5 {
+		t.Errorf("features = %d, cap was 5", v.NumFeatures())
+	}
+}
+
+func TestTFIDFErrors(t *testing.T) {
+	v := NewTFIDF(0)
+	if err := v.Fit(nil); err == nil {
+		t.Error("Fit on empty corpus must error")
+	}
+	if _, err := v.Transform("x"); err == nil {
+		t.Error("Transform before Fit must error")
+	}
+}
+
+func TestSoftmaxArgmax(t *testing.T) {
+	s := softmax([]float64{1, 2, 3})
+	sum := s[0] + s[1] + s[2]
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("softmax sums to %v", sum)
+	}
+	if !(s[2] > s[1] && s[1] > s[0]) {
+		t.Errorf("softmax ordering broken: %v", s)
+	}
+	if argmax([]float64{0.1, 0.9, 0.5}) != 1 {
+		t.Error("argmax wrong")
+	}
+	// Large logits must not overflow.
+	s = softmax([]float64{1000, 1001})
+	if math.IsNaN(s[0]) || math.IsNaN(s[1]) {
+		t.Error("softmax overflow")
+	}
+}
+
+func TestNaiveBayesLearnsEasyTask(t *testing.T) {
+	tk := easyTask(t, 400)
+	res := fitAndScore(t, NewNaiveBayes(2, 1.0), tk)
+	if res.Accuracy < 0.8 {
+		t.Errorf("NB accuracy %.3f < 0.8 on easy task", res.Accuracy)
+	}
+}
+
+func TestLogisticRegressionLearnsEasyTask(t *testing.T) {
+	tk := easyTask(t, 400)
+	res := fitAndScore(t, NewLogisticRegression(2, LRConfig{Seed: 1}), tk)
+	if res.Accuracy < 0.8 {
+		t.Errorf("LR accuracy %.3f < 0.8 on easy task", res.Accuracy)
+	}
+	if res.AUROC < 0.85 {
+		t.Errorf("LR AUROC %.3f < 0.85", res.AUROC)
+	}
+}
+
+func TestLinearSVMLearnsEasyTask(t *testing.T) {
+	tk := easyTask(t, 400)
+	res := fitAndScore(t, NewLinearSVM(2, SVMConfig{Seed: 1}), tk)
+	if res.Accuracy < 0.8 {
+		t.Errorf("SVM accuracy %.3f < 0.8 on easy task", res.Accuracy)
+	}
+}
+
+func TestCentroidLearnsEasyTask(t *testing.T) {
+	tk := easyTask(t, 400)
+	res := fitAndScore(t, NewCentroid(2, 0), tk)
+	if res.Accuracy < 0.75 {
+		t.Errorf("centroid accuracy %.3f < 0.75 on easy task", res.Accuracy)
+	}
+}
+
+func TestLexiconFeaturesLearnsEasyTask(t *testing.T) {
+	tk := easyTask(t, 400)
+	res := fitAndScore(t, NewLexiconFeatures(2, nil), tk)
+	if res.Accuracy < 0.75 {
+		t.Errorf("lexicon-features accuracy %.3f < 0.75 on easy task", res.Accuracy)
+	}
+}
+
+func TestFineTunedEncoderLearnsEasyTask(t *testing.T) {
+	tk := easyTask(t, 400)
+	res := fitAndScore(t, NewFineTunedEncoder(2, EncoderConfig{Seed: 1, Epochs: 20}), tk)
+	if res.Accuracy < 0.8 {
+		t.Errorf("encoder accuracy %.3f < 0.8 on easy task", res.Accuracy)
+	}
+}
+
+func TestMulticlassAllClassifiers(t *testing.T) {
+	tk := multiTask(t, 450)
+	clfs := []task.Trainable{
+		NewNaiveBayes(3, 1.0),
+		NewLogisticRegression(3, LRConfig{Seed: 2}),
+		NewLinearSVM(3, SVMConfig{Seed: 2}),
+		NewCentroid(3, 0),
+		NewLexiconFeatures(3, nil),
+		NewFineTunedEncoder(3, EncoderConfig{Seed: 2, Epochs: 15}),
+	}
+	for _, clf := range clfs {
+		res := fitAndScore(t, clf, tk)
+		if res.MacroF1 < 0.55 {
+			t.Errorf("%s macro-F1 %.3f < 0.55 on 3-class task", clf.Name(), res.MacroF1)
+		}
+	}
+}
+
+func TestMajorityAndRandomFloors(t *testing.T) {
+	tk := easyTask(t, 300)
+	maj := NewMajority(2)
+	res := fitAndScore(t, maj, tk)
+	// Balanced task: majority accuracy ~0.5.
+	if res.Accuracy < 0.35 || res.Accuracy > 0.65 {
+		t.Errorf("majority accuracy %.3f outside balanced-task range", res.Accuracy)
+	}
+	rnd := NewRandom(2, 3)
+	res = fitAndScore(t, rnd, tk)
+	if res.Accuracy < 0.3 || res.Accuracy > 0.7 {
+		t.Errorf("random accuracy %.3f implausible", res.Accuracy)
+	}
+	if math.Abs(res.Kappa) > 0.2 {
+		t.Errorf("random kappa %.3f should be ~0", res.Kappa)
+	}
+}
+
+func TestTrainedBeatMajority(t *testing.T) {
+	tk := easyTask(t, 400)
+	maj := fitAndScore(t, NewMajority(2), tk)
+	lr := fitAndScore(t, NewLogisticRegression(2, LRConfig{Seed: 3}), tk)
+	if lr.MacroF1 <= maj.MacroF1 {
+		t.Errorf("LR macro-F1 %.3f should beat majority %.3f", lr.MacroF1, maj.MacroF1)
+	}
+}
+
+func TestPredictBeforeFitErrors(t *testing.T) {
+	clfs := []task.Classifier{
+		NewNaiveBayes(2, 1),
+		NewLogisticRegression(2, LRConfig{}),
+		NewLinearSVM(2, SVMConfig{}),
+		NewCentroid(2, 0),
+		NewLexiconFeatures(2, nil),
+		NewFineTunedEncoder(2, EncoderConfig{}),
+		NewMajority(2),
+		NewRandom(2, 1),
+	}
+	for _, clf := range clfs {
+		if _, err := clf.Predict("text"); err == nil {
+			t.Errorf("%s: Predict before Fit must error", clf.Name())
+		}
+	}
+}
+
+func TestFitRejectsEmptyAndBadLabels(t *testing.T) {
+	trainables := []task.Trainable{
+		NewNaiveBayes(2, 1),
+		NewLogisticRegression(2, LRConfig{}),
+		NewLinearSVM(2, SVMConfig{}),
+		NewCentroid(2, 0),
+		NewLexiconFeatures(2, nil),
+		NewFineTunedEncoder(2, EncoderConfig{Epochs: 1}),
+		NewMajority(2),
+		NewRandom(2, 1),
+	}
+	bad := []task.Example{{Text: "x", Label: 5}}
+	for _, clf := range trainables {
+		if err := clf.Fit(nil); err == nil {
+			t.Errorf("%s: Fit(nil) must error", clf.Name())
+		}
+		if err := clf.Fit(bad); err == nil {
+			t.Errorf("%s: Fit with out-of-range label must error", clf.Name())
+		}
+	}
+}
+
+func TestLogisticRegressionDeterministic(t *testing.T) {
+	tk := easyTask(t, 200)
+	a := NewLogisticRegression(2, LRConfig{Seed: 9})
+	b := NewLogisticRegression(2, LRConfig{Seed: 9})
+	if err := a.Fit(tk.Train); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Fit(tk.Train); err != nil {
+		t.Fatal(err)
+	}
+	for _, ex := range tk.Test[:20] {
+		pa, _ := a.Predict(ex.Text)
+		pb, _ := b.Predict(ex.Text)
+		if pa.Label != pb.Label {
+			t.Fatal("LR training not deterministic under seed")
+		}
+	}
+}
+
+func TestPredictionScoresAreDistributions(t *testing.T) {
+	tk := easyTask(t, 200)
+	clfs := []task.Trainable{
+		NewNaiveBayes(2, 1),
+		NewLogisticRegression(2, LRConfig{Seed: 4}),
+		NewLinearSVM(2, SVMConfig{Seed: 4}),
+		NewCentroid(2, 0),
+		NewLexiconFeatures(2, nil),
+		NewFineTunedEncoder(2, EncoderConfig{Seed: 4, Epochs: 5}),
+	}
+	for _, clf := range clfs {
+		if err := clf.Fit(tk.Train); err != nil {
+			t.Fatal(err)
+		}
+		p, err := clf.Predict(tk.Test[0].Text)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(p.Scores) != 2 {
+			t.Errorf("%s: scores len %d", clf.Name(), len(p.Scores))
+			continue
+		}
+		sum := p.Scores[0] + p.Scores[1]
+		if math.Abs(sum-1) > 1e-6 {
+			t.Errorf("%s: scores sum %v", clf.Name(), sum)
+		}
+		if p.Label != argmax(p.Scores) {
+			t.Errorf("%s: label %d inconsistent with scores %v", clf.Name(), p.Label, p.Scores)
+		}
+	}
+}
+
+func TestSparseVecOps(t *testing.T) {
+	s := SparseVec{0: 3, 2: 4}
+	w := []float64{1, 10, 1}
+	if got := s.Dot(w); got != 7 {
+		t.Errorf("Dot = %v", got)
+	}
+	// Out-of-range indices are ignored.
+	s2 := SparseVec{10: 5}
+	if got := s2.Dot(w); got != 0 {
+		t.Errorf("out-of-range Dot = %v", got)
+	}
+	s.L2Normalize()
+	n := math.Sqrt(s[0]*s[0] + s[2]*s[2])
+	if math.Abs(n-1) > 1e-12 {
+		t.Errorf("norm = %v", n)
+	}
+	empty := SparseVec{}
+	empty.L2Normalize() // must not panic or NaN
+}

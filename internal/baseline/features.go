@@ -1,0 +1,172 @@
+// Package baseline implements the non-LLM detection methods the
+// survey compares against: classical linear classifiers over sparse
+// TF-IDF features (multinomial naive Bayes, logistic regression,
+// Pegasos linear SVM, Rocchio centroid), a psycholinguistic
+// lexicon-feature classifier, trivial floor baselines (majority,
+// random), and a from-scratch MLP over hashed embeddings standing in
+// for fine-tuned PLM encoders.
+//
+// Every classifier implements task.Trainable; Predict is safe for
+// concurrent use after Fit returns.
+package baseline
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/textkit"
+)
+
+// SparseVec is a sparse feature vector keyed by feature index.
+type SparseVec map[int]float64
+
+// Dot returns the sparse-dense dot product.
+func (s SparseVec) Dot(w []float64) float64 {
+	sum := 0.0
+	for i, v := range s {
+		if i < len(w) {
+			sum += v * w[i]
+		}
+	}
+	return sum
+}
+
+// L2Normalize scales s to unit norm in place and returns it.
+func (s SparseVec) L2Normalize() SparseVec {
+	n := 0.0
+	for _, v := range s {
+		n += v * v
+	}
+	if n == 0 {
+		return s
+	}
+	n = math.Sqrt(n)
+	for i := range s {
+		s[i] /= n
+	}
+	return s
+}
+
+// TFIDF is a unigram+bigram TF-IDF vectorizer with a capped,
+// frequency-ranked vocabulary, sublinear term frequency, and smooth
+// IDF. Fit before Transform.
+type TFIDF struct {
+	maxFeatures int
+	vocab       map[string]int
+	idf         []float64
+	fitted      bool
+}
+
+// NewTFIDF returns a vectorizer keeping at most maxFeatures
+// vocabulary entries (<=0 means unlimited).
+func NewTFIDF(maxFeatures int) *TFIDF {
+	return &TFIDF{maxFeatures: maxFeatures}
+}
+
+// featurize is the shared token pipeline: normalize, word-tokenize,
+// drop stopwords, stem, then emit unigrams + bigrams.
+func featurize(text string) []string {
+	toks := textkit.RemoveStopwords(textkit.Words(textkit.Normalize(text)))
+	toks = textkit.StemAll(toks)
+	return textkit.UniBigrams(toks)
+}
+
+// Fit learns the vocabulary and IDF weights from texts.
+func (v *TFIDF) Fit(texts []string) error {
+	if len(texts) == 0 {
+		return fmt.Errorf("baseline: TFIDF.Fit on empty corpus")
+	}
+	df := map[string]int{}
+	for _, text := range texts {
+		seen := map[string]bool{}
+		for _, f := range featurize(text) {
+			if !seen[f] {
+				seen[f] = true
+				df[f]++
+			}
+		}
+	}
+	type entry struct {
+		feat string
+		df   int
+	}
+	entries := make([]entry, 0, len(df))
+	for f, d := range df {
+		entries = append(entries, entry{f, d})
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].df != entries[j].df {
+			return entries[i].df > entries[j].df
+		}
+		return entries[i].feat < entries[j].feat
+	})
+	if v.maxFeatures > 0 && len(entries) > v.maxFeatures {
+		entries = entries[:v.maxFeatures]
+	}
+	v.vocab = make(map[string]int, len(entries))
+	v.idf = make([]float64, len(entries))
+	n := float64(len(texts))
+	for i, e := range entries {
+		v.vocab[e.feat] = i
+		v.idf[i] = math.Log((1+n)/(1+float64(e.df))) + 1 // smooth idf
+	}
+	v.fitted = true
+	return nil
+}
+
+// NumFeatures returns the fitted vocabulary size.
+func (v *TFIDF) NumFeatures() int { return len(v.vocab) }
+
+// Transform maps text to its L2-normalized TF-IDF vector.
+// Out-of-vocabulary features are dropped.
+func (v *TFIDF) Transform(text string) (SparseVec, error) {
+	if !v.fitted {
+		return nil, fmt.Errorf("baseline: TFIDF.Transform before Fit")
+	}
+	counts := map[int]float64{}
+	for _, f := range featurize(text) {
+		if idx, ok := v.vocab[f]; ok {
+			counts[idx]++
+		}
+	}
+	out := make(SparseVec, len(counts))
+	for idx, c := range counts {
+		out[idx] = (1 + math.Log(c)) * v.idf[idx] // sublinear tf
+	}
+	return out.L2Normalize(), nil
+}
+
+// softmax converts logits to a probability distribution in place and
+// returns it; numerically stabilized by max subtraction.
+func softmax(logits []float64) []float64 {
+	if len(logits) == 0 {
+		return logits
+	}
+	maxL := logits[0]
+	for _, l := range logits[1:] {
+		if l > maxL {
+			maxL = l
+		}
+	}
+	sum := 0.0
+	for i, l := range logits {
+		logits[i] = math.Exp(l - maxL)
+		sum += logits[i]
+	}
+	for i := range logits {
+		logits[i] /= sum
+	}
+	return logits
+}
+
+// argmax returns the index of the maximum value (first on ties).
+func argmax(xs []float64) int {
+	best, bestV := 0, math.Inf(-1)
+	for i, x := range xs {
+		if x > bestV {
+			best, bestV = i, x
+		}
+	}
+	return best
+}

@@ -1,0 +1,362 @@
+package baseline
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/task"
+)
+
+// LogisticRegression is a multinomial (softmax) logistic-regression
+// classifier over TF-IDF features, trained by SGD with L2
+// regularization and inverse-time learning-rate decay.
+type LogisticRegression struct {
+	numClasses int
+	epochs     int
+	lr         float64
+	l2         float64
+	seed       int64
+
+	vec    *TFIDF
+	w      [][]float64 // [class][feature]
+	b      []float64   // [class]
+	fitted bool
+}
+
+// LRConfig configures logistic-regression training. Zero values get
+// sensible defaults.
+type LRConfig struct {
+	Epochs      int     // default 12
+	LearnRate   float64 // default 0.5
+	L2          float64 // default 1e-5
+	MaxFeatures int     // default 30000
+	Seed        int64
+}
+
+// NewLogisticRegression returns an untrained model.
+func NewLogisticRegression(numClasses int, cfg LRConfig) *LogisticRegression {
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = 12
+	}
+	if cfg.LearnRate <= 0 {
+		cfg.LearnRate = 0.5
+	}
+	if cfg.L2 <= 0 {
+		cfg.L2 = 1e-5
+	}
+	if cfg.MaxFeatures == 0 {
+		cfg.MaxFeatures = 30000
+	}
+	return &LogisticRegression{
+		numClasses: numClasses,
+		epochs:     cfg.Epochs,
+		lr:         cfg.LearnRate,
+		l2:         cfg.L2,
+		seed:       cfg.Seed,
+		vec:        NewTFIDF(cfg.MaxFeatures),
+	}
+}
+
+// Name implements task.Classifier.
+func (m *LogisticRegression) Name() string { return "logistic-regression" }
+
+// Fit trains the model with SGD over shuffled epochs.
+func (m *LogisticRegression) Fit(train []task.Example) error {
+	if len(train) == 0 {
+		return fmt.Errorf("baseline: LogisticRegression.Fit on empty training set")
+	}
+	texts := make([]string, len(train))
+	for i, ex := range train {
+		if ex.Label < 0 || ex.Label >= m.numClasses {
+			return fmt.Errorf("baseline: label %d out of range [0,%d)", ex.Label, m.numClasses)
+		}
+		texts[i] = ex.Text
+	}
+	if err := m.vec.Fit(texts); err != nil {
+		return err
+	}
+	feats := make([]SparseVec, len(train))
+	for i, ex := range train {
+		f, err := m.vec.Transform(ex.Text)
+		if err != nil {
+			return err
+		}
+		feats[i] = f
+	}
+	nf := m.vec.NumFeatures()
+	m.w = make([][]float64, m.numClasses)
+	for c := range m.w {
+		m.w[c] = make([]float64, nf)
+	}
+	m.b = make([]float64, m.numClasses)
+
+	rng := rand.New(rand.NewSource(m.seed))
+	order := rng.Perm(len(train))
+	step := 0
+	for epoch := 0; epoch < m.epochs; epoch++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for _, i := range order {
+			step++
+			eta := m.lr / (1 + m.lr*m.l2*float64(step))
+			probs := m.logits(feats[i])
+			softmax(probs)
+			for c := 0; c < m.numClasses; c++ {
+				grad := probs[c]
+				if c == train[i].Label {
+					grad -= 1
+				}
+				if grad == 0 {
+					continue
+				}
+				wc := m.w[c]
+				for idx, v := range feats[i] {
+					wc[idx] -= eta * (grad*v + m.l2*wc[idx])
+				}
+				m.b[c] -= eta * grad
+			}
+		}
+	}
+	m.fitted = true
+	return nil
+}
+
+func (m *LogisticRegression) logits(f SparseVec) []float64 {
+	out := make([]float64, m.numClasses)
+	for c := 0; c < m.numClasses; c++ {
+		out[c] = f.Dot(m.w[c]) + m.b[c]
+	}
+	return out
+}
+
+// Predict implements task.Classifier.
+func (m *LogisticRegression) Predict(text string) (task.Prediction, error) {
+	if !m.fitted {
+		return task.Prediction{}, fmt.Errorf("baseline: LogisticRegression.Predict before Fit")
+	}
+	f, err := m.vec.Transform(text)
+	if err != nil {
+		return task.Prediction{}, err
+	}
+	scores := softmax(m.logits(f))
+	return task.Prediction{Label: argmax(scores), Scores: scores}, nil
+}
+
+// LinearSVM is a one-vs-rest linear SVM trained with the Pegasos
+// primal sub-gradient algorithm over TF-IDF features. Scores are
+// softmax-squashed margins (useful for ranking, not calibrated).
+type LinearSVM struct {
+	numClasses int
+	epochs     int
+	lambda     float64
+	seed       int64
+
+	vec    *TFIDF
+	w      [][]float64
+	b      []float64
+	fitted bool
+}
+
+// SVMConfig configures Pegasos training. Zero values get defaults.
+type SVMConfig struct {
+	Epochs      int     // default 10
+	Lambda      float64 // default 1e-4
+	MaxFeatures int     // default 30000
+	Seed        int64
+}
+
+// NewLinearSVM returns an untrained one-vs-rest SVM.
+func NewLinearSVM(numClasses int, cfg SVMConfig) *LinearSVM {
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = 10
+	}
+	if cfg.Lambda <= 0 {
+		cfg.Lambda = 1e-4
+	}
+	if cfg.MaxFeatures == 0 {
+		cfg.MaxFeatures = 30000
+	}
+	return &LinearSVM{
+		numClasses: numClasses,
+		epochs:     cfg.Epochs,
+		lambda:     cfg.Lambda,
+		seed:       cfg.Seed,
+		vec:        NewTFIDF(cfg.MaxFeatures),
+	}
+}
+
+// Name implements task.Classifier.
+func (m *LinearSVM) Name() string { return "linear-svm" }
+
+// Fit trains one Pegasos binary SVM per class.
+func (m *LinearSVM) Fit(train []task.Example) error {
+	if len(train) == 0 {
+		return fmt.Errorf("baseline: LinearSVM.Fit on empty training set")
+	}
+	texts := make([]string, len(train))
+	for i, ex := range train {
+		if ex.Label < 0 || ex.Label >= m.numClasses {
+			return fmt.Errorf("baseline: label %d out of range [0,%d)", ex.Label, m.numClasses)
+		}
+		texts[i] = ex.Text
+	}
+	if err := m.vec.Fit(texts); err != nil {
+		return err
+	}
+	feats := make([]SparseVec, len(train))
+	for i, ex := range train {
+		f, err := m.vec.Transform(ex.Text)
+		if err != nil {
+			return err
+		}
+		feats[i] = f
+	}
+	nf := m.vec.NumFeatures()
+	m.w = make([][]float64, m.numClasses)
+	m.b = make([]float64, m.numClasses)
+	for c := 0; c < m.numClasses; c++ {
+		m.w[c] = m.trainBinary(feats, train, c, nf)
+	}
+	m.fitted = true
+	return nil
+}
+
+// trainBinary runs Pegasos for the class-c-vs-rest problem.
+func (m *LinearSVM) trainBinary(feats []SparseVec, train []task.Example, class, nf int) []float64 {
+	w := make([]float64, nf)
+	rng := rand.New(rand.NewSource(m.seed + int64(class)*7919))
+	t := 0
+	for epoch := 0; epoch < m.epochs; epoch++ {
+		for iter := 0; iter < len(train); iter++ {
+			t++
+			i := rng.Intn(len(train))
+			y := -1.0
+			if train[i].Label == class {
+				y = 1.0
+			}
+			eta := 1 / (m.lambda * float64(t))
+			margin := y * (feats[i].Dot(w) + m.b[class])
+			// w <- (1 - eta*lambda) w  [+ eta*y*x if margin < 1]
+			scale := 1 - eta*m.lambda
+			if scale < 0 {
+				scale = 0
+			}
+			for idx := range w {
+				w[idx] *= scale
+			}
+			if margin < 1 {
+				for idx, v := range feats[i] {
+					w[idx] += eta * y * v
+				}
+				m.b[class] += eta * y
+			}
+		}
+	}
+	return w
+}
+
+// Predict implements task.Classifier.
+func (m *LinearSVM) Predict(text string) (task.Prediction, error) {
+	if !m.fitted {
+		return task.Prediction{}, fmt.Errorf("baseline: LinearSVM.Predict before Fit")
+	}
+	f, err := m.vec.Transform(text)
+	if err != nil {
+		return task.Prediction{}, err
+	}
+	margins := make([]float64, m.numClasses)
+	for c := 0; c < m.numClasses; c++ {
+		margins[c] = f.Dot(m.w[c]) + m.b[c]
+	}
+	label := argmax(margins)
+	scores := softmax(margins)
+	return task.Prediction{Label: label, Scores: scores}, nil
+}
+
+// Centroid is a Rocchio nearest-centroid classifier over TF-IDF
+// features with cosine similarity.
+type Centroid struct {
+	numClasses int
+	vec        *TFIDF
+	centroids  [][]float64
+	fitted     bool
+}
+
+// NewCentroid returns an untrained Rocchio classifier.
+func NewCentroid(numClasses, maxFeatures int) *Centroid {
+	if maxFeatures == 0 {
+		maxFeatures = 30000
+	}
+	return &Centroid{numClasses: numClasses, vec: NewTFIDF(maxFeatures)}
+}
+
+// Name implements task.Classifier.
+func (m *Centroid) Name() string { return "centroid" }
+
+// Fit computes the mean TF-IDF vector of each class.
+func (m *Centroid) Fit(train []task.Example) error {
+	if len(train) == 0 {
+		return fmt.Errorf("baseline: Centroid.Fit on empty training set")
+	}
+	texts := make([]string, len(train))
+	for i, ex := range train {
+		if ex.Label < 0 || ex.Label >= m.numClasses {
+			return fmt.Errorf("baseline: label %d out of range [0,%d)", ex.Label, m.numClasses)
+		}
+		texts[i] = ex.Text
+	}
+	if err := m.vec.Fit(texts); err != nil {
+		return err
+	}
+	nf := m.vec.NumFeatures()
+	m.centroids = make([][]float64, m.numClasses)
+	counts := make([]int, m.numClasses)
+	for c := range m.centroids {
+		m.centroids[c] = make([]float64, nf)
+	}
+	for _, ex := range train {
+		f, err := m.vec.Transform(ex.Text)
+		if err != nil {
+			return err
+		}
+		for idx, v := range f {
+			m.centroids[ex.Label][idx] += v
+		}
+		counts[ex.Label]++
+	}
+	for c := range m.centroids {
+		norm := 0.0
+		for _, v := range m.centroids[c] {
+			norm += v * v
+		}
+		if norm > 0 {
+			norm = math.Sqrt(norm)
+			for i := range m.centroids[c] {
+				m.centroids[c][i] /= norm
+			}
+		}
+	}
+	m.fitted = true
+	return nil
+}
+
+// Predict implements task.Classifier.
+func (m *Centroid) Predict(text string) (task.Prediction, error) {
+	if !m.fitted {
+		return task.Prediction{}, fmt.Errorf("baseline: Centroid.Predict before Fit")
+	}
+	f, err := m.vec.Transform(text)
+	if err != nil {
+		return task.Prediction{}, err
+	}
+	sims := make([]float64, m.numClasses)
+	for c := range m.centroids {
+		sims[c] = f.Dot(m.centroids[c]) // both unit-norm -> cosine
+	}
+	label := argmax(sims)
+	for i := range sims {
+		sims[i] *= 4 // sharpen before softmax so scores spread
+	}
+	scores := softmax(sims)
+	return task.Prediction{Label: label, Scores: scores}, nil
+}

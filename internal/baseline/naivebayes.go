@@ -1,0 +1,97 @@
+package baseline
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/task"
+)
+
+// NaiveBayes is a multinomial naive Bayes classifier over the shared
+// unigram+bigram feature pipeline, with Laplace (add-alpha)
+// smoothing. It is the fastest baseline in the suite and a strong
+// floor on lexical tasks.
+type NaiveBayes struct {
+	alpha      float64
+	numClasses int
+	logPrior   []float64
+	// logLikelihood[c][feat]; features absent from a class fall back
+	// to that class's smoothed default.
+	logLikelihood []map[string]float64
+	logDefault    []float64
+	fitted        bool
+}
+
+// NewNaiveBayes returns a classifier for numClasses classes with
+// smoothing alpha (values <= 0 become 1.0).
+func NewNaiveBayes(numClasses int, alpha float64) *NaiveBayes {
+	if alpha <= 0 {
+		alpha = 1.0
+	}
+	return &NaiveBayes{alpha: alpha, numClasses: numClasses}
+}
+
+// Name implements task.Classifier.
+func (nb *NaiveBayes) Name() string { return "naive-bayes" }
+
+// Fit estimates class priors and per-feature likelihoods.
+func (nb *NaiveBayes) Fit(train []task.Example) error {
+	if len(train) == 0 {
+		return fmt.Errorf("baseline: NaiveBayes.Fit on empty training set")
+	}
+	classCounts := make([]float64, nb.numClasses)
+	featCounts := make([]map[string]float64, nb.numClasses)
+	totals := make([]float64, nb.numClasses)
+	vocab := map[string]bool{}
+	for c := range featCounts {
+		featCounts[c] = map[string]float64{}
+	}
+	for _, ex := range train {
+		if ex.Label < 0 || ex.Label >= nb.numClasses {
+			return fmt.Errorf("baseline: label %d out of range [0,%d)", ex.Label, nb.numClasses)
+		}
+		classCounts[ex.Label]++
+		for _, f := range featurize(ex.Text) {
+			featCounts[ex.Label][f]++
+			totals[ex.Label]++
+			vocab[f] = true
+		}
+	}
+	v := float64(len(vocab))
+	n := float64(len(train))
+	nb.logPrior = make([]float64, nb.numClasses)
+	nb.logLikelihood = make([]map[string]float64, nb.numClasses)
+	nb.logDefault = make([]float64, nb.numClasses)
+	for c := 0; c < nb.numClasses; c++ {
+		nb.logPrior[c] = math.Log((classCounts[c] + nb.alpha) / (n + nb.alpha*float64(nb.numClasses)))
+		denom := totals[c] + nb.alpha*v
+		nb.logDefault[c] = math.Log(nb.alpha / denom)
+		ll := make(map[string]float64, len(featCounts[c]))
+		for f, cnt := range featCounts[c] {
+			ll[f] = math.Log((cnt + nb.alpha) / denom)
+		}
+		nb.logLikelihood[c] = ll
+	}
+	nb.fitted = true
+	return nil
+}
+
+// Predict implements task.Classifier.
+func (nb *NaiveBayes) Predict(text string) (task.Prediction, error) {
+	if !nb.fitted {
+		return task.Prediction{}, fmt.Errorf("baseline: NaiveBayes.Predict before Fit")
+	}
+	logp := make([]float64, nb.numClasses)
+	copy(logp, nb.logPrior)
+	for _, f := range featurize(text) {
+		for c := 0; c < nb.numClasses; c++ {
+			if ll, ok := nb.logLikelihood[c][f]; ok {
+				logp[c] += ll
+			} else {
+				logp[c] += nb.logDefault[c]
+			}
+		}
+	}
+	scores := softmax(logp)
+	return task.Prediction{Label: argmax(scores), Scores: scores}, nil
+}

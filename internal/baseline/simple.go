@@ -1,0 +1,236 @@
+package baseline
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+
+	"repro/internal/lexicon"
+	"repro/internal/task"
+)
+
+// Majority always predicts the most frequent training class — the
+// floor every reported method must beat.
+type Majority struct {
+	numClasses int
+	label      int
+	priors     []float64
+	fitted     bool
+}
+
+// NewMajority returns an untrained majority-class baseline.
+func NewMajority(numClasses int) *Majority { return &Majority{numClasses: numClasses} }
+
+// Name implements task.Classifier.
+func (m *Majority) Name() string { return "majority" }
+
+// Fit records the majority class and empirical priors.
+func (m *Majority) Fit(train []task.Example) error {
+	if len(train) == 0 {
+		return fmt.Errorf("baseline: Majority.Fit on empty training set")
+	}
+	counts := make([]float64, m.numClasses)
+	for _, ex := range train {
+		if ex.Label < 0 || ex.Label >= m.numClasses {
+			return fmt.Errorf("baseline: label %d out of range [0,%d)", ex.Label, m.numClasses)
+		}
+		counts[ex.Label]++
+	}
+	m.priors = make([]float64, m.numClasses)
+	for c, n := range counts {
+		m.priors[c] = n / float64(len(train))
+	}
+	m.label = argmax(counts)
+	m.fitted = true
+	return nil
+}
+
+// Predict implements task.Classifier.
+func (m *Majority) Predict(string) (task.Prediction, error) {
+	if !m.fitted {
+		return task.Prediction{}, fmt.Errorf("baseline: Majority.Predict before Fit")
+	}
+	scores := make([]float64, m.numClasses)
+	copy(scores, m.priors)
+	return task.Prediction{Label: m.label, Scores: scores}, nil
+}
+
+// Random predicts classes drawn from the training prior —
+// the chance floor for kappa and AUROC sanity checks. Deterministic
+// per instance under its seed; Predict is safe for concurrent use.
+type Random struct {
+	numClasses int
+	priors     []float64
+	mu         sync.Mutex
+	rng        *rand.Rand
+	fitted     bool
+}
+
+// NewRandom returns an untrained prior-sampling baseline.
+func NewRandom(numClasses int, seed int64) *Random {
+	return &Random{numClasses: numClasses, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Name implements task.Classifier.
+func (m *Random) Name() string { return "random" }
+
+// Fit estimates the training prior.
+func (m *Random) Fit(train []task.Example) error {
+	if len(train) == 0 {
+		return fmt.Errorf("baseline: Random.Fit on empty training set")
+	}
+	counts := make([]float64, m.numClasses)
+	for _, ex := range train {
+		if ex.Label < 0 || ex.Label >= m.numClasses {
+			return fmt.Errorf("baseline: label %d out of range [0,%d)", ex.Label, m.numClasses)
+		}
+		counts[ex.Label]++
+	}
+	m.priors = make([]float64, m.numClasses)
+	for c, n := range counts {
+		m.priors[c] = n / float64(len(train))
+	}
+	m.fitted = true
+	return nil
+}
+
+// Predict implements task.Classifier.
+func (m *Random) Predict(string) (task.Prediction, error) {
+	if !m.fitted {
+		return task.Prediction{}, fmt.Errorf("baseline: Random.Predict before Fit")
+	}
+	m.mu.Lock()
+	r := m.rng.Float64()
+	m.mu.Unlock()
+	acc := 0.0
+	label := m.numClasses - 1
+	for c, p := range m.priors {
+		acc += p
+		if r < acc {
+			label = c
+			break
+		}
+	}
+	scores := make([]float64, m.numClasses)
+	copy(scores, m.priors)
+	return task.Prediction{Label: label, Scores: scores}, nil
+}
+
+// LexiconFeatures is the feature-engineered baseline: each text is
+// mapped to a vector of lexicon scores (all disorder lexicons plus
+// the LIWC-style categories), then classified by nearest class
+// centroid in that score space. This is the classical
+// "psycholinguistic features + simple model" recipe from the
+// pre-PLM literature.
+type LexiconFeatures struct {
+	numClasses int
+	lexicons   []*lexicon.Lexicon
+	means      [][]float64
+	stds       []float64
+	fitted     bool
+}
+
+// NewLexiconFeatures returns an untrained lexicon-feature
+// classifier. If lexs is nil, the full built-in inventory (disorder
+// lexicons + categories) is used.
+func NewLexiconFeatures(numClasses int, lexs []*lexicon.Lexicon) *LexiconFeatures {
+	if lexs == nil {
+		lexs = append([]*lexicon.Lexicon{
+			lexicon.Depression(), lexicon.Anxiety(), lexicon.Stress(),
+			lexicon.SuicidalIdeation(), lexicon.PTSD(),
+			lexicon.EatingDisorder(), lexicon.Bipolar(), lexicon.Neutral(),
+		}, lexicon.Categories()...)
+	}
+	return &LexiconFeatures{numClasses: numClasses, lexicons: lexs}
+}
+
+// Name implements task.Classifier.
+func (m *LexiconFeatures) Name() string { return "lexicon-features" }
+
+func (m *LexiconFeatures) features(text string) []float64 {
+	out := make([]float64, len(m.lexicons))
+	for i, l := range m.lexicons {
+		out[i] = l.ScoreText(text)
+	}
+	return out
+}
+
+// Fit computes per-class mean feature vectors and global per-feature
+// standard deviations for scale-free distance.
+func (m *LexiconFeatures) Fit(train []task.Example) error {
+	if len(train) == 0 {
+		return fmt.Errorf("baseline: LexiconFeatures.Fit on empty training set")
+	}
+	d := len(m.lexicons)
+	m.means = make([][]float64, m.numClasses)
+	counts := make([]int, m.numClasses)
+	for c := range m.means {
+		m.means[c] = make([]float64, d)
+	}
+	all := make([][]float64, 0, len(train))
+	for _, ex := range train {
+		if ex.Label < 0 || ex.Label >= m.numClasses {
+			return fmt.Errorf("baseline: label %d out of range [0,%d)", ex.Label, m.numClasses)
+		}
+		f := m.features(ex.Text)
+		all = append(all, f)
+		for i, v := range f {
+			m.means[ex.Label][i] += v
+		}
+		counts[ex.Label]++
+	}
+	for c := range m.means {
+		if counts[c] == 0 {
+			continue
+		}
+		for i := range m.means[c] {
+			m.means[c][i] /= float64(counts[c])
+		}
+	}
+	// Global per-feature std for normalization.
+	m.stds = make([]float64, d)
+	grand := make([]float64, d)
+	for _, f := range all {
+		for i, v := range f {
+			grand[i] += v
+		}
+	}
+	for i := range grand {
+		grand[i] /= float64(len(all))
+	}
+	for _, f := range all {
+		for i, v := range f {
+			dv := v - grand[i]
+			m.stds[i] += dv * dv
+		}
+	}
+	for i := range m.stds {
+		m.stds[i] = math.Sqrt(m.stds[i] / float64(len(all)))
+		if m.stds[i] == 0 {
+			m.stds[i] = 1
+		}
+	}
+	m.fitted = true
+	return nil
+}
+
+// Predict implements task.Classifier.
+func (m *LexiconFeatures) Predict(text string) (task.Prediction, error) {
+	if !m.fitted {
+		return task.Prediction{}, fmt.Errorf("baseline: LexiconFeatures.Predict before Fit")
+	}
+	f := m.features(text)
+	negDists := make([]float64, m.numClasses)
+	for c := range m.means {
+		d := 0.0
+		for i, v := range f {
+			dv := (v - m.means[c][i]) / m.stds[i]
+			d += dv * dv
+		}
+		negDists[c] = -math.Sqrt(d)
+	}
+	label := argmax(negDists)
+	scores := softmax(negDists)
+	return task.Prediction{Label: label, Scores: scores}, nil
+}

@@ -1,0 +1,288 @@
+package core
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/eval"
+	"repro/internal/task"
+)
+
+func quickEnv() *Env { return &Env{Seed: 2025, Quick: true} }
+
+func TestTableMarkdownAndCSV(t *testing.T) {
+	tb := &Table{
+		ID: "t", Title: "demo",
+		Header: []string{"a", "b"},
+		Notes:  "note",
+	}
+	tb.AddRow("x", "1")
+	tb.AddRow("y,with,commas", "2")
+	md := tb.Markdown()
+	if !strings.Contains(md, "| a") || !strings.Contains(md, "demo") || !strings.Contains(md, "_note_") {
+		t.Errorf("markdown:\n%s", md)
+	}
+	csv := tb.CSV()
+	if !strings.Contains(csv, "\"y,with,commas\"") {
+		t.Errorf("csv quoting broken:\n%s", csv)
+	}
+	if tb.Cell(0, 0) != "x" || tb.Cell(9, 9) != "" {
+		t.Error("Cell accessor broken")
+	}
+	if tb.FindRow("x") != 0 || tb.FindRow("nope") != -1 {
+		t.Error("FindRow broken")
+	}
+}
+
+func TestAddRowPadsAndTruncates(t *testing.T) {
+	tb := &Table{Header: []string{"a", "b", "c"}}
+	tb.AddRow("1")
+	tb.AddRow("1", "2", "3", "4")
+	if len(tb.Rows[0]) != 3 || tb.Rows[0][1] != "" {
+		t.Errorf("padding broken: %v", tb.Rows[0])
+	}
+	if len(tb.Rows[1]) != 3 {
+		t.Errorf("truncation broken: %v", tb.Rows[1])
+	}
+}
+
+func TestSuiteCompleteAndLookup(t *testing.T) {
+	ids := SuiteIDs()
+	want := []string{"ext1", "ext2", "ext3", "ext4", "ext5",
+		"fig1", "fig2", "fig3", "fig4", "fig5", "fig6",
+		"table1", "table2", "table3", "table4", "table5", "table6", "table7"}
+	if len(ids) != len(want) {
+		t.Fatalf("suite ids = %v", ids)
+	}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Errorf("ids[%d] = %s, want %s", i, ids[i], want[i])
+		}
+	}
+	if _, err := LookupExperiment("table2"); err != nil {
+		t.Error(err)
+	}
+	if _, err := LookupExperiment("table99"); err == nil {
+		t.Error("unknown experiment should error")
+	}
+}
+
+func TestEnvCaps(t *testing.T) {
+	env := quickEnv()
+	tk, err := env.buildTask("rsdd-sim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tk.Train) > env.trainCap() {
+		t.Errorf("train %d exceeds cap %d", len(tk.Train), env.trainCap())
+	}
+	if len(tk.Test) > env.testCap() {
+		t.Errorf("test %d exceeds cap %d", len(tk.Test), env.testCap())
+	}
+	if err := tk.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTable1Stats(t *testing.T) {
+	tb, err := table1().Run(quickEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 7 {
+		t.Fatalf("expected 7 dataset rows, got %d", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		n, err := strconv.Atoi(row[1])
+		if err != nil || n <= 0 {
+			t.Errorf("bad post count %q for %s", row[1], row[0])
+		}
+	}
+}
+
+// parseF reads a float cell, failing the test on malformed cells.
+func parseF(t *testing.T, tb *Table, row int, col int) float64 {
+	t.Helper()
+	cell := tb.Cell(row, col)
+	v, err := strconv.ParseFloat(cell, 64)
+	if err != nil {
+		t.Fatalf("cell (%d,%d) = %q not a float in table %s", row, col, cell, tb.ID)
+	}
+	return v
+}
+
+func TestTable2ShapesHold(t *testing.T) {
+	tb, err := table2().Run(quickEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Column 1 is rsdd-sim F1+. The survey's core ordering:
+	// fine-tuned encoder and linear baselines beat zero-shot LLMs;
+	// every real method beats majority.
+	get := func(name string) float64 {
+		i := tb.FindRow(name)
+		if i < 0 {
+			t.Fatalf("method %s missing", name)
+		}
+		return parseF(t, tb, i, 1)
+	}
+	maj := get("majority")
+	lr := get("logistic-regression")
+	enc := get("finetuned-encoder")
+	zs35 := get("gpt-3.5-sim/zero-shot")
+	fs35 := get("gpt-3.5-sim/few-shot-5")
+	if lr <= maj || enc <= maj {
+		t.Errorf("trained methods must beat majority: lr=%.3f enc=%.3f maj=%.3f", lr, enc, maj)
+	}
+	if zs35 <= maj {
+		t.Errorf("zero-shot LLM must beat majority: %.3f vs %.3f", zs35, maj)
+	}
+	if enc < zs35-0.02 {
+		t.Errorf("fine-tuned encoder (%.3f) should not trail zero-shot gpt-3.5 (%.3f) in-domain", enc, zs35)
+	}
+	if fs35 < zs35-0.05 {
+		t.Errorf("few-shot (%.3f) should not trail zero-shot (%.3f) by a wide margin", fs35, zs35)
+	}
+}
+
+func TestTable6PromptAblation(t *testing.T) {
+	tb, err := table6().Run(quickEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 9 {
+		t.Fatalf("expected 9 strategies, got %d", len(tb.Rows))
+	}
+	// few-shot-10 should beat zero-shot.
+	zs := parseF(t, tb, tb.FindRow("gpt-3.5-sim/zero-shot"), 1)
+	fs10 := parseF(t, tb, tb.FindRow("gpt-3.5-sim/few-shot-10"), 1)
+	if fs10 <= zs-0.02 {
+		t.Errorf("few-shot-10 (%.3f) should not trail zero-shot (%.3f)", fs10, zs)
+	}
+}
+
+func TestTable7CostAccounting(t *testing.T) {
+	tb, err := table7().Run(quickEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	row0 := tb.FindRow("gpt-3.5-sim/zero-shot")
+	row10 := tb.FindRow("gpt-3.5-sim/few-shot-10")
+	if row0 < 0 || row10 < 0 {
+		t.Fatalf("missing rows in:\n%s", tb.Markdown())
+	}
+	in0 := parseF(t, tb, row0, 1)
+	in10 := parseF(t, tb, row10, 1)
+	if in10 <= in0 {
+		t.Errorf("few-shot-10 input tokens (%v) must exceed zero-shot (%v)", in10, in0)
+	}
+	// gpt-4 must cost more than gpt-3.5 at the same strategy.
+	c35 := parseF(t, tb, row0, 3)
+	c4 := parseF(t, tb, tb.FindRow("gpt-4-sim/zero-shot"), 3)
+	if c4 <= c35 {
+		t.Errorf("gpt-4 cost (%v) must exceed gpt-3.5 (%v)", c4, c35)
+	}
+}
+
+func TestFig1EmergenceShape(t *testing.T) {
+	tb, err := fig1().Run(quickEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := parseF(t, tb, 0, 1)                // smallest model zero-shot
+	last := parseF(t, tb, len(tb.Rows)-1, 1)    // largest model zero-shot
+	lastCoT := parseF(t, tb, len(tb.Rows)-1, 2) // largest model CoT
+	if last <= first {
+		t.Errorf("zero-shot F1 should rise with scale: %.3f -> %.3f", first, last)
+	}
+	smallCoT := parseF(t, tb, 0, 2)
+	if smallCoT >= lastCoT {
+		t.Errorf("CoT F1 should rise with scale: %.3f -> %.3f", smallCoT, lastCoT)
+	}
+}
+
+func TestFig3CrossoverShape(t *testing.T) {
+	tb, err := fig3().Run(quickEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At the smallest training size, zero-shot gpt-4 should beat the
+	// fine-tuned encoder; at the largest size in the sweep the gap
+	// must close or reverse.
+	encFirst := parseF(t, tb, 0, 2)
+	gpt4First := parseF(t, tb, 0, 4)
+	encLast := parseF(t, tb, len(tb.Rows)-1, 2)
+	gpt4Last := parseF(t, tb, len(tb.Rows)-1, 4)
+	if gpt4First <= encFirst {
+		t.Errorf("at n=10 prompting (%.3f) should beat fine-tuning (%.3f)", gpt4First, encFirst)
+	}
+	if encLast-gpt4Last <= encFirst-gpt4First {
+		t.Errorf("fine-tuning should gain on prompting with more data: gaps %.3f -> %.3f",
+			encFirst-gpt4First, encLast-gpt4Last)
+	}
+}
+
+func TestFig6SelectorShape(t *testing.T) {
+	tb, err := fig6().Run(quickEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	rnd := parseF(t, tb, tb.FindRow("random"), 2)
+	knn := parseF(t, tb, tb.FindRow("knn"), 2)
+	if knn < rnd-0.03 {
+		t.Errorf("knn selection (%.3f) should not trail random (%.3f) meaningfully", knn, rnd)
+	}
+}
+
+func TestRunGridPropagatesErrors(t *testing.T) {
+	env := quickEnv()
+	tk, err := env.buildTask("rsdd-sim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := MethodSpec{Name: "broken", Build: func(*task.Task, int64) (task.Classifier, error) {
+		return nil, strconv.ErrRange
+	}}
+	_, err = runGrid(env, map[string]*task.Task{"d": tk}, []MethodSpec{bad})
+	if err == nil {
+		t.Error("grid must surface build errors")
+	}
+}
+
+func TestRunGridParallelDeterministic(t *testing.T) {
+	env := quickEnv()
+	tk, err := env.buildTask("twitsuicide-sim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	methods := []MethodSpec{BaselineMethods()[2], BaselineMethods()[3]}
+	run := func(par int) map[string]map[string]*eval.Result {
+		e := &Env{Seed: env.Seed, Quick: true, Parallelism: par}
+		grid, err := runGrid(e, map[string]*task.Task{"d": tk}, methods)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return grid
+	}
+	g1 := run(1)
+	g4 := run(4)
+	for _, m := range methods {
+		if g1["d"][m.Name].MacroF1 != g4["d"][m.Name].MacroF1 {
+			t.Errorf("%s: parallelism changed results", m.Name)
+		}
+	}
+}
+
+func TestStandardMethodsNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, m := range StandardMethods("x") {
+		if seen[m.Name] {
+			t.Errorf("duplicate method name %s", m.Name)
+		}
+		seen[m.Name] = true
+	}
+}

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestExt1EarlyDetectionBeatsFloor(t *testing.T) {
+	tb, err := ext1().Run(quickEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	// Never-alarm floor is the positive rate (~0.2); trained monitors
+	// must beat it on ERDE_50 where latency matters less.
+	lr := parseF(t, tb, tb.FindRow("logistic-regression monitor"), 2)
+	if lr >= 0.2 {
+		t.Errorf("LR monitor ERDE_50 = %.3f should beat the ~0.2 never-alarm floor", lr)
+	}
+	// Recall column sanity.
+	rec := parseF(t, tb, tb.FindRow("logistic-regression monitor"), 4)
+	if rec < 0.5 {
+		t.Errorf("LR monitor recall = %.3f implausibly low", rec)
+	}
+}
+
+func TestExt2ParserRobustnessShape(t *testing.T) {
+	tb, err := ext2().Run(quickEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 8 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	// For the small model, robust+retry must fail to parse strictly
+	// fewer completions than strict no-retry, and accuracy must
+	// improve (every recovered answer beats a forced abstention).
+	var strictAcc, robustAcc float64
+	var strictFail, robustFail int
+	for _, row := range tb.Rows {
+		if row[0] != "llama2-7b-sim" {
+			continue
+		}
+		acc, err := strconv.ParseFloat(row[2], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fails, err := strconv.Atoi(strings.SplitN(row[4], "/", 2)[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch row[1] {
+		case "strict, no retry":
+			strictAcc, strictFail = acc, fails
+		case "robust + retry":
+			robustAcc, robustFail = acc, fails
+		}
+	}
+	if robustFail >= strictFail {
+		t.Errorf("robust+retry failures (%d) must be below strict no-retry (%d)", robustFail, strictFail)
+	}
+	if robustAcc <= strictAcc {
+		t.Errorf("robust+retry accuracy (%.3f) must beat strict no-retry (%.3f)", robustAcc, strictAcc)
+	}
+}
+
+func TestExt4AgreementShape(t *testing.T) {
+	tb, err := ext4().Run(quickEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	// Agreement and downstream model quality must both fall as
+	// annotator noise rises.
+	kFirst := parseF(t, tb, 0, 1)
+	kLast := parseF(t, tb, len(tb.Rows)-1, 1)
+	if kFirst <= kLast {
+		t.Errorf("kappa should fall with noise: %.3f -> %.3f", kFirst, kLast)
+	}
+	f1First := parseF(t, tb, 0, 4)
+	f1Last := parseF(t, tb, len(tb.Rows)-1, 4)
+	if f1First <= f1Last {
+		t.Errorf("downstream F1 should fall with noise: %.3f -> %.3f", f1First, f1Last)
+	}
+	// Kappa and alpha must roughly agree.
+	aFirst := parseF(t, tb, 0, 2)
+	if kFirst-aFirst > 0.1 || aFirst-kFirst > 0.1 {
+		t.Errorf("kappa %.3f vs alpha %.3f diverge", kFirst, aFirst)
+	}
+}
+
+func TestExt5SignificanceMatrix(t *testing.T) {
+	tb, err := ext5().Run(quickEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	// Diagonal is "-", matrix is symmetric, p-values in (0,1].
+	for i := range tb.Rows {
+		if tb.Cell(i, i+1) != "-" {
+			t.Errorf("diagonal (%d) = %q", i, tb.Cell(i, i+1))
+		}
+		for j := range tb.Rows {
+			if i == j {
+				continue
+			}
+			pij := tb.Cell(i, j+1)
+			pji := tb.Cell(j, i+1)
+			if pij != pji {
+				t.Errorf("matrix not symmetric at (%d,%d): %s vs %s", i, j, pij, pji)
+			}
+			v, err := strconv.ParseFloat(pij, 64)
+			if err != nil || v <= 0 || v > 1 {
+				t.Errorf("p-value (%d,%d) = %q invalid", i, j, pij)
+			}
+		}
+	}
+}
+
+func TestExt3ExemplarBalanceShape(t *testing.T) {
+	tb, err := ext3().Run(quickEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	balanced := parseF(t, tb, tb.FindRow("class-balanced"), 1)
+	onesided := parseF(t, tb, tb.FindRow("positives only"), 1)
+	if balanced < onesided-0.02 {
+		t.Errorf("balanced exemplars (%.3f) should not trail one-sided (%.3f)", balanced, onesided)
+	}
+}

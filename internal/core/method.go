@@ -1,0 +1,116 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/baseline"
+	"repro/internal/llm"
+	"repro/internal/prompting"
+	"repro/internal/task"
+)
+
+// MethodSpec is one detection method in the benchmark: a display
+// name plus a builder that constructs and fits a classifier for a
+// concrete task. Builders must be deterministic under the provided
+// seed.
+type MethodSpec struct {
+	Name string
+	// Kind is "baseline" or "prompting"; the cost experiment treats
+	// the two differently.
+	Kind string
+	// Build constructs the classifier and fits it on tk.Train.
+	Build func(tk *task.Task, seed int64) (task.Classifier, error)
+}
+
+// fitted fits a trainable on the task's training split and returns it.
+func fitted(clf task.Trainable, tk *task.Task) (task.Classifier, error) {
+	if err := clf.Fit(tk.Train); err != nil {
+		return nil, err
+	}
+	return clf, nil
+}
+
+// BaselineMethods returns the non-LLM methods of the benchmark in
+// report order.
+func BaselineMethods() []MethodSpec {
+	return []MethodSpec{
+		{Name: "majority", Kind: "baseline",
+			Build: func(tk *task.Task, _ int64) (task.Classifier, error) {
+				return fitted(baseline.NewMajority(tk.NumClasses()), tk)
+			}},
+		{Name: "lexicon-features", Kind: "baseline",
+			Build: func(tk *task.Task, _ int64) (task.Classifier, error) {
+				return fitted(baseline.NewLexiconFeatures(tk.NumClasses(), nil), tk)
+			}},
+		{Name: "naive-bayes", Kind: "baseline",
+			Build: func(tk *task.Task, _ int64) (task.Classifier, error) {
+				return fitted(baseline.NewNaiveBayes(tk.NumClasses(), 1.0), tk)
+			}},
+		{Name: "logistic-regression", Kind: "baseline",
+			Build: func(tk *task.Task, seed int64) (task.Classifier, error) {
+				return fitted(baseline.NewLogisticRegression(tk.NumClasses(),
+					baseline.LRConfig{Seed: seed}), tk)
+			}},
+		{Name: "linear-svm", Kind: "baseline",
+			Build: func(tk *task.Task, seed int64) (task.Classifier, error) {
+				return fitted(baseline.NewLinearSVM(tk.NumClasses(),
+					baseline.SVMConfig{Seed: seed}), tk)
+			}},
+		{Name: "finetuned-encoder", Kind: "baseline",
+			Build: func(tk *task.Task, seed int64) (task.Classifier, error) {
+				return fitted(baseline.NewFineTunedEncoder(tk.NumClasses(),
+					baseline.EncoderConfig{Seed: seed}), tk)
+			}},
+	}
+}
+
+// PromptMethod builds a prompting MethodSpec for a model and config.
+// description frames the task inside the prompt.
+func PromptMethod(model string, description string, cfg prompting.Config) MethodSpec {
+	name := model + "/" + cfg.Strategy.String()
+	if cfg.Strategy == prompting.FewShot || cfg.Strategy == prompting.FewShotCoT {
+		k := cfg.K
+		if k == 0 {
+			k = 5
+		}
+		name = fmt.Sprintf("%s-%d", name, k)
+		if cfg.Selector != nil && cfg.Selector.Name() != "random" {
+			name += "-" + cfg.Selector.Name()
+		}
+	}
+	return MethodSpec{
+		Name: name,
+		Kind: "prompting",
+		Build: func(tk *task.Task, seed int64) (task.Classifier, error) {
+			card, err := llm.LookupModel(model)
+			if err != nil {
+				return nil, err
+			}
+			client, err := llm.NewSimClient(card)
+			if err != nil {
+				return nil, err
+			}
+			c := cfg
+			c.Seed = seed
+			clf, err := prompting.New(client, description, tk.LabelNames, c)
+			if err != nil {
+				return nil, err
+			}
+			return fitted(clf, tk)
+		},
+	}
+}
+
+// StandardMethods is the default method set of the headline tables:
+// all baselines plus the surveyed prompting configurations.
+func StandardMethods(description string) []MethodSpec {
+	methods := BaselineMethods()
+	methods = append(methods,
+		PromptMethod("llama2-13b-sim", description, prompting.Config{Strategy: prompting.ZeroShot}),
+		PromptMethod("gpt-3.5-sim", description, prompting.Config{Strategy: prompting.ZeroShot}),
+		PromptMethod("gpt-3.5-sim", description, prompting.Config{Strategy: prompting.FewShot, K: 5}),
+		PromptMethod("gpt-4-sim", description, prompting.Config{Strategy: prompting.ZeroShot}),
+		PromptMethod("gpt-4-sim", description, prompting.Config{Strategy: prompting.ChainOfThought}),
+	)
+	return methods
+}

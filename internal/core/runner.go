@@ -1,0 +1,178 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/corpus"
+	"repro/internal/eval"
+	"repro/internal/task"
+)
+
+// Env carries the run-wide knobs every experiment receives.
+type Env struct {
+	// Seed drives dataset splits, training, and LLM sampling.
+	Seed int64
+	// Quick shrinks datasets so the whole suite runs in seconds
+	// (used by tests and benchmarks); full runs use the registry
+	// sizes.
+	Quick bool
+	// Parallelism bounds concurrent (dataset, method) cells;
+	// 0 means GOMAXPROCS.
+	Parallelism int
+}
+
+// DefaultEnv returns the standard full-run environment.
+func DefaultEnv() *Env { return &Env{Seed: 2025} }
+
+func (e *Env) parallelism() int {
+	if e.Parallelism > 0 {
+		return e.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// trainCap / testCap bound split sizes (0 = unlimited).
+func (e *Env) trainCap() int {
+	if e.Quick {
+		return 300
+	}
+	return 2400
+}
+
+func (e *Env) testCap() int {
+	if e.Quick {
+		return 120
+	}
+	return 500
+}
+
+// buildTask materializes a registry dataset into a task with
+// env-sized splits.
+func (e *Env) buildTask(dataset string) (*task.Task, error) {
+	spec, err := corpus.Lookup(dataset)
+	if err != nil {
+		return nil, err
+	}
+	if e.Quick {
+		spec.N = 700
+	}
+	ds, err := spec.Build()
+	if err != nil {
+		return nil, err
+	}
+	tk, err := ds.Task(0.8, e.Seed)
+	if err != nil {
+		return nil, err
+	}
+	e.capTask(tk)
+	return tk, nil
+}
+
+func (e *Env) capTask(tk *task.Task) {
+	if c := e.trainCap(); c > 0 && len(tk.Train) > c {
+		tk.Train = task.Subsample(tk.Train, c, e.Seed+1)
+	}
+	if c := e.testCap(); c > 0 && len(tk.Test) > c {
+		tk.Test = task.Subsample(tk.Test, c, e.Seed+2)
+	}
+}
+
+// cell is one (dataset, method) evaluation result.
+type cell struct {
+	dataset string
+	method  string
+	res     *eval.Result
+	err     error
+}
+
+// runGrid evaluates every method on every task concurrently (bounded
+// by env parallelism) and returns results keyed by dataset then
+// method. Any cell error fails the grid.
+func runGrid(env *Env, tasks map[string]*task.Task, methods []MethodSpec) (map[string]map[string]*eval.Result, error) {
+	type job struct {
+		dataset string
+		tk      *task.Task
+		m       MethodSpec
+	}
+	var jobs []job
+	for name, tk := range tasks {
+		for _, m := range methods {
+			jobs = append(jobs, job{dataset: name, tk: tk, m: m})
+		}
+	}
+	results := make(chan cell, len(jobs))
+	sem := make(chan struct{}, env.parallelism())
+	var wg sync.WaitGroup
+	for _, j := range jobs {
+		wg.Add(1)
+		go func(j job) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			c := cell{dataset: j.dataset, method: j.m.Name}
+			clf, err := j.m.Build(j.tk, env.Seed)
+			if err != nil {
+				c.err = fmt.Errorf("build %s on %s: %w", j.m.Name, j.dataset, err)
+				results <- c
+				return
+			}
+			res, err := eval.Evaluate(clf, j.tk)
+			if err != nil {
+				c.err = fmt.Errorf("evaluate %s on %s: %w", j.m.Name, j.dataset, err)
+				results <- c
+				return
+			}
+			c.res = res
+			results <- c
+		}(j)
+	}
+	wg.Wait()
+	close(results)
+
+	out := make(map[string]map[string]*eval.Result, len(tasks))
+	for c := range results {
+		if c.err != nil {
+			return nil, c.err
+		}
+		if out[c.dataset] == nil {
+			out[c.dataset] = make(map[string]*eval.Result)
+		}
+		out[c.dataset][c.method] = c.res
+	}
+	return out, nil
+}
+
+// Experiment is one reproducible table or figure.
+type Experiment struct {
+	ID    string // "table1".."table7", "fig1".."fig6"
+	Title string
+	Kind  string // "table" or "figure"
+	Run   func(env *Env) (*Table, error)
+}
+
+// Suite returns every experiment in paper order: the reconstructed
+// tables and figures first, then the extension experiments (early
+// detection and ablations).
+func Suite() []*Experiment {
+	return []*Experiment{
+		table1(), table2(), table3(), table4(), table5(), table6(), table7(),
+		fig1(), fig2(), fig3(), fig4(), fig5(), fig6(),
+		ext1(), ext2(), ext3(), ext4(), ext5(),
+	}
+}
+
+// LookupExperiment finds an experiment by id.
+func LookupExperiment(id string) (*Experiment, error) {
+	for _, e := range Suite() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	ids := make([]string, 0, len(Suite()))
+	for _, e := range Suite() {
+		ids = append(ids, e.ID)
+	}
+	return nil, fmt.Errorf("core: unknown experiment %q (have %v)", id, ids)
+}

@@ -1,0 +1,118 @@
+// Package core is the survey's primary contribution rebuilt as a
+// library: a unified benchmark that runs every detection method over
+// every dataset under one evaluation protocol and regenerates each
+// table and figure of the paper's evaluation section.
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is one rendered experiment result: a titled grid of cells.
+// Figures are represented as tables of their plotted series (x
+// column + one column per series), which is the form the benchmark
+// can assert on and a plotting tool can consume.
+type Table struct {
+	ID     string // experiment id, e.g. "table2" or "fig1"
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  string // provenance / caveats, rendered under the table
+}
+
+// AddRow appends a row (padded or truncated to the header width).
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.Header))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Markdown renders the table as GitHub-flavored markdown.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s: %s\n\n", t.ID, t.Title)
+	if len(t.Header) == 0 {
+		return b.String()
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		b.WriteString("|")
+		for i, c := range cells {
+			fmt.Fprintf(&b, " %-*s |", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Header)
+	b.WriteString("|")
+	for _, w := range widths {
+		b.WriteString(strings.Repeat("-", w+2))
+		b.WriteString("|")
+	}
+	b.WriteString("\n")
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	if t.Notes != "" {
+		fmt.Fprintf(&b, "\n_%s_\n", t.Notes)
+	}
+	return b.String()
+}
+
+// CSV renders the table as RFC-4180-ish CSV (quotes cells containing
+// commas, quotes, or newlines).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString(",")
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+			}
+			b.WriteString(c)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Header)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Cell returns the cell at (row, col), or "" when out of range.
+func (t *Table) Cell(row, col int) string {
+	if row < 0 || row >= len(t.Rows) || col < 0 || col >= len(t.Rows[row]) {
+		return ""
+	}
+	return t.Rows[row][col]
+}
+
+// FindRow returns the index of the first row whose first cell equals
+// name, or -1.
+func (t *Table) FindRow(name string) int {
+	for i, row := range t.Rows {
+		if len(row) > 0 && row[0] == name {
+			return i
+		}
+	}
+	return -1
+}
+
+func f3(x float64) string { return fmt.Sprintf("%.3f", x) }

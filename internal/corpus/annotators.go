@@ -1,0 +1,47 @@
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// AnnotatorPanel simulates a crowd of noisy annotators labelling the
+// same items: each annotator reproduces the gold label with
+// probability (1 - Noise) and otherwise picks a uniformly random
+// other category. This is the standard symmetric-noise annotator
+// model used to study label reliability.
+type AnnotatorPanel struct {
+	Annotators int
+	Noise      float64 // per-annotator error rate in [0,1)
+	Seed       int64
+}
+
+// Annotate produces ratings[item][annotator] for the gold labels.
+func (p AnnotatorPanel) Annotate(gold []int, numClasses int) ([][]int, error) {
+	if p.Annotators < 2 {
+		return nil, fmt.Errorf("corpus: panel needs >= 2 annotators, have %d", p.Annotators)
+	}
+	if p.Noise < 0 || p.Noise >= 1 {
+		return nil, fmt.Errorf("corpus: annotator noise %v out of [0,1)", p.Noise)
+	}
+	if numClasses < 2 {
+		return nil, fmt.Errorf("corpus: panel needs >= 2 classes")
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	out := make([][]int, len(gold))
+	for i, g := range gold {
+		if g < 0 || g >= numClasses {
+			return nil, fmt.Errorf("corpus: gold label %d out of [0,%d)", g, numClasses)
+		}
+		row := make([]int, p.Annotators)
+		for a := range row {
+			if rng.Float64() < p.Noise {
+				row[a] = (g + 1 + rng.Intn(numClasses-1)) % numClasses
+			} else {
+				row[a] = g
+			}
+		}
+		out[i] = row
+	}
+	return out, nil
+}

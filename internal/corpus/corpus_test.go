@@ -1,0 +1,312 @@
+package corpus
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/domain"
+	"repro/internal/lexicon"
+	"repro/internal/task"
+	"repro/internal/textkit"
+)
+
+func TestGeneratorDeterministic(t *testing.T) {
+	g1 := NewGenerator(42, 0.5, StyleReddit)
+	g2 := NewGenerator(42, 0.5, StyleReddit)
+	for i := 0; i < 20; i++ {
+		p1 := g1.Post(domain.Depression, domain.SeverityModerate)
+		p2 := g2.Post(domain.Depression, domain.SeverityModerate)
+		if p1.Text != p2.Text || p1.ID != p2.ID {
+			t.Fatalf("generation not deterministic at %d:\n%q\n%q", i, p1.Text, p2.Text)
+		}
+	}
+}
+
+func TestGeneratorSeedsDiffer(t *testing.T) {
+	p1 := NewGenerator(1, 0.5, StyleReddit).Post(domain.Anxiety, domain.SeverityModerate)
+	p2 := NewGenerator(2, 0.5, StyleReddit).Post(domain.Anxiety, domain.SeverityModerate)
+	if p1.Text == p2.Text {
+		t.Error("different seeds produced identical posts")
+	}
+}
+
+func TestGeneratedPostsCarrySignal(t *testing.T) {
+	// Severe posts must score markedly higher under their own
+	// disorder lexicon than control posts do, for every disorder.
+	for _, d := range domain.ClinicalDisorders() {
+		g := NewGenerator(7, 0.3, StyleReddit)
+		lex := lexicon.MustForDisorder(d)
+		var clinical, control float64
+		for i := 0; i < 50; i++ {
+			clinical += lex.ScoreText(g.Post(d, domain.SeveritySevere).Text)
+			control += lex.ScoreText(g.Post(domain.Control, domain.SeverityNone).Text)
+		}
+		if clinical <= control {
+			t.Errorf("%v: clinical total %.2f <= control total %.2f", d, clinical, control)
+		}
+	}
+}
+
+func TestSeverityMonotoneSignal(t *testing.T) {
+	g := NewGenerator(11, 0.3, StyleReddit)
+	lex := lexicon.SuicidalIdeation()
+	score := func(sev domain.Severity) float64 {
+		total := 0.0
+		for i := 0; i < 80; i++ {
+			total += lex.ScoreText(g.Post(domain.SuicidalIdeation, sev).Text)
+		}
+		return total
+	}
+	low, mod, sev := score(domain.SeverityLow), score(domain.SeverityModerate), score(domain.SeveritySevere)
+	if !(low < mod && mod < sev) {
+		t.Errorf("severity signal not monotone: low=%.2f mod=%.2f severe=%.2f", low, mod, sev)
+	}
+}
+
+func TestTweetStyleShorter(t *testing.T) {
+	gr := NewGenerator(3, 0.5, StyleReddit)
+	gt := NewGenerator(3, 0.5, StyleTweet)
+	var lenR, lenT int
+	for i := 0; i < 50; i++ {
+		lenR += len(gr.Post(domain.Stress, domain.SeverityModerate).Text)
+		lenT += len(gt.Post(domain.Stress, domain.SeverityModerate).Text)
+	}
+	if lenT >= lenR {
+		t.Errorf("tweets (%d) should be shorter than reddit posts (%d)", lenT, lenR)
+	}
+}
+
+func TestDifficultyClamped(t *testing.T) {
+	g := NewGenerator(1, 5.0, StyleReddit)
+	if g.difficulty != 1 {
+		t.Errorf("difficulty = %v, want clamped to 1", g.difficulty)
+	}
+	g = NewGenerator(1, -2, StyleReddit)
+	if g.difficulty != 0 {
+		t.Errorf("difficulty = %v, want clamped to 0", g.difficulty)
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	good := Registry()[0]
+	if err := good.Validate(); err != nil {
+		t.Fatalf("registry spec invalid: %v", err)
+	}
+	bad := good
+	bad.ClassProbs = []float64{0.5}
+	if err := bad.Validate(); err == nil {
+		t.Error("mismatched probs should fail")
+	}
+	bad = good
+	bad.ClassProbs = []float64{0.9, 0.9}
+	if err := bad.Validate(); err == nil {
+		t.Error("probs not summing to 1 should fail")
+	}
+	bad = good
+	bad.N = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("N=0 should fail")
+	}
+	bad = good
+	bad.LabelNoise = 1.0
+	if err := bad.Validate(); err == nil {
+		t.Error("label noise 1.0 should fail")
+	}
+	bad = good
+	bad.Name = ""
+	if err := bad.Validate(); err == nil {
+		t.Error("empty name should fail")
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	spec := Registry()[0]
+	spec.N = 200
+	d1, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, _ := spec.Build()
+	for i := range d1.Posts {
+		if d1.Posts[i].Text != d2.Posts[i].Text || d1.Labels[i] != d2.Labels[i] {
+			t.Fatalf("build not deterministic at %d", i)
+		}
+	}
+}
+
+func TestBuildClassCountsMatchPriors(t *testing.T) {
+	spec := Spec{
+		Name: "t", Kind: KindDisorder,
+		Classes:    []domain.Disorder{domain.Control, domain.Depression},
+		ClassProbs: []float64{0.7, 0.3},
+		N:          2000, Difficulty: 0.3, Seed: 5,
+	}
+	ds, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := task.ClassCounts(ds.Examples(), 2)
+	frac := float64(counts[1]) / float64(spec.N)
+	if frac < 0.25 || frac > 0.35 {
+		t.Errorf("minority fraction %.3f drifted from 0.30", frac)
+	}
+}
+
+func TestLabelNoiseRate(t *testing.T) {
+	// With heavy label noise, labels and generating disorders must
+	// disagree at roughly the configured rate.
+	spec := Spec{
+		Name: "t", Kind: KindDisorder,
+		Classes:    []domain.Disorder{domain.Control, domain.Depression},
+		ClassProbs: []float64{0.5, 0.5},
+		N:          2000, Difficulty: 0, LabelNoise: 0.2, Seed: 8,
+	}
+	ds, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	flips := 0
+	for i, p := range ds.Posts {
+		goldLabel := 0
+		if p.Label == domain.Depression {
+			goldLabel = 1
+		}
+		if goldLabel != ds.Labels[i] {
+			flips++
+		}
+	}
+	rate := float64(flips) / float64(spec.N)
+	if rate < 0.15 || rate > 0.25 {
+		t.Errorf("label-noise rate %.3f drifted from 0.20", rate)
+	}
+}
+
+func TestSplitStratifiedDisjointExhaustive(t *testing.T) {
+	ds := MustBuild("dreaddit-sim")
+	train, test, err := ds.Split(0.8, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(train)+len(test) != len(ds.Posts) {
+		t.Fatalf("split loses examples: %d + %d != %d", len(train), len(test), len(ds.Posts))
+	}
+	// Stratification: class proportions within 5 points of overall.
+	all := task.ClassCounts(ds.Examples(), 2)
+	tr := task.ClassCounts(train, 2)
+	overall := float64(all[1]) / float64(len(ds.Posts))
+	inTrain := float64(tr[1]) / float64(len(train))
+	if diff := overall - inTrain; diff > 0.05 || diff < -0.05 {
+		t.Errorf("stratification drift: overall %.3f train %.3f", overall, inTrain)
+	}
+}
+
+func TestSplitBadFrac(t *testing.T) {
+	ds := MustBuild("dreaddit-sim")
+	for _, f := range []float64{0, 1, -0.5, 1.5} {
+		if _, _, err := ds.Split(f, 1); err == nil {
+			t.Errorf("Split(%v) should fail", f)
+		}
+	}
+}
+
+func TestTaskFromDataset(t *testing.T) {
+	ds := MustBuild("twitsuicide-sim")
+	tk, err := ds.Task(0.8, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tk.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tk.NumClasses() != 2 {
+		t.Errorf("classes = %d", tk.NumClasses())
+	}
+}
+
+func TestRegistryAllBuild(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds all datasets")
+	}
+	for _, spec := range Registry() {
+		spec := spec
+		spec.N = 150 // keep the test fast; Build is linear in N
+		ds, err := spec.Build()
+		if err != nil {
+			t.Errorf("%s: %v", spec.Name, err)
+			continue
+		}
+		st := ds.Stats()
+		if st.N != 150 {
+			t.Errorf("%s: N = %d", spec.Name, st.N)
+		}
+		if st.MeanTokens <= 3 {
+			t.Errorf("%s: mean tokens %.1f suspiciously small", spec.Name, st.MeanTokens)
+		}
+		for lbl, c := range st.ClassCounts {
+			if c == 0 {
+				t.Errorf("%s: class %d (%s) empty", spec.Name, lbl, ds.LabelNames[lbl])
+			}
+		}
+	}
+}
+
+func TestLookup(t *testing.T) {
+	if _, err := Lookup("rsdd-sim"); err != nil {
+		t.Errorf("Lookup(rsdd-sim): %v", err)
+	}
+	if _, err := Lookup("nope"); err == nil {
+		t.Error("expected error for unknown dataset")
+	}
+}
+
+func TestRegistryNamesSorted(t *testing.T) {
+	names := RegistryNames()
+	if len(names) != 7 {
+		t.Fatalf("expected 7 datasets, got %d", len(names))
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Errorf("names not sorted: %v", names)
+		}
+	}
+}
+
+func TestStatsImbalance(t *testing.T) {
+	ds := &Dataset{
+		Name:       "t",
+		LabelNames: []string{"a", "b"},
+		Posts:      []domain.Post{{Text: "x y z"}, {Text: "x"}, {Text: "x"}, {Text: "x"}},
+		Labels:     []int{0, 0, 0, 1},
+	}
+	st := ds.Stats()
+	if st.Imbalance != 3 {
+		t.Errorf("imbalance = %v, want 3", st.Imbalance)
+	}
+	if st.N != 4 || st.NumClasses != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestGeneratedTextTokenizes(t *testing.T) {
+	g := NewGenerator(9, 0.8, StyleReddit)
+	for i := 0; i < 30; i++ {
+		p := g.Post(domain.Bipolar, domain.SeverityModerate)
+		if strings.TrimSpace(p.Text) == "" {
+			t.Fatal("empty post text")
+		}
+		if toks := textkit.Words(textkit.Normalize(p.Text)); len(toks) < 3 {
+			t.Errorf("post too short to be realistic: %q", p.Text)
+		}
+	}
+}
+
+func TestControlPostsHaveNoClinicalTemplates(t *testing.T) {
+	g := NewGenerator(13, 0.0, StyleReddit)
+	lex := lexicon.SuicidalIdeation()
+	for i := 0; i < 50; i++ {
+		p := g.Post(domain.Control, domain.SeverityNone)
+		if s := lex.ScoreText(p.Text); s > 0.5 {
+			t.Errorf("control post carries strong SI signal (%.2f): %q", s, p.Text)
+		}
+	}
+}

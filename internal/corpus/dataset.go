@@ -1,0 +1,278 @@
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/domain"
+	"repro/internal/task"
+	"repro/internal/textkit"
+)
+
+// Kind selects how a Spec's posts map to classification labels.
+type Kind int
+
+const (
+	// KindDisorder labels each post with its disorder class index
+	// (binary detection and multi-disorder classification).
+	KindDisorder Kind = iota
+	// KindSeverity labels each post with a severity level of a single
+	// disorder (risk-grading tasks such as CLPsych a–d).
+	KindSeverity
+)
+
+// Spec declares a synthetic dataset: its classes, size, priors, and
+// noise knobs. Build is deterministic given Seed.
+type Spec struct {
+	Name        string
+	Description string
+	Kind        Kind
+	// Classes lists the disorders for KindDisorder specs. For
+	// KindSeverity specs it holds exactly one disorder whose severity
+	// levels become the classes.
+	Classes []domain.Disorder
+	// SeverityLevels holds the graded levels for KindSeverity specs,
+	// in label order.
+	SeverityLevels []domain.Severity
+	// ClassProbs are the label priors (must sum to ~1 and match the
+	// number of labels).
+	ClassProbs []float64
+	N          int     // number of posts
+	Difficulty float64 // 0–1; see Generator
+	LabelNoise float64 // probability a gold label is corrupted
+	Style      Style
+	Seed       int64
+}
+
+// NumLabels returns how many classes the spec defines.
+func (s Spec) NumLabels() int {
+	if s.Kind == KindSeverity {
+		return len(s.SeverityLevels)
+	}
+	return len(s.Classes)
+}
+
+// LabelNames returns the class names in label order.
+func (s Spec) LabelNames() []string {
+	if s.Kind == KindSeverity {
+		out := make([]string, len(s.SeverityLevels))
+		for i, sv := range s.SeverityLevels {
+			out[i] = sv.String()
+		}
+		return out
+	}
+	out := make([]string, len(s.Classes))
+	for i, d := range s.Classes {
+		out[i] = d.String()
+	}
+	return out
+}
+
+// Validate checks the spec is internally consistent.
+func (s Spec) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("corpus: spec with empty name")
+	}
+	n := s.NumLabels()
+	if n < 2 {
+		return fmt.Errorf("corpus %s: need >= 2 labels, have %d", s.Name, n)
+	}
+	if len(s.ClassProbs) != n {
+		return fmt.Errorf("corpus %s: %d class probs for %d labels", s.Name, len(s.ClassProbs), n)
+	}
+	sum := 0.0
+	for _, p := range s.ClassProbs {
+		if p < 0 {
+			return fmt.Errorf("corpus %s: negative class prob", s.Name)
+		}
+		sum += p
+	}
+	if sum < 0.99 || sum > 1.01 {
+		return fmt.Errorf("corpus %s: class probs sum to %v", s.Name, sum)
+	}
+	if s.Kind == KindSeverity && len(s.Classes) != 1 {
+		return fmt.Errorf("corpus %s: severity specs need exactly one disorder", s.Name)
+	}
+	if s.N <= 0 {
+		return fmt.Errorf("corpus %s: N = %d", s.Name, s.N)
+	}
+	if s.LabelNoise < 0 || s.LabelNoise >= 1 {
+		return fmt.Errorf("corpus %s: label noise %v out of [0,1)", s.Name, s.LabelNoise)
+	}
+	return nil
+}
+
+// Dataset is a materialized synthetic corpus.
+type Dataset struct {
+	Name        string
+	Description string
+	LabelNames  []string
+	Posts       []domain.Post
+	Labels      []int // task label per post (after label noise)
+}
+
+// Build materializes the spec into a dataset.
+func (s Spec) Build() (*Dataset, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	gen := NewGenerator(s.Seed, s.Difficulty, s.Style)
+	noiseRNG := rand.New(rand.NewSource(s.Seed + 1))
+
+	ds := &Dataset{
+		Name:        s.Name,
+		Description: s.Description,
+		LabelNames:  s.LabelNames(),
+		Posts:       make([]domain.Post, 0, s.N),
+		Labels:      make([]int, 0, s.N),
+	}
+	numLabels := s.NumLabels()
+	for i := 0; i < s.N; i++ {
+		label := sampleLabel(noiseRNG, s.ClassProbs)
+		var post domain.Post
+		if s.Kind == KindSeverity {
+			sev := s.SeverityLevels[label]
+			d := s.Classes[0]
+			if sev == domain.SeverityNone {
+				d = domain.Control // no-risk class posts read as control
+			}
+			post = gen.Post(d, sev)
+		} else {
+			d := s.Classes[label]
+			sev := sampleSeverityForDetection(noiseRNG, d)
+			post = gen.Post(d, sev)
+		}
+		if s.LabelNoise > 0 && noiseRNG.Float64() < s.LabelNoise {
+			label = (label + 1 + noiseRNG.Intn(numLabels-1)) % numLabels
+		}
+		ds.Posts = append(ds.Posts, post)
+		ds.Labels = append(ds.Labels, label)
+	}
+	return ds, nil
+}
+
+func sampleLabel(rng *rand.Rand, probs []float64) int {
+	r := rng.Float64()
+	acc := 0.0
+	for i, p := range probs {
+		acc += p
+		if r < acc {
+			return i
+		}
+	}
+	return len(probs) - 1
+}
+
+// sampleSeverityForDetection draws the latent severity of a clinical
+// post in a detection task: most diagnosed users write moderate
+// posts, some low, some severe.
+func sampleSeverityForDetection(rng *rand.Rand, d domain.Disorder) domain.Severity {
+	if d == domain.Control {
+		return domain.SeverityNone
+	}
+	r := rng.Float64()
+	switch {
+	case r < 0.25:
+		return domain.SeverityLow
+	case r < 0.8:
+		return domain.SeverityModerate
+	default:
+		return domain.SeveritySevere
+	}
+}
+
+// Examples converts the dataset to task examples (text + label).
+func (d *Dataset) Examples() []task.Example {
+	out := make([]task.Example, len(d.Posts))
+	for i, p := range d.Posts {
+		out[i] = task.Example{Text: p.Text, Label: d.Labels[i]}
+	}
+	return out
+}
+
+// Split partitions the dataset into stratified train/test example
+// sets. trainFrac must be in (0,1). The split is deterministic under
+// seed and class-stratified: each class is split independently.
+func (d *Dataset) Split(trainFrac float64, seed int64) (train, test []task.Example, err error) {
+	if trainFrac <= 0 || trainFrac >= 1 {
+		return nil, nil, fmt.Errorf("corpus %s: trainFrac %v out of (0,1)", d.Name, trainFrac)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	byClass := make(map[int][]task.Example)
+	for i, p := range d.Posts {
+		lbl := d.Labels[i]
+		byClass[lbl] = append(byClass[lbl], task.Example{Text: p.Text, Label: lbl})
+	}
+	for lbl := 0; lbl < len(d.LabelNames); lbl++ {
+		exs := byClass[lbl]
+		rng.Shuffle(len(exs), func(i, j int) { exs[i], exs[j] = exs[j], exs[i] })
+		cut := int(trainFrac * float64(len(exs)))
+		train = append(train, exs[:cut]...)
+		test = append(test, exs[cut:]...)
+	}
+	rng.Shuffle(len(train), func(i, j int) { train[i], train[j] = train[j], train[i] })
+	rng.Shuffle(len(test), func(i, j int) { test[i], test[j] = test[j], test[i] })
+	return train, test, nil
+}
+
+// Task builds a task.Task from the dataset with the given split.
+func (d *Dataset) Task(trainFrac float64, seed int64) (*task.Task, error) {
+	train, test, err := d.Split(trainFrac, seed)
+	if err != nil {
+		return nil, err
+	}
+	t := &task.Task{
+		Name:        d.Name,
+		Description: d.Description,
+		LabelNames:  append([]string(nil), d.LabelNames...),
+		Train:       train,
+		Test:        test,
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Stats summarizes a dataset for reporting (table 1).
+type Stats struct {
+	Name        string
+	N           int
+	NumClasses  int
+	ClassCounts []int
+	// Imbalance is majority/minority class-count ratio.
+	Imbalance float64
+	// MeanTokens is the average post length in word tokens.
+	MeanTokens float64
+}
+
+// Stats computes summary statistics.
+func (d *Dataset) Stats() Stats {
+	st := Stats{
+		Name:        d.Name,
+		N:           len(d.Posts),
+		NumClasses:  len(d.LabelNames),
+		ClassCounts: make([]int, len(d.LabelNames)),
+	}
+	totalTokens := 0
+	for i, p := range d.Posts {
+		st.ClassCounts[d.Labels[i]]++
+		totalTokens += len(textkit.Words(textkit.Normalize(p.Text)))
+	}
+	if len(d.Posts) > 0 {
+		st.MeanTokens = float64(totalTokens) / float64(len(d.Posts))
+	}
+	minC, maxC := -1, 0
+	for _, c := range st.ClassCounts {
+		if c > maxC {
+			maxC = c
+		}
+		if minC == -1 || c < minC {
+			minC = c
+		}
+	}
+	if minC > 0 {
+		st.Imbalance = float64(maxC) / float64(minC)
+	}
+	return st
+}

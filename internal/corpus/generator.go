@@ -1,0 +1,271 @@
+// Package corpus synthesizes labelled social-media datasets for the
+// mhd benchmark.
+//
+// Real mental-health corpora (Dreaddit, RSDD, SMHD, CLPsych, eRisk,
+// …) are gated behind IRB agreements and cannot ship with an
+// open-source reproduction, so the package generates synthetic
+// stand-ins whose statistical shape matches the published dataset
+// cards: class priors, post lengths, lexical signal planted from the
+// disorder lexicons at severity- and difficulty-calibrated rates,
+// label noise, and typo noise. Generation is fully deterministic
+// under a Spec's seed.
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/domain"
+	"repro/internal/lexicon"
+)
+
+// Style selects the register of generated posts.
+type Style int
+
+const (
+	// StyleReddit produces multi-sentence posts (2–5 sentences).
+	StyleReddit Style = iota
+	// StyleTweet produces short posts (1–2 sentences).
+	StyleTweet
+)
+
+// Generator produces synthetic posts. It is not safe for concurrent
+// use; create one per goroutine (construction is cheap).
+type Generator struct {
+	rng        *rand.Rand
+	difficulty float64 // 0 = blatant signal, 1 = heavily obscured
+	style      Style
+	nextID     int
+}
+
+// NewGenerator returns a generator with the given seed, difficulty
+// in [0,1], and style. Difficulty outside [0,1] is clamped.
+func NewGenerator(seed int64, difficulty float64, style Style) *Generator {
+	if difficulty < 0 {
+		difficulty = 0
+	}
+	if difficulty > 1 {
+		difficulty = 1
+	}
+	return &Generator{
+		rng:        rand.New(rand.NewSource(seed)),
+		difficulty: difficulty,
+		style:      style,
+	}
+}
+
+// Post generates one post with the given gold disorder and severity.
+// For d == domain.Control the severity is ignored and a control post
+// is produced.
+func (g *Generator) Post(d domain.Disorder, sev domain.Severity) domain.Post {
+	g.nextID++
+	return domain.Post{
+		ID:       fmt.Sprintf("p%06d", g.nextID),
+		Source:   sourceFor(d),
+		Text:     g.text(d, sev),
+		Label:    d,
+		Severity: sev,
+	}
+}
+
+func sourceFor(d domain.Disorder) string {
+	switch d {
+	case domain.Control:
+		return "r/CasualConversation"
+	case domain.Depression:
+		return "r/depression"
+	case domain.Anxiety:
+		return "r/Anxiety"
+	case domain.Stress:
+		return "r/Stress"
+	case domain.SuicidalIdeation:
+		return "r/SuicideWatch"
+	case domain.PTSD:
+		return "r/ptsd"
+	case domain.EatingDisorder:
+		return "r/EatingDisorders"
+	case domain.Bipolar:
+		return "r/bipolar"
+	}
+	return "r/all"
+}
+
+// text assembles the post body: a mix of signal sentences (drawn
+// from the disorder's templates, slots filled with severity-gated
+// lexicon terms) and neutral filler, with difficulty-scaled typo
+// noise and cross-disorder confuser sentences.
+func (g *Generator) text(d domain.Disorder, sev domain.Severity) string {
+	nSent := g.sentenceCount()
+	nSignal := g.signalCount(d, sev, nSent)
+
+	sentences := make([]string, 0, nSent)
+	for i := 0; i < nSent; i++ {
+		switch {
+		case i < nSignal:
+			sentences = append(sentences, g.signalSentence(d, sev))
+		case d != domain.Control && g.rng.Float64() < g.difficulty*0.35:
+			// Confuser: a sentence from a *different* disorder's
+			// low-intensity vocabulary, making classes overlap.
+			sentences = append(sentences, g.signalSentence(g.otherDisorder(d), domain.SeverityLow))
+		case d == domain.Control && g.rng.Float64() < g.difficulty*0.5:
+			sentences = append(sentences, g.mildNegativeSentence())
+		default:
+			sentences = append(sentences, g.neutralSentence())
+		}
+	}
+	g.rng.Shuffle(len(sentences), func(i, j int) {
+		sentences[i], sentences[j] = sentences[j], sentences[i]
+	})
+	body := strings.Join(sentences, ". ") + "."
+	return g.injectTypos(body)
+}
+
+func (g *Generator) sentenceCount() int {
+	if g.style == StyleTweet {
+		return 1 + g.rng.Intn(2) // 1–2
+	}
+	return 2 + g.rng.Intn(4) // 2–5
+}
+
+// signalCount decides how many sentences carry diagnostic signal.
+// Severity raises it; difficulty lowers it. Control posts carry none.
+func (g *Generator) signalCount(d domain.Disorder, sev domain.Severity, nSent int) int {
+	if d == domain.Control {
+		return 0
+	}
+	base := 0.0
+	switch sev {
+	case domain.SeverityNone:
+		base = 0.1
+	case domain.SeverityLow:
+		base = 0.4
+	case domain.SeverityModerate:
+		base = 0.65
+	case domain.SeveritySevere:
+		base = 1.0
+	}
+	frac := base * (1 - 0.45*g.difficulty)
+	n := int(frac*float64(nSent) + g.rng.Float64())
+	if sev == domain.SeveritySevere && n < nSent {
+		n++ // severe posts carry an extra cue sentence
+	}
+	if n > nSent {
+		n = nSent
+	}
+	if n == 0 && sev >= domain.SeverityModerate {
+		n = 1 // moderate+ posts always carry at least one cue
+	}
+	return n
+}
+
+func (g *Generator) otherDisorder(d domain.Disorder) domain.Disorder {
+	clinical := domain.ClinicalDisorders()
+	for {
+		o := clinical[g.rng.Intn(len(clinical))]
+		if o != d {
+			return o
+		}
+	}
+}
+
+// signalSentence instantiates a disorder template with severity-gated
+// lexicon terms.
+func (g *Generator) signalSentence(d domain.Disorder, sev domain.Severity) string {
+	tpls := signalTemplates[d]
+	if len(tpls) == 0 {
+		return g.neutralSentence()
+	}
+	tpl := tpls[g.rng.Intn(len(tpls))]
+	lex := lexicon.MustForDisorder(d)
+	nSlots := countSlots(tpl)
+	args := make([]any, nSlots)
+	for i := range args {
+		args[i] = g.sampleTerm(lex, sev)
+	}
+	return fmt.Sprintf(tpl, args...)
+}
+
+// sampleTerm draws a lexicon term by weight, restricted to the
+// severity's weight band so low-severity posts use hedged vocabulary
+// and severe posts use the highest-salience phrases.
+func (g *Generator) sampleTerm(lex *lexicon.Lexicon, sev domain.Severity) string {
+	lo, hi := severityBand(sev)
+	entries := lex.Entries()
+	candidates := entries[:0:0]
+	total := 0.0
+	for _, e := range entries {
+		if e.Weight >= lo && e.Weight <= hi {
+			candidates = append(candidates, e)
+			total += e.Weight
+		}
+	}
+	if len(candidates) == 0 {
+		candidates = entries
+		for _, e := range entries {
+			total += e.Weight
+		}
+	}
+	r := g.rng.Float64() * total
+	for _, e := range candidates {
+		r -= e.Weight
+		if r <= 0 {
+			return e.Term
+		}
+	}
+	return candidates[len(candidates)-1].Term
+}
+
+// severityBand maps a severity to the lexicon weight range sampled.
+func severityBand(sev domain.Severity) (lo, hi float64) {
+	switch sev {
+	case domain.SeverityNone:
+		return 0.0, 0.45
+	case domain.SeverityLow:
+		return 0.05, 0.55
+	case domain.SeverityModerate:
+		return 0.45, 0.8
+	default: // SeveritySevere
+		return 0.8, 1.0
+	}
+}
+
+func (g *Generator) neutralSentence() string {
+	tpl := neutralTemplates[g.rng.Intn(len(neutralTemplates))]
+	lex := lexicon.Neutral()
+	nSlots := countSlots(tpl)
+	args := make([]any, nSlots)
+	for i := range args {
+		args[i] = g.sampleTerm(lex, domain.SeverityNone)
+	}
+	return fmt.Sprintf(tpl, args...)
+}
+
+func (g *Generator) mildNegativeSentence() string {
+	tpl := mildNegativeTemplates[g.rng.Intn(len(mildNegativeTemplates))]
+	nSlots := countSlots(tpl)
+	args := make([]any, nSlots)
+	for i := range args {
+		args[i] = g.sampleTerm(lexicon.Neutral(), domain.SeverityNone)
+	}
+	return fmt.Sprintf(tpl, args...)
+}
+
+// injectTypos swaps adjacent characters inside words at a
+// difficulty-scaled rate, simulating the typo noise of real posts.
+func (g *Generator) injectTypos(s string) string {
+	p := g.difficulty * 0.02
+	if p == 0 {
+		return s
+	}
+	b := []byte(s)
+	for i := 0; i+1 < len(b); i++ {
+		if isLowerAlpha(b[i]) && isLowerAlpha(b[i+1]) && g.rng.Float64() < p {
+			b[i], b[i+1] = b[i+1], b[i]
+			i += 2
+		}
+	}
+	return string(b)
+}
+
+func isLowerAlpha(c byte) bool { return c >= 'a' && c <= 'z' }

@@ -1,0 +1,149 @@
+package corpus
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/domain"
+)
+
+// Registry returns the benchmark dataset specifications: synthetic
+// reconstructions of the seven public corpora the survey spans.
+// Sizes, class priors, and styles mirror the published dataset
+// cards; difficulty and noise were calibrated so that classical
+// baselines land in the literature's accuracy range rather than
+// saturating.
+func Registry() []Spec {
+	return []Spec{
+		{
+			Name:        "dreaddit-sim",
+			Description: "Stress detection on Reddit posts (Dreaddit-style binary task)",
+			Kind:        KindDisorder,
+			Classes:     []domain.Disorder{domain.Control, domain.Stress},
+			ClassProbs:  []float64{0.48, 0.52},
+			N:           3000,
+			Difficulty:  0.55,
+			LabelNoise:  0.05,
+			Style:       StyleReddit,
+			Seed:        101,
+		},
+		{
+			Name:        "rsdd-sim",
+			Description: "Depression detection on Reddit (RSDD-style, self-reported diagnosis)",
+			Kind:        KindDisorder,
+			Classes:     []domain.Disorder{domain.Control, domain.Depression},
+			ClassProbs:  []float64{0.75, 0.25},
+			N:           4000,
+			Difficulty:  0.5,
+			LabelNoise:  0.03,
+			Style:       StyleReddit,
+			Seed:        102,
+		},
+		{
+			Name:        "erisk-sim",
+			Description: "Early-risk depression detection (eRisk-style, harder register)",
+			Kind:        KindDisorder,
+			Classes:     []domain.Disorder{domain.Control, domain.Depression},
+			ClassProbs:  []float64{0.8, 0.2},
+			N:           2500,
+			Difficulty:  0.65,
+			LabelNoise:  0.04,
+			Style:       StyleReddit,
+			Seed:        103,
+		},
+		{
+			Name:        "depsign-sim",
+			Description: "Depression severity grading (DepSign/LT-EDI-style 3-level task)",
+			Kind:        KindSeverity,
+			Classes:     []domain.Disorder{domain.Depression},
+			SeverityLevels: []domain.Severity{
+				domain.SeverityNone, domain.SeverityModerate, domain.SeveritySevere,
+			},
+			ClassProbs: []float64{0.45, 0.35, 0.2},
+			N:          3000,
+			Difficulty: 0.55,
+			LabelNoise: 0.06,
+			Style:      StyleReddit,
+			Seed:       104,
+		},
+		{
+			Name:        "smhd-sim",
+			Description: "Multi-disorder classification (SMHD-style, 6 conditions + control)",
+			Kind:        KindDisorder,
+			Classes: []domain.Disorder{
+				domain.Control, domain.Depression, domain.Anxiety,
+				domain.PTSD, domain.EatingDisorder, domain.Bipolar,
+			},
+			ClassProbs: []float64{0.25, 0.2, 0.2, 0.12, 0.11, 0.12},
+			N:          4800,
+			Difficulty: 0.6,
+			LabelNoise: 0.05,
+			Style:      StyleReddit,
+			Seed:       105,
+		},
+		{
+			Name:        "clpsych-sim",
+			Description: "Suicide-risk severity grading (CLPsych-style 4-level a-d scale)",
+			Kind:        KindSeverity,
+			Classes:     []domain.Disorder{domain.SuicidalIdeation},
+			SeverityLevels: []domain.Severity{
+				domain.SeverityNone, domain.SeverityLow,
+				domain.SeverityModerate, domain.SeveritySevere,
+			},
+			ClassProbs: []float64{0.45, 0.25, 0.18, 0.12},
+			N:          2000,
+			Difficulty: 0.6,
+			LabelNoise: 0.07,
+			Style:      StyleReddit,
+			Seed:       106,
+		},
+		{
+			Name:        "twitsuicide-sim",
+			Description: "Suicidal-ideation detection on short posts (Twitter-style binary)",
+			Kind:        KindDisorder,
+			Classes:     []domain.Disorder{domain.Control, domain.SuicidalIdeation},
+			ClassProbs:  []float64{0.85, 0.15},
+			N:           3000,
+			Difficulty:  0.5,
+			LabelNoise:  0.04,
+			Style:       StyleTweet,
+			Seed:        107,
+		},
+	}
+}
+
+// Lookup returns the registry spec with the given name.
+func Lookup(name string) (Spec, error) {
+	for _, s := range Registry() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	names := RegistryNames()
+	return Spec{}, fmt.Errorf("corpus: unknown dataset %q (have %v)", name, names)
+}
+
+// MustBuild builds the named registry dataset, panicking on registry
+// bugs (the registry is static, so failure is programmer error).
+func MustBuild(name string) *Dataset {
+	spec, err := Lookup(name)
+	if err != nil {
+		panic(err)
+	}
+	ds, err := spec.Build()
+	if err != nil {
+		panic(err)
+	}
+	return ds
+}
+
+// RegistryNames returns the sorted dataset names.
+func RegistryNames() []string {
+	specs := Registry()
+	names := make([]string, len(specs))
+	for i, s := range specs {
+		names[i] = s.Name
+	}
+	sort.Strings(names)
+	return names
+}

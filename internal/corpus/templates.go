@@ -1,0 +1,154 @@
+package corpus
+
+import "repro/internal/domain"
+
+// A template is a sentence skeleton with %s slots that the generator
+// fills with lexicon terms. Signal templates take disorder-lexicon
+// terms; neutral templates take neutral-lexicon terms. Slot counts
+// are fixed per template string (counted at init).
+//
+// The phrasing imitates first-person social-media register: hedges,
+// lowercase style is applied later by normalization in consumers,
+// and first-person-singular density is deliberately higher in
+// clinical templates (a replicated corpus-level marker).
+
+var signalTemplates = map[domain.Disorder][]string{
+	domain.Depression: {
+		"i feel so %s lately and i dont know why",
+		"everything feels %s and i cant shake it",
+		"another day of feeling %s and %s",
+		"i have been %s for weeks now",
+		"honestly i just feel %s all the time",
+		"woke up feeling %s again, its like %s never ends",
+		"my therapist asked how i was and all i could say was %s",
+		"i used to love this stuff but now its all %s",
+		"cant remember the last time i didnt feel %s",
+		"the %s is getting worse and im scared it wont stop",
+		"tried to explain the %s to my mom but she doesnt get it",
+		"its 3am and the %s wont let me sleep",
+	},
+	domain.Anxiety: {
+		"my %s has been through the roof this week",
+		"had another %s at work today, had to leave early",
+		"i keep %s about things that will probably never happen",
+		"the %s before every meeting is unbearable",
+		"cant stop the %s no matter what i try",
+		"my chest gets tight and the %s takes over",
+		"spent the whole night %s about tomorrow",
+		"the what ifs and %s are ruining my life",
+		"even small things trigger the %s now",
+		"doctor says its %s but it feels like im dying",
+		"i cancelled again because the %s won",
+		"breathing exercises barely touch the %s anymore",
+	},
+	domain.Stress: {
+		"the %s at work is crushing me this month",
+		"between the %s and the %s i have no time to breathe",
+		"my boss keeps adding to the %s and i cant keep up",
+		"the %s is piling up and im at my %s",
+		"juggling %s and family stuff is wearing me down",
+		"one more %s and i swear im going to lose it",
+		"the %s never stops, even on weekends",
+		"im so %s i cant even think straight",
+		"bills, %s, deadlines, it never ends",
+		"finals week and the %s is unreal",
+		"caring for my mom plus the %s at my job is too much",
+		"i snapped at my kids because of the %s, feel awful",
+	},
+	domain.SuicidalIdeation: {
+		"i keep thinking about %s and it scares me",
+		"some nights i just %s and i dont tell anyone",
+		"ive been having thoughts of %s again",
+		"i wrote about %s in my journal last night",
+		"honestly lately i %s more than i want to admit",
+		"i told the hotline i %s and they kept me on the line",
+		"the thoughts of %s come and go but theyre louder now",
+		"i dont have a plan but i %s constantly",
+		"everyone would be fine if i just %s",
+		"im tired, i %s, and im running out of reasons",
+		"been researching %s and i know thats a bad sign",
+		"i keep my %s thoughts to myself because no one would understand",
+	},
+	domain.PTSD: {
+		"the %s came back last night, couldnt breathe",
+		"ever since it happened the %s wont stop",
+		"a car backfired and the %s hit me instantly",
+		"i keep %s the whole thing over and over",
+		"my therapist says the %s is part of the healing",
+		"crowds set off my %s so i stay home now",
+		"the %s are worse around the anniversary",
+		"i was fine all day then a smell triggered the %s",
+		"sleep means %s so i avoid sleeping",
+		"started emdr for the %s, its brutal but helping",
+		"im always %s, scanning every room for exits",
+		"the %s makes me feel like im back there again",
+	},
+	domain.EatingDisorder: {
+		"i spent the whole day %s and counting %s",
+		"relapsed into %s again after three good weeks",
+		"the %s before every meal is exhausting",
+		"i keep %s in the mirror and hating what i see",
+		"skipped lunch again, the %s is winning",
+		"my dietitian noticed the %s and now everyone knows",
+		"cant stop %s even though i know its hurting me",
+		"the scale said i %s and i spiraled all day",
+		"hiding my %s from my roommate is getting harder",
+		"ate dinner with family then spent an hour %s",
+		"the %s rules my whole schedule now",
+		"recovery is hard when the %s thoughts never stop",
+	},
+	domain.Bipolar: {
+		"pretty sure im heading into another %s",
+		"three days of no sleep and %s, here we go again",
+		"the %s felt amazing until the crash came",
+		"my psychiatrist adjusted my %s after the last %s",
+		"spent my whole paycheck during the %s last week",
+		"i can feel the %s starting, thoughts going a mile a minute",
+		"the swing from %s to rock bottom took two days",
+		"started six projects during the %s, finished none",
+		"my family can tell the %s is back before i can",
+		"missed my %s for a week and now everything is chaos",
+		"the %s makes me feel invincible and thats the danger",
+		"coming down from the %s is the worst part",
+	},
+}
+
+// neutralTemplates compose control posts and filler sentences inside
+// clinical posts.
+var neutralTemplates = []string{
+	"spent the %s trying a new %s and it turned out great",
+	"anyone have %s for a good %s around here",
+	"finally finished the %s ive been working on",
+	"took the %s to the park, perfect weather for it",
+	"the %s last night was honestly amazing",
+	"started a new %s this week, really enjoying it so far",
+	"made %s for the first time and the family loved it",
+	"planning a %s next month, any tips welcome",
+	"my %s just hit a new personal best",
+	"picked up %s again after years, forgot how fun it is",
+	"the new %s episode did not disappoint",
+	"got tickets to the %s, counting down the days",
+	"rearranged the %s and the place feels brand new",
+	"tried that %s place downtown, totally worth it",
+}
+
+// mildNegativeTemplates give control posts everyday grumbles so the
+// control class is not trivially separable (difficulty knob).
+var mildNegativeTemplates = []string{
+	"long day, traffic was terrible and i forgot my %s",
+	"kind of a rough week but the %s helped",
+	"ugh my %s got cancelled, annoying",
+	"tired after the %s but it was worth it",
+	"monday again, at least theres %s tonight",
+}
+
+// countSlots returns the number of %s slots in a template.
+func countSlots(tpl string) int {
+	n := 0
+	for i := 0; i+1 < len(tpl); i++ {
+		if tpl[i] == '%' && tpl[i+1] == 's' {
+			n++
+		}
+	}
+	return n
+}

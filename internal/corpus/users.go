@@ -1,0 +1,107 @@
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/domain"
+)
+
+// UserSpec declares a user-level dataset: each user has a posting
+// history, and the diagnosis label applies to the user, not to any
+// single post. This is the eRisk-style early-detection setting,
+// where systems read a user's posts in order and may raise an alarm
+// at any point.
+type UserSpec struct {
+	Name        string
+	Description string
+	// Positive is the diagnosed condition; negatives are Control.
+	Positive domain.Disorder
+	// Users is the number of users; PosRate the diagnosed fraction.
+	Users   int
+	PosRate float64
+	// PostsPerUser bounds history length (uniform in [Min, Max]).
+	MinPosts, MaxPosts int
+	// SignalRate is the fraction of a diagnosed user's posts that
+	// carry clinical signal; the rest are ordinary posts (diagnosed
+	// people mostly post about everyday life).
+	SignalRate float64
+	Difficulty float64
+	Seed       int64
+}
+
+// Validate checks the spec.
+func (s UserSpec) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("corpus: user spec with empty name")
+	}
+	if s.Users <= 0 {
+		return fmt.Errorf("corpus %s: Users = %d", s.Name, s.Users)
+	}
+	if s.PosRate <= 0 || s.PosRate >= 1 {
+		return fmt.Errorf("corpus %s: PosRate %v out of (0,1)", s.Name, s.PosRate)
+	}
+	if s.MinPosts <= 0 || s.MaxPosts < s.MinPosts {
+		return fmt.Errorf("corpus %s: post bounds [%d,%d]", s.Name, s.MinPosts, s.MaxPosts)
+	}
+	if s.SignalRate <= 0 || s.SignalRate > 1 {
+		return fmt.Errorf("corpus %s: SignalRate %v out of (0,1]", s.Name, s.SignalRate)
+	}
+	return nil
+}
+
+// BuildUsers materializes the user histories. Deterministic under
+// the spec seed.
+func (s UserSpec) BuildUsers() ([]domain.User, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(s.Seed))
+	gen := NewGenerator(s.Seed+1, s.Difficulty, StyleReddit)
+	users := make([]domain.User, 0, s.Users)
+	for i := 0; i < s.Users; i++ {
+		u := domain.User{ID: fmt.Sprintf("u%05d", i), Label: domain.Control}
+		if rng.Float64() < s.PosRate {
+			u.Label = s.Positive
+		}
+		n := s.MinPosts + rng.Intn(s.MaxPosts-s.MinPosts+1)
+		for j := 0; j < n; j++ {
+			d := domain.Control
+			sev := domain.SeverityNone
+			if u.Label != domain.Control && rng.Float64() < s.SignalRate {
+				d = u.Label
+				// Signal intensity drifts upward through the
+				// history: early posts hint, later posts state.
+				frac := float64(j) / float64(n)
+				switch {
+				case frac < 0.35:
+					sev = domain.SeverityLow
+				case frac < 0.75:
+					sev = domain.SeverityModerate
+				default:
+					sev = domain.SeveritySevere
+				}
+			}
+			u.Append(gen.Post(d, sev))
+		}
+		users = append(users, u)
+	}
+	return users, nil
+}
+
+// ERiskUsers returns the default user-level early-detection corpus:
+// depression diagnosis over Reddit-style histories.
+func ERiskUsers() UserSpec {
+	return UserSpec{
+		Name:        "erisk-users-sim",
+		Description: "User-level early depression detection (eRisk-style histories)",
+		Positive:    domain.Depression,
+		Users:       300,
+		PosRate:     0.2,
+		MinPosts:    8,
+		MaxPosts:    24,
+		SignalRate:  0.45,
+		Difficulty:  0.55,
+		Seed:        211,
+	}
+}

@@ -1,0 +1,182 @@
+// Package domain defines the core vocabulary of the mhd library:
+// mental-health disorders, severity levels, and social-media posts.
+//
+// Every other package speaks in these types. The set of disorders
+// mirrors the conditions covered by the public corpora the survey
+// spans (depression, anxiety, stress, suicidal ideation, PTSD,
+// eating disorders, bipolar disorder) plus a Control class for
+// posts with no clinical signal.
+package domain
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Disorder identifies a mental-health condition (or Control).
+type Disorder int
+
+// The disorders covered by the benchmark. Control is the healthy /
+// no-signal class and is always value 0 so that the zero value of
+// Disorder is safe.
+const (
+	Control Disorder = iota
+	Depression
+	Anxiety
+	Stress
+	SuicidalIdeation
+	PTSD
+	EatingDisorder
+	Bipolar
+
+	numDisorders
+)
+
+// AllDisorders lists every disorder, including Control, in stable order.
+func AllDisorders() []Disorder {
+	out := make([]Disorder, numDisorders)
+	for i := range out {
+		out[i] = Disorder(i)
+	}
+	return out
+}
+
+// ClinicalDisorders lists every disorder except Control.
+func ClinicalDisorders() []Disorder {
+	all := AllDisorders()
+	return all[1:]
+}
+
+var disorderNames = [...]string{
+	Control:          "control",
+	Depression:       "depression",
+	Anxiety:          "anxiety",
+	Stress:           "stress",
+	SuicidalIdeation: "suicidal-ideation",
+	PTSD:             "ptsd",
+	EatingDisorder:   "eating-disorder",
+	Bipolar:          "bipolar",
+}
+
+// String returns the canonical lowercase name, e.g. "depression".
+func (d Disorder) String() string {
+	if d < 0 || int(d) >= len(disorderNames) {
+		return fmt.Sprintf("disorder(%d)", int(d))
+	}
+	return disorderNames[d]
+}
+
+// Valid reports whether d is one of the defined disorders.
+func (d Disorder) Valid() bool {
+	return d >= 0 && d < numDisorders
+}
+
+// ParseDisorder maps a (case-insensitive) name back to a Disorder.
+// It accepts the canonical names from String as well as a few common
+// aliases ("suicide", "suicidal", "ed", "ptsd", "none", "neutral").
+func ParseDisorder(s string) (Disorder, error) {
+	key := strings.ToLower(strings.TrimSpace(s))
+	switch key {
+	case "none", "neutral", "healthy":
+		return Control, nil
+	case "suicide", "suicidal", "suicidal ideation", "si":
+		return SuicidalIdeation, nil
+	case "ed", "eating disorder":
+		return EatingDisorder, nil
+	}
+	for i, name := range disorderNames {
+		if key == name {
+			return Disorder(i), nil
+		}
+	}
+	return Control, fmt.Errorf("domain: unknown disorder %q", s)
+}
+
+// Severity grades the acuteness of a detected condition. It follows
+// the CLPsych-style four-level risk scale (a–d): none, low, moderate,
+// severe. The zero value is SeverityNone.
+type Severity int
+
+// Severity levels in increasing order of risk.
+const (
+	SeverityNone Severity = iota
+	SeverityLow
+	SeverityModerate
+	SeveritySevere
+
+	numSeverities
+)
+
+var severityNames = [...]string{
+	SeverityNone:     "none",
+	SeverityLow:      "low",
+	SeverityModerate: "moderate",
+	SeveritySevere:   "severe",
+}
+
+// String returns the canonical severity name.
+func (s Severity) String() string {
+	if s < 0 || int(s) >= len(severityNames) {
+		return fmt.Sprintf("severity(%d)", int(s))
+	}
+	return severityNames[s]
+}
+
+// Valid reports whether s is one of the defined severity levels.
+func (s Severity) Valid() bool { return s >= 0 && s < numSeverities }
+
+// AllSeverities lists the severity levels in increasing order.
+func AllSeverities() []Severity {
+	out := make([]Severity, numSeverities)
+	for i := range out {
+		out[i] = Severity(i)
+	}
+	return out
+}
+
+// ParseSeverity maps a (case-insensitive) name to a Severity.
+func ParseSeverity(s string) (Severity, error) {
+	key := strings.ToLower(strings.TrimSpace(s))
+	for i, name := range severityNames {
+		if key == name {
+			return Severity(i), nil
+		}
+	}
+	// CLPsych letter grades.
+	switch key {
+	case "a":
+		return SeverityNone, nil
+	case "b":
+		return SeverityLow, nil
+	case "c":
+		return SeverityModerate, nil
+	case "d":
+		return SeveritySevere, nil
+	}
+	return SeverityNone, fmt.Errorf("domain: unknown severity %q", s)
+}
+
+// Post is one social-media submission with its gold annotations.
+type Post struct {
+	ID       string   // stable unique identifier within a dataset
+	UserID   string   // author; several posts may share an author
+	Source   string   // community / hashtag the post was drawn from
+	Text     string   // raw post body
+	Label    Disorder // gold disorder label (Control if none)
+	Severity Severity // gold severity (meaningful for risk tasks)
+	Seq      int      // position of the post in the author's history
+}
+
+// User groups the posting history of one author, in sequence order.
+type User struct {
+	ID    string
+	Posts []Post
+	Label Disorder // user-level diagnosis label
+}
+
+// Append adds a post to the user's history, stamping its Seq.
+func (u *User) Append(p Post) {
+	p.UserID = u.ID
+	p.Seq = len(u.Posts)
+	u.Posts = append(u.Posts, p)
+}

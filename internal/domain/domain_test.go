@@ -1,0 +1,167 @@
+package domain
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDisorderStringRoundTrip(t *testing.T) {
+	for _, d := range AllDisorders() {
+		got, err := ParseDisorder(d.String())
+		if err != nil {
+			t.Fatalf("ParseDisorder(%q): %v", d.String(), err)
+		}
+		if got != d {
+			t.Errorf("round trip %v -> %q -> %v", d, d.String(), got)
+		}
+	}
+}
+
+func TestParseDisorderAliases(t *testing.T) {
+	cases := map[string]Disorder{
+		"Suicide":         SuicidalIdeation,
+		"suicidal":        SuicidalIdeation,
+		"SI":              SuicidalIdeation,
+		"ed":              EatingDisorder,
+		"eating disorder": EatingDisorder,
+		"none":            Control,
+		"Neutral":         Control,
+		"healthy":         Control,
+		"  depression  ":  Depression,
+		"ANXIETY":         Anxiety,
+	}
+	for in, want := range cases {
+		got, err := ParseDisorder(in)
+		if err != nil {
+			t.Errorf("ParseDisorder(%q) error: %v", in, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("ParseDisorder(%q) = %v, want %v", in, got, want)
+		}
+	}
+}
+
+func TestParseDisorderUnknown(t *testing.T) {
+	if _, err := ParseDisorder("influenza"); err == nil {
+		t.Error("expected error for unknown disorder")
+	}
+	if _, err := ParseDisorder(""); err == nil {
+		t.Error("expected error for empty string")
+	}
+}
+
+func TestDisorderValid(t *testing.T) {
+	for _, d := range AllDisorders() {
+		if !d.Valid() {
+			t.Errorf("%v should be valid", d)
+		}
+	}
+	if Disorder(-1).Valid() {
+		t.Error("Disorder(-1) should be invalid")
+	}
+	if Disorder(1000).Valid() {
+		t.Error("Disorder(1000) should be invalid")
+	}
+}
+
+func TestDisorderStringOutOfRange(t *testing.T) {
+	s := Disorder(99).String()
+	if s == "" {
+		t.Error("out-of-range String should not be empty")
+	}
+}
+
+func TestClinicalDisordersExcludesControl(t *testing.T) {
+	for _, d := range ClinicalDisorders() {
+		if d == Control {
+			t.Fatal("ClinicalDisorders must not contain Control")
+		}
+	}
+	if len(ClinicalDisorders()) != len(AllDisorders())-1 {
+		t.Errorf("ClinicalDisorders length = %d, want %d",
+			len(ClinicalDisorders()), len(AllDisorders())-1)
+	}
+}
+
+func TestSeverityRoundTrip(t *testing.T) {
+	for _, s := range AllSeverities() {
+		got, err := ParseSeverity(s.String())
+		if err != nil {
+			t.Fatalf("ParseSeverity(%q): %v", s.String(), err)
+		}
+		if got != s {
+			t.Errorf("round trip %v -> %q -> %v", s, s.String(), got)
+		}
+	}
+}
+
+func TestSeverityLetterGrades(t *testing.T) {
+	cases := map[string]Severity{
+		"a": SeverityNone, "b": SeverityLow,
+		"c": SeverityModerate, "D": SeveritySevere,
+	}
+	for in, want := range cases {
+		got, err := ParseSeverity(in)
+		if err != nil {
+			t.Errorf("ParseSeverity(%q) error: %v", in, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("ParseSeverity(%q) = %v, want %v", in, got, want)
+		}
+	}
+	if _, err := ParseSeverity("x"); err == nil {
+		t.Error("expected error for unknown severity")
+	}
+}
+
+func TestSeverityOrdering(t *testing.T) {
+	if !(SeverityNone < SeverityLow && SeverityLow < SeverityModerate &&
+		SeverityModerate < SeveritySevere) {
+		t.Error("severity levels must be ordered by risk")
+	}
+}
+
+func TestUserAppendStampsSeq(t *testing.T) {
+	u := &User{ID: "u1"}
+	for i := 0; i < 5; i++ {
+		u.Append(Post{ID: "p", Text: "hello"})
+	}
+	for i, p := range u.Posts {
+		if p.Seq != i {
+			t.Errorf("post %d Seq = %d", i, p.Seq)
+		}
+		if p.UserID != "u1" {
+			t.Errorf("post %d UserID = %q", i, p.UserID)
+		}
+	}
+}
+
+// Property: ParseDisorder never panics and, when it succeeds, always
+// returns a valid disorder.
+func TestParseDisorderNeverPanics(t *testing.T) {
+	f := func(s string) bool {
+		d, err := ParseDisorder(s)
+		if err == nil && !d.Valid() {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseSeverityNeverPanics(t *testing.T) {
+	f := func(s string) bool {
+		sv, err := ParseSeverity(s)
+		if err == nil && !sv.Valid() {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

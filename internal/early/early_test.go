@@ -1,0 +1,272 @@
+package early
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/corpus"
+	"repro/internal/domain"
+	"repro/internal/eval"
+	"repro/internal/task"
+)
+
+// scriptedClassifier returns risk 1.0 for posts containing "risk"
+// and 0.0 otherwise.
+type scriptedClassifier struct{}
+
+func (scriptedClassifier) Name() string { return "scripted" }
+func (scriptedClassifier) Predict(text string) (task.Prediction, error) {
+	if strings.Contains(text, "risk") {
+		return task.Prediction{Label: 1, Scores: []float64{0, 1}}, nil
+	}
+	return task.Prediction{Label: 0, Scores: []float64{1, 0}}, nil
+}
+
+func TestMonitorValidation(t *testing.T) {
+	if _, err := NewMonitor(nil, 1, 0); err == nil {
+		t.Error("nil classifier must error")
+	}
+	if _, err := NewMonitor(scriptedClassifier{}, 0, 0); err == nil {
+		t.Error("zero threshold must error")
+	}
+	if _, err := NewMonitor(scriptedClassifier{}, 1, 1); err == nil {
+		t.Error("decay 1 must error")
+	}
+	m, _ := NewMonitor(scriptedClassifier{}, 1, 0)
+	if _, _, err := m.Assess(nil); err == nil {
+		t.Error("empty history must error")
+	}
+}
+
+func TestMonitorAlarmTiming(t *testing.T) {
+	m, err := NewMonitor(scriptedClassifier{}, 2.0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	posts := []string{"calm", "risk", "calm", "risk", "calm"}
+	alarm, delay, err := m.Assess(posts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !alarm || delay != 4 {
+		t.Errorf("alarm=%v delay=%d, want alarm at post 4 (second risk)", alarm, delay)
+	}
+	alarm, delay, _ = m.Assess([]string{"calm", "calm", "calm"})
+	if alarm || delay != 3 {
+		t.Errorf("no-signal history: alarm=%v delay=%d", alarm, delay)
+	}
+}
+
+func TestMonitorDecayForgets(t *testing.T) {
+	// With heavy decay, widely separated weak signals never cross a
+	// threshold that a running sum would cross.
+	mSum, _ := NewMonitor(scriptedClassifier{}, 2.0, 0)
+	mDecay, _ := NewMonitor(scriptedClassifier{}, 2.0, 0.9)
+	posts := []string{"risk", "calm", "calm", "calm", "risk", "calm", "calm", "calm", "risk"}
+	alarmSum, _, _ := mSum.Assess(posts)
+	alarmDecay, _, _ := mDecay.Assess(posts)
+	if !alarmSum {
+		t.Error("running sum should eventually alarm")
+	}
+	if alarmDecay {
+		t.Error("decaying accumulator should forget sparse signals")
+	}
+}
+
+func TestERDEKnownValues(t *testing.T) {
+	// Immediate true positive: near-zero cost. Miss: cost 1.
+	dec := []eval.EarlyDecision{
+		{Alarm: true, Delay: 1, Gold: true},
+		{Alarm: false, Delay: 20, Gold: true},
+		{Alarm: true, Delay: 3, Gold: false},
+		{Alarm: false, Delay: 20, Gold: false},
+	}
+	got, err := eval.ERDE(dec, 0.1, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// cost = (~0 + 1 + 0.1 + 0) / 4 ~= 0.275
+	if got < 0.25 || got > 0.30 {
+		t.Errorf("ERDE = %v, want ~0.275", got)
+	}
+}
+
+func TestERDELatencyPenaltyMonotone(t *testing.T) {
+	cost := func(delay int) float64 {
+		v, err := eval.ERDE([]eval.EarlyDecision{{Alarm: true, Delay: delay, Gold: true}}, 0.1, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	if !(cost(1) < cost(5) && cost(5) < cost(30)) {
+		t.Errorf("latency penalty not monotone: %v %v %v", cost(1), cost(5), cost(30))
+	}
+	if cost(1) > 0.05 {
+		t.Errorf("immediate detection should be near-free: %v", cost(1))
+	}
+	if cost(100) < 0.95 {
+		t.Errorf("very late detection should approach a miss: %v", cost(100))
+	}
+}
+
+func TestERDEErrors(t *testing.T) {
+	if _, err := eval.ERDE(nil, 0.1, 5); err == nil {
+		t.Error("empty decisions must error")
+	}
+	dec := []eval.EarlyDecision{{Alarm: true, Delay: 1, Gold: true}}
+	if _, err := eval.ERDE(dec, 0, 5); err == nil {
+		t.Error("cfp 0 must error")
+	}
+	if _, err := eval.ERDE(dec, 0.1, 0); err == nil {
+		t.Error("o=0 must error")
+	}
+	if _, err := eval.ERDE([]eval.EarlyDecision{{Alarm: true, Delay: 0, Gold: true}}, 0.1, 5); err == nil {
+		t.Error("delay 0 must error")
+	}
+}
+
+func TestLatencyWeightedF1(t *testing.T) {
+	fast := []eval.EarlyDecision{
+		{Alarm: true, Delay: 1, Gold: true},
+		{Alarm: true, Delay: 1, Gold: true},
+		{Alarm: false, Delay: 10, Gold: false},
+	}
+	slow := []eval.EarlyDecision{
+		{Alarm: true, Delay: 40, Gold: true},
+		{Alarm: true, Delay: 40, Gold: true},
+		{Alarm: false, Delay: 10, Gold: false},
+	}
+	fv, err := eval.LatencyWeightedF1(fast, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sv, _ := eval.LatencyWeightedF1(slow, 0.05)
+	if fv <= sv {
+		t.Errorf("fast detection (%v) must beat slow (%v)", fv, sv)
+	}
+	if fv < 0.95 {
+		t.Errorf("instant perfect detection should score near 1: %v", fv)
+	}
+	// All-miss system scores 0 without error.
+	miss := []eval.EarlyDecision{{Alarm: false, Delay: 5, Gold: true}}
+	mv, err := eval.LatencyWeightedF1(miss, 0.05)
+	if err != nil || mv != 0 {
+		t.Errorf("all-miss = %v, %v", mv, err)
+	}
+}
+
+func TestUserCorpusBuild(t *testing.T) {
+	spec := corpus.ERiskUsers()
+	spec.Users = 60
+	users, err := spec.BuildUsers()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(users) != 60 {
+		t.Fatalf("users = %d", len(users))
+	}
+	pos := 0
+	for _, u := range users {
+		if len(u.Posts) < spec.MinPosts || len(u.Posts) > spec.MaxPosts {
+			t.Errorf("user %s has %d posts outside [%d,%d]", u.ID, len(u.Posts), spec.MinPosts, spec.MaxPosts)
+		}
+		if u.Label != domain.Control {
+			pos++
+		}
+		for i, p := range u.Posts {
+			if p.Seq != i || p.UserID != u.ID {
+				t.Errorf("user %s post %d mis-stamped: %+v", u.ID, i, p)
+			}
+		}
+	}
+	if pos < 4 || pos > 24 {
+		t.Errorf("positive users = %d, want around 12 of 60", pos)
+	}
+	// Determinism.
+	again, _ := spec.BuildUsers()
+	if again[0].Posts[0].Text != users[0].Posts[0].Text {
+		t.Error("user corpus not deterministic")
+	}
+}
+
+func TestUserSpecValidate(t *testing.T) {
+	good := corpus.ERiskUsers()
+	muts := []func(*corpus.UserSpec){
+		func(s *corpus.UserSpec) { s.Name = "" },
+		func(s *corpus.UserSpec) { s.Users = 0 },
+		func(s *corpus.UserSpec) { s.PosRate = 0 },
+		func(s *corpus.UserSpec) { s.PosRate = 1 },
+		func(s *corpus.UserSpec) { s.MinPosts = 0 },
+		func(s *corpus.UserSpec) { s.MaxPosts = s.MinPosts - 1 },
+		func(s *corpus.UserSpec) { s.SignalRate = 0 },
+	}
+	for i, mut := range muts {
+		s := good
+		mut(&s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("mutation %d should invalidate spec", i)
+		}
+	}
+}
+
+func TestEndToEndEarlyDetection(t *testing.T) {
+	// Train a post-level classifier on the post-level depression
+	// task, then monitor user histories: it must beat the
+	// never-alarm floor on ERDE and detect most positives.
+	spec := corpus.Spec{
+		Name: "post-train", Kind: corpus.KindDisorder,
+		Classes:    []domain.Disorder{domain.Control, domain.Depression},
+		ClassProbs: []float64{0.6, 0.4},
+		N:          600, Difficulty: 0.5, Seed: 19,
+	}
+	ds, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	clf := baseline.NewLogisticRegression(2, baseline.LRConfig{Seed: 3})
+	if err := clf.Fit(ds.Examples()); err != nil {
+		t.Fatal(err)
+	}
+
+	uspec := corpus.ERiskUsers()
+	uspec.Users = 80
+	users, err := uspec.BuildUsers()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMonitor(clf, 1.5, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decisions, err := m.AssessUsers(users)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := eval.ERDE(decisions, 0.1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Never-alarm floor: cost = positive rate.
+	never := make([]eval.EarlyDecision, len(decisions))
+	for i, d := range decisions {
+		never[i] = eval.EarlyDecision{Alarm: false, Delay: d.Delay, Gold: d.Gold}
+	}
+	floor, _ := eval.ERDE(never, 0.1, 5)
+	if got >= floor {
+		t.Errorf("monitor ERDE %v should beat never-alarm floor %v", got, floor)
+	}
+	var tp, gold int
+	for _, d := range decisions {
+		if d.Gold {
+			gold++
+			if d.Alarm {
+				tp++
+			}
+		}
+	}
+	if gold > 0 && float64(tp)/float64(gold) < 0.6 {
+		t.Errorf("recall %d/%d too low for calibrated monitor", tp, gold)
+	}
+}

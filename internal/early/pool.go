@@ -1,0 +1,138 @@
+package early
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/domain"
+	"repro/internal/task"
+)
+
+// Pooling selects how per-post risk signals aggregate into one
+// user-level score.
+type Pooling int
+
+// The pooling policies studied for user-level diagnosis.
+const (
+	// MeanPool averages post risks — robust, favours persistent
+	// signal.
+	MeanPool Pooling = iota
+	// MaxPool takes the single riskiest post — sensitive, favours
+	// acute signal.
+	MaxPool
+	// TopKPool averages the K riskiest posts, the middle ground used
+	// by most user-level systems (K fixed at 3 here).
+	TopKPool
+)
+
+// String returns the pooling name.
+func (p Pooling) String() string {
+	switch p {
+	case MeanPool:
+		return "mean"
+	case MaxPool:
+		return "max"
+	case TopKPool:
+		return "top3"
+	default:
+		return fmt.Sprintf("pooling(%d)", int(p))
+	}
+}
+
+// UserClassifier turns a post-level binary classifier into a
+// user-level diagnoser: it scores every post in a history, pools the
+// risks, and thresholds. Unlike Monitor it reads the whole history
+// (the retrospective-diagnosis setting rather than early detection).
+type UserClassifier struct {
+	clf       task.Classifier
+	pooling   Pooling
+	threshold float64
+}
+
+// NewUserClassifier builds a user-level diagnoser. threshold is the
+// pooled-risk decision cut in (0,1).
+func NewUserClassifier(clf task.Classifier, pooling Pooling, threshold float64) (*UserClassifier, error) {
+	if clf == nil {
+		return nil, fmt.Errorf("early: nil classifier")
+	}
+	if threshold <= 0 || threshold >= 1 {
+		return nil, fmt.Errorf("early: threshold %v out of (0,1)", threshold)
+	}
+	switch pooling {
+	case MeanPool, MaxPool, TopKPool:
+	default:
+		return nil, fmt.Errorf("early: unknown pooling %d", int(pooling))
+	}
+	return &UserClassifier{clf: clf, pooling: pooling, threshold: threshold}, nil
+}
+
+// Score returns the pooled user-level risk in [0,1].
+func (u *UserClassifier) Score(posts []string) (float64, error) {
+	if len(posts) == 0 {
+		return 0, fmt.Errorf("early: empty history")
+	}
+	risks := make([]float64, len(posts))
+	for i, p := range posts {
+		pred, err := u.clf.Predict(p)
+		if err != nil {
+			return 0, fmt.Errorf("early: post %d: %w", i, err)
+		}
+		risks[i] = riskSignal(pred)
+	}
+	switch u.pooling {
+	case MaxPool:
+		best := 0.0
+		for _, r := range risks {
+			if r > best {
+				best = r
+			}
+		}
+		return best, nil
+	case TopKPool:
+		sort.Sort(sort.Reverse(sort.Float64Slice(risks)))
+		k := 3
+		if k > len(risks) {
+			k = len(risks)
+		}
+		sum := 0.0
+		for _, r := range risks[:k] {
+			sum += r
+		}
+		return sum / float64(k), nil
+	default: // MeanPool
+		sum := 0.0
+		for _, r := range risks {
+			sum += r
+		}
+		return sum / float64(len(risks)), nil
+	}
+}
+
+// Diagnose classifies one user history.
+func (u *UserClassifier) Diagnose(posts []string) (bool, error) {
+	s, err := u.Score(posts)
+	if err != nil {
+		return false, err
+	}
+	return s >= u.threshold, nil
+}
+
+// DiagnoseUsers scores a cohort and returns per-user (predicted,
+// gold) pairs for evaluation.
+func (u *UserClassifier) DiagnoseUsers(users []domain.User) (preds, golds []bool, err error) {
+	preds = make([]bool, len(users))
+	golds = make([]bool, len(users))
+	for i, usr := range users {
+		posts := make([]string, len(usr.Posts))
+		for j, p := range usr.Posts {
+			posts[j] = p.Text
+		}
+		got, err := u.Diagnose(posts)
+		if err != nil {
+			return nil, nil, fmt.Errorf("early: user %s: %w", usr.ID, err)
+		}
+		preds[i] = got
+		golds[i] = usr.Label != domain.Control
+	}
+	return preds, golds, nil
+}

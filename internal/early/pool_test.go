@@ -1,0 +1,113 @@
+package early
+
+import (
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/corpus"
+	"repro/internal/domain"
+)
+
+func TestUserClassifierValidation(t *testing.T) {
+	if _, err := NewUserClassifier(nil, MeanPool, 0.5); err == nil {
+		t.Error("nil classifier must error")
+	}
+	if _, err := NewUserClassifier(scriptedClassifier{}, MeanPool, 0); err == nil {
+		t.Error("threshold 0 must error")
+	}
+	if _, err := NewUserClassifier(scriptedClassifier{}, MeanPool, 1); err == nil {
+		t.Error("threshold 1 must error")
+	}
+	if _, err := NewUserClassifier(scriptedClassifier{}, Pooling(9), 0.5); err == nil {
+		t.Error("unknown pooling must error")
+	}
+	u, _ := NewUserClassifier(scriptedClassifier{}, MeanPool, 0.5)
+	if _, err := u.Score(nil); err == nil {
+		t.Error("empty history must error")
+	}
+}
+
+func TestPoolingPolicies(t *testing.T) {
+	// History with one risky post among four calm ones.
+	posts := []string{"calm", "calm", "risk", "calm", "calm"}
+	score := func(p Pooling) float64 {
+		u, err := NewUserClassifier(scriptedClassifier{}, p, 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := u.Score(posts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	if got := score(MaxPool); got != 1.0 {
+		t.Errorf("max pool = %v, want 1.0", got)
+	}
+	if got := score(MeanPool); got != 0.2 {
+		t.Errorf("mean pool = %v, want 0.2", got)
+	}
+	// top3 of {1,0,0,0,0} = 1/3.
+	if got := score(TopKPool); got < 0.33 || got > 0.34 {
+		t.Errorf("top3 pool = %v, want ~1/3", got)
+	}
+}
+
+func TestPoolingStrings(t *testing.T) {
+	if MeanPool.String() != "mean" || MaxPool.String() != "max" || TopKPool.String() != "top3" {
+		t.Error("pooling names wrong")
+	}
+	if Pooling(9).String() == "" {
+		t.Error("unknown pooling should still print")
+	}
+}
+
+func TestUserDiagnosisEndToEnd(t *testing.T) {
+	spec := corpus.Spec{
+		Name: "post-train", Kind: corpus.KindDisorder,
+		Classes:    []domain.Disorder{domain.Control, domain.Depression},
+		ClassProbs: []float64{0.6, 0.4},
+		N:          600, Difficulty: 0.5, Seed: 19,
+	}
+	ds, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	clf := baseline.NewLogisticRegression(2, baseline.LRConfig{Seed: 3})
+	if err := clf.Fit(ds.Examples()); err != nil {
+		t.Fatal(err)
+	}
+	uspec := corpus.ERiskUsers()
+	uspec.Users = 80
+	users, err := uspec.BuildUsers()
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := NewUserClassifier(clf, TopKPool, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	preds, golds, err := u.DiagnoseUsers(users)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tp, fp, fn int
+	for i := range preds {
+		switch {
+		case preds[i] && golds[i]:
+			tp++
+		case preds[i] && !golds[i]:
+			fp++
+		case !preds[i] && golds[i]:
+			fn++
+		}
+	}
+	if tp == 0 {
+		t.Fatal("no true positives at all")
+	}
+	prec := float64(tp) / float64(tp+fp)
+	rec := float64(tp) / float64(tp+fn)
+	if prec < 0.6 || rec < 0.6 {
+		t.Errorf("user-level diagnosis weak: precision %.2f recall %.2f", prec, rec)
+	}
+}

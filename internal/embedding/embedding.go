@@ -1,0 +1,287 @@
+// Package embedding provides dense text representations built from
+// scratch on the stdlib: a feature-hashing document vectorizer (the
+// fast path used by the neural baseline and exemplar retrieval) and
+// count-based PPMI word vectors compressed by seeded random
+// projection (a word2vec-class representation without training a
+// network).
+package embedding
+
+import (
+	"hash/fnv"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/textkit"
+)
+
+// Vector is a dense embedding.
+type Vector []float64
+
+// Cosine returns the cosine similarity of a and b (0 when either is
+// a zero vector or lengths differ).
+func Cosine(a, b Vector) float64 {
+	if len(a) != len(b) || len(a) == 0 {
+		return 0
+	}
+	var dot, na, nb float64
+	for i := range a {
+		dot += a[i] * b[i]
+		na += a[i] * a[i]
+		nb += b[i] * b[i]
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / (math.Sqrt(na) * math.Sqrt(nb))
+}
+
+// Norm returns the L2 norm.
+func (v Vector) Norm() float64 {
+	s := 0.0
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+// Normalize scales v to unit L2 norm in place (no-op on zero
+// vectors) and returns it.
+func (v Vector) Normalize() Vector {
+	n := v.Norm()
+	if n == 0 {
+		return v
+	}
+	for i := range v {
+		v[i] /= n
+	}
+	return v
+}
+
+// Hasher embeds documents by the feature-hashing trick: token counts
+// (unigrams + bigrams, stemmed, stopword-filtered) are hashed into a
+// fixed-dimension signed vector, then L2-normalized. Stateless and
+// training-free, so it works at any data size.
+type Hasher struct {
+	dim int
+}
+
+// NewHasher returns a hasher with the given dimensionality.
+// Dimensions below 8 are raised to 8.
+func NewHasher(dim int) *Hasher {
+	if dim < 8 {
+		dim = 8
+	}
+	return &Hasher{dim: dim}
+}
+
+// Dim returns the embedding dimensionality.
+func (h *Hasher) Dim() int { return h.dim }
+
+// Embed maps text to its hashed embedding.
+func (h *Hasher) Embed(text string) Vector {
+	v := make(Vector, h.dim)
+	toks := textkit.RemoveStopwords(textkit.Words(textkit.Normalize(text)))
+	toks = textkit.StemAll(toks)
+	for _, f := range textkit.UniBigrams(toks) {
+		idx, sign := hashFeature(f, h.dim)
+		v[idx] += sign
+	}
+	return v.Normalize()
+}
+
+// hashFeature maps a feature string to (index, ±1). A second hash
+// bit picks the sign, which keeps hashed inner products unbiased.
+func hashFeature(f string, dim int) (int, float64) {
+	hs := fnv.New64a()
+	hs.Write([]byte(f))
+	sum := hs.Sum64()
+	idx := int(sum % uint64(dim))
+	sign := 1.0
+	if (sum>>63)&1 == 1 {
+		sign = -1
+	}
+	return idx, sign
+}
+
+// WordVectors are count-based distributional word embeddings:
+// a positive-PMI co-occurrence matrix compressed to dim dimensions
+// with a seeded sparse random projection.
+type WordVectors struct {
+	dim  int
+	vecs map[string]Vector
+}
+
+// TrainWordVectors builds word vectors from a corpus. window is the
+// symmetric co-occurrence window in tokens; minCount drops rare
+// words. Deterministic under seed.
+func TrainWordVectors(corpus []string, dim, window, minCount int, seed int64) *WordVectors {
+	if dim < 4 {
+		dim = 4
+	}
+	if window < 1 {
+		window = 1
+	}
+	// Pass 1: vocabulary.
+	counts := map[string]int{}
+	docs := make([][]string, 0, len(corpus))
+	for _, doc := range corpus {
+		toks := textkit.RemoveStopwords(textkit.Words(textkit.Normalize(doc)))
+		docs = append(docs, toks)
+		for _, t := range toks {
+			counts[t]++
+		}
+	}
+	vocab := make([]string, 0, len(counts))
+	for w, c := range counts {
+		if c >= minCount {
+			vocab = append(vocab, w)
+		}
+	}
+	sort.Strings(vocab)
+	index := make(map[string]int, len(vocab))
+	for i, w := range vocab {
+		index[w] = i
+	}
+
+	// Pass 2: co-occurrence counts (sparse).
+	cooc := make([]map[int]float64, len(vocab))
+	for i := range cooc {
+		cooc[i] = map[int]float64{}
+	}
+	rowSums := make([]float64, len(vocab))
+	total := 0.0
+	for _, toks := range docs {
+		for i, t := range toks {
+			wi, ok := index[t]
+			if !ok {
+				continue
+			}
+			for j := i - window; j <= i+window; j++ {
+				if j == i || j < 0 || j >= len(toks) {
+					continue
+				}
+				cj, ok := index[toks[j]]
+				if !ok {
+					continue
+				}
+				cooc[wi][cj]++
+				rowSums[wi]++
+				total++
+			}
+		}
+	}
+
+	// PPMI rows projected by a seeded sparse random matrix
+	// (Achlioptas ±1 with density 1/3) into dim dimensions.
+	wv := &WordVectors{dim: dim, vecs: make(map[string]Vector, len(vocab))}
+	if total == 0 {
+		return wv
+	}
+	proj := newProjector(dim, seed)
+	for wi, w := range vocab {
+		v := make(Vector, dim)
+		for cj, n := range cooc[wi] {
+			pmi := math.Log((n * total) / (rowSums[wi] * rowSums[cj]))
+			if pmi <= 0 {
+				continue
+			}
+			proj.addInto(v, cj, pmi)
+		}
+		wv.vecs[w] = v.Normalize()
+	}
+	return wv
+}
+
+// projector lazily materializes rows of a sparse random projection
+// matrix, keyed by source index, deterministically from a seed.
+type projector struct {
+	dim  int
+	seed int64
+}
+
+func newProjector(dim int, seed int64) *projector { return &projector{dim: dim, seed: seed} }
+
+// addInto adds weight * row(srcIdx) into v.
+func (p *projector) addInto(v Vector, srcIdx int, weight float64) {
+	mix := uint64(p.seed) ^ uint64(srcIdx+1)*0x9e3779b97f4a7c15
+	rng := rand.New(rand.NewSource(int64(mix)))
+	for d := 0; d < p.dim; d++ {
+		switch rng.Intn(6) {
+		case 0:
+			v[d] += weight
+		case 1:
+			v[d] -= weight
+		}
+	}
+}
+
+// Dim returns the vector dimensionality.
+func (wv *WordVectors) Dim() int { return wv.dim }
+
+// Len returns the vocabulary size.
+func (wv *WordVectors) Len() int { return len(wv.vecs) }
+
+// Word returns the vector for w and whether it is in vocabulary.
+func (wv *WordVectors) Word(w string) (Vector, bool) {
+	v, ok := wv.vecs[w]
+	return v, ok
+}
+
+// Doc embeds a document as the normalized mean of its in-vocabulary
+// word vectors. Out-of-vocabulary documents get a zero vector.
+func (wv *WordVectors) Doc(text string) Vector {
+	v := make(Vector, wv.dim)
+	toks := textkit.RemoveStopwords(textkit.Words(textkit.Normalize(text)))
+	n := 0
+	for _, t := range toks {
+		if tv, ok := wv.vecs[t]; ok {
+			for i := range v {
+				v[i] += tv[i]
+			}
+			n++
+		}
+	}
+	if n == 0 {
+		return v
+	}
+	for i := range v {
+		v[i] /= float64(n)
+	}
+	return v.Normalize()
+}
+
+// Nearest returns the k in-vocabulary words most similar to w by
+// cosine, excluding w itself. Results are sorted by descending
+// similarity with ties broken alphabetically for determinism.
+func (wv *WordVectors) Nearest(w string, k int) []string {
+	qv, ok := wv.vecs[w]
+	if !ok || k <= 0 {
+		return nil
+	}
+	type cand struct {
+		word string
+		sim  float64
+	}
+	cands := make([]cand, 0, len(wv.vecs))
+	for other, v := range wv.vecs {
+		if other == w {
+			continue
+		}
+		cands = append(cands, cand{other, Cosine(qv, v)})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].sim != cands[j].sim {
+			return cands[i].sim > cands[j].sim
+		}
+		return cands[i].word < cands[j].word
+	})
+	if k > len(cands) {
+		k = len(cands)
+	}
+	out := make([]string, k)
+	for i := 0; i < k; i++ {
+		out[i] = cands[i].word
+	}
+	return out
+}

@@ -1,0 +1,209 @@
+package embedding
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCosineBasics(t *testing.T) {
+	a := Vector{1, 0}
+	b := Vector{1, 0}
+	c := Vector{0, 1}
+	d := Vector{-1, 0}
+	if got := Cosine(a, b); math.Abs(got-1) > 1e-12 {
+		t.Errorf("identical cosine = %v", got)
+	}
+	if got := Cosine(a, c); math.Abs(got) > 1e-12 {
+		t.Errorf("orthogonal cosine = %v", got)
+	}
+	if got := Cosine(a, d); math.Abs(got+1) > 1e-12 {
+		t.Errorf("opposite cosine = %v", got)
+	}
+	if Cosine(a, Vector{0, 0}) != 0 {
+		t.Error("zero vector cosine must be 0")
+	}
+	if Cosine(a, Vector{1}) != 0 {
+		t.Error("length mismatch cosine must be 0")
+	}
+}
+
+func TestCosineBoundedProperty(t *testing.T) {
+	f := func(a, b []float64) bool {
+		n := len(a)
+		if len(b) < n {
+			n = len(b)
+		}
+		av, bv := make(Vector, n), make(Vector, n)
+		for i := 0; i < n; i++ {
+			// Bound magnitudes so the test exercises geometry, not
+			// float64 overflow.
+			av[i] = math.Remainder(a[i], 1e6)
+			bv[i] = math.Remainder(b[i], 1e6)
+			if math.IsNaN(av[i]) {
+				av[i] = 0
+			}
+			if math.IsNaN(bv[i]) {
+				bv[i] = 0
+			}
+		}
+		c := Cosine(av, bv)
+		return c >= -1-1e-9 && c <= 1+1e-9 && !math.IsNaN(c)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	v := Vector{3, 4}
+	v.Normalize()
+	if math.Abs(v.Norm()-1) > 1e-12 {
+		t.Errorf("norm after normalize = %v", v.Norm())
+	}
+	z := Vector{0, 0}
+	z.Normalize() // must not NaN
+	if z[0] != 0 || z[1] != 0 {
+		t.Error("zero vector normalize should be no-op")
+	}
+}
+
+func TestHasherDeterministicAndUnit(t *testing.T) {
+	h := NewHasher(64)
+	a := h.Embed("i feel hopeless and empty today")
+	b := h.Embed("i feel hopeless and empty today")
+	if Cosine(a, b) < 1-1e-9 {
+		t.Error("hashing not deterministic")
+	}
+	if math.Abs(a.Norm()-1) > 1e-9 {
+		t.Errorf("embedding not unit-norm: %v", a.Norm())
+	}
+}
+
+func TestHasherSimilarityOrdering(t *testing.T) {
+	h := NewHasher(256)
+	q := h.Embed("i feel hopeless and worthless, crying every night")
+	sim := h.Embed("feeling worthless and hopeless, cried all night")
+	diff := h.Embed("great barbecue with friends, the playoffs were fun")
+	if Cosine(q, sim) <= Cosine(q, diff) {
+		t.Errorf("similar text (%v) should beat different text (%v)",
+			Cosine(q, sim), Cosine(q, diff))
+	}
+}
+
+func TestHasherMinDim(t *testing.T) {
+	h := NewHasher(1)
+	if h.Dim() != 8 {
+		t.Errorf("dim = %d, want floor of 8", h.Dim())
+	}
+}
+
+func TestHasherEmptyText(t *testing.T) {
+	h := NewHasher(32)
+	v := h.Embed("")
+	if v.Norm() != 0 {
+		t.Error("empty text should embed to zero vector")
+	}
+	if len(v) != 32 {
+		t.Errorf("len = %d", len(v))
+	}
+}
+
+var wvCorpus = []string{
+	"i feel hopeless and empty, crying all night, depression is heavy",
+	"hopeless nights crying alone, the depression and emptiness won't stop",
+	"panic attack again today, anxiety and worry racing heart",
+	"anxiety spiking, panic and worry all day, racing thoughts",
+	"made dinner with friends, great movie and fun games",
+	"weekend hiking with friends, dinner and a movie after",
+	"depression makes everything heavy, feeling empty and hopeless",
+	"the panic and anxiety and worry make my heart race",
+}
+
+func TestTrainWordVectorsBasics(t *testing.T) {
+	wv := TrainWordVectors(wvCorpus, 32, 3, 2, 7)
+	if wv.Len() == 0 {
+		t.Fatal("no vectors learned")
+	}
+	if wv.Dim() != 32 {
+		t.Errorf("dim = %d", wv.Dim())
+	}
+	if _, ok := wv.Word("hopeless"); !ok {
+		t.Error("frequent word missing from vocab")
+	}
+	if _, ok := wv.Word("zzzznotaword"); ok {
+		t.Error("unknown word should be out of vocab")
+	}
+}
+
+func TestWordVectorsDistributionalSimilarity(t *testing.T) {
+	wv := TrainWordVectors(wvCorpus, 64, 3, 2, 7)
+	hv, ok1 := wv.Word("hopeless")
+	ev, ok2 := wv.Word("empty")
+	pv, ok3 := wv.Word("panic")
+	if !ok1 || !ok2 || !ok3 {
+		t.Skip("vocabulary too small for the similarity check")
+	}
+	if Cosine(hv, ev) <= Cosine(hv, pv) {
+		t.Errorf("hopeless~empty (%v) should beat hopeless~panic (%v)",
+			Cosine(hv, ev), Cosine(hv, pv))
+	}
+}
+
+func TestWordVectorsDeterministic(t *testing.T) {
+	wv1 := TrainWordVectors(wvCorpus, 32, 3, 2, 7)
+	wv2 := TrainWordVectors(wvCorpus, 32, 3, 2, 7)
+	v1, _ := wv1.Word("depression")
+	v2, _ := wv2.Word("depression")
+	for i := range v1 {
+		if v1[i] != v2[i] {
+			t.Fatal("word vectors not deterministic")
+		}
+	}
+}
+
+func TestWordVectorsDoc(t *testing.T) {
+	wv := TrainWordVectors(wvCorpus, 64, 3, 2, 7)
+	clinical := wv.Doc("feeling hopeless and empty with depression")
+	similar := wv.Doc("depression and hopeless emptiness")
+	neutral := wv.Doc("dinner and a movie with friends")
+	if Cosine(clinical, similar) <= Cosine(clinical, neutral) {
+		t.Errorf("doc similarity ordering wrong: %v vs %v",
+			Cosine(clinical, similar), Cosine(clinical, neutral))
+	}
+	oov := wv.Doc("zzz qqq xxx")
+	if oov.Norm() != 0 {
+		t.Error("fully OOV doc should embed to zero")
+	}
+}
+
+func TestNearestDeterministic(t *testing.T) {
+	wv := TrainWordVectors(wvCorpus, 64, 3, 2, 7)
+	a := wv.Nearest("anxiety", 3)
+	b := wv.Nearest("anxiety", 3)
+	if len(a) != 3 {
+		t.Skipf("vocab too small: %v", a)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("Nearest not deterministic")
+		}
+	}
+	if wv.Nearest("notaword", 3) != nil {
+		t.Error("Nearest of OOV should be nil")
+	}
+	if wv.Nearest("anxiety", 0) != nil {
+		t.Error("Nearest k=0 should be nil")
+	}
+}
+
+func TestTrainWordVectorsEmptyCorpus(t *testing.T) {
+	wv := TrainWordVectors(nil, 16, 2, 1, 1)
+	if wv.Len() != 0 {
+		t.Error("empty corpus should produce empty vocab")
+	}
+	v := wv.Doc("anything")
+	if v.Norm() != 0 {
+		t.Error("doc from empty model should be zero")
+	}
+}

@@ -1,0 +1,159 @@
+package eval
+
+import "fmt"
+
+// Inter-annotator agreement statistics. Mental-health labels are
+// subjective (CLPsych reports expert agreement well below 0.7
+// kappa), and annotation reliability upper-bounds every model score
+// in the benchmark, so the suite measures it explicitly.
+
+// FleissKappa computes Fleiss' kappa for nominal ratings where every
+// item is rated by the same number of annotators. ratings[i] lists
+// the category assigned to item i by each annotator (values in
+// [0,k)).
+func FleissKappa(ratings [][]int, k int) (float64, error) {
+	if len(ratings) == 0 {
+		return 0, fmt.Errorf("eval: Fleiss kappa over zero items")
+	}
+	if k < 2 {
+		return 0, fmt.Errorf("eval: Fleiss kappa needs k >= 2 categories")
+	}
+	r := len(ratings[0])
+	if r < 2 {
+		return 0, fmt.Errorf("eval: Fleiss kappa needs >= 2 raters, have %d", r)
+	}
+	n := float64(len(ratings))
+	catTotals := make([]float64, k)
+	sumPi := 0.0
+	for i, row := range ratings {
+		if len(row) != r {
+			return 0, fmt.Errorf("eval: item %d has %d ratings, want %d", i, len(row), r)
+		}
+		counts := make([]float64, k)
+		for _, c := range row {
+			if c < 0 || c >= k {
+				return 0, fmt.Errorf("eval: item %d has category %d out of [0,%d)", i, c, k)
+			}
+			counts[c]++
+			catTotals[c]++
+		}
+		pi := 0.0
+		for _, cnt := range counts {
+			pi += cnt * cnt
+		}
+		pi = (pi - float64(r)) / (float64(r) * float64(r-1))
+		sumPi += pi
+	}
+	pBar := sumPi / n
+	pe := 0.0
+	for _, tot := range catTotals {
+		pj := tot / (n * float64(r))
+		pe += pj * pj
+	}
+	if pe == 1 {
+		return 1, nil // degenerate: everyone always picks one category
+	}
+	return (pBar - pe) / (1 - pe), nil
+}
+
+// KrippendorffAlpha computes Krippendorff's alpha for nominal data
+// via the coincidence-matrix formulation. ratings[i] lists the
+// categories assigned to item i; items may have different numbers of
+// ratings, and items with fewer than two are skipped (the standard
+// missing-data treatment).
+func KrippendorffAlpha(ratings [][]int, k int) (float64, error) {
+	if k < 2 {
+		return 0, fmt.Errorf("eval: alpha needs k >= 2 categories")
+	}
+	// Coincidence matrix.
+	o := make([][]float64, k)
+	for c := range o {
+		o[c] = make([]float64, k)
+	}
+	used := 0
+	for i, row := range ratings {
+		if len(row) < 2 {
+			continue
+		}
+		used++
+		counts := make([]float64, k)
+		for _, c := range row {
+			if c < 0 || c >= k {
+				return 0, fmt.Errorf("eval: item %d has category %d out of [0,%d)", i, c, k)
+			}
+			counts[c]++
+		}
+		r := float64(len(row))
+		for c := 0; c < k; c++ {
+			if counts[c] == 0 {
+				continue
+			}
+			for c2 := 0; c2 < k; c2++ {
+				if counts[c2] == 0 && c2 != c {
+					continue
+				}
+				pair := counts[c] * counts[c2]
+				if c == c2 {
+					pair = counts[c] * (counts[c] - 1)
+				}
+				o[c][c2] += pair / (r - 1)
+			}
+		}
+	}
+	if used == 0 {
+		return 0, fmt.Errorf("eval: alpha needs at least one item with >= 2 ratings")
+	}
+	nc := make([]float64, k)
+	total := 0.0
+	for c := 0; c < k; c++ {
+		for c2 := 0; c2 < k; c2++ {
+			nc[c] += o[c][c2]
+		}
+		total += nc[c]
+	}
+	var do, de float64
+	for c := 0; c < k; c++ {
+		for c2 := 0; c2 < k; c2++ {
+			if c == c2 {
+				continue
+			}
+			do += o[c][c2]
+			de += nc[c] * nc[c2]
+		}
+	}
+	if total <= 1 {
+		return 0, fmt.Errorf("eval: alpha needs more than one pairable rating")
+	}
+	de /= total - 1
+	if de == 0 {
+		return 1, nil // all ratings identical
+	}
+	return 1 - do/de, nil
+}
+
+// MajorityVote returns the per-item majority label (ties broken by
+// the lowest category index) — how crowdsourced gold labels are
+// consolidated in practice.
+func MajorityVote(ratings [][]int, k int) ([]int, error) {
+	out := make([]int, len(ratings))
+	for i, row := range ratings {
+		if len(row) == 0 {
+			return nil, fmt.Errorf("eval: item %d has no ratings", i)
+		}
+		counts := make([]int, k)
+		for _, c := range row {
+			if c < 0 || c >= k {
+				return nil, fmt.Errorf("eval: item %d has category %d out of [0,%d)", i, c, k)
+			}
+			counts[c]++
+		}
+		best := 0
+		for c := 1; c < k; c++ {
+			if counts[c] > counts[best] {
+				best = c
+			}
+		}
+		out[i] = best
+	}
+	return out, nil
+}

@@ -1,0 +1,175 @@
+package eval
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestFleissKappaPerfectAgreement(t *testing.T) {
+	ratings := [][]int{{0, 0, 0}, {1, 1, 1}, {2, 2, 2}, {1, 1, 1}}
+	kap, err := FleissKappa(ratings, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(kap-1) > 1e-12 {
+		t.Errorf("perfect agreement kappa = %v", kap)
+	}
+}
+
+func TestFleissKappaChanceLevel(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	ratings := make([][]int, 3000)
+	for i := range ratings {
+		ratings[i] = []int{rng.Intn(2), rng.Intn(2), rng.Intn(2)}
+	}
+	kap, err := FleissKappa(ratings, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(kap) > 0.05 {
+		t.Errorf("random ratings kappa = %v, want ~0", kap)
+	}
+}
+
+func TestFleissKappaKnownValue(t *testing.T) {
+	// Classic worked example from Fleiss (1971), 10 items, 5 raters,
+	// reproduced condensed: use a small fixture with hand-computed
+	// value instead. 4 items, 3 raters, 2 categories.
+	ratings := [][]int{
+		{0, 0, 1},
+		{0, 0, 0},
+		{1, 1, 1},
+		{0, 1, 1},
+	}
+	// Hand computation: P_i per item = {1/3, 1, 1, 1/3}; P̄ = 2/3.
+	// p_0 = 6/12 = .5, p_1 = .5, P_e = .5. kappa = (2/3-.5)/.5 = 1/3.
+	kap, err := FleissKappa(ratings, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(kap-1.0/3) > 1e-9 {
+		t.Errorf("kappa = %v, want 1/3", kap)
+	}
+}
+
+func TestFleissKappaErrors(t *testing.T) {
+	if _, err := FleissKappa(nil, 2); err == nil {
+		t.Error("empty ratings must error")
+	}
+	if _, err := FleissKappa([][]int{{0, 1}}, 1); err == nil {
+		t.Error("k=1 must error")
+	}
+	if _, err := FleissKappa([][]int{{0}}, 2); err == nil {
+		t.Error("single rater must error")
+	}
+	if _, err := FleissKappa([][]int{{0, 1}, {0}}, 2); err == nil {
+		t.Error("ragged ratings must error")
+	}
+	if _, err := FleissKappa([][]int{{0, 5}}, 2); err == nil {
+		t.Error("out-of-range category must error")
+	}
+}
+
+func TestKrippendorffAlphaPerfectAndChance(t *testing.T) {
+	perfect := [][]int{{0, 0}, {1, 1}, {2, 2}, {0, 0}}
+	a, err := KrippendorffAlpha(perfect, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a-1) > 1e-12 {
+		t.Errorf("perfect alpha = %v", a)
+	}
+	rng := rand.New(rand.NewSource(9))
+	random := make([][]int, 4000)
+	for i := range random {
+		random[i] = []int{rng.Intn(3), rng.Intn(3)}
+	}
+	a, err = KrippendorffAlpha(random, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a) > 0.05 {
+		t.Errorf("random alpha = %v, want ~0", a)
+	}
+}
+
+func TestKrippendorffAlphaMissingData(t *testing.T) {
+	// Variable rater counts; single-rating items are skipped.
+	ratings := [][]int{
+		{0, 0, 0},
+		{1, 1},
+		{0}, // skipped
+		{1, 1, 1, 1},
+	}
+	a, err := KrippendorffAlpha(ratings, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a-1) > 1e-12 {
+		t.Errorf("consistent ratings alpha = %v, want 1", a)
+	}
+	if _, err := KrippendorffAlpha([][]int{{0}}, 2); err == nil {
+		t.Error("no pairable items must error")
+	}
+}
+
+func TestAgreementTracksAnnotatorNoise(t *testing.T) {
+	// Higher annotator noise must produce lower kappa and alpha.
+	mkRatings := func(noise float64) [][]int {
+		rng := rand.New(rand.NewSource(17))
+		ratings := make([][]int, 1500)
+		for i := range ratings {
+			gold := rng.Intn(2)
+			row := make([]int, 3)
+			for a := range row {
+				if rng.Float64() < noise {
+					row[a] = 1 - gold
+				} else {
+					row[a] = gold
+				}
+			}
+			ratings[i] = row
+		}
+		return ratings
+	}
+	kLow, _ := FleissKappa(mkRatings(0.05), 2)
+	kHigh, _ := FleissKappa(mkRatings(0.3), 2)
+	if kLow <= kHigh {
+		t.Errorf("kappa should fall with noise: %v vs %v", kLow, kHigh)
+	}
+	aLow, _ := KrippendorffAlpha(mkRatings(0.05), 2)
+	aHigh, _ := KrippendorffAlpha(mkRatings(0.3), 2)
+	if aLow <= aHigh {
+		t.Errorf("alpha should fall with noise: %v vs %v", aLow, aHigh)
+	}
+	// Fleiss and Krippendorff should roughly agree on this design.
+	if math.Abs(kLow-aLow) > 0.05 {
+		t.Errorf("kappa %v and alpha %v diverge unexpectedly", kLow, aLow)
+	}
+}
+
+func TestMajorityVote(t *testing.T) {
+	ratings := [][]int{{0, 0, 1}, {1, 1, 0}, {2, 2, 2}}
+	got, err := MajorityVote(ratings, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 1, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("vote[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+	// Tie breaks to lowest index.
+	got, _ = MajorityVote([][]int{{1, 0}}, 2)
+	if got[0] != 0 {
+		t.Errorf("tie break = %d, want 0", got[0])
+	}
+	if _, err := MajorityVote([][]int{{}}, 2); err == nil {
+		t.Error("empty item must error")
+	}
+	if _, err := MajorityVote([][]int{{9}}, 2); err == nil {
+		t.Error("out-of-range category must error")
+	}
+}

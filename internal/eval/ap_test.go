@@ -1,0 +1,96 @@
+package eval
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestAveragePrecisionPerfect(t *testing.T) {
+	ap, err := AveragePrecision([]int{0, 0, 1, 1}, []float64{0.1, 0.2, 0.8, 0.9})
+	if err != nil || !almostEq(ap, 1) {
+		t.Errorf("perfect AP = %v, err %v", ap, err)
+	}
+}
+
+func TestAveragePrecisionWorst(t *testing.T) {
+	// Both positives ranked last among 4: prefix precisions are
+	// 1/3 (recall .5) and 2/4 (recall 1) -> AP = .5*(1/3) + .5*(1/2).
+	ap, err := AveragePrecision([]int{1, 1, 0, 0}, []float64{0.1, 0.2, 0.8, 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.5*(1.0/3) + 0.5*0.5
+	if !almostEq(ap, want) {
+		t.Errorf("AP = %v, want %v", ap, want)
+	}
+}
+
+func TestAveragePrecisionTiesOneBlock(t *testing.T) {
+	// All scores equal: single block, precision = prevalence.
+	ap, err := AveragePrecision([]int{1, 0, 0, 1}, []float64{0.5, 0.5, 0.5, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(ap, 0.5) {
+		t.Errorf("all-ties AP = %v, want prevalence 0.5", ap)
+	}
+}
+
+func TestAveragePrecisionBaselineIsPrevalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 5000
+	labels := make([]int, n)
+	scores := make([]float64, n)
+	pos := 0
+	for i := range labels {
+		if rng.Float64() < 0.2 {
+			labels[i] = 1
+			pos++
+		}
+		scores[i] = rng.Float64()
+	}
+	ap, err := AveragePrecision(labels, scores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prevalence := float64(pos) / float64(n)
+	if math.Abs(ap-prevalence) > 0.03 {
+		t.Errorf("random AP = %v, want ~prevalence %v", ap, prevalence)
+	}
+}
+
+func TestAveragePrecisionErrors(t *testing.T) {
+	if _, err := AveragePrecision([]int{0, 0}, []float64{0.1, 0.2}); err == nil {
+		t.Error("no positives must error")
+	}
+	if _, err := AveragePrecision([]int{2}, []float64{0.1}); err == nil {
+		t.Error("non-binary label must error")
+	}
+	if _, err := AveragePrecision([]int{1}, []float64{0.1, 0.2}); err == nil {
+		t.Error("length mismatch must error")
+	}
+}
+
+func TestAveragePrecisionBoundsProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + rng.Intn(50)
+		labels := make([]int, n)
+		scores := make([]float64, n)
+		labels[0] = 1 // ensure a positive
+		for i := range labels {
+			if i > 0 {
+				labels[i] = rng.Intn(2)
+			}
+			scores[i] = rng.Float64()
+		}
+		ap, err := AveragePrecision(labels, scores)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ap < 0 || ap > 1 {
+			t.Fatalf("AP %v out of [0,1]", ap)
+		}
+	}
+}

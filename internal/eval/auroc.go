@@ -1,0 +1,171 @@
+package eval
+
+import (
+	"fmt"
+	"sort"
+)
+
+// AUROC computes the area under the ROC curve for binary labels
+// (0/1) and real-valued scores where larger means "more positive".
+// It uses the rank formulation (equivalent to the Mann–Whitney U
+// statistic) with midrank tie handling. Returns an error when either
+// class is absent, since AUROC is undefined then.
+func AUROC(labels []int, scores []float64) (float64, error) {
+	if len(labels) != len(scores) {
+		return 0, fmt.Errorf("eval: %d labels vs %d scores", len(labels), len(scores))
+	}
+	nPos, nNeg := 0, 0
+	for _, l := range labels {
+		switch l {
+		case 1:
+			nPos++
+		case 0:
+			nNeg++
+		default:
+			return 0, fmt.Errorf("eval: AUROC label %d not in {0,1}", l)
+		}
+	}
+	if nPos == 0 || nNeg == 0 {
+		return 0, fmt.Errorf("eval: AUROC needs both classes (pos=%d neg=%d)", nPos, nNeg)
+	}
+
+	type item struct {
+		score float64
+		label int
+	}
+	items := make([]item, len(labels))
+	for i := range labels {
+		items[i] = item{scores[i], labels[i]}
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i].score < items[j].score })
+
+	// Midranks over ties, then sum ranks of positives.
+	ranks := make([]float64, len(items))
+	for i := 0; i < len(items); {
+		j := i
+		for j < len(items) && items[j].score == items[i].score {
+			j++
+		}
+		mid := float64(i+j+1) / 2 // average of 1-based ranks i+1..j
+		for k := i; k < j; k++ {
+			ranks[k] = mid
+		}
+		i = j
+	}
+	sumPos := 0.0
+	for i, it := range items {
+		if it.label == 1 {
+			sumPos += ranks[i]
+		}
+	}
+	u := sumPos - float64(nPos)*float64(nPos+1)/2
+	return u / (float64(nPos) * float64(nNeg)), nil
+}
+
+// AveragePrecision computes the area under the precision-recall
+// curve (AP / AUPRC) for binary labels and scores where larger means
+// "more positive", using the step-wise interpolation standard in IR:
+// AP = Σ (R_i − R_{i−1}) · P_i over descending-score prefixes. For
+// heavily imbalanced detection tasks this is more informative than
+// AUROC. Ties are handled by processing equal scores as one block.
+func AveragePrecision(labels []int, scores []float64) (float64, error) {
+	if len(labels) != len(scores) {
+		return 0, fmt.Errorf("eval: %d labels vs %d scores", len(labels), len(scores))
+	}
+	nPos := 0
+	for _, l := range labels {
+		switch l {
+		case 1:
+			nPos++
+		case 0:
+		default:
+			return 0, fmt.Errorf("eval: AP label %d not in {0,1}", l)
+		}
+	}
+	if nPos == 0 {
+		return 0, fmt.Errorf("eval: AP needs at least one positive")
+	}
+	type item struct {
+		score float64
+		label int
+	}
+	items := make([]item, len(labels))
+	for i := range labels {
+		items[i] = item{scores[i], labels[i]}
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i].score > items[j].score })
+
+	ap := 0.0
+	tp, fp := 0, 0
+	prevRecall := 0.0
+	for i := 0; i < len(items); {
+		j := i
+		for j < len(items) && items[j].score == items[i].score {
+			if items[j].label == 1 {
+				tp++
+			} else {
+				fp++
+			}
+			j++
+		}
+		recall := float64(tp) / float64(nPos)
+		precision := float64(tp) / float64(tp+fp)
+		ap += (recall - prevRecall) * precision
+		prevRecall = recall
+		i = j
+	}
+	return ap, nil
+}
+
+// ROCPoint is one operating point of an ROC curve.
+type ROCPoint struct {
+	FPR, TPR  float64
+	Threshold float64
+}
+
+// ROCCurve returns the ROC operating points sweeping the threshold
+// from +inf down through each distinct score. The first point is
+// (0,0) and the last is (1,1).
+func ROCCurve(labels []int, scores []float64) ([]ROCPoint, error) {
+	if _, err := AUROC(labels, scores); err != nil {
+		return nil, err
+	}
+	type item struct {
+		score float64
+		label int
+	}
+	items := make([]item, len(labels))
+	for i := range labels {
+		items[i] = item{scores[i], labels[i]}
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i].score > items[j].score })
+
+	nPos, nNeg := 0, 0
+	for _, it := range items {
+		if it.label == 1 {
+			nPos++
+		} else {
+			nNeg++
+		}
+	}
+	points := []ROCPoint{{FPR: 0, TPR: 0, Threshold: items[0].score + 1}}
+	tp, fp := 0, 0
+	for i := 0; i < len(items); {
+		j := i
+		for j < len(items) && items[j].score == items[i].score {
+			if items[j].label == 1 {
+				tp++
+			} else {
+				fp++
+			}
+			j++
+		}
+		points = append(points, ROCPoint{
+			FPR:       float64(fp) / float64(nNeg),
+			TPR:       float64(tp) / float64(nPos),
+			Threshold: items[i].score,
+		})
+		i = j
+	}
+	return points, nil
+}

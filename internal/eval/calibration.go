@@ -1,0 +1,61 @@
+package eval
+
+import "fmt"
+
+// CalibrationBin summarizes one confidence bucket of a reliability
+// diagram.
+type CalibrationBin struct {
+	Lo, Hi      float64 // confidence interval of the bin [Lo, Hi)
+	MeanConf    float64 // mean predicted confidence in the bin
+	FracCorrect float64 // empirical accuracy in the bin
+	Count       int     // examples in the bin
+}
+
+// Calibration computes a reliability diagram and the expected
+// calibration error (ECE) from per-example confidences (the
+// probability assigned to the predicted class) and correctness
+// flags. bins must be >= 1. Confidences must lie in [0,1].
+func Calibration(confidences []float64, correct []bool, bins int) ([]CalibrationBin, float64, error) {
+	if len(confidences) != len(correct) {
+		return nil, 0, fmt.Errorf("eval: %d confidences vs %d outcomes", len(confidences), len(correct))
+	}
+	if bins < 1 {
+		return nil, 0, fmt.Errorf("eval: bins = %d", bins)
+	}
+	out := make([]CalibrationBin, bins)
+	for b := range out {
+		out[b].Lo = float64(b) / float64(bins)
+		out[b].Hi = float64(b+1) / float64(bins)
+	}
+	sumConf := make([]float64, bins)
+	sumCorr := make([]int, bins)
+	for i, c := range confidences {
+		if c < 0 || c > 1 {
+			return nil, 0, fmt.Errorf("eval: confidence %v out of [0,1]", c)
+		}
+		b := int(c * float64(bins))
+		if b == bins {
+			b = bins - 1 // c == 1.0 lands in the top bin
+		}
+		out[b].Count++
+		sumConf[b] += c
+		if correct[i] {
+			sumCorr[b]++
+		}
+	}
+	n := len(confidences)
+	ece := 0.0
+	for b := range out {
+		if out[b].Count == 0 {
+			continue
+		}
+		out[b].MeanConf = sumConf[b] / float64(out[b].Count)
+		out[b].FracCorrect = float64(sumCorr[b]) / float64(out[b].Count)
+		gap := out[b].MeanConf - out[b].FracCorrect
+		if gap < 0 {
+			gap = -gap
+		}
+		ece += gap * float64(out[b].Count) / float64(n)
+	}
+	return out, ece, nil
+}

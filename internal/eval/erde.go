@@ -1,0 +1,108 @@
+package eval
+
+import (
+	"fmt"
+	"math"
+)
+
+// EarlyDecision is one system decision on a user history in the
+// early-detection setting: whether an alarm was raised, and after
+// how many posts.
+type EarlyDecision struct {
+	Alarm bool // system flagged the user as at-risk
+	Delay int  // 1-based post count read before the decision
+	Gold  bool // user is truly at-risk
+}
+
+// ERDE computes the early risk detection error of the eRisk shared
+// tasks: false positives cost cfp, false negatives cost cfn = 1,
+// and true positives cost a latency-dependent fraction of cfn that
+// grows sigmoidal in the decision delay with midpoint o (the
+// familiar ERDE_5 / ERDE_50 instantiations use o = 5 and o = 50).
+// The returned value is the mean per-user cost — lower is better.
+func ERDE(decisions []EarlyDecision, cfp float64, o int) (float64, error) {
+	if len(decisions) == 0 {
+		return 0, fmt.Errorf("eval: ERDE over zero decisions")
+	}
+	if cfp <= 0 || cfp > 1 {
+		return 0, fmt.Errorf("eval: ERDE cfp %v out of (0,1]", cfp)
+	}
+	if o <= 0 {
+		return 0, fmt.Errorf("eval: ERDE midpoint o = %d", o)
+	}
+	const cfn = 1.0
+	total := 0.0
+	for i, d := range decisions {
+		if d.Delay < 1 {
+			return 0, fmt.Errorf("eval: decision %d has delay %d < 1", i, d.Delay)
+		}
+		switch {
+		case d.Alarm && d.Gold:
+			total += latencyCost(d.Delay, o) * cfn
+		case d.Alarm && !d.Gold:
+			total += cfp
+		case !d.Alarm && d.Gold:
+			total += cfn
+		}
+	}
+	return total / float64(len(decisions)), nil
+}
+
+// latencyCost is ERDE's sigmoidal latency penalty in [0,1):
+// ~0 for immediate detection, ~1 for detection far past o posts.
+func latencyCost(delay, o int) float64 {
+	return 1 - 1/(1+math.Exp(float64(delay-o)))
+}
+
+// LatencyWeightedF1 computes the eRisk-2019-style latency-weighted
+// F1: the F1 over alarm decisions multiplied by the median-delay
+// speed factor (1 for instant detections, decaying with delay using
+// the penalty p per post).
+func LatencyWeightedF1(decisions []EarlyDecision, p float64) (float64, error) {
+	if len(decisions) == 0 {
+		return 0, fmt.Errorf("eval: latency F1 over zero decisions")
+	}
+	if p <= 0 || p >= 1 {
+		return 0, fmt.Errorf("eval: latency penalty %v out of (0,1)", p)
+	}
+	var tp, fp, fn int
+	var tpDelays []int
+	for _, d := range decisions {
+		switch {
+		case d.Alarm && d.Gold:
+			tp++
+			tpDelays = append(tpDelays, d.Delay)
+		case d.Alarm && !d.Gold:
+			fp++
+		case !d.Alarm && d.Gold:
+			fn++
+		}
+	}
+	prec := safeDiv(float64(tp), float64(tp+fp))
+	rec := safeDiv(float64(tp), float64(tp+fn))
+	f1 := safeDiv(2*prec*rec, prec+rec)
+	if tp == 0 {
+		return 0, nil
+	}
+	med := median(tpDelays)
+	speed := 1 - math.Tanh(p*(med-1))
+	return f1 * speed, nil
+}
+
+func median(xs []int) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := make([]int, len(xs))
+	copy(sorted, xs)
+	for i := 1; i < len(sorted); i++ { // insertion sort; n is small
+		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	n := len(sorted)
+	if n%2 == 1 {
+		return float64(sorted[n/2])
+	}
+	return float64(sorted[n/2-1]+sorted[n/2]) / 2
+}

@@ -1,0 +1,190 @@
+package eval
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/task"
+)
+
+// Result bundles the metrics of one classifier on one test set.
+type Result struct {
+	Classifier string
+	Task       string
+	N          int
+	Accuracy   float64
+	MacroF1    float64
+	MicroF1    float64
+	WeightedF1 float64
+	PositiveF1 float64 // F1 of class 1 (binary clinical class)
+	Kappa      float64
+	AUROC      float64 // binary tasks with scores only; else 0
+	AUPRC      float64 // average precision; binary tasks with scores
+	OrdinalMAE float64
+	ECE        float64 // over examples with per-class scores (see Scored)
+	Scored     int     // examples whose prediction carried scores
+	Unparsed   int     // predictions that could not be mapped to a label
+	Matrix     *ConfusionMatrix
+	Golds      []int
+	Preds      []int
+	Correct    []bool
+}
+
+// Evaluate runs clf over every test example and computes the full
+// metric set. It is the single evaluation path used by every
+// experiment, so all methods are scored identically.
+func Evaluate(clf task.Classifier, t *task.Task) (*Result, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	k := t.NumClasses()
+	m := NewConfusionMatrix(k)
+	res := &Result{
+		Classifier: clf.Name(),
+		Task:       t.Name,
+		N:          len(t.Test),
+		Matrix:     m,
+		Golds:      make([]int, 0, len(t.Test)),
+		Preds:      make([]int, 0, len(t.Test)),
+		Correct:    make([]bool, 0, len(t.Test)),
+	}
+	var (
+		binScores   []float64
+		binLabels   []int
+		confidences []float64
+		confCorrect []bool
+	)
+	for _, ex := range t.Test {
+		pred, err := clf.Predict(ex.Text)
+		if err != nil {
+			return nil, fmt.Errorf("eval: %s on %q: %w", clf.Name(), t.Name, err)
+		}
+		if err := m.Add(ex.Label, pred.Label); err != nil {
+			return nil, err
+		}
+		res.Golds = append(res.Golds, ex.Label)
+		res.Preds = append(res.Preds, pred.Label)
+		res.Correct = append(res.Correct, pred.Label == ex.Label)
+		if len(pred.Scores) == k {
+			if k == 2 {
+				binScores = append(binScores, pred.Scores[1])
+				binLabels = append(binLabels, ex.Label)
+			}
+			conf := 0.0
+			for _, s := range pred.Scores {
+				if s > conf {
+					conf = s
+				}
+			}
+			if conf < 0 {
+				conf = 0
+			}
+			if conf > 1 {
+				conf = 1
+			}
+			confidences = append(confidences, conf)
+			confCorrect = append(confCorrect, pred.Label == ex.Label)
+		}
+	}
+	res.Scored = len(confidences)
+	res.Unparsed = m.Unparsed
+	res.Accuracy = m.Accuracy()
+	res.MacroF1 = m.MacroF1()
+	res.MicroF1 = m.MicroF1()
+	res.WeightedF1 = m.WeightedF1()
+	res.PositiveF1 = m.PositiveF1()
+	res.Kappa = m.Kappa()
+	if mae, err := OrdinalMAE(res.Golds, res.Preds, k); err == nil {
+		res.OrdinalMAE = mae
+	}
+	// AUROC and ECE are computed over the score-bearing subset of
+	// predictions (methods that only sometimes verbalize confidence
+	// — LLM prompting — are still measurable, with Scored recording
+	// the coverage). A minimum of 10 scored examples avoids
+	// meaningless estimates.
+	const minScored = 10
+	enough := func(n int) bool { return n >= minScored || (n > 0 && n == len(t.Test)) }
+	if k == 2 && enough(len(binScores)) {
+		if auc, err := AUROC(binLabels, binScores); err == nil {
+			res.AUROC = auc
+		}
+		if ap, err := AveragePrecision(binLabels, binScores); err == nil {
+			res.AUPRC = ap
+		}
+	}
+	if enough(len(confidences)) {
+		if _, ece, err := Calibration(confidences, confCorrect, 10); err == nil {
+			res.ECE = ece
+		}
+	}
+	return res, nil
+}
+
+// F1CI computes a bootstrap confidence interval for macro-F1 from a
+// Result's stored predictions.
+func (r *Result) F1CI(resamples int, alpha float64, seed int64) (lo, hi float64, err error) {
+	k := r.Matrix.K
+	return BootstrapCI(len(r.Golds), resamples, alpha, seed, func(idx []int) float64 {
+		m := NewConfusionMatrix(k)
+		for _, i := range idx {
+			_ = m.Add(r.Golds[i], r.Preds[i])
+		}
+		return m.MacroF1()
+	})
+}
+
+// CompareMcNemar runs McNemar's test between two results evaluated
+// on the same test set (paired by index).
+func CompareMcNemar(a, b *Result) (stat, p float64, err error) {
+	if len(a.Correct) != len(b.Correct) {
+		return 0, 0, fmt.Errorf("eval: unpaired results (%d vs %d examples)", len(a.Correct), len(b.Correct))
+	}
+	var onlyA, onlyB int
+	for i := range a.Correct {
+		switch {
+		case a.Correct[i] && !b.Correct[i]:
+			onlyA++
+		case !a.Correct[i] && b.Correct[i]:
+			onlyB++
+		}
+	}
+	return McNemar(onlyA, onlyB)
+}
+
+// KFold yields k stratified folds as (train, test) pairs.
+// Every example appears in exactly one test fold. Deterministic
+// under seed.
+func KFold(exs []task.Example, k int, numClasses int, seed int64) ([][2][]task.Example, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("eval: k-fold needs k >= 2, got %d", k)
+	}
+	if len(exs) < k {
+		return nil, fmt.Errorf("eval: %d examples for %d folds", len(exs), k)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	byClass := make([][]task.Example, numClasses)
+	for _, ex := range exs {
+		if ex.Label < 0 || ex.Label >= numClasses {
+			return nil, fmt.Errorf("eval: label %d out of range", ex.Label)
+		}
+		byClass[ex.Label] = append(byClass[ex.Label], ex)
+	}
+	folds := make([][]task.Example, k)
+	for _, class := range byClass {
+		rng.Shuffle(len(class), func(i, j int) { class[i], class[j] = class[j], class[i] })
+		for i, ex := range class {
+			folds[i%k] = append(folds[i%k], ex)
+		}
+	}
+	out := make([][2][]task.Example, k)
+	for f := 0; f < k; f++ {
+		var train []task.Example
+		for g := 0; g < k; g++ {
+			if g != f {
+				train = append(train, folds[g]...)
+			}
+		}
+		out[f] = [2][]task.Example{train, folds[f]}
+	}
+	return out, nil
+}

@@ -1,0 +1,218 @@
+// Package eval implements the evaluation substrate: confusion
+// matrices, classification metrics (accuracy, precision/recall/F1 in
+// per-class, macro, micro, and weighted forms, AUROC, Cohen's kappa,
+// ordinal MAE, expected calibration error), resampling utilities
+// (bootstrap confidence intervals, k-fold cross-validation), and
+// paired significance tests (McNemar, permutation).
+package eval
+
+import (
+	"fmt"
+	"math"
+)
+
+// ConfusionMatrix accumulates gold-vs-predicted counts for a
+// k-class problem. Cell [g][p] counts examples with gold class g
+// predicted as p. Predictions outside [0,k) (e.g. LLM parse
+// failures marked -1) are counted in Unparsed and excluded from the
+// matrix but included in totals, so accuracy still penalizes them.
+type ConfusionMatrix struct {
+	K        int
+	Cells    [][]int
+	Unparsed int
+}
+
+// NewConfusionMatrix returns an empty k-class matrix.
+func NewConfusionMatrix(k int) *ConfusionMatrix {
+	cells := make([][]int, k)
+	for i := range cells {
+		cells[i] = make([]int, k)
+	}
+	return &ConfusionMatrix{K: k, Cells: cells}
+}
+
+// Add records one (gold, predicted) observation.
+func (m *ConfusionMatrix) Add(gold, pred int) error {
+	if gold < 0 || gold >= m.K {
+		return fmt.Errorf("eval: gold label %d out of range [0,%d)", gold, m.K)
+	}
+	if pred < 0 || pred >= m.K {
+		m.Unparsed++
+		return nil
+	}
+	m.Cells[gold][pred]++
+	return nil
+}
+
+// Total returns the number of observations, including unparsed.
+func (m *ConfusionMatrix) Total() int {
+	n := m.Unparsed
+	for _, row := range m.Cells {
+		for _, c := range row {
+			n += c
+		}
+	}
+	return n
+}
+
+// Correct returns the diagonal sum.
+func (m *ConfusionMatrix) Correct() int {
+	n := 0
+	for i := 0; i < m.K; i++ {
+		n += m.Cells[i][i]
+	}
+	return n
+}
+
+// Accuracy returns Correct/Total, or 0 for an empty matrix.
+func (m *ConfusionMatrix) Accuracy() float64 {
+	t := m.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(m.Correct()) / float64(t)
+}
+
+// ClassPRF holds precision, recall, F1, and support for one class.
+type ClassPRF struct {
+	Precision, Recall, F1 float64
+	Support               int
+}
+
+// PerClass computes precision/recall/F1 per class. A class with no
+// predicted examples has precision 0; a class with no gold examples
+// has recall 0 (and support 0).
+func (m *ConfusionMatrix) PerClass() []ClassPRF {
+	out := make([]ClassPRF, m.K)
+	for c := 0; c < m.K; c++ {
+		tp := m.Cells[c][c]
+		var fp, fn int
+		for g := 0; g < m.K; g++ {
+			if g != c {
+				fp += m.Cells[g][c]
+				fn += m.Cells[c][g]
+			}
+		}
+		support := tp + fn
+		p := safeDiv(float64(tp), float64(tp+fp))
+		r := safeDiv(float64(tp), float64(tp+fn))
+		out[c] = ClassPRF{
+			Precision: p,
+			Recall:    r,
+			F1:        safeDiv(2*p*r, p+r),
+			Support:   support,
+		}
+	}
+	return out
+}
+
+// MacroF1 averages per-class F1 with equal class weight.
+func (m *ConfusionMatrix) MacroF1() float64 {
+	prf := m.PerClass()
+	if len(prf) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, c := range prf {
+		sum += c.F1
+	}
+	return sum / float64(len(prf))
+}
+
+// WeightedF1 averages per-class F1 weighted by gold support.
+// Unparsed predictions reduce recall (they count as support via gold
+// labels only when recorded through Add with a valid gold label; the
+// caller is responsible for passing every test example through Add).
+func (m *ConfusionMatrix) WeightedF1() float64 {
+	prf := m.PerClass()
+	total := 0
+	sum := 0.0
+	for _, c := range prf {
+		sum += c.F1 * float64(c.Support)
+		total += c.Support
+	}
+	return safeDiv(sum, float64(total))
+}
+
+// MicroF1 computes micro-averaged F1. For single-label
+// classification with no unparsed predictions this equals accuracy;
+// unparsed predictions act as false negatives without matching false
+// positives, so micro-F1 dips below accuracy-over-parsed.
+func (m *ConfusionMatrix) MicroF1() float64 {
+	tp := m.Correct()
+	fn := m.Total() - tp // includes unparsed
+	fp := 0
+	for g := 0; g < m.K; g++ {
+		for p := 0; p < m.K; p++ {
+			if g != p {
+				fp += m.Cells[g][p]
+			}
+		}
+	}
+	p := safeDiv(float64(tp), float64(tp+fp))
+	r := safeDiv(float64(tp), float64(tp+fn))
+	return safeDiv(2*p*r, p+r)
+}
+
+// PositiveF1 returns the F1 of class 1, the convention for binary
+// detection tasks where class 1 is the clinical class.
+func (m *ConfusionMatrix) PositiveF1() float64 {
+	if m.K < 2 {
+		return 0
+	}
+	return m.PerClass()[1].F1
+}
+
+// Kappa computes Cohen's kappa (chance-corrected agreement).
+// Unparsed predictions are excluded.
+func (m *ConfusionMatrix) Kappa() float64 {
+	n := m.Total() - m.Unparsed
+	if n == 0 {
+		return 0
+	}
+	po := float64(m.Correct()) / float64(n)
+	pe := 0.0
+	for c := 0; c < m.K; c++ {
+		var goldC, predC int
+		for j := 0; j < m.K; j++ {
+			goldC += m.Cells[c][j]
+			predC += m.Cells[j][c]
+		}
+		pe += float64(goldC) * float64(predC)
+	}
+	pe /= float64(n) * float64(n)
+	if pe == 1 {
+		return 0
+	}
+	return (po - pe) / (1 - pe)
+}
+
+// OrdinalMAE returns the mean absolute label distance, the standard
+// severity-grading metric (labels must be ordered). Unparsed
+// predictions count as the maximum possible error, penalizing
+// non-answers on risk tasks.
+func OrdinalMAE(golds, preds []int, k int) (float64, error) {
+	if len(golds) != len(preds) {
+		return 0, fmt.Errorf("eval: %d golds vs %d preds", len(golds), len(preds))
+	}
+	if len(golds) == 0 {
+		return 0, nil
+	}
+	sum := 0.0
+	for i, g := range golds {
+		p := preds[i]
+		if p < 0 || p >= k {
+			sum += float64(k - 1)
+			continue
+		}
+		sum += math.Abs(float64(g - p))
+	}
+	return sum / float64(len(golds)), nil
+}
+
+func safeDiv(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}

@@ -1,0 +1,302 @@
+package eval
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestConfusionMatrixBasics(t *testing.T) {
+	m := NewConfusionMatrix(2)
+	// gold 0: 3 right, 1 wrong; gold 1: 2 right, 2 wrong.
+	for i := 0; i < 3; i++ {
+		_ = m.Add(0, 0)
+	}
+	_ = m.Add(0, 1)
+	for i := 0; i < 2; i++ {
+		_ = m.Add(1, 1)
+	}
+	for i := 0; i < 2; i++ {
+		_ = m.Add(1, 0)
+	}
+	if m.Total() != 8 {
+		t.Errorf("Total = %d", m.Total())
+	}
+	if m.Correct() != 5 {
+		t.Errorf("Correct = %d", m.Correct())
+	}
+	if !almostEq(m.Accuracy(), 5.0/8) {
+		t.Errorf("Accuracy = %v", m.Accuracy())
+	}
+	prf := m.PerClass()
+	// class 1: tp=2 fp=1 fn=2 -> p=2/3 r=1/2 f1=4/7
+	if !almostEq(prf[1].Precision, 2.0/3) || !almostEq(prf[1].Recall, 0.5) {
+		t.Errorf("class1 PRF = %+v", prf[1])
+	}
+	if !almostEq(prf[1].F1, 2*(2.0/3)*0.5/((2.0/3)+0.5)) {
+		t.Errorf("class1 F1 = %v", prf[1].F1)
+	}
+	if prf[0].Support != 4 || prf[1].Support != 4 {
+		t.Errorf("supports = %d %d", prf[0].Support, prf[1].Support)
+	}
+}
+
+func TestAddRejectsGoldOutOfRange(t *testing.T) {
+	m := NewConfusionMatrix(2)
+	if err := m.Add(2, 0); err == nil {
+		t.Error("gold out of range must error")
+	}
+	if err := m.Add(-1, 0); err == nil {
+		t.Error("negative gold must error")
+	}
+}
+
+func TestUnparsedCountsAgainstAccuracy(t *testing.T) {
+	m := NewConfusionMatrix(2)
+	_ = m.Add(0, 0)
+	_ = m.Add(1, -1) // parse failure
+	if m.Unparsed != 1 {
+		t.Errorf("Unparsed = %d", m.Unparsed)
+	}
+	if !almostEq(m.Accuracy(), 0.5) {
+		t.Errorf("Accuracy = %v, want 0.5 (unparsed penalized)", m.Accuracy())
+	}
+}
+
+func TestMicroF1EqualsAccuracyWithoutUnparsed(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := NewConfusionMatrix(3)
+	for i := 0; i < 300; i++ {
+		_ = m.Add(rng.Intn(3), rng.Intn(3))
+	}
+	if !almostEq(m.MicroF1(), m.Accuracy()) {
+		t.Errorf("micro-F1 %v != accuracy %v", m.MicroF1(), m.Accuracy())
+	}
+}
+
+func TestPerfectAndWorstMatrices(t *testing.T) {
+	perfect := NewConfusionMatrix(3)
+	for c := 0; c < 3; c++ {
+		for i := 0; i < 10; i++ {
+			_ = perfect.Add(c, c)
+		}
+	}
+	if !almostEq(perfect.Accuracy(), 1) || !almostEq(perfect.MacroF1(), 1) ||
+		!almostEq(perfect.WeightedF1(), 1) || !almostEq(perfect.Kappa(), 1) {
+		t.Errorf("perfect matrix: acc=%v macro=%v weighted=%v kappa=%v",
+			perfect.Accuracy(), perfect.MacroF1(), perfect.WeightedF1(), perfect.Kappa())
+	}
+	worst := NewConfusionMatrix(2)
+	for i := 0; i < 10; i++ {
+		_ = worst.Add(0, 1)
+		_ = worst.Add(1, 0)
+	}
+	if worst.Accuracy() != 0 || worst.MacroF1() != 0 {
+		t.Errorf("worst matrix: acc=%v macro=%v", worst.Accuracy(), worst.MacroF1())
+	}
+	if worst.Kappa() >= 0 {
+		t.Errorf("systematically wrong kappa = %v, want negative", worst.Kappa())
+	}
+}
+
+func TestWeightedF1WeightsBySupport(t *testing.T) {
+	m := NewConfusionMatrix(2)
+	// class 0: 90 examples, all right. class 1: 10 examples, all wrong.
+	for i := 0; i < 90; i++ {
+		_ = m.Add(0, 0)
+	}
+	for i := 0; i < 10; i++ {
+		_ = m.Add(1, 0)
+	}
+	macro := m.MacroF1()
+	weighted := m.WeightedF1()
+	if weighted <= macro {
+		t.Errorf("weighted (%v) should exceed macro (%v) when majority class is right", weighted, macro)
+	}
+}
+
+func TestPositiveF1(t *testing.T) {
+	m := NewConfusionMatrix(2)
+	_ = m.Add(1, 1)
+	_ = m.Add(1, 0)
+	_ = m.Add(0, 0)
+	// tp=1 fp=0 fn=1: p=1, r=0.5, f1=2/3
+	if !almostEq(m.PositiveF1(), 2.0/3) {
+		t.Errorf("PositiveF1 = %v", m.PositiveF1())
+	}
+	if NewConfusionMatrix(1).PositiveF1() != 0 {
+		t.Error("k<2 PositiveF1 should be 0")
+	}
+}
+
+func TestEmptyMatrix(t *testing.T) {
+	m := NewConfusionMatrix(2)
+	if m.Accuracy() != 0 || m.MacroF1() != 0 || m.Kappa() != 0 {
+		t.Error("empty matrix metrics should be 0")
+	}
+}
+
+func TestOrdinalMAE(t *testing.T) {
+	mae, err := OrdinalMAE([]int{0, 1, 2, 3}, []int{0, 1, 2, 3}, 4)
+	if err != nil || mae != 0 {
+		t.Errorf("perfect MAE = %v, err %v", mae, err)
+	}
+	mae, _ = OrdinalMAE([]int{0, 3}, []int{3, 0}, 4)
+	if !almostEq(mae, 3) {
+		t.Errorf("inverted MAE = %v, want 3", mae)
+	}
+	// Unparsed counts as max error.
+	mae, _ = OrdinalMAE([]int{0}, []int{-1}, 4)
+	if !almostEq(mae, 3) {
+		t.Errorf("unparsed MAE = %v, want 3", mae)
+	}
+	if _, err := OrdinalMAE([]int{0}, []int{0, 1}, 2); err == nil {
+		t.Error("length mismatch must error")
+	}
+	mae, err = OrdinalMAE(nil, nil, 4)
+	if err != nil || mae != 0 {
+		t.Errorf("empty MAE = %v, %v", mae, err)
+	}
+}
+
+// Property: metrics stay within [0,1] (kappa within [-1,1]) for any
+// random confusion matrix.
+func TestMetricBoundsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 2 + rng.Intn(4)
+		m := NewConfusionMatrix(k)
+		n := 1 + rng.Intn(200)
+		for i := 0; i < n; i++ {
+			if err := m.Add(rng.Intn(k), rng.Intn(k)); err != nil {
+				return false
+			}
+		}
+		in01 := func(x float64) bool { return x >= 0 && x <= 1+1e-12 }
+		return in01(m.Accuracy()) && in01(m.MacroF1()) && in01(m.MicroF1()) &&
+			in01(m.WeightedF1()) && m.Kappa() >= -1-1e-12 && m.Kappa() <= 1+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAUROCPerfectAndInverted(t *testing.T) {
+	labels := []int{0, 0, 1, 1}
+	auc, err := AUROC(labels, []float64{0.1, 0.2, 0.8, 0.9})
+	if err != nil || !almostEq(auc, 1) {
+		t.Errorf("perfect AUROC = %v, err %v", auc, err)
+	}
+	auc, _ = AUROC(labels, []float64{0.9, 0.8, 0.2, 0.1})
+	if !almostEq(auc, 0) {
+		t.Errorf("inverted AUROC = %v", auc)
+	}
+	auc, _ = AUROC(labels, []float64{0.5, 0.5, 0.5, 0.5})
+	if !almostEq(auc, 0.5) {
+		t.Errorf("all-ties AUROC = %v, want 0.5", auc)
+	}
+}
+
+func TestAUROCErrors(t *testing.T) {
+	if _, err := AUROC([]int{1, 1}, []float64{0.1, 0.2}); err == nil {
+		t.Error("single-class AUROC must error")
+	}
+	if _, err := AUROC([]int{0, 2}, []float64{0.1, 0.2}); err == nil {
+		t.Error("non-binary label must error")
+	}
+	if _, err := AUROC([]int{0}, []float64{0.1, 0.2}); err == nil {
+		t.Error("length mismatch must error")
+	}
+}
+
+func TestAUROCRandomIsHalf(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	n := 4000
+	labels := make([]int, n)
+	scores := make([]float64, n)
+	for i := range labels {
+		labels[i] = rng.Intn(2)
+		scores[i] = rng.Float64()
+	}
+	auc, err := AUROC(labels, scores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc < 0.45 || auc > 0.55 {
+		t.Errorf("random AUROC = %v, want ~0.5", auc)
+	}
+}
+
+func TestROCCurveEndpoints(t *testing.T) {
+	labels := []int{0, 1, 0, 1, 1}
+	scores := []float64{0.2, 0.9, 0.4, 0.3, 0.8}
+	pts, err := ROCCurve(labels, scores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, last := pts[0], pts[len(pts)-1]
+	if first.FPR != 0 || first.TPR != 0 {
+		t.Errorf("first point = %+v", first)
+	}
+	if !almostEq(last.FPR, 1) || !almostEq(last.TPR, 1) {
+		t.Errorf("last point = %+v", last)
+	}
+	// Monotone non-decreasing in both axes.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].FPR < pts[i-1].FPR-1e-12 || pts[i].TPR < pts[i-1].TPR-1e-12 {
+			t.Errorf("ROC not monotone at %d: %+v -> %+v", i, pts[i-1], pts[i])
+		}
+	}
+}
+
+func TestCalibrationPerfect(t *testing.T) {
+	// Confidence 0.75 bucket with 75% accuracy -> ECE ~ 0.
+	conf := make([]float64, 100)
+	correct := make([]bool, 100)
+	for i := range conf {
+		conf[i] = 0.75
+		correct[i] = i < 75
+	}
+	_, ece, err := Calibration(conf, correct, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ece > 1e-9 {
+		t.Errorf("perfectly calibrated ECE = %v", ece)
+	}
+}
+
+func TestCalibrationOverconfident(t *testing.T) {
+	conf := make([]float64, 100)
+	correct := make([]bool, 100)
+	for i := range conf {
+		conf[i] = 0.99
+		correct[i] = i < 50
+	}
+	_, ece, err := Calibration(conf, correct, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(ece, 0.49) {
+		t.Errorf("overconfident ECE = %v, want 0.49", ece)
+	}
+}
+
+func TestCalibrationErrors(t *testing.T) {
+	if _, _, err := Calibration([]float64{0.5}, []bool{true, false}, 10); err == nil {
+		t.Error("length mismatch must error")
+	}
+	if _, _, err := Calibration([]float64{1.5}, []bool{true}, 10); err == nil {
+		t.Error("confidence > 1 must error")
+	}
+	if _, _, err := Calibration([]float64{0.5}, []bool{true}, 0); err == nil {
+		t.Error("bins=0 must error")
+	}
+	// c == 1.0 must not panic (top-bin edge).
+	if _, _, err := Calibration([]float64{1.0}, []bool{true}, 10); err != nil {
+		t.Errorf("confidence 1.0: %v", err)
+	}
+}

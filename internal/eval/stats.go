@@ -1,0 +1,149 @@
+package eval
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// BootstrapCI estimates a two-sided (1-alpha) confidence interval
+// for a metric by nonparametric bootstrap over example indices.
+// metric receives a resampled index set and must return the metric
+// value on that resample. Deterministic under seed.
+func BootstrapCI(n, resamples int, alpha float64, seed int64,
+	metric func(indices []int) float64) (lo, hi float64, err error) {
+	if n <= 0 || resamples <= 0 {
+		return 0, 0, fmt.Errorf("eval: bootstrap needs n>0 and resamples>0 (n=%d, resamples=%d)", n, resamples)
+	}
+	if alpha <= 0 || alpha >= 1 {
+		return 0, 0, fmt.Errorf("eval: alpha %v out of (0,1)", alpha)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	vals := make([]float64, resamples)
+	idx := make([]int, n)
+	for r := 0; r < resamples; r++ {
+		for i := range idx {
+			idx[i] = rng.Intn(n)
+		}
+		vals[r] = metric(idx)
+	}
+	sort.Float64s(vals)
+	loIdx := int(alpha / 2 * float64(resamples))
+	hiIdx := int((1 - alpha/2) * float64(resamples))
+	if hiIdx >= resamples {
+		hiIdx = resamples - 1
+	}
+	return vals[loIdx], vals[hiIdx], nil
+}
+
+// McNemar runs McNemar's test on paired classifier decisions.
+// b counts examples classifier A got right and B got wrong; c the
+// reverse. It returns the continuity-corrected chi-square statistic
+// and an approximate p-value (chi-square with 1 df). When b+c is
+// tiny (< 10) the chi-square approximation is poor; the exact
+// binomial form is used instead.
+func McNemar(b, c int) (stat, p float64, err error) {
+	if b < 0 || c < 0 {
+		return 0, 0, fmt.Errorf("eval: negative disagreement counts b=%d c=%d", b, c)
+	}
+	n := b + c
+	if n == 0 {
+		return 0, 1, nil // identical decisions: no evidence of difference
+	}
+	if n < 10 {
+		// Exact two-sided binomial test with p=0.5.
+		k := b
+		if c < b {
+			k = c
+		}
+		cum := 0.0
+		for i := 0; i <= k; i++ {
+			cum += binomPMF(n, i, 0.5)
+		}
+		p = 2 * cum
+		if p > 1 {
+			p = 1
+		}
+		return 0, p, nil
+	}
+	d := math.Abs(float64(b-c)) - 1 // continuity correction
+	stat = d * d / float64(n)
+	return stat, chiSquare1Sf(stat), nil
+}
+
+func binomPMF(n, k int, p float64) float64 {
+	// log-space for numeric safety
+	lp := lchoose(n, k) + float64(k)*math.Log(p) + float64(n-k)*math.Log(1-p)
+	return math.Exp(lp)
+}
+
+func lchoose(n, k int) float64 {
+	return lgamma(float64(n+1)) - lgamma(float64(k+1)) - lgamma(float64(n-k+1))
+}
+
+func lgamma(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}
+
+// chiSquare1Sf returns the survival function of the chi-square
+// distribution with one degree of freedom: P(X > x) = erfc(sqrt(x/2)).
+func chiSquare1Sf(x float64) float64 {
+	if x <= 0 {
+		return 1
+	}
+	return math.Erfc(math.Sqrt(x / 2))
+}
+
+// PairedPermutationTest estimates the p-value that the mean of
+// per-example score differences (a[i]-b[i]) is zero, by random sign
+// flips. Returns the two-sided p-value. Deterministic under seed.
+func PairedPermutationTest(a, b []float64, permutations int, seed int64) (float64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("eval: paired lengths differ: %d vs %d", len(a), len(b))
+	}
+	if len(a) == 0 || permutations <= 0 {
+		return 0, fmt.Errorf("eval: empty input or permutations=%d", permutations)
+	}
+	diffs := make([]float64, len(a))
+	observed := 0.0
+	for i := range a {
+		diffs[i] = a[i] - b[i]
+		observed += diffs[i]
+	}
+	observed = math.Abs(observed / float64(len(diffs)))
+	rng := rand.New(rand.NewSource(seed))
+	extreme := 0
+	for p := 0; p < permutations; p++ {
+		sum := 0.0
+		for _, d := range diffs {
+			if rng.Intn(2) == 0 {
+				sum += d
+			} else {
+				sum -= d
+			}
+		}
+		if math.Abs(sum/float64(len(diffs))) >= observed-1e-15 {
+			extreme++
+		}
+	}
+	return float64(extreme+1) / float64(permutations+1), nil
+}
+
+// MeanStd returns the mean and (population) standard deviation.
+func MeanStd(xs []float64) (mean, std float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	for _, x := range xs {
+		d := x - mean
+		std += d * d
+	}
+	std = math.Sqrt(std / float64(len(xs)))
+	return mean, std
+}

@@ -1,0 +1,232 @@
+package eval
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/task"
+)
+
+func TestBootstrapCIDeterministicAndOrdered(t *testing.T) {
+	data := []float64{0.1, 0.9, 0.4, 0.6, 0.5, 0.8, 0.3, 0.7, 0.2, 0.55}
+	metric := func(idx []int) float64 {
+		s := 0.0
+		for _, i := range idx {
+			s += data[i]
+		}
+		return s / float64(len(idx))
+	}
+	lo1, hi1, err := BootstrapCI(len(data), 500, 0.05, 42, metric)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo2, hi2, _ := BootstrapCI(len(data), 500, 0.05, 42, metric)
+	if lo1 != lo2 || hi1 != hi2 {
+		t.Error("bootstrap not deterministic under seed")
+	}
+	if lo1 > hi1 {
+		t.Errorf("lo %v > hi %v", lo1, hi1)
+	}
+	mean, _ := MeanStd(data)
+	if lo1 > mean || hi1 < mean {
+		t.Errorf("CI [%v,%v] excludes sample mean %v", lo1, hi1, mean)
+	}
+}
+
+func TestBootstrapCIErrors(t *testing.T) {
+	m := func([]int) float64 { return 0 }
+	if _, _, err := BootstrapCI(0, 10, 0.05, 1, m); err == nil {
+		t.Error("n=0 must error")
+	}
+	if _, _, err := BootstrapCI(10, 0, 0.05, 1, m); err == nil {
+		t.Error("resamples=0 must error")
+	}
+	if _, _, err := BootstrapCI(10, 10, 1.5, 1, m); err == nil {
+		t.Error("alpha out of range must error")
+	}
+}
+
+func TestMcNemar(t *testing.T) {
+	// Identical decisions: p = 1.
+	_, p, err := McNemar(0, 0)
+	if err != nil || p != 1 {
+		t.Errorf("McNemar(0,0) p = %v, err %v", p, err)
+	}
+	// Strong asymmetry: p should be tiny.
+	_, p, _ = McNemar(100, 10)
+	if p > 0.001 {
+		t.Errorf("McNemar(100,10) p = %v, want < .001", p)
+	}
+	// Symmetric disagreement: p large.
+	_, p, _ = McNemar(50, 50)
+	if p < 0.5 {
+		t.Errorf("McNemar(50,50) p = %v, want large", p)
+	}
+	// Small-sample exact path.
+	_, p, _ = McNemar(4, 1)
+	if p <= 0 || p > 1 {
+		t.Errorf("exact McNemar p = %v out of (0,1]", p)
+	}
+	if _, _, err := McNemar(-1, 2); err == nil {
+		t.Error("negative counts must error")
+	}
+}
+
+func TestChiSquare1Sf(t *testing.T) {
+	// Known value: P(chi2_1 > 3.841) ~ 0.05.
+	if p := chiSquare1Sf(3.841); math.Abs(p-0.05) > 0.002 {
+		t.Errorf("sf(3.841) = %v, want ~0.05", p)
+	}
+	if chiSquare1Sf(0) != 1 {
+		t.Error("sf(0) must be 1")
+	}
+	if chiSquare1Sf(-5) != 1 {
+		t.Error("sf(negative) must be 1")
+	}
+}
+
+func TestPairedPermutationTest(t *testing.T) {
+	// Identical systems: p near 1.
+	a := []float64{1, 0, 1, 1, 0, 1, 0, 1}
+	p, err := PairedPermutationTest(a, a, 200, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p < 0.9 {
+		t.Errorf("identical systems p = %v, want ~1", p)
+	}
+	// Clearly different systems.
+	b := make([]float64, 40)
+	c := make([]float64, 40)
+	for i := range b {
+		b[i] = 1
+		c[i] = 0
+	}
+	p, _ = PairedPermutationTest(b, c, 500, 3)
+	if p > 0.05 {
+		t.Errorf("disjoint systems p = %v, want small", p)
+	}
+	if _, err := PairedPermutationTest([]float64{1}, []float64{1, 2}, 10, 1); err == nil {
+		t.Error("length mismatch must error")
+	}
+	if _, err := PairedPermutationTest(nil, nil, 10, 1); err == nil {
+		t.Error("empty input must error")
+	}
+}
+
+func TestMeanStd(t *testing.T) {
+	m, s := MeanStd([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if !almostEq(m, 5) || !almostEq(s, 2) {
+		t.Errorf("MeanStd = %v, %v; want 5, 2", m, s)
+	}
+	m, s = MeanStd(nil)
+	if m != 0 || s != 0 {
+		t.Error("empty MeanStd should be 0,0")
+	}
+}
+
+func TestKFoldProperties(t *testing.T) {
+	exs := make([]task.Example, 103)
+	for i := range exs {
+		exs[i] = task.Example{Text: string(rune('a' + i%26)), Label: i % 3}
+	}
+	folds, err := KFold(exs, 5, 3, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(folds) != 5 {
+		t.Fatalf("got %d folds", len(folds))
+	}
+	totalTest := 0
+	for _, f := range folds {
+		train, test := f[0], f[1]
+		totalTest += len(test)
+		if len(train)+len(test) != len(exs) {
+			t.Errorf("fold sizes %d + %d != %d", len(train), len(test), len(exs))
+		}
+	}
+	if totalTest != len(exs) {
+		t.Errorf("test folds cover %d, want %d", totalTest, len(exs))
+	}
+}
+
+func TestKFoldErrors(t *testing.T) {
+	exs := []task.Example{{Text: "a", Label: 0}, {Text: "b", Label: 1}}
+	if _, err := KFold(exs, 1, 2, 1); err == nil {
+		t.Error("k=1 must error")
+	}
+	if _, err := KFold(exs, 5, 2, 1); err == nil {
+		t.Error("too few examples must error")
+	}
+	bad := []task.Example{{Text: "a", Label: 5}, {Text: "b", Label: 0}, {Text: "c", Label: 1}}
+	if _, err := KFold(bad, 2, 2, 1); err == nil {
+		t.Error("out-of-range label must error")
+	}
+}
+
+// stubClassifier predicts by text prefix: "p:<label>".
+type stubClassifier struct{ scores bool }
+
+func (s stubClassifier) Name() string { return "stub" }
+func (s stubClassifier) Predict(text string) (task.Prediction, error) {
+	label := int(text[0] - '0')
+	p := task.Prediction{Label: label}
+	if s.scores {
+		p.Scores = []float64{0.2, 0.8}
+		if label == 0 {
+			p.Scores = []float64{0.8, 0.2}
+		}
+	}
+	return p, nil
+}
+
+func TestEvaluateEndToEnd(t *testing.T) {
+	tk := &task.Task{
+		Name:       "stub-task",
+		LabelNames: []string{"neg", "pos"},
+		Train:      []task.Example{{Text: "0", Label: 0}},
+		Test: []task.Example{
+			{Text: "0", Label: 0}, {Text: "1", Label: 1},
+			{Text: "0", Label: 1}, {Text: "1", Label: 1},
+		},
+	}
+	res, err := Evaluate(stubClassifier{scores: true}, tk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.N != 4 {
+		t.Errorf("N = %d", res.N)
+	}
+	if !almostEq(res.Accuracy, 0.75) {
+		t.Errorf("Accuracy = %v", res.Accuracy)
+	}
+	if res.AUROC <= 0.5 {
+		t.Errorf("AUROC = %v, want > 0.5 for aligned scores", res.AUROC)
+	}
+	if res.Unparsed != 0 {
+		t.Errorf("Unparsed = %d", res.Unparsed)
+	}
+	lo, hi, err := res.F1CI(200, 0.1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo > res.MacroF1 || hi < res.MacroF1 {
+		t.Errorf("CI [%v,%v] excludes point estimate %v", lo, hi, res.MacroF1)
+	}
+}
+
+func TestCompareMcNemarPairing(t *testing.T) {
+	a := &Result{Correct: []bool{true, true, false, false}}
+	b := &Result{Correct: []bool{true, false, true, false}}
+	_, p, err := CompareMcNemar(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p <= 0 || p > 1 {
+		t.Errorf("p = %v", p)
+	}
+	c := &Result{Correct: []bool{true}}
+	if _, _, err := CompareMcNemar(a, c); err == nil {
+		t.Error("unpaired results must error")
+	}
+}

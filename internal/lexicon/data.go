@@ -1,0 +1,340 @@
+package lexicon
+
+import "sync"
+
+// The disorder lexicons below were assembled to mirror the signal
+// vocabularies replicated across the mental-health NLP literature
+// (LIWC-style affect categories, the CLPsych and eRisk shared-task
+// analyses, and depression-lexicon studies). Weights in (0,1] grade
+// condition specificity: 1.0 terms are near-pathognomonic phrases,
+// 0.3-0.5 terms are suggestive but shared with everyday distress.
+//
+// Each lexicon is built once, lazily, and shared; Lexicon is
+// immutable so sharing is safe.
+
+var (
+	depressionOnce sync.Once
+	depressionLex  *Lexicon
+)
+
+// Depression returns the depression lexicon.
+func Depression() *Lexicon {
+	depressionOnce.Do(func() {
+		depressionLex = New("depression", []Entry{
+			{"hopeless", 1.0}, {"worthless", 1.0}, {"emptiness", 0.95},
+			{"empty inside", 1.0}, {"numb", 0.8}, {"anhedonia", 1.0},
+			{"no energy", 0.8}, {"exhausted", 0.5}, {"drained", 0.55},
+			{"crying", 0.6}, {"cried", 0.6}, {"tears", 0.5},
+			{"depressed", 0.95}, {"depression", 0.9}, {"despair", 0.9},
+			{"miserable", 0.75}, {"lonely", 0.65}, {"alone", 0.5},
+			{"isolated", 0.6}, {"withdrawn", 0.6}, {"burden", 0.8},
+			{"guilt", 0.6}, {"guilty", 0.55}, {"shame", 0.55},
+			{"useless", 0.8}, {"failure", 0.7}, {"pathetic", 0.6},
+			{"pointless", 0.8}, {"meaningless", 0.85}, {"nothing matters", 1.0},
+			{"no point", 0.85}, {"cant get up", 0.8}, {"can't get up", 0.8},
+			{"stay in bed", 0.7}, {"sleep all day", 0.75},
+			{"no motivation", 0.85}, {"unmotivated", 0.7},
+			{"lost interest", 0.9}, {"dont enjoy", 0.8}, {"don't enjoy", 0.8},
+			{"dark place", 0.8}, {"black hole", 0.6}, {"heavy", 0.35},
+			{"weight on", 0.5}, {"dragging", 0.45}, {"fog", 0.45},
+			{"brain fog", 0.6}, {"cant focus", 0.55}, {"can't focus", 0.55},
+			{"appetite", 0.5}, {"not eating", 0.55}, {"lost weight", 0.45},
+			{"insomnia", 0.55}, {"cant sleep", 0.5}, {"can't sleep", 0.5},
+			{"awake at", 0.4}, {"3am", 0.4}, {"hate myself", 0.95},
+			{"self loathing", 0.95}, {"self-loathing", 0.95},
+			{"disappear", 0.7}, {"give up", 0.7}, {"giving up", 0.75},
+			{"whats the point", 0.9}, {"what's the point", 0.9},
+			{"tired of everything", 0.85}, {"so tired", 0.5},
+			{"sad", 0.5}, {"sadness", 0.55}, {"blue", 0.3},
+			{"low", 0.35}, {"down", 0.3}, {"broken", 0.55},
+			{"never get better", 0.9}, {"wont get better", 0.85},
+			{"won't get better", 0.85}, {"therapy", 0.4},
+			{"antidepressant", 0.7}, {"sertraline", 0.65},
+			{"prozac", 0.6}, {"medication", 0.35},
+		})
+	})
+	return depressionLex
+}
+
+var (
+	anxietyOnce sync.Once
+	anxietyLex  *Lexicon
+)
+
+// Anxiety returns the anxiety lexicon.
+func Anxiety() *Lexicon {
+	anxietyOnce.Do(func() {
+		anxietyLex = New("anxiety", []Entry{
+			{"anxious", 0.95}, {"anxiety", 0.9}, {"panic", 0.9},
+			{"panic attack", 1.0}, {"panicking", 0.95}, {"worry", 0.6},
+			{"worried", 0.6}, {"worrying", 0.65}, {"overthinking", 0.8},
+			{"racing thoughts", 0.85}, {"racing heart", 0.85},
+			{"heart pounding", 0.85}, {"heart racing", 0.85},
+			{"cant breathe", 0.85}, {"can't breathe", 0.85},
+			{"hyperventilating", 0.9}, {"shaking", 0.6}, {"trembling", 0.65},
+			{"sweating", 0.5}, {"nauseous", 0.5}, {"dizzy", 0.5},
+			{"chest tight", 0.8}, {"tight chest", 0.8}, {"chest pain", 0.6},
+			{"on edge", 0.75}, {"edge", 0.3}, {"restless", 0.6},
+			{"cant relax", 0.7}, {"can't relax", 0.7},
+			{"what if", 0.55}, {"catastrophizing", 0.85},
+			{"worst case", 0.6}, {"dread", 0.75}, {"dreading", 0.75},
+			{"terrified", 0.7}, {"scared", 0.5}, {"fear", 0.5},
+			{"afraid", 0.5}, {"nervous", 0.6}, {"nerves", 0.45},
+			{"social anxiety", 1.0}, {"avoid people", 0.6},
+			{"avoiding", 0.45}, {"avoidance", 0.6},
+			{"phone call", 0.35}, {"cancel plans", 0.5},
+			{"overwhelmed", 0.55}, {"spiraling", 0.75}, {"spiral", 0.6},
+			{"intrusive", 0.6}, {"rumination", 0.7}, {"ruminating", 0.7},
+			{"health anxiety", 0.9}, {"reassurance", 0.5},
+			{"checking", 0.35}, {"worst will happen", 0.8},
+			{"impending doom", 0.9}, {"doom", 0.5},
+			{"jittery", 0.6}, {"keyed up", 0.65}, {"tense", 0.55},
+			{"xanax", 0.7}, {"benzo", 0.6}, {"propranolol", 0.6},
+			{"breathing exercises", 0.55},
+		})
+	})
+	return anxietyLex
+}
+
+var (
+	stressOnce sync.Once
+	stressLex  *Lexicon
+)
+
+// Stress returns the (non-clinical) psychological stress lexicon,
+// mirroring the Dreaddit task vocabulary.
+func Stress() *Lexicon {
+	stressOnce.Do(func() {
+		stressLex = New("stress", []Entry{
+			{"stressed", 0.95}, {"stress", 0.85}, {"stressful", 0.9},
+			{"pressure", 0.7}, {"under pressure", 0.85},
+			{"deadline", 0.7}, {"deadlines", 0.7}, {"workload", 0.75},
+			{"overworked", 0.8}, {"burnout", 0.85}, {"burned out", 0.85},
+			{"burnt out", 0.85}, {"overwhelmed", 0.75},
+			{"too much", 0.5}, {"cant cope", 0.8}, {"can't cope", 0.8},
+			{"cant handle", 0.75}, {"can't handle", 0.75},
+			{"breaking point", 0.85}, {"at my limit", 0.8},
+			{"snapped", 0.5}, {"frazzled", 0.7}, {"frantic", 0.6},
+			{"rushing", 0.45}, {"no time", 0.55}, {"behind on", 0.55},
+			{"piling up", 0.65}, {"juggling", 0.55},
+			{"bills", 0.5}, {"rent", 0.45}, {"debt", 0.55},
+			{"money problems", 0.7}, {"paycheck", 0.45},
+			{"eviction", 0.65}, {"landlord", 0.4},
+			{"boss", 0.4}, {"manager", 0.35}, {"shift", 0.3},
+			{"overtime", 0.5}, {"exams", 0.55}, {"finals", 0.55},
+			{"thesis", 0.45}, {"assignment", 0.4}, {"grades", 0.4},
+			{"argument", 0.4}, {"fighting", 0.4}, {"divorce", 0.5},
+			{"custody", 0.5}, {"caretaker", 0.5}, {"caregiving", 0.55},
+			{"tension headache", 0.7}, {"grinding teeth", 0.6},
+			{"clenching", 0.5}, {"headache", 0.4}, {"migraine", 0.4},
+			{"exhausting", 0.5}, {"frustrated", 0.5}, {"irritable", 0.55},
+			{"short fuse", 0.6}, {"losing it", 0.55},
+			{"pulled in", 0.45}, {"responsibilities", 0.5},
+		})
+	})
+	return stressLex
+}
+
+var (
+	suicideOnce sync.Once
+	suicideLex  *Lexicon
+)
+
+// SuicidalIdeation returns the suicidal-ideation lexicon, the
+// highest-stakes vocabulary in the benchmark. Phrase weights mirror
+// clinical risk-assessment salience (plan and means language weighs
+// more than passive ideation).
+func SuicidalIdeation() *Lexicon {
+	suicideOnce.Do(func() {
+		suicideLex = New("suicidal-ideation", []Entry{
+			{"suicide", 0.95}, {"suicidal", 1.0}, {"kill myself", 1.0},
+			{"end my life", 1.0}, {"end it all", 0.95}, {"take my life", 1.0},
+			{"want to die", 1.0}, {"wanna die", 0.95}, {"wish i was dead", 1.0},
+			{"wish i were dead", 1.0}, {"better off dead", 1.0},
+			{"better off without me", 0.95}, {"not wake up", 0.85},
+			{"never wake up", 0.85}, {"sleep forever", 0.8},
+			{"disappear forever", 0.8}, {"stop existing", 0.9},
+			{"dont want to exist", 0.95}, {"don't want to exist", 0.95},
+			{"no reason to live", 0.95}, {"nothing to live for", 0.95},
+			{"cant go on", 0.85}, {"can't go on", 0.85},
+			{"goodbye everyone", 0.9}, {"final goodbye", 0.95},
+			{"last post", 0.7}, {"note", 0.35}, {"goodbye note", 0.95},
+			{"plan", 0.3}, {"have a plan", 0.9}, {"the plan", 0.45},
+			{"pills", 0.6}, {"overdose", 0.85}, {"od", 0.6},
+			{"bridge", 0.45}, {"jump off", 0.75}, {"rope", 0.5},
+			{"hanging", 0.6}, {"gun", 0.5}, {"razor", 0.55},
+			{"cutting", 0.6}, {"self harm", 0.8}, {"self-harm", 0.8},
+			{"hurt myself", 0.8}, {"harm myself", 0.85},
+			{"ideation", 0.8}, {"passive ideation", 0.85},
+			{"crisis line", 0.7}, {"hotline", 0.6}, {"988", 0.65},
+			{"attempt", 0.55}, {"attempted", 0.6}, {"survivor", 0.4},
+			{"burden to everyone", 0.9}, {"everyone would be better", 0.85},
+			{"tired of living", 0.9}, {"done with life", 0.9},
+			{"cant do this anymore", 0.85}, {"can't do this anymore", 0.85},
+			{"ready to go", 0.6}, {"say goodbye", 0.7},
+			{"funeral", 0.45}, {"will", 0.2}, {"giving away", 0.5},
+			{"no future", 0.7}, {"no tomorrow", 0.7},
+		})
+	})
+	return suicideLex
+}
+
+var (
+	ptsdOnce sync.Once
+	ptsdLex  *Lexicon
+)
+
+// PTSD returns the post-traumatic-stress lexicon.
+func PTSD() *Lexicon {
+	ptsdOnce.Do(func() {
+		ptsdLex = New("ptsd", []Entry{
+			{"ptsd", 1.0}, {"trauma", 0.85}, {"traumatic", 0.85},
+			{"traumatized", 0.9}, {"flashback", 1.0}, {"flashbacks", 1.0},
+			{"nightmare", 0.65}, {"nightmares", 0.7},
+			{"night terrors", 0.85}, {"triggered", 0.7}, {"trigger", 0.6},
+			{"triggers", 0.65}, {"hypervigilant", 0.95},
+			{"hypervigilance", 0.95}, {"on guard", 0.7},
+			{"startle", 0.8}, {"startled", 0.7}, {"jumpy", 0.6},
+			{"loud noises", 0.6}, {"fireworks", 0.5},
+			{"dissociate", 0.85}, {"dissociation", 0.85},
+			{"dissociating", 0.85}, {"derealization", 0.9},
+			{"depersonalization", 0.9}, {"not real", 0.5},
+			{"out of body", 0.7}, {"reliving", 0.85}, {"relive", 0.8},
+			{"intrusive memories", 0.95}, {"cant forget", 0.6},
+			{"can't forget", 0.6}, {"haunted", 0.65}, {"haunts", 0.6},
+			{"combat", 0.6}, {"deployment", 0.55}, {"veteran", 0.55},
+			{"assault", 0.6}, {"abuse", 0.55}, {"abuser", 0.6},
+			{"abusive", 0.55}, {"accident", 0.4}, {"crash", 0.4},
+			{"survivor guilt", 0.9}, {"survivors guilt", 0.9},
+			{"avoid reminders", 0.8}, {"cant talk about", 0.6},
+			{"can't talk about", 0.6}, {"emdr", 0.85},
+			{"exposure therapy", 0.8}, {"prazosin", 0.7},
+			{"anniversary", 0.45}, {"that night", 0.45},
+			{"what happened", 0.4}, {"memories", 0.4},
+			{"numb", 0.5}, {"detached", 0.6}, {"unsafe", 0.55},
+			{"checking locks", 0.6}, {"exits", 0.45},
+		})
+	})
+	return ptsdLex
+}
+
+var (
+	edOnce sync.Once
+	edLex  *Lexicon
+)
+
+// EatingDisorder returns the eating-disorder lexicon.
+func EatingDisorder() *Lexicon {
+	edOnce.Do(func() {
+		edLex = New("eating-disorder", []Entry{
+			{"anorexia", 1.0}, {"anorexic", 0.95}, {"bulimia", 1.0},
+			{"bulimic", 0.95}, {"binge", 0.8}, {"binged", 0.8},
+			{"bingeing", 0.85}, {"purge", 0.9}, {"purging", 0.9},
+			{"purged", 0.9}, {"restricting", 0.9}, {"restrict", 0.8},
+			{"restriction", 0.8}, {"fasting", 0.6}, {"fasted", 0.55},
+			{"calories", 0.7}, {"calorie", 0.65}, {"cal", 0.4},
+			{"counting calories", 0.85}, {"calorie deficit", 0.6},
+			{"body checking", 0.85}, {"body check", 0.8},
+			{"mirror", 0.35}, {"scale", 0.5}, {"weighed myself", 0.75},
+			{"weigh in", 0.5}, {"gained weight", 0.55},
+			{"lost weight", 0.5}, {"goal weight", 0.8}, {"gw", 0.6},
+			{"ugw", 0.75}, {"bmi", 0.6}, {"underweight", 0.7},
+			{"overweight", 0.5}, {"fat", 0.45}, {"feel fat", 0.75},
+			{"feeling fat", 0.75}, {"thigh gap", 0.8},
+			{"collarbones", 0.6}, {"skinny", 0.5}, {"thinspo", 1.0},
+			{"meanspo", 0.95}, {"ed recovery", 0.9}, {"recovery", 0.4},
+			{"relapse", 0.5}, {"relapsed", 0.55},
+			{"safe foods", 0.85}, {"fear foods", 0.9},
+			{"meal plan", 0.6}, {"dietitian", 0.6},
+			{"hungry", 0.4}, {"hunger", 0.45}, {"starving", 0.6},
+			{"starve", 0.65}, {"skipped meals", 0.7},
+			{"skipping meals", 0.7}, {"hide food", 0.7},
+			{"hiding food", 0.7}, {"guilt after eating", 0.85},
+			{"ate too much", 0.6}, {"compensate", 0.55},
+			{"laxatives", 0.85}, {"diet pills", 0.75},
+			{"overexercise", 0.75}, {"burn it off", 0.7},
+		})
+	})
+	return edLex
+}
+
+var (
+	bipolarOnce sync.Once
+	bipolarLex  *Lexicon
+)
+
+// Bipolar returns the bipolar-disorder lexicon.
+func Bipolar() *Lexicon {
+	bipolarOnce.Do(func() {
+		bipolarLex = New("bipolar", []Entry{
+			{"bipolar", 1.0}, {"mania", 1.0}, {"manic", 0.95},
+			{"hypomania", 1.0}, {"hypomanic", 0.95},
+			{"manic episode", 1.0}, {"depressive episode", 0.9},
+			{"episode", 0.45}, {"mood swings", 0.75},
+			{"mood swing", 0.7}, {"cycling", 0.6}, {"rapid cycling", 0.95},
+			{"mixed episode", 0.95}, {"mixed state", 0.9},
+			{"euphoric", 0.7}, {"euphoria", 0.7}, {"invincible", 0.65},
+			{"on top of the world", 0.7}, {"grandiose", 0.85},
+			{"grandiosity", 0.85}, {"racing thoughts", 0.7},
+			{"pressured speech", 0.9}, {"talking fast", 0.6},
+			{"no sleep", 0.5}, {"didnt sleep", 0.5}, {"didn't sleep", 0.5},
+			{"three days awake", 0.8}, {"dont need sleep", 0.8},
+			{"don't need sleep", 0.8}, {"spending spree", 0.85},
+			{"spent all", 0.6}, {"maxed out", 0.55},
+			{"impulsive", 0.65}, {"impulsivity", 0.7},
+			{"reckless", 0.6}, {"risky", 0.5},
+			{"hypersexual", 0.8}, {"projects", 0.35},
+			{"started five", 0.5}, {"ideas flowing", 0.6},
+			{"crash", 0.45}, {"crashed", 0.45}, {"crashing", 0.5},
+			{"the crash", 0.6}, {"come down", 0.45},
+			{"lithium", 0.95}, {"lamotrigine", 0.9}, {"lamictal", 0.9},
+			{"seroquel", 0.8}, {"quetiapine", 0.8}, {"abilify", 0.7},
+			{"mood stabilizer", 0.9}, {"psychiatrist", 0.5},
+			{"diagnosis", 0.4}, {"bp1", 0.9}, {"bp2", 0.9},
+			{"bipolar 1", 0.95}, {"bipolar 2", 0.95},
+			{"up and down", 0.5}, {"high then low", 0.7},
+		})
+	})
+	return bipolarLex
+}
+
+var (
+	neutralOnce sync.Once
+	neutralLex  *Lexicon
+)
+
+// Neutral returns the control-class lexicon: everyday social-media
+// vocabulary with no clinical valence, used by the corpus generator
+// to compose control posts and filler context.
+func Neutral() *Lexicon {
+	neutralOnce.Do(func() {
+		neutralLex = New("neutral", []Entry{
+			{"weekend", 0.5}, {"movie", 0.5}, {"game", 0.5},
+			{"games", 0.5}, {"dinner", 0.5}, {"lunch", 0.5},
+			{"coffee", 0.5}, {"recipe", 0.5}, {"cooking", 0.5},
+			{"baking", 0.5}, {"hiking", 0.5}, {"gym", 0.45},
+			{"workout", 0.45}, {"running", 0.45}, {"bike", 0.5},
+			{"music", 0.5}, {"concert", 0.5}, {"album", 0.5},
+			{"playlist", 0.5}, {"guitar", 0.5}, {"book", 0.5},
+			{"books", 0.5}, {"reading", 0.5}, {"novel", 0.5},
+			{"series", 0.5}, {"season finale", 0.55}, {"episode", 0.35},
+			{"garden", 0.5}, {"plants", 0.5}, {"dog", 0.55},
+			{"puppy", 0.55}, {"cat", 0.55}, {"kitten", 0.55},
+			{"vacation", 0.55}, {"trip", 0.5}, {"travel", 0.5},
+			{"flight", 0.45}, {"beach", 0.5}, {"mountains", 0.5},
+			{"photography", 0.5}, {"camera", 0.45}, {"painting", 0.5},
+			{"drawing", 0.5}, {"project", 0.4}, {"diy", 0.5},
+			{"birthday", 0.5}, {"party", 0.45}, {"wedding", 0.5},
+			{"friends", 0.45}, {"family", 0.4}, {"barbecue", 0.5},
+			{"soccer", 0.5}, {"basketball", 0.5}, {"football", 0.5},
+			{"playoffs", 0.5}, {"score", 0.4}, {"team", 0.4},
+			{"recommendation", 0.45}, {"recommendations", 0.45},
+			{"advice", 0.35}, {"question", 0.35}, {"update", 0.35},
+			{"excited", 0.45}, {"awesome", 0.45}, {"great", 0.4},
+			{"fun", 0.45}, {"enjoyed", 0.45}, {"beautiful", 0.45},
+			{"delicious", 0.5}, {"finally finished", 0.45},
+			{"new job", 0.45}, {"moved", 0.4}, {"apartment", 0.4},
+		})
+	})
+	return neutralLex
+}

@@ -1,0 +1,206 @@
+// Package lexicon provides weighted mental-health lexicons and
+// LIWC-style psycholinguistic categories.
+//
+// Two families of lexicons are exposed:
+//
+//   - Disorder lexicons (Depression, Anxiety, Stress, ...) — terms
+//     that carry diagnostic signal for one condition, with weights in
+//     (0, 1] grading how specific the term is to the condition
+//     ("hopeless" weighs more for depression than "tired").
+//   - Category lexicons (FirstPerson, NegativeEmotion, Absolutist,
+//     ...) — psycholinguistic feature classes replicated across the
+//     mental-health NLP literature.
+//
+// The corpus generator plants disorder-lexicon terms to synthesize
+// labelled posts, and the simulated LLM scores posts against a
+// noised copy of the same lexicons; the deliberate weight mismatch
+// between "generator truth" and "LLM knowledge" is what gives
+// fine-tuned baselines their in-domain advantage, reproducing the
+// survey's central comparison.
+package lexicon
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/domain"
+	"repro/internal/textkit"
+)
+
+// Entry is one weighted lexicon term.
+type Entry struct {
+	Term   string
+	Weight float64
+}
+
+// Lexicon is an immutable weighted term list. The zero value is an
+// empty lexicon; use New to build one.
+type Lexicon struct {
+	name     string
+	weights  map[string]float64
+	maxWords int // longest phrase length, in words
+}
+
+// New builds a lexicon from entries. Duplicate terms keep the
+// maximum weight. Terms are stored as given (callers should pass
+// lowercase terms; multiword terms use a single space).
+func New(name string, entries []Entry) *Lexicon {
+	w := make(map[string]float64, len(entries))
+	maxWords := 1
+	for _, e := range entries {
+		if cur, ok := w[e.Term]; !ok || e.Weight > cur {
+			w[e.Term] = e.Weight
+		}
+		if n := 1 + strings.Count(e.Term, " "); n > maxWords {
+			maxWords = n
+		}
+	}
+	return &Lexicon{name: name, weights: w, maxWords: maxWords}
+}
+
+// Name returns the lexicon's identifier.
+func (l *Lexicon) Name() string { return l.name }
+
+// Len returns the number of distinct terms.
+func (l *Lexicon) Len() int { return len(l.weights) }
+
+// Weight returns the weight of term, or 0 if absent.
+func (l *Lexicon) Weight(term string) float64 { return l.weights[term] }
+
+// Contains reports whether term is in the lexicon.
+func (l *Lexicon) Contains(term string) bool {
+	_, ok := l.weights[term]
+	return ok
+}
+
+// Entries returns all entries sorted by descending weight then term,
+// so iteration order is deterministic.
+func (l *Lexicon) Entries() []Entry {
+	out := make([]Entry, 0, len(l.weights))
+	for t, w := range l.weights {
+		out = append(out, Entry{Term: t, Weight: w})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Weight != out[j].Weight {
+			return out[i].Weight > out[j].Weight
+		}
+		return out[i].Term < out[j].Term
+	})
+	return out
+}
+
+// Terms returns the terms sorted as in Entries.
+func (l *Lexicon) Terms() []string {
+	es := l.Entries()
+	out := make([]string, len(es))
+	for i, e := range es {
+		out[i] = e.Term
+	}
+	return out
+}
+
+// Score sums the weights of lexicon terms appearing in tokens,
+// matching multiword phrases up to the longest entry ("panic
+// attack", "want to die", "cant do this anymore"), and normalizes by
+// sqrt(len(tokens)) so long posts do not dominate by length alone.
+// An empty token list scores 0.
+func (l *Lexicon) Score(tokens []string) float64 {
+	if len(tokens) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for i := range tokens {
+		phrase := tokens[i]
+		sum += l.weights[phrase]
+		for n := 2; n <= l.maxWords && i+n <= len(tokens); n++ {
+			phrase += " " + tokens[i+n-1]
+			sum += l.weights[phrase]
+		}
+	}
+	return sum / sqrt(float64(len(tokens)))
+}
+
+// ScoreText normalizes, tokenizes, and scores raw text.
+func (l *Lexicon) ScoreText(text string) float64 {
+	return l.Score(textkit.Words(textkit.Normalize(text)))
+}
+
+// Hits returns the lexicon terms found in tokens (matching phrases
+// up to the longest entry), in first-occurrence order, without
+// duplicates.
+func (l *Lexicon) Hits(tokens []string) []string {
+	var out []string
+	seen := map[string]bool{}
+	add := func(t string) {
+		if _, ok := l.weights[t]; ok && !seen[t] {
+			seen[t] = true
+			out = append(out, t)
+		}
+	}
+	for i := range tokens {
+		phrase := tokens[i]
+		add(phrase)
+		for n := 2; n <= l.maxWords && i+n <= len(tokens); n++ {
+			phrase += " " + tokens[i+n-1]
+			add(phrase)
+		}
+	}
+	return out
+}
+
+// Merge returns a new lexicon containing the union of l and other;
+// shared terms keep the maximum weight.
+func (l *Lexicon) Merge(name string, other *Lexicon) *Lexicon {
+	entries := l.Entries()
+	entries = append(entries, other.Entries()...)
+	return New(name, entries)
+}
+
+func sqrt(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	// Newton's method; x is a small positive count so this converges
+	// in a handful of iterations without importing math.
+	z := x
+	for i := 0; i < 20; i++ {
+		z -= (z*z - x) / (2 * z)
+	}
+	return z
+}
+
+// ForDisorder returns the built-in lexicon for disorder d. Control
+// maps to the Neutral lexicon.
+func ForDisorder(d domain.Disorder) (*Lexicon, error) {
+	switch d {
+	case domain.Control:
+		return Neutral(), nil
+	case domain.Depression:
+		return Depression(), nil
+	case domain.Anxiety:
+		return Anxiety(), nil
+	case domain.Stress:
+		return Stress(), nil
+	case domain.SuicidalIdeation:
+		return SuicidalIdeation(), nil
+	case domain.PTSD:
+		return PTSD(), nil
+	case domain.EatingDisorder:
+		return EatingDisorder(), nil
+	case domain.Bipolar:
+		return Bipolar(), nil
+	}
+	return nil, fmt.Errorf("lexicon: no lexicon for %v", d)
+}
+
+// MustForDisorder is ForDisorder for the built-in disorders; it
+// panics on an unknown disorder and exists for registry
+// initialization where the disorder set is static.
+func MustForDisorder(d domain.Disorder) *Lexicon {
+	l, err := ForDisorder(d)
+	if err != nil {
+		panic(err)
+	}
+	return l
+}

@@ -1,0 +1,204 @@
+package lexicon
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/domain"
+)
+
+func TestNewDedupKeepsMaxWeight(t *testing.T) {
+	l := New("t", []Entry{{"a", 0.3}, {"a", 0.9}, {"a", 0.5}, {"b", 0.1}})
+	if l.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", l.Len())
+	}
+	if w := l.Weight("a"); w != 0.9 {
+		t.Errorf("Weight(a) = %v, want 0.9", w)
+	}
+}
+
+func TestEntriesSortedDeterministic(t *testing.T) {
+	l := New("t", []Entry{{"b", 0.5}, {"a", 0.5}, {"c", 0.9}})
+	es := l.Entries()
+	if es[0].Term != "c" || es[1].Term != "a" || es[2].Term != "b" {
+		t.Errorf("unexpected order: %v", es)
+	}
+	// Repeated calls identical.
+	es2 := l.Entries()
+	for i := range es {
+		if es[i] != es2[i] {
+			t.Fatal("Entries not deterministic")
+		}
+	}
+}
+
+func TestScoreUnigramAndBigram(t *testing.T) {
+	l := New("t", []Entry{{"hopeless", 1.0}, {"panic attack", 1.0}})
+	s1 := l.Score([]string{"i", "feel", "hopeless"})
+	if s1 <= 0 {
+		t.Error("unigram hit should score > 0")
+	}
+	s2 := l.Score([]string{"had", "a", "panic", "attack"})
+	if s2 <= 0 {
+		t.Error("bigram hit should score > 0")
+	}
+	if got := l.Score([]string{"sunny", "day"}); got != 0 {
+		t.Errorf("no-hit score = %v, want 0", got)
+	}
+	if got := l.Score(nil); got != 0 {
+		t.Errorf("empty score = %v, want 0", got)
+	}
+}
+
+func TestScoreLengthNormalization(t *testing.T) {
+	l := New("t", []Entry{{"sad", 1.0}})
+	short := l.Score([]string{"sad"})
+	long := l.Score([]string{"sad", "a", "b", "c", "d", "e", "f", "g", "h"})
+	if long >= short {
+		t.Errorf("length normalization failed: short=%v long=%v", short, long)
+	}
+}
+
+func TestScoreTextPipeline(t *testing.T) {
+	s := Depression().ScoreText("I feel so HOPELESS and worthless today...")
+	if s <= 0 {
+		t.Errorf("expected positive depression score, got %v", s)
+	}
+	n := Depression().ScoreText("great barbecue with friends this weekend")
+	if n >= s {
+		t.Errorf("neutral text (%v) should score below clinical text (%v)", n, s)
+	}
+}
+
+func TestHits(t *testing.T) {
+	l := New("t", []Entry{{"hopeless", 1.0}, {"panic attack", 1.0}})
+	hits := l.Hits([]string{"hopeless", "then", "panic", "attack", "hopeless"})
+	want := []string{"hopeless", "panic attack"}
+	if len(hits) != len(want) {
+		t.Fatalf("hits = %v, want %v", hits, want)
+	}
+	for i := range want {
+		if hits[i] != want[i] {
+			t.Errorf("hits = %v, want %v", hits, want)
+		}
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := New("a", []Entry{{"x", 0.5}, {"y", 0.2}})
+	b := New("b", []Entry{{"y", 0.8}, {"z", 0.3}})
+	m := a.Merge("m", b)
+	if m.Len() != 3 {
+		t.Fatalf("merged Len = %d, want 3", m.Len())
+	}
+	if m.Weight("y") != 0.8 {
+		t.Errorf("merged weight y = %v, want max 0.8", m.Weight("y"))
+	}
+	// Originals untouched.
+	if a.Weight("y") != 0.2 || b.Weight("z") != 0.3 {
+		t.Error("merge mutated inputs")
+	}
+}
+
+func TestForDisorderCoversAll(t *testing.T) {
+	for _, d := range domain.AllDisorders() {
+		l, err := ForDisorder(d)
+		if err != nil {
+			t.Fatalf("ForDisorder(%v): %v", d, err)
+		}
+		if l.Len() < 20 {
+			t.Errorf("lexicon %v too small: %d terms", d, l.Len())
+		}
+	}
+	if _, err := ForDisorder(domain.Disorder(99)); err == nil {
+		t.Error("expected error for unknown disorder")
+	}
+}
+
+func TestDisorderLexiconsDiscriminate(t *testing.T) {
+	// The flagship term of each disorder must score higher under its
+	// own lexicon than under every other disorder's lexicon.
+	flagship := map[domain.Disorder][]string{
+		domain.Depression:       {"i", "feel", "hopeless", "and", "worthless"},
+		domain.Anxiety:          {"had", "a", "panic", "attack", "today"},
+		domain.Stress:           {"deadline", "pressure", "overworked", "burnout"},
+		domain.SuicidalIdeation: {"i", "want", "to", "die", "suicidal"},
+		domain.PTSD:             {"flashbacks", "and", "hypervigilance", "again"},
+		domain.EatingDisorder:   {"restricting", "calories", "purging", "again"},
+		domain.Bipolar:          {"manic", "episode", "lithium", "rapid", "cycling"},
+	}
+	for d, tokens := range flagship {
+		own := MustForDisorder(d).Score(tokens)
+		for _, other := range domain.ClinicalDisorders() {
+			if other == d {
+				continue
+			}
+			cross := MustForDisorder(other).Score(tokens)
+			if cross >= own {
+				t.Errorf("%v flagship scores %.3f under %v but %.3f under own",
+					d, cross, other, own)
+			}
+		}
+	}
+}
+
+func TestAllWeightsInRange(t *testing.T) {
+	all := []*Lexicon{
+		Depression(), Anxiety(), Stress(), SuicidalIdeation(),
+		PTSD(), EatingDisorder(), Bipolar(), Neutral(),
+	}
+	all = append(all, Categories()...)
+	for _, l := range all {
+		for _, e := range l.Entries() {
+			if e.Weight <= 0 || e.Weight > 1 {
+				t.Errorf("%s: term %q weight %v out of (0,1]", l.Name(), e.Term, e.Weight)
+			}
+			if e.Term == "" {
+				t.Errorf("%s: empty term", l.Name())
+			}
+		}
+	}
+}
+
+func TestCategoriesNonEmpty(t *testing.T) {
+	cats := Categories()
+	if len(cats) != 7 {
+		t.Fatalf("expected 7 categories, got %d", len(cats))
+	}
+	for _, c := range cats {
+		if c.Len() == 0 {
+			t.Errorf("category %s is empty", c.Name())
+		}
+	}
+}
+
+func TestFirstPersonKeepsI(t *testing.T) {
+	if !FirstPerson().Contains("i") {
+		t.Error("first-person category must contain 'i'")
+	}
+}
+
+func TestScoreNonNegativeProperty(t *testing.T) {
+	l := Depression()
+	f := func(tokens []string) bool {
+		s := l.Score(tokens)
+		return s >= 0 && !math.IsNaN(s) && !math.IsInf(s, 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInternalSqrt(t *testing.T) {
+	for _, x := range []float64{1, 2, 4, 9, 100, 0.25, 1e6} {
+		got := sqrt(x)
+		want := math.Sqrt(x)
+		if math.Abs(got-want) > 1e-9*want {
+			t.Errorf("sqrt(%v) = %v, want %v", x, got, want)
+		}
+	}
+	if sqrt(0) != 0 || sqrt(-1) != 0 {
+		t.Error("sqrt of non-positive must be 0")
+	}
+}

@@ -1,0 +1,196 @@
+package lexicon
+
+import "sync"
+
+// LIWC-style psycholinguistic categories. These are the feature
+// classes whose elevation or suppression is replicated across the
+// computational mental-health literature: first-person-singular
+// pronoun rate, negative-emotion density, and absolutist-word rate
+// are the best-known depression markers.
+
+var (
+	firstPersonOnce sync.Once
+	firstPersonLex  *Lexicon
+)
+
+// FirstPerson returns the first-person-singular pronoun category.
+func FirstPerson() *Lexicon {
+	firstPersonOnce.Do(func() {
+		firstPersonLex = New("first-person", []Entry{
+			{"i", 1.0}, {"me", 1.0}, {"my", 1.0}, {"myself", 1.0},
+			{"mine", 1.0}, {"im", 1.0}, {"i'm", 1.0}, {"ive", 1.0},
+			{"i've", 1.0}, {"ill", 0.5}, {"i'll", 1.0}, {"id", 0.5},
+			{"i'd", 1.0},
+		})
+	})
+	return firstPersonLex
+}
+
+var (
+	negEmotionOnce sync.Once
+	negEmotionLex  *Lexicon
+)
+
+// NegativeEmotion returns the negative-emotion category.
+func NegativeEmotion() *Lexicon {
+	negEmotionOnce.Do(func() {
+		negEmotionLex = New("negative-emotion", []Entry{
+			{"sad", 1.0}, {"angry", 1.0}, {"mad", 0.8}, {"hate", 1.0},
+			{"hurt", 0.9}, {"pain", 0.9}, {"painful", 0.9},
+			{"awful", 0.9}, {"terrible", 0.9}, {"horrible", 0.9},
+			{"worst", 0.8}, {"bad", 0.6}, {"cry", 0.9}, {"crying", 0.9},
+			{"tears", 0.8}, {"miserable", 1.0}, {"suffering", 1.0},
+			{"suffer", 0.9}, {"agony", 1.0}, {"ache", 0.7},
+			{"lonely", 0.9}, {"alone", 0.7}, {"afraid", 0.9},
+			{"scared", 0.9}, {"fear", 0.9}, {"worthless", 1.0},
+			{"hopeless", 1.0}, {"useless", 0.9}, {"ugly", 0.8},
+			{"disgusting", 0.9}, {"ashamed", 0.9}, {"guilty", 0.8},
+			{"regret", 0.8}, {"sorry", 0.5}, {"upset", 0.8},
+			{"annoyed", 0.7}, {"frustrated", 0.8}, {"stressed", 0.8},
+			{"anxious", 0.9}, {"worried", 0.8}, {"nervous", 0.8},
+			{"panic", 0.9}, {"dread", 0.9}, {"numb", 0.8},
+			{"empty", 0.9}, {"broken", 0.8}, {"tired", 0.5},
+			{"exhausted", 0.7}, {"sick", 0.5}, {"lost", 0.6},
+		})
+	})
+	return negEmotionLex
+}
+
+var (
+	posEmotionOnce sync.Once
+	posEmotionLex  *Lexicon
+)
+
+// PositiveEmotion returns the positive-emotion category.
+func PositiveEmotion() *Lexicon {
+	posEmotionOnce.Do(func() {
+		posEmotionLex = New("positive-emotion", []Entry{
+			{"happy", 1.0}, {"joy", 1.0}, {"love", 1.0}, {"loved", 0.9},
+			{"great", 0.8}, {"good", 0.6}, {"wonderful", 1.0},
+			{"amazing", 0.9}, {"awesome", 0.9}, {"excited", 0.9},
+			{"excellent", 0.9}, {"fantastic", 0.9}, {"beautiful", 0.8},
+			{"fun", 0.8}, {"enjoy", 0.9}, {"enjoyed", 0.9},
+			{"grateful", 1.0}, {"gratitude", 1.0}, {"thankful", 1.0},
+			{"blessed", 0.9}, {"proud", 0.9}, {"hope", 0.7},
+			{"hopeful", 0.9}, {"optimistic", 1.0}, {"smile", 0.9},
+			{"smiling", 0.9}, {"laugh", 0.9}, {"laughing", 0.9},
+			{"glad", 0.8}, {"pleased", 0.8}, {"peaceful", 0.9},
+			{"calm", 0.8}, {"relaxed", 0.8}, {"relieved", 0.8},
+			{"better", 0.5}, {"improving", 0.7}, {"progress", 0.7},
+			{"win", 0.7}, {"won", 0.7}, {"success", 0.8},
+			{"achieved", 0.8}, {"celebrate", 0.9}, {"celebrating", 0.9},
+		})
+	})
+	return posEmotionLex
+}
+
+var (
+	absolutistOnce sync.Once
+	absolutistLex  *Lexicon
+)
+
+// Absolutist returns the absolutist-word category (Al-Mosaiwi &
+// Johnstone's dichotomous-thinking markers).
+func Absolutist() *Lexicon {
+	absolutistOnce.Do(func() {
+		absolutistLex = New("absolutist", []Entry{
+			{"always", 1.0}, {"never", 1.0}, {"nothing", 1.0},
+			{"everything", 1.0}, {"everyone", 0.9}, {"no one", 1.0},
+			{"nobody", 1.0}, {"all", 0.5}, {"none", 0.9},
+			{"every", 0.7}, {"completely", 0.9}, {"totally", 0.8},
+			{"absolutely", 0.8}, {"entirely", 0.9}, {"definitely", 0.7},
+			{"constant", 0.8}, {"constantly", 0.9}, {"forever", 0.9},
+			{"whole", 0.5}, {"must", 0.6}, {"impossible", 0.8},
+			{"only", 0.4}, {"ever", 0.5}, {"full", 0.4},
+		})
+	})
+	return absolutistLex
+}
+
+var (
+	socialOnce sync.Once
+	socialLex  *Lexicon
+)
+
+// Social returns the social-reference category.
+func Social() *Lexicon {
+	socialOnce.Do(func() {
+		socialLex = New("social", []Entry{
+			{"friend", 1.0}, {"friends", 1.0}, {"family", 1.0},
+			{"mom", 0.9}, {"dad", 0.9}, {"mother", 0.9}, {"father", 0.9},
+			{"brother", 0.9}, {"sister", 0.9}, {"wife", 0.9},
+			{"husband", 0.9}, {"partner", 0.9}, {"boyfriend", 0.9},
+			{"girlfriend", 0.9}, {"roommate", 0.8}, {"coworker", 0.8},
+			{"colleague", 0.8}, {"neighbor", 0.8}, {"people", 0.6},
+			{"everyone", 0.6}, {"talk", 0.6}, {"talking", 0.6},
+			{"told", 0.6}, {"said", 0.5}, {"call", 0.5},
+			{"called", 0.5}, {"text", 0.5}, {"texted", 0.6},
+			{"hang out", 0.8}, {"meet", 0.6}, {"together", 0.6},
+			{"relationship", 0.8}, {"marriage", 0.8}, {"date", 0.6},
+			{"son", 0.9}, {"daughter", 0.9}, {"kids", 0.8},
+			{"children", 0.8}, {"baby", 0.7}, {"grandma", 0.8},
+		})
+	})
+	return socialLex
+}
+
+var (
+	sleepOnce sync.Once
+	sleepLex  *Lexicon
+)
+
+// Sleep returns the sleep-reference category.
+func Sleep() *Lexicon {
+	sleepOnce.Do(func() {
+		sleepLex = New("sleep", []Entry{
+			{"sleep", 1.0}, {"sleeping", 1.0}, {"slept", 1.0},
+			{"insomnia", 1.0}, {"awake", 0.9}, {"wake", 0.7},
+			{"woke", 0.7}, {"tired", 0.7}, {"exhausted", 0.7},
+			{"nap", 0.8}, {"bed", 0.7}, {"bedtime", 0.9},
+			{"nightmare", 0.9}, {"nightmares", 0.9}, {"dream", 0.7},
+			{"dreams", 0.7}, {"restless", 0.8}, {"tossing", 0.8},
+			{"melatonin", 1.0}, {"3am", 0.9}, {"4am", 0.9},
+			{"all night", 0.8}, {"cant sleep", 1.0}, {"can't sleep", 1.0},
+			{"oversleeping", 1.0}, {"overslept", 0.9},
+		})
+	})
+	return sleepLex
+}
+
+var (
+	cogDistortionOnce sync.Once
+	cogDistortionLex  *Lexicon
+)
+
+// CognitiveDistortion returns the cognitive-distortion phrase
+// category (catastrophizing, mind-reading, all-or-nothing framing).
+func CognitiveDistortion() *Lexicon {
+	cogDistortionOnce.Do(func() {
+		cogDistortionLex = New("cognitive-distortion", []Entry{
+			{"i always fail", 1.0}, {"i never win", 1.0},
+			{"no one cares", 1.0}, {"nobody cares", 1.0},
+			{"everyone hates me", 1.0}, {"everyone hates", 0.9},
+			{"i ruin everything", 1.0}, {"its all my fault", 1.0},
+			{"it's all my fault", 1.0}, {"all my fault", 0.9},
+			{"i should have", 0.7}, {"should have known", 0.8},
+			{"i cant do anything", 0.9}, {"i can't do anything", 0.9},
+			{"whats wrong with me", 0.9}, {"what's wrong with me", 0.9},
+			{"im a failure", 1.0}, {"i'm a failure", 1.0},
+			{"im not good enough", 1.0}, {"i'm not good enough", 1.0},
+			{"not good enough", 0.8}, {"they must think", 0.8},
+			{"i know they", 0.6}, {"will never change", 0.9},
+			{"never get better", 0.9}, {"always be like this", 0.9},
+			{"ruined everything", 0.9}, {"worst thing ever", 0.8},
+			{"cant do anything right", 1.0}, {"can't do anything right", 1.0},
+		})
+	})
+	return cogDistortionLex
+}
+
+// Categories returns all LIWC-style category lexicons in stable order.
+func Categories() []*Lexicon {
+	return []*Lexicon{
+		FirstPerson(), NegativeEmotion(), PositiveEmotion(),
+		Absolutist(), Social(), Sleep(), CognitiveDistortion(),
+	}
+}

@@ -1,0 +1,104 @@
+package llm
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/textkit"
+)
+
+// Request is one completion call.
+type Request struct {
+	System      string  // system prompt (optional)
+	Prompt      string  // user prompt
+	Temperature float64 // 0 = deterministic-ish; higher = noisier
+	MaxTokens   int     // output cap; 0 means the model default (256)
+	Seed        int64   // sampling seed; same seed + prompt => same output
+}
+
+// Response is the completion plus its accounting.
+type Response struct {
+	Text      string
+	TokensIn  int
+	TokensOut int
+	Latency   time.Duration // simulated wall time
+	CostUSD   float64
+}
+
+// Client is the provider-shaped completion interface every
+// prompting-based method is written against. Implementations must be
+// safe for concurrent use.
+type Client interface {
+	// Model returns the card of the model behind the client.
+	Model() ModelCard
+	// Complete runs one completion. ctx cancellation is honoured.
+	Complete(ctx context.Context, req Request) (Response, error)
+	// Usage returns cumulative accounting since construction.
+	Usage() Usage
+}
+
+// Usage accumulates token/cost accounting across calls.
+type Usage struct {
+	Calls     int
+	TokensIn  int
+	TokensOut int
+	CostUSD   float64
+	// SimLatency is the total simulated latency (not wall time).
+	SimLatency time.Duration
+}
+
+// usageMeter is the shared thread-safe accumulator.
+type usageMeter struct {
+	mu sync.Mutex
+	u  Usage
+}
+
+func (m *usageMeter) add(r Response) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.u.Calls++
+	m.u.TokensIn += r.TokensIn
+	m.u.TokensOut += r.TokensOut
+	m.u.CostUSD += r.CostUSD
+	m.u.SimLatency += r.Latency
+}
+
+func (m *usageMeter) snapshot() Usage {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.u
+}
+
+// account fills the bookkeeping fields of a response for the given
+// model and prompt.
+func account(card ModelCard, system, prompt, completion string) Response {
+	in := textkit.CountTokens(system) + textkit.CountTokens(prompt)
+	out := textkit.CountTokens(completion)
+	lat := time.Duration(float64(out)/card.TokensPerSec*float64(time.Second)) +
+		120*time.Millisecond // fixed network/queue overhead
+	cost := float64(in)/1e6*card.InputPricePerM + float64(out)/1e6*card.OutputPricePerM
+	return Response{
+		Text:      completion,
+		TokensIn:  in,
+		TokensOut: out,
+		Latency:   lat,
+		CostUSD:   cost,
+	}
+}
+
+// validateRequest rejects malformed requests uniformly across
+// implementations.
+func validateRequest(req Request) error {
+	if req.Prompt == "" {
+		return fmt.Errorf("llm: empty prompt")
+	}
+	if req.Temperature < 0 || req.Temperature > 2 {
+		return fmt.Errorf("llm: temperature %v out of [0,2]", req.Temperature)
+	}
+	if req.MaxTokens < 0 {
+		return fmt.Errorf("llm: negative MaxTokens %d", req.MaxTokens)
+	}
+	return nil
+}

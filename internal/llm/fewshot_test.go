@@ -1,0 +1,172 @@
+package llm
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// fewShotPrompt builds a classification prompt with exemplars in the
+// wire format the prompting package emits.
+func fewShotPrompt(exemplars []string, labels []string, query string) string {
+	var b strings.Builder
+	b.WriteString("Classify the post for signs of depression.\n")
+	fmt.Fprintf(&b, "Options: %s\n\n", strings.Join(labels, ", "))
+	b.WriteString(strings.Join(exemplars, "\n"))
+	if len(exemplars) > 0 {
+		b.WriteString("\n")
+	}
+	fmt.Fprintf(&b, "Post: %s\nLabel:", query)
+	return b.String()
+}
+
+var depExemplars = []string{
+	"Post: i feel hopeless and worthless, crying every night\nLabel: depression\n",
+	"Post: everything is pointless, no motivation, empty inside\nLabel: depression\n",
+	"Post: fun weekend hiking with friends and a great dinner\nLabel: control\n",
+	"Post: the new album is awesome, concert next week\nLabel: control\n",
+}
+
+func TestFewShotRecalibrationImprovesWeakModel(t *testing.T) {
+	// A mid-size model on a borderline post: exemplars must raise the
+	// rate of depression answers on a weak-signal depression query.
+	query := "been feeling pretty low and drained lately, hard to focus on anything"
+	labels := []string{"control", "depression"}
+	count := func(prompt string) int {
+		c := MustSimClient(MustModel("llama2-13b-sim"))
+		n := 0
+		for seed := int64(0); seed < 30; seed++ {
+			r, err := c.Complete(context.Background(), Request{Prompt: prompt, Seed: seed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if strings.Contains(strings.ToLower(r.Text), "depression") {
+				n++
+			}
+		}
+		return n
+	}
+	zero := count(fewShotPrompt(nil, labels, query))
+	few := count(fewShotPrompt(depExemplars, labels, query))
+	if few < zero {
+		t.Errorf("few-shot depression answers (%d/30) below zero-shot (%d/30)", few, zero)
+	}
+}
+
+func TestFewShotOneSidedExemplarsStillComplete(t *testing.T) {
+	// One-sided demonstration sets must not crash or force the
+	// demonstrated label unconditionally.
+	oneSided := depExemplars[:2] // depression only
+	labels := []string{"control", "depression"}
+	c := MustSimClient(MustModel("gpt-4-sim"))
+	ctl := 0
+	for seed := int64(0); seed < 20; seed++ {
+		r, err := c.Complete(context.Background(), Request{
+			Prompt: fewShotPrompt(oneSided, labels, "lovely barbecue with the family, the playoffs were great"),
+			Seed:   seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if strings.Contains(strings.ToLower(r.Text), "control") {
+			ctl++
+		}
+	}
+	if ctl < 12 {
+		t.Errorf("obvious control post flipped by one-sided exemplars: %d/20 control answers", ctl)
+	}
+}
+
+func TestFewShotUnknownExemplarLabelIgnored(t *testing.T) {
+	weird := []string{"Post: some text here\nLabel: zebra\n"}
+	c := MustSimClient(MustModel("gpt-3.5-sim"))
+	_, err := c.Complete(context.Background(), Request{
+		Prompt: fewShotPrompt(weird, []string{"control", "depression"}, "i feel hopeless"),
+		Seed:   1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSeverityPromptGrading(t *testing.T) {
+	labels := []string{"none", "low", "moderate", "severe"}
+	prompt := func(query string) string {
+		return "Rate the level of suicide risk expressed by the author.\n" +
+			"Options: " + strings.Join(labels, ", ") + "\n" +
+			"Post: " + query + "\nLabel:"
+	}
+	c := MustSimClient(MustModel("gpt-4-sim"))
+	answer := func(query string) string {
+		counts := map[string]int{}
+		for seed := int64(0); seed < 15; seed++ {
+			r, err := c.Complete(context.Background(), Request{Prompt: prompt(query), Seed: seed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			low := strings.ToLower(r.Text)
+			for _, l := range labels {
+				if strings.Contains(low, "label: "+l) {
+					counts[l]++
+				}
+			}
+		}
+		best, bestN := "", 0
+		for l, n := range counts {
+			if n > bestN {
+				best, bestN = l, n
+			}
+		}
+		return best
+	}
+	calm := answer("made dinner with friends and watched a movie, great weekend")
+	severe := answer("i want to die, i have a plan, goodbye everyone, better off dead, suicidal")
+	if calm == "severe" || calm == "moderate" {
+		t.Errorf("calm post graded %q", calm)
+	}
+	if severe == "none" || severe == "" {
+		t.Errorf("explicit plan post graded %q", severe)
+	}
+}
+
+func TestClinicalOnlyFilter(t *testing.T) {
+	kept, n := clinicalOnly("i feel hopeless and worthless after dinner with friends")
+	if n < 2 {
+		t.Fatalf("expected clinical tokens, got %q (%d)", kept, n)
+	}
+	if !strings.Contains(kept, "hopeless") || !strings.Contains(kept, "worthless") {
+		t.Errorf("kept = %q", kept)
+	}
+	if strings.Contains(kept, "dinner") || strings.Contains(kept, "friends") {
+		t.Errorf("neutral words leaked into clinical filter: %q", kept)
+	}
+	_, n = clinicalOnly("sunny picnic with the team by the lake")
+	if n != 0 {
+		t.Errorf("neutral text should have 0 clinical tokens, got %d", n)
+	}
+}
+
+func TestModelAccessor(t *testing.T) {
+	c := MustSimClient(MustModel("gpt-4-sim"))
+	if c.Model().Name != "gpt-4-sim" {
+		t.Errorf("Model() = %q", c.Model().Name)
+	}
+}
+
+func TestModelCardValidateErrors(t *testing.T) {
+	cases := []ModelCard{
+		{},                     // empty name
+		{Name: "x"},            // zero params
+		{Name: "x", Params: 1}, // zero throughput
+		{Name: "x", Params: 1, TokensPerSec: 10, InputPricePerM: -1},
+	}
+	for i, c := range cases {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d should fail validation: %+v", i, c)
+		}
+	}
+	if _, err := NewSimClient(ModelCard{}); err == nil {
+		t.Error("NewSimClient must reject invalid cards")
+	}
+}

@@ -1,0 +1,397 @@
+package llm
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/domain"
+)
+
+func TestCatalogValid(t *testing.T) {
+	if len(Catalog()) < 6 {
+		t.Fatalf("catalog too small: %d", len(Catalog()))
+	}
+	for _, c := range Catalog() {
+		if err := c.Validate(); err != nil {
+			t.Errorf("%s: %v", c.Name, err)
+		}
+	}
+}
+
+func TestLookupModel(t *testing.T) {
+	if _, err := LookupModel("gpt-4-sim"); err != nil {
+		t.Errorf("gpt-4-sim missing: %v", err)
+	}
+	if _, err := LookupModel("gpt-17"); err == nil {
+		t.Error("unknown model should error")
+	}
+}
+
+func TestCapabilityMonotoneInScale(t *testing.T) {
+	sweep := ScaleSweep([]float64{0.1, 1, 10, 100, 1000})
+	for i := 1; i < len(sweep); i++ {
+		if sweep[i].InstructionFollow() <= sweep[i-1].InstructionFollow() {
+			t.Errorf("instruction following not increasing at %s", sweep[i].Name)
+		}
+		if sweep[i].DecisionNoise() >= sweep[i-1].DecisionNoise() {
+			t.Errorf("decision noise not decreasing at %s", sweep[i].Name)
+		}
+		if sweep[i].KnowledgeNoise() >= sweep[i-1].KnowledgeNoise() {
+			t.Errorf("knowledge noise not decreasing at %s", sweep[i].Name)
+		}
+	}
+}
+
+func TestCoTEmergence(t *testing.T) {
+	small := ScaleSweep([]float64{1})[0]
+	big := ScaleSweep([]float64{1000})[0]
+	if small.CoTNoiseMult() <= 1 {
+		t.Errorf("CoT should hurt a 1B model: mult = %v", small.CoTNoiseMult())
+	}
+	if big.CoTNoiseMult() >= 1 {
+		t.Errorf("CoT should help a 1000B model: mult = %v", big.CoTNoiseMult())
+	}
+}
+
+func TestScaleSweepPricing(t *testing.T) {
+	for _, c := range ScaleSweep([]float64{0.5, 5, 50}) {
+		if err := c.Validate(); err != nil {
+			t.Errorf("%s: %v", c.Name, err)
+		}
+	}
+}
+
+const classifyPrompt = `You are a mental health content triage assistant.
+Classify the following social media post for signs of depression.
+Options: control, depression
+Post: i feel so hopeless and worthless lately, crying every night and nothing matters
+Label:`
+
+const controlPrompt = `You are a mental health content triage assistant.
+Classify the following social media post for signs of depression.
+Options: control, depression
+Post: great weekend hiking with friends, made a delicious dinner and watched the playoffs
+Label:`
+
+func TestParsePromptClassification(t *testing.T) {
+	p := parsePrompt("", classifyPrompt)
+	if !p.isTask {
+		t.Fatal("prompt should parse as a task")
+	}
+	if len(p.labels) != 2 || p.labels[0] != "control" || p.labels[1] != "depression" {
+		t.Errorf("labels = %v", p.labels)
+	}
+	if !strings.Contains(p.query, "hopeless") {
+		t.Errorf("query = %q", p.query)
+	}
+	if p.cot {
+		t.Error("no CoT requested")
+	}
+	if p.topicHint == "" {
+		t.Error("topic hint should detect depression")
+	}
+}
+
+func TestParsePromptFewShot(t *testing.T) {
+	prompt := `Classify the post. Options: control, depression
+Post: feeling hopeless again
+Label: depression
+Post: fun day at the beach
+Label: control
+Post: i cant stop crying, everything is pointless
+Label:`
+	p := parsePrompt("", prompt)
+	if !p.isTask {
+		t.Fatal("should parse as task")
+	}
+	if len(p.exemplars) != 2 {
+		t.Fatalf("exemplars = %d, want 2", len(p.exemplars))
+	}
+	if p.exemplars[0].label != "depression" || p.exemplars[1].label != "control" {
+		t.Errorf("exemplar labels = %v", p.exemplars)
+	}
+	if !strings.Contains(p.query, "pointless") {
+		t.Errorf("query = %q", p.query)
+	}
+}
+
+func TestParsePromptCoT(t *testing.T) {
+	p := parsePrompt("", "Think step by step.\nOptions: a, b\nPost: xyz\nLabel:")
+	if !p.cot {
+		t.Error("CoT flag not detected")
+	}
+}
+
+func TestParsePromptNonTask(t *testing.T) {
+	p := parsePrompt("", "write me a poem about autumn")
+	if p.isTask {
+		t.Error("free-form prompt must not parse as task")
+	}
+}
+
+func TestParsePromptPipeSeparatedLabels(t *testing.T) {
+	p := parsePrompt("", "Answer with one of: none | low | moderate | severe\nPost: hello\nLabel:")
+	if len(p.labels) != 4 {
+		t.Errorf("labels = %v", p.labels)
+	}
+}
+
+func TestCompleteDeterministic(t *testing.T) {
+	c := MustSimClient(MustModel("gpt-3.5-sim"))
+	req := Request{Prompt: classifyPrompt, Seed: 7}
+	r1, err := c.Complete(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, _ := c.Complete(context.Background(), req)
+	if r1.Text != r2.Text {
+		t.Errorf("completion not deterministic:\n%q\n%q", r1.Text, r2.Text)
+	}
+	r3, _ := c.Complete(context.Background(), Request{Prompt: classifyPrompt, Seed: 8})
+	_ = r3 // different seed may or may not change the text; just must not error
+}
+
+func TestCompleteClassifiesObviousPosts(t *testing.T) {
+	c := MustSimClient(MustModel("gpt-4-sim"))
+	depHits, ctlHits := 0, 0
+	for seed := int64(0); seed < 20; seed++ {
+		r, err := c.Complete(context.Background(), Request{Prompt: classifyPrompt, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if strings.Contains(strings.ToLower(r.Text), "depression") {
+			depHits++
+		}
+		r, _ = c.Complete(context.Background(), Request{Prompt: controlPrompt, Seed: seed})
+		if strings.Contains(strings.ToLower(r.Text), "control") {
+			ctlHits++
+		}
+	}
+	if depHits < 14 {
+		t.Errorf("gpt-4-sim labelled obvious depression post correctly only %d/20 times", depHits)
+	}
+	if ctlHits < 14 {
+		t.Errorf("gpt-4-sim labelled obvious control post correctly only %d/20 times", ctlHits)
+	}
+}
+
+func TestScaleImprovesAccuracy(t *testing.T) {
+	correct := func(model string) int {
+		c := MustSimClient(MustModel(model))
+		n := 0
+		for seed := int64(0); seed < 30; seed++ {
+			r, err := c.Complete(context.Background(), Request{Prompt: classifyPrompt, Seed: seed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if strings.Contains(strings.ToLower(r.Text), "depression") {
+				n++
+			}
+		}
+		return n
+	}
+	tiny := correct("tiny-1b-sim")
+	big := correct("gpt-4-sim")
+	if big <= tiny {
+		t.Errorf("gpt-4-sim (%d/30) should beat tiny-1b-sim (%d/30)", big, tiny)
+	}
+}
+
+func TestTinyModelProducesFormatErrors(t *testing.T) {
+	c := MustSimClient(MustModel("tiny-1b-sim"))
+	clean := 0
+	for seed := int64(0); seed < 40; seed++ {
+		r, err := c.Complete(context.Background(), Request{Prompt: classifyPrompt, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if strings.Contains(r.Text, "Label:") {
+			clean++
+		}
+	}
+	if clean == 40 {
+		t.Error("tiny model should produce some malformed outputs")
+	}
+	if clean == 0 {
+		t.Error("tiny model should produce some clean outputs too")
+	}
+}
+
+func TestCoTCompletionCitesCues(t *testing.T) {
+	c := MustSimClient(MustModel("gpt-4-sim"))
+	prompt := strings.Replace(classifyPrompt, "Classify", "Think step by step, then classify", 1)
+	var got string
+	for seed := int64(0); seed < 10; seed++ {
+		r, err := c.Complete(context.Background(), Request{Prompt: prompt, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if strings.Contains(r.Text, "Reasoning:") {
+			got = r.Text
+			break
+		}
+	}
+	if got == "" {
+		t.Fatal("no CoT completion produced in 10 tries")
+	}
+	if !strings.Contains(got, "Label:") {
+		t.Errorf("CoT completion missing label line: %q", got)
+	}
+}
+
+func TestUsageAccounting(t *testing.T) {
+	c := MustSimClient(MustModel("gpt-3.5-sim"))
+	before := c.Usage()
+	if before.Calls != 0 {
+		t.Fatal("fresh client should have zero usage")
+	}
+	r, err := c.Complete(context.Background(), Request{Prompt: classifyPrompt, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.TokensIn <= 0 || r.TokensOut <= 0 {
+		t.Errorf("token accounting: in=%d out=%d", r.TokensIn, r.TokensOut)
+	}
+	if r.CostUSD <= 0 {
+		t.Errorf("cost = %v", r.CostUSD)
+	}
+	if r.Latency <= 0 {
+		t.Errorf("latency = %v", r.Latency)
+	}
+	after := c.Usage()
+	if after.Calls != 1 || after.TokensIn != r.TokensIn || after.CostUSD != r.CostUSD {
+		t.Errorf("usage not accumulated: %+v vs %+v", after, r)
+	}
+}
+
+func TestRequestValidation(t *testing.T) {
+	c := MustSimClient(MustModel("gpt-3.5-sim"))
+	ctx := context.Background()
+	if _, err := c.Complete(ctx, Request{}); err == nil {
+		t.Error("empty prompt must error")
+	}
+	if _, err := c.Complete(ctx, Request{Prompt: "x", Temperature: 3}); err == nil {
+		t.Error("temperature out of range must error")
+	}
+	if _, err := c.Complete(ctx, Request{Prompt: "x", MaxTokens: -1}); err == nil {
+		t.Error("negative MaxTokens must error")
+	}
+	cancelled, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, err := c.Complete(cancelled, Request{Prompt: "x"}); err == nil {
+		t.Error("cancelled context must error")
+	}
+}
+
+func TestMaxTokensTruncates(t *testing.T) {
+	c := MustSimClient(MustModel("tiny-1b-sim"))
+	r, err := c.Complete(context.Background(),
+		Request{Prompt: "tell me everything about goats", MaxTokens: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(strings.Fields(r.Text)); n > 5 {
+		t.Errorf("truncation failed: %d words (%q)", n, r.Text)
+	}
+}
+
+func TestKnowledgeNoiseShrinksWithScale(t *testing.T) {
+	drift := func(model string) float64 {
+		k := newKnowledge(MustModel(model))
+		noisy := k.lexFor(domain.Depression)
+		total := 0.0
+		base := MustModel(model) // silence linter; base lexicon next line
+		_ = base
+		for _, e := range noisyBaseEntries() {
+			total += math.Abs(noisy.Weight(e.term) - e.weight)
+		}
+		return total
+	}
+	if drift("gpt-4-sim") >= drift("tiny-1b-sim") {
+		t.Errorf("gpt-4-sim knowledge drift (%.3f) should be below tiny-1b-sim (%.3f)",
+			drift("gpt-4-sim"), drift("tiny-1b-sim"))
+	}
+}
+
+// noisyBaseEntries returns a stable probe set of canonical
+// depression terms and weights.
+func noisyBaseEntries() []struct {
+	term   string
+	weight float64
+} {
+	return []struct {
+		term   string
+		weight float64
+	}{
+		{"hopeless", 1.0}, {"worthless", 1.0}, {"numb", 0.8},
+		{"lonely", 0.65}, {"sad", 0.5}, {"empty inside", 1.0},
+	}
+}
+
+func TestGroundLabelSeverity(t *testing.T) {
+	g := groundLabel("moderate", "suicide risk", false)
+	if !g.known || !g.isSev || g.disorder != domain.SuicidalIdeation {
+		t.Errorf("grounding = %+v", g)
+	}
+	g = groundLabel("severe", "depression", false)
+	if g.disorder != domain.Depression {
+		t.Errorf("severity topic grounding = %+v", g)
+	}
+	g = groundLabel("not depressed", "", false)
+	if !g.known || g.disorder != domain.Control {
+		t.Errorf("synonym grounding = %+v", g)
+	}
+	g = groundLabel("penguin", "", false)
+	if g.known {
+		t.Error("unknown label should not ground")
+	}
+}
+
+func TestGroundLabelsSeverityTask(t *testing.T) {
+	gs := groundLabels([]string{"none", "low", "moderate", "severe"}, "suicide risk")
+	for i, g := range gs {
+		if !g.isSev {
+			t.Errorf("label %d must ground as severity in a severity task: %+v", i, g)
+		}
+		if g.severity != domain.Severity(i) {
+			t.Errorf("label %d grounded as severity %v", i, g.severity)
+		}
+	}
+	// In a disorder task, "none" grounds as Control.
+	gs = groundLabels([]string{"none", "depression"}, "depression")
+	if gs[0].isSev || gs[0].disorder != domain.Control {
+		t.Errorf("disorder-task 'none' grounding = %+v", gs[0])
+	}
+}
+
+func TestGaussianFromHashStable(t *testing.T) {
+	a := gaussianFromHash("m", "term")
+	b := gaussianFromHash("m", "term")
+	if a != b {
+		t.Error("hash gaussian not stable")
+	}
+	if a == gaussianFromHash("m2", "term") && a == gaussianFromHash("m", "term2") {
+		t.Error("hash gaussian suspiciously collision-happy")
+	}
+	// Roughly bounded.
+	for i := 0; i < 200; i++ {
+		g := gaussianFromHash("model", fmt.Sprintf("t%d", i))
+		if g < -4 || g > 4 {
+			t.Errorf("gaussian %v out of plausible range", g)
+		}
+	}
+}
+
+func TestGenericCompletionForNonTask(t *testing.T) {
+	c := MustSimClient(MustModel("gpt-3.5-sim"))
+	r, err := c.Complete(context.Background(), Request{Prompt: "hello there", Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(r.Text, "Label:") {
+		t.Errorf("non-task prompt produced a label: %q", r.Text)
+	}
+}

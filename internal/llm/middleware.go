@@ -1,0 +1,270 @@
+package llm
+
+import (
+	"container/list"
+	"context"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// CachedClient memoizes completions by full request identity
+// (system, prompt, temperature, seed, max tokens) with an LRU
+// eviction policy. Benchmark sweeps re-issue identical prompts
+// constantly — zero-shot baselines across experiments, retries,
+// bootstrap resamples — and a deterministic backend makes caching
+// exact, not approximate. Cache hits are not charged to Usage.
+type CachedClient struct {
+	inner    Client
+	capacity int
+
+	mu      sync.Mutex
+	entries map[cacheKey]*list.Element
+	order   *list.List // front = most recent
+	hits    int
+	misses  int
+}
+
+type cacheKey struct {
+	system      string
+	prompt      string
+	temperature float64
+	seed        int64
+	maxTokens   int
+}
+
+type cacheEntry struct {
+	key  cacheKey
+	resp Response
+}
+
+// NewCachedClient wraps inner with an LRU of the given capacity
+// (entries; must be positive).
+func NewCachedClient(inner Client, capacity int) (*CachedClient, error) {
+	if inner == nil {
+		return nil, fmt.Errorf("llm: nil inner client")
+	}
+	if capacity <= 0 {
+		return nil, fmt.Errorf("llm: cache capacity %d must be positive", capacity)
+	}
+	return &CachedClient{
+		inner:    inner,
+		capacity: capacity,
+		entries:  make(map[cacheKey]*list.Element, capacity),
+		order:    list.New(),
+	}, nil
+}
+
+// Model implements Client.
+func (c *CachedClient) Model() ModelCard { return c.inner.Model() }
+
+// Usage implements Client: it reports the inner client's usage, i.e.
+// only cache misses cost tokens.
+func (c *CachedClient) Usage() Usage { return c.inner.Usage() }
+
+// Stats returns cache hit/miss counts.
+func (c *CachedClient) Stats() (hits, misses int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Complete implements Client.
+func (c *CachedClient) Complete(ctx context.Context, req Request) (Response, error) {
+	key := cacheKey{
+		system:      req.System,
+		prompt:      req.Prompt,
+		temperature: req.Temperature,
+		seed:        req.Seed,
+		maxTokens:   req.MaxTokens,
+	}
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		c.hits++
+		resp := el.Value.(*cacheEntry).resp
+		c.mu.Unlock()
+		return resp, nil
+	}
+	c.misses++
+	c.mu.Unlock()
+
+	resp, err := c.inner.Complete(ctx, req)
+	if err != nil {
+		return Response{}, err
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		// Raced with another goroutine; keep the existing entry.
+		c.order.MoveToFront(el)
+		return el.Value.(*cacheEntry).resp, nil
+	}
+	el := c.order.PushFront(&cacheEntry{key: key, resp: resp})
+	c.entries[key] = el
+	if c.order.Len() > c.capacity {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+	}
+	return resp, nil
+}
+
+// RateLimitedClient bounds the request rate to the backend with a
+// token bucket, the shape every hosted-LLM integration needs.
+// Complete blocks until a slot is available or ctx is cancelled.
+type RateLimitedClient struct {
+	inner  Client
+	bucket chan struct{}
+	ticker *time.Ticker
+	done   chan struct{}
+	once   sync.Once
+}
+
+// NewRateLimitedClient wraps inner with a limit of rps requests per
+// second and the given burst size.
+func NewRateLimitedClient(inner Client, rps float64, burst int) (*RateLimitedClient, error) {
+	if inner == nil {
+		return nil, fmt.Errorf("llm: nil inner client")
+	}
+	if rps <= 0 {
+		return nil, fmt.Errorf("llm: rps %v must be positive", rps)
+	}
+	if burst <= 0 {
+		burst = 1
+	}
+	c := &RateLimitedClient{
+		inner:  inner,
+		bucket: make(chan struct{}, burst),
+		ticker: time.NewTicker(time.Duration(float64(time.Second) / rps)),
+		done:   make(chan struct{}),
+	}
+	for i := 0; i < burst; i++ {
+		c.bucket <- struct{}{}
+	}
+	go func() {
+		for {
+			select {
+			case <-c.ticker.C:
+				select {
+				case c.bucket <- struct{}{}:
+				default: // bucket full
+				}
+			case <-c.done:
+				return
+			}
+		}
+	}()
+	return c, nil
+}
+
+// Close stops the refill goroutine. The client must not be used
+// after Close.
+func (c *RateLimitedClient) Close() {
+	c.once.Do(func() {
+		c.ticker.Stop()
+		close(c.done)
+	})
+}
+
+// Model implements Client.
+func (c *RateLimitedClient) Model() ModelCard { return c.inner.Model() }
+
+// Usage implements Client.
+func (c *RateLimitedClient) Usage() Usage { return c.inner.Usage() }
+
+// Complete implements Client, blocking for a rate slot first.
+func (c *RateLimitedClient) Complete(ctx context.Context, req Request) (Response, error) {
+	select {
+	case <-c.bucket:
+	case <-ctx.Done():
+		return Response{}, ctx.Err()
+	}
+	return c.inner.Complete(ctx, req)
+}
+
+// RetryClient retries failed completions with capped exponential
+// backoff — transient provider errors (rate limits, 5xx) are a fact
+// of life for hosted LLMs. Request-validation errors are permanent
+// and not retried; context cancellation aborts immediately.
+type RetryClient struct {
+	inner    Client
+	attempts int
+	baseWait time.Duration
+	// sleep is swapped out by tests; defaults to a context-aware wait.
+	sleep func(ctx context.Context, d time.Duration) error
+}
+
+// NewRetryClient wraps inner with up to attempts total tries and the
+// given initial backoff (doubling each retry, capped at 30s).
+func NewRetryClient(inner Client, attempts int, baseWait time.Duration) (*RetryClient, error) {
+	if inner == nil {
+		return nil, fmt.Errorf("llm: nil inner client")
+	}
+	if attempts < 1 {
+		return nil, fmt.Errorf("llm: attempts %d must be >= 1", attempts)
+	}
+	if baseWait <= 0 {
+		baseWait = 100 * time.Millisecond
+	}
+	return &RetryClient{
+		inner:    inner,
+		attempts: attempts,
+		baseWait: baseWait,
+		sleep: func(ctx context.Context, d time.Duration) error {
+			t := time.NewTimer(d)
+			defer t.Stop()
+			select {
+			case <-t.C:
+				return nil
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		},
+	}, nil
+}
+
+// Model implements Client.
+func (c *RetryClient) Model() ModelCard { return c.inner.Model() }
+
+// Usage implements Client.
+func (c *RetryClient) Usage() Usage { return c.inner.Usage() }
+
+// Complete implements Client with retries.
+func (c *RetryClient) Complete(ctx context.Context, req Request) (Response, error) {
+	// Permanent errors fail fast without burning attempts.
+	if err := validateRequest(req); err != nil {
+		return Response{}, err
+	}
+	wait := c.baseWait
+	var lastErr error
+	for attempt := 0; attempt < c.attempts; attempt++ {
+		if attempt > 0 {
+			if err := c.sleep(ctx, wait); err != nil {
+				return Response{}, err
+			}
+			wait *= 2
+			if wait > 30*time.Second {
+				wait = 30 * time.Second
+			}
+		}
+		resp, err := c.inner.Complete(ctx, req)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			return Response{}, ctx.Err()
+		}
+	}
+	return Response{}, fmt.Errorf("llm: %d attempts failed: %w", c.attempts, lastErr)
+}
+
+// compile-time interface checks
+var (
+	_ Client = (*SimClient)(nil)
+	_ Client = (*CachedClient)(nil)
+	_ Client = (*RateLimitedClient)(nil)
+	_ Client = (*RetryClient)(nil)
+)

@@ -1,0 +1,322 @@
+package llm
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCachedClientHitsAndUsage(t *testing.T) {
+	inner := MustSimClient(MustModel("gpt-3.5-sim"))
+	c, err := NewCachedClient(inner, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := Request{Prompt: classifyPrompt, Seed: 1}
+	r1, err := c.Complete(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := c.Complete(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Text != r2.Text {
+		t.Error("cache returned different completion")
+	}
+	hits, misses := c.Stats()
+	if hits != 1 || misses != 1 {
+		t.Errorf("hits=%d misses=%d, want 1/1", hits, misses)
+	}
+	if u := c.Usage(); u.Calls != 1 {
+		t.Errorf("usage calls = %d; cache hits must not be charged", u.Calls)
+	}
+}
+
+func TestCachedClientKeySensitivity(t *testing.T) {
+	inner := MustSimClient(MustModel("gpt-3.5-sim"))
+	c, _ := NewCachedClient(inner, 10)
+	ctx := context.Background()
+	_, _ = c.Complete(ctx, Request{Prompt: "p", Seed: 1})
+	_, _ = c.Complete(ctx, Request{Prompt: "p", Seed: 2})                   // different seed
+	_, _ = c.Complete(ctx, Request{Prompt: "p", Seed: 1, Temperature: 0.5}) // different temp
+	if _, misses := c.Stats(); misses != 3 {
+		t.Errorf("misses = %d, want 3 distinct keys", misses)
+	}
+}
+
+func TestCachedClientLRUEviction(t *testing.T) {
+	inner := MustSimClient(MustModel("gpt-3.5-sim"))
+	c, _ := NewCachedClient(inner, 2)
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		_, _ = c.Complete(ctx, Request{Prompt: fmt.Sprintf("prompt %d", i), Seed: 1})
+	}
+	// Oldest (prompt 0) evicted; re-requesting it must miss.
+	_, _ = c.Complete(ctx, Request{Prompt: "prompt 0", Seed: 1})
+	if hits, misses := c.Stats(); hits != 0 || misses != 4 {
+		t.Errorf("hits=%d misses=%d, want 0/4 after eviction", hits, misses)
+	}
+	// prompt 2 is still resident.
+	_, _ = c.Complete(ctx, Request{Prompt: "prompt 2", Seed: 1})
+	if hits, _ := c.Stats(); hits != 1 {
+		t.Errorf("hits = %d, want 1 for resident entry", hits)
+	}
+}
+
+func TestCachedClientConcurrent(t *testing.T) {
+	inner := MustSimClient(MustModel("gpt-3.5-sim"))
+	c, _ := NewCachedClient(inner, 50)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				req := Request{Prompt: fmt.Sprintf("prompt %d", i%10), Seed: 1}
+				if _, err := c.Complete(context.Background(), req); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	hits, misses := c.Stats()
+	if hits+misses != 400 {
+		t.Errorf("hits+misses = %d, want 400", hits+misses)
+	}
+	// Racing goroutines may duplicate a miss before the first store
+	// lands (by design: the cache never blocks completions), but hits
+	// must dominate with only 10 distinct keys.
+	if hits < 300 {
+		t.Errorf("hits = %d, expected the vast majority of 400", hits)
+	}
+	// After the run every key is resident: one more pass is all hits.
+	hBefore, _ := c.Stats()
+	for i := 0; i < 10; i++ {
+		req := Request{Prompt: fmt.Sprintf("prompt %d", i), Seed: 1}
+		if _, err := c.Complete(context.Background(), req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hAfter, mAfter := c.Stats()
+	if hAfter-hBefore != 10 {
+		t.Errorf("resident keys should all hit: %d hits, misses now %d", hAfter-hBefore, mAfter)
+	}
+}
+
+func TestCachedClientValidation(t *testing.T) {
+	inner := MustSimClient(MustModel("gpt-3.5-sim"))
+	if _, err := NewCachedClient(nil, 5); err == nil {
+		t.Error("nil inner must error")
+	}
+	if _, err := NewCachedClient(inner, 0); err == nil {
+		t.Error("zero capacity must error")
+	}
+	// Errors are not cached.
+	c, _ := NewCachedClient(inner, 5)
+	if _, err := c.Complete(context.Background(), Request{}); err == nil {
+		t.Error("invalid request must propagate error")
+	}
+	if _, misses := c.Stats(); misses != 1 {
+		t.Error("failed request should count as miss but not be stored")
+	}
+}
+
+func TestRateLimitedClientThrottles(t *testing.T) {
+	inner := MustSimClient(MustModel("gpt-3.5-sim"))
+	// 50 rps, burst 1: 4 requests should take >= ~60ms.
+	c, err := NewRateLimitedClient(inner, 50, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	start := time.Now()
+	for i := 0; i < 4; i++ {
+		if _, err := c.Complete(context.Background(), Request{Prompt: "p", Seed: int64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if elapsed := time.Since(start); elapsed < 50*time.Millisecond {
+		t.Errorf("4 requests at 50rps burst 1 took only %v", elapsed)
+	}
+}
+
+func TestRateLimitedClientBurst(t *testing.T) {
+	inner := MustSimClient(MustModel("gpt-3.5-sim"))
+	c, err := NewRateLimitedClient(inner, 1, 5) // 1 rps but burst 5
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	start := time.Now()
+	for i := 0; i < 5; i++ {
+		if _, err := c.Complete(context.Background(), Request{Prompt: "p", Seed: int64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if elapsed := time.Since(start); elapsed > 500*time.Millisecond {
+		t.Errorf("burst of 5 should be immediate, took %v", elapsed)
+	}
+}
+
+func TestRateLimitedClientContextCancel(t *testing.T) {
+	inner := MustSimClient(MustModel("gpt-3.5-sim"))
+	c, err := NewRateLimitedClient(inner, 0.1, 1) // one slot per 10s
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// Drain the single burst slot.
+	if _, err := c.Complete(context.Background(), Request{Prompt: "p", Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if _, err := c.Complete(ctx, Request{Prompt: "p", Seed: 2}); err == nil {
+		t.Error("blocked request must fail on context deadline")
+	}
+}
+
+func TestRateLimitedClientValidation(t *testing.T) {
+	inner := MustSimClient(MustModel("gpt-3.5-sim"))
+	if _, err := NewRateLimitedClient(nil, 1, 1); err == nil {
+		t.Error("nil inner must error")
+	}
+	if _, err := NewRateLimitedClient(inner, 0, 1); err == nil {
+		t.Error("zero rps must error")
+	}
+	c, _ := NewRateLimitedClient(inner, 10, 0) // burst floor of 1
+	defer c.Close()
+	if _, err := c.Complete(context.Background(), Request{Prompt: "p"}); err != nil {
+		t.Errorf("burst floor broken: %v", err)
+	}
+	c.Close() // double Close must be safe
+}
+
+// flakyClient fails the first failures calls, then delegates.
+type flakyClient struct {
+	inner    Client
+	failures int
+	mu       sync.Mutex
+	calls    int
+}
+
+func (f *flakyClient) Model() ModelCard { return f.inner.Model() }
+func (f *flakyClient) Usage() Usage     { return f.inner.Usage() }
+func (f *flakyClient) Complete(ctx context.Context, req Request) (Response, error) {
+	f.mu.Lock()
+	f.calls++
+	n := f.calls
+	f.mu.Unlock()
+	if n <= f.failures {
+		return Response{}, fmt.Errorf("transient error %d", n)
+	}
+	return f.inner.Complete(ctx, req)
+}
+
+func TestRetryClientRecovers(t *testing.T) {
+	flaky := &flakyClient{inner: MustSimClient(MustModel("gpt-3.5-sim")), failures: 2}
+	c, err := NewRetryClient(flaky, 4, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := c.Complete(context.Background(), Request{Prompt: classifyPrompt, Seed: 1})
+	if err != nil {
+		t.Fatalf("retry should recover: %v", err)
+	}
+	if resp.Text == "" {
+		t.Error("empty completion after recovery")
+	}
+	if flaky.calls != 3 {
+		t.Errorf("calls = %d, want 3 (2 failures + success)", flaky.calls)
+	}
+}
+
+func TestRetryClientExhaustsAttempts(t *testing.T) {
+	flaky := &flakyClient{inner: MustSimClient(MustModel("gpt-3.5-sim")), failures: 10}
+	c, _ := NewRetryClient(flaky, 3, time.Millisecond)
+	if _, err := c.Complete(context.Background(), Request{Prompt: "p", Seed: 1}); err == nil {
+		t.Error("exhausted retries must fail")
+	}
+	if flaky.calls != 3 {
+		t.Errorf("calls = %d, want exactly 3 attempts", flaky.calls)
+	}
+}
+
+func TestRetryClientPermanentErrorFailsFast(t *testing.T) {
+	flaky := &flakyClient{inner: MustSimClient(MustModel("gpt-3.5-sim")), failures: 0}
+	c, _ := NewRetryClient(flaky, 5, time.Millisecond)
+	if _, err := c.Complete(context.Background(), Request{}); err == nil {
+		t.Error("invalid request must error")
+	}
+	if flaky.calls != 0 {
+		t.Errorf("permanent error burned %d attempts", flaky.calls)
+	}
+}
+
+func TestRetryClientBackoffGrows(t *testing.T) {
+	flaky := &flakyClient{inner: MustSimClient(MustModel("gpt-3.5-sim")), failures: 3}
+	c, _ := NewRetryClient(flaky, 4, 10*time.Millisecond)
+	var waits []time.Duration
+	c.sleep = func(_ context.Context, d time.Duration) error {
+		waits = append(waits, d)
+		return nil
+	}
+	if _, err := c.Complete(context.Background(), Request{Prompt: "p", Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if len(waits) != 3 {
+		t.Fatalf("waits = %v", waits)
+	}
+	if !(waits[0] < waits[1] && waits[1] < waits[2]) {
+		t.Errorf("backoff not growing: %v", waits)
+	}
+}
+
+func TestRetryClientContextCancelDuringBackoff(t *testing.T) {
+	flaky := &flakyClient{inner: MustSimClient(MustModel("gpt-3.5-sim")), failures: 10}
+	c, _ := NewRetryClient(flaky, 5, 50*time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := c.Complete(ctx, Request{Prompt: "p", Seed: 1}); err == nil {
+		t.Error("cancelled backoff must abort")
+	}
+}
+
+func TestRetryClientValidation(t *testing.T) {
+	if _, err := NewRetryClient(nil, 3, time.Millisecond); err == nil {
+		t.Error("nil inner must error")
+	}
+	inner := MustSimClient(MustModel("gpt-3.5-sim"))
+	if _, err := NewRetryClient(inner, 0, time.Millisecond); err == nil {
+		t.Error("zero attempts must error")
+	}
+}
+
+func TestMiddlewareStacking(t *testing.T) {
+	inner := MustSimClient(MustModel("gpt-4-sim"))
+	cached, err := NewCachedClient(inner, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	limited, err := NewRateLimitedClient(cached, 1000, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer limited.Close()
+	if limited.Model().Name != "gpt-4-sim" {
+		t.Error("model identity lost through stack")
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := limited.Complete(context.Background(), Request{Prompt: classifyPrompt, Seed: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if hits, _ := cached.Stats(); hits != 4 {
+		t.Errorf("hits = %d, want 4 through the stack", hits)
+	}
+}

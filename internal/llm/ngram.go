@@ -1,0 +1,131 @@
+package llm
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+
+	"repro/internal/textkit"
+)
+
+// ngramLM is a Kneser-Ney-free, add-k-smoothed bigram language model
+// used by the simulated models for free-text generation (generic
+// completions and rationale padding). It is intentionally the
+// classic "statistical LM" stage of the field's history: enough to
+// produce fluent-looking register, nowhere near enough to reason —
+// the reasoning in this simulator lives in the evidence scorer, as
+// it should.
+type ngramLM struct {
+	// next[token] lists the continuations of token with cumulative
+	// probabilities for sampling, sorted for determinism.
+	next   map[string][]continuation
+	starts []continuation
+}
+
+type continuation struct {
+	token string
+	cum   float64 // cumulative probability within the list
+}
+
+// trainNgramLM builds the bigram tables from a corpus of documents.
+func trainNgramLM(corpus []string) *ngramLM {
+	counts := map[string]map[string]float64{}
+	startCounts := map[string]float64{}
+	bump := func(m map[string]float64, k string) {
+		m[k]++
+	}
+	for _, doc := range corpus {
+		toks := textkit.Words(textkit.Normalize(doc))
+		if len(toks) == 0 {
+			continue
+		}
+		bump(startCounts, toks[0])
+		for i := 0; i+1 < len(toks); i++ {
+			if counts[toks[i]] == nil {
+				counts[toks[i]] = map[string]float64{}
+			}
+			bump(counts[toks[i]], toks[i+1])
+		}
+	}
+	lm := &ngramLM{next: make(map[string][]continuation, len(counts))}
+	lm.starts = toCumulative(startCounts)
+	for tok, m := range counts {
+		lm.next[tok] = toCumulative(m)
+	}
+	return lm
+}
+
+// toCumulative converts raw counts to a cumulative-probability list
+// sorted by token for deterministic sampling.
+func toCumulative(m map[string]float64) []continuation {
+	if len(m) == 0 {
+		return nil
+	}
+	keys := make([]string, 0, len(m))
+	total := 0.0
+	for k, v := range m {
+		keys = append(keys, k)
+		total += v
+	}
+	sort.Strings(keys)
+	out := make([]continuation, 0, len(keys))
+	acc := 0.0
+	for _, k := range keys {
+		acc += m[k] / total
+		out = append(out, continuation{token: k, cum: acc})
+	}
+	return out
+}
+
+// sample draws a continuation of prev (or a sentence start when prev
+// has no continuations) using the provided RNG.
+func (lm *ngramLM) sample(prev string, rng *rand.Rand) string {
+	list := lm.next[prev]
+	if len(list) == 0 {
+		list = lm.starts
+	}
+	if len(list) == 0 {
+		return ""
+	}
+	r := rng.Float64()
+	idx := sort.Search(len(list), func(i int) bool { return list[i].cum >= r })
+	if idx == len(list) {
+		idx = len(list) - 1
+	}
+	return list[idx].token
+}
+
+// Generate produces up to n tokens of text starting from a sampled
+// sentence start, deterministic under the RNG.
+func (lm *ngramLM) Generate(n int, rng *rand.Rand) string {
+	if n <= 0 {
+		return ""
+	}
+	var out []string
+	tok := lm.sample("", rng)
+	for tok != "" && len(out) < n {
+		out = append(out, tok)
+		tok = lm.sample(tok, rng)
+	}
+	return strings.Join(out, " ")
+}
+
+// lmCorpus is the seed text the shared background LM is trained on:
+// neutral assistant-ish register, so generic completions read like a
+// chat model being unhelpfully pleasant.
+var lmCorpus = []string{
+	"i can help with that request and here is a short summary of the key points to consider",
+	"here are the main points to keep in mind when thinking about this topic in general",
+	"it is worth noting that context matters and the details can change the overall picture",
+	"a good starting point is to look at the main factors and weigh them carefully",
+	"in general the best approach depends on the goals and the constraints involved",
+	"there are several ways to look at this and each has its own trade offs to consider",
+	"to summarize the main idea is to balance the different factors against each other",
+	"this is a broad topic and a short answer can only cover the essential points",
+	"the key points are listed below and each one can be expanded with more detail",
+	"please keep in mind that this is a general overview rather than specific advice",
+}
+
+// backgroundLM is the shared generation model (immutable after
+// construction, safe for concurrent sampling with per-request RNGs).
+var backgroundLM = trainNgramLM(lmCorpus)

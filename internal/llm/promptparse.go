@@ -1,0 +1,159 @@
+package llm
+
+import (
+	"strings"
+)
+
+// parsedPrompt is the simulated model's "understanding" of a
+// classification prompt: the candidate labels, any few-shot
+// exemplars, the query text, and style flags.
+type parsedPrompt struct {
+	labels    []string   // candidate label names, lowercase
+	exemplars []exemplar // few-shot demonstrations in order
+	query     string     // the text to classify
+	cot       bool       // chain-of-thought requested
+	topicHint string     // disorder/topic words found in instructions
+	isTask    bool       // whether this parses as a classification task
+}
+
+type exemplar struct {
+	text  string
+	label string
+}
+
+// parsePrompt extracts classification structure from a prompt. The
+// recognized shape is the one produced by the prompting package, but
+// parsing is deliberately lenient: options may appear as
+// "Options: a, b, c" or "Answer with one of: a | b | c"; exemplars
+// are "Post:"/"Text:" blocks followed by "Label:"/"Answer:" lines;
+// the query is the final Post/Text block with a trailing empty
+// Label/Answer marker (or no marker at all).
+func parsePrompt(system, prompt string) parsedPrompt {
+	full := system + "\n" + prompt
+	var p parsedPrompt
+
+	lower := strings.ToLower(full)
+	p.cot = strings.Contains(lower, "step by step") ||
+		strings.Contains(lower, "step-by-step") ||
+		strings.Contains(lower, "reasoning") ||
+		strings.Contains(lower, "think through")
+
+	p.topicHint = findTopicHint(lower)
+	p.labels = findLabels(full)
+	if len(p.labels) < 2 {
+		return p // not a classification task
+	}
+
+	blocks := findBlocks(full)
+	for _, b := range blocks {
+		if b.label != "" {
+			p.exemplars = append(p.exemplars, exemplar{text: b.text, label: strings.ToLower(b.label)})
+		} else {
+			p.query = b.text // last unlabeled block wins
+		}
+	}
+	if p.query == "" && len(p.exemplars) > 0 {
+		// Degenerate prompt: treat the final exemplar as the query.
+		last := p.exemplars[len(p.exemplars)-1]
+		p.exemplars = p.exemplars[:len(p.exemplars)-1]
+		p.query = last.text
+	}
+	p.isTask = p.query != ""
+	return p
+}
+
+// topic keywords the simulated model can ground severity tasks with.
+var topicKeywords = []string{
+	"suicide", "suicidal", "self-harm", "depression", "depressed",
+	"anxiety", "anxious", "stress", "stressed", "ptsd", "trauma",
+	"eating disorder", "anorexia", "bulimia", "bipolar", "mania",
+	"mental health", "risk",
+}
+
+func findTopicHint(lower string) string {
+	for _, kw := range topicKeywords {
+		if strings.Contains(lower, kw) {
+			return kw
+		}
+	}
+	return ""
+}
+
+// findLabels locates the candidate label list.
+func findLabels(full string) []string {
+	markers := []string{"options:", "answer with one of:", "labels:", "classes:"}
+	for _, line := range strings.Split(full, "\n") {
+		trimmed := strings.TrimSpace(line)
+		lowerLine := strings.ToLower(trimmed)
+		rest := ""
+		found := false
+		for _, m := range markers {
+			if idx := strings.Index(lowerLine, m); idx >= 0 {
+				rest = trimmed[idx+len(m):]
+				found = true
+				break
+			}
+		}
+		if !found {
+			continue
+		}
+		seps := ","
+		if strings.Contains(rest, "|") {
+			seps = "|"
+		}
+		var labels []string
+		for _, part := range strings.Split(rest, seps) {
+			l := strings.ToLower(strings.TrimSpace(part))
+			l = strings.Trim(l, `"'.`)
+			if l != "" {
+				labels = append(labels, l)
+			}
+		}
+		if len(labels) >= 2 {
+			return labels
+		}
+	}
+	return nil
+}
+
+type block struct {
+	text  string
+	label string
+}
+
+// findBlocks extracts Post/Text blocks with their following
+// Label/Answer values (empty label for the trailing query block).
+func findBlocks(full string) []block {
+	lines := strings.Split(full, "\n")
+	var blocks []block
+	var cur *block
+	flush := func() {
+		if cur != nil && strings.TrimSpace(cur.text) != "" {
+			cur.text = strings.TrimSpace(cur.text)
+			blocks = append(blocks, *cur)
+		}
+		cur = nil
+	}
+	for _, line := range lines {
+		trimmed := strings.TrimSpace(line)
+		lower := strings.ToLower(trimmed)
+		switch {
+		case strings.HasPrefix(lower, "post:") || strings.HasPrefix(lower, "text:"):
+			flush()
+			idx := strings.Index(trimmed, ":")
+			cur = &block{text: strings.TrimSpace(trimmed[idx+1:])}
+		case strings.HasPrefix(lower, "label:") || strings.HasPrefix(lower, "answer:"):
+			if cur != nil {
+				idx := strings.Index(trimmed, ":")
+				cur.label = strings.TrimSpace(trimmed[idx+1:])
+				flush()
+			}
+		default:
+			if cur != nil && trimmed != "" {
+				cur.text += " " + trimmed
+			}
+		}
+	}
+	flush()
+	return blocks
+}

@@ -1,0 +1,225 @@
+package prompting
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/llm"
+	"repro/internal/task"
+)
+
+// Config selects a prompting recipe for Classifier.
+type Config struct {
+	Strategy Strategy
+	// K is the number of few-shot exemplars (ignored for ZeroShot,
+	// ChainOfThought, EmotionEnhanced).
+	K int
+	// Selector picks exemplars; nil defaults to a class-balanced
+	// RandomSelector.
+	Selector Selector
+	// Temperature for completions (0 is the usual benchmark setting).
+	Temperature float64
+	// MaxRetries re-samples a completion when the parser fails
+	// (default 1 retry; -1 disables retries).
+	MaxRetries int
+	// StrictParse disables the free-text label-mention fallback and,
+	// with MaxRetries = -1, isolates the raw model behaviour for the
+	// parser-robustness ablation.
+	StrictParse bool
+	// Samples is the number of sampled completions for
+	// SelfConsistency (default 5); ignored by other strategies.
+	Samples int
+	// Seed drives completion sampling.
+	Seed int64
+}
+
+// Classifier adapts an llm.Client to task.Trainable. Fit stores the
+// exemplar pool (and fits the selector); Predict renders a prompt,
+// calls the client, and parses the completion.
+type Classifier struct {
+	client      llm.Client
+	description string
+	labelNames  []string
+	cfg         Config
+	numClasses  int
+	fitted      bool
+}
+
+// New builds a prompting classifier. description frames the task in
+// the prompt (e.g. "signs of depression"); labelNames are the class
+// names in label order.
+func New(client llm.Client, description string, labelNames []string, cfg Config) (*Classifier, error) {
+	if client == nil {
+		return nil, fmt.Errorf("prompting: nil client")
+	}
+	if len(labelNames) < 2 {
+		return nil, fmt.Errorf("prompting: need >= 2 labels, have %d", len(labelNames))
+	}
+	if cfg.K < 0 {
+		return nil, fmt.Errorf("prompting: negative K %d", cfg.K)
+	}
+	if usesExemplars(cfg.Strategy) && cfg.K == 0 {
+		cfg.K = 5
+	}
+	if !usesExemplars(cfg.Strategy) {
+		cfg.K = 0
+	}
+	if cfg.Selector == nil {
+		cfg.Selector = &RandomSelector{Seed: cfg.Seed, NumClasses: len(labelNames)}
+	}
+	switch {
+	case cfg.MaxRetries == 0:
+		cfg.MaxRetries = 1
+	case cfg.MaxRetries < 0:
+		cfg.MaxRetries = 0
+	}
+	if cfg.Strategy == SelfConsistency {
+		if cfg.Samples <= 0 {
+			cfg.Samples = 5
+		}
+		if cfg.Temperature == 0 {
+			cfg.Temperature = 0.7 // sampling diversity is the point
+		}
+	} else {
+		cfg.Samples = 0
+	}
+	return &Classifier{
+		client:      client,
+		description: description,
+		labelNames:  labelNames,
+		cfg:         cfg,
+		numClasses:  len(labelNames),
+	}, nil
+}
+
+func usesExemplars(s Strategy) bool { return s == FewShot || s == FewShotCoT }
+
+// Name implements task.Classifier, e.g. "gpt-3.5-sim/few-shot-5".
+func (c *Classifier) Name() string {
+	name := c.client.Model().Name + "/" + c.cfg.Strategy.String()
+	if usesExemplars(c.cfg.Strategy) {
+		name = fmt.Sprintf("%s-%d", name, c.cfg.K)
+		if c.cfg.Selector.Name() != "random" {
+			name += "-" + c.cfg.Selector.Name()
+		}
+	}
+	if c.cfg.StrictParse {
+		name += "-strict"
+	}
+	return name
+}
+
+// Fit stores the exemplar pool. Zero-shot variants accept (and
+// ignore) any training data, so the same harness code path drives
+// every method.
+func (c *Classifier) Fit(train []task.Example) error {
+	if usesExemplars(c.cfg.Strategy) {
+		if len(train) == 0 {
+			return fmt.Errorf("prompting: %s needs a non-empty exemplar pool", c.cfg.Strategy)
+		}
+		c.cfg.Selector.Fit(train)
+	}
+	c.fitted = true
+	return nil
+}
+
+// Predict implements task.Classifier.
+func (c *Classifier) Predict(text string) (task.Prediction, error) {
+	if !c.fitted {
+		return task.Prediction{}, fmt.Errorf("prompting: Predict before Fit")
+	}
+	var exemplars []task.Example
+	if usesExemplars(c.cfg.Strategy) {
+		exemplars = c.cfg.Selector.Select(text, c.cfg.K)
+	}
+	prompt := renderPrompt(c.cfg.Strategy, c.description, c.labelNames,
+		exemplars, c.labelNames, text)
+
+	if c.cfg.Strategy == SelfConsistency {
+		return c.predictSelfConsistency(prompt)
+	}
+
+	var raw string
+	parsed := ParseResult{Label: -1}
+	for attempt := 0; attempt <= c.cfg.MaxRetries; attempt++ {
+		resp, err := c.client.Complete(context.Background(), llm.Request{
+			System:      systemPrompt,
+			Prompt:      prompt,
+			Temperature: c.cfg.Temperature,
+			Seed:        c.cfg.Seed + int64(attempt)*1000003,
+		})
+		if err != nil {
+			return task.Prediction{}, fmt.Errorf("prompting: %s: %w", c.Name(), err)
+		}
+		raw = resp.Text
+		if c.cfg.StrictParse {
+			parsed = ParseLabelStrict(resp.Text, c.labelNames)
+		} else {
+			parsed = ParseLabel(resp.Text, c.labelNames)
+		}
+		if parsed.OK {
+			break
+		}
+	}
+	pred := task.Prediction{Label: parsed.Label, Raw: raw}
+	if parsed.OK && parsed.Confidence > 0 {
+		pred.Scores = confidenceScores(parsed, c.numClasses)
+	}
+	return pred, nil
+}
+
+// predictSelfConsistency samples Samples chain-of-thought
+// completions at the configured temperature and majority-votes the
+// parsed labels; the vote distribution becomes the prediction
+// scores. Unparseable samples simply don't vote; if no sample
+// parses, the prediction is unparsed (-1).
+func (c *Classifier) predictSelfConsistency(prompt string) (task.Prediction, error) {
+	votes := make([]float64, c.numClasses)
+	total := 0.0
+	var lastRaw string
+	for s := 0; s < c.cfg.Samples; s++ {
+		resp, err := c.client.Complete(context.Background(), llm.Request{
+			System:      systemPrompt,
+			Prompt:      prompt,
+			Temperature: c.cfg.Temperature,
+			Seed:        c.cfg.Seed + int64(s)*7919,
+		})
+		if err != nil {
+			return task.Prediction{}, fmt.Errorf("prompting: %s: %w", c.Name(), err)
+		}
+		lastRaw = resp.Text
+		parsed := ParseLabel(resp.Text, c.labelNames)
+		if parsed.OK {
+			votes[parsed.Label]++
+			total++
+		}
+	}
+	if total == 0 {
+		return task.Prediction{Label: -1, Raw: lastRaw}, nil
+	}
+	best := 0
+	for i := range votes {
+		votes[i] /= total
+		if votes[i] > votes[best] {
+			best = i
+		}
+	}
+	return task.Prediction{Label: best, Scores: votes, Raw: lastRaw}, nil
+}
+
+// confidenceScores spreads a verbalized confidence into a
+// distribution: the chosen label gets the confidence, the rest share
+// the remainder uniformly.
+func confidenceScores(p ParseResult, numClasses int) []float64 {
+	scores := make([]float64, numClasses)
+	rest := (1 - p.Confidence) / float64(numClasses-1)
+	for i := range scores {
+		scores[i] = rest
+	}
+	scores[p.Label] = p.Confidence
+	return scores
+}
+
+// Usage exposes the underlying client accounting (tokens, cost,
+// simulated latency) for the cost experiments.
+func (c *Classifier) Usage() llm.Usage { return c.client.Usage() }

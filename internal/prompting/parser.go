@@ -1,0 +1,155 @@
+package prompting
+
+import (
+	"strconv"
+	"strings"
+)
+
+// ParseResult is the structured reading of one completion.
+type ParseResult struct {
+	Label      int     // label index, or -1 when unparseable
+	Confidence float64 // verbalized confidence in [0,1]; 0 if absent
+	OK         bool
+}
+
+// ParseLabelStrict extracts a label only from an explicit
+// "Label:"/"Answer:" line, with no free-text fallback. It is the
+// ablation counterpart of ParseLabel: the difference between the two
+// measures how much of an LLM pipeline's accuracy is owed to robust
+// output parsing rather than to the model.
+func ParseLabelStrict(completion string, labels []string) ParseResult {
+	res := parseExplicit(completion, labels)
+	return res
+}
+
+// ParseLabel extracts a label decision from free-form completion
+// text. Strategies, in order:
+//
+//  1. an explicit "Label: <x>" (or "Answer: <x>") line, matched
+//     against the label set case-insensitively with punctuation
+//     stripped;
+//  2. otherwise, scan the whole text for label-name mentions; if
+//     exactly one distinct label is mentioned, take it (recovers
+//     verbose answers like "the answer is probably depression");
+//  3. otherwise fail with Label == -1.
+//
+// A "Confidence: <p>" line is extracted when present. ParseLabel
+// never panics on arbitrary input.
+func ParseLabel(completion string, labels []string) ParseResult {
+	res := parseExplicit(completion, labels)
+	if res.OK || len(labels) == 0 {
+		return res
+	}
+
+	// Fallback: unique label mention anywhere in the text.
+	normLabels := normalizeLabels(labels)
+	lowerAll := " " + strings.ToLower(completion) + " "
+	found := -1
+	distinct := 0
+	for i, nl := range normLabels {
+		if nl == "" {
+			continue
+		}
+		if containsWord(lowerAll, nl) {
+			distinct++
+			found = i
+		}
+	}
+	if distinct == 1 {
+		res.Label = found
+		res.OK = true
+	}
+	return res
+}
+
+func normLabelString(s string) string {
+	s = strings.ToLower(strings.TrimSpace(s))
+	return strings.Trim(s, `"'.,!;: `)
+}
+
+func normalizeLabels(labels []string) []string {
+	out := make([]string, len(labels))
+	for i, l := range labels {
+		out[i] = normLabelString(l)
+	}
+	return out
+}
+
+// parseExplicit handles the "Label:"/"Answer:" line (and the
+// "Confidence:" line) shared by strict and robust parsing.
+func parseExplicit(completion string, labels []string) ParseResult {
+	res := ParseResult{Label: -1}
+	if len(labels) == 0 {
+		return res
+	}
+	normLabels := normalizeLabels(labels)
+	for _, line := range strings.Split(completion, "\n") {
+		lower := strings.ToLower(strings.TrimSpace(line))
+		for _, marker := range []string{"label:", "answer:"} {
+			idx := strings.Index(lower, marker)
+			if idx < 0 {
+				continue
+			}
+			cand := normLabelString(lower[idx+len(marker):])
+			if li := matchLabel(cand, normLabels); li >= 0 {
+				res.Label = li
+				res.OK = true
+			}
+		}
+		if idx := strings.Index(lower, "confidence:"); idx >= 0 {
+			if c, err := strconv.ParseFloat(strings.TrimSpace(lower[idx+len("confidence:"):]), 64); err == nil {
+				if c >= 0 && c <= 1 {
+					res.Confidence = c
+				}
+			}
+		}
+	}
+	return res
+}
+
+// matchLabel matches a normalized candidate against normalized
+// labels, first exactly, then by prefix (handles "depression." or
+// "depression — because ...").
+func matchLabel(cand string, normLabels []string) int {
+	for i, nl := range normLabels {
+		if cand == nl {
+			return i
+		}
+	}
+	for i, nl := range normLabels {
+		if nl != "" && strings.HasPrefix(cand, nl+" ") {
+			return i
+		}
+	}
+	return -1
+}
+
+// containsWord reports whether text (already padded with spaces)
+// contains the phrase bounded by non-letter characters.
+func containsWord(padded, phrase string) bool {
+	start := 0
+	for {
+		idx := strings.Index(padded[start:], phrase)
+		if idx < 0 {
+			return false
+		}
+		i := start + idx
+		before := padded[i-1]
+		afterIdx := i + len(phrase)
+		var after byte = ' '
+		if afterIdx < len(padded) {
+			after = padded[afterIdx]
+		}
+		if !isLetter(before) && !isLetter(after) {
+			return true
+		}
+		start = i + 1
+		if start >= len(padded) {
+			return false
+		}
+	}
+}
+
+func isLetter(b byte) bool {
+	return (b >= 'a' && b <= 'z') || (b >= 'A' && b <= 'Z')
+}

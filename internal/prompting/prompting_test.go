@@ -1,0 +1,351 @@
+package prompting
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/corpus"
+	"repro/internal/domain"
+	"repro/internal/eval"
+	"repro/internal/llm"
+	"repro/internal/task"
+)
+
+func TestRenderPromptZeroShot(t *testing.T) {
+	p := renderPrompt(ZeroShot, "signs of depression", []string{"control", "depression"},
+		nil, []string{"control", "depression"}, "i feel hopeless")
+	for _, want := range []string{"Options: control, depression", "Post: i feel hopeless", "Label:"} {
+		if !strings.Contains(p, want) {
+			t.Errorf("prompt missing %q:\n%s", want, p)
+		}
+	}
+	if strings.Contains(p, "step by step") {
+		t.Error("zero-shot prompt should not request CoT")
+	}
+}
+
+func TestRenderPromptFewShotAndCoT(t *testing.T) {
+	exs := []task.Example{{Text: "sad\npost", Label: 1}, {Text: "fun day", Label: 0}}
+	labels := []string{"control", "depression"}
+	p := renderPrompt(FewShotCoT, "signs of depression", labels, exs, labels, "query text")
+	if !strings.Contains(p, "Post: sad post\nLabel: depression") {
+		t.Errorf("exemplar not rendered/flattened:\n%s", p)
+	}
+	if !strings.Contains(p, "step by step") {
+		t.Error("CoT instruction missing")
+	}
+	if !strings.HasSuffix(p, "Post: query text\nLabel:") {
+		t.Errorf("query must be the trailing block:\n%s", p)
+	}
+}
+
+func TestRenderPromptEmotion(t *testing.T) {
+	p := renderPrompt(EmotionEnhanced, "signs of stress", []string{"control", "stress"},
+		nil, []string{"control", "stress"}, "x")
+	if !strings.Contains(p, "emotional tone") {
+		t.Error("emotion prompt missing emotion instruction")
+	}
+}
+
+func TestParseLabelExplicit(t *testing.T) {
+	labels := []string{"control", "depression"}
+	cases := map[string]int{
+		"Label: depression\nConfidence: 0.91": 1,
+		"label: CONTROL":                      0,
+		"Answer: depression.":                 1,
+		"Reasoning: blah blah.\nLabel: depression\nConfidence: 0.5": 1,
+		"Label: depression because of the wording":                  1,
+	}
+	for in, want := range cases {
+		got := ParseLabel(in, labels)
+		if !got.OK || got.Label != want {
+			t.Errorf("ParseLabel(%q) = %+v, want label %d", in, got, want)
+		}
+	}
+}
+
+func TestParseLabelFallbackUniqueMention(t *testing.T) {
+	labels := []string{"control", "depression"}
+	got := ParseLabel("the answer is probably depression, though only a professional can say", labels)
+	if !got.OK || got.Label != 1 {
+		t.Errorf("fallback parse = %+v", got)
+	}
+	// Ambiguous: both labels mentioned, no Label: line.
+	got = ParseLabel("it could be depression or just normal control-group venting", labels)
+	if got.OK {
+		t.Errorf("ambiguous text should fail: %+v", got)
+	}
+	// Refusal: nothing mentioned.
+	got = ParseLabel("I'm sorry, I cannot help with that.", labels)
+	if got.OK || got.Label != -1 {
+		t.Errorf("refusal should fail: %+v", got)
+	}
+}
+
+func TestParseLabelSubstringSafety(t *testing.T) {
+	// "low" must not match inside "lower" or "yellow".
+	labels := []string{"none", "low"}
+	got := ParseLabel("the post mentions yellow lowercase letters, nothing else", labels)
+	if got.OK {
+		t.Errorf("substring match leaked: %+v", got)
+	}
+	got = ParseLabel("risk seems low here", labels)
+	if !got.OK || got.Label != 1 {
+		t.Errorf("word match failed: %+v", got)
+	}
+}
+
+func TestParseLabelConfidence(t *testing.T) {
+	got := ParseLabel("Label: low\nConfidence: 0.73", []string{"none", "low"})
+	if got.Confidence != 0.73 {
+		t.Errorf("confidence = %v", got.Confidence)
+	}
+	// Out-of-range confidence ignored.
+	got = ParseLabel("Label: low\nConfidence: 7.3", []string{"none", "low"})
+	if got.Confidence != 0 {
+		t.Errorf("bad confidence should be dropped: %v", got.Confidence)
+	}
+}
+
+func TestParseLabelNeverPanics(t *testing.T) {
+	labels := []string{"control", "depression", "anxiety"}
+	f := func(s string) bool {
+		res := ParseLabel(s, labels)
+		return res.Label >= -1 && res.Label < len(labels)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+	// Also empty label set.
+	if res := ParseLabel("anything", nil); res.OK {
+		t.Error("empty label set should never parse")
+	}
+}
+
+func poolFor(t *testing.T, n int) []task.Example {
+	t.Helper()
+	spec := corpus.Spec{
+		Name: "pool", Kind: corpus.KindDisorder,
+		Classes:    []domain.Disorder{domain.Control, domain.Depression},
+		ClassProbs: []float64{0.5, 0.5},
+		N:          n, Difficulty: 0.3, Seed: 77,
+	}
+	ds, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds.Examples()
+}
+
+func TestRandomSelectorBalancedAndDeterministic(t *testing.T) {
+	pool := poolFor(t, 60)
+	s := &RandomSelector{Seed: 5, NumClasses: 2}
+	s.Fit(pool)
+	a := s.Select("whatever", 6)
+	b := s.Select("other query", 6)
+	if len(a) != 6 {
+		t.Fatalf("selected %d", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Error("random selector must be query-independent and stable")
+		}
+	}
+	counts := map[int]int{}
+	for _, ex := range a {
+		counts[ex.Label]++
+	}
+	if counts[0] != 3 || counts[1] != 3 {
+		t.Errorf("not class balanced: %v", counts)
+	}
+}
+
+func TestRandomSelectorKLargerThanPool(t *testing.T) {
+	pool := poolFor(t, 4)
+	s := &RandomSelector{Seed: 1, NumClasses: 2}
+	s.Fit(pool)
+	if got := s.Select("q", 99); len(got) != 4 {
+		t.Errorf("selected %d, want whole pool", len(got))
+	}
+	if got := s.Select("q", 0); got != nil {
+		t.Errorf("k=0 should select nothing, got %d", len(got))
+	}
+}
+
+func TestKNNSelectorRetrievesSimilar(t *testing.T) {
+	pool := []task.Example{
+		{Text: "i feel hopeless and worthless, crying at night", Label: 1},
+		{Text: "fun weekend hiking with friends and dogs", Label: 0},
+		{Text: "so hopeless lately, everything feels empty and pointless", Label: 1},
+		{Text: "made a delicious dinner, great movie night", Label: 0},
+	}
+	s := NewKNNSelector(256)
+	s.Fit(pool)
+	got := s.Select("feeling hopeless and empty, crying all the time", 2)
+	if len(got) != 2 {
+		t.Fatalf("selected %d", len(got))
+	}
+	for _, ex := range got {
+		if ex.Label != 1 {
+			t.Errorf("kNN retrieved dissimilar exemplar: %q", ex.Text)
+		}
+	}
+}
+
+func TestDiverseSelectorAvoidsDuplicates(t *testing.T) {
+	dup := "i feel hopeless and worthless, crying at night"
+	pool := []task.Example{
+		{Text: dup, Label: 1},
+		{Text: dup, Label: 1},
+		{Text: dup, Label: 1},
+		{Text: "stressful deadline pressure at work all week", Label: 0},
+	}
+	s := NewDiverseSelector(128, 0.5)
+	s.Fit(pool)
+	got := s.Select("feeling hopeless", 2)
+	if len(got) != 2 {
+		t.Fatalf("selected %d", len(got))
+	}
+	if got[0].Text == got[1].Text {
+		t.Error("MMR picked two identical exemplars")
+	}
+}
+
+func TestNewClassifierValidation(t *testing.T) {
+	client := llm.MustSimClient(llm.MustModel("gpt-3.5-sim"))
+	if _, err := New(nil, "d", []string{"a", "b"}, Config{}); err == nil {
+		t.Error("nil client must error")
+	}
+	if _, err := New(client, "d", []string{"only"}, Config{}); err == nil {
+		t.Error("single label must error")
+	}
+	if _, err := New(client, "d", []string{"a", "b"}, Config{K: -1}); err == nil {
+		t.Error("negative K must error")
+	}
+}
+
+func TestClassifierNames(t *testing.T) {
+	client := llm.MustSimClient(llm.MustModel("gpt-3.5-sim"))
+	zs, _ := New(client, "d", []string{"a", "b"}, Config{Strategy: ZeroShot})
+	if zs.Name() != "gpt-3.5-sim/zero-shot" {
+		t.Errorf("name = %q", zs.Name())
+	}
+	fs, _ := New(client, "d", []string{"a", "b"}, Config{Strategy: FewShot, K: 5})
+	if fs.Name() != "gpt-3.5-sim/few-shot-5" {
+		t.Errorf("name = %q", fs.Name())
+	}
+	knn, _ := New(client, "d", []string{"a", "b"},
+		Config{Strategy: FewShot, K: 3, Selector: NewKNNSelector(64)})
+	if knn.Name() != "gpt-3.5-sim/few-shot-3-knn" {
+		t.Errorf("name = %q", knn.Name())
+	}
+}
+
+func TestClassifierPredictBeforeFit(t *testing.T) {
+	client := llm.MustSimClient(llm.MustModel("gpt-3.5-sim"))
+	c, _ := New(client, "d", []string{"a", "b"}, Config{})
+	if _, err := c.Predict("text"); err == nil {
+		t.Error("Predict before Fit must error")
+	}
+}
+
+func TestFewShotNeedsPool(t *testing.T) {
+	client := llm.MustSimClient(llm.MustModel("gpt-3.5-sim"))
+	c, _ := New(client, "d", []string{"a", "b"}, Config{Strategy: FewShot, K: 3})
+	if err := c.Fit(nil); err == nil {
+		t.Error("few-shot Fit with empty pool must error")
+	}
+}
+
+func TestZeroShotClassifierEndToEnd(t *testing.T) {
+	client := llm.MustSimClient(llm.MustModel("gpt-4-sim"))
+	labels := []string{"control", "depression"}
+	c, err := New(client, "signs of depression", labels, Config{Strategy: ZeroShot, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Fit(nil); err != nil {
+		t.Fatal(err)
+	}
+	pred, err := c.Predict("i feel so hopeless and worthless, crying every night, nothing matters")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred.Label != 1 {
+		t.Errorf("obvious depression post labelled %d (raw: %q)", pred.Label, pred.Raw)
+	}
+	pred, err = c.Predict("great weekend hiking with friends, delicious barbecue and playoffs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred.Label != 0 {
+		t.Errorf("obvious control post labelled %d (raw: %q)", pred.Label, pred.Raw)
+	}
+}
+
+func TestFewShotBeatsZeroShotOnHarderTask(t *testing.T) {
+	spec := corpus.Spec{
+		Name: "cmp", Kind: corpus.KindDisorder,
+		Classes:    []domain.Disorder{domain.Control, domain.Depression},
+		ClassProbs: []float64{0.5, 0.5},
+		N:          400, Difficulty: 0.6, Seed: 91,
+	}
+	ds, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tk, err := ds.Task(0.7, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tk.Test = tk.Test[:60] // keep the test fast
+
+	run := func(cfg Config) float64 {
+		client := llm.MustSimClient(llm.MustModel("llama2-13b-sim"))
+		c, err := New(client, "signs of depression", tk.LabelNames, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Fit(tk.Train); err != nil {
+			t.Fatal(err)
+		}
+		res, err := eval.Evaluate(c, tk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.MacroF1
+	}
+	zs := run(Config{Strategy: ZeroShot, Seed: 4})
+	fs := run(Config{Strategy: FewShot, K: 8, Seed: 4})
+	if fs <= zs-0.02 {
+		t.Errorf("few-shot (%.3f) should not trail zero-shot (%.3f) meaningfully", fs, zs)
+	}
+}
+
+func TestClassifierUsageAccounting(t *testing.T) {
+	client := llm.MustSimClient(llm.MustModel("gpt-3.5-sim"))
+	c, _ := New(client, "signs of stress", []string{"control", "stress"}, Config{Seed: 2})
+	_ = c.Fit(nil)
+	if _, err := c.Predict("deadline pressure is crushing me"); err != nil {
+		t.Fatal(err)
+	}
+	u := c.Usage()
+	if u.Calls == 0 || u.TokensIn == 0 {
+		t.Errorf("usage not recorded: %+v", u)
+	}
+}
+
+func TestConfidenceScoresDistribution(t *testing.T) {
+	s := confidenceScores(ParseResult{Label: 1, Confidence: 0.8, OK: true}, 3)
+	sum := 0.0
+	for _, v := range s {
+		sum += v
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("scores sum %v", sum)
+	}
+	if s[1] != 0.8 {
+		t.Errorf("chosen label score %v", s[1])
+	}
+}

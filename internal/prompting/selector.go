@@ -1,0 +1,224 @@
+package prompting
+
+import (
+	"math/rand"
+	"sort"
+
+	"repro/internal/embedding"
+	"repro/internal/task"
+)
+
+// Selector chooses few-shot exemplars from a training pool for a
+// query. Implementations must be deterministic and safe for
+// concurrent Select calls after Fit.
+type Selector interface {
+	Name() string
+	// Fit lets the selector precompute over the pool (e.g. embed it).
+	Fit(pool []task.Example)
+	// Select returns up to k exemplars for the query.
+	Select(query string, k int) []task.Example
+}
+
+// RandomSelector picks a fixed class-balanced random exemplar set at
+// Fit time and reuses it for every query — the standard "static
+// random demonstrations" condition in prompting papers.
+type RandomSelector struct {
+	Seed int64
+	// NumClasses is informational (class balance emerges from the
+	// round-robin in Select regardless); kept for constructor-site
+	// readability.
+	NumClasses int
+	pool       []task.Example
+}
+
+// Name implements Selector.
+func (s *RandomSelector) Name() string { return "random" }
+
+// Fit shuffles the pool once, deterministically.
+func (s *RandomSelector) Fit(pool []task.Example) {
+	s.pool = make([]task.Example, len(pool))
+	copy(s.pool, pool)
+	rng := rand.New(rand.NewSource(s.Seed))
+	rng.Shuffle(len(s.pool), func(i, j int) { s.pool[i], s.pool[j] = s.pool[j], s.pool[i] })
+}
+
+// Select returns the first k pool items in round-robin class order,
+// so every class is represented when k is at least the class count.
+func (s *RandomSelector) Select(_ string, k int) []task.Example {
+	if k <= 0 || len(s.pool) == 0 {
+		return nil
+	}
+	if k > len(s.pool) {
+		k = len(s.pool)
+	}
+	byClass := map[int][]task.Example{}
+	var classOrder []int
+	for _, ex := range s.pool {
+		if len(byClass[ex.Label]) == 0 {
+			classOrder = append(classOrder, ex.Label)
+		}
+		byClass[ex.Label] = append(byClass[ex.Label], ex)
+	}
+	out := make([]task.Example, 0, k)
+	for round := 0; len(out) < k; round++ {
+		advanced := false
+		for _, c := range classOrder {
+			if round < len(byClass[c]) {
+				out = append(out, byClass[c][round])
+				advanced = true
+				if len(out) == k {
+					break
+				}
+			}
+		}
+		if !advanced {
+			break
+		}
+	}
+	return out
+}
+
+// KNNSelector retrieves the k pool examples most similar to the
+// query under hashed-embedding cosine similarity — the
+// "retrieval-augmented demonstrations" condition.
+type KNNSelector struct {
+	hasher *embedding.Hasher
+	pool   []task.Example
+	vecs   []embedding.Vector
+}
+
+// NewKNNSelector returns a kNN selector with the given embedding
+// dimensionality (0 means 256).
+func NewKNNSelector(dim int) *KNNSelector {
+	if dim <= 0 {
+		dim = 256
+	}
+	return &KNNSelector{hasher: embedding.NewHasher(dim)}
+}
+
+// Name implements Selector.
+func (s *KNNSelector) Name() string { return "knn" }
+
+// Fit embeds the pool.
+func (s *KNNSelector) Fit(pool []task.Example) {
+	s.pool = make([]task.Example, len(pool))
+	copy(s.pool, pool)
+	s.vecs = make([]embedding.Vector, len(pool))
+	for i, ex := range s.pool {
+		s.vecs[i] = s.hasher.Embed(ex.Text)
+	}
+}
+
+// Select returns the k nearest pool examples to the query.
+func (s *KNNSelector) Select(query string, k int) []task.Example {
+	if k <= 0 || len(s.pool) == 0 {
+		return nil
+	}
+	if k > len(s.pool) {
+		k = len(s.pool)
+	}
+	qv := s.hasher.Embed(query)
+	idx := make([]int, len(s.pool))
+	sims := make([]float64, len(s.pool))
+	for i := range s.pool {
+		idx[i] = i
+		sims[i] = embedding.Cosine(qv, s.vecs[i])
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		if sims[idx[a]] != sims[idx[b]] {
+			return sims[idx[a]] > sims[idx[b]]
+		}
+		return idx[a] < idx[b]
+	})
+	out := make([]task.Example, k)
+	for i := 0; i < k; i++ {
+		out[i] = s.pool[idx[i]]
+	}
+	return out
+}
+
+// DiverseSelector applies maximal-marginal-relevance over hashed
+// embeddings: relevant to the query but mutually diverse, trading
+// off with Lambda (1 = pure relevance, 0 = pure diversity).
+type DiverseSelector struct {
+	Lambda float64
+	hasher *embedding.Hasher
+	pool   []task.Example
+	vecs   []embedding.Vector
+}
+
+// NewDiverseSelector returns an MMR selector (lambda clamped into
+// [0,1]; 0 value defaults to 0.6).
+func NewDiverseSelector(dim int, lambda float64) *DiverseSelector {
+	if dim <= 0 {
+		dim = 256
+	}
+	if lambda == 0 {
+		lambda = 0.6
+	}
+	if lambda < 0 {
+		lambda = 0
+	}
+	if lambda > 1 {
+		lambda = 1
+	}
+	return &DiverseSelector{Lambda: lambda, hasher: embedding.NewHasher(dim)}
+}
+
+// Name implements Selector.
+func (s *DiverseSelector) Name() string { return "diverse" }
+
+// Fit embeds the pool.
+func (s *DiverseSelector) Fit(pool []task.Example) {
+	s.pool = make([]task.Example, len(pool))
+	copy(s.pool, pool)
+	s.vecs = make([]embedding.Vector, len(pool))
+	for i, ex := range s.pool {
+		s.vecs[i] = s.hasher.Embed(ex.Text)
+	}
+}
+
+// Select runs greedy MMR.
+func (s *DiverseSelector) Select(query string, k int) []task.Example {
+	if k <= 0 || len(s.pool) == 0 {
+		return nil
+	}
+	if k > len(s.pool) {
+		k = len(s.pool)
+	}
+	qv := s.hasher.Embed(query)
+	rel := make([]float64, len(s.pool))
+	for i := range s.pool {
+		rel[i] = embedding.Cosine(qv, s.vecs[i])
+	}
+	chosen := make([]int, 0, k)
+	used := make([]bool, len(s.pool))
+	for len(chosen) < k {
+		bestIdx, bestScore := -1, -1e18
+		for i := range s.pool {
+			if used[i] {
+				continue
+			}
+			maxSim := 0.0
+			for _, c := range chosen {
+				if sim := embedding.Cosine(s.vecs[i], s.vecs[c]); sim > maxSim {
+					maxSim = sim
+				}
+			}
+			score := s.Lambda*rel[i] - (1-s.Lambda)*maxSim
+			if score > bestScore || (score == bestScore && bestIdx >= 0 && i < bestIdx) {
+				bestIdx, bestScore = i, score
+			}
+		}
+		if bestIdx < 0 {
+			break
+		}
+		used[bestIdx] = true
+		chosen = append(chosen, bestIdx)
+	}
+	out := make([]task.Example, len(chosen))
+	for i, c := range chosen {
+		out[i] = s.pool[c]
+	}
+	return out
+}

@@ -1,0 +1,121 @@
+package prompting
+
+import (
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/domain"
+	"repro/internal/eval"
+	"repro/internal/llm"
+)
+
+func TestSelfConsistencyDefaults(t *testing.T) {
+	client := llm.MustSimClient(llm.MustModel("gpt-3.5-sim"))
+	c, err := New(client, "signs of depression", []string{"control", "depression"},
+		Config{Strategy: SelfConsistency})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.cfg.Samples != 5 {
+		t.Errorf("default samples = %d", c.cfg.Samples)
+	}
+	if c.cfg.Temperature == 0 {
+		t.Error("self-consistency must default to a sampling temperature")
+	}
+	if c.Name() != "gpt-3.5-sim/self-consistency" {
+		t.Errorf("name = %q", c.Name())
+	}
+}
+
+func TestSelfConsistencyVotes(t *testing.T) {
+	client := llm.MustSimClient(llm.MustModel("gpt-4-sim"))
+	c, err := New(client, "signs of depression", []string{"control", "depression"},
+		Config{Strategy: SelfConsistency, Samples: 7, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Fit(nil); err != nil {
+		t.Fatal(err)
+	}
+	pred, err := c.Predict("i feel so hopeless and worthless, crying every night, nothing matters")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred.Label != 1 {
+		t.Errorf("SC labelled obvious depression post %d (raw %q)", pred.Label, pred.Raw)
+	}
+	if len(pred.Scores) != 2 {
+		t.Fatalf("scores = %v", pred.Scores)
+	}
+	sum := pred.Scores[0] + pred.Scores[1]
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("vote distribution sums to %v", sum)
+	}
+	// Usage must show one call per sample.
+	if u := c.Usage(); u.Calls != 7 {
+		t.Errorf("calls = %d, want 7 samples", u.Calls)
+	}
+}
+
+func TestSelfConsistencyDeterministic(t *testing.T) {
+	mk := func() *Classifier {
+		client := llm.MustSimClient(llm.MustModel("llama2-13b-sim"))
+		c, err := New(client, "signs of depression", []string{"control", "depression"},
+			Config{Strategy: SelfConsistency, Samples: 5, Seed: 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = c.Fit(nil)
+		return c
+	}
+	a, b := mk(), mk()
+	post := "feeling pretty low lately, not sure anything helps"
+	pa, err := a.Predict(post)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, _ := b.Predict(post)
+	if pa.Label != pb.Label {
+		t.Error("self-consistency not deterministic under seed")
+	}
+}
+
+func TestSelfConsistencyBeatsSingleHotSample(t *testing.T) {
+	// The whole point of SC: at high temperature, majority voting
+	// over samples beats a single sample. Compare on a moderately
+	// hard task with a mid-size model.
+	spec := corpus.Spec{
+		Name: "sc", Kind: corpus.KindDisorder,
+		Classes:    []domain.Disorder{domain.Control, domain.Depression},
+		ClassProbs: []float64{0.5, 0.5},
+		N:          300, Difficulty: 0.6, Seed: 55,
+	}
+	ds, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tk, err := ds.Task(0.5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tk.Test = tk.Test[:80]
+
+	run := func(cfg Config) float64 {
+		client := llm.MustSimClient(llm.MustModel("llama2-13b-sim"))
+		c, err := New(client, "signs of depression", tk.LabelNames, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = c.Fit(tk.Train)
+		r, err := eval.Evaluate(c, tk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.MacroF1
+	}
+	single := run(Config{Strategy: ChainOfThought, Temperature: 0.7, Seed: 4})
+	sc := run(Config{Strategy: SelfConsistency, Samples: 9, Temperature: 0.7, Seed: 4})
+	if sc <= single-0.02 {
+		t.Errorf("self-consistency (%.3f) should not trail a single hot sample (%.3f)", sc, single)
+	}
+}

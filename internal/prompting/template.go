@@ -1,0 +1,90 @@
+// Package prompting adapts a simulated (or real, API-shaped) LLM
+// client into a task.Classifier: it renders classification prompts
+// in the strategies the survey compares (zero-shot, few-shot,
+// chain-of-thought, emotion-enhanced), selects few-shot exemplars
+// (fixed-random, kNN-retrieved, or diversity-maximized), and parses
+// free-text completions back into labels with fallback heuristics
+// and retry-on-parse-failure.
+package prompting
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/task"
+)
+
+// Strategy names a prompting recipe.
+type Strategy int
+
+// The prompting strategies from the survey's method taxonomy.
+// SelfConsistency samples several chain-of-thought completions at a
+// non-zero temperature and majority-votes the parsed labels.
+const (
+	ZeroShot Strategy = iota
+	FewShot
+	ChainOfThought
+	FewShotCoT
+	EmotionEnhanced
+	SelfConsistency
+)
+
+// String returns the canonical strategy name.
+func (s Strategy) String() string {
+	switch s {
+	case ZeroShot:
+		return "zero-shot"
+	case FewShot:
+		return "few-shot"
+	case ChainOfThought:
+		return "cot"
+	case FewShotCoT:
+		return "few-shot-cot"
+	case EmotionEnhanced:
+		return "emotion"
+	case SelfConsistency:
+		return "self-consistency"
+	default:
+		return fmt.Sprintf("strategy(%d)", int(s))
+	}
+}
+
+// systemPrompt is shared by all strategies.
+const systemPrompt = "You are a careful mental-health research assistant. " +
+	"You classify social media posts for research purposes and always answer " +
+	"in the requested format."
+
+// renderPrompt builds the user prompt for a query under a strategy.
+// description is the task framing (e.g. "signs of depression");
+// labels are the candidate label names; exemplars may be nil.
+func renderPrompt(strategy Strategy, description string, labels []string,
+	exemplars []task.Example, labelNames []string, query string) string {
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "Task: read the post and decide which label best describes it with respect to %s.\n",
+		description)
+	if strategy == EmotionEnhanced {
+		b.WriteString("Pay close attention to the emotional tone of the post: " +
+			"sadness, hopelessness, fear, guilt, exhaustion, and loss of " +
+			"interest are important cues, as is their intensity.\n")
+	}
+	fmt.Fprintf(&b, "Options: %s\n", strings.Join(labels, ", "))
+	if strategy == ChainOfThought || strategy == FewShotCoT || strategy == SelfConsistency {
+		b.WriteString("Think step by step about the evidence in the post before deciding. " +
+			"Give your reasoning, then finish with a line of the form \"Label: <option>\".\n")
+	} else {
+		b.WriteString("Answer with a single line of the form \"Label: <option>\".\n")
+	}
+	b.WriteString("\n")
+	for _, ex := range exemplars {
+		fmt.Fprintf(&b, "Post: %s\nLabel: %s\n\n", flatten(ex.Text), labelNames[ex.Label])
+	}
+	fmt.Fprintf(&b, "Post: %s\nLabel:", flatten(query))
+	return b.String()
+}
+
+// flatten removes newlines from post text so block parsing stays
+// unambiguous.
+func flatten(s string) string {
+	return strings.Join(strings.Fields(s), " ")
+}

@@ -1,0 +1,170 @@
+// Package report renders experiment tables for humans: ASCII line
+// charts for terminals and a self-contained HTML report (tables plus
+// inline SVG charts) for the whole suite.
+package report
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// series is one numeric column extracted from a table.
+type series struct {
+	name   string
+	values []float64
+}
+
+// numericSeries extracts the numeric columns of a table (column 0 is
+// treated as the x-axis label). A column qualifies when every row
+// parses as a float.
+func numericSeries(tb *core.Table) (xs []string, out []series) {
+	if len(tb.Rows) == 0 {
+		return nil, nil
+	}
+	xs = make([]string, len(tb.Rows))
+	for i, row := range tb.Rows {
+		if len(row) > 0 {
+			xs[i] = row[0]
+		}
+	}
+	for col := 1; col < len(tb.Header); col++ {
+		vals := make([]float64, 0, len(tb.Rows))
+		ok := true
+		for _, row := range tb.Rows {
+			if col >= len(row) {
+				ok = false
+				break
+			}
+			v, err := strconv.ParseFloat(strings.TrimSpace(row[col]), 64)
+			if err != nil {
+				ok = false
+				break
+			}
+			vals = append(vals, v)
+		}
+		if ok && len(vals) > 0 {
+			out = append(out, series{name: tb.Header[col], values: vals})
+		}
+	}
+	return xs, out
+}
+
+// AsciiChart renders the table's numeric columns as a terminal line
+// chart with one mark letter per series and a legend. Tables with no
+// numeric columns return an empty string.
+func AsciiChart(tb *core.Table, width, height int) string {
+	if width < 20 {
+		width = 60
+	}
+	if height < 5 {
+		height = 16
+	}
+	xs, ss := numericSeries(tb)
+	if len(ss) == 0 || len(xs) < 2 {
+		return ""
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, s := range ss {
+		for _, v := range s.values {
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	n := len(xs)
+	for si, s := range ss {
+		mark := byte('a' + si%26)
+		for i, v := range s.values {
+			x := i * (width - 1) / (n - 1)
+			y := int(math.Round((hi - v) / (hi - lo) * float64(height-1)))
+			grid[y][x] = mark
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", tb.Title)
+	for r, row := range grid {
+		label := "        "
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%7.3f ", hi)
+		case height - 1:
+			label = fmt.Sprintf("%7.3f ", lo)
+		}
+		fmt.Fprintf(&b, "%s|%s\n", label, string(row))
+	}
+	fmt.Fprintf(&b, "        +%s\n", strings.Repeat("-", width))
+	fmt.Fprintf(&b, "         %s .. %s\n", xs[0], xs[len(xs)-1])
+	for si, s := range ss {
+		fmt.Fprintf(&b, "         %c = %s\n", 'a'+si%26, s.name)
+	}
+	return b.String()
+}
+
+// SVGChart renders the table's numeric columns as an inline SVG line
+// chart (empty string when the table has no plottable series).
+func SVGChart(tb *core.Table, width, height int) string {
+	if width < 100 {
+		width = 560
+	}
+	if height < 60 {
+		height = 280
+	}
+	xs, ss := numericSeries(tb)
+	if len(ss) == 0 || len(xs) < 2 {
+		return ""
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, s := range ss {
+		for _, v := range s.values {
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	const margin = 40
+	plotW, plotH := float64(width-2*margin), float64(height-2*margin)
+	colors := []string{"#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b"}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif" font-size="11">`, width, height)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`, width, height)
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#333"/>`, margin, height-margin, width-margin, height-margin)
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#333"/>`, margin, margin, margin, height-margin)
+	fmt.Fprintf(&b, `<text x="%d" y="%d" text-anchor="end">%.3f</text>`, margin-4, margin+4, hi)
+	fmt.Fprintf(&b, `<text x="%d" y="%d" text-anchor="end">%.3f</text>`, margin-4, height-margin, lo)
+	fmt.Fprintf(&b, `<text x="%d" y="%d">%s</text>`, margin, height-margin+16, escape(xs[0]))
+	fmt.Fprintf(&b, `<text x="%d" y="%d" text-anchor="end">%s</text>`, width-margin, height-margin+16, escape(xs[len(xs)-1]))
+
+	n := len(xs)
+	for si, s := range ss {
+		color := colors[si%len(colors)]
+		var pts []string
+		for i, v := range s.values {
+			x := float64(margin) + float64(i)/float64(n-1)*plotW
+			y := float64(margin) + (hi-v)/(hi-lo)*plotH
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", x, y))
+		}
+		fmt.Fprintf(&b, `<polyline fill="none" stroke="%s" stroke-width="2" points="%s"/>`, color, strings.Join(pts, " "))
+		fmt.Fprintf(&b, `<text x="%d" y="%d" fill="%s">%s</text>`, margin+6, margin+14+16*si, color, escape(s.name))
+	}
+	b.WriteString("</svg>")
+	return b.String()
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

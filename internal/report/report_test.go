@@ -1,0 +1,142 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func figTable() *core.Table {
+	tb := &core.Table{
+		ID: "fig9", Title: "demo curve",
+		Header: []string{"k", "series-a", "series-b"},
+		Notes:  "a note",
+	}
+	tb.AddRow("0", "0.50", "0.40")
+	tb.AddRow("4", "0.70", "0.55")
+	tb.AddRow("8", "0.80", "0.60")
+	return tb
+}
+
+func textTable() *core.Table {
+	tb := &core.Table{
+		ID: "table9", Title: "strings only",
+		Header: []string{"x", "y"},
+	}
+	tb.AddRow("a", "not-a-number")
+	tb.AddRow("b", "also text")
+	return tb
+}
+
+func TestNumericSeries(t *testing.T) {
+	xs, ss := numericSeries(figTable())
+	if len(xs) != 3 {
+		t.Fatalf("xs = %v", xs)
+	}
+	if len(ss) != 2 {
+		t.Fatalf("series = %d, want 2", len(ss))
+	}
+	if ss[0].name != "series-a" || ss[0].values[2] != 0.80 {
+		t.Errorf("series[0] = %+v", ss[0])
+	}
+	// Mixed table: numeric x column is column 0, so a text-only
+	// table yields no series.
+	if _, ss := numericSeries(textTable()); len(ss) != 0 {
+		t.Errorf("text table produced series: %v", ss)
+	}
+	if _, ss := numericSeries(&core.Table{Header: []string{"a"}}); ss != nil {
+		t.Error("empty table should produce nothing")
+	}
+}
+
+func TestAsciiChart(t *testing.T) {
+	out := AsciiChart(figTable(), 40, 10)
+	if out == "" {
+		t.Fatal("no chart rendered")
+	}
+	for _, want := range []string{"demo curve", "a = series-a", "b = series-b", "0 .. 8"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "a") || !strings.Contains(out, "b") {
+		t.Error("chart missing series marks")
+	}
+	if AsciiChart(textTable(), 40, 10) != "" {
+		t.Error("text table should render no chart")
+	}
+}
+
+func TestAsciiChartFlatSeries(t *testing.T) {
+	tb := &core.Table{ID: "f", Title: "flat", Header: []string{"x", "v"}}
+	tb.AddRow("0", "0.5")
+	tb.AddRow("1", "0.5")
+	if out := AsciiChart(tb, 40, 8); out == "" {
+		t.Error("flat series must still render (degenerate range)")
+	}
+}
+
+func TestSVGChart(t *testing.T) {
+	svg := SVGChart(figTable(), 560, 280)
+	if !strings.HasPrefix(svg, "<svg") || !strings.HasSuffix(svg, "</svg>") {
+		t.Fatalf("not an svg: %.60s...", svg)
+	}
+	if strings.Count(svg, "<polyline") != 2 {
+		t.Errorf("want 2 polylines, got %d", strings.Count(svg, "<polyline"))
+	}
+	if !strings.Contains(svg, "series-a") {
+		t.Error("legend missing")
+	}
+	if SVGChart(textTable(), 0, 0) != "" {
+		t.Error("text table should render no svg")
+	}
+}
+
+func TestSVGEscapesLabels(t *testing.T) {
+	tb := &core.Table{ID: "f", Title: "t", Header: []string{"x", `evil<&>"col`}}
+	tb.AddRow("0", "1")
+	tb.AddRow("1", "2")
+	svg := SVGChart(tb, 200, 120)
+	if strings.Contains(svg, `evil<&>`) {
+		t.Error("unescaped markup in svg")
+	}
+	if !strings.Contains(svg, "evil&lt;&amp;&gt;") {
+		t.Error("expected escaped label")
+	}
+}
+
+func TestHTMLReport(t *testing.T) {
+	html, err := HTML("suite results", []*core.Table{figTable(), textTable()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"<title>suite results</title>",
+		`id="fig9"`, `id="table9"`,
+		"<svg",         // chart for the figure
+		"not-a-number", // table body for the text table
+		"a note",       // notes
+		`href="#fig9"`, // nav
+	} {
+		if !strings.Contains(html, want) {
+			t.Errorf("html missing %q", want)
+		}
+	}
+	// The non-figure table must not get a chart.
+	if strings.Count(html, "<svg") != 1 {
+		t.Errorf("want exactly 1 svg, got %d", strings.Count(html, "<svg"))
+	}
+}
+
+func TestHTMLEscapesCells(t *testing.T) {
+	tb := &core.Table{ID: "table1", Title: "x", Header: []string{"a"}}
+	tb.AddRow(`<script>alert(1)</script>`)
+	html, err := HTML("t", []*core.Table{tb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(html, "<script>alert") {
+		t.Error("cell content not escaped")
+	}
+}

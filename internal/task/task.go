@@ -1,0 +1,147 @@
+// Package task defines the shared contracts between datasets,
+// classifiers, and the evaluation harness: a Task is a labelled text
+// classification problem with named classes; a Classifier maps text
+// to a Prediction; a Trainable classifier additionally learns from
+// labelled examples.
+package task
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+)
+
+// Example is one labelled text instance. Label indexes the owning
+// Task's LabelNames.
+type Example struct {
+	Text  string
+	Label int
+}
+
+// Task is a single-label text-classification problem with fixed
+// train/test splits.
+type Task struct {
+	Name        string   // e.g. "rsdd-sim/depression-binary"
+	Description string   // one-line human description
+	LabelNames  []string // class names; Example.Label indexes this
+	Train       []Example
+	Test        []Example
+}
+
+// NumClasses returns the number of classes.
+func (t *Task) NumClasses() int { return len(t.LabelNames) }
+
+// Validate checks internal consistency: non-empty label set, every
+// example label within range, and non-empty test split.
+func (t *Task) Validate() error {
+	if t.Name == "" {
+		return errors.New("task: empty name")
+	}
+	if len(t.LabelNames) < 2 {
+		return fmt.Errorf("task %s: need >= 2 classes, have %d", t.Name, len(t.LabelNames))
+	}
+	if len(t.Test) == 0 {
+		return fmt.Errorf("task %s: empty test split", t.Name)
+	}
+	check := func(split string, exs []Example) error {
+		for i, ex := range exs {
+			if ex.Label < 0 || ex.Label >= len(t.LabelNames) {
+				return fmt.Errorf("task %s: %s[%d] label %d out of range [0,%d)",
+					t.Name, split, i, ex.Label, len(t.LabelNames))
+			}
+		}
+		return nil
+	}
+	if err := check("train", t.Train); err != nil {
+		return err
+	}
+	return check("test", t.Test)
+}
+
+// ClassCounts returns per-class example counts for the given split.
+func ClassCounts(exs []Example, numClasses int) []int {
+	counts := make([]int, numClasses)
+	for _, ex := range exs {
+		if ex.Label >= 0 && ex.Label < numClasses {
+			counts[ex.Label]++
+		}
+	}
+	return counts
+}
+
+// Subsample returns a deterministic stratified subsample of at most n
+// examples, preserving class proportions as closely as possible. If
+// n >= len(exs) it returns a shuffled copy of exs.
+func Subsample(exs []Example, n int, seed int64) []Example {
+	rng := rand.New(rand.NewSource(seed))
+	shuffled := make([]Example, len(exs))
+	copy(shuffled, exs)
+	rng.Shuffle(len(shuffled), func(i, j int) {
+		shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+	})
+	if n >= len(shuffled) {
+		return shuffled
+	}
+	// Greedy stratified pick: walk the shuffle, capping each class at
+	// ceil(n * classShare) until n examples are selected.
+	total := len(exs)
+	maxClass := map[int]int{}
+	counts := map[int]int{}
+	for _, ex := range exs {
+		counts[ex.Label]++
+	}
+	for label, c := range counts {
+		maxClass[label] = (n*c + total - 1) / total
+	}
+	taken := map[int]int{}
+	out := make([]Example, 0, n)
+	for _, ex := range shuffled {
+		if len(out) == n {
+			break
+		}
+		if taken[ex.Label] < maxClass[ex.Label] {
+			taken[ex.Label]++
+			out = append(out, ex)
+		}
+	}
+	// Fill any remainder (rounding slack) from the front.
+	for _, ex := range shuffled {
+		if len(out) == n {
+			break
+		}
+		if !containsIdentical(out, ex) {
+			out = append(out, ex)
+		}
+	}
+	return out
+}
+
+func containsIdentical(exs []Example, e Example) bool {
+	for _, x := range exs {
+		if x == e {
+			return true
+		}
+	}
+	return false
+}
+
+// Prediction is a classifier's output for one input.
+type Prediction struct {
+	Label  int       // predicted class index; -1 if parsing failed
+	Scores []float64 // optional per-class scores/probabilities
+	Raw    string    // optional raw model output (LLM completions)
+}
+
+// Classifier maps text to a prediction. Implementations must be safe
+// for concurrent Predict calls after construction/training.
+type Classifier interface {
+	Name() string
+	Predict(text string) (Prediction, error)
+}
+
+// Trainable is a classifier that learns from labelled examples.
+// Fit must be called before Predict.
+type Trainable interface {
+	Classifier
+	Fit(train []Example) error
+}

@@ -1,0 +1,118 @@
+package task
+
+import (
+	"testing"
+)
+
+func mkTask() *Task {
+	return &Task{
+		Name:       "toy",
+		LabelNames: []string{"neg", "pos"},
+		Train:      []Example{{"a", 0}, {"b", 1}},
+		Test:       []Example{{"c", 0}, {"d", 1}},
+	}
+}
+
+func TestValidateOK(t *testing.T) {
+	if err := mkTask().Validate(); err != nil {
+		t.Fatalf("valid task rejected: %v", err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []func(*Task){
+		func(tk *Task) { tk.Name = "" },
+		func(tk *Task) { tk.LabelNames = []string{"only"} },
+		func(tk *Task) { tk.Test = nil },
+		func(tk *Task) { tk.Train[0].Label = 7 },
+		func(tk *Task) { tk.Test[1].Label = -1 },
+	}
+	for i, mut := range cases {
+		tk := mkTask()
+		mut(tk)
+		if err := tk.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestClassCounts(t *testing.T) {
+	exs := []Example{{"", 0}, {"", 1}, {"", 1}, {"", 0}, {"", 1}}
+	got := ClassCounts(exs, 2)
+	if got[0] != 2 || got[1] != 3 {
+		t.Errorf("ClassCounts = %v", got)
+	}
+	// Out-of-range labels are ignored, not panicking.
+	got = ClassCounts([]Example{{"", 9}}, 2)
+	if got[0] != 0 || got[1] != 0 {
+		t.Errorf("out-of-range labels counted: %v", got)
+	}
+}
+
+func TestSubsampleDeterministic(t *testing.T) {
+	exs := make([]Example, 100)
+	for i := range exs {
+		exs[i] = Example{Text: string(rune('a' + i%26)), Label: i % 2}
+	}
+	a := Subsample(exs, 20, 42)
+	b := Subsample(exs, 20, 42)
+	if len(a) != 20 || len(b) != 20 {
+		t.Fatalf("lens %d %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("subsample not deterministic")
+		}
+	}
+	c := Subsample(exs, 20, 43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds should usually differ")
+	}
+}
+
+func TestSubsamplePreservesProportions(t *testing.T) {
+	// 80/20 imbalance must survive subsampling approximately.
+	exs := make([]Example, 200)
+	for i := range exs {
+		label := 0
+		if i < 40 {
+			label = 1
+		}
+		exs[i] = Example{Text: "x", Label: label}
+	}
+	sub := Subsample(exs, 50, 7)
+	counts := ClassCounts(sub, 2)
+	if counts[1] < 5 || counts[1] > 15 {
+		t.Errorf("minority class count %d drifted from ~10", counts[1])
+	}
+	if counts[0]+counts[1] != 50 {
+		t.Errorf("total %d != 50", counts[0]+counts[1])
+	}
+}
+
+func TestSubsampleNBiggerThanData(t *testing.T) {
+	exs := []Example{{"a", 0}, {"b", 1}}
+	got := Subsample(exs, 10, 1)
+	if len(got) != 2 {
+		t.Errorf("len = %d, want 2", len(got))
+	}
+}
+
+func TestSubsampleDoesNotMutateInput(t *testing.T) {
+	exs := []Example{{"a", 0}, {"b", 1}, {"c", 0}, {"d", 1}}
+	orig := make([]Example, len(exs))
+	copy(orig, exs)
+	Subsample(exs, 2, 9)
+	for i := range exs {
+		if exs[i] != orig[i] {
+			t.Fatal("Subsample mutated its input")
+		}
+	}
+}

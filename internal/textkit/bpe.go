@@ -1,0 +1,154 @@
+package textkit
+
+import (
+	"sort"
+	"strings"
+)
+
+// BPE is a trainable byte-pair-encoding subword tokenizer. It learns
+// a ranked list of symbol merges from a corpus and then segments
+// words into subword units by applying the merges greedily, exactly
+// as in the original BPE formulation used by GPT-2-class models.
+//
+// Encoding operates word by word (words are whitespace-separated),
+// so Decode(Encode(s)) reproduces s up to whitespace normalization.
+type BPE struct {
+	ranks map[pair]int // merge -> rank (lower merges first)
+}
+
+type pair struct{ a, b string }
+
+// TrainBPE learns up to numMerges merges from the corpus. The corpus
+// is normalized and split into whitespace words; the initial symbol
+// inventory is single runes. Training repeatedly merges the most
+// frequent adjacent symbol pair (ties broken lexicographically for
+// determinism).
+func TrainBPE(corpus []string, numMerges int) *BPE {
+	// word -> frequency, with words as mutable symbol sequences.
+	freq := map[string]int{}
+	for _, doc := range corpus {
+		for _, w := range strings.Fields(Normalize(doc)) {
+			freq[w]++
+		}
+	}
+	type wordEntry struct {
+		syms []string
+		n    int
+	}
+	words := make([]wordEntry, 0, len(freq))
+	keys := make([]string, 0, len(freq))
+	for w := range freq {
+		keys = append(keys, w)
+	}
+	sort.Strings(keys) // deterministic iteration
+	for _, w := range keys {
+		syms := make([]string, 0, len(w))
+		for _, r := range w {
+			syms = append(syms, string(r))
+		}
+		words = append(words, wordEntry{syms: syms, n: freq[w]})
+	}
+
+	b := &BPE{ranks: make(map[pair]int, numMerges)}
+	for merge := 0; merge < numMerges; merge++ {
+		counts := map[pair]int{}
+		for _, we := range words {
+			for i := 0; i+1 < len(we.syms); i++ {
+				counts[pair{we.syms[i], we.syms[i+1]}] += we.n
+			}
+		}
+		best, bestN := pair{}, 0
+		for p, n := range counts {
+			if n > bestN || (n == bestN && less(p, best)) {
+				best, bestN = p, n
+			}
+		}
+		if bestN < 2 {
+			break // nothing productive left to merge
+		}
+		b.ranks[best] = merge
+		for wi := range words {
+			words[wi].syms = applyMerge(words[wi].syms, best)
+		}
+	}
+	return b
+}
+
+func less(p, q pair) bool {
+	if p.a != q.a {
+		return p.a < q.a
+	}
+	return p.b < q.b
+}
+
+func applyMerge(syms []string, p pair) []string {
+	out := syms[:0]
+	for i := 0; i < len(syms); i++ {
+		if i+1 < len(syms) && syms[i] == p.a && syms[i+1] == p.b {
+			out = append(out, p.a+p.b)
+			i++
+		} else {
+			out = append(out, syms[i])
+		}
+	}
+	return out
+}
+
+// NumMerges returns how many merges the tokenizer learned.
+func (b *BPE) NumMerges() int { return len(b.ranks) }
+
+// Encode segments s into subword tokens. Word boundaries are marked
+// by prefixing each non-initial word's first token with '▁'
+// (the SentencePiece space marker), which lets Decode restore
+// single-space word separation exactly.
+func (b *BPE) Encode(s string) []string {
+	var out []string
+	for wi, w := range strings.Fields(s) {
+		syms := make([]string, 0, len(w))
+		for _, r := range w {
+			syms = append(syms, string(r))
+		}
+		syms = b.segment(syms)
+		for si, sym := range syms {
+			if wi > 0 && si == 0 {
+				sym = "▁" + sym
+			}
+			out = append(out, sym)
+		}
+	}
+	return out
+}
+
+// segment applies learned merges in rank order until no adjacent
+// pair has a known rank.
+func (b *BPE) segment(syms []string) []string {
+	for len(syms) > 1 {
+		bestIdx, bestRank := -1, int(^uint(0)>>1)
+		for i := 0; i+1 < len(syms); i++ {
+			if r, ok := b.ranks[pair{syms[i], syms[i+1]}]; ok && r < bestRank {
+				bestIdx, bestRank = i, r
+			}
+		}
+		if bestIdx < 0 {
+			break
+		}
+		merged := syms[bestIdx] + syms[bestIdx+1]
+		syms = append(syms[:bestIdx], append([]string{merged}, syms[bestIdx+2:]...)...)
+	}
+	return syms
+}
+
+// Decode reverses Encode: tokens are concatenated, with the
+// SentencePiece marker '▁' translated back to a space.
+func (b *BPE) Decode(tokens []string) string {
+	var sb strings.Builder
+	for _, t := range tokens {
+		if rest, ok := strings.CutPrefix(t, "▁"); ok {
+			sb.WriteByte(' ')
+			sb.WriteString(rest)
+		} else {
+			sb.WriteString(t)
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,106 @@
+package textkit
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+var bpeCorpus = []string{
+	"i feel so low today nothing helps",
+	"feeling low again and again lower than ever",
+	"the lowest point of my life so far",
+	"i cannot sleep i cannot eat i cannot think",
+	"sleeping all day feeling nothing at all",
+}
+
+func TestTrainBPELearnsMerges(t *testing.T) {
+	b := TrainBPE(bpeCorpus, 50)
+	if b.NumMerges() == 0 {
+		t.Fatal("expected some merges to be learned")
+	}
+	if b.NumMerges() > 50 {
+		t.Fatalf("learned %d merges, cap was 50", b.NumMerges())
+	}
+}
+
+func TestBPEEncodeDecodeRoundTrip(t *testing.T) {
+	b := TrainBPE(bpeCorpus, 100)
+	for _, doc := range bpeCorpus {
+		norm := strings.Join(strings.Fields(doc), " ")
+		got := b.Decode(b.Encode(doc))
+		if got != norm {
+			t.Errorf("round trip:\n in %q\nout %q", norm, got)
+		}
+	}
+}
+
+func TestBPERoundTripUnseenText(t *testing.T) {
+	b := TrainBPE(bpeCorpus, 100)
+	unseen := "totally new words appear here zxqj"
+	if got := b.Decode(b.Encode(unseen)); got != unseen {
+		t.Errorf("unseen round trip: %q -> %q", unseen, got)
+	}
+}
+
+func TestBPERoundTripProperty(t *testing.T) {
+	b := TrainBPE(bpeCorpus, 60)
+	f := func(s string) bool {
+		norm := strings.Join(strings.Fields(s), " ")
+		return b.Decode(b.Encode(norm)) == norm
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBPECompresses(t *testing.T) {
+	b := TrainBPE(bpeCorpus, 200)
+	doc := "feeling low again nothing helps"
+	encoded := b.Encode(doc)
+	runeCount := len([]rune(strings.ReplaceAll(doc, " ", "")))
+	if len(encoded) >= runeCount {
+		t.Errorf("BPE should compress below character count: %d tokens for %d chars",
+			len(encoded), runeCount)
+	}
+}
+
+func TestBPEDeterministic(t *testing.T) {
+	b1 := TrainBPE(bpeCorpus, 80)
+	b2 := TrainBPE(bpeCorpus, 80)
+	doc := "i cannot sleep feeling low"
+	e1, e2 := b1.Encode(doc), b2.Encode(doc)
+	if !equalStrings(e1, e2) {
+		t.Errorf("training not deterministic: %v vs %v", e1, e2)
+	}
+}
+
+func TestBPEEmptyInput(t *testing.T) {
+	b := TrainBPE(nil, 10)
+	if b.NumMerges() != 0 {
+		t.Error("no merges should be learned from empty corpus")
+	}
+	if got := b.Encode(""); len(got) != 0 {
+		t.Errorf("Encode(\"\") = %v", got)
+	}
+	if got := b.Decode(nil); got != "" {
+		t.Errorf("Decode(nil) = %q", got)
+	}
+}
+
+func BenchmarkBPEEncode(b *testing.B) {
+	bpe := TrainBPE(bpeCorpus, 200)
+	doc := strings.Repeat("feeling low again nothing helps today ", 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bpe.Encode(doc)
+	}
+}
+
+func BenchmarkTokenize(b *testing.B) {
+	doc := strings.Repeat("i can't sleep at night, everything feels pointless. ", 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Tokenize(doc)
+	}
+}

@@ -1,0 +1,56 @@
+package textkit
+
+import (
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+func FuzzNormalizeIdempotent(f *testing.F) {
+	f.Add("Hello World")
+	f.Add("soooo tired :( check https://x.com @me #tag")
+	f.Add("")
+	f.Add("日本語 mixed with English")
+	f.Fuzz(func(t *testing.T, s string) {
+		if !utf8.ValidString(s) {
+			t.Skip()
+		}
+		once := Normalize(s)
+		if twice := Normalize(once); twice != once {
+			t.Fatalf("not idempotent: %q -> %q -> %q", s, once, twice)
+		}
+	})
+}
+
+func FuzzTokenizeNoEmpty(f *testing.F) {
+	f.Add("i can't sleep... really?!")
+	f.Add("<url> and <user> :)")
+	f.Fuzz(func(t *testing.T, s string) {
+		if !utf8.ValidString(s) {
+			t.Skip()
+		}
+		for _, tok := range Tokenize(Normalize(s)) {
+			if tok == "" {
+				t.Fatalf("empty token from %q", s)
+			}
+			if strings.ContainsAny(tok, " \t\n") {
+				t.Fatalf("whitespace inside token %q from %q", tok, s)
+			}
+		}
+	})
+}
+
+func FuzzBPERoundTrip(f *testing.F) {
+	bpe := TrainBPE(bpeCorpus, 80)
+	f.Add("feeling low again nothing helps")
+	f.Add("zxqj unseen words")
+	f.Fuzz(func(t *testing.T, s string) {
+		if !utf8.ValidString(s) || strings.Contains(s, "▁") {
+			t.Skip() // the space marker itself is reserved
+		}
+		norm := strings.Join(strings.Fields(s), " ")
+		if got := bpe.Decode(bpe.Encode(norm)); got != norm {
+			t.Fatalf("round trip: %q -> %q", norm, got)
+		}
+	})
+}

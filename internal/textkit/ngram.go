@@ -1,0 +1,45 @@
+package textkit
+
+import "strings"
+
+// NGrams returns the contiguous n-grams of tokens joined by '_'.
+// For n <= 1 it returns a copy of tokens. If fewer than n tokens are
+// available it returns an empty slice.
+func NGrams(tokens []string, n int) []string {
+	if n <= 1 {
+		out := make([]string, len(tokens))
+		copy(out, tokens)
+		return out
+	}
+	if len(tokens) < n {
+		return nil
+	}
+	out := make([]string, 0, len(tokens)-n+1)
+	for i := 0; i+n <= len(tokens); i++ {
+		out = append(out, strings.Join(tokens[i:i+n], "_"))
+	}
+	return out
+}
+
+// UniBigrams returns unigrams followed by bigrams — the standard
+// feature set for linear text classifiers in this library.
+func UniBigrams(tokens []string) []string {
+	out := make([]string, 0, 2*len(tokens))
+	out = append(out, tokens...)
+	out = append(out, NGrams(tokens, 2)...)
+	return out
+}
+
+// CharNGrams returns character n-grams of the string (including
+// spaces), used by robust classifiers that must survive typos.
+func CharNGrams(s string, n int) []string {
+	runes := []rune(s)
+	if len(runes) < n || n <= 0 {
+		return nil
+	}
+	out := make([]string, 0, len(runes)-n+1)
+	for i := 0; i+n <= len(runes); i++ {
+		out = append(out, string(runes[i:i+n]))
+	}
+	return out
+}

@@ -1,0 +1,118 @@
+// Package textkit provides the text-processing substrate for the mhd
+// library: social-media-aware normalization, tokenization, a
+// Porter-style stemmer, stopword filtering, n-gram extraction, and a
+// trainable byte-pair-encoding subword tokenizer used for LLM token
+// accounting.
+//
+// All functions are pure and safe for concurrent use.
+package textkit
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Normalize canonicalizes raw social-media text for downstream
+// processing:
+//
+//   - lowercases,
+//   - replaces URLs with the placeholder token "<url>",
+//   - replaces @-mentions with "<user>",
+//   - strips the '#' from hashtags (keeping the tag word),
+//   - collapses character elongations ("soooo" -> "soo"), keeping at
+//     most two repeats so that elongation remains detectable,
+//   - normalizes curly quotes and dashes,
+//   - collapses runs of whitespace to single spaces and trims.
+//
+// Normalize is idempotent: Normalize(Normalize(s)) == Normalize(s).
+func Normalize(s string) string {
+	s = strings.ToLower(s)
+	var b strings.Builder
+	b.Grow(len(s))
+
+	fields := strings.Fields(s)
+	for i, f := range fields {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(normalizeToken(f))
+	}
+	return b.String()
+}
+
+// normalizeToken runs the per-token rewrite to a fixpoint: each
+// non-stable step either shortens the token (hashtag stripping,
+// repeat squeezing) or lands on a stable placeholder, so the loop
+// terminates. The fixpoint is what makes Normalize idempotent even
+// on adversarial inputs like "#@user" or "htttp://" whose first
+// rewrite exposes a second rule.
+func normalizeToken(tok string) string {
+	for {
+		next := normalizeTokenOnce(tok)
+		if next == tok {
+			return tok
+		}
+		tok = next
+	}
+}
+
+func normalizeTokenOnce(tok string) string {
+	if isURL(tok) {
+		return "<url>"
+	}
+	if len(tok) > 1 && tok[0] == '@' && hasLetterOrDigit(tok[1:]) {
+		return "<user>"
+	}
+	for len(tok) > 1 && tok[0] == '#' {
+		tok = tok[1:]
+	}
+	return squeezeRepeats(replaceQuotes(tok))
+}
+
+func isURL(tok string) bool {
+	return strings.HasPrefix(tok, "http://") ||
+		strings.HasPrefix(tok, "https://") ||
+		strings.HasPrefix(tok, "www.")
+}
+
+func hasLetterOrDigit(s string) bool {
+	for _, r := range s {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) {
+			return true
+		}
+	}
+	return false
+}
+
+func replaceQuotes(s string) string {
+	if !strings.ContainsAny(s, "‘’“”–—") {
+		return s
+	}
+	r := strings.NewReplacer(
+		"‘", "'", "’", "'",
+		"“", `"`, "”", `"`,
+		"–", "-", "—", "-",
+	)
+	return r.Replace(s)
+}
+
+// squeezeRepeats limits any run of the same rune to at most two
+// occurrences: "soooo" -> "soo", "!!!" -> "!!".
+func squeezeRepeats(s string) string {
+	var b strings.Builder
+	b.Grow(len(s))
+	var prev rune = -1
+	run := 0
+	for _, r := range s {
+		if r == prev {
+			run++
+			if run >= 2 {
+				continue
+			}
+		} else {
+			prev, run = r, 0
+		}
+		b.WriteRune(r)
+	}
+	return b.String()
+}

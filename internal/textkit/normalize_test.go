@@ -1,0 +1,143 @@
+package textkit
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNormalizeBasics(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"Hello World", "hello world"},
+		{"  spaced   out\t text ", "spaced out text"},
+		{"check https://example.com/page now", "check <url> now"},
+		{"see www.reddit.com please", "see <url> please"},
+		{"thanks @someone for this", "thanks <user> for this"},
+		{"#depression is hard", "depression is hard"},
+		{"soooooo tired", "soo tired"},
+		{"I can’t sleep", "i can't sleep"},
+		{"", ""},
+		{"   ", ""},
+	}
+	for _, c := range cases {
+		if got := Normalize(c.in); got != c.want {
+			t.Errorf("Normalize(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestNormalizeKeepsDoubles(t *testing.T) {
+	// Elongation squeezing keeps exactly two repeats so "sleep" with
+	// a legitimate double letter is untouched.
+	if got := Normalize("sleep well"); got != "sleep well" {
+		t.Errorf("got %q", got)
+	}
+	if got := Normalize("yessss!!!!"); got != "yess!!" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestNormalizeIdempotent(t *testing.T) {
+	f := func(s string) bool {
+		once := Normalize(s)
+		return Normalize(once) == once
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormalizeIdempotentOnRealText(t *testing.T) {
+	samples := []string{
+		"I feel soooo empty today... nothing matters anymore",
+		"Check https://example.com @friend #anxiety !!!",
+		"can’t stop worrying — about “everything”",
+	}
+	for _, s := range samples {
+		once := Normalize(s)
+		if Normalize(once) != once {
+			t.Errorf("not idempotent on %q: %q vs %q", s, once, Normalize(once))
+		}
+	}
+}
+
+func TestTokenizeBasics(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"i can't sleep", []string{"i", "can't", "sleep"}},
+		{"self-harm thoughts", []string{"self-harm", "thoughts"}},
+		{"really? yes!", []string{"really", "?", "yes", "!"}},
+		{"<url> and <user>", []string{"<url>", "and", "<user>"}},
+		{"", nil},
+		{"...", []string{".", ".", "."}},
+		{"a,b;c", []string{"a", "b", "c"}},
+		{"10 days", []string{"10", "days"}},
+	}
+	for _, c := range cases {
+		got := Tokenize(c.in)
+		if !equalStrings(got, c.want) {
+			t.Errorf("Tokenize(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestTokenizeNoEmptyTokens(t *testing.T) {
+	f := func(s string) bool {
+		for _, tok := range Tokenize(Normalize(s)) {
+			if tok == "" {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTokenizeEmoticons(t *testing.T) {
+	got := Tokenize(":( i am sad :'(")
+	want := []string{":(", "i", "am", "sad", ":'("}
+	if !equalStrings(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestWordsDropsPunctuation(t *testing.T) {
+	got := Words("really? i mean it !")
+	want := []string{"really", "i", "mean", "it"}
+	if !equalStrings(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestCountTokens(t *testing.T) {
+	if n := CountTokens(""); n != 0 {
+		t.Errorf("CountTokens(\"\") = %d", n)
+	}
+	n1 := CountTokens("hello")
+	n2 := CountTokens("hello hello hello hello")
+	if n1 <= 0 || n2 <= n1 {
+		t.Errorf("token counts not monotone: %d, %d", n1, n2)
+	}
+	// The 1.3x inflation should make counts strictly above word count
+	// for longer texts.
+	long := strings.Repeat("word ", 100)
+	if CountTokens(long) <= 100 {
+		t.Errorf("expected >100 tokens for 100 words, got %d", CountTokens(long))
+	}
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,134 @@
+package textkit
+
+import "strings"
+
+// Stem reduces an English word to an approximate stem using a
+// Porter-style suffix-stripping cascade. It is intentionally lighter
+// than the full Porter algorithm — detection features only need
+// inflectional variants ("crying", "cried", "cries" -> "cri") to
+// collapse together — but it keeps Porter's step-1b else-chain
+// (add-e after at/bl/iz, consonant undoubling, CVC add-e) so that
+// "hoping"/"hoped"/"hopes" agree on "hope". Words of three or fewer
+// characters are returned unchanged.
+func Stem(w string) string {
+	if len(w) <= 3 {
+		return w
+	}
+	w = strings.ToLower(w)
+
+	// Step 1a: plurals.
+	switch {
+	case strings.HasSuffix(w, "sses"):
+		w = w[:len(w)-2]
+	case strings.HasSuffix(w, "ies"):
+		w = w[:len(w)-3] + "i"
+	case strings.HasSuffix(w, "ss"):
+		// keep
+	case strings.HasSuffix(w, "s") && !strings.HasSuffix(w, "us") && !strings.HasSuffix(w, "is"):
+		w = w[:len(w)-1]
+	}
+
+	// Step 1b: -ed / -ing with Porter's repair else-chain.
+	if len(w) > 3 {
+		switch {
+		case strings.HasSuffix(w, "eed"):
+			if measure(w[:len(w)-3]) > 0 {
+				w = w[:len(w)-1]
+			}
+		case strings.HasSuffix(w, "ied"):
+			w = w[:len(w)-3] + "i"
+		case strings.HasSuffix(w, "ed") && hasVowel(w[:len(w)-2]):
+			w = fixup(w[:len(w)-2])
+		case strings.HasSuffix(w, "ing") && hasVowel(w[:len(w)-3]):
+			w = fixup(w[:len(w)-3])
+		}
+	}
+
+	// Step 1c: terminal y -> i after a consonant, so that
+	// "cry"/"cries"/"cried" collapse to "cri".
+	if len(w) >= 3 && strings.HasSuffix(w, "y") &&
+		!strings.ContainsRune("aeiou", rune(w[len(w)-2])) {
+		w = w[:len(w)-1] + "i"
+	}
+	if len(w) <= 3 {
+		return w
+	}
+
+	// Step 2: common derivational suffixes.
+	for _, sf := range [...]struct{ from, to string }{
+		{"ational", "ate"}, {"iveness", "ive"}, {"fulness", "ful"},
+		{"ousness", "ous"}, {"ization", "ize"}, {"biliti", "ble"},
+		{"entli", "ent"}, {"ousli", "ous"}, {"fulli", "ful"},
+		{"lessli", "less"}, {"alli", "al"}, {"aliti", "al"},
+		{"iviti", "ive"}, {"ement", ""}, {"ment", ""},
+		{"ness", ""}, {"tional", "tion"},
+	} {
+		if strings.HasSuffix(w, sf.from) {
+			cand := w[:len(w)-len(sf.from)] + sf.to
+			if len(cand) >= 3 && measure(cand) > 0 {
+				w = cand
+			}
+			break
+		}
+	}
+	return w
+}
+
+// fixup repairs stems after removing -ed/-ing, following Porter's
+// else-chain: restore 'e' after -at/-bl/-iz; otherwise undouble a
+// final double consonant (except l, s, z); otherwise add 'e' to a
+// short CVC stem ("hop" -> "hope").
+func fixup(w string) string {
+	switch {
+	case strings.HasSuffix(w, "at"), strings.HasSuffix(w, "bl"), strings.HasSuffix(w, "iz"):
+		return w + "e"
+	case len(w) >= 2 && w[len(w)-1] == w[len(w)-2] &&
+		!isVowelByte(w[len(w)-1]) &&
+		!strings.ContainsRune("lsz", rune(w[len(w)-1])):
+		return w[:len(w)-1] // hopp -> hop
+	case measure(w) == 1 && endsCVC(w):
+		return w + "e" // hop -> hope
+	}
+	return w
+}
+
+func isVowelByte(b byte) bool { return strings.IndexByte("aeiou", b) >= 0 }
+
+// endsCVC reports whether w ends consonant-vowel-consonant where the
+// final consonant is not w, x, or y (Porter's *o condition).
+func endsCVC(w string) bool {
+	n := len(w)
+	if n < 3 {
+		return false
+	}
+	last, mid, first := w[n-1], w[n-2], w[n-3]
+	return !isVowelByte(last) && !strings.ContainsRune("wxy", rune(last)) &&
+		isVowelByte(mid) && !isVowelByte(first)
+}
+
+func hasVowel(s string) bool {
+	return strings.ContainsAny(s, "aeiouy")
+}
+
+// measure approximates the Porter measure: the number of
+// vowel-to-consonant transitions, a proxy for syllable count.
+func measure(s string) int {
+	m := 0
+	prevVowel := false
+	for _, r := range s {
+		v := strings.ContainsRune("aeiouy", r)
+		if prevVowel && !v {
+			m++
+		}
+		prevVowel = v
+	}
+	return m
+}
+
+// StemAll stems every token in place and returns the slice.
+func StemAll(tokens []string) []string {
+	for i, t := range tokens {
+		tokens[i] = Stem(t)
+	}
+	return tokens
+}

@@ -1,0 +1,140 @@
+package textkit
+
+import "testing"
+
+func TestStemInflections(t *testing.T) {
+	// Groups of surface forms that must share a stem.
+	groups := [][]string{
+		{"crying", "cried", "cries"},
+		{"hoping", "hoped", "hopes"},
+		{"worries", "worried", "worrying"},
+		{"sleeping", "sleeps"},
+		{"feelings", "feeling"},
+	}
+	for _, g := range groups {
+		first := Stem(g[0])
+		for _, w := range g[1:] {
+			if Stem(w) != first {
+				t.Errorf("Stem(%q)=%q != Stem(%q)=%q", w, Stem(w), g[0], first)
+			}
+		}
+	}
+}
+
+func TestStemShortWordsUnchanged(t *testing.T) {
+	for _, w := range []string{"i", "me", "sad", "cry", "a", "the"} {
+		if Stem(w) != w {
+			t.Errorf("Stem(%q) = %q, want unchanged", w, Stem(w))
+		}
+	}
+}
+
+func TestStemSpecificForms(t *testing.T) {
+	cases := map[string]string{
+		"hopeless":     "hopeless",
+		"hopelessness": "hopeless",
+		"emptiness":    "empti",
+		"stressed":     "stress",
+		"depression":   "depression",
+		"anxiousness":  "anxious",
+	}
+	for in, want := range cases {
+		if got := Stem(in); got != want {
+			t.Errorf("Stem(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestStemDoubleConsonantUndoubling(t *testing.T) {
+	if got := Stem("hopping"); got != "hop" {
+		t.Errorf("Stem(hopping) = %q, want hop", got)
+	}
+	// -ll, -ss, -zz are kept doubled.
+	if got := Stem("falling"); got != "fall" {
+		t.Errorf("Stem(falling) = %q, want fall", got)
+	}
+}
+
+func TestStemAllInPlace(t *testing.T) {
+	toks := []string{"crying", "nights", "alone"}
+	out := StemAll(toks)
+	if &out[0] != &toks[0] {
+		t.Error("StemAll should operate in place")
+	}
+	if out[0] != Stem("crying") {
+		t.Errorf("got %v", out)
+	}
+}
+
+func TestStemNeverEmpty(t *testing.T) {
+	words := []string{"ing", "eds", "ness", "ment", "sses", "ies", "ss", "s", "using", "basis"}
+	for _, w := range words {
+		if Stem(w) == "" {
+			t.Errorf("Stem(%q) produced empty string", w)
+		}
+	}
+}
+
+func TestStopwords(t *testing.T) {
+	if !IsStopword("the") || !IsStopword("and") {
+		t.Error("the/and should be stopwords")
+	}
+	// Clinical-signal pronouns must NOT be stopwords.
+	for _, w := range []string{"i", "me", "my", "myself", "we", "you"} {
+		if IsStopword(w) {
+			t.Errorf("%q must not be a stopword (depression marker)", w)
+		}
+	}
+}
+
+func TestRemoveStopwords(t *testing.T) {
+	in := []string{"i", "am", "so", "tired", "of", "everything"}
+	got := RemoveStopwords(in)
+	want := []string{"i", "tired", "everything"}
+	if !equalStrings(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestNGrams(t *testing.T) {
+	toks := []string{"a", "b", "c", "d"}
+	bi := NGrams(toks, 2)
+	want := []string{"a_b", "b_c", "c_d"}
+	if !equalStrings(bi, want) {
+		t.Errorf("bigrams = %v, want %v", bi, want)
+	}
+	if got := NGrams(toks, 5); got != nil {
+		t.Errorf("too-long n-grams = %v, want nil", got)
+	}
+	uni := NGrams(toks, 1)
+	if !equalStrings(uni, toks) {
+		t.Errorf("unigrams = %v", uni)
+	}
+	// unigram result must be a copy
+	uni[0] = "z"
+	if toks[0] != "a" {
+		t.Error("NGrams(.,1) must copy")
+	}
+}
+
+func TestUniBigrams(t *testing.T) {
+	got := UniBigrams([]string{"x", "y"})
+	want := []string{"x", "y", "x_y"}
+	if !equalStrings(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestCharNGrams(t *testing.T) {
+	got := CharNGrams("abcd", 3)
+	want := []string{"abc", "bcd"}
+	if !equalStrings(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+	if CharNGrams("ab", 3) != nil {
+		t.Error("short input should return nil")
+	}
+	if CharNGrams("abc", 0) != nil {
+		t.Error("n=0 should return nil")
+	}
+}

@@ -1,0 +1,48 @@
+package textkit
+
+// stopwordList is a compact English stopword inventory. First- and
+// second-person pronouns are deliberately EXCLUDED: elevated
+// first-person-singular usage is one of the most replicated lexical
+// markers of depression, so "i", "me", "my", "myself" must survive
+// stopword filtering.
+var stopwordList = []string{
+	"a", "an", "the", "and", "or", "but", "if", "then", "else",
+	"of", "at", "by", "for", "with", "about", "against", "between",
+	"into", "through", "during", "before", "after", "above", "below",
+	"to", "from", "up", "down", "in", "out", "on", "off", "over",
+	"under", "again", "further", "once", "here", "there", "when",
+	"where", "why", "how", "all", "any", "both", "each", "few",
+	"more", "most", "other", "some", "such", "only", "own", "same",
+	"so", "than", "too", "very", "can", "will", "just", "should",
+	"now", "is", "are", "was", "were", "be", "been", "being", "have",
+	"has", "had", "having", "do", "does", "did", "doing", "would",
+	"could", "ought", "that", "which", "who", "whom", "this", "these",
+	"those", "am", "as", "until", "while", "it", "its", "itself",
+	"they", "them", "their", "theirs", "themselves", "what", "he",
+	"him", "his", "himself", "she", "her", "hers", "herself",
+}
+
+var stopwordSet = func() map[string]bool {
+	m := make(map[string]bool, len(stopwordList))
+	for _, w := range stopwordList {
+		m[w] = true
+	}
+	return m
+}()
+
+// IsStopword reports whether the (already lowercased) token is a
+// stopword. Pronouns "i"/"me"/"my"/"myself"/"we"/"you" are not
+// stopwords here by design; see package comment on stopwordList.
+func IsStopword(tok string) bool { return stopwordSet[tok] }
+
+// RemoveStopwords filters stopwords out of tokens, reusing the
+// backing array. The input slice must not be used afterwards.
+func RemoveStopwords(tokens []string) []string {
+	out := tokens[:0]
+	for _, t := range tokens {
+		if !stopwordSet[t] {
+			out = append(out, t)
+		}
+	}
+	return out
+}

@@ -1,0 +1,98 @@
+package textkit
+
+import (
+	"strings"
+	"unicode"
+)
+
+// common western emoticons kept as single tokens because they carry
+// affective signal in mental-health text.
+var emoticons = map[string]bool{
+	":)": true, ":(": true, ":-)": true, ":-(": true,
+	":'(": true, ":d": true, ":p": true, ";)": true,
+	"</3": true, "<3": true, ":/": true, ":|": true,
+	"t_t": true, "-_-": true, "xd": true,
+}
+
+// Tokenize splits normalized text into word tokens. It keeps:
+//
+//   - alphabetic words, including internal apostrophes ("can't") and
+//     hyphens ("self-harm"),
+//   - numbers,
+//   - the placeholder tokens "<url>" and "<user>",
+//   - emoticons from a small affect-bearing inventory,
+//   - sentence punctuation . ! ? as individual tokens (useful for
+//     punctuation-statistics features).
+//
+// Other punctuation is dropped. Tokenize never returns empty tokens.
+func Tokenize(s string) []string {
+	tokens := make([]string, 0, len(s)/5+1)
+	for _, field := range strings.Fields(s) {
+		tokens = appendFieldTokens(tokens, field)
+	}
+	return tokens
+}
+
+func appendFieldTokens(tokens []string, field string) []string {
+	if field == "<url>" || field == "<user>" || emoticons[field] {
+		return append(tokens, field)
+	}
+	runes := []rune(field)
+	start := -1
+	flush := func(end int) []string {
+		if start >= 0 && end > start {
+			tokens = append(tokens, string(runes[start:end]))
+		}
+		start = -1
+		return tokens
+	}
+	for i, r := range runes {
+		switch {
+		case unicode.IsLetter(r) || unicode.IsDigit(r):
+			if start < 0 {
+				start = i
+			}
+		case (r == '\'' || r == '-') && start >= 0 && i+1 < len(runes) &&
+			(unicode.IsLetter(runes[i+1]) || unicode.IsDigit(runes[i+1])):
+			// keep word-internal apostrophes and hyphens
+		case r == '.' || r == '!' || r == '?':
+			tokens = flush(i)
+			tokens = append(tokens, string(r))
+		default:
+			tokens = flush(i)
+		}
+	}
+	return flush(len(runes))
+}
+
+// Words tokenizes and keeps only alphanumeric word tokens (drops
+// punctuation tokens and placeholders). It is the convenience path
+// for feature extraction.
+func Words(s string) []string {
+	toks := Tokenize(s)
+	out := toks[:0]
+	for _, t := range toks {
+		if isWord(t) {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+func isWord(t string) bool {
+	for _, r := range t {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) {
+			return true
+		}
+	}
+	return false
+}
+
+// CountTokens estimates the number of LLM tokens in s using a
+// word-and-punctuation count inflated by the average word-to-subword
+// ratio of English BPE vocabularies (~1.3). It is the unit used by
+// the llm package for context and cost accounting.
+func CountTokens(s string) int {
+	n := len(Tokenize(Normalize(s)))
+	return n + (n*3+9)/10 // ceil(n * 1.3)
+}

@@ -1,0 +1,114 @@
+// Package mhd is a benchmark harness and library for mental-health
+// disorder detection on social media, reproducing the evaluation of
+// "A Survey of Large Language Models in Mental Health Disorder
+// Detection on Social Media" (ICDE 2025).
+//
+// The package offers three entry points:
+//
+//   - Detector — the adoption-facing API: screen post text for
+//     mental-health signals across eight conditions, with severity
+//     grading and crisis flagging (see NewDetector).
+//   - RunExperiment / Experiments — regenerate any table or figure
+//     of the survey's evaluation on the built-in synthetic datasets.
+//   - The lower-level building blocks live in internal packages
+//     (corpus generation, simulated LLM clients, prompting
+//     strategies, classical baselines, metrics); this facade
+//     re-exports the stable subset.
+//
+// Everything is deterministic under explicit seeds and built on the
+// Go standard library only. The datasets are synthetic
+// reconstructions (public mental-health corpora are access-gated);
+// see DESIGN.md for the substitution rationale and EXPERIMENTS.md
+// for recorded results.
+package mhd
+
+import (
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/domain"
+	"repro/internal/llm"
+)
+
+// Disorder identifies a mental-health condition; re-exported from
+// the domain vocabulary.
+type Disorder = domain.Disorder
+
+// The detectable conditions.
+const (
+	Control          = domain.Control
+	Depression       = domain.Depression
+	Anxiety          = domain.Anxiety
+	Stress           = domain.Stress
+	SuicidalIdeation = domain.SuicidalIdeation
+	PTSD             = domain.PTSD
+	EatingDisorder   = domain.EatingDisorder
+	Bipolar          = domain.Bipolar
+)
+
+// Severity grades risk level; re-exported from the domain
+// vocabulary.
+type Severity = domain.Severity
+
+// The severity levels in increasing order of risk.
+const (
+	SeverityNone     = domain.SeverityNone
+	SeverityLow      = domain.SeverityLow
+	SeverityModerate = domain.SeverityModerate
+	SeveritySevere   = domain.SeveritySevere
+)
+
+// Datasets returns the names of the built-in benchmark datasets.
+func Datasets() []string { return corpus.RegistryNames() }
+
+// DatasetStats summarizes one built-in dataset.
+type DatasetStats = corpus.Stats
+
+// DatasetInfo builds the named dataset and returns its statistics.
+func DatasetInfo(name string) (DatasetStats, error) {
+	spec, err := corpus.Lookup(name)
+	if err != nil {
+		return DatasetStats{}, err
+	}
+	ds, err := spec.Build()
+	if err != nil {
+		return DatasetStats{}, err
+	}
+	return ds.Stats(), nil
+}
+
+// Models returns the names of the built-in simulated LLM cards.
+func Models() []string { return llm.CatalogNames() }
+
+// Table is one rendered experiment result (markdown/CSV renderable).
+type Table = core.Table
+
+// FeedPost is one post of a synthetic feed with its gold annotation,
+// for demos and integration tests.
+type FeedPost struct {
+	Text     string
+	Gold     Disorder
+	Severity Severity
+}
+
+// SampleFeed generates a mixed synthetic social-media feed: mostly
+// control posts with clinical posts of every condition interleaved,
+// deterministic under seed.
+func SampleFeed(n int, seed int64) []FeedPost {
+	if n <= 0 {
+		return nil
+	}
+	gen := corpus.NewGenerator(seed, 0.5, corpus.StyleReddit)
+	clinical := domain.ClinicalDisorders()
+	out := make([]FeedPost, 0, n)
+	for i := 0; i < n; i++ {
+		d := domain.Control
+		sev := domain.SeverityNone
+		if i%3 == 2 { // every third post carries clinical signal
+			d = clinical[(i/3)%len(clinical)]
+			sev = domain.Severity(1 + (i/7)%3)
+		}
+		p := gen.Post(d, sev)
+		out = append(out, FeedPost{Text: p.Text, Gold: d, Severity: sev})
+	}
+	return out
+}

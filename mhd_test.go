@@ -1,0 +1,176 @@
+package mhd
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDatasetsAndModelsListed(t *testing.T) {
+	if len(Datasets()) != 7 {
+		t.Errorf("datasets = %v", Datasets())
+	}
+	if len(Models()) < 6 {
+		t.Errorf("models = %v", Models())
+	}
+}
+
+func TestDatasetInfo(t *testing.T) {
+	st, err := DatasetInfo("dreaddit-sim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.N == 0 || st.NumClasses != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+	if _, err := DatasetInfo("nope"); err == nil {
+		t.Error("unknown dataset must error")
+	}
+}
+
+func TestExperimentsList(t *testing.T) {
+	exps := Experiments()
+	if len(exps) != 18 {
+		t.Fatalf("expected 18 experiments (7 tables + 6 figures + 5 extensions), got %d", len(exps))
+	}
+	tables, figs := 0, 0
+	for _, e := range exps {
+		switch e.Kind {
+		case "table":
+			tables++
+		case "figure":
+			figs++
+		default:
+			t.Errorf("experiment %s has kind %q", e.ID, e.Kind)
+		}
+		if e.Title == "" {
+			t.Errorf("experiment %s missing title", e.ID)
+		}
+	}
+	if tables != 12 || figs != 6 {
+		t.Errorf("tables=%d figs=%d", tables, figs)
+	}
+}
+
+func TestRunExperimentQuick(t *testing.T) {
+	tb, err := RunExperiment("table1", RunOptions{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 7 {
+		t.Errorf("table1 rows = %d", len(tb.Rows))
+	}
+	if !strings.Contains(tb.Markdown(), "dreaddit-sim") {
+		t.Error("table1 missing dataset rows")
+	}
+	if _, err := RunExperiment("table42", RunOptions{}); err == nil {
+		t.Error("unknown experiment must error")
+	}
+}
+
+func TestRunExperimentDeterministic(t *testing.T) {
+	a, err := RunExperiment("fig2", RunOptions{Quick: true, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunExperiment("fig2", RunOptions{Quick: true, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.CSV() != b.CSV() {
+		t.Error("experiment runs not deterministic under the same seed")
+	}
+}
+
+func TestDetectorBaselineScreen(t *testing.T) {
+	d, err := NewDetector(WithSeed(3), WithTrainingSize(1200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := d.Screen("i feel so hopeless and worthless lately, crying every night, no motivation, nothing matters anymore")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Condition == Control {
+		t.Errorf("obvious depression post screened as control: %+v", rep)
+	}
+	if len(rep.Evidence) == 0 {
+		t.Error("clinical report should cite evidence")
+	}
+
+	rep, err = d.Screen("great weekend hiking with friends, made a delicious dinner and watched the playoffs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Condition != Control {
+		t.Errorf("neutral post screened as %v", rep.Condition)
+	}
+	if rep.Crisis {
+		t.Error("neutral post flagged as crisis")
+	}
+}
+
+func TestDetectorCrisisFlag(t *testing.T) {
+	d, err := NewDetector(WithSeed(3), WithTrainingSize(1200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := d.Screen("i want to die, i have a plan and im ready to say goodbye to everyone, better off dead")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Crisis {
+		t.Errorf("explicit plan language must trigger crisis flag: %+v", rep)
+	}
+	if rep.Risk < SeverityModerate {
+		t.Errorf("risk = %v", rep.Risk)
+	}
+}
+
+func TestDetectorLLMEngine(t *testing.T) {
+	d, err := NewDetector(WithEngine("gpt-4-sim"), WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := d.Screen("had another panic attack at work, heart racing, cant breathe, the anxiety is unbearable")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Condition == Control {
+		t.Errorf("anxiety post screened as control: %+v", rep)
+	}
+}
+
+func TestDetectorRejectsBadConfig(t *testing.T) {
+	if _, err := NewDetector(WithEngine("no-such-model")); err == nil {
+		t.Error("unknown engine must error")
+	}
+	if _, err := NewDetector(WithTrainingSize(10)); err == nil {
+		t.Error("tiny training size must error")
+	}
+	d, _ := NewDetector(WithTrainingSize(1200))
+	if _, err := d.Screen(""); err == nil {
+		t.Error("empty text must error")
+	}
+}
+
+func TestDetectorTriageOrdering(t *testing.T) {
+	d, err := NewDetector(WithSeed(3), WithTrainingSize(1200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	posts := []string{
+		"lovely hike and a barbecue with the family this weekend",
+		"i want to die, i have a plan, goodbye everyone",
+		"work deadlines are stressful but i am coping okay",
+	}
+	order, reports, err := d.Triage(posts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 3 || len(reports) != 3 {
+		t.Fatalf("order=%v", order)
+	}
+	if order[0] != 1 {
+		t.Errorf("crisis post must triage first, got order %v", order)
+	}
+}

@@ -1,0 +1,67 @@
+package mhd
+
+import (
+	"repro/internal/core"
+)
+
+// ExperimentInfo describes one reproducible table or figure.
+type ExperimentInfo struct {
+	ID    string // "table1".."table7", "fig1".."fig6"
+	Title string
+	Kind  string // "table" or "figure"
+}
+
+// Experiments lists the full reproduction suite in paper order.
+func Experiments() []ExperimentInfo {
+	suite := core.Suite()
+	out := make([]ExperimentInfo, len(suite))
+	for i, e := range suite {
+		out[i] = ExperimentInfo{ID: e.ID, Title: e.Title, Kind: e.Kind}
+	}
+	return out
+}
+
+// RunOptions configures an experiment run.
+type RunOptions struct {
+	// Seed drives dataset generation, splits, training, and LLM
+	// sampling; 0 means the default (2025).
+	Seed int64
+	// Quick shrinks datasets so a run completes in roughly a second,
+	// for smoke tests and benchmarks. Full runs use the registry
+	// sizes and take seconds to tens of seconds per experiment.
+	Quick bool
+	// Parallelism bounds concurrent evaluation cells (0 = GOMAXPROCS).
+	Parallelism int
+}
+
+func (o RunOptions) env() *core.Env {
+	seed := o.Seed
+	if seed == 0 {
+		seed = 2025
+	}
+	return &core.Env{Seed: seed, Quick: o.Quick, Parallelism: o.Parallelism}
+}
+
+// RunExperiment regenerates one table or figure by id ("table2",
+// "fig1", ...).
+func RunExperiment(id string, opts RunOptions) (*Table, error) {
+	e, err := core.LookupExperiment(id)
+	if err != nil {
+		return nil, err
+	}
+	return e.Run(opts.env())
+}
+
+// RunAll regenerates the entire suite in paper order, stopping at
+// the first error.
+func RunAll(opts RunOptions) ([]*Table, error) {
+	var out []*Table
+	for _, e := range core.Suite() {
+		t, err := e.Run(opts.env())
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
