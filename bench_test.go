@@ -185,6 +185,37 @@ func BenchmarkDetectorScreenBaseline(b *testing.B) {
 	}
 }
 
+// BenchmarkDetectorScreenBatch compares a sequential Screen loop
+// against ScreenBatch on the same feed; the acceptance bar for the
+// batch pipeline is >= 2x throughput at GOMAXPROCS >= 4.
+func BenchmarkDetectorScreenBatch(b *testing.B) {
+	det, err := NewDetector(WithSeed(1), WithTrainingSize(1200))
+	if err != nil {
+		b.Fatal(err)
+	}
+	feed := SampleFeed(256, 9)
+	posts := make([]string, len(feed))
+	for i, p := range feed {
+		posts[i] = p.Text
+	}
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, p := range posts {
+				if _, err := det.Screen(p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("batch", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := det.ScreenBatch(posts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 func BenchmarkDetectorScreenLLM(b *testing.B) {
 	det, err := NewDetector(WithEngine("gpt-4-sim"), WithSeed(1))
 	if err != nil {

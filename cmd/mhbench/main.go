@@ -13,6 +13,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"time"
@@ -34,18 +35,20 @@ func main() {
 	)
 	flag.Parse()
 
-	if err := realMain(*list, *run, *out, *format, *quick, *seed); err != nil {
+	if err := realMain(os.Stdout, *list, *run, *out, *format, *quick, *seed); err != nil {
 		fmt.Fprintln(os.Stderr, "mhbench:", err)
 		os.Exit(1)
 	}
 }
 
-func realMain(list bool, run, out, format string, quick bool, seed int64) error {
+// realMain dispatches the flag set; stdout is injected so tests can
+// capture the rendered output.
+func realMain(stdout io.Writer, list bool, run, out, format string, quick bool, seed int64) error {
 	switch {
 	case list:
-		return printList()
+		return printList(stdout)
 	case run != "":
-		return runExperiments(run, out, format, quick, seed)
+		return runExperiments(stdout, run, out, format, quick, seed)
 	default:
 		flag.Usage()
 		return nil
@@ -61,23 +64,23 @@ func writeHTMLIndex(out string, tables []*core.Table) error {
 	return os.WriteFile(filepath.Join(out, "index.html"), []byte(html), 0o644)
 }
 
-func printList() error {
-	fmt.Println("experiments:")
+func printList(stdout io.Writer) error {
+	fmt.Fprintln(stdout, "experiments:")
 	for _, e := range mhd.Experiments() {
-		fmt.Printf("  %-8s %-6s %s\n", e.ID, e.Kind, e.Title)
+		fmt.Fprintf(stdout, "  %-8s %-6s %s\n", e.ID, e.Kind, e.Title)
 	}
-	fmt.Println("\ndatasets:")
+	fmt.Fprintln(stdout, "\ndatasets:")
 	for _, d := range mhd.Datasets() {
-		fmt.Printf("  %s\n", d)
+		fmt.Fprintf(stdout, "  %s\n", d)
 	}
-	fmt.Println("\nmodels:")
+	fmt.Fprintln(stdout, "\nmodels:")
 	for _, m := range mhd.Models() {
-		fmt.Printf("  %s\n", m)
+		fmt.Fprintf(stdout, "  %s\n", m)
 	}
 	return nil
 }
 
-func runExperiments(run, out, format string, quick bool, seed int64) error {
+func runExperiments(stdout io.Writer, run, out, format string, quick bool, seed int64) error {
 	switch format {
 	case "md", "csv", "chart":
 	default:
@@ -113,7 +116,7 @@ func runExperiments(run, out, format string, quick bool, seed int64) error {
 			rendered = tb.Markdown()
 		}
 		if out == "" {
-			fmt.Println(rendered)
+			fmt.Fprintln(stdout, rendered)
 			fmt.Fprintf(os.Stderr, "[%s done in %s]\n", id, elapsed)
 			continue
 		}

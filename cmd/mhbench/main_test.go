@@ -1,0 +1,76 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRealMainList(t *testing.T) {
+	var out bytes.Buffer
+	if err := realMain(&out, true, "", "", "md", false, 1); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"experiments:", "datasets:", "models:", "table2", "gpt-4-sim"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("list output missing %q", want)
+		}
+	}
+}
+
+func TestRealMainNoArgs(t *testing.T) {
+	// Neither -list nor -run prints usage and succeeds.
+	if err := realMain(&bytes.Buffer{}, false, "", "", "md", false, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunExperimentQuickFormats(t *testing.T) {
+	for _, format := range []string{"md", "csv", "chart"} {
+		var out bytes.Buffer
+		if err := realMain(&out, false, "table1", "", format, true, 2025); err != nil {
+			t.Fatalf("format %s: %v", format, err)
+		}
+		if out.Len() == 0 {
+			t.Fatalf("format %s produced no output", format)
+		}
+		// The chart format plots series without row labels; the
+		// tabular formats must carry the dataset rows.
+		if format != "chart" && !strings.Contains(out.String(), "dreaddit-sim") {
+			t.Errorf("format %s output missing dataset row:\n%s", format, out.String())
+		}
+	}
+}
+
+func TestRunExperimentWritesFiles(t *testing.T) {
+	dir := t.TempDir()
+	if err := realMain(&bytes.Buffer{}, false, "table1", dir, "md", true, 2025); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"table1.md", "table1.csv"} {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("expected %s: %v", name, err)
+		}
+		if len(data) == 0 {
+			t.Errorf("%s is empty", name)
+		}
+	}
+}
+
+func TestRealMainErrors(t *testing.T) {
+	t.Run("unknown-format", func(t *testing.T) {
+		err := realMain(&bytes.Buffer{}, false, "table1", "", "yaml", true, 1)
+		if err == nil || !strings.Contains(err.Error(), "yaml") {
+			t.Fatalf("want unknown-format error, got %v", err)
+		}
+	})
+	t.Run("unknown-experiment", func(t *testing.T) {
+		if err := realMain(&bytes.Buffer{}, false, "table99", "", "md", true, 1); err == nil {
+			t.Fatal("want unknown-experiment error")
+		}
+	})
+}

@@ -7,6 +7,14 @@
 //	echo "i feel hopeless lately" | mhscreen
 //	mhscreen -in posts.txt -crisis-only
 //	mhscreen -engine gpt-4-sim -pretty < posts.txt
+//	mhscreen -in posts.txt -batch -workers 8
+//	tail -f posts.log | mhscreen -stream
+//
+// By default posts are screened one at a time as they are read. With
+// -batch the whole input is read first and screened concurrently on a
+// bounded worker pool; with -stream posts are screened concurrently
+// while input is still arriving. Both modes emit reports in input
+// order.
 //
 // This is a research tool over synthetic training data; it must not
 // be used to make decisions about real people.
@@ -14,12 +22,15 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"strings"
+	"sync"
 
 	mhd "repro"
 )
@@ -35,43 +46,105 @@ type report struct {
 	Scores     map[string]float64 `json:"scores,omitempty"`
 }
 
+// options collects the flag values; run is kept free of global state
+// so tests can drive every mode directly.
+type options struct {
+	in         string
+	engine     string
+	seed       int64
+	train      int
+	workers    int
+	batch      bool
+	stream     bool
+	crisisOnly bool
+	pretty     bool
+	withScores bool
+}
+
 func main() {
-	var (
-		in         = flag.String("in", "", "input file (default: stdin), one post per line")
-		engine     = flag.String("engine", "baseline", `detection engine: "baseline" or a model name (see mhbench -list)`)
-		seed       = flag.Int64("seed", 1, "construction seed")
-		crisisOnly = flag.Bool("crisis-only", false, "emit only crisis-flagged posts")
-		pretty     = flag.Bool("pretty", false, "indent JSON output")
-		withScores = flag.Bool("scores", false, "include the full per-condition score map")
-	)
+	var opts options
+	flag.StringVar(&opts.in, "in", "", "input file (default: stdin), one post per line")
+	flag.StringVar(&opts.engine, "engine", "baseline", `detection engine: "baseline" or a model name (see mhbench -list)`)
+	flag.Int64Var(&opts.seed, "seed", 1, "construction seed")
+	flag.IntVar(&opts.train, "train", 2400, "baseline training-set size (ignored by LLM engines)")
+	flag.IntVar(&opts.workers, "workers", 0, "batch/stream worker count (default: GOMAXPROCS)")
+	flag.BoolVar(&opts.batch, "batch", false, "read all input, then screen it concurrently (fastest for files)")
+	flag.BoolVar(&opts.stream, "stream", false, "screen concurrently while input arrives (fastest for pipes)")
+	flag.BoolVar(&opts.crisisOnly, "crisis-only", false, "emit only crisis-flagged posts")
+	flag.BoolVar(&opts.pretty, "pretty", false, "indent JSON output")
+	flag.BoolVar(&opts.withScores, "scores", false, "include the full per-condition score map")
 	flag.Parse()
 
-	if err := run(*in, *engine, *seed, *crisisOnly, *pretty, *withScores, os.Stdout); err != nil {
+	if err := run(context.Background(), opts, os.Stdin, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "mhscreen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(in, engine string, seed int64, crisisOnly, pretty, withScores bool, out io.Writer) error {
-	var src io.Reader = os.Stdin
-	if in != "" {
-		f, err := os.Open(in)
+func run(ctx context.Context, opts options, stdin io.Reader, out io.Writer) error {
+	if opts.batch && opts.stream {
+		return fmt.Errorf("-batch and -stream are mutually exclusive")
+	}
+	src := stdin
+	if opts.in != "" {
+		f, err := os.Open(opts.in)
 		if err != nil {
 			return err
 		}
 		defer f.Close()
 		src = f
 	}
-	det, err := mhd.NewDetector(mhd.WithEngine(engine), mhd.WithSeed(seed))
+	det, err := mhd.NewDetector(
+		mhd.WithEngine(opts.engine),
+		mhd.WithSeed(opts.seed),
+		mhd.WithTrainingSize(opts.train),
+		mhd.WithWorkers(opts.workers),
+	)
 	if err != nil {
 		return err
 	}
 	enc := json.NewEncoder(out)
-	if pretty {
+	if opts.pretty {
 		enc.SetIndent("", "  ")
 	}
+	emit := func(post string, rep mhd.Report) error {
+		if opts.crisisOnly && !rep.Crisis {
+			return nil
+		}
+		wire := report{
+			Post:       post,
+			Condition:  rep.Condition.String(),
+			Confidence: rep.Confidence,
+			Risk:       rep.Risk.String(),
+			Crisis:     rep.Crisis,
+			Evidence:   rep.Evidence,
+		}
+		if opts.withScores {
+			wire.Scores = rep.Scores
+		}
+		return enc.Encode(wire)
+	}
+	switch {
+	case opts.batch:
+		return runBatch(ctx, det, src, emit)
+	case opts.stream:
+		return runStream(ctx, det, src, emit)
+	default:
+		return runLines(det, src, emit)
+	}
+}
+
+// newScanner sizes a line scanner for long social-media posts.
+func newScanner(src io.Reader) *bufio.Scanner {
 	scanner := bufio.NewScanner(src)
 	scanner.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	return scanner
+}
+
+// runLines is the incremental default: screen each post as it is
+// read, lowest latency per line.
+func runLines(det *mhd.Detector, src io.Reader, emit func(string, mhd.Report) error) error {
+	scanner := newScanner(src)
 	lineNo := 0
 	for scanner.Scan() {
 		lineNo++
@@ -83,23 +156,133 @@ func run(in, engine string, seed int64, crisisOnly, pretty, withScores bool, out
 		if err != nil {
 			return fmt.Errorf("line %d: %w", lineNo, err)
 		}
-		if crisisOnly && !rep.Crisis {
-			continue
-		}
-		wire := report{
-			Post:       post,
-			Condition:  rep.Condition.String(),
-			Confidence: rep.Confidence,
-			Risk:       rep.Risk.String(),
-			Crisis:     rep.Crisis,
-			Evidence:   rep.Evidence,
-		}
-		if withScores {
-			wire.Scores = rep.Scores
-		}
-		if err := enc.Encode(wire); err != nil {
+		if err := emit(post, rep); err != nil {
 			return err
 		}
 	}
 	return scanner.Err()
+}
+
+// readPosts collects the non-empty input lines and their 1-based
+// line numbers (for error reporting after concurrent screening).
+func readPosts(src io.Reader) (posts []string, lines []int, err error) {
+	scanner := newScanner(src)
+	lineNo := 0
+	for scanner.Scan() {
+		lineNo++
+		post := strings.TrimSpace(scanner.Text())
+		if post == "" {
+			continue
+		}
+		posts = append(posts, post)
+		lines = append(lines, lineNo)
+	}
+	return posts, lines, scanner.Err()
+}
+
+// runBatch reads everything, then fans the posts out across the
+// detector's worker pool; reports come back in input order.
+func runBatch(ctx context.Context, det *mhd.Detector, src io.Reader, emit func(string, mhd.Report) error) error {
+	posts, lines, err := readPosts(src)
+	if err != nil {
+		return err
+	}
+	reports, err := det.ScreenBatchContext(ctx, posts)
+	if err != nil {
+		return mapPostError(err, 0, lines)
+	}
+	for i, rep := range reports {
+		if err := emit(posts[i], rep); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runStream overlaps reading, screening, and emitting: posts are
+// screened concurrently while input is still arriving, and reports
+// are emitted in input order as soon as they are ready.
+//
+// The post-index -> line-number map is shared under a mutex rather
+// than handed off when the reader finishes: on a live feed (tail -f)
+// the reader can sit in Scan() indefinitely, and the error path must
+// not wait for it.
+func runStream(ctx context.Context, det *mhd.Detector, src io.Reader, emit func(string, mhd.Report) error) error {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	in := make(chan string)
+	var (
+		mu      sync.Mutex
+		lines   []int // line number of post index base+i
+		base    int   // indices below base were emitted and pruned
+		scanErr error
+	)
+	go func() {
+		defer close(in)
+		scanner := newScanner(src)
+		lineNo := 0
+		for scanner.Scan() {
+			lineNo++
+			post := strings.TrimSpace(scanner.Text())
+			if post == "" {
+				continue
+			}
+			mu.Lock()
+			lines = append(lines, lineNo) // before the send: the map is
+			mu.Unlock()                   // complete for any delivered post
+			select {
+			case in <- post:
+			case <-ctx.Done():
+				return
+			}
+		}
+		mu.Lock()
+		scanErr = scanner.Err()
+		mu.Unlock()
+	}()
+	var firstErr error
+	for sr := range det.ScreenStream(ctx, in) {
+		if firstErr != nil {
+			continue // draining after an error
+		}
+		if sr.Err != nil {
+			firstErr = &mhd.PostError{Post: sr.Index, Err: sr.Err}
+			cancel() // stop feeding; keep draining until the channel closes
+			continue
+		}
+		if err := emit(sr.Text, sr.Report); err != nil {
+			firstErr = err
+			cancel()
+			continue
+		}
+		// Emitted indices can never appear in a later PostError
+		// (results arrive in index order), so their line numbers are
+		// dead weight; prune in chunks to keep a long-lived tail -f
+		// stream at O(window) memory instead of O(posts seen).
+		if sr.Index+1-base > 4096 {
+			mu.Lock()
+			drop := sr.Index + 1 - base
+			lines = lines[drop:]
+			base += drop
+			mu.Unlock()
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if firstErr != nil {
+		return mapPostError(firstErr, base, lines)
+	}
+	return scanErr
+}
+
+// mapPostError rewrites a *mhd.PostError in err's chain to name the
+// input line the post came from (blank lines are skipped on input,
+// so post indices and line numbers diverge). lines[i] is the line of
+// post index base+i. Other errors pass through unchanged.
+func mapPostError(err error, base int, lines []int) error {
+	var pe *mhd.PostError
+	if errors.As(err, &pe) && pe.Post >= base && pe.Post-base < len(lines) {
+		return fmt.Errorf("line %d: %w", lines[pe.Post-base], pe.Err)
+	}
+	return err
 }

@@ -1,0 +1,211 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// testOpts keeps detector construction cheap: the smallest allowed
+// training set and a fixed seed.
+func testOpts() options {
+	return options{engine: "baseline", seed: 7, train: 300, workers: 2}
+}
+
+const testInput = `i feel so hopeless and worthless lately, crying every night
+
+i want to die, i have a plan and im ready to say goodbye to everyone, better off dead
+great weekend hiking with friends, made a delicious dinner
+`
+
+// decodeReports parses one JSON report per line.
+func decodeReports(t *testing.T, out []byte) []report {
+	t.Helper()
+	var reps []report
+	sc := bufio.NewScanner(bytes.NewReader(out))
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		var r report
+		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+			t.Fatalf("bad JSON line %q: %v", sc.Text(), err)
+		}
+		reps = append(reps, r)
+	}
+	return reps
+}
+
+func runMode(t *testing.T, opts options, input string) []report {
+	t.Helper()
+	var out bytes.Buffer
+	if err := run(context.Background(), opts, strings.NewReader(input), &out); err != nil {
+		t.Fatal(err)
+	}
+	return decodeReports(t, out.Bytes())
+}
+
+func TestRunModesAgree(t *testing.T) {
+	line := runMode(t, testOpts(), testInput)
+	if len(line) != 3 {
+		t.Fatalf("line mode emitted %d reports, want 3 (blank lines skipped)", len(line))
+	}
+
+	batchOpts := testOpts()
+	batchOpts.batch = true
+	batch := runMode(t, batchOpts, testInput)
+
+	streamOpts := testOpts()
+	streamOpts.stream = true
+	stream := runMode(t, streamOpts, testInput)
+
+	for i := range line {
+		for name, got := range map[string]report{"batch": batch[i], "stream": stream[i]} {
+			if got.Post != line[i].Post || got.Condition != line[i].Condition ||
+				got.Risk != line[i].Risk || got.Crisis != line[i].Crisis {
+				t.Errorf("%s mode report %d = %+v, line mode = %+v", name, i, got, line[i])
+			}
+		}
+	}
+	if !line[1].Crisis {
+		t.Error("suicidal-ideation post not crisis-flagged")
+	}
+}
+
+func TestRunCrisisOnly(t *testing.T) {
+	opts := testOpts()
+	opts.batch = true
+	opts.crisisOnly = true
+	reps := runMode(t, opts, testInput)
+	if len(reps) == 0 {
+		t.Fatal("crisis-only emitted nothing; expected the ideation post")
+	}
+	for _, r := range reps {
+		if !r.Crisis {
+			t.Errorf("non-crisis report leaked through -crisis-only: %+v", r)
+		}
+	}
+}
+
+func TestRunScoresFlag(t *testing.T) {
+	opts := testOpts()
+	opts.withScores = true
+	reps := runMode(t, opts, "feeling fine today\n")
+	if len(reps) != 1 || len(reps[0].Scores) == 0 {
+		t.Fatalf("expected per-condition scores, got %+v", reps)
+	}
+	opts.withScores = false
+	reps = runMode(t, opts, "feeling fine today\n")
+	if len(reps) != 1 || reps[0].Scores != nil {
+		t.Fatalf("scores emitted without -scores: %+v", reps)
+	}
+}
+
+func TestRunInputFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "posts.txt")
+	if err := os.WriteFile(path, []byte(testInput), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	opts := testOpts()
+	opts.in = path
+	opts.batch = true
+	var out bytes.Buffer
+	if err := run(context.Background(), opts, nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	if got := decodeReports(t, out.Bytes()); len(got) != 3 {
+		t.Fatalf("emitted %d reports from file, want 3", len(got))
+	}
+}
+
+func TestRunErrorPaths(t *testing.T) {
+	t.Run("batch-and-stream", func(t *testing.T) {
+		opts := testOpts()
+		opts.batch, opts.stream = true, true
+		if err := run(context.Background(), opts, strings.NewReader(""), &bytes.Buffer{}); err == nil {
+			t.Fatal("expected mutual-exclusion error")
+		}
+	})
+	t.Run("missing-input-file", func(t *testing.T) {
+		opts := testOpts()
+		opts.in = filepath.Join(t.TempDir(), "absent.txt")
+		if err := run(context.Background(), opts, nil, &bytes.Buffer{}); err == nil {
+			t.Fatal("expected file-open error")
+		}
+	})
+	t.Run("unknown-engine", func(t *testing.T) {
+		opts := testOpts()
+		opts.engine = "no-such-model"
+		if err := run(context.Background(), opts, strings.NewReader("hi\n"), &bytes.Buffer{}); err == nil {
+			t.Fatal("expected engine lookup error")
+		}
+	})
+	t.Run("training-size-too-small", func(t *testing.T) {
+		opts := testOpts()
+		opts.train = 10
+		if err := run(context.Background(), opts, strings.NewReader("hi\n"), &bytes.Buffer{}); err == nil {
+			t.Fatal("expected training-size error")
+		}
+	})
+}
+
+// failAfterWriter errors on the nth write, simulating a downstream
+// consumer (head, a closed socket) going away mid-stream.
+type failAfterWriter struct {
+	n      int
+	writes int
+}
+
+func (w *failAfterWriter) Write(p []byte) (int, error) {
+	w.writes++
+	if w.writes > w.n {
+		return 0, errors.New("downstream gone")
+	}
+	return len(p), nil
+}
+
+// TestRunStreamErrorOnLiveFeed regresses a hang: when an error stops
+// the stream while the input is still live (a tail -f style feed
+// that never reaches EOF), run must return promptly instead of
+// waiting for the reader to see another line.
+func TestRunStreamErrorOnLiveFeed(t *testing.T) {
+	pr, pw := io.Pipe() // stays open: Scan() blocks after the last line
+	t.Cleanup(func() { pw.Close(); pr.Close() })
+	go pw.Write([]byte("feeling fine today\nstill feeling fine\nfine again\n"))
+
+	opts := testOpts()
+	opts.stream = true
+	done := make(chan error, 1)
+	go func() {
+		done <- run(context.Background(), opts, pr, &failAfterWriter{n: 1})
+	}()
+	select {
+	case err := <-done:
+		if err == nil || !strings.Contains(err.Error(), "downstream gone") {
+			t.Fatalf("err = %v, want the emit failure", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("stream mode hung after an emit error on a live feed")
+	}
+}
+
+func TestRunEmptyInput(t *testing.T) {
+	for _, mode := range []string{"line", "batch", "stream"} {
+		opts := testOpts()
+		opts.batch = mode == "batch"
+		opts.stream = mode == "stream"
+		var out bytes.Buffer
+		if err := run(context.Background(), opts, strings.NewReader("\n\n"), &out); err != nil {
+			t.Fatalf("%s mode on blank input: %v", mode, err)
+		}
+		if out.Len() != 0 {
+			t.Fatalf("%s mode emitted output for blank input: %q", mode, out.String())
+		}
+	}
+}

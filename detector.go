@@ -1,7 +1,10 @@
 package mhd
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"runtime"
 	"sort"
 
 	"repro/internal/baseline"
@@ -9,6 +12,7 @@ import (
 	"repro/internal/domain"
 	"repro/internal/lexicon"
 	"repro/internal/llm"
+	"repro/internal/pipeline"
 	"repro/internal/prompting"
 	"repro/internal/task"
 	"repro/internal/textkit"
@@ -35,11 +39,13 @@ type Report struct {
 }
 
 // Detector screens social-media text for mental-health signals.
-// Construct with NewDetector; Screen is safe for concurrent use.
+// Construct with NewDetector; Screen, ScreenBatch, and ScreenStream
+// are safe for concurrent use.
 type Detector struct {
 	clf        task.Classifier
 	labels     []Disorder
 	labelNames []string
+	workers    int
 }
 
 // detectorConfig collects NewDetector options.
@@ -47,6 +53,7 @@ type detectorConfig struct {
 	engine    string // "baseline" or a model name from Models()
 	seed      int64
 	trainSize int
+	workers   int
 }
 
 // Option configures NewDetector.
@@ -71,6 +78,12 @@ func WithTrainingSize(n int) Option {
 	return func(c *detectorConfig) { c.trainSize = n }
 }
 
+// WithWorkers bounds the concurrency of ScreenBatch and ScreenStream
+// (default GOMAXPROCS). Values <= 0 restore the default.
+func WithWorkers(n int) Option {
+	return func(c *detectorConfig) { c.workers = n }
+}
+
 // NewDetector builds a multi-condition screening detector.
 func NewDetector(opts ...Option) (*Detector, error) {
 	cfg := detectorConfig{engine: "baseline", seed: 1, trainSize: 2400}
@@ -89,7 +102,7 @@ func NewDetector(opts ...Option) (*Detector, error) {
 	}
 	probs[0] = 0.3 // control prior
 
-	d := &Detector{labels: labels, labelNames: labelNames}
+	d := &Detector{labels: labels, labelNames: labelNames, workers: cfg.workers}
 	switch cfg.engine {
 	case "baseline":
 		spec := corpus.Spec{
@@ -128,8 +141,21 @@ func NewDetector(opts ...Option) (*Detector, error) {
 	return d, nil
 }
 
+// screenScratch is per-shard reusable state for the screening hot
+// path: token and match buffers grown once and reused across posts,
+// so steady-state batch screening does not allocate per post beyond
+// the Report itself.
+type screenScratch struct {
+	tokens  []string
+	matches []lexicon.Match
+}
+
 // Screen classifies one post and grades its suicide risk.
 func (d *Detector) Screen(text string) (Report, error) {
+	return d.screen(text, &screenScratch{})
+}
+
+func (d *Detector) screen(text string, sc *screenScratch) (Report, error) {
 	if text == "" {
 		return Report{}, fmt.Errorf("mhd: empty text")
 	}
@@ -159,12 +185,18 @@ func (d *Detector) Screen(text string) (Report, error) {
 	}
 
 	// Risk grading and evidence are lexicon-grounded so they remain
-	// auditable regardless of the engine.
-	tokens := textkit.Words(textkit.Normalize(text))
-	rep.Risk = gradeRisk(tokens)
+	// auditable regardless of the engine. One pass over the shared
+	// condition automaton yields the matches of every lexicon at
+	// once; risk score and evidence lists are then derived without
+	// re-scanning the tokens.
+	ca := lexicon.Conditions()
+	sc.tokens = textkit.AppendWords(sc.tokens[:0], textkit.Normalize(text))
+	sc.matches = ca.AppendMatches(sc.matches[:0], sc.tokens)
+	siLex := ca.Index(SuicidalIdeation)
+	rep.Risk = gradeRisk(sc.matches, siLex, len(sc.tokens))
 	rep.Crisis = rep.Risk >= SeverityModerate
 	if rep.Condition != Control {
-		rep.Evidence = lexicon.MustForDisorder(rep.Condition).Hits(tokens)
+		rep.Evidence = lexicon.AppendHitsOf(nil, sc.matches, ca.Index(rep.Condition))
 		// Auditability invariant: a clinical call must cite at least
 		// one lexicon phrase; otherwise it degrades to Control (the
 		// score distribution still records the model's suspicion).
@@ -175,7 +207,8 @@ func (d *Detector) Screen(text string) (Report, error) {
 			}
 		}
 	}
-	if siHits := lexicon.SuicidalIdeation().Hits(tokens); rep.Risk > SeverityNone {
+	if rep.Risk > SeverityNone {
+		siHits := lexicon.AppendHitsOf(nil, sc.matches, siLex)
 		rep.Evidence = mergeEvidence(rep.Evidence, siHits)
 	}
 	return rep, nil
@@ -185,8 +218,8 @@ func (d *Detector) Screen(text string) (Report, error) {
 // levels, the midpoints of the generator-calibrated bands.
 var riskThresholds = [...]float64{0.05, 0.15, 0.38}
 
-func gradeRisk(tokens []string) Severity {
-	s := lexicon.SuicidalIdeation().Score(tokens)
+func gradeRisk(matches []lexicon.Match, siLex, ntokens int) Severity {
+	s := lexicon.ScoreOf(matches, siLex, ntokens)
 	switch {
 	case s < riskThresholds[0]:
 		return SeverityNone
@@ -211,17 +244,100 @@ func mergeEvidence(a, b []string) []string {
 	return out
 }
 
-// Triage screens a batch of posts and returns the indices of posts
-// ordered by descending risk (crisis posts first, then by severity,
-// then by clinical confidence).
-func (d *Detector) Triage(posts []string) ([]int, []Report, error) {
-	reports := make([]Report, len(posts))
-	for i, p := range posts {
-		r, err := d.Screen(p)
-		if err != nil {
-			return nil, nil, fmt.Errorf("mhd: post %d: %w", i, err)
+// poolWorkers resolves the configured batch/stream concurrency.
+func (d *Detector) poolWorkers() int {
+	if d.workers > 0 {
+		return d.workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// PostError reports which post of a batch or stream failed.
+type PostError struct {
+	Post int // index into the batch / stream sequence
+	Err  error
+}
+
+func (e *PostError) Error() string { return fmt.Sprintf("mhd: post %d: %v", e.Post, e.Err) }
+
+func (e *PostError) Unwrap() error { return e.Err }
+
+// ScreenBatch screens every post concurrently on a bounded worker
+// pool and returns the reports in input order. Each worker keeps
+// private scratch buffers, so throughput scales with GOMAXPROCS (cap
+// with WithWorkers). The first failing post cancels the rest and is
+// reported as a *PostError.
+func (d *Detector) ScreenBatch(texts []string) ([]Report, error) {
+	return d.ScreenBatchContext(context.Background(), texts)
+}
+
+// ScreenBatchContext is ScreenBatch with cancellation: if ctx is
+// cancelled mid-batch the remaining posts are abandoned and ctx's
+// error is returned.
+func (d *Detector) ScreenBatchContext(ctx context.Context, texts []string) ([]Report, error) {
+	workers := d.poolWorkers()
+	scratch := make([]screenScratch, workers)
+	reports, err := pipeline.Map(ctx, texts, pipeline.Config{Workers: workers},
+		func(shard int, text string) (Report, error) {
+			return d.screen(text, &scratch[shard])
+		})
+	var ie *pipeline.ItemError
+	if errors.As(err, &ie) {
+		return nil, &PostError{Post: ie.Index, Err: ie.Err}
+	}
+	return reports, err
+}
+
+// StreamReport pairs one streamed post with its report. Err is
+// per-post: a failing post does not stop the stream.
+type StreamReport struct {
+	// Index is the post's position in the input stream, starting at
+	// 0. Results are always delivered in increasing Index order.
+	Index  int
+	Text   string
+	Report Report
+	Err    error
+}
+
+// ScreenStream screens posts read from posts on a bounded worker
+// pool and delivers reports on the returned channel in input order.
+// The channel closes when posts is closed and all reports are
+// delivered, or when ctx is cancelled (check ctx.Err() to tell the
+// two apart). Consumers must drain the channel or cancel ctx.
+func (d *Detector) ScreenStream(ctx context.Context, posts <-chan string) <-chan StreamReport {
+	workers := d.poolWorkers()
+	scratch := make([]screenScratch, workers)
+	type screened struct {
+		text string
+		rep  Report
+	}
+	results := pipeline.Stream(ctx, posts, pipeline.Config{Workers: workers},
+		func(shard int, text string) (screened, error) {
+			rep, err := d.screen(text, &scratch[shard])
+			return screened{text: text, rep: rep}, err
+		})
+	out := make(chan StreamReport)
+	go func() {
+		defer close(out)
+		for r := range results {
+			sr := StreamReport{Index: r.Index, Text: r.Value.text, Report: r.Value.rep, Err: r.Err}
+			select {
+			case out <- sr:
+			case <-ctx.Done():
+				return
+			}
 		}
-		reports[i] = r
+	}()
+	return out
+}
+
+// Triage screens a batch of posts concurrently and returns the
+// indices of posts ordered by descending risk (crisis posts first,
+// then by severity, then by clinical confidence).
+func (d *Detector) Triage(posts []string) ([]int, []Report, error) {
+	reports, err := d.ScreenBatch(posts)
+	if err != nil {
+		return nil, nil, err
 	}
 	order := make([]int, len(posts))
 	for i := range order {

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -75,6 +76,43 @@ func main() {
 	if crisisGold > 0 {
 		fmt.Printf("crisis posts caught: %d/%d\n", crisisCaught, crisisGold)
 	}
+
+	// Batch screening: the same feed fanned over a bounded worker
+	// pool — reports come back in input order, so indices line up
+	// with the feed. This is the throughput path for backfills.
+	reports2, err := det.ScreenBatch(texts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	batchCrisis := 0
+	for _, r := range reports2 {
+		if r.Crisis {
+			batchCrisis++
+		}
+	}
+	fmt.Printf("\nScreenBatch over %d posts: %d crisis-flagged\n", len(reports2), batchCrisis)
+
+	// Stream screening: posts screened concurrently while they are
+	// still arriving (a moderation queue), delivered in input order.
+	// Cancel the context to stop mid-stream.
+	in := make(chan string)
+	go func() {
+		defer close(in)
+		for _, p := range feed {
+			in <- p.Text
+		}
+	}()
+	streamed, streamCrisis := 0, 0
+	for sr := range det.ScreenStream(context.Background(), in) {
+		if sr.Err != nil {
+			log.Fatal(sr.Err)
+		}
+		streamed++
+		if sr.Report.Crisis {
+			streamCrisis++
+		}
+	}
+	fmt.Printf("ScreenStream over %d posts: %d crisis-flagged\n", streamed, streamCrisis)
 }
 
 func safeDiv(a, b int) float64 {

@@ -1,0 +1,363 @@
+package lexicon
+
+import (
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/domain"
+)
+
+// This file implements the multi-pattern matching engine behind
+// Score/ScoreText/Hits: a token-level Aho-Corasick automaton built
+// once over one or more lexicons. A single left-to-right pass over a
+// token stream emits every occurrence of every term of every lexicon
+// simultaneously, replacing the per-token n-gram map probing of the
+// naive matcher (which costs O(tokens × maxWords) map lookups per
+// lexicon per post) with O(tokens) automaton steps for all lexicons
+// at once. The naive matcher is kept (naiveScore/naiveHits) as the
+// reference implementation for equivalence and fuzz tests.
+
+// Match is one pattern occurrence found by an Automaton: the term
+// of lexicon index Lexicon matched tokens[Start:End]. Matches are
+// reported sorted by (Start, End, Lexicon), which is exactly the
+// discovery order of the naive sliding-window matcher.
+type Match struct {
+	Lexicon int
+	Term    string
+	Weight  float64
+	Start   int
+	End     int
+}
+
+// output is one pattern accepted by an automaton state.
+type output struct {
+	lex    int32
+	depth  int32 // pattern length, in tokens
+	term   string
+	weight float64
+}
+
+// Automaton is an immutable Aho-Corasick multi-pattern matcher over
+// the terms of one or more lexicons. Build cost is paid once; an
+// Automaton is safe for concurrent use.
+type Automaton struct {
+	names    []string
+	alphabet map[string]int32 // token -> symbol; absent tokens reset to root
+	next     []map[int32]int32
+	fail     []int32
+	out      [][]int32 // per state: output indices, own then fail-suffix
+	outputs  []output
+	addW     [][]float64 // per state: per-lexicon weight sum of out; nil when empty
+}
+
+// NewAutomaton builds an automaton over the given lexicons. Lexicon
+// index i in Match/Scores results refers to lexicons[i].
+func NewAutomaton(lexicons ...*Lexicon) *Automaton {
+	a := &Automaton{
+		names:    make([]string, len(lexicons)),
+		alphabet: map[string]int32{},
+		next:     []map[int32]int32{{}},
+		fail:     []int32{0},
+		out:      [][]int32{nil},
+	}
+	for li, l := range lexicons {
+		a.names[li] = l.name
+		for _, e := range l.Entries() { // Entries is deterministic
+			for _, pat := range tokenizations(e.Term) {
+				a.insert(int32(li), e.Term, e.Weight, pat)
+			}
+		}
+	}
+	a.build()
+	return a
+}
+
+// Lexicons returns the names of the automaton's lexicons, in index
+// order.
+func (a *Automaton) Lexicons() []string {
+	return append([]string(nil), a.names...)
+}
+
+// tokenizations returns every token sequence the sliding-window
+// matcher would join back into term: windows are joined with a
+// single space, so "panic attack" is matched by both
+// ["panic", "attack"] and the single token ["panic attack"]. Every
+// way of treating each space as either a token boundary or part of a
+// token is enumerated (2^spaces sequences — term word counts are
+// small, so this is a handful of patterns per multiword term).
+func tokenizations(term string) [][]string {
+	if !strings.Contains(term, " ") {
+		return [][]string{{term}}
+	}
+	var out [][]string
+	var rec func(prefix []string, rest string)
+	rec = func(prefix []string, rest string) {
+		for i := 0; i < len(rest); i++ {
+			if rest[i] == ' ' {
+				rec(append(prefix[:len(prefix):len(prefix)], rest[:i]), rest[i+1:])
+			}
+		}
+		out = append(out, append(prefix[:len(prefix):len(prefix)], rest))
+	}
+	rec(nil, term)
+	return out
+}
+
+// insert adds one pattern to the trie.
+func (a *Automaton) insert(lex int32, term string, weight float64, pattern []string) {
+	state := int32(0)
+	for _, tok := range pattern {
+		sym, ok := a.alphabet[tok]
+		if !ok {
+			sym = int32(len(a.alphabet))
+			a.alphabet[tok] = sym
+		}
+		nxt, ok := a.next[state][sym]
+		if !ok {
+			nxt = int32(len(a.next))
+			a.next = append(a.next, map[int32]int32{})
+			a.fail = append(a.fail, 0)
+			a.out = append(a.out, nil)
+			a.next[state][sym] = nxt
+		}
+		state = nxt
+	}
+	a.outputs = append(a.outputs, output{
+		lex: lex, depth: int32(len(pattern)), term: term, weight: weight,
+	})
+	a.out[state] = append(a.out[state], int32(len(a.outputs)-1))
+}
+
+// build computes fail links breadth-first, merges each state's output
+// list with its fail suffix's, and precomputes per-state per-lexicon
+// weight sums so scoring needs no per-match iteration.
+func (a *Automaton) build() {
+	queue := make([]int32, 0, len(a.next))
+	for _, s := range a.next[0] {
+		queue = append(queue, s) // depth-1 states fail to the root
+	}
+	for head := 0; head < len(queue); head++ {
+		s := queue[head]
+		for sym, ch := range a.next[s] {
+			f := a.fail[s]
+			for f != 0 {
+				if _, ok := a.next[f][sym]; ok {
+					break
+				}
+				f = a.fail[f]
+			}
+			if t, ok := a.next[f][sym]; ok && t != ch {
+				a.fail[ch] = t
+			}
+			a.out[ch] = append(a.out[ch], a.out[a.fail[ch]]...)
+			queue = append(queue, ch)
+		}
+	}
+	a.addW = make([][]float64, len(a.next))
+	for s, outs := range a.out {
+		if len(outs) == 0 {
+			continue
+		}
+		w := make([]float64, len(a.names))
+		for _, oi := range outs {
+			o := a.outputs[oi]
+			w[o.lex] += o.weight
+		}
+		a.addW[s] = w
+	}
+}
+
+// step advances the automaton by one token. Tokens outside the
+// pattern alphabet reset to the root without walking fail links.
+func (a *Automaton) step(state int32, token string) int32 {
+	sym, ok := a.alphabet[token]
+	if !ok {
+		return 0
+	}
+	for {
+		if nxt, ok := a.next[state][sym]; ok {
+			return nxt
+		}
+		if state == 0 {
+			return 0
+		}
+		state = a.fail[state]
+	}
+}
+
+// AppendScores appends one score per lexicon (the same
+// sqrt-normalized sum as Lexicon.Score) to dst and returns the
+// extended slice. The whole token stream is scanned exactly once
+// regardless of how many lexicons the automaton holds.
+func (a *Automaton) AppendScores(dst []float64, tokens []string) []float64 {
+	n0 := len(dst)
+	for range a.names {
+		dst = append(dst, 0)
+	}
+	if len(tokens) == 0 {
+		return dst
+	}
+	sums := dst[n0:]
+	state := int32(0)
+	for _, tok := range tokens {
+		state = a.step(state, tok)
+		if w := a.addW[state]; w != nil {
+			for i, v := range w {
+				sums[i] += v
+			}
+		}
+	}
+	norm := sqrt(float64(len(tokens)))
+	for i := range sums {
+		sums[i] /= norm
+	}
+	return dst
+}
+
+// Scores is AppendScores into a fresh slice.
+func (a *Automaton) Scores(tokens []string) []float64 {
+	return a.AppendScores(make([]float64, 0, len(a.names)), tokens)
+}
+
+// score1 is the allocation-free single-lexicon scoring loop backing
+// Lexicon.Score; it assumes the automaton was built over exactly one
+// lexicon.
+func (a *Automaton) score1(tokens []string) float64 {
+	if len(tokens) == 0 {
+		return 0
+	}
+	sum := 0.0
+	state := int32(0)
+	for _, tok := range tokens {
+		state = a.step(state, tok)
+		if w := a.addW[state]; w != nil {
+			sum += w[0]
+		}
+	}
+	return sum / sqrt(float64(len(tokens)))
+}
+
+// AppendMatches appends every pattern occurrence in tokens to dst and
+// returns the extended slice. The appended region is sorted by
+// (Start, End, Lexicon) — the naive matcher's discovery order — so
+// first-occurrence evidence lists come out identical to the naive
+// path. Callers on the batch path pass dst[:0] to reuse the buffer.
+func (a *Automaton) AppendMatches(dst []Match, tokens []string) []Match {
+	n0 := len(dst)
+	state := int32(0)
+	for i, tok := range tokens {
+		state = a.step(state, tok)
+		for _, oi := range a.out[state] {
+			o := a.outputs[oi]
+			dst = append(dst, Match{
+				Lexicon: int(o.lex), Term: o.term, Weight: o.weight,
+				Start: i + 1 - int(o.depth), End: i + 1,
+			})
+		}
+	}
+	m := dst[n0:]
+	sort.Slice(m, func(i, j int) bool {
+		if m[i].Start != m[j].Start {
+			return m[i].Start < m[j].Start
+		}
+		if m[i].End != m[j].End {
+			return m[i].End < m[j].End
+		}
+		return m[i].Lexicon < m[j].Lexicon
+	})
+	return dst
+}
+
+// Matches is AppendMatches into a fresh slice.
+func (a *Automaton) Matches(tokens []string) []Match {
+	return a.AppendMatches(nil, tokens)
+}
+
+// ScoreOf sums the weights of lexicon lex's matches and normalizes by
+// sqrt(ntokens), reproducing Lexicon.Score bit-for-bit: matches are
+// sorted in naive discovery order, and skipped windows contribute an
+// exact +0.0 in the naive loop, so the floating-point sums agree
+// exactly.
+func ScoreOf(matches []Match, lex, ntokens int) float64 {
+	if ntokens == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, m := range matches {
+		if m.Lexicon == lex {
+			sum += m.Weight
+		}
+	}
+	return sum / sqrt(float64(ntokens))
+}
+
+// AppendHitsOf appends lexicon lex's distinct matched terms to dst in
+// first-occurrence order, skipping terms already present in dst, and
+// returns the extended slice. matches must be in AppendMatches order.
+// The linear dedup scan is bounded by the lexicon's hit diversity,
+// which is small in practice.
+func AppendHitsOf(dst []string, matches []Match, lex int) []string {
+	for _, m := range matches {
+		if m.Lexicon != lex {
+			continue
+		}
+		dup := false
+		for _, t := range dst {
+			if t == m.Term {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			dst = append(dst, m.Term)
+		}
+	}
+	return dst
+}
+
+// ConditionAutomaton is the shared automaton over every built-in
+// disorder lexicon (Control maps to Neutral), built lazily once and
+// reused by every Detector: screening a post needs a single pass to
+// obtain all eight condition signals.
+type ConditionAutomaton struct {
+	*Automaton
+	disorders []domain.Disorder
+}
+
+var (
+	condOnce sync.Once
+	condAuto *ConditionAutomaton
+)
+
+// Conditions returns the shared condition automaton. Lexicon indices
+// follow domain.AllDisorders() order; use Index to map a disorder.
+func Conditions() *ConditionAutomaton {
+	condOnce.Do(func() {
+		ds := domain.AllDisorders()
+		lexs := make([]*Lexicon, len(ds))
+		for i, d := range ds {
+			lexs[i] = MustForDisorder(d)
+		}
+		condAuto = &ConditionAutomaton{
+			Automaton: NewAutomaton(lexs...),
+			disorders: ds,
+		}
+	})
+	return condAuto
+}
+
+// Disorders returns the disorder order backing the lexicon indices.
+func (c *ConditionAutomaton) Disorders() []domain.Disorder {
+	return append([]domain.Disorder(nil), c.disorders...)
+}
+
+// Index returns the lexicon index of disorder d, or -1 if unknown.
+func (c *ConditionAutomaton) Index(d domain.Disorder) int {
+	for i, x := range c.disorders {
+		if x == d {
+			return i
+		}
+	}
+	return -1
+}

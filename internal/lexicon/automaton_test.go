@@ -1,0 +1,246 @@
+package lexicon
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/domain"
+	"repro/internal/textkit"
+)
+
+// scoreEps bounds the floating-point summation-order difference
+// between the automaton's per-state precomputed sums and the naive
+// matcher's window-order sums; the match sets are identical.
+const scoreEps = 1e-9
+
+func builtinLexicons() []*Lexicon {
+	return []*Lexicon{
+		Depression(), Anxiety(), Stress(), SuicidalIdeation(),
+		PTSD(), EatingDisorder(), Bipolar(), Neutral(),
+	}
+}
+
+// edgeLexicon exercises the corner cases of the sliding-window
+// semantics: overlapping terms, terms that are prefixes/suffixes of
+// each other, and multiword phrases that can also appear as single
+// space-containing tokens.
+func edgeLexicon() *Lexicon {
+	return New("edge", []Entry{
+		{"a", 0.1}, {"a b", 0.2}, {"a b c", 0.4}, {"b c", 0.3},
+		{"b", 0.15}, {"c a", 0.25}, {"x y z w", 0.5}, {"y z", 0.1},
+	})
+}
+
+func assertEquivalent(t *testing.T, l *Lexicon, tokens []string) {
+	t.Helper()
+	naive, fast := l.naiveScore(tokens), l.Score(tokens)
+	if math.Abs(naive-fast) > scoreEps {
+		t.Errorf("%s: Score(%q) = %v, naive = %v", l.Name(), tokens, fast, naive)
+	}
+	naiveH, fastH := l.naiveHits(tokens), l.Hits(tokens)
+	if len(naiveH) == 0 && len(fastH) == 0 {
+		return
+	}
+	if !reflect.DeepEqual(naiveH, fastH) {
+		t.Errorf("%s: Hits(%q) = %v, naive = %v", l.Name(), tokens, fastH, naiveH)
+	}
+}
+
+func TestAutomatonMatchesNaive(t *testing.T) {
+	streams := [][]string{
+		nil,
+		{},
+		{"hopeless"},
+		{"panic", "attack", "and", "panic", "attacks"},
+		{"i", "feel", "empty", "inside", "and", "nothing", "matters", "anymore"},
+		{"want", "to", "die", "want", "to", "die"},
+		{"a", "b", "c", "a", "b"},
+		{"a b", "c"},       // token containing a space
+		{"a b c"},          // whole phrase as one token
+		{"x", "y z", "w"},  // mixed splits
+		{"", "a", "", "b"}, // empty tokens
+		{"unrelated", "noise", "tokens", "only"},
+	}
+	lexs := append(builtinLexicons(), edgeLexicon())
+	for _, l := range lexs {
+		for _, toks := range streams {
+			assertEquivalent(t, l, toks)
+		}
+	}
+}
+
+func TestAutomatonOnGeneratedText(t *testing.T) {
+	// Realistic screening inputs: sentences stitched from lexicon
+	// terms and filler, run through the real tokenizer.
+	texts := []string{
+		"I feel so hopeless and worthless lately, crying every night and nothing matters.",
+		"had another panic attack on the train today... heart racing, couldn't breathe",
+		"ate nothing all day, feeling fat, hate my body, purge again",
+		"I want to die. no reason to live anymore. better off dead.",
+		"flashbacks and nightmares every night since the accident",
+		"just a normal day at work, made pasta for dinner, watched a film",
+	}
+	for _, txt := range texts {
+		tokens := textkit.Words(textkit.Normalize(txt))
+		for _, l := range builtinLexicons() {
+			assertEquivalent(t, l, tokens)
+		}
+	}
+}
+
+func TestConditionsSinglePass(t *testing.T) {
+	ca := Conditions()
+	if got, want := len(ca.Lexicons()), len(domain.AllDisorders()); got != want {
+		t.Fatalf("Conditions() holds %d lexicons, want %d", got, want)
+	}
+	tokens := textkit.Words(textkit.Normalize(
+		"hopeless and anxious, had a panic attack, want to die, ate nothing"))
+	scores := ca.Scores(tokens)
+	matches := ca.Matches(tokens)
+	for i, d := range ca.Disorders() {
+		if ca.Index(d) != i {
+			t.Fatalf("Index(%v) = %d, want %d", d, ca.Index(d), i)
+		}
+		l := MustForDisorder(d)
+		// One shared pass must reproduce each per-lexicon result.
+		if naive := l.naiveScore(tokens); math.Abs(scores[i]-naive) > scoreEps {
+			t.Errorf("%v: shared score %v, naive %v", d, scores[i], naive)
+		}
+		// ScoreOf sums in naive window order: exact equality.
+		if got, naive := ScoreOf(matches, i, len(tokens)), l.naiveScore(tokens); got != naive {
+			t.Errorf("%v: ScoreOf = %v, naive = %v", d, got, naive)
+		}
+		gotHits := AppendHitsOf(nil, matches, i)
+		naiveHits := l.naiveHits(tokens)
+		if len(gotHits)+len(naiveHits) > 0 && !reflect.DeepEqual(gotHits, naiveHits) {
+			t.Errorf("%v: shared hits %v, naive %v", d, gotHits, naiveHits)
+		}
+	}
+	if ca.Index(domain.Disorder(99)) != -1 {
+		t.Error("Index of unknown disorder should be -1")
+	}
+}
+
+func TestTokenizations(t *testing.T) {
+	got := tokenizations("a b c")
+	want := [][]string{
+		{"a", "b", "c"}, {"a", "b c"}, {"a b", "c"}, {"a b c"},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d tokenizations %v, want %d", len(got), got, len(want))
+	}
+	for _, w := range want {
+		found := false
+		for _, g := range got {
+			if reflect.DeepEqual(g, w) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("missing tokenization %v in %v", w, got)
+		}
+		if strings.Join(w, " ") != "a b c" {
+			t.Errorf("tokenization %v does not join back to the term", w)
+		}
+	}
+}
+
+func TestAppendMatchesBufferReuse(t *testing.T) {
+	ca := Conditions()
+	tokens := []string{"hopeless", "panic", "attack"}
+	buf := ca.AppendMatches(nil, tokens)
+	if len(buf) == 0 {
+		t.Fatal("expected matches")
+	}
+	again := ca.AppendMatches(buf[:0], tokens)
+	if !reflect.DeepEqual(buf[:len(again)], again) {
+		t.Fatal("reused buffer produced different matches")
+	}
+}
+
+func FuzzAutomatonMatchesNaive(f *testing.F) {
+	f.Add("hopeless|worthless|nothing matters")
+	f.Add("a|b|c|a b|a b c")
+	f.Add("panic attack|panic|attack")
+	f.Add("want|to|die")
+	f.Add("||")
+	f.Add("plain noise with no signal at all")
+	lexs := []*Lexicon{Depression(), SuicidalIdeation(), edgeLexicon()}
+	auto := NewAutomaton(lexs...)
+	f.Fuzz(func(t *testing.T, stream string) {
+		// '|' separates tokens so fuzzed tokens may contain spaces,
+		// exercising the tokenization-composition machinery.
+		tokens := strings.Split(stream, "|")
+		matches := auto.Matches(tokens)
+		for li, l := range lexs {
+			naive, fast := l.naiveScore(tokens), l.Score(tokens)
+			if math.Abs(naive-fast) > scoreEps {
+				t.Fatalf("%s: Score(%q) = %v, naive = %v", l.Name(), tokens, fast, naive)
+			}
+			// The shared multi-lexicon automaton must agree exactly
+			// when summed in match order.
+			if got := ScoreOf(matches, li, len(tokens)); got != naive {
+				t.Fatalf("%s: ScoreOf(%q) = %v, naive = %v", l.Name(), tokens, got, naive)
+			}
+			naiveH, fastH := l.naiveHits(tokens), l.Hits(tokens)
+			if len(naiveH)+len(fastH) > 0 && !reflect.DeepEqual(naiveH, fastH) {
+				t.Fatalf("%s: Hits(%q) = %v, naive = %v", l.Name(), tokens, fastH, naiveH)
+			}
+			sharedH := AppendHitsOf(nil, matches, li)
+			if len(naiveH)+len(sharedH) > 0 && !reflect.DeepEqual(naiveH, sharedH) {
+				t.Fatalf("%s: shared Hits(%q) = %v, naive = %v", l.Name(), tokens, sharedH, naiveH)
+			}
+		}
+	})
+}
+
+// benchTokens is a realistic ~160-token post mixing clinical signal
+// and filler.
+func benchTokens() []string {
+	txt := strings.Repeat(
+		"i feel so hopeless and worthless lately crying every night and nothing matters "+
+			"had a panic attack at work cant sleep no energy want to disappear "+
+			"just tired of everything and my heart keeps racing ", 4)
+	return textkit.Words(textkit.Normalize(txt))
+}
+
+func BenchmarkLexiconScore(b *testing.B) {
+	tokens := benchTokens()
+	b.Run("naive", func(b *testing.B) {
+		l := Depression()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			l.naiveScore(tokens)
+		}
+	})
+	b.Run("automaton", func(b *testing.B) {
+		l := Depression()
+		l.Score(tokens) // build outside the loop
+		b.ResetTimer()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			l.Score(tokens)
+		}
+	})
+	b.Run("naive-all-conditions", func(b *testing.B) {
+		lexs := builtinLexicons()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, l := range lexs {
+				l.naiveScore(tokens)
+			}
+		}
+	})
+	b.Run("automaton-all-conditions", func(b *testing.B) {
+		ca := Conditions()
+		buf := make([]float64, 0, 8)
+		b.ResetTimer()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			buf = ca.AppendScores(buf[:0], tokens)
+		}
+	})
+}

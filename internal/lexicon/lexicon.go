@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/domain"
 	"repro/internal/textkit"
@@ -40,6 +41,19 @@ type Lexicon struct {
 	name     string
 	weights  map[string]float64
 	maxWords int // longest phrase length, in words
+
+	// The Aho-Corasick engine backing Score/Hits, built lazily on
+	// first use (many lexicons are constructed only to be merged or
+	// enumerated and never matched).
+	autoOnce sync.Once
+	auto     *Automaton
+}
+
+// automaton returns the lexicon's matching engine, building it on
+// first use.
+func (l *Lexicon) automaton() *Automaton {
+	l.autoOnce.Do(func() { l.auto = NewAutomaton(l) })
+	return l.auto
 }
 
 // New builds a lexicon from entries. Duplicate terms keep the
@@ -105,7 +119,19 @@ func (l *Lexicon) Terms() []string {
 // attack", "want to die", "cant do this anymore"), and normalizes by
 // sqrt(len(tokens)) so long posts do not dominate by length alone.
 // An empty token list scores 0.
+//
+// Score is a thin adapter over the lexicon's Aho-Corasick automaton:
+// one pass over tokens, no per-window map probing. It agrees with
+// the naive sliding-window matcher on every input (see naiveScore
+// and the equivalence fuzz test) up to floating-point summation
+// order.
 func (l *Lexicon) Score(tokens []string) float64 {
+	return l.automaton().score1(tokens)
+}
+
+// naiveScore is the pre-automaton reference implementation of Score,
+// kept as the ground truth for equivalence and fuzz tests.
+func (l *Lexicon) naiveScore(tokens []string) float64 {
 	if len(tokens) == 0 {
 		return 0
 	}
@@ -128,8 +154,15 @@ func (l *Lexicon) ScoreText(text string) float64 {
 
 // Hits returns the lexicon terms found in tokens (matching phrases
 // up to the longest entry), in first-occurrence order, without
-// duplicates.
+// duplicates. Like Score it runs on the lexicon's automaton and is
+// exactly equivalent to the naive matcher (naiveHits).
 func (l *Lexicon) Hits(tokens []string) []string {
+	return AppendHitsOf(nil, l.automaton().Matches(tokens), 0)
+}
+
+// naiveHits is the pre-automaton reference implementation of Hits,
+// kept as the ground truth for equivalence and fuzz tests.
+func (l *Lexicon) naiveHits(tokens []string) []string {
 	var out []string
 	seen := map[string]bool{}
 	add := func(t string) {

@@ -1,0 +1,222 @@
+// Package pipeline provides a bounded, order-preserving, sharded
+// worker pool — the fan-out/fan-in engine behind the detector's
+// batch and streaming screening APIs.
+//
+// Both entry points guarantee:
+//
+//   - bounded concurrency: exactly Config.Workers goroutines run the
+//     worker function at any moment;
+//   - ordered results: outputs correspond to inputs positionally (Map)
+//     or are delivered in input order (Stream), regardless of which
+//     worker finishes first;
+//   - prompt shutdown on context cancellation;
+//   - a stable shard index per worker, so callers can hand each worker
+//     private scratch state (buffers, caches) that is never contended
+//     and needs no locks.
+package pipeline
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Config bounds a pool.
+type Config struct {
+	// Workers is the number of concurrent workers; <= 0 means
+	// GOMAXPROCS.
+	Workers int
+	// Buffer is the per-channel buffer size used by Stream; <= 0
+	// means twice the worker count.
+	Buffer int
+}
+
+func (c Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (c Config) buffer(workers int) int {
+	if c.Buffer > 0 {
+		return c.Buffer
+	}
+	return 2 * workers
+}
+
+// WorkerFunc processes one item on the given shard. Shard is in
+// [0, workers): calls with the same shard never run concurrently, so
+// per-shard state needs no synchronization.
+type WorkerFunc[In, Out any] func(shard int, item In) (Out, error)
+
+// ItemError reports which item of a Map batch failed.
+type ItemError struct {
+	Index int
+	Err   error
+}
+
+func (e *ItemError) Error() string { return fmt.Sprintf("item %d: %v", e.Index, e.Err) }
+
+func (e *ItemError) Unwrap() error { return e.Err }
+
+// Map applies fn to every item and returns the results in input
+// order. The first error cancels the remaining work and is returned
+// as an *ItemError (the lowest-indexed error among those observed
+// before shutdown). If ctx is cancelled first, ctx.Err() is
+// returned.
+func Map[In, Out any](ctx context.Context, items []In, cfg Config, fn WorkerFunc[In, Out]) ([]Out, error) {
+	if len(items) == 0 {
+		return nil, ctx.Err()
+	}
+	workers := min(cfg.workers(), len(items))
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	out := make([]Out, len(items))
+	var (
+		next     atomic.Int64
+		mu       sync.Mutex
+		firstErr *ItemError
+		wg       sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(shard int) {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				i := int(next.Add(1) - 1)
+				if i >= len(items) {
+					return
+				}
+				v, err := fn(shard, items[i])
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil || i < firstErr.Index {
+						firstErr = &ItemError{Index: i, Err: err}
+					}
+					mu.Unlock()
+					cancel()
+					return
+				}
+				out[i] = v
+			}
+		}(w)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Result pairs one streamed output with its input position. Err is
+// per-item: a failing item does not stop the stream.
+type Result[Out any] struct {
+	Index int
+	Value Out
+	Err   error
+}
+
+// Stream applies fn to every item read from in and delivers results
+// on the returned channel in input order. The channel closes when in
+// is closed and all results are delivered, or when ctx is cancelled
+// (possibly mid-stream — consumers distinguish the two via
+// ctx.Err()). Per-item errors are delivered in Result.Err and do not
+// stop the stream.
+//
+// Consumers must drain the channel or cancel ctx; abandoning it
+// leaks the pool's goroutines.
+func Stream[In, Out any](ctx context.Context, in <-chan In, cfg Config, fn WorkerFunc[In, Out]) <-chan Result[Out] {
+	workers := cfg.workers()
+	buf := cfg.buffer(workers)
+	type job struct {
+		idx  int
+		item In
+	}
+	jobs := make(chan job, buf)
+	collect := make(chan Result[Out], buf)
+	out := make(chan Result[Out], buf)
+
+	// Feeder: tag inputs with their sequence number.
+	go func() {
+		defer close(jobs)
+		idx := 0
+		for {
+			select {
+			case item, ok := <-in:
+				if !ok {
+					return
+				}
+				select {
+				case jobs <- job{idx, item}:
+					idx++
+				case <-ctx.Done():
+					return
+				}
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(shard int) {
+			defer wg.Done()
+			for j := range jobs {
+				v, err := fn(shard, j.item)
+				select {
+				case collect <- Result[Out]{Index: j.idx, Value: v, Err: err}:
+				case <-ctx.Done():
+					return
+				}
+			}
+		}(w)
+	}
+	go func() {
+		wg.Wait()
+		close(collect)
+	}()
+
+	// Reorderer: release results in input order. Out-of-order
+	// results wait in pending; its size is bounded by how far ahead
+	// the bounded workers and channel buffers can run (O(workers +
+	// buffers)), so backpressure reaches the feeder.
+	go func() {
+		defer close(out)
+		pending := map[int]Result[Out]{}
+		nextIdx := 0
+		emitReady := func() bool {
+			for {
+				r, ok := pending[nextIdx]
+				if !ok {
+					return true
+				}
+				delete(pending, nextIdx)
+				select {
+				case out <- r:
+				case <-ctx.Done():
+					return false
+				}
+				nextIdx++
+			}
+		}
+		for r := range collect {
+			pending[r.Index] = r
+			if !emitReady() {
+				return
+			}
+		}
+		// Workers are done; deliver any in-order prefix that was
+		// still buffered when a cancellation dropped later items.
+		emitReady()
+	}()
+	return out
+}

@@ -1,0 +1,247 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// jitter makes completion order differ from input order so the
+// ordering guarantees are actually exercised.
+func jitter(i int) {
+	time.Sleep(time.Duration((i*7)%5) * 100 * time.Microsecond)
+}
+
+func TestMapOrdered(t *testing.T) {
+	items := make([]int, 500)
+	for i := range items {
+		items[i] = i
+	}
+	got, err := Map(context.Background(), items, Config{Workers: 8},
+		func(shard, item int) (int, error) {
+			jitter(item)
+			return item * 2, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(items) {
+		t.Fatalf("got %d results, want %d", len(got), len(items))
+	}
+	for i, v := range got {
+		if v != i*2 {
+			t.Fatalf("result[%d] = %d, want %d", i, v, i*2)
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	got, err := Map(context.Background(), nil, Config{},
+		func(shard int, item int) (int, error) { return 0, nil })
+	if err != nil || len(got) != 0 {
+		t.Fatalf("Map(nil) = %v, %v; want empty, nil", got, err)
+	}
+}
+
+func TestMapError(t *testing.T) {
+	boom := errors.New("boom")
+	items := make([]int, 200)
+	for i := range items {
+		items[i] = i
+	}
+	_, err := Map(context.Background(), items, Config{Workers: 4},
+		func(shard, item int) (int, error) {
+			if item == 17 { // the only error; cancellation cannot skip it
+				return 0, boom
+			}
+			jitter(item)
+			return 0, nil
+		})
+	var ie *ItemError
+	if !errors.As(err, &ie) {
+		t.Fatalf("error %v is not an *ItemError", err)
+	}
+	if !errors.Is(err, boom) {
+		t.Fatalf("error %v does not unwrap to the worker error", err)
+	}
+	if ie.Index != 17 {
+		t.Fatalf("item index %d, want 17", ie.Index)
+	}
+}
+
+func TestMapCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var processed atomic.Int64
+	items := make([]int, 10_000)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_, err := Map(ctx, items, Config{Workers: 4},
+			func(shard, item int) (int, error) {
+				if processed.Add(1) == 8 {
+					cancel()
+				}
+				time.Sleep(200 * time.Microsecond)
+				return 0, nil
+			})
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("err = %v, want context.Canceled", err)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Map did not return after cancellation")
+	}
+	if n := processed.Load(); n > 100 {
+		t.Errorf("processed %d items after cancellation; want an early stop", n)
+	}
+}
+
+func TestMapShardIsolation(t *testing.T) {
+	const workers, n = 6, 3000
+	// Each shard owns one counter slot; no synchronization. The race
+	// detector (CI runs -race) verifies the no-contention contract.
+	counts := make([]int, workers)
+	_, err := Map(context.Background(), make([]struct{}, n), Config{Workers: workers},
+		func(shard int, _ struct{}) (struct{}, error) {
+			if shard < 0 || shard >= workers {
+				return struct{}{}, fmt.Errorf("shard %d out of range", shard)
+			}
+			counts[shard]++
+			return struct{}{}, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != n {
+		t.Fatalf("shards processed %d items, want %d", total, n)
+	}
+}
+
+func feed(n int) chan int {
+	in := make(chan int)
+	go func() {
+		defer close(in)
+		for i := 0; i < n; i++ {
+			in <- i
+		}
+	}()
+	return in
+}
+
+func TestStreamOrdered(t *testing.T) {
+	const n = 400
+	results := Stream(context.Background(), feed(n), Config{Workers: 8},
+		func(shard, item int) (int, error) {
+			jitter(item)
+			return item * 3, nil
+		})
+	want := 0
+	for r := range results {
+		if r.Index != want {
+			t.Fatalf("result index %d, want %d (out of order)", r.Index, want)
+		}
+		if r.Err != nil || r.Value != r.Index*3 {
+			t.Fatalf("result %d = (%d, %v)", r.Index, r.Value, r.Err)
+		}
+		want++
+	}
+	if want != n {
+		t.Fatalf("received %d results, want %d", want, n)
+	}
+}
+
+func TestStreamPerItemErrors(t *testing.T) {
+	boom := errors.New("boom")
+	results := Stream(context.Background(), feed(50), Config{Workers: 4},
+		func(shard, item int) (int, error) {
+			if item%2 == 1 {
+				return 0, boom
+			}
+			return item, nil
+		})
+	got := 0
+	for r := range results {
+		if r.Index%2 == 1 {
+			if !errors.Is(r.Err, boom) {
+				t.Fatalf("result %d: err = %v, want boom", r.Index, r.Err)
+			}
+		} else if r.Err != nil {
+			t.Fatalf("result %d: unexpected error %v", r.Index, r.Err)
+		}
+		got++
+	}
+	if got != 50 {
+		t.Fatalf("received %d results, want 50 (errors must not stop the stream)", got)
+	}
+}
+
+func TestStreamCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	in := make(chan int)
+	go func() { // endless producer: only cancellation can stop the stream
+		for i := 0; ; i++ {
+			select {
+			case in <- i:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	results := Stream(ctx, in, Config{Workers: 4},
+		func(shard, item int) (int, error) {
+			time.Sleep(100 * time.Microsecond)
+			return item, nil
+		})
+	want := 0
+	for r := range results {
+		if r.Index != want {
+			t.Fatalf("result index %d, want %d", r.Index, want)
+		}
+		want++
+		if want == 20 {
+			cancel()
+		}
+	}
+	// The channel closed after cancellation; everything delivered was
+	// an in-order prefix.
+	if want < 20 {
+		t.Fatalf("received %d results before close, want >= 20", want)
+	}
+}
+
+func TestStreamEmpty(t *testing.T) {
+	in := make(chan int)
+	close(in)
+	results := Stream(context.Background(), in, Config{},
+		func(shard, item int) (int, error) { return item, nil })
+	select {
+	case _, ok := <-results:
+		if ok {
+			t.Fatal("unexpected result from empty stream")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("empty stream did not close")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	if w := (Config{}).workers(); w < 1 {
+		t.Fatalf("default workers = %d", w)
+	}
+	if b := (Config{}).buffer(4); b != 8 {
+		t.Fatalf("default buffer = %d, want 8", b)
+	}
+	if w := (Config{Workers: 3}).workers(); w != 3 {
+		t.Fatalf("workers = %d, want 3", w)
+	}
+}

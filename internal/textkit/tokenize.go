@@ -1,8 +1,8 @@
 package textkit
 
 import (
-	"strings"
 	"unicode"
+	"unicode/utf8"
 )
 
 // common western emoticons kept as single tokens because they carry
@@ -25,58 +25,95 @@ var emoticons = map[string]bool{
 //     punctuation-statistics features).
 //
 // Other punctuation is dropped. Tokenize never returns empty tokens.
+//
+// Tokens are substrings of s and alias its backing memory; a
+// retained token keeps the whole input string alive, so callers that
+// store tokens past the lifetime of a large s should clone them.
 func Tokenize(s string) []string {
-	tokens := make([]string, 0, len(s)/5+1)
-	for _, field := range strings.Fields(s) {
-		tokens = appendFieldTokens(tokens, field)
+	return AppendTokenize(make([]string, 0, len(s)/5+1), s)
+}
+
+// AppendTokenize appends the tokens of s to dst and returns the
+// extended slice. It is the allocation-free path for batch
+// processing: callers reuse dst (resliced to [:0]) across posts so
+// the steady state allocates nothing. Tokens are substrings of s, so
+// they alias its backing memory; copy them if they must outlive s.
+func AppendTokenize(dst []string, s string) []string {
+	start := -1
+	for i, r := range s {
+		if unicode.IsSpace(r) {
+			if start >= 0 {
+				dst = appendFieldTokens(dst, s[start:i])
+				start = -1
+			}
+		} else if start < 0 {
+			start = i
+		}
 	}
-	return tokens
+	if start >= 0 {
+		dst = appendFieldTokens(dst, s[start:])
+	}
+	return dst
 }
 
 func appendFieldTokens(tokens []string, field string) []string {
 	if field == "<url>" || field == "<user>" || emoticons[field] {
 		return append(tokens, field)
 	}
-	runes := []rune(field)
 	start := -1
-	flush := func(end int) []string {
+	flush := func(end int) {
 		if start >= 0 && end > start {
-			tokens = append(tokens, string(runes[start:end]))
+			tokens = append(tokens, field[start:end])
 		}
 		start = -1
-		return tokens
 	}
-	for i, r := range runes {
+	for i, r := range field {
 		switch {
 		case unicode.IsLetter(r) || unicode.IsDigit(r):
 			if start < 0 {
 				start = i
 			}
-		case (r == '\'' || r == '-') && start >= 0 && i+1 < len(runes) &&
-			(unicode.IsLetter(runes[i+1]) || unicode.IsDigit(runes[i+1])):
+		case (r == '\'' || r == '-') && start >= 0 && startsAlnum(field[i+1:]):
 			// keep word-internal apostrophes and hyphens
 		case r == '.' || r == '!' || r == '?':
-			tokens = flush(i)
-			tokens = append(tokens, string(r))
+			flush(i)
+			tokens = append(tokens, field[i:i+1])
 		default:
-			tokens = flush(i)
+			flush(i)
 		}
 	}
-	return flush(len(runes))
+	flush(len(field))
+	return tokens
+}
+
+// startsAlnum reports whether s begins with a letter or digit.
+func startsAlnum(s string) bool {
+	r, size := utf8.DecodeRuneInString(s)
+	return size > 0 && (unicode.IsLetter(r) || unicode.IsDigit(r))
 }
 
 // Words tokenizes and keeps only alphanumeric word tokens (drops
 // punctuation tokens and placeholders). It is the convenience path
-// for feature extraction.
+// for feature extraction. Like Tokenize, the returned tokens alias
+// s's backing memory.
 func Words(s string) []string {
-	toks := Tokenize(s)
-	out := toks[:0]
-	for _, t := range toks {
+	return AppendWords(make([]string, 0, len(s)/6+1), s)
+}
+
+// AppendWords appends the word tokens of s to dst and returns the
+// extended slice; like AppendTokenize it reuses dst's capacity so the
+// batch path does not allocate per post.
+func AppendWords(dst []string, s string) []string {
+	n0 := len(dst)
+	dst = AppendTokenize(dst, s)
+	w := n0
+	for _, t := range dst[n0:] {
 		if isWord(t) {
-			out = append(out, t)
+			dst[w] = t
+			w++
 		}
 	}
-	return out
+	return dst[:w]
 }
 
 func isWord(t string) bool {

@@ -1,0 +1,67 @@
+package textkit
+
+import (
+	"reflect"
+	"slices"
+	"testing"
+)
+
+// The append-style tokenizers exist so the batch screening path can
+// reuse one scratch buffer across posts; they must stay byte-for-byte
+// equivalent to Tokenize/Words.
+
+func TestAppendTokenizeMatchesTokenize(t *testing.T) {
+	cases := []string{
+		"",
+		"   ",
+		"i can't sleep... really?!",
+		"<url> and <user> :)",
+		"self-harm risk!!! at 3am",
+		"日本語 mixed with English",
+		"tabs\tand\nnewlines  double  spaces",
+		"trailing space ",
+		"a-b-c a- -b '' 'quoted'",
+	}
+	for _, s := range cases {
+		want := Tokenize(s)
+		got := AppendTokenize(nil, s)
+		if !slices.Equal(got, want) {
+			t.Errorf("AppendTokenize(nil, %q) = %v, want %v", s, got, want)
+		}
+		if gotW, wantW := AppendWords(nil, s), Words(s); !slices.Equal(gotW, wantW) {
+			t.Errorf("AppendWords(nil, %q) = %v, want %v", s, gotW, wantW)
+		}
+	}
+}
+
+func TestAppendTokenizeExtends(t *testing.T) {
+	dst := []string{"pre"}
+	dst = AppendTokenize(dst, "one two")
+	want := []string{"pre", "one", "two"}
+	if !reflect.DeepEqual(dst, want) {
+		t.Fatalf("got %v, want %v", dst, want)
+	}
+}
+
+func TestAppendWordsReusesBuffer(t *testing.T) {
+	buf := make([]string, 0, 64)
+	first := AppendWords(buf, "feeling low again nothing helps")
+	second := AppendWords(first[:0], "really? i mean it !")
+	if &first[:1][0] != &second[:1][0] {
+		t.Fatal("second call did not reuse the buffer's backing array")
+	}
+	if want := Words("really? i mean it !"); !reflect.DeepEqual([]string(second), want) {
+		t.Fatalf("got %v, want %v", second, want)
+	}
+}
+
+func TestAppendWordsAllocFree(t *testing.T) {
+	buf := make([]string, 0, 64)
+	post := "i feel so hopeless and worthless lately, crying every night"
+	allocs := testing.AllocsPerRun(100, func() {
+		buf = AppendWords(buf[:0], post)
+	})
+	if allocs != 0 {
+		t.Errorf("AppendWords allocated %.1f times per post; want 0", allocs)
+	}
+}

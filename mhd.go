@@ -7,7 +7,14 @@
 //
 //   - Detector — the adoption-facing API: screen post text for
 //     mental-health signals across eight conditions, with severity
-//     grading and crisis flagging (see NewDetector).
+//     grading and crisis flagging (see NewDetector). One post at a
+//     time with Screen, or at scale with ScreenBatch (fan a slice of
+//     posts over a bounded worker pool, reports in input order) and
+//     ScreenStream (screen an incoming channel of posts concurrently
+//     while preserving order — the moderation-queue shape). Both are
+//     backed by a sharded pipeline with per-worker scratch state and
+//     a shared Aho-Corasick lexicon automaton, so throughput scales
+//     with GOMAXPROCS.
 //   - RunExperiment / Experiments — regenerate any table or figure
 //     of the survey's evaluation on the built-in synthetic datasets.
 //   - The lower-level building blocks live in internal packages

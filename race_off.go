@@ -1,0 +1,5 @@
+//go:build !race
+
+package mhd
+
+const raceEnabled = false

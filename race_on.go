@@ -1,0 +1,8 @@
+//go:build race
+
+package mhd
+
+// raceEnabled reports whether the race detector instruments this
+// build; wall-clock throughput assertions skip under it because
+// instrumentation serializes the parallel path being measured.
+const raceEnabled = true
