@@ -1,0 +1,129 @@
+// Command mhserve exposes the detector as an online HTTP screening
+// service — the serving shape the paper's workload (continuous
+// moderation of social-media posts with crisis routing) actually
+// needs. Concurrent single-post requests are coalesced into
+// micro-batches through the detector's batch pipeline, repeated posts
+// are answered from a normalized-text result cache, and overload is
+// shed with 429 + Retry-After instead of queueing without bound.
+//
+// Endpoints:
+//
+//	POST /v1/screen        {"text": "..."}        -> one report
+//	POST /v1/screen/batch  {"posts": ["...",...]} -> {"reports": [...]}
+//	POST /v1/assess        {"posts": ["...",...]} -> {"alarm": ..., "posts_read": ...}
+//	GET  /healthz          liveness + uptime + in-flight count
+//	GET  /metrics          Prometheus text format
+//
+// Usage:
+//
+//	mhserve -addr :8080
+//	curl -s localhost:8080/v1/screen -d '{"text":"i feel hopeless lately"}'
+//
+// This is a research tool over synthetic training data; it must not
+// be used to make decisions about real people.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	mhd "repro"
+	"repro/internal/server"
+)
+
+// options collects the flag values; run is kept free of global state
+// so tests can boot the service on an ephemeral port.
+type options struct {
+	addr       string
+	engine     string
+	seed       int64
+	train      int
+	workers    int
+	maxBatch   int
+	batchDelay time.Duration
+	cacheSize  int
+	inflight   int
+	queueWait  time.Duration
+	threshold  float64
+	noAssess   bool
+}
+
+func main() {
+	var opts options
+	flag.StringVar(&opts.addr, "addr", ":8080", "listen address")
+	flag.StringVar(&opts.engine, "engine", "baseline", `detection engine: "baseline" or a model name (see mhbench -list)`)
+	flag.Int64Var(&opts.seed, "seed", 1, "construction seed")
+	flag.IntVar(&opts.train, "train", 2400, "baseline training-set size (ignored by LLM engines)")
+	flag.IntVar(&opts.workers, "workers", 0, "detector worker count (default: GOMAXPROCS)")
+	flag.IntVar(&opts.maxBatch, "max-batch", 64, "coalescer: flush at this many posts")
+	flag.DurationVar(&opts.batchDelay, "batch-delay", 2*time.Millisecond, "coalescer: flush this long after the first post")
+	flag.IntVar(&opts.cacheSize, "cache", 4096, "result-cache capacity in reports (negative disables)")
+	flag.IntVar(&opts.inflight, "inflight", 256, "admission: max concurrently admitted requests")
+	flag.DurationVar(&opts.queueWait, "queue-wait", 0, "admission: how long a request may wait for a slot before 429")
+	flag.Float64Var(&opts.threshold, "assess-threshold", 1.5, "early-risk alarm threshold for /v1/assess")
+	flag.BoolVar(&opts.noAssess, "no-assess", false, "disable /v1/assess (skips monitor training at startup)")
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, opts, nil, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "mhserve:", err)
+		os.Exit(1)
+	}
+}
+
+// run boots the service and blocks until ctx is cancelled, then
+// drains gracefully. The bound address (useful with ":0") is sent on
+// ready when non-nil.
+func run(ctx context.Context, opts options, ready chan<- string, logw io.Writer) error {
+	det, err := mhd.NewDetector(
+		mhd.WithEngine(opts.engine),
+		mhd.WithSeed(opts.seed),
+		mhd.WithTrainingSize(opts.train),
+		mhd.WithWorkers(opts.workers),
+	)
+	if err != nil {
+		return err
+	}
+	var mon server.Assessor
+	if !opts.noAssess {
+		m, err := mhd.NewRiskMonitor(opts.threshold, mhd.WithSeed(opts.seed))
+		if err != nil {
+			return err
+		}
+		mon = m
+	}
+
+	srv := server.New(det, mon, server.Config{
+		MaxBatch:    opts.maxBatch,
+		MaxDelay:    opts.batchDelay,
+		CacheSize:   opts.cacheSize,
+		MaxInFlight: opts.inflight,
+		QueueWait:   opts.queueWait,
+	})
+	addr, errc, err := srv.Start(opts.addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(logw, "mhserve: listening on %s (engine=%s batch=%d/%s cache=%d inflight=%d)\n",
+		addr, opts.engine, opts.maxBatch, opts.batchDelay, opts.cacheSize, opts.inflight)
+	if ready != nil {
+		ready <- addr
+	}
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(logw, "mhserve: draining...")
+	sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	return srv.Shutdown(sctx)
+}

@@ -1,0 +1,310 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	mhd "repro"
+	"repro/internal/server"
+)
+
+// wireReport is the server's exported reply shape — shared so a field
+// tag change breaks this test at compile time, not silently.
+type wireReport = server.WireReport
+
+// bootServer runs the service on an ephemeral port and returns its
+// base URL plus a shutdown func that asserts a clean drain.
+func bootServer(t *testing.T, opts options) (string, func()) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() { done <- run(ctx, opts, ready, io.Discard) }()
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("server exited before ready: %v", err)
+	case <-time.After(60 * time.Second):
+		t.Fatal("server never became ready")
+	}
+	return "http://" + addr, func() {
+		cancel()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Errorf("shutdown: %v", err)
+			}
+		case <-time.After(15 * time.Second):
+			t.Error("shutdown never completed")
+		}
+	}
+}
+
+// postJSONErr is the goroutine-safe transport helper: it returns
+// errors instead of calling t.Fatal, which only Goexits the calling
+// goroutine when used off the test goroutine.
+func postJSONErr(url string, body any) (*http.Response, []byte, error) {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return nil, nil, err
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, nil, err
+	}
+	return resp, out, nil
+}
+
+// postJSON is postJSONErr for the test goroutine only (t.Fatal on
+// transport failure).
+func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	resp, out, err := postJSONErr(url, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, out
+}
+
+// metricValue fetches /metrics and returns the value of the series
+// whose line starts with name followed by a space.
+func metricValue(t *testing.T, base, name string) float64 {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if rest, ok := strings.CutPrefix(line, name+" "); ok {
+			v, err := strconv.ParseFloat(rest, 64)
+			if err != nil {
+				t.Fatalf("parse %s: %v", line, err)
+			}
+			return v
+		}
+	}
+	t.Fatalf("metric %s not found", name)
+	return 0
+}
+
+// TestServeEndToEnd is the acceptance test: boot mhserve on an
+// ephemeral port, drive it concurrently, and assert (a) responses
+// match Detector.Screen, (b) the coalescer formed batches > 1,
+// (c) repeated posts hit the cache, (d) overload sheds with 429.
+func TestServeEndToEnd(t *testing.T) {
+	opts := options{
+		addr:       "127.0.0.1:0",
+		engine:     "baseline",
+		seed:       1,
+		train:      600,
+		maxBatch:   16,
+		batchDelay: 10 * time.Millisecond,
+		cacheSize:  1024,
+		inflight:   8,
+		queueWait:  0,
+		threshold:  1.5,
+	}
+	base, shutdown := bootServer(t, opts)
+	defer shutdown()
+
+	feed := mhd.SampleFeed(64, 7)
+	posts := make([]string, len(feed))
+	for i, p := range feed {
+		posts[i] = p.Text
+	}
+
+	// Phase 1: concurrent single-post requests, 8 client workers so
+	// everything is admitted (inflight=8) while overlapping enough to
+	// coalesce.
+	got := make([]wireReport, len(posts))
+	var wg sync.WaitGroup
+	const clientWorkers = 8
+	for w := 0; w < clientWorkers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(posts); i += clientWorkers {
+				resp, body, err := postJSONErr(base+"/v1/screen", map[string]any{"text": posts[i]})
+				if err != nil {
+					t.Errorf("post %d: %v", i, err)
+					return
+				}
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("post %d: status %d: %s", i, resp.StatusCode, body)
+					return
+				}
+				if err := json.Unmarshal(body, &got[i]); err != nil {
+					t.Errorf("post %d: %v", i, err)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	// (a) Responses match Detector.Screen under identical options.
+	// Confidence is compared with a tiny tolerance: training iterates
+	// sparse feature maps, whose float-accumulation order varies
+	// between two identically-seeded constructions by a few ulps.
+	ref, err := mhd.NewDetector(mhd.WithSeed(opts.seed), mhd.WithTrainingSize(opts.train))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range posts {
+		want, err := ref.Screen(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := got[i]
+		if g.Condition != want.Condition.String() || g.Risk != want.Risk.String() ||
+			g.Crisis != want.Crisis || math.Abs(g.Confidence-want.Confidence) > 1e-9 {
+			t.Errorf("post %d: served %+v, Screen gave cond=%v conf=%v risk=%v crisis=%v",
+				i, g, want.Condition, want.Confidence, want.Risk, want.Crisis)
+		}
+		if len(g.Evidence) != len(want.Evidence) {
+			t.Errorf("post %d: evidence %v != %v", i, g.Evidence, want.Evidence)
+		}
+	}
+
+	// (b) The coalescer formed batches larger than one post.
+	batches := metricValue(t, base, "mh_coalescer_batches_total")
+	batched := metricValue(t, base, "mh_coalescer_batched_posts_total")
+	if batches == 0 || batched <= batches {
+		t.Errorf("coalescing did not happen: %v batches carried %v posts", batches, batched)
+	}
+
+	// (c) Repeated posts are served from the cache.
+	for i := 0; i < 8; i++ {
+		resp, body := postJSON(t, base+"/v1/screen", map[string]any{"text": posts[i]})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("repeat %d: status %d: %s", i, resp.StatusCode, body)
+		}
+		var rep wireReport
+		if err := json.Unmarshal(body, &rep); err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Cached {
+			t.Errorf("repeat %d: expected cached report", i)
+		}
+	}
+	if hits := metricValue(t, base, "mh_cache_hits_total"); hits < 8 {
+		t.Errorf("cache hits = %v, want >= 8", hits)
+	}
+	if ratio := metricValue(t, base, "mh_cache_hit_ratio"); ratio <= 0 {
+		t.Errorf("cache hit ratio = %v, want > 0", ratio)
+	}
+
+	// (d) Overload sheds with 429 + Retry-After instead of queueing.
+	// 60 truly concurrent unique posts against 8 slots, each held for
+	// at least the 10ms coalescer delay, must shed some requests.
+	overload := mhd.SampleFeed(60, 99)
+	var shed int64
+	var mu sync.Mutex
+	start := make(chan struct{})
+	for i := range overload {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			resp, _, err := postJSONErr(base+"/v1/screen",
+				map[string]any{"text": fmt.Sprintf("%s (variant %d)", overload[i].Text, i)})
+			if err != nil {
+				t.Errorf("overload post %d: %v", i, err)
+				return
+			}
+			if resp.StatusCode == http.StatusTooManyRequests {
+				if resp.Header.Get("Retry-After") == "" {
+					t.Error("429 without Retry-After")
+				}
+				mu.Lock()
+				shed++
+				mu.Unlock()
+			}
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+	if shed == 0 {
+		t.Error("overload was not shed: no 429 among 60 concurrent requests against 8 slots")
+	}
+	if rejected := metricValue(t, base, "mh_admission_rejected_total"); rejected == 0 {
+		t.Error("mh_admission_rejected_total = 0 after overload")
+	}
+
+	// The other endpoints respond while the service is loaded.
+	resp, body := postJSON(t, base+"/v1/screen/batch", map[string]any{"posts": posts[:4]})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch: status %d: %s", resp.StatusCode, body)
+	}
+	resp, body = postJSON(t, base+"/v1/assess", map[string]any{"posts": posts[:6]})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("assess: status %d: %s", resp.StatusCode, body)
+	}
+	hr, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr.Body.Close()
+	if hr.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: status %d", hr.StatusCode)
+	}
+}
+
+// TestServeRejectsBadInput covers the 4xx surface without booting a
+// full detector twice: empty text, malformed JSON, wrong method.
+func TestServeRejectsBadInput(t *testing.T) {
+	opts := options{
+		addr: "127.0.0.1:0", engine: "baseline", seed: 1, train: 600,
+		maxBatch: 8, batchDelay: time.Millisecond,
+		cacheSize: 64, inflight: 4, threshold: 1.5, noAssess: true,
+	}
+	base, shutdown := bootServer(t, opts)
+	defer shutdown()
+
+	resp, _ := postJSON(t, base+"/v1/screen", map[string]any{"text": ""})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty text: status %d, want 400", resp.StatusCode)
+	}
+	r2, err := http.Post(base+"/v1/screen", "application/json", strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2.Body.Close()
+	if r2.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed body: status %d, want 400", r2.StatusCode)
+	}
+	r3, err := http.Get(base + "/v1/screen")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r3.Body.Close()
+	if r3.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET screen: status %d, want 405", r3.StatusCode)
+	}
+	r4, _ := postJSON(t, base+"/v1/assess", map[string]any{"posts": []string{"a post"}})
+	if r4.StatusCode != http.StatusNotImplemented {
+		t.Errorf("assess disabled: status %d, want 501", r4.StatusCode)
+	}
+}

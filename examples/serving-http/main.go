@@ -1,0 +1,149 @@
+// Serving-http: a client for the mhserve online screening service
+// that streams a synthetic feed at POST /v1/screen from concurrent
+// workers and honors overload shedding — on 429 it backs off for the
+// server's Retry-After hint and retries, the cooperative half of
+// admission control.
+//
+// Run the server first, then the client:
+//
+//	go run ./cmd/mhserve -addr :8080
+//	go run ./examples/serving-http -addr localhost:8080
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+	"unicode/utf8"
+
+	mhd "repro"
+)
+
+type report struct {
+	Condition string `json:"condition"`
+	Risk      string `json:"risk"`
+	Crisis    bool   `json:"crisis"`
+	Cached    bool   `json:"cached"`
+}
+
+func main() {
+	addr := flag.String("addr", "localhost:8080", "mhserve address")
+	posts := flag.Int("posts", 200, "posts to stream")
+	workers := flag.Int("workers", 16, "concurrent client workers")
+	seed := flag.Int64("seed", 7, "synthetic feed seed")
+	flag.Parse()
+
+	base := "http://" + *addr
+	hr, err := http.Get(base + "/healthz")
+	if err != nil {
+		log.Fatalf("mhserve not reachable at %s (start it with: go run ./cmd/mhserve -addr :8080): %v", *addr, err)
+	}
+	hr.Body.Close()
+
+	feed := mhd.SampleFeed(*posts, *seed)
+	jobs := make(chan string)
+	var screened, cached, crisis, backoffs atomic.Int64
+
+	var wg sync.WaitGroup
+	for w := 0; w < *workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for text := range jobs {
+				rep, retries, err := screenWithBackoff(base, text)
+				if err != nil {
+					log.Printf("screen: %v", err)
+					continue
+				}
+				backoffs.Add(int64(retries))
+				screened.Add(1)
+				if rep.Cached {
+					cached.Add(1)
+				}
+				if rep.Crisis {
+					crisis.Add(1)
+					fmt.Printf("CRISIS %-18s %s\n", rep.Condition+"/"+rep.Risk, clip(text, 60))
+				}
+			}
+		}()
+	}
+
+	start := time.Now()
+	for _, p := range feed {
+		jobs <- p.Text
+	}
+	close(jobs)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	fmt.Printf("\nstreamed %d posts in %v (%.0f posts/sec)\n",
+		screened.Load(), elapsed.Round(time.Millisecond),
+		float64(screened.Load())/elapsed.Seconds())
+	fmt.Printf("cache hits: %d   crisis flagged: %d   429 backoffs honored: %d\n",
+		cached.Load(), crisis.Load(), backoffs.Load())
+}
+
+// screenWithBackoff posts one text, sleeping out each 429 for the
+// server's Retry-After hint before retrying (bounded attempts so a
+// persistently overloaded server still surfaces an error).
+func screenWithBackoff(base, text string) (report, int, error) {
+	body, err := json.Marshal(map[string]string{"text": text})
+	if err != nil {
+		return report{}, 0, err
+	}
+	const maxAttempts = 5
+	for attempt := 0; ; attempt++ {
+		resp, err := http.Post(base+"/v1/screen", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return report{}, attempt, err
+		}
+		out, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return report{}, attempt, err
+		}
+		switch resp.StatusCode {
+		case http.StatusOK:
+			var rep report
+			if err := json.Unmarshal(out, &rep); err != nil {
+				return report{}, attempt, err
+			}
+			return rep, attempt, nil
+		case http.StatusTooManyRequests:
+			if attempt+1 == maxAttempts {
+				return report{}, attempt, fmt.Errorf("still overloaded after %d attempts", maxAttempts)
+			}
+			time.Sleep(retryAfter(resp))
+		default:
+			return report{}, attempt, fmt.Errorf("status %d: %s", resp.StatusCode, out)
+		}
+	}
+}
+
+// retryAfter reads the server's Retry-After hint, falling back to one
+// second when it is missing or malformed.
+func retryAfter(resp *http.Response) time.Duration {
+	if s, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && s > 0 {
+		return time.Duration(s) * time.Second
+	}
+	return time.Second
+}
+
+// clip truncates to at most n bytes on a rune boundary.
+func clip(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	for n > 0 && !utf8.RuneStart(s[n]) {
+		n--
+	}
+	return s[:n] + "…"
+}

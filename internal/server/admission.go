@@ -1,0 +1,63 @@
+package server
+
+import (
+	"context"
+	"time"
+)
+
+// Admission bounds the number of requests doing detector work at
+// once. Overload is shed immediately (or after a short bounded wait)
+// instead of queueing without limit — under sustained overload an
+// unbounded queue only converts every request into a timeout.
+type Admission struct {
+	slots chan struct{}
+	wait  time.Duration
+}
+
+// NewAdmission admits up to max concurrent requests; a request that
+// finds no free slot waits at most wait (0 sheds immediately).
+func NewAdmission(max int, wait time.Duration) *Admission {
+	if max <= 0 {
+		max = 256
+	}
+	return &Admission{slots: make(chan struct{}, max), wait: wait}
+}
+
+// Acquire takes a slot, reporting false when the request should be
+// shed (no slot within the wait budget, or ctx done first).
+func (a *Admission) Acquire(ctx context.Context) bool {
+	select {
+	case a.slots <- struct{}{}:
+		return true
+	default:
+	}
+	if a.wait <= 0 {
+		return false
+	}
+	t := time.NewTimer(a.wait)
+	defer t.Stop()
+	select {
+	case a.slots <- struct{}{}:
+		return true
+	case <-t.C:
+		return false
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// Release frees a slot taken by Acquire.
+func (a *Admission) Release() { <-a.slots }
+
+// InFlight returns the number of currently admitted requests.
+func (a *Admission) InFlight() int { return len(a.slots) }
+
+// RetryAfterSeconds is the hint sent with 429 responses: at least one
+// second, rounded up from the admission wait budget.
+func (a *Admission) RetryAfterSeconds() int {
+	s := int((a.wait + time.Second - 1) / time.Second)
+	if s < 1 {
+		s = 1
+	}
+	return s
+}

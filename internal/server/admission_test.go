@@ -1,0 +1,82 @@
+package server
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestAdmissionBounds(t *testing.T) {
+	a := NewAdmission(2, 0)
+	ctx := context.Background()
+	if !a.Acquire(ctx) || !a.Acquire(ctx) {
+		t.Fatal("first two acquires must succeed")
+	}
+	if a.Acquire(ctx) {
+		t.Fatal("third acquire succeeded past the bound")
+	}
+	if a.InFlight() != 2 {
+		t.Fatalf("InFlight = %d, want 2", a.InFlight())
+	}
+	a.Release()
+	if !a.Acquire(ctx) {
+		t.Fatal("acquire after release failed")
+	}
+	a.Release()
+	a.Release()
+	if a.InFlight() != 0 {
+		t.Fatalf("InFlight = %d, want 0", a.InFlight())
+	}
+}
+
+func TestAdmissionWaitGetsSlot(t *testing.T) {
+	a := NewAdmission(1, 2*time.Second)
+	if !a.Acquire(context.Background()) {
+		t.Fatal("first acquire failed")
+	}
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		a.Release()
+	}()
+	if !a.Acquire(context.Background()) {
+		t.Fatal("waiting acquire did not get the released slot")
+	}
+	a.Release()
+}
+
+func TestAdmissionWaitTimesOut(t *testing.T) {
+	a := NewAdmission(1, 5*time.Millisecond)
+	if !a.Acquire(context.Background()) {
+		t.Fatal("first acquire failed")
+	}
+	if a.Acquire(context.Background()) {
+		t.Fatal("acquire succeeded with no free slot")
+	}
+	a.Release()
+}
+
+func TestAdmissionWaitHonorsContext(t *testing.T) {
+	a := NewAdmission(1, time.Hour)
+	if !a.Acquire(context.Background()) {
+		t.Fatal("first acquire failed")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if a.Acquire(ctx) {
+		t.Fatal("acquire succeeded after ctx expiry")
+	}
+	if time.Since(start) > 10*time.Second {
+		t.Fatal("acquire ignored the context")
+	}
+	a.Release()
+}
+
+func TestAdmissionRetryAfter(t *testing.T) {
+	if s := NewAdmission(1, 0).RetryAfterSeconds(); s != 1 {
+		t.Fatalf("RetryAfterSeconds(0 wait) = %d, want 1", s)
+	}
+	if s := NewAdmission(1, 2500*time.Millisecond).RetryAfterSeconds(); s != 3 {
+		t.Fatalf("RetryAfterSeconds(2.5s wait) = %d, want 3", s)
+	}
+}

@@ -1,0 +1,153 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	mhd "repro"
+)
+
+// BenchmarkScreenServiceThroughput measures end-to-end served
+// requests/sec over real HTTP through the coalescer-backed
+// /v1/screen. The rotating corpus (8192 posts) exceeds the cache
+// (4096 entries) so the headline req/s gates the screening path — a
+// coalescer or detector regression moves it — while every 10th
+// request repeats a 32-post hot set to keep the cache path honest.
+// The figure is also written to BENCH_serve.json at the repo root,
+// recording the serving-bench trajectory across PRs.
+func BenchmarkScreenServiceThroughput(b *testing.B) {
+	det, err := mhd.NewDetector(mhd.WithTrainingSize(600))
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := New(det, nil, Config{
+		MaxBatch:    64,
+		MaxDelay:    500 * time.Microsecond,
+		CacheSize:   4096,
+		MaxInFlight: 4096, // measure throughput, not shedding
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer s.Shutdown(context.Background())
+
+	feed := mhd.SampleFeed(8192, 11)
+	bodies := make([][]byte, len(feed))
+	for i, p := range feed {
+		buf, err := json.Marshal(map[string]string{"text": p.Text})
+		if err != nil {
+			b.Fatal(err)
+		}
+		bodies[i] = buf
+	}
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 256}}
+
+	var seq atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			i := seq.Add(1)
+			body := bodies[int(i)%len(bodies)]
+			if i%10 == 0 { // viral hot set
+				body = bodies[int(i/10)%32]
+			}
+			resp, err := client.Post(ts.URL+"/v1/screen", "application/json", bytes.NewReader(body))
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				b.Errorf("status %d", resp.StatusCode)
+				return
+			}
+		}
+	})
+	b.StopTimer()
+
+	reqPerSec := float64(b.N) / b.Elapsed().Seconds()
+	b.ReportMetric(reqPerSec, "req/s")
+	b.ReportMetric(s.Metrics().CacheHitRatio(), "cache-hit-ratio")
+	writeBenchJSON(b, reqPerSec, s.Metrics())
+}
+
+// writeBenchJSON records the serving benchmark result at the repo
+// root (best effort: benches must not fail on read-only checkouts).
+func writeBenchJSON(b *testing.B, reqPerSec float64, m *Metrics) {
+	root, ok := repoRoot()
+	if !ok {
+		b.Log("repo root not found; skipping BENCH_serve.json")
+		return
+	}
+	out := map[string]any{
+		"benchmark":        "ScreenServiceThroughput",
+		"requests":         b.N,
+		"requests_per_sec": reqPerSec,
+		"p50_seconds":      m.Latency.Quantile(0.5),
+		"p99_seconds":      m.Latency.Quantile(0.99),
+		"cache_hit_ratio":  m.CacheHitRatio(),
+		"gomaxprocs":       runtime.GOMAXPROCS(0),
+	}
+	buf, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	path := filepath.Join(root, "BENCH_serve.json")
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		b.Logf("writing %s: %v", path, err)
+		return
+	}
+	b.Logf("wrote %s (%.0f req/s)", path, reqPerSec)
+}
+
+// repoRoot walks up from the working directory to the go.mod.
+func repoRoot() (string, bool) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", false
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, true
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", false
+		}
+		dir = parent
+	}
+}
+
+// BenchmarkCoalescerSubmit isolates the coalescer + detector path
+// from HTTP: parallel submitters through micro-batches.
+func BenchmarkCoalescerSubmit(b *testing.B) {
+	det, err := mhd.NewDetector(mhd.WithTrainingSize(600))
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := NewCoalescer(det, CoalescerConfig{MaxBatch: 64, MaxDelay: 500 * time.Microsecond})
+	defer c.Close()
+	feed := mhd.SampleFeed(256, 11)
+
+	var seq atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			i := int(seq.Add(1)) % len(feed)
+			if _, err := c.Submit(context.Background(), feed[i].Text); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}

@@ -1,0 +1,138 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+
+	mhd "repro"
+)
+
+// Cache is a sharded LRU of screening results keyed by normalized
+// post text. Moderation traffic is heavy-tailed — viral posts are
+// copied verbatim or near-verbatim thousands of times — so a small
+// cache in front of the coalescer absorbs a large share of load.
+// Sharding keeps lock contention off the hot path; the map key is the
+// full normalized string (not its hash), so colliding hashes can
+// never serve the wrong report.
+//
+// Cached Reports are shared across callers and must be treated as
+// read-only.
+type Cache struct {
+	shards []cacheShard
+}
+
+type cacheShard struct {
+	mu      sync.Mutex
+	cap     int
+	order   *list.List               // front = most recently used
+	entries map[string]*list.Element // value: *cacheEntry
+}
+
+type cacheEntry struct {
+	key string
+	rep mhd.Report
+}
+
+// NewCache builds a cache holding up to capacity reports in total.
+// Capacity <= 0 returns nil, which every method tolerates (a nil
+// *Cache never hits), so callers can disable caching uniformly.
+func NewCache(capacity int) *Cache {
+	nshards := 16
+	if capacity < nshards {
+		nshards = capacity
+	}
+	return newCache(capacity, nshards)
+}
+
+// newCache is NewCache with an explicit shard count, for tests that
+// need deterministic LRU ordering (one shard).
+func newCache(capacity, nshards int) *Cache {
+	if capacity <= 0 {
+		return nil
+	}
+	c := &Cache{shards: make([]cacheShard, nshards)}
+	base, extra := capacity/nshards, capacity%nshards
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.cap = base
+		if i < extra {
+			s.cap++
+		}
+		s.order = list.New()
+		s.entries = make(map[string]*list.Element)
+	}
+	return c
+}
+
+// shard hashes key with inline FNV-1a: a hash.Hash64 would force a
+// []byte copy of the post per lookup on the pre-admission hot path.
+func (c *Cache) shard(key string) *cacheShard {
+	const offset64, prime64 = 14695981039346656037, 1099511628211
+	h := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return &c.shards[h%uint64(len(c.shards))]
+}
+
+// Get returns the cached report for key and refreshes its recency.
+func (c *Cache) Get(key string) (mhd.Report, bool) {
+	if c == nil {
+		return mhd.Report{}, false
+	}
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.entries[key]
+	if !ok {
+		return mhd.Report{}, false
+	}
+	s.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).rep, true
+}
+
+// maxEntryBytes bounds the key text one cache entry may retain.
+// Capacity is counted in entries, so without this cap a client
+// posting distinct maximum-size bodies controls cache memory
+// (4096 entries x ~1MB texts). Viral posts — the traffic the cache
+// exists for — are far below this bound.
+const maxEntryBytes = 64 << 10
+
+// Put stores the report under key, evicting the least recently used
+// entry of the key's shard when that shard is full. Oversized keys
+// are not cached (see maxEntryBytes).
+func (c *Cache) Put(key string, rep mhd.Report) {
+	if c == nil || len(key) > maxEntryBytes {
+		return
+	}
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.entries[key]; ok {
+		el.Value.(*cacheEntry).rep = rep
+		s.order.MoveToFront(el)
+		return
+	}
+	if s.order.Len() >= s.cap {
+		oldest := s.order.Back()
+		s.order.Remove(oldest)
+		delete(s.entries, oldest.Value.(*cacheEntry).key)
+	}
+	s.entries[key] = s.order.PushFront(&cacheEntry{key: key, rep: rep})
+}
+
+// Len returns the number of cached reports across all shards.
+func (c *Cache) Len() int {
+	if c == nil {
+		return 0
+	}
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += s.order.Len()
+		s.mu.Unlock()
+	}
+	return n
+}

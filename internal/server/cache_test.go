@@ -1,0 +1,126 @@
+package server
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	mhd "repro"
+)
+
+func rep(conf float64) mhd.Report {
+	return mhd.Report{Condition: mhd.Control, Confidence: conf}
+}
+
+func TestCacheRoundTrip(t *testing.T) {
+	c := NewCache(64)
+	if _, ok := c.Get("missing"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put("k", rep(0.7))
+	got, ok := c.Get("k")
+	if !ok || got.Confidence != 0.7 {
+		t.Fatalf("Get = %v, %v", got, ok)
+	}
+	c.Put("k", rep(0.9)) // overwrite, no growth
+	if got, _ := c.Get("k"); got.Confidence != 0.9 {
+		t.Fatalf("overwrite lost: %v", got)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c.Len())
+	}
+}
+
+func TestCacheCapacityOneEvicts(t *testing.T) {
+	c := NewCache(1)
+	c.Put("a", rep(1))
+	c.Put("b", rep(2))
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("a survived eviction in a capacity-1 cache")
+	}
+	if got, ok := c.Get("b"); !ok || got.Confidence != 2 {
+		t.Fatalf("b missing after eviction: %v, %v", got, ok)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c.Len())
+	}
+}
+
+func TestCacheLRUOrder(t *testing.T) {
+	c := newCache(2, 1) // one shard so recency order is global
+	c.Put("a", rep(1))
+	c.Put("b", rep(2))
+	c.Get("a")         // refresh a; b is now least recently used
+	c.Put("c", rep(3)) // evicts b
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b should have been evicted (LRU)")
+	}
+	for _, k := range []string{"a", "c"} {
+		if _, ok := c.Get(k); !ok {
+			t.Fatalf("%s evicted unexpectedly", k)
+		}
+	}
+}
+
+func TestCacheCapacityBound(t *testing.T) {
+	const capacity = 37
+	c := NewCache(capacity)
+	for i := 0; i < 10*capacity; i++ {
+		c.Put(fmt.Sprintf("key-%d", i), rep(float64(i)))
+	}
+	if n := c.Len(); n > capacity {
+		t.Fatalf("Len = %d exceeds capacity %d", n, capacity)
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	for _, capacity := range []int{0, -1} {
+		c := NewCache(capacity)
+		if c != nil {
+			t.Fatalf("NewCache(%d) != nil", capacity)
+		}
+		c.Put("k", rep(1)) // must not panic
+		if _, ok := c.Get("k"); ok {
+			t.Fatal("nil cache hit")
+		}
+		if c.Len() != 0 {
+			t.Fatal("nil cache Len != 0")
+		}
+	}
+}
+
+func TestCacheSkipsOversizedEntries(t *testing.T) {
+	c := NewCache(8)
+	big := strings.Repeat("a", maxEntryBytes+1)
+	c.Put(big, rep(1))
+	if _, ok := c.Get(big); ok {
+		t.Fatal("oversized entry was cached")
+	}
+	if c.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", c.Len())
+	}
+}
+
+func TestCacheConcurrent(t *testing.T) {
+	c := NewCache(128)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := fmt.Sprintf("key-%d", i%200)
+				if i%3 == 0 {
+					c.Put(k, rep(float64(i)))
+				} else {
+					c.Get(k)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if n := c.Len(); n > 128 {
+		t.Fatalf("Len = %d exceeds capacity", n)
+	}
+}

@@ -1,0 +1,247 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	mhd "repro"
+)
+
+// Screener is the detector surface the serving layer needs;
+// *mhd.Detector satisfies it. Screen is the per-post fallback used to
+// isolate a failing post from its batch neighbors.
+type Screener interface {
+	Screen(text string) (mhd.Report, error)
+	ScreenBatchContext(ctx context.Context, texts []string) ([]mhd.Report, error)
+}
+
+// ErrShuttingDown is returned by Coalescer.Submit once Close has been
+// called.
+var ErrShuttingDown = errors.New("server: shutting down")
+
+// CoalescerConfig bounds a Coalescer.
+type CoalescerConfig struct {
+	// MaxBatch flushes a batch as soon as it holds this many posts
+	// (default 64).
+	MaxBatch int
+	// MaxDelay flushes a non-empty batch this long after its first
+	// post arrived, bounding the latency cost of batching
+	// (default 2ms).
+	MaxDelay time.Duration
+	// OnBatch, when set, observes every flush with its size.
+	OnBatch func(size int)
+}
+
+func (c CoalescerConfig) maxBatch() int {
+	if c.MaxBatch > 0 {
+		return c.MaxBatch
+	}
+	return 64
+}
+
+func (c CoalescerConfig) maxDelay() time.Duration {
+	if c.MaxDelay > 0 {
+		return c.MaxDelay
+	}
+	return 2 * time.Millisecond
+}
+
+// Coalescer turns concurrent single-post Submit calls into
+// micro-batches through Screener.ScreenBatchContext — the
+// dynamic-batching shape every model-serving stack uses. A batch is
+// flushed when it reaches MaxBatch posts or MaxDelay after its first
+// post arrived, whichever comes first, so a lone request pays at most
+// MaxDelay of extra latency while a burst is screened at offline
+// batch throughput.
+type Coalescer struct {
+	cfg    CoalescerConfig
+	det    Screener
+	submit chan *pending
+	quit   chan struct{}      // closed by Close: no new submissions
+	qclose sync.Once          // makes Close/CloseContext idempotent
+	done   chan struct{}      // closed when the loop has fully drained
+	base   context.Context    // governs batch execution lifetime
+	cancel context.CancelFunc // aborts batch execution on Close timeout
+}
+
+type pending struct {
+	text string
+	ch   chan outcome // buffered: the batch runner never blocks on it
+}
+
+type outcome struct {
+	rep mhd.Report
+	err error
+}
+
+// NewCoalescer starts a coalescer over det. Callers must Close it to
+// release its goroutine.
+func NewCoalescer(det Screener, cfg CoalescerConfig) *Coalescer {
+	base, cancel := context.WithCancel(context.Background())
+	c := &Coalescer{
+		cfg:    cfg,
+		det:    det,
+		submit: make(chan *pending),
+		quit:   make(chan struct{}),
+		done:   make(chan struct{}),
+		base:   base,
+		cancel: cancel,
+	}
+	go c.loop()
+	return c
+}
+
+// Submit enqueues one post and blocks until its report is ready, ctx
+// is done, or the coalescer is shutting down. The request context
+// only governs the wait: a batch already dispatched keeps computing
+// for its other waiters even if this caller gives up.
+func (c *Coalescer) Submit(ctx context.Context, text string) (mhd.Report, error) {
+	p := &pending{text: text, ch: make(chan outcome, 1)}
+	select {
+	case c.submit <- p:
+	case <-ctx.Done():
+		return mhd.Report{}, ctx.Err()
+	case <-c.quit:
+		return mhd.Report{}, ErrShuttingDown
+	}
+	select {
+	case out := <-p.ch:
+		return out.rep, out.err
+	case <-ctx.Done():
+		return mhd.Report{}, ctx.Err()
+	}
+}
+
+// Close stops accepting new posts, flushes whatever is pending, and
+// waits for every in-flight batch to deliver — the graceful-drain
+// half of server shutdown. Safe to call repeatedly.
+func (c *Coalescer) Close() { c.CloseContext(context.Background()) }
+
+// CloseContext is Close with a drain budget: when ctx expires before
+// the drain completes, in-flight batch execution is aborted (each
+// stalled waiter receives ErrShuttingDown) and the ctx error is
+// returned.
+func (c *Coalescer) CloseContext(ctx context.Context) error {
+	c.qclose.Do(func() { close(c.quit) })
+	select {
+	case <-c.done:
+		c.cancel()
+		return nil
+	case <-ctx.Done():
+		c.cancel() // abort in-flight ScreenBatchContext calls
+		<-c.done   // runners now unwind promptly
+		return ctx.Err()
+	}
+}
+
+// loop is the single batching goroutine: it owns the current batch,
+// its deadline timer, and the in-flight runner WaitGroup, so no locks
+// are needed.
+func (c *Coalescer) loop() {
+	defer close(c.done)
+	var (
+		batch    []*pending
+		timer    *time.Timer
+		timerC   <-chan time.Time
+		inflight sync.WaitGroup // dispatched batch runners
+	)
+	flush := func() {
+		if timer != nil {
+			timer.Stop()
+			timer, timerC = nil, nil
+		}
+		if len(batch) == 0 {
+			return
+		}
+		b := batch
+		batch = nil
+		inflight.Add(1)
+		go func() {
+			defer inflight.Done()
+			c.run(b)
+		}()
+	}
+	for {
+		select {
+		case p := <-c.submit:
+			batch = append(batch, p)
+			if len(batch) == 1 {
+				timer = time.NewTimer(c.cfg.maxDelay())
+				timerC = timer.C
+			}
+			if len(batch) >= c.cfg.maxBatch() {
+				flush()
+			}
+		case <-timerC:
+			timer, timerC = nil, nil
+			flush()
+		case <-c.quit:
+			// Serve submissions that already won the send race, then
+			// flush and wait for every runner to deliver.
+			for {
+				select {
+				case p := <-c.submit:
+					batch = append(batch, p)
+					if len(batch) >= c.cfg.maxBatch() {
+						flush()
+					}
+				default:
+					flush()
+					inflight.Wait()
+					return
+				}
+			}
+		}
+	}
+}
+
+// run screens one flushed batch and delivers each waiter's outcome.
+// Identical texts are screened once and fanned out — a concurrent
+// burst of one viral post (nothing cached yet) costs one screening,
+// not one per waiter. A batch-level error falls back to screening
+// each post individually so one bad post cannot fail its neighbors.
+func (c *Coalescer) run(b []*pending) {
+	if c.cfg.OnBatch != nil {
+		c.cfg.OnBatch(len(b))
+	}
+	idx := make(map[string]int, len(b)) // text -> position in texts
+	texts := make([]string, 0, len(b))
+	pos := make([]int, len(b)) // waiter i -> texts index
+	for i, p := range b {
+		j, ok := idx[p.text]
+		if !ok {
+			j = len(texts)
+			idx[p.text] = j
+			texts = append(texts, p.text)
+		}
+		pos[i] = j
+	}
+	reps, err := c.det.ScreenBatchContext(c.base, texts)
+	if err == nil {
+		for i, p := range b {
+			p.ch <- outcome{rep: reps[pos[i]]}
+		}
+		return
+	}
+	if c.base.Err() != nil {
+		// Shutdown abort: don't fall back per post, just unwind.
+		// Waiters see ErrShuttingDown (503), not a raw cancellation
+		// that screenErrCode would blame on the client (400).
+		for _, p := range b {
+			p.ch <- outcome{err: ErrShuttingDown}
+		}
+		return
+	}
+	for _, p := range b {
+		// Re-check between posts so a shutdown abort bounds the
+		// fallback loop too, not just the batch call.
+		if c.base.Err() != nil {
+			p.ch <- outcome{err: ErrShuttingDown}
+			continue
+		}
+		rep, perr := c.det.Screen(p.text)
+		p.ch <- outcome{rep: rep, err: perr}
+	}
+}

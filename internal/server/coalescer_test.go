@@ -1,0 +1,309 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	mhd "repro"
+)
+
+// fakeScreener records batches and answers with Confidence =
+// len(text) so each waiter's result is distinguishable. Posts equal
+// to failText error; when failBatch is set the batch call fails
+// wholesale (forcing the per-post fallback). A non-nil gate blocks
+// every batch call until the channel is closed, with entered
+// signalling each arrival — tests use the pair to hold an admission
+// slot deterministically.
+type fakeScreener struct {
+	mu        sync.Mutex
+	batches   [][]string
+	failText  string
+	failBatch bool
+	delay     time.Duration
+	gate      chan struct{}
+	entered   chan struct{}
+}
+
+func (f *fakeScreener) Screen(text string) (mhd.Report, error) {
+	if text == f.failText {
+		return mhd.Report{}, fmt.Errorf("bad post %q", text)
+	}
+	return mhd.Report{Condition: mhd.Control, Confidence: float64(len(text))}, nil
+}
+
+func (f *fakeScreener) ScreenBatchContext(ctx context.Context, texts []string) ([]mhd.Report, error) {
+	f.mu.Lock()
+	f.batches = append(f.batches, append([]string(nil), texts...))
+	f.mu.Unlock()
+	if f.entered != nil {
+		select {
+		case f.entered <- struct{}{}:
+		default:
+		}
+	}
+	if f.gate != nil {
+		select {
+		case <-f.gate:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	if f.delay > 0 {
+		select {
+		case <-time.After(f.delay):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	out := make([]mhd.Report, len(texts))
+	for i, t := range texts {
+		if f.failBatch || t == f.failText {
+			return nil, fmt.Errorf("batch failed at %d", i)
+		}
+		out[i] = mhd.Report{Condition: mhd.Control, Confidence: float64(len(t))}
+	}
+	return out, nil
+}
+
+func (f *fakeScreener) batchSizes() []int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	sizes := make([]int, len(f.batches))
+	for i, b := range f.batches {
+		sizes[i] = len(b)
+	}
+	return sizes
+}
+
+func TestCoalescerFlushOnSize(t *testing.T) {
+	f := &fakeScreener{}
+	// MaxDelay is huge: only the size trigger can flush.
+	c := NewCoalescer(f, CoalescerConfig{MaxBatch: 4, MaxDelay: time.Hour})
+	defer c.Close()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			text := fmt.Sprintf("%0*d", i+1, 0) // lengths 1..4
+			rep, err := c.Submit(context.Background(), text)
+			if err != nil {
+				t.Errorf("submit %d: %v", i, err)
+				return
+			}
+			if rep.Confidence != float64(len(text)) {
+				t.Errorf("submit %d: got confidence %v, want %d (wrong waiter's report?)",
+					i, rep.Confidence, len(text))
+			}
+		}(i)
+	}
+	wg.Wait()
+	if sizes := f.batchSizes(); len(sizes) != 1 || sizes[0] != 4 {
+		t.Fatalf("batch sizes = %v, want [4]", sizes)
+	}
+}
+
+func TestCoalescerFlushOnDeadlineSingleWaiter(t *testing.T) {
+	f := &fakeScreener{}
+	c := NewCoalescer(f, CoalescerConfig{MaxBatch: 1000, MaxDelay: 10 * time.Millisecond})
+	defer c.Close()
+
+	start := time.Now()
+	rep, err := c.Submit(context.Background(), "lonely post")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Confidence != float64(len("lonely post")) {
+		t.Fatalf("wrong report: %v", rep)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("deadline flush took %v", elapsed)
+	}
+	if sizes := f.batchSizes(); len(sizes) != 1 || sizes[0] != 1 {
+		t.Fatalf("batch sizes = %v, want [1]", sizes)
+	}
+}
+
+func TestCoalescerDedupesIdenticalTexts(t *testing.T) {
+	// Four concurrent submits of one viral post: the screener must
+	// see a single text, every waiter its report.
+	f := &fakeScreener{}
+	c := NewCoalescer(f, CoalescerConfig{MaxBatch: 4, MaxDelay: time.Hour})
+	defer c.Close()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rep, err := c.Submit(context.Background(), "viral post")
+			if err != nil {
+				t.Errorf("submit: %v", err)
+				return
+			}
+			if rep.Confidence != float64(len("viral post")) {
+				t.Errorf("confidence %v, want %d", rep.Confidence, len("viral post"))
+			}
+		}()
+	}
+	wg.Wait()
+	if sizes := f.batchSizes(); len(sizes) != 1 || sizes[0] != 1 {
+		t.Fatalf("screener saw batches %v, want [1] (identical texts deduped)", sizes)
+	}
+}
+
+func TestCoalescerErrorIsolation(t *testing.T) {
+	// One poisoned post fails the batch call; the fallback screens
+	// each post individually so only the poisoned waiter errors.
+	f := &fakeScreener{failText: "poison"}
+	c := NewCoalescer(f, CoalescerConfig{MaxBatch: 3, MaxDelay: time.Hour})
+	defer c.Close()
+
+	texts := []string{"ok one", "poison", "ok three"}
+	errs := make([]error, len(texts))
+	reps := make([]mhd.Report, len(texts))
+	var wg sync.WaitGroup
+	for i, text := range texts {
+		wg.Add(1)
+		go func(i int, text string) {
+			defer wg.Done()
+			reps[i], errs[i] = c.Submit(context.Background(), text)
+		}(i, text)
+	}
+	wg.Wait()
+	if errs[1] == nil {
+		t.Fatal("poisoned post did not error")
+	}
+	for _, i := range []int{0, 2} {
+		if errs[i] != nil {
+			t.Fatalf("post %d failed alongside its poisoned neighbor: %v", i, errs[i])
+		}
+		if reps[i].Confidence != float64(len(texts[i])) {
+			t.Fatalf("post %d: wrong report %v", i, reps[i])
+		}
+	}
+}
+
+func TestCoalescerSubmitHonorsContext(t *testing.T) {
+	f := &fakeScreener{}
+	c := NewCoalescer(f, CoalescerConfig{MaxBatch: 1000, MaxDelay: time.Hour})
+	defer c.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	_, err := c.Submit(ctx, "waits forever")
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+}
+
+func TestCoalescerCloseDrainsInFlight(t *testing.T) {
+	// A slow batch is in flight when Close is called: Close must wait
+	// for it and the waiter must still receive its report.
+	f := &fakeScreener{delay: 50 * time.Millisecond}
+	c := NewCoalescer(f, CoalescerConfig{MaxBatch: 1, MaxDelay: time.Millisecond})
+
+	type result struct {
+		rep mhd.Report
+		err error
+	}
+	res := make(chan result, 1)
+	go func() {
+		rep, err := c.Submit(context.Background(), "in flight")
+		res <- result{rep, err}
+	}()
+	time.Sleep(10 * time.Millisecond) // let the batch dispatch
+	c.Close()
+	select {
+	case r := <-res:
+		if r.err != nil {
+			t.Fatalf("in-flight submit failed across Close: %v", r.err)
+		}
+		if r.rep.Confidence != float64(len("in flight")) {
+			t.Fatalf("wrong report: %v", r.rep)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("in-flight submit never completed")
+	}
+
+	if _, err := c.Submit(context.Background(), "too late"); !errors.Is(err, ErrShuttingDown) {
+		t.Fatalf("submit after Close = %v, want ErrShuttingDown", err)
+	}
+}
+
+func TestCoalescerCloseContextAbortsStalledBatch(t *testing.T) {
+	// The gate is never opened: the batch stalls inside the screener
+	// until CloseContext's budget expires and aborts it via base ctx.
+	f := &fakeScreener{gate: make(chan struct{}), entered: make(chan struct{}, 1)}
+	c := NewCoalescer(f, CoalescerConfig{MaxBatch: 1, MaxDelay: time.Millisecond})
+
+	errs := make(chan error, 1)
+	go func() {
+		_, err := c.Submit(context.Background(), "stalled")
+		errs <- err
+	}()
+	<-f.entered // the batch is stalled inside the screener
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := c.CloseContext(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("CloseContext = %v, want deadline exceeded", err)
+	}
+	select {
+	case err := <-errs:
+		if !errors.Is(err, ErrShuttingDown) {
+			t.Fatalf("stalled waiter got %v after abort, want ErrShuttingDown", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("stalled waiter never unwound after CloseContext abort")
+	}
+	// Close is idempotent: a second call (e.g. defer + signal path)
+	// must not panic.
+	c.Close()
+}
+
+func TestCoalescerConcurrentSubmits(t *testing.T) {
+	f := &fakeScreener{}
+	var carried atomic.Int64 // waiters per flush, via the OnBatch hook
+	onBatch := func(n int) { carried.Add(int64(n)) }
+	c := NewCoalescer(f, CoalescerConfig{MaxBatch: 8, MaxDelay: time.Millisecond, OnBatch: onBatch})
+	defer c.Close()
+
+	var wg sync.WaitGroup
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				text := fmt.Sprintf("%0*d", (w*25+i)%40+1, 0)
+				rep, err := c.Submit(context.Background(), text)
+				if err != nil {
+					t.Errorf("submit: %v", err)
+					return
+				}
+				if rep.Confidence != float64(len(text)) {
+					t.Errorf("got confidence %v, want %d: cross-delivered report", rep.Confidence, len(text))
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	for _, n := range f.batchSizes() {
+		if n > 8 {
+			t.Fatalf("batch of %d exceeds MaxBatch 8", n)
+		}
+	}
+	// Screener-side sizes may undercount (identical texts dedupe), so
+	// account for waiters through the OnBatch hook.
+	if carried.Load() != 16*25 {
+		t.Fatalf("flushes carried %d waiters, want %d", carried.Load(), 16*25)
+	}
+}

@@ -1,0 +1,323 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	mhd "repro"
+	"repro/internal/textkit"
+)
+
+// maxBodyBytes bounds request bodies; posts are social-media sized.
+const maxBodyBytes = 1 << 20
+
+// maxBatchPosts bounds how many posts one /v1/screen/batch or
+// /v1/assess request may carry, so a single request cannot occupy
+// the detector arbitrarily long while holding one admission slot.
+const maxBatchPosts = 1024
+
+// WireReport is the JSON wire format of one screening result, the
+// same shape cmd/mhscreen emits so downstream consumers can share a
+// decoder.
+type WireReport struct {
+	Condition  string             `json:"condition"`
+	Confidence float64            `json:"confidence"`
+	Risk       string             `json:"risk"`
+	Crisis     bool               `json:"crisis"`
+	Evidence   []string           `json:"evidence,omitempty"`
+	Scores     map[string]float64 `json:"scores,omitempty"`
+	// Cached marks a report served from the result cache.
+	Cached bool `json:"cached,omitempty"`
+}
+
+func toWire(rep mhd.Report, withScores, cached bool) WireReport {
+	w := WireReport{
+		Condition:  rep.Condition.String(),
+		Confidence: rep.Confidence,
+		Risk:       rep.Risk.String(),
+		Crisis:     rep.Crisis,
+		Evidence:   rep.Evidence,
+		Cached:     cached,
+	}
+	if withScores {
+		w.Scores = rep.Scores
+	}
+	return w
+}
+
+// screenRequest is the /v1/screen request body.
+type screenRequest struct {
+	Text string `json:"text"`
+	// Scores includes the full per-condition score map in the reply.
+	Scores bool `json:"scores,omitempty"`
+}
+
+// batchRequest is the /v1/screen/batch and /v1/assess request body.
+type batchRequest struct {
+	Posts  []string `json:"posts"`
+	Scores bool     `json:"scores,omitempty"`
+}
+
+// batchResponse is the /v1/screen/batch reply.
+type batchResponse struct {
+	Reports []WireReport `json:"reports"`
+}
+
+// assessResponse is the /v1/assess reply.
+type assessResponse struct {
+	Alarm bool `json:"alarm"`
+	// PostsRead is how many posts the monitor consumed before
+	// deciding (len(posts) when no alarm fired).
+	PostsRead int `json:"posts_read"`
+}
+
+// errorResponse is the JSON error envelope.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, errorResponse{Error: msg})
+}
+
+// decodeBody decodes a JSON body into v with a size cap, rejecting
+// unknown fields so client typos fail loudly. On failure it writes
+// the error response (413 for oversized bodies, 400 otherwise) and
+// reports false.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	err := dec.Decode(v)
+	if err == nil {
+		return true
+	}
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("request body exceeds %d bytes", mbe.Limit))
+		return false
+	}
+	writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+	return false
+}
+
+// decodeBatchRequest decodes and validates a batch-shaped body for
+// /v1/screen/batch and /v1/assess — non-empty, bounded, no empty
+// posts — writing the error response itself on failure.
+func decodeBatchRequest(w http.ResponseWriter, r *http.Request) (batchRequest, bool) {
+	var req batchRequest
+	if !decodeBody(w, r, &req) {
+		return req, false
+	}
+	if len(req.Posts) == 0 {
+		writeError(w, http.StatusBadRequest, "empty posts")
+		return req, false
+	}
+	if len(req.Posts) > maxBatchPosts {
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("too many posts (%d > %d)", len(req.Posts), maxBatchPosts))
+		return req, false
+	}
+	for i, p := range req.Posts {
+		if p == "" {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("empty post at index %d", i))
+			return req, false
+		}
+	}
+	return req, true
+}
+
+// shed writes the 429 overload reply with its Retry-After hint.
+func (s *Server) shed(w http.ResponseWriter) {
+	s.metrics.Shed.Inc()
+	w.Header().Set("Retry-After", strconv.Itoa(s.adm.RetryAfterSeconds()))
+	writeError(w, http.StatusTooManyRequests, "overloaded, retry later")
+}
+
+// screenErrCode maps a screening error to an HTTP status.
+func screenErrCode(err error) int {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		// Client went away; the code is moot but keep the class right.
+		return http.StatusBadRequest
+	case errors.Is(err, ErrShuttingDown):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// handleScreen serves POST /v1/screen: one post in, one report out.
+// Cache hits are answered before admission control, so repeated viral
+// posts cost nothing even under overload; misses take an admission
+// slot and ride the coalescer into a micro-batch.
+func (s *Server) handleScreen(w http.ResponseWriter, r *http.Request) {
+	var req screenRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.Text == "" {
+		writeError(w, http.StatusBadRequest, "empty post text")
+		return
+	}
+	// The cache key is safe across engines: every predict path flows
+	// through textkit.Normalize (baseline featurize, the sim-LLM
+	// client, the exemplar selectors' embeddings) as do risk grading
+	// and evidence, so normalization-equal posts yield identical
+	// reports.
+	key := textkit.Normalize(req.Text)
+	if rep, ok := s.cache.Get(key); ok {
+		s.metrics.CacheHits.Inc()
+		writeJSON(w, http.StatusOK, toWire(rep, req.Scores, true))
+		return
+	}
+	s.metrics.CacheMisses.Inc()
+
+	if !s.adm.Acquire(r.Context()) {
+		s.shed(w)
+		return
+	}
+	defer s.adm.Release()
+
+	rep, err := s.coal.Submit(r.Context(), req.Text)
+	if err != nil {
+		writeError(w, screenErrCode(err), err.Error())
+		return
+	}
+	s.cache.Put(key, rep)
+	writeJSON(w, http.StatusOK, toWire(rep, req.Scores, false))
+}
+
+// handleScreenBatch serves POST /v1/screen/batch: the posts already
+// arrive batched, so they skip the coalescer and fan straight through
+// ScreenBatch; per-post cache lookups still shortcut repeats.
+func (s *Server) handleScreenBatch(w http.ResponseWriter, r *http.Request) {
+	req, ok := decodeBatchRequest(w, r)
+	if !ok {
+		return
+	}
+
+	// Misses are deduped by normalized key so a batch carrying the
+	// same viral post many times screens it once and fans the report
+	// out to every position.
+	keys := make([]string, len(req.Posts))
+	out := make([]WireReport, len(req.Posts))
+	missIdx := make(map[string][]int) // normalized key -> positions
+	var missKeys, missTexts []string
+	for i, p := range req.Posts {
+		keys[i] = textkit.Normalize(p)
+		if rep, ok := s.cache.Get(keys[i]); ok {
+			s.metrics.CacheHits.Inc()
+			out[i] = toWire(rep, req.Scores, true)
+			continue
+		}
+		s.metrics.CacheMisses.Inc()
+		if _, seen := missIdx[keys[i]]; !seen {
+			missKeys = append(missKeys, keys[i])
+			missTexts = append(missTexts, p)
+		}
+		missIdx[keys[i]] = append(missIdx[keys[i]], i)
+	}
+
+	if len(missTexts) > 0 {
+		if !s.adm.Acquire(r.Context()) {
+			s.shed(w)
+			return
+		}
+		defer s.adm.Release()
+
+		reps, err := s.det.ScreenBatchContext(r.Context(), missTexts)
+		if err != nil {
+			if r.Context().Err() != nil {
+				writeError(w, screenErrCode(err), err.Error())
+				return
+			}
+			// The batch error's post index points into the internal
+			// deduped miss slice, meaningless to the client. Re-screen
+			// individually to isolate the failure and blame the
+			// client's own index for it.
+			reps = make([]mhd.Report, len(missTexts))
+			for j, text := range missTexts {
+				// Re-check between posts: a gone client must not pin
+				// an admission slot for up to 1024 Screen calls.
+				if cerr := r.Context().Err(); cerr != nil {
+					writeError(w, screenErrCode(cerr), cerr.Error())
+					return
+				}
+				rep, perr := s.det.Screen(text)
+				if perr != nil {
+					writeError(w, screenErrCode(perr),
+						fmt.Sprintf("post %d: %v", missIdx[missKeys[j]][0], perr))
+					return
+				}
+				reps[j] = rep
+			}
+		}
+		for j, key := range missKeys {
+			s.cache.Put(key, reps[j])
+			for _, i := range missIdx[key] {
+				out[i] = toWire(reps[j], req.Scores, false)
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, batchResponse{Reports: out})
+}
+
+// handleAssess serves POST /v1/assess: an ordered user history in,
+// an early-risk alarm decision out.
+func (s *Server) handleAssess(w http.ResponseWriter, r *http.Request) {
+	if s.mon == nil {
+		writeError(w, http.StatusNotImplemented, "early-risk assessment not enabled")
+		return
+	}
+	req, ok := decodeBatchRequest(w, r)
+	if !ok {
+		return
+	}
+	if !s.adm.Acquire(r.Context()) {
+		s.shed(w)
+		return
+	}
+	defer s.adm.Release()
+
+	alarm, delay, err := s.mon.Assess(req.Posts)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, assessResponse{Alarm: alarm, PostsRead: delay})
+}
+
+// handleHealthz serves GET /healthz.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"uptime_seconds": time.Since(s.start).Seconds(),
+		"inflight":       s.adm.InFlight(),
+		"cache_entries":  s.cache.Len(),
+	})
+}
+
+// handleMetrics serves GET /metrics in Prometheus text format. The
+// queue-depth gauge is snapshotted from admission control at scrape
+// time — Admission.InFlight is the single source of truth, shared
+// with /healthz.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.metrics.QueueDepth.Set(int64(s.adm.InFlight()))
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.WriteTo(w)
+}

@@ -1,0 +1,266 @@
+// Package server is the online serving subsystem: an HTTP JSON API
+// over the detector with a request coalescer (concurrent single-post
+// requests are micro-batched through ScreenBatch so online throughput
+// matches the offline pipeline), a sharded LRU result cache keyed by
+// normalized text (repeated/viral posts are the common case in
+// moderation traffic), and admission control (bounded in-flight work,
+// 429 + Retry-After on overload, graceful drain on shutdown).
+// Operational state is exposed on /metrics in Prometheus text format
+// with no external dependencies.
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric, safe for concurrent
+// use.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be >= 0 to keep the counter monotonic).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down, safe for concurrent
+// use.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add moves the gauge by n (negative to decrease).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram counts observations into cumulative buckets with fixed
+// upper bounds, Prometheus-style (an implicit +Inf bucket catches the
+// tail). Safe for concurrent use.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64 // sorted upper bounds, exclusive of +Inf
+	counts []int64   // len(bounds)+1; last is the +Inf bucket
+	sum    float64
+	count  int64
+}
+
+// NewHistogram builds a histogram over the given upper bounds (they
+// are sorted defensively; the +Inf bucket is implicit).
+func NewHistogram(bounds ...float64) *Histogram {
+	bs := append([]float64(nil), bounds...)
+	sort.Float64s(bs)
+	return &Histogram{bounds: bs, counts: make([]int64, len(bs)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.mu.Lock()
+	h.counts[i]++
+	h.sum += v
+	h.count++
+	h.mu.Unlock()
+}
+
+// snapshot returns a consistent copy of the histogram state.
+func (h *Histogram) snapshot() (counts []int64, sum float64, count int64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]int64(nil), h.counts...), h.sum, h.count
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Quantile estimates the q-th quantile (0 < q < 1) by linear
+// interpolation inside the bucket that contains it, the same estimate
+// Prometheus' histogram_quantile computes. Observations landing in
+// the +Inf bucket are attributed to the largest finite bound. Returns
+// 0 when the histogram is empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	counts, _, count := h.snapshot()
+	if count == 0 || len(h.bounds) == 0 {
+		return 0
+	}
+	rank := q * float64(count)
+	var cum int64
+	for i, c := range counts {
+		prev := cum
+		cum += c
+		if float64(cum) < rank {
+			continue
+		}
+		if i >= len(h.bounds) { // +Inf bucket
+			return h.bounds[len(h.bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = h.bounds[i-1]
+		}
+		hi := h.bounds[i]
+		if c == 0 {
+			return hi
+		}
+		return lo + (hi-lo)*(rank-float64(prev))/float64(c)
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// Metrics aggregates the serving subsystem's counters, gauges, and
+// histograms and renders them in Prometheus text exposition format.
+type Metrics struct {
+	// Per-endpoint request counters, fixed at construction.
+	Requests map[string]*Counter
+	// Response counts by status code class ("2xx", "4xx", "5xx").
+	Responses map[string]*Counter
+
+	Shed        Counter // admission rejections (429s)
+	CacheHits   Counter
+	CacheMisses Counter
+
+	Batches      Counter    // coalescer flushes
+	BatchedPosts Counter    // posts carried by those flushes
+	BatchSize    *Histogram // posts per flush
+
+	// QueueDepth mirrors Admission.InFlight, snapshotted at scrape
+	// time (admission control is the source of truth).
+	QueueDepth Gauge
+
+	// Latency is request duration in seconds over the screening
+	// endpoints only — /healthz and /metrics probes are excluded so
+	// they cannot skew the p50/p99 gauges.
+	Latency *Histogram
+}
+
+// endpoints are the labeled request counters, fixed so that /metrics
+// always exposes every series (scrapers dislike appearing/vanishing
+// series).
+var endpoints = []string{"screen", "screen_batch", "assess", "healthz", "metrics"}
+
+// codeClasses are the labeled response counters.
+var codeClasses = []string{"2xx", "4xx", "5xx"}
+
+// NewMetrics builds the serving metric set.
+func NewMetrics() *Metrics {
+	m := &Metrics{
+		Requests:  map[string]*Counter{},
+		Responses: map[string]*Counter{},
+		BatchSize: NewHistogram(1, 2, 4, 8, 16, 32, 64, 128, 256),
+		Latency: NewHistogram(0.0005, 0.001, 0.0025, 0.005, 0.01,
+			0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5),
+	}
+	for _, e := range endpoints {
+		m.Requests[e] = &Counter{}
+	}
+	for _, c := range codeClasses {
+		m.Responses[c] = &Counter{}
+	}
+	return m
+}
+
+// ObserveBatch records one coalescer flush of n posts.
+func (m *Metrics) ObserveBatch(n int) {
+	m.Batches.Inc()
+	m.BatchedPosts.Add(int64(n))
+	m.BatchSize.Observe(float64(n))
+}
+
+// CacheHitRatio returns hits/(hits+misses), or 0 before any lookup.
+func (m *Metrics) CacheHitRatio() float64 {
+	h, ms := m.CacheHits.Value(), m.CacheMisses.Value()
+	if h+ms == 0 {
+		return 0
+	}
+	return float64(h) / float64(h+ms)
+}
+
+// WriteTo renders every metric in Prometheus text exposition format
+// (version 0.0.4). The error is the first write error, if any.
+func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
+	cw := &countingWriter{w: w}
+	writeHeader := func(name, help, typ string) {
+		fmt.Fprintf(cw, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+	}
+
+	writeHeader("mh_requests_total", "Requests received, by endpoint.", "counter")
+	for _, e := range endpoints {
+		fmt.Fprintf(cw, "mh_requests_total{endpoint=%q} %d\n", e, m.Requests[e].Value())
+	}
+	writeHeader("mh_responses_total", "Responses sent, by status code class.", "counter")
+	for _, c := range codeClasses {
+		fmt.Fprintf(cw, "mh_responses_total{class=%q} %d\n", c, m.Responses[c].Value())
+	}
+	writeHeader("mh_admission_rejected_total", "Requests shed with 429 by admission control.", "counter")
+	fmt.Fprintf(cw, "mh_admission_rejected_total %d\n", m.Shed.Value())
+
+	writeHeader("mh_cache_hits_total", "Result-cache hits.", "counter")
+	fmt.Fprintf(cw, "mh_cache_hits_total %d\n", m.CacheHits.Value())
+	writeHeader("mh_cache_misses_total", "Result-cache misses.", "counter")
+	fmt.Fprintf(cw, "mh_cache_misses_total %d\n", m.CacheMisses.Value())
+	writeHeader("mh_cache_hit_ratio", "Hits / lookups since start.", "gauge")
+	fmt.Fprintf(cw, "mh_cache_hit_ratio %g\n", m.CacheHitRatio())
+
+	writeHeader("mh_coalescer_batches_total", "Coalescer flushes dispatched to ScreenBatch.", "counter")
+	fmt.Fprintf(cw, "mh_coalescer_batches_total %d\n", m.Batches.Value())
+	writeHeader("mh_coalescer_batched_posts_total", "Posts carried by coalesced batches.", "counter")
+	fmt.Fprintf(cw, "mh_coalescer_batched_posts_total %d\n", m.BatchedPosts.Value())
+	m.writeHistogram(cw, "mh_coalescer_batch_posts", "Posts per coalesced batch.", m.BatchSize)
+
+	writeHeader("mh_queue_depth", "In-flight admitted requests.", "gauge")
+	fmt.Fprintf(cw, "mh_queue_depth %d\n", m.QueueDepth.Value())
+
+	m.writeHistogram(cw, "mh_request_duration_seconds", "Screening request latency in seconds (probe endpoints excluded).", m.Latency)
+	writeHeader("mh_request_duration_seconds_p50", "Estimated median request latency.", "gauge")
+	fmt.Fprintf(cw, "mh_request_duration_seconds_p50 %g\n", m.Latency.Quantile(0.5))
+	writeHeader("mh_request_duration_seconds_p99", "Estimated 99th-percentile request latency.", "gauge")
+	fmt.Fprintf(cw, "mh_request_duration_seconds_p99 %g\n", m.Latency.Quantile(0.99))
+
+	return cw.n, cw.err
+}
+
+// writeHistogram renders one histogram with cumulative le buckets.
+func (m *Metrics) writeHistogram(w io.Writer, name, help string, h *Histogram) {
+	counts, sum, count := h.snapshot()
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	var cum int64
+	for i, b := range h.bounds {
+		cum += counts[i]
+		fmt.Fprintf(w, "%s_bucket{le=\"%g\"} %d\n", name, b, cum)
+	}
+	cum += counts[len(counts)-1]
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(w, "%s_sum %g\n", name, sum)
+	fmt.Fprintf(w, "%s_count %d\n", name, count)
+}
+
+// countingWriter tracks bytes written and the first error for the
+// io.WriterTo contract.
+type countingWriter struct {
+	w   io.Writer
+	n   int64
+	err error
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	if c.err != nil {
+		return 0, c.err
+	}
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	c.err = err
+	return n, err
+}

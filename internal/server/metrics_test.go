@@ -1,0 +1,149 @@
+package server
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterAndGauge(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	var g Gauge
+	g.Set(7)
+	g.Add(-3)
+	if g.Value() != 4 {
+		t.Fatalf("gauge = %d, want 4", g.Value())
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram(0.01, 0.05, 0.1, 0.5, 1)
+	// 100 observations spread uniformly over (0, 0.1]: the true
+	// median is ~0.05, p99 ~0.099.
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i) * 0.001)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if p50 := h.Quantile(0.5); p50 < 0.01 || p50 > 0.1 {
+		t.Fatalf("p50 = %v, want within (0.01, 0.1]", p50)
+	}
+	if p99 := h.Quantile(0.99); p99 < 0.05 || p99 > 0.1 {
+		t.Fatalf("p99 = %v, want within (0.05, 0.1]", p99)
+	}
+	// Everything past the largest bound is attributed to it.
+	h2 := NewHistogram(1, 2)
+	h2.Observe(50)
+	if q := h2.Quantile(0.99); q != 2 {
+		t.Fatalf("overflow quantile = %v, want 2", q)
+	}
+	// Empty histogram.
+	if q := NewHistogram(1).Quantile(0.5); q != 0 {
+		t.Fatalf("empty quantile = %v, want 0", q)
+	}
+}
+
+func TestMetricsCacheHitRatio(t *testing.T) {
+	m := NewMetrics()
+	if r := m.CacheHitRatio(); r != 0 {
+		t.Fatalf("ratio before lookups = %v", r)
+	}
+	m.CacheHits.Add(3)
+	m.CacheMisses.Add(1)
+	if r := m.CacheHitRatio(); math.Abs(r-0.75) > 1e-12 {
+		t.Fatalf("ratio = %v, want 0.75", r)
+	}
+}
+
+func TestMetricsPrometheusRender(t *testing.T) {
+	m := NewMetrics()
+	m.Requests["screen"].Add(12)
+	m.Responses["2xx"].Add(11)
+	m.Shed.Inc()
+	m.CacheHits.Add(5)
+	m.CacheMisses.Add(5)
+	m.ObserveBatch(3)
+	m.ObserveBatch(17)
+	m.QueueDepth.Set(2)
+	m.Latency.Observe(0.003)
+
+	var buf bytes.Buffer
+	if _, err := m.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`mh_requests_total{endpoint="screen"} 12`,
+		`mh_responses_total{class="2xx"} 11`,
+		"mh_admission_rejected_total 1",
+		"mh_cache_hits_total 5",
+		"mh_cache_hit_ratio 0.5",
+		"mh_coalescer_batches_total 2",
+		"mh_coalescer_batched_posts_total 20",
+		`mh_coalescer_batch_posts_bucket{le="4"} 1`,
+		`mh_coalescer_batch_posts_bucket{le="+Inf"} 2`,
+		"mh_coalescer_batch_posts_count 2",
+		"mh_queue_depth 2",
+		"mh_request_duration_seconds_count 1",
+		"mh_request_duration_seconds_p50",
+		"mh_request_duration_seconds_p99",
+		"# TYPE mh_request_duration_seconds histogram",
+		"# TYPE mh_requests_total counter",
+		"# TYPE mh_queue_depth gauge",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q\n%s", want, out)
+		}
+	}
+	// Every non-comment line is "name{labels} value" or "name value".
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if fields := strings.Fields(line); len(fields) != 2 {
+			t.Errorf("malformed exposition line %q", line)
+		}
+	}
+}
+
+func TestMetricsConcurrent(t *testing.T) {
+	m := NewMetrics()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				m.Requests["screen"].Inc()
+				m.Latency.Observe(float64(i) * 1e-4)
+				m.ObserveBatch(i % 10)
+				m.CacheHits.Inc()
+			}
+		}()
+	}
+	var renderWG sync.WaitGroup
+	renderWG.Add(1)
+	go func() {
+		defer renderWG.Done()
+		for i := 0; i < 50; i++ {
+			var buf bytes.Buffer
+			m.WriteTo(&buf)
+		}
+	}()
+	wg.Wait()
+	renderWG.Wait()
+	if got := m.Requests["screen"].Value(); got != 8*200 {
+		t.Fatalf("requests = %d, want %d", got, 8*200)
+	}
+	if got := m.Latency.Count(); got != 8*200 {
+		t.Fatalf("latency count = %d, want %d", got, 8*200)
+	}
+}

@@ -1,0 +1,169 @@
+package server
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"time"
+)
+
+// Assessor is the early-risk surface /v1/assess needs;
+// *mhd.RiskMonitor satisfies it.
+type Assessor interface {
+	Assess(posts []string) (alarm bool, delay int, err error)
+}
+
+// Config tunes the serving subsystem. The zero value selects sensible
+// defaults for every field.
+type Config struct {
+	// MaxBatch and MaxDelay bound the request coalescer: a
+	// micro-batch is flushed at MaxBatch posts or MaxDelay after its
+	// first post, whichever comes first (defaults 64 / 2ms).
+	MaxBatch int
+	MaxDelay time.Duration
+	// CacheSize is the result cache capacity in reports
+	// (default 4096; negative disables caching).
+	CacheSize int
+	// MaxInFlight bounds concurrently admitted requests
+	// (default 256).
+	MaxInFlight int
+	// QueueWait is how long an arriving request may wait for an
+	// admission slot before being shed with 429 (default 0: shed
+	// immediately).
+	QueueWait time.Duration
+}
+
+func (c Config) cacheSize() int {
+	if c.CacheSize == 0 {
+		return 4096
+	}
+	return c.CacheSize // negative → NewCache returns nil → disabled
+}
+
+// Server is the online screening service. Construct with New, serve
+// with Start or Handler, stop with Shutdown.
+type Server struct {
+	det     Screener
+	mon     Assessor
+	cache   *Cache
+	coal    *Coalescer
+	adm     *Admission
+	metrics *Metrics
+	start   time.Time
+	http    *http.Server
+}
+
+// New builds a Server over det; mon may be nil to disable /v1/assess.
+func New(det Screener, mon Assessor, cfg Config) *Server {
+	m := NewMetrics()
+	return &Server{
+		det:     det,
+		mon:     mon,
+		cache:   NewCache(cfg.cacheSize()),
+		coal:    NewCoalescer(det, CoalescerConfig{MaxBatch: cfg.MaxBatch, MaxDelay: cfg.MaxDelay, OnBatch: m.ObserveBatch}),
+		adm:     NewAdmission(cfg.MaxInFlight, cfg.QueueWait),
+		metrics: m,
+		start:   time.Now(),
+	}
+}
+
+// Metrics exposes the server's metric set (for tests and embedding).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Handler returns the service's HTTP handler, instrumented with
+// request counting and latency observation.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/screen", s.instrument("screen", http.MethodPost, true, s.handleScreen))
+	mux.HandleFunc("/v1/screen/batch", s.instrument("screen_batch", http.MethodPost, true, s.handleScreenBatch))
+	mux.HandleFunc("/v1/assess", s.instrument("assess", http.MethodPost, true, s.handleAssess))
+	mux.HandleFunc("/healthz", s.instrument("healthz", http.MethodGet, false, s.handleHealthz))
+	mux.HandleFunc("/metrics", s.instrument("metrics", http.MethodGet, false, s.handleMetrics))
+	return mux
+}
+
+// instrument wraps a handler with method enforcement, the request
+// counter, the latency histogram, and the response-class counter.
+// observeLatency is false for the probe endpoints (/healthz,
+// /metrics): a liveness prober firing every few seconds at a
+// sub-microsecond handler would otherwise dominate the p50/p99
+// gauges that exist to describe screening latency.
+func (s *Server) instrument(endpoint, method string, observeLatency bool, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.metrics.Requests[endpoint].Inc()
+		if r.Method != method {
+			w.Header().Set("Allow", method)
+			writeError(w, http.StatusMethodNotAllowed, "method not allowed")
+			s.metrics.Responses["4xx"].Inc()
+			return
+		}
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		t0 := time.Now()
+		h(rec, r)
+		if observeLatency {
+			s.metrics.Latency.Observe(time.Since(t0).Seconds())
+		}
+		s.metrics.Responses[codeClass(rec.code)].Inc()
+	}
+}
+
+// statusRecorder captures the response status for metrics.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func codeClass(code int) string {
+	switch {
+	case code >= 500:
+		return "5xx"
+	case code >= 400:
+		return "4xx"
+	default:
+		return "2xx"
+	}
+}
+
+// Start listens on addr ("host:port"; ":0" for an ephemeral port),
+// serves in the background, and returns the bound address. Errors
+// from the background Serve (other than graceful-close) surface on
+// the returned channel.
+func (s *Server) Start(addr string) (string, <-chan error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	s.http = &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() {
+		if err := s.http.Serve(ln); err != nil && err != http.ErrServerClosed {
+			errc <- err
+		}
+		close(errc)
+	}()
+	return ln.Addr().String(), errc, nil
+}
+
+// Shutdown drains gracefully: stop accepting connections, wait for
+// in-flight handlers, then flush and drain the coalescer so every
+// admitted request gets its report. Both waits are bounded by ctx —
+// when it expires, in-flight batch execution is aborted rather than
+// awaited.
+func (s *Server) Shutdown(ctx context.Context) error {
+	var err error
+	if s.http != nil {
+		err = s.http.Shutdown(ctx)
+	}
+	if cerr := s.coal.CloseContext(ctx); err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -1,0 +1,380 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeAssessor alarms when any post contains "risky".
+type fakeAssessor struct{}
+
+func (fakeAssessor) Assess(posts []string) (bool, int, error) {
+	for i, p := range posts {
+		if strings.Contains(p, "risky") {
+			return true, i + 1, nil
+		}
+	}
+	return false, len(posts), nil
+}
+
+// newTestServer wires a Server over the fake screener with a
+// deterministic config and returns it with its httptest frontend.
+func newTestServer(t *testing.T, f *fakeScreener, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(f, fakeAssessor{}, cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	})
+	return s, ts
+}
+
+func doPost(t *testing.T, url string, body any) (int, []byte) {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, out
+}
+
+func TestScreenEndpointAndNormalizedCache(t *testing.T) {
+	f := &fakeScreener{}
+	_, ts := newTestServer(t, f, Config{MaxBatch: 4, MaxDelay: time.Millisecond, CacheSize: 64})
+
+	code, body := doPost(t, ts.URL+"/v1/screen", map[string]any{"text": "hello world"})
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	var rep WireReport
+	if err := json.Unmarshal(body, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Cached {
+		t.Fatal("first request served from cache")
+	}
+	// Same post modulo normalization (case, whitespace) must hit.
+	code, body = doPost(t, ts.URL+"/v1/screen", map[string]any{"text": "  Hello   WORLD "})
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	if err := json.Unmarshal(body, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Cached {
+		t.Fatal("normalized repeat missed the cache")
+	}
+}
+
+func TestScreenEndpointEmptyPost(t *testing.T) {
+	f := &fakeScreener{}
+	_, ts := newTestServer(t, f, Config{})
+	code, body := doPost(t, ts.URL+"/v1/screen", map[string]any{"text": ""})
+	if code != http.StatusBadRequest {
+		t.Fatalf("empty post: status %d (%s), want 400", code, body)
+	}
+	var e struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
+		t.Fatalf("error envelope missing: %s", body)
+	}
+}
+
+func TestScreenEndpointUnknownField(t *testing.T) {
+	f := &fakeScreener{}
+	_, ts := newTestServer(t, f, Config{})
+	code, _ := doPost(t, ts.URL+"/v1/screen", map[string]any{"txet": "typo"})
+	if code != http.StatusBadRequest {
+		t.Fatalf("unknown field: status %d, want 400", code)
+	}
+}
+
+func TestOversizedBodyGets413(t *testing.T) {
+	f := &fakeScreener{}
+	_, ts := newTestServer(t, f, Config{})
+	body := `{"text":"` + strings.Repeat("a", maxBodyBytes+1024) + `"}`
+	resp, err := http.Post(ts.URL+"/v1/screen", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body: status %d, want 413", resp.StatusCode)
+	}
+}
+
+func TestBatchEndpointMixesCacheAndCompute(t *testing.T) {
+	f := &fakeScreener{}
+	_, ts := newTestServer(t, f, Config{MaxBatch: 4, MaxDelay: time.Millisecond, CacheSize: 64})
+
+	// Warm the cache with one post.
+	code, _ := doPost(t, ts.URL+"/v1/screen", map[string]any{"text": "warm post"})
+	if code != http.StatusOK {
+		t.Fatalf("warm: status %d", code)
+	}
+	code, body := doPost(t, ts.URL+"/v1/screen/batch",
+		map[string]any{"posts": []string{"warm post", "cold one", "cold two"}})
+	if code != http.StatusOK {
+		t.Fatalf("batch: status %d: %s", code, body)
+	}
+	var resp struct {
+		Reports []WireReport `json:"reports"`
+	}
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Reports) != 3 {
+		t.Fatalf("got %d reports", len(resp.Reports))
+	}
+	if !resp.Reports[0].Cached {
+		t.Error("warm post not served from cache")
+	}
+	for i, want := range []float64{float64(len("warm post")), float64(len("cold one")), float64(len("cold two"))} {
+		if resp.Reports[i].Confidence != want {
+			t.Errorf("report %d: confidence %v, want %v (order lost?)", i, resp.Reports[i].Confidence, want)
+		}
+	}
+	// Per-post validation.
+	code, _ = doPost(t, ts.URL+"/v1/screen/batch", map[string]any{"posts": []string{"ok", ""}})
+	if code != http.StatusBadRequest {
+		t.Fatalf("batch with empty post: status %d, want 400", code)
+	}
+	code, _ = doPost(t, ts.URL+"/v1/screen/batch", map[string]any{"posts": []string{}})
+	if code != http.StatusBadRequest {
+		t.Fatalf("empty batch: status %d, want 400", code)
+	}
+}
+
+func TestBatchEndpointDedupesRepeatedPosts(t *testing.T) {
+	f := &fakeScreener{}
+	_, ts := newTestServer(t, f, Config{CacheSize: 64})
+	code, body := doPost(t, ts.URL+"/v1/screen/batch",
+		map[string]any{"posts": []string{"viral post", "viral post", "other", "viral post"}})
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	var resp struct {
+		Reports []WireReport `json:"reports"`
+	}
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Reports) != 4 {
+		t.Fatalf("got %d reports, want 4", len(resp.Reports))
+	}
+	for _, i := range []int{0, 1, 3} {
+		if resp.Reports[i].Confidence != float64(len("viral post")) {
+			t.Errorf("report %d: confidence %v, want %d", i, resp.Reports[i].Confidence, len("viral post"))
+		}
+	}
+	// The detector saw each distinct post once: one batch of 2.
+	if sizes := f.batchSizes(); len(sizes) != 1 || sizes[0] != 2 {
+		t.Fatalf("batch sizes = %v, want [2] (repeats screened once)", sizes)
+	}
+}
+
+func TestAssessEndpoint(t *testing.T) {
+	f := &fakeScreener{}
+	_, ts := newTestServer(t, f, Config{})
+	code, body := doPost(t, ts.URL+"/v1/assess", map[string]any{"posts": []string{"fine", "risky stuff", "fine"}})
+	if code != http.StatusOK {
+		t.Fatalf("assess: status %d: %s", code, body)
+	}
+	var resp struct {
+		Alarm     bool `json:"alarm"`
+		PostsRead int  `json:"posts_read"`
+	}
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Alarm || resp.PostsRead != 2 {
+		t.Fatalf("assess = %+v, want alarm after 2 posts", resp)
+	}
+	code, _ = doPost(t, ts.URL+"/v1/assess", map[string]any{"posts": []string{"ok", ""}})
+	if code != http.StatusBadRequest {
+		t.Fatalf("assess with empty post: status %d, want 400", code)
+	}
+}
+
+func TestOverloadSheds429(t *testing.T) {
+	// The gated screener holds the only admission slot until released,
+	// so the second unique post must shed — no timing involved.
+	f := &fakeScreener{gate: make(chan struct{}), entered: make(chan struct{}, 1)}
+	_, ts := newTestServer(t, f, Config{MaxBatch: 1, MaxDelay: time.Millisecond, MaxInFlight: 1, CacheSize: -1})
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		code, _ := doPost(t, ts.URL+"/v1/screen", map[string]any{"text": "slot holder"})
+		if code != http.StatusOK {
+			t.Errorf("slot holder: status %d", code)
+		}
+	}()
+	<-f.entered // batch is inside the screener: the slot is held
+
+	buf, _ := json.Marshal(map[string]any{"text": "shed me"})
+	resp, err := http.Post(ts.URL+"/v1/screen", "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d with a full admission queue, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After header")
+	}
+
+	close(f.gate) // release the slot holder
+	wg.Wait()
+}
+
+func TestMetricsAndHealthEndpoints(t *testing.T) {
+	f := &fakeScreener{}
+	_, ts := newTestServer(t, f, Config{MaxBatch: 4, MaxDelay: time.Millisecond})
+	for i := 0; i < 3; i++ {
+		doPost(t, ts.URL+"/v1/screen", map[string]any{"text": fmt.Sprintf("post %d", i)})
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("metrics content type %q", ct)
+	}
+	for _, want := range []string{
+		`mh_requests_total{endpoint="screen"} 3`,
+		"mh_request_duration_seconds_count 3",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+
+	hr, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hbody, _ := io.ReadAll(hr.Body)
+	hr.Body.Close()
+	if hr.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: status %d", hr.StatusCode)
+	}
+	var health struct {
+		Status string `json:"status"`
+	}
+	if err := json.Unmarshal(hbody, &health); err != nil || health.Status != "ok" {
+		t.Fatalf("healthz body %s", hbody)
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	f := &fakeScreener{}
+	_, ts := newTestServer(t, f, Config{})
+	resp, err := http.Get(ts.URL + "/v1/screen")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/screen: status %d, want 405", resp.StatusCode)
+	}
+	if allow := resp.Header.Get("Allow"); allow != http.MethodPost {
+		t.Fatalf("Allow = %q, want POST", allow)
+	}
+}
+
+func TestShutdownDrainsInFlightRequests(t *testing.T) {
+	// A request is mid-coalesce (slow batch) when Shutdown starts: it
+	// must still be answered 200, and Shutdown must return cleanly.
+	f := &fakeScreener{delay: 50 * time.Millisecond}
+	s := New(f, nil, Config{MaxBatch: 1, MaxDelay: time.Millisecond, CacheSize: -1})
+	addr, errc, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type result struct {
+		code int
+		err  error
+	}
+	res := make(chan result, 1)
+	go func() {
+		buf, _ := json.Marshal(map[string]any{"text": "in flight"})
+		resp, err := http.Post("http://"+addr+"/v1/screen", "application/json", bytes.NewReader(buf))
+		if err != nil {
+			res <- result{0, err}
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		res <- result{resp.StatusCode, nil}
+	}()
+	time.Sleep(15 * time.Millisecond) // let the request reach the coalescer
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	select {
+	case r := <-res:
+		if r.err != nil {
+			t.Fatalf("in-flight request failed: %v", r.err)
+		}
+		if r.code != http.StatusOK {
+			t.Fatalf("in-flight request: status %d, want 200", r.code)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("in-flight request never completed")
+	}
+	if err := <-errc; err != nil {
+		t.Fatalf("serve error: %v", err)
+	}
+}
+
+func TestAssessDisabled(t *testing.T) {
+	f := &fakeScreener{}
+	s := New(f, nil, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	}()
+	code, _ := doPost(t, ts.URL+"/v1/assess", map[string]any{"posts": []string{"a"}})
+	if code != http.StatusNotImplemented {
+		t.Fatalf("assess with nil monitor: status %d, want 501", code)
+	}
+}

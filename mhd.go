@@ -25,8 +25,8 @@
 // Everything is deterministic under explicit seeds and built on the
 // Go standard library only. The datasets are synthetic
 // reconstructions (public mental-health corpora are access-gated);
-// see DESIGN.md for the substitution rationale and EXPERIMENTS.md
-// for recorded results.
+// see DESIGN.md for the substitution rationale and for how recorded
+// results are regenerated with cmd/mhbench.
 package mhd
 
 import (
