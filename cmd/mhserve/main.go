@@ -6,18 +6,31 @@
 // are answered from a normalized-text result cache, and overload is
 // shed with 429 + Retry-After instead of queueing without bound.
 //
+// Beyond stateless screening, the service keeps stateful per-user
+// early-risk sessions: each POST to /v1/users/{id}/posts folds one
+// post into that user's accumulated risk evidence and reports the
+// running alarm state, so risk is detected as it develops instead of
+// requiring the full history per request. Sessions are TTL-evicted
+// when idle, capacity-bounded with LRU shedding, and optionally
+// snapshotted to disk on graceful shutdown (-session-snapshot) so
+// evidence survives restarts.
+//
 // Endpoints:
 //
-//	POST /v1/screen        {"text": "..."}        -> one report
-//	POST /v1/screen/batch  {"posts": ["...",...]} -> {"reports": [...]}
-//	POST /v1/assess        {"posts": ["...",...]} -> {"alarm": ..., "posts_read": ...}
-//	GET  /healthz          liveness + uptime + in-flight count
-//	GET  /metrics          Prometheus text format
+//	POST   /v1/screen           {"text": "..."}        -> one report
+//	POST   /v1/screen/batch     {"posts": ["...",...]} -> {"reports": [...]}
+//	POST   /v1/assess           {"posts": ["...",...]} -> {"alarm": ..., "posts_read": ...}
+//	POST   /v1/users/{id}/posts {"text": "..."}        -> running risk state
+//	GET    /v1/users/{id}/risk  current risk state without observing
+//	DELETE /v1/users/{id}       discard the user's session
+//	GET    /healthz             liveness + uptime + in-flight count
+//	GET    /metrics             Prometheus text format
 //
 // Usage:
 //
 //	mhserve -addr :8080
 //	curl -s localhost:8080/v1/screen -d '{"text":"i feel hopeless lately"}'
+//	curl -s localhost:8080/v1/users/u17/posts -d '{"text":"rough week"}'
 //
 // This is a research tool over synthetic training data; it must not
 // be used to make decisions about real people.
@@ -40,18 +53,21 @@ import (
 // options collects the flag values; run is kept free of global state
 // so tests can boot the service on an ephemeral port.
 type options struct {
-	addr       string
-	engine     string
-	seed       int64
-	train      int
-	workers    int
-	maxBatch   int
-	batchDelay time.Duration
-	cacheSize  int
-	inflight   int
-	queueWait  time.Duration
-	threshold  float64
-	noAssess   bool
+	addr            string
+	engine          string
+	seed            int64
+	train           int
+	workers         int
+	maxBatch        int
+	batchDelay      time.Duration
+	cacheSize       int
+	inflight        int
+	queueWait       time.Duration
+	threshold       float64
+	noAssess        bool
+	sessionTTL      time.Duration
+	sessionCap      int
+	sessionSnapshot string
 }
 
 func main() {
@@ -66,8 +82,11 @@ func main() {
 	flag.IntVar(&opts.cacheSize, "cache", 4096, "result-cache capacity in reports (negative disables)")
 	flag.IntVar(&opts.inflight, "inflight", 256, "admission: max concurrently admitted requests")
 	flag.DurationVar(&opts.queueWait, "queue-wait", 0, "admission: how long a request may wait for a slot before 429")
-	flag.Float64Var(&opts.threshold, "assess-threshold", 1.5, "early-risk alarm threshold for /v1/assess")
-	flag.BoolVar(&opts.noAssess, "no-assess", false, "disable /v1/assess (skips monitor training at startup)")
+	flag.Float64Var(&opts.threshold, "assess-threshold", 1.5, "early-risk alarm threshold for /v1/assess and user sessions")
+	flag.BoolVar(&opts.noAssess, "no-assess", false, "disable /v1/assess and the session endpoints (skips monitor training at startup)")
+	flag.DurationVar(&opts.sessionTTL, "session-ttl", 30*time.Minute, "sessions: evict a user after this long idle")
+	flag.IntVar(&opts.sessionCap, "session-capacity", 65536, "sessions: max live user sessions (LRU shedding at capacity)")
+	flag.StringVar(&opts.sessionSnapshot, "session-snapshot", "", "sessions: snapshot file restored at boot and written on graceful shutdown")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -92,12 +111,22 @@ func run(ctx context.Context, opts options, ready chan<- string, logw io.Writer)
 		return err
 	}
 	var mon server.Assessor
+	var riskMon *mhd.RiskMonitor
 	if !opts.noAssess {
-		m, err := mhd.NewRiskMonitor(opts.threshold, mhd.WithSeed(opts.seed))
+		riskMon, err = mhd.NewRiskMonitor(opts.threshold,
+			mhd.WithSeed(opts.seed),
+			mhd.WithSessionTTL(opts.sessionTTL),
+			mhd.WithSessionCapacity(opts.sessionCap),
+		)
 		if err != nil {
 			return err
 		}
-		mon = m
+		if opts.sessionSnapshot != "" {
+			if err := restoreSessions(riskMon, opts.sessionSnapshot, logw); err != nil {
+				return err
+			}
+		}
+		mon = riskMon
 	}
 
 	srv := server.New(det, mon, server.Config{
@@ -125,5 +154,60 @@ func run(ctx context.Context, opts options, ready chan<- string, logw io.Writer)
 	fmt.Fprintln(logw, "mhserve: draining...")
 	sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
-	return srv.Shutdown(sctx)
+	if err := srv.Shutdown(sctx); err != nil {
+		return err
+	}
+	// Shutdown returned, so the store is quiescent: snapshot it for
+	// the next boot.
+	if riskMon != nil && opts.sessionSnapshot != "" {
+		if err := snapshotSessions(riskMon, opts.sessionSnapshot, logw); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// restoreSessions loads a session snapshot written by a previous
+// run; a missing file is a normal first boot.
+func restoreSessions(mon *mhd.RiskMonitor, path string, logw io.Writer) error {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return fmt.Errorf("opening session snapshot: %w", err)
+	}
+	defer f.Close()
+	if err := mon.RestoreSessions(f); err != nil {
+		return fmt.Errorf("restoring %s: %w", path, err)
+	}
+	fmt.Fprintf(logw, "mhserve: restored %d sessions from %s\n",
+		mon.SessionStats().Restored, path)
+	return nil
+}
+
+// snapshotSessions writes the store to path via a temp file + rename
+// so a crash mid-write cannot corrupt the previous snapshot.
+func snapshotSessions(mon *mhd.RiskMonitor, path string, logw io.Writer) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("writing session snapshot: %w", err)
+	}
+	if err := mon.SnapshotSessions(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("snapshotting sessions: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	fmt.Fprintf(logw, "mhserve: snapshotted %d sessions to %s\n",
+		mon.SessionStats().Active, path)
+	return nil
 }

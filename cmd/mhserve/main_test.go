@@ -9,6 +9,8 @@ import (
 	"io"
 	"math"
 	"net/http"
+	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"sync"
@@ -270,6 +272,156 @@ func TestServeEndToEnd(t *testing.T) {
 	if hr.StatusCode != http.StatusOK {
 		t.Fatalf("healthz: status %d", hr.StatusCode)
 	}
+}
+
+// TestSessionEndpointsAcrossRestart is the stateful acceptance test:
+// a user's history streamed one POST /v1/users/{id}/posts at a time
+// must raise the alarm at exactly the post index offline
+// RiskMonitor.Assess reports for the same history — and must keep
+// doing so when the server is gracefully restarted mid-stream with
+// the session store snapshotted to disk and restored at boot.
+func TestSessionEndpointsAcrossRestart(t *testing.T) {
+	const (
+		seed      = int64(1)
+		threshold = 1.5
+	)
+	// Offline reference: the same construction run() performs.
+	ref, err := mhd.NewRiskMonitor(threshold, mhd.WithSeed(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cohort, err := mhd.SampleUserHistories(60, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var posts []string
+	wantDelay := 0
+	for _, u := range cohort {
+		alarm, delay, err := ref.Assess(u.Posts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Mid-stream restart needs room before the alarm; late enough
+		// alarms also prove evidence accumulates across requests.
+		if alarm && delay >= 4 && delay < len(u.Posts) {
+			posts, wantDelay = u.Posts, delay
+			break
+		}
+	}
+	if posts == nil {
+		t.Fatal("no cohort user alarms with delay >= 4; adjust the seed")
+	}
+	mid := wantDelay / 2 // strictly before the alarm
+
+	snapshot := filepath.Join(t.TempDir(), "sessions.json")
+	opts := options{
+		addr: "127.0.0.1:0", engine: "baseline", seed: seed, train: 600,
+		maxBatch: 8, batchDelay: time.Millisecond, cacheSize: 64,
+		inflight: 8, threshold: threshold,
+		sessionTTL: time.Hour, sessionCap: 1024, sessionSnapshot: snapshot,
+	}
+
+	observe := func(t *testing.T, base, user, text string) wireRiskState {
+		t.Helper()
+		resp, body := postJSON(t, base+"/v1/users/"+user+"/posts", map[string]any{"text": text})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("observe: status %d: %s", resp.StatusCode, body)
+		}
+		var st wireRiskState
+		if err := json.Unmarshal(body, &st); err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+
+	// First server: stream the history up to mid, then shut down
+	// gracefully (which writes the snapshot).
+	base, shutdown := bootServer(t, opts)
+	for i, p := range posts[:mid] {
+		st := observe(t, base, "acceptance-user", p)
+		if st.Posts != i+1 {
+			t.Fatalf("post %d: session counted %d posts", i, st.Posts)
+		}
+		if st.Alarm {
+			t.Fatalf("alarm fired at post %d, offline Assess says %d", i+1, wantDelay)
+		}
+	}
+	shutdown()
+	if _, err := os.Stat(snapshot); err != nil {
+		t.Fatalf("graceful shutdown wrote no snapshot: %v", err)
+	}
+
+	// Second server restores the snapshot and the stream continues
+	// as if nothing happened.
+	base2, shutdown2 := bootServer(t, opts)
+	defer shutdown2()
+	resp, body := getURL(t, base2+"/v1/users/acceptance-user/risk")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("risk after restore: status %d: %s", resp.StatusCode, body)
+	}
+	var restored wireRiskState
+	if err := json.Unmarshal(body, &restored); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Posts != mid || restored.Alarm {
+		t.Fatalf("restored state = %+v, want %d posts and no alarm", restored, mid)
+	}
+
+	alarmAt := 0
+	for i := mid; i < len(posts); i++ {
+		st := observe(t, base2, "acceptance-user", posts[i])
+		if st.Alarm && alarmAt == 0 {
+			alarmAt = st.AlarmAt
+		}
+	}
+	if alarmAt != wantDelay {
+		t.Errorf("online alarm at post %d, offline Assess at post %d", alarmAt, wantDelay)
+	}
+
+	// An unrelated user is independent and deletable.
+	st := observe(t, base2, "other-user", "just a quiet day")
+	if st.Posts != 1 || st.Alarm {
+		t.Fatalf("fresh user state = %+v", st)
+	}
+	req, err := http.NewRequest(http.MethodDelete, base2+"/v1/users/other-user", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dr, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dr.Body.Close()
+	if dr.StatusCode != http.StatusNoContent {
+		t.Fatalf("delete: status %d, want 204", dr.StatusCode)
+	}
+	if r2, _ := getURL(t, base2+"/v1/users/other-user/risk"); r2.StatusCode != http.StatusNotFound {
+		t.Fatalf("risk after delete: status %d, want 404", r2.StatusCode)
+	}
+}
+
+// wireRiskState mirrors the server's session-state reply shape.
+type wireRiskState struct {
+	User     string  `json:"user"`
+	Posts    int     `json:"posts"`
+	Evidence float64 `json:"evidence"`
+	Alarm    bool    `json:"alarm"`
+	AlarmAt  int     `json:"alarm_at"`
+}
+
+// getURL is a GET counterpart of postJSON.
+func getURL(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, out
 }
 
 // TestServeRejectsBadInput covers the 4xx surface without booting a

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"time"
 
 	"repro/internal/baseline"
 	"repro/internal/corpus"
@@ -48,12 +49,14 @@ type Detector struct {
 	workers    int
 }
 
-// detectorConfig collects NewDetector options.
+// detectorConfig collects NewDetector and NewRiskMonitor options.
 type detectorConfig struct {
-	engine    string // "baseline" or a model name from Models()
-	seed      int64
-	trainSize int
-	workers   int
+	engine     string // "baseline" or a model name from Models()
+	seed       int64
+	trainSize  int
+	workers    int
+	sessionTTL time.Duration // NewRiskMonitor only
+	sessionCap int           // NewRiskMonitor only
 }
 
 // Option configures NewDetector.
@@ -82,6 +85,21 @@ func WithTrainingSize(n int) Option {
 // (default GOMAXPROCS). Values <= 0 restore the default.
 func WithWorkers(n int) Option {
 	return func(c *detectorConfig) { c.workers = n }
+}
+
+// WithSessionTTL sets how long an idle early-risk session survives
+// before eviction (default 30m). Used by NewRiskMonitor; ignored by
+// NewDetector.
+func WithSessionTTL(d time.Duration) Option {
+	return func(c *detectorConfig) { c.sessionTTL = d }
+}
+
+// WithSessionCapacity bounds how many early-risk sessions may be
+// live at once (default 65536); at capacity, the least recently
+// observed session is shed to admit a new user. Used by
+// NewRiskMonitor; ignored by NewDetector.
+func WithSessionCapacity(n int) Option {
+	return func(c *detectorConfig) { c.sessionCap = n }
 }
 
 // NewDetector builds a multi-condition screening detector.

@@ -2,26 +2,47 @@ package mhd
 
 import (
 	"fmt"
+	"io"
 
 	"repro/internal/baseline"
 	"repro/internal/corpus"
 	"repro/internal/domain"
 	"repro/internal/early"
 	"repro/internal/eval"
+	"repro/internal/session"
 )
+
+// InputError is the typed error the early-risk helpers return for
+// degenerate arguments (empty cohorts, mismatched slices, invalid
+// metric parameters). Match with errors.As.
+type InputError struct {
+	Fn  string // the API that rejected the input, e.g. "ERDE"
+	Msg string // what was wrong
+}
+
+func (e *InputError) Error() string { return "mhd: " + e.Fn + ": " + e.Msg }
+
+func inputErrf(fn, format string, args ...any) *InputError {
+	return &InputError{Fn: fn, Msg: fmt.Sprintf(format, args...)}
+}
 
 // RiskMonitor reads a user's posts in order and raises an alarm as
 // soon as accumulated depression-risk evidence crosses a threshold —
-// the eRisk-style early-detection setting. Construct with
-// NewRiskMonitor; Assess is safe for concurrent use.
+// the eRisk-style early-detection setting. It works in two modes:
+// offline, replaying a complete history with Assess; and online,
+// feeding posts one at a time into named per-user sessions with
+// Observe (see RiskState). Construct with NewRiskMonitor; all
+// methods are safe for concurrent use.
 type RiskMonitor struct {
-	mon *early.Monitor
+	mon      *early.Monitor
+	sessions *session.Store
 }
 
 // NewRiskMonitor builds a monitor backed by a logistic-regression
 // post classifier trained on the built-in depression corpus.
 // threshold is the accumulated-evidence alarm level (<= 0 selects
-// the default of 1.5; higher waits for more evidence).
+// the default of 1.5; higher waits for more evidence). Session
+// behavior is tuned with WithSessionTTL and WithSessionCapacity.
 func NewRiskMonitor(threshold float64, opts ...Option) (*RiskMonitor, error) {
 	cfg := detectorConfig{engine: "baseline", seed: 1, trainSize: 900}
 	for _, o := range opts {
@@ -48,7 +69,14 @@ func NewRiskMonitor(threshold float64, opts ...Option) (*RiskMonitor, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &RiskMonitor{mon: mon}, nil
+	store, err := session.New(mon, session.Config{
+		TTL:      cfg.sessionTTL,
+		Capacity: cfg.sessionCap,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &RiskMonitor{mon: mon, sessions: store}, nil
 }
 
 // Assess reads posts in order; it reports whether an alarm fired and
@@ -56,6 +84,89 @@ func NewRiskMonitor(threshold float64, opts ...Option) (*RiskMonitor, error) {
 func (m *RiskMonitor) Assess(posts []string) (alarm bool, delay int, err error) {
 	return m.mon.Assess(posts)
 }
+
+// RiskState is the running early-risk state of one named session.
+type RiskState struct {
+	// User is the session's user ID.
+	User string
+	// Posts is how many posts the session has observed.
+	Posts int
+	// Evidence is the accumulated, decay-weighted risk evidence.
+	Evidence float64
+	// Alarm latches true once Evidence first crosses the monitor's
+	// threshold; later posts cannot reset it.
+	Alarm bool
+	// AlarmAt is the 1-based post index at which the alarm fired
+	// (0 while no alarm has fired). Feeding a history post-by-post
+	// through Observe yields the same AlarmAt that Assess reports as
+	// its delay.
+	AlarmAt int
+}
+
+func toRiskState(s session.Status) RiskState {
+	return RiskState{
+		User:     s.User,
+		Posts:    s.State.Posts,
+		Evidence: s.State.Evidence,
+		Alarm:    s.State.Alarm,
+		AlarmAt:  s.State.AlarmAt,
+	}
+}
+
+// SessionStats is a point-in-time snapshot of the session store's
+// metrics (active sessions, evictions by reason, alarms fired, ...).
+type SessionStats = session.Stats
+
+// Observe feeds one post into user's session — starting the session
+// if it does not exist or sat idle past the TTL — and returns the
+// updated running state. This is the incremental counterpart of
+// Assess: risk evidence accumulates across calls instead of
+// requiring the full history at once.
+func (m *RiskMonitor) Observe(user, post string) (RiskState, error) {
+	if user == "" {
+		return RiskState{}, inputErrf("Observe", "empty user id")
+	}
+	if post == "" {
+		return RiskState{}, inputErrf("Observe", "empty post")
+	}
+	st, err := m.sessions.Observe(user, post)
+	if err != nil {
+		return RiskState{}, err
+	}
+	return toRiskState(st), nil
+}
+
+// Risk returns user's current session state without observing
+// anything; ok is false when no live session exists.
+func (m *RiskMonitor) Risk(user string) (RiskState, bool) {
+	st, ok := m.sessions.Risk(user)
+	if !ok {
+		return RiskState{}, false
+	}
+	return toRiskState(st), true
+}
+
+// End discards user's session, reporting whether one existed.
+func (m *RiskMonitor) End(user string) bool { return m.sessions.End(user) }
+
+// SessionStats returns the session store's current metrics.
+func (m *RiskMonitor) SessionStats() SessionStats { return m.sessions.Stats() }
+
+// SweepSessions evicts every session idle past the TTL and returns
+// how many it dropped. Long-running servers call this periodically.
+func (m *RiskMonitor) SweepSessions() int { return m.sessions.Sweep() }
+
+// SnapshotSessions writes every live session to w as versioned JSON,
+// so accumulated evidence survives a process restart. Restore with
+// RestoreSessions on a monitor built with the same threshold and
+// seed.
+func (m *RiskMonitor) SnapshotSessions(w io.Writer) error { return m.sessions.Snapshot(w) }
+
+// RestoreSessions replaces the session store's contents with a
+// snapshot written by SnapshotSessions. It fails if the snapshot
+// version is unknown or the monitor parameters differ; sessions
+// already idle past the TTL are dropped.
+func (m *RiskMonitor) RestoreSessions(r io.Reader) error { return m.sessions.Restore(r) }
 
 // UserHistory is one synthetic user's post sequence with its gold
 // risk flag, for demos and integration tests.
@@ -65,8 +176,12 @@ type UserHistory struct {
 }
 
 // SampleUserHistories generates an eRisk-style synthetic cohort
-// (about 20% of users at risk), deterministic under seed.
+// (about 20% of users at risk), deterministic under seed. n must be
+// positive (*InputError otherwise).
 func SampleUserHistories(n int, seed int64) ([]UserHistory, error) {
+	if n <= 0 {
+		return nil, inputErrf("SampleUserHistories", "cohort size %d must be positive", n)
+	}
 	spec := corpus.ERiskUsers()
 	spec.Users = n
 	spec.Seed = seed
@@ -87,14 +202,25 @@ func SampleUserHistories(n int, seed int64) ([]UserHistory, error) {
 
 // ERDE scores a set of monitor decisions with the eRisk early-risk
 // detection error at midpoint o (5 and 50 are the standard
-// instantiations); lower is better.
+// instantiations); lower is better. Degenerate inputs — empty or
+// misaligned slices, non-positive o, delays below 1 — are rejected
+// with *InputError.
 func ERDE(alarms []bool, delays []int, golds []bool, o int) (float64, error) {
+	if len(alarms) == 0 {
+		return 0, inputErrf("ERDE", "no decisions to score")
+	}
 	if len(alarms) != len(delays) || len(alarms) != len(golds) {
-		return 0, fmt.Errorf("mhd: ERDE inputs must align (%d/%d/%d)",
+		return 0, inputErrf("ERDE", "inputs must align (alarms=%d delays=%d golds=%d)",
 			len(alarms), len(delays), len(golds))
+	}
+	if o <= 0 {
+		return 0, inputErrf("ERDE", "midpoint o = %d must be positive", o)
 	}
 	decisions := make([]eval.EarlyDecision, len(alarms))
 	for i := range alarms {
+		if delays[i] < 1 {
+			return 0, inputErrf("ERDE", "decision %d has delay %d < 1", i, delays[i])
+		}
 		decisions[i] = eval.EarlyDecision{Alarm: alarms[i], Delay: delays[i], Gold: golds[i]}
 	}
 	return eval.ERDE(decisions, 0.1, o)

@@ -1,6 +1,11 @@
 package mhd
 
-import "testing"
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+)
 
 func TestSampleUserHistories(t *testing.T) {
 	cohort, err := SampleUserHistories(50, 3)
@@ -63,10 +68,171 @@ func TestRiskMonitorEndToEnd(t *testing.T) {
 }
 
 func TestERDEInputValidation(t *testing.T) {
-	if _, err := ERDE([]bool{true}, []int{1, 2}, []bool{true}, 5); err == nil {
-		t.Error("misaligned inputs must error")
+	cases := []struct {
+		name   string
+		alarms []bool
+		delays []int
+		golds  []bool
+		o      int
+	}{
+		{"empty inputs", nil, nil, nil, 5},
+		{"delays too long", []bool{true}, []int{1, 2}, []bool{true}, 5},
+		{"golds too short", []bool{true, false}, []int{1, 2}, []bool{true}, 5},
+		{"alarms too short", []bool{true}, []int{1, 2}, []bool{true, false}, 5},
+		{"zero midpoint", []bool{true}, []int{1}, []bool{true}, 0},
+		{"negative midpoint", []bool{true}, []int{1}, []bool{true}, -5},
+		{"zero delay", []bool{true}, []int{0}, []bool{true}, 5},
+		{"negative delay", []bool{true, false}, []int{1, -3}, []bool{true, false}, 5},
 	}
-	if _, err := ERDE(nil, nil, nil, 5); err == nil {
-		t.Error("empty inputs must error")
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ERDE(tc.alarms, tc.delays, tc.golds, tc.o)
+			if err == nil {
+				t.Fatal("degenerate input accepted")
+			}
+			var ie *InputError
+			if !errors.As(err, &ie) {
+				t.Fatalf("err = %v (%T), want *InputError", err, err)
+			}
+			if ie.Fn != "ERDE" || ie.Msg == "" {
+				t.Errorf("InputError = %+v, want Fn=ERDE with a message", ie)
+			}
+		})
+	}
+	// The happy path still scores.
+	if _, err := ERDE([]bool{true}, []int{1}, []bool{true}, 5); err != nil {
+		t.Errorf("valid input rejected: %v", err)
+	}
+}
+
+func TestSampleUserHistoriesValidation(t *testing.T) {
+	for _, n := range []int{0, -1, -100} {
+		_, err := SampleUserHistories(n, 1)
+		if err == nil {
+			t.Fatalf("n = %d accepted", n)
+		}
+		var ie *InputError
+		if !errors.As(err, &ie) {
+			t.Fatalf("n = %d: err = %v (%T), want *InputError", n, err, err)
+		}
+		if ie.Fn != "SampleUserHistories" {
+			t.Errorf("InputError.Fn = %q", ie.Fn)
+		}
+	}
+}
+
+func TestRiskMonitorSessions(t *testing.T) {
+	mon, err := NewRiskMonitor(1.5, WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mon.Observe("", "a post"); err == nil {
+		t.Error("empty user must error")
+	}
+	var ie *InputError
+	if _, err := mon.Observe("u1", ""); !errors.As(err, &ie) {
+		t.Errorf("empty post: err = %v, want *InputError", err)
+	}
+
+	// Streaming a history post-by-post must land on the same decision
+	// Assess reaches offline.
+	cohort, err := SampleUserHistories(30, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked := 0
+	for ui, u := range cohort {
+		if checked == 6 {
+			break
+		}
+		wantAlarm, wantDelay, err := mon.Assess(u.Posts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		user := string(rune('a' + ui))
+		var st RiskState
+		gotAlarm, gotDelay := false, len(u.Posts)
+		for _, p := range u.Posts {
+			if st, err = mon.Observe(user, p); err != nil {
+				t.Fatal(err)
+			}
+			if st.Alarm && !gotAlarm {
+				gotAlarm, gotDelay = true, st.AlarmAt
+			}
+		}
+		if gotAlarm != wantAlarm || (wantAlarm && gotDelay != wantDelay) {
+			t.Errorf("user %d: sessions (%v, %d) != Assess (%v, %d)",
+				ui, gotAlarm, gotDelay, wantAlarm, wantDelay)
+		}
+		checked++
+	}
+
+	stats := mon.SessionStats()
+	if stats.Active != checked || stats.Created != int64(checked) {
+		t.Errorf("stats = %+v, want %d active sessions", stats, checked)
+	}
+	if st, ok := mon.Risk("a"); !ok || st.Posts != len(cohort[0].Posts) {
+		t.Errorf("Risk(a) = %+v, %v", st, ok)
+	}
+	if !mon.End("a") || mon.End("a") {
+		t.Error("End must remove exactly once")
+	}
+}
+
+func TestRiskMonitorSnapshotRestore(t *testing.T) {
+	mon, err := NewRiskMonitor(1.5, WithSeed(9), WithSessionTTL(time.Hour), WithSessionCapacity(128))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cohort, err := SampleUserHistories(10, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	posts := cohort[0].Posts
+	mid := len(posts) / 2
+	for _, p := range posts[:mid] {
+		if _, err := mon.Observe("u-persist", p); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := mon.SnapshotSessions(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// A same-seed, same-threshold monitor accepts the snapshot and
+	// continues exactly where the first left off.
+	mon2, err := NewRiskMonitor(1.5, WithSeed(9), WithSessionTTL(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mon2.RestoreSessions(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	st, ok := mon2.Risk("u-persist")
+	if !ok || st.Posts != mid {
+		t.Fatalf("restored state = %+v, %v (want %d posts)", st, ok, mid)
+	}
+	for _, p := range posts[mid:] {
+		if st, err = mon2.Observe("u-persist", p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wantAlarm, wantDelay, err := mon.Assess(posts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Alarm != wantAlarm || (wantAlarm && st.AlarmAt != wantDelay) {
+		t.Errorf("resumed session (%v, %d) != offline Assess (%v, %d)",
+			st.Alarm, st.AlarmAt, wantAlarm, wantDelay)
+	}
+
+	// A differently-parameterized monitor must refuse the snapshot.
+	strict, err := NewRiskMonitor(9.9, WithSeed(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := strict.RestoreSessions(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Error("mismatched threshold accepted a foreign snapshot")
 	}
 }

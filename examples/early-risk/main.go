@@ -1,0 +1,153 @@
+// Early-risk: a client for the mhserve stateful session endpoints.
+// It streams one synthetic user's posting history into the server a
+// post at a time — the shape real early detection has, where
+// evidence arrives incrementally — and prints when the server's
+// alarm fired against the user's gold label.
+//
+// Run the server first, then the client:
+//
+//	go run ./cmd/mhserve -addr :8080
+//	go run ./examples/early-risk -addr localhost:8080
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"strconv"
+	"time"
+
+	mhd "repro"
+)
+
+// riskState mirrors the server's session-state reply.
+type riskState struct {
+	User     string  `json:"user"`
+	Posts    int     `json:"posts"`
+	Evidence float64 `json:"evidence"`
+	Alarm    bool    `json:"alarm"`
+	AlarmAt  int     `json:"alarm_at"`
+}
+
+func main() {
+	addr := flag.String("addr", "localhost:8080", "mhserve address")
+	seed := flag.Int64("seed", 23, "synthetic cohort seed")
+	user := flag.Int("user", -1, "cohort index to stream (-1: first at-risk user)")
+	flag.Parse()
+
+	base := "http://" + *addr
+	hr, err := http.Get(base + "/healthz")
+	if err != nil {
+		log.Fatalf("mhserve not reachable at %s (start it with: go run ./cmd/mhserve -addr :8080): %v", *addr, err)
+	}
+	hr.Body.Close()
+
+	cohort, err := mhd.SampleUserHistories(40, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	idx := *user
+	if idx < 0 {
+		for i, u := range cohort {
+			if u.AtRisk {
+				idx = i
+				break
+			}
+		}
+	}
+	if idx < 0 || idx >= len(cohort) {
+		log.Fatalf("user index %d out of cohort [0,%d)", idx, len(cohort))
+	}
+	u := cohort[idx]
+	id := fmt.Sprintf("demo-%d-%d", *seed, idx)
+
+	// Start clean so reruns observe the same sequence.
+	req, err := http.NewRequest(http.MethodDelete, base+"/v1/users/"+id, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if resp, err := http.DefaultClient.Do(req); err == nil {
+		resp.Body.Close()
+	}
+
+	fmt.Printf("streaming user %d (%d posts, gold at-risk=%v) as session %q\n\n",
+		idx, len(u.Posts), u.AtRisk, id)
+	var final riskState
+	for i, post := range u.Posts {
+		st, err := observe(base, id, post)
+		if err != nil {
+			log.Fatalf("post %d: %v", i+1, err)
+		}
+		final = st
+		marker := ""
+		if st.Alarm && st.AlarmAt == st.Posts {
+			marker = "  <-- ALARM"
+		}
+		fmt.Printf("post %2d  evidence %5.2f  alarm=%-5v%s\n", st.Posts, st.Evidence, st.Alarm, marker)
+		if st.Alarm && st.AlarmAt == st.Posts {
+			// Keep streaming: the alarm latches; evidence keeps moving.
+			fmt.Println("         (alarm latched; continuing to stream)")
+		}
+	}
+
+	fmt.Println()
+	switch {
+	case final.Alarm && u.AtRisk:
+		fmt.Printf("alarm after %d of %d posts — true positive, caught %d posts early\n",
+			final.AlarmAt, len(u.Posts), len(u.Posts)-final.AlarmAt)
+	case final.Alarm && !u.AtRisk:
+		fmt.Printf("alarm after %d posts on a control user — false positive\n", final.AlarmAt)
+	case !final.Alarm && u.AtRisk:
+		fmt.Printf("no alarm in %d posts on an at-risk user — miss\n", len(u.Posts))
+	default:
+		fmt.Printf("no alarm in %d posts on a control user — correct silence\n", len(u.Posts))
+	}
+}
+
+// observe posts one text into the session, honoring 429 backoff.
+func observe(base, user, text string) (riskState, error) {
+	body, err := json.Marshal(map[string]string{"text": text})
+	if err != nil {
+		return riskState{}, err
+	}
+	const maxAttempts = 5
+	for attempt := 0; ; attempt++ {
+		resp, err := http.Post(base+"/v1/users/"+user+"/posts", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return riskState{}, err
+		}
+		out, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return riskState{}, err
+		}
+		switch resp.StatusCode {
+		case http.StatusOK:
+			var st riskState
+			if err := json.Unmarshal(out, &st); err != nil {
+				return riskState{}, err
+			}
+			return st, nil
+		case http.StatusTooManyRequests:
+			if attempt+1 == maxAttempts {
+				return riskState{}, fmt.Errorf("still overloaded after %d attempts", maxAttempts)
+			}
+			time.Sleep(retryAfter(resp))
+		default:
+			return riskState{}, fmt.Errorf("status %d: %s", resp.StatusCode, out)
+		}
+	}
+}
+
+// retryAfter reads the server's Retry-After hint, falling back to one
+// second when it is missing or malformed.
+func retryAfter(resp *http.Response) time.Duration {
+	if s, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && s > 0 {
+		return time.Duration(s) * time.Second
+	}
+	return time.Second
+}

@@ -1,0 +1,78 @@
+// Command benchcheck validates the BENCH_*.json trajectory files the
+// benchmarks write at the repo root, so CI fails loudly when a bench
+// stops recording instead of silently uploading stale or malformed
+// artifacts. Each file must be a JSON object carrying:
+//
+//   - "benchmark":  non-empty string naming the benchmark
+//   - "gomaxprocs": number >= 1
+//   - at least one "*_per_sec" key — the headline throughput figure
+//     the trajectory tracks — and every such key a positive number
+//
+// Usage: go run ./internal/benchcheck BENCH_serve.json ...
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(paths []string, stdout, stderr io.Writer) int {
+	if len(paths) == 0 {
+		fmt.Fprintln(stderr, "benchcheck: no files given")
+		return 2
+	}
+	failed := false
+	for _, path := range paths {
+		if err := checkFile(path); err != nil {
+			fmt.Fprintf(stderr, "benchcheck: %s: %v\n", path, err)
+			failed = true
+			continue
+		}
+		fmt.Fprintf(stdout, "benchcheck: %s ok\n", path)
+	}
+	if failed {
+		return 1
+	}
+	return 0
+}
+
+func checkFile(path string) error {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf, &doc); err != nil {
+		return fmt.Errorf("not a JSON object: %w", err)
+	}
+	name, ok := doc["benchmark"].(string)
+	if !ok || name == "" {
+		return fmt.Errorf(`missing or empty "benchmark" name`)
+	}
+	procs, ok := doc["gomaxprocs"].(float64)
+	if !ok || procs < 1 {
+		return fmt.Errorf(`"gomaxprocs" must be a number >= 1, got %v`, doc["gomaxprocs"])
+	}
+	found := false
+	for key, v := range doc {
+		if !strings.HasSuffix(key, "_per_sec") {
+			continue
+		}
+		rate, ok := v.(float64)
+		if !ok || rate <= 0 {
+			return fmt.Errorf("%q must be a positive number, got %v", key, v)
+		}
+		found = true
+	}
+	if !found {
+		return fmt.Errorf(`no "*_per_sec" throughput key`)
+	}
+	return nil
+}

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func write(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestBenchcheck(t *testing.T) {
+	good := `{"benchmark":"X","gomaxprocs":4,"requests_per_sec":812.5}`
+	cases := []struct {
+		name    string
+		content string
+		want    int
+	}{
+		{"valid", good, 0},
+		{"second throughput key shape", `{"benchmark":"Y","gomaxprocs":1,"observes_per_sec":1e6,"active_sessions":10}`, 0},
+		{"not json", `{broken`, 1},
+		{"missing benchmark", `{"gomaxprocs":1,"requests_per_sec":10}`, 1},
+		{"empty benchmark", `{"benchmark":"","gomaxprocs":1,"requests_per_sec":10}`, 1},
+		{"missing gomaxprocs", `{"benchmark":"X","requests_per_sec":10}`, 1},
+		{"zero gomaxprocs", `{"benchmark":"X","gomaxprocs":0,"requests_per_sec":10}`, 1},
+		{"no throughput key", `{"benchmark":"X","gomaxprocs":1,"requests":10}`, 1},
+		{"zero throughput", `{"benchmark":"X","gomaxprocs":1,"requests_per_sec":0}`, 1},
+		{"string throughput", `{"benchmark":"X","gomaxprocs":1,"requests_per_sec":"fast"}`, 1},
+		{"one bad among two throughput keys", `{"benchmark":"X","gomaxprocs":1,"a_per_sec":5,"b_per_sec":0}`, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path := write(t, "bench.json", tc.content)
+			var out, errOut strings.Builder
+			if got := run([]string{path}, &out, &errOut); got != tc.want {
+				t.Errorf("exit = %d, want %d (stderr: %s)", got, tc.want, errOut.String())
+			}
+		})
+	}
+
+	t.Run("no args", func(t *testing.T) {
+		var out, errOut strings.Builder
+		if got := run(nil, &out, &errOut); got != 2 {
+			t.Errorf("exit = %d, want 2", got)
+		}
+	})
+	t.Run("missing file", func(t *testing.T) {
+		var out, errOut strings.Builder
+		if got := run([]string{filepath.Join(t.TempDir(), "absent.json")}, &out, &errOut); got != 1 {
+			t.Errorf("exit = %d, want 1", got)
+		}
+	})
+	t.Run("one bad fails the set", func(t *testing.T) {
+		goodPath := write(t, "good.json", good)
+		badPath := write(t, "bad.json", `{}`)
+		var out, errOut strings.Builder
+		if got := run([]string{goodPath, badPath}, &out, &errOut); got != 1 {
+			t.Errorf("exit = %d, want 1", got)
+		}
+		if !strings.Contains(out.String(), "good.json ok") {
+			t.Errorf("valid file not reported ok: %s", out.String())
+		}
+	})
+}
+
+func TestBenchcheckAcceptsCommittedFiles(t *testing.T) {
+	// The checked-in trajectory files must satisfy the schema the CI
+	// gate enforces.
+	for _, name := range []string{"BENCH_serve.json", "BENCH_sessions.json"} {
+		path := filepath.Join("..", "..", name)
+		if _, err := os.Stat(path); err != nil {
+			t.Skipf("%s not present: %v", name, err)
+		}
+		var out, errOut strings.Builder
+		if got := run([]string{path}, &out, &errOut); got != 0 {
+			t.Errorf("%s rejected: %s", name, errOut.String())
+		}
+	}
+}

@@ -1,0 +1,51 @@
+// Package benchio is the shared writer for the BENCH_*.json
+// perf-trajectory files the benchmarks record at the repo root and
+// internal/benchcheck validates in CI. Keeping the root-finding and
+// encoding in one place means the file convention cannot drift
+// between benchmarks.
+package benchio
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// RepoRoot walks up from the working directory to the go.mod.
+func RepoRoot() (string, bool) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", false
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, true
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", false
+		}
+		dir = parent
+	}
+}
+
+// Write marshals doc (indented, trailing newline) to <repo
+// root>/<name> and returns the path written. Callers treat failure
+// as best-effort — benchmarks must not fail on read-only checkouts —
+// but should log the error so CI output shows the write was skipped.
+func Write(name string, doc map[string]any) (string, error) {
+	root, ok := RepoRoot()
+	if !ok {
+		return "", fmt.Errorf("benchio: repo root not found from working directory")
+	}
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	path := filepath.Join(root, name)
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}

@@ -1,0 +1,41 @@
+package benchio
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRepoRootFindsGoMod(t *testing.T) {
+	root, ok := RepoRoot()
+	if !ok {
+		t.Fatal("repo root not found from package directory")
+	}
+	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
+		t.Fatalf("reported root %s has no go.mod: %v", root, err)
+	}
+}
+
+func TestWriteRoundTrips(t *testing.T) {
+	const name = "BENCH_benchio_test.json"
+	path, err := Write(name, map[string]any{"benchmark": "T", "x_per_sec": 1.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { os.Remove(path) })
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc["benchmark"] != "T" || doc["x_per_sec"] != 1.5 {
+		t.Errorf("round trip = %v", doc)
+	}
+	if buf[len(buf)-1] != '\n' {
+		t.Error("missing trailing newline")
+	}
+}

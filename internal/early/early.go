@@ -23,6 +23,25 @@ type Monitor struct {
 	decay     float64
 }
 
+// State is the running evidence of one incremental assessment. It is
+// a pure value: Observe returns an updated copy, so a State can be
+// stored, compared, and serialized (the JSON encoding is the
+// persistence format of the session store's snapshots). The zero
+// value is a fresh, unstarted assessment.
+type State struct {
+	// Evidence is the accumulated, decay-weighted risk evidence.
+	Evidence float64 `json:"evidence"`
+	// Posts is how many posts have been observed.
+	Posts int `json:"posts"`
+	// Alarm latches true once Evidence first crosses the threshold
+	// and never resets; later posts keep accumulating evidence but
+	// cannot un-ring the bell.
+	Alarm bool `json:"alarm"`
+	// AlarmAt is the 1-based post index at which the alarm fired
+	// (0 while no alarm has fired).
+	AlarmAt int `json:"alarm_at,omitempty"`
+}
+
 // NewMonitor builds a monitor. threshold is the accumulated-evidence
 // alarm level (must be > 0); decay in [0,1) is the per-post decay of
 // old evidence (0 keeps a pure running sum of risk probabilities).
@@ -39,23 +58,67 @@ func NewMonitor(clf task.Classifier, threshold, decay float64) (*Monitor, error)
 	return &Monitor{clf: clf, threshold: threshold, decay: decay}, nil
 }
 
+// Threshold returns the alarm threshold the monitor was built with.
+func (m *Monitor) Threshold() float64 { return m.threshold }
+
+// Decay returns the per-post evidence decay the monitor was built
+// with.
+func (m *Monitor) Decay() float64 { return m.decay }
+
+// Start returns a fresh assessment state (the State zero value,
+// named for symmetry with Observe).
+func (m *Monitor) Start() State { return State{} }
+
+// Signal computes one post's risk evidence without touching any
+// state. It is split from Fold so callers that serialize per-user
+// state updates (the session store) can run the classifier — the
+// expensive half — outside their locks.
+func (m *Monitor) Signal(post string) (float64, error) {
+	pred, err := m.clf.Predict(post)
+	if err != nil {
+		return 0, err
+	}
+	return riskSignal(pred), nil
+}
+
+// Fold advances s by one post's risk signal: decay the old evidence,
+// add the new, and latch the alarm on the first threshold crossing.
+func (m *Monitor) Fold(s State, signal float64) State {
+	s.Evidence = (1-m.decay)*s.Evidence + signal
+	s.Posts++
+	if !s.Alarm && s.Evidence >= m.threshold {
+		s.Alarm = true
+		s.AlarmAt = s.Posts
+	}
+	return s
+}
+
+// Observe feeds one post into an assessment and returns the updated
+// state. Observing past an alarm is allowed: evidence keeps
+// accumulating, Posts keeps counting, and Alarm/AlarmAt stay latched.
+func (m *Monitor) Observe(s State, post string) (State, error) {
+	sig, err := m.Signal(post)
+	if err != nil {
+		return s, fmt.Errorf("early: post %d: %w", s.Posts, err)
+	}
+	return m.Fold(s, sig), nil
+}
+
 // Assess reads posts in order and returns whether an alarm fired and
 // after how many posts (1-based). When no alarm fires, the returned
-// delay is len(posts).
+// delay is len(posts). It is a replay of the incremental API: one
+// Observe per post, stopping at the first alarm.
 func (m *Monitor) Assess(posts []string) (alarm bool, delay int, err error) {
 	if len(posts) == 0 {
 		return false, 0, fmt.Errorf("early: empty history")
 	}
-	acc := 0.0
-	for i, p := range posts {
-		pred, err := m.clf.Predict(p)
-		if err != nil {
-			return false, 0, fmt.Errorf("early: post %d: %w", i, err)
+	s := m.Start()
+	for _, p := range posts {
+		if s, err = m.Observe(s, p); err != nil {
+			return false, 0, err
 		}
-		risk := riskSignal(pred)
-		acc = (1-m.decay)*acc + risk
-		if acc >= m.threshold {
-			return true, i + 1, nil
+		if s.Alarm {
+			return true, s.AlarmAt, nil
 		}
 	}
 	return false, len(posts), nil

@@ -1,6 +1,7 @@
 package early
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 
@@ -55,6 +56,92 @@ func TestMonitorAlarmTiming(t *testing.T) {
 	alarm, delay, _ = m.Assess([]string{"calm", "calm", "calm"})
 	if alarm || delay != 3 {
 		t.Errorf("no-signal history: alarm=%v delay=%d", alarm, delay)
+	}
+}
+
+func TestObserveMatchesAssess(t *testing.T) {
+	// The incremental API stepped post-by-post must reach the exact
+	// decision Assess reaches on the full history.
+	m, err := NewMonitor(scriptedClassifier{}, 2.0, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	histories := [][]string{
+		{"calm", "risk", "risk", "calm"},
+		{"calm", "calm", "calm"},
+		{"risk", "risk"},
+		{"risk", "calm", "calm", "risk", "risk", "calm"},
+	}
+	for hi, posts := range histories {
+		wantAlarm, wantDelay, err := m.Assess(posts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := m.Start()
+		gotAlarm, gotDelay := false, len(posts)
+		for _, p := range posts {
+			if s, err = m.Observe(s, p); err != nil {
+				t.Fatal(err)
+			}
+			if s.Alarm && !gotAlarm {
+				gotAlarm, gotDelay = true, s.AlarmAt
+			}
+		}
+		if gotAlarm != wantAlarm || gotDelay != wantDelay {
+			t.Errorf("history %d: incremental (%v, %d) != Assess (%v, %d)",
+				hi, gotAlarm, gotDelay, wantAlarm, wantDelay)
+		}
+		if s.Posts != len(posts) {
+			t.Errorf("history %d: observed %d posts, state counted %d", hi, len(posts), s.Posts)
+		}
+	}
+}
+
+func TestObserveLatchesAlarm(t *testing.T) {
+	m, err := NewMonitor(scriptedClassifier{}, 1.0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := m.Start()
+	var errObs error
+	for _, p := range []string{"risk", "calm", "risk", "calm"} {
+		if s, errObs = m.Observe(s, p); errObs != nil {
+			t.Fatal(errObs)
+		}
+	}
+	if !s.Alarm || s.AlarmAt != 1 {
+		t.Fatalf("alarm not latched at first crossing: %+v", s)
+	}
+	if s.Posts != 4 {
+		t.Fatalf("posts kept counting past the alarm: %+v", s)
+	}
+	if s.Evidence <= 1 {
+		t.Errorf("evidence should keep accumulating past the alarm: %+v", s)
+	}
+}
+
+func TestStateJSONRoundTrip(t *testing.T) {
+	in := State{Evidence: 1.25, Posts: 7, Alarm: true, AlarmAt: 5}
+	buf, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out State
+	if err := json.Unmarshal(buf, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Errorf("round trip %+v != %+v", out, in)
+	}
+}
+
+func TestMonitorAccessors(t *testing.T) {
+	m, err := NewMonitor(scriptedClassifier{}, 2.5, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Threshold() != 2.5 || m.Decay() != 0.2 {
+		t.Errorf("accessors = (%v, %v), want (2.5, 0.2)", m.Threshold(), m.Decay())
 	}
 }
 

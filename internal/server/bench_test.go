@@ -7,14 +7,13 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
-	"os"
-	"path/filepath"
 	"runtime"
 	"sync/atomic"
 	"testing"
 	"time"
 
 	mhd "repro"
+	"repro/internal/benchio"
 )
 
 // BenchmarkScreenServiceThroughput measures end-to-end served
@@ -84,12 +83,7 @@ func BenchmarkScreenServiceThroughput(b *testing.B) {
 // writeBenchJSON records the serving benchmark result at the repo
 // root (best effort: benches must not fail on read-only checkouts).
 func writeBenchJSON(b *testing.B, reqPerSec float64, m *Metrics) {
-	root, ok := repoRoot()
-	if !ok {
-		b.Log("repo root not found; skipping BENCH_serve.json")
-		return
-	}
-	out := map[string]any{
+	path, err := benchio.Write("BENCH_serve.json", map[string]any{
 		"benchmark":        "ScreenServiceThroughput",
 		"requests":         b.N,
 		"requests_per_sec": reqPerSec,
@@ -97,35 +91,12 @@ func writeBenchJSON(b *testing.B, reqPerSec float64, m *Metrics) {
 		"p99_seconds":      m.Latency.Quantile(0.99),
 		"cache_hit_ratio":  m.CacheHitRatio(),
 		"gomaxprocs":       runtime.GOMAXPROCS(0),
-	}
-	buf, err := json.MarshalIndent(out, "", "  ")
+	})
 	if err != nil {
-		b.Fatal(err)
-	}
-	path := filepath.Join(root, "BENCH_serve.json")
-	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
-		b.Logf("writing %s: %v", path, err)
+		b.Logf("skipping BENCH_serve.json: %v", err)
 		return
 	}
 	b.Logf("wrote %s (%.0f req/s)", path, reqPerSec)
-}
-
-// repoRoot walks up from the working directory to the go.mod.
-func repoRoot() (string, bool) {
-	dir, err := os.Getwd()
-	if err != nil {
-		return "", false
-	}
-	for {
-		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
-			return dir, true
-		}
-		parent := filepath.Dir(dir)
-		if parent == dir {
-			return "", false
-		}
-		dir = parent
-	}
 }
 
 // BenchmarkCoalescerSubmit isolates the coalescer + detector path

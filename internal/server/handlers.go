@@ -302,14 +302,130 @@ func (s *Server) handleAssess(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, assessResponse{Alarm: alarm, PostsRead: delay})
 }
 
+// maxUserIDBytes bounds the user id path segment: session keys are
+// retained in memory, so an unbounded id would hand clients control
+// over per-entry memory.
+const maxUserIDBytes = 256
+
+// observeRequest is the /v1/users/{id}/posts request body.
+type observeRequest struct {
+	Text string `json:"text"`
+}
+
+// riskStateResponse is the wire form of one session's running state,
+// returned by the observe and risk endpoints.
+type riskStateResponse struct {
+	User     string  `json:"user"`
+	Posts    int     `json:"posts"`
+	Evidence float64 `json:"evidence"`
+	Alarm    bool    `json:"alarm"`
+	AlarmAt  int     `json:"alarm_at,omitempty"`
+}
+
+func toWireRiskState(st mhd.RiskState) riskStateResponse {
+	return riskStateResponse{
+		User:     st.User,
+		Posts:    st.Posts,
+		Evidence: st.Evidence,
+		Alarm:    st.Alarm,
+		AlarmAt:  st.AlarmAt,
+	}
+}
+
+// sessionUser extracts and validates the {id} path segment, writing
+// the error response itself on failure. A 501 is written when the
+// monitor does not support sessions.
+func (s *Server) sessionUser(w http.ResponseWriter, r *http.Request) (string, bool) {
+	if s.sessions == nil {
+		writeError(w, http.StatusNotImplemented, "early-risk sessions not enabled")
+		return "", false
+	}
+	id := r.PathValue("id")
+	if id == "" {
+		writeError(w, http.StatusBadRequest, "empty user id")
+		return "", false
+	}
+	if len(id) > maxUserIDBytes {
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("user id exceeds %d bytes", maxUserIDBytes))
+		return "", false
+	}
+	return id, true
+}
+
+// handleUserObserve serves POST /v1/users/{id}/posts: one post of an
+// ongoing user history in, the session's running risk state out.
+// Observation runs the post classifier, so it rides admission
+// control like the screening endpoints.
+func (s *Server) handleUserObserve(w http.ResponseWriter, r *http.Request) {
+	user, ok := s.sessionUser(w, r)
+	if !ok {
+		return
+	}
+	var req observeRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.Text == "" {
+		writeError(w, http.StatusBadRequest, "empty post text")
+		return
+	}
+	if !s.adm.Acquire(r.Context()) {
+		s.shed(w)
+		return
+	}
+	defer s.adm.Release()
+
+	st, err := s.sessions.Observe(user, req.Text)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, toWireRiskState(st))
+}
+
+// handleUserRisk serves GET /v1/users/{id}/risk: the session's
+// current state without observing anything. A pure map read — no
+// admission slot needed.
+func (s *Server) handleUserRisk(w http.ResponseWriter, r *http.Request) {
+	user, ok := s.sessionUser(w, r)
+	if !ok {
+		return
+	}
+	st, ok := s.sessions.Risk(user)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no live session for user")
+		return
+	}
+	writeJSON(w, http.StatusOK, toWireRiskState(st))
+}
+
+// handleUserDelete serves DELETE /v1/users/{id}: discard the
+// session (e.g. user opt-out, or a moderation case closed).
+func (s *Server) handleUserDelete(w http.ResponseWriter, r *http.Request) {
+	user, ok := s.sessionUser(w, r)
+	if !ok {
+		return
+	}
+	if !s.sessions.End(user) {
+		writeError(w, http.StatusNotFound, "no live session for user")
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
 // handleHealthz serves GET /healthz.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
+	body := map[string]any{
 		"status":         "ok",
 		"uptime_seconds": time.Since(s.start).Seconds(),
 		"inflight":       s.adm.InFlight(),
 		"cache_entries":  s.cache.Len(),
-	})
+	}
+	if s.sessions != nil {
+		body["sessions"] = s.sessions.SessionStats().Active
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 // handleMetrics serves GET /metrics in Prometheus text format. The

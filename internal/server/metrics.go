@@ -3,10 +3,12 @@
 // requests are micro-batched through ScreenBatch so online throughput
 // matches the offline pipeline), a sharded LRU result cache keyed by
 // normalized text (repeated/viral posts are the common case in
-// moderation traffic), and admission control (bounded in-flight work,
-// 429 + Retry-After on overload, graceful drain on shutdown).
-// Operational state is exposed on /metrics in Prometheus text format
-// with no external dependencies.
+// moderation traffic), admission control (bounded in-flight work,
+// 429 + Retry-After on overload, graceful drain on shutdown), and
+// stateful per-user early-risk sessions (/v1/users/{id}/...) backed
+// by the sharded session store in internal/session. Operational
+// state is exposed on /metrics in Prometheus text format with no
+// external dependencies.
 package server
 
 import (
@@ -15,6 +17,8 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/session"
 )
 
 // Counter is a monotonically increasing metric, safe for concurrent
@@ -144,12 +148,18 @@ type Metrics struct {
 	// endpoints only — /healthz and /metrics probes are excluded so
 	// they cannot skew the p50/p99 gauges.
 	Latency *Histogram
+
+	// SessionStats, when non-nil, supplies the per-user session
+	// store's snapshot rendered as the mh_session* series at scrape
+	// time (the store's own counters are the source of truth).
+	SessionStats func() session.Stats
 }
 
 // endpoints are the labeled request counters, fixed so that /metrics
 // always exposes every series (scrapers dislike appearing/vanishing
 // series).
-var endpoints = []string{"screen", "screen_batch", "assess", "healthz", "metrics"}
+var endpoints = []string{"screen", "screen_batch", "assess",
+	"user_observe", "user_risk", "user_delete", "healthz", "metrics"}
 
 // codeClasses are the labeled response counters.
 var codeClasses = []string{"2xx", "4xx", "5xx"}
@@ -228,6 +238,25 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 	fmt.Fprintf(cw, "mh_request_duration_seconds_p50 %g\n", m.Latency.Quantile(0.5))
 	writeHeader("mh_request_duration_seconds_p99", "Estimated 99th-percentile request latency.", "gauge")
 	fmt.Fprintf(cw, "mh_request_duration_seconds_p99 %g\n", m.Latency.Quantile(0.99))
+
+	if m.SessionStats != nil {
+		st := m.SessionStats()
+		writeHeader("mh_sessions_active", "Live early-risk sessions.", "gauge")
+		fmt.Fprintf(cw, "mh_sessions_active %d\n", st.Active)
+		writeHeader("mh_sessions_created_total", "Early-risk sessions started.", "counter")
+		fmt.Fprintf(cw, "mh_sessions_created_total %d\n", st.Created)
+		writeHeader("mh_session_observations_total", "Posts folded into early-risk sessions.", "counter")
+		fmt.Fprintf(cw, "mh_session_observations_total %d\n", st.Observations)
+		writeHeader("mh_session_alarms_total", "Sessions whose evidence crossed the alarm threshold.", "counter")
+		fmt.Fprintf(cw, "mh_session_alarms_total %d\n", st.Alarms)
+		writeHeader("mh_sessions_evicted_total", "Sessions evicted, by reason.", "counter")
+		fmt.Fprintf(cw, "mh_sessions_evicted_total{reason=\"ttl\"} %d\n", st.EvictedTTL)
+		fmt.Fprintf(cw, "mh_sessions_evicted_total{reason=\"capacity\"} %d\n", st.EvictedCapacity)
+		writeHeader("mh_sessions_ended_total", "Sessions removed by explicit delete.", "counter")
+		fmt.Fprintf(cw, "mh_sessions_ended_total %d\n", st.Ended)
+		writeHeader("mh_sessions_restored_total", "Sessions loaded from a snapshot.", "counter")
+		fmt.Fprintf(cw, "mh_sessions_restored_total %d\n", st.Restored)
+	}
 
 	return cw.n, cw.err
 }

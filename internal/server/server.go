@@ -4,13 +4,34 @@ import (
 	"context"
 	"net"
 	"net/http"
+	"sync"
 	"time"
+
+	mhd "repro"
 )
 
 // Assessor is the early-risk surface /v1/assess needs;
 // *mhd.RiskMonitor satisfies it.
 type Assessor interface {
 	Assess(posts []string) (alarm bool, delay int, err error)
+}
+
+// SessionMonitor is the stateful early-risk surface the per-user
+// session endpoints (/v1/users/{id}/...) need; *mhd.RiskMonitor
+// satisfies it. When the Assessor passed to New also implements
+// SessionMonitor, the session endpoints are enabled.
+type SessionMonitor interface {
+	// Observe feeds one post into user's session and returns the
+	// updated running state.
+	Observe(user, post string) (mhd.RiskState, error)
+	// Risk reads user's current state without observing anything.
+	Risk(user string) (mhd.RiskState, bool)
+	// End discards user's session, reporting whether one existed.
+	End(user string) bool
+	// SessionStats snapshots the store's metrics for /metrics.
+	SessionStats() mhd.SessionStats
+	// SweepSessions evicts idle sessions, returning how many.
+	SweepSessions() int
 }
 
 // Config tunes the serving subsystem. The zero value selects sensible
@@ -31,6 +52,17 @@ type Config struct {
 	// admission slot before being shed with 429 (default 0: shed
 	// immediately).
 	QueueWait time.Duration
+	// SessionSweepEvery is how often the background janitor evicts
+	// idle early-risk sessions (default 1m; negative disables the
+	// janitor). Only used when the monitor supports sessions.
+	SessionSweepEvery time.Duration
+}
+
+func (c Config) sessionSweepEvery() time.Duration {
+	if c.SessionSweepEvery == 0 {
+		return time.Minute
+	}
+	return c.SessionSweepEvery
 }
 
 func (c Config) cacheSize() int {
@@ -43,20 +75,28 @@ func (c Config) cacheSize() int {
 // Server is the online screening service. Construct with New, serve
 // with Start or Handler, stop with Shutdown.
 type Server struct {
-	det     Screener
-	mon     Assessor
-	cache   *Cache
-	coal    *Coalescer
-	adm     *Admission
-	metrics *Metrics
-	start   time.Time
-	http    *http.Server
+	det      Screener
+	mon      Assessor
+	sessions SessionMonitor // nil when mon does not support sessions
+	cache    *Cache
+	coal     *Coalescer
+	adm      *Admission
+	metrics  *Metrics
+	start    time.Time
+	http     *http.Server
+
+	janitorStop chan struct{}
+	janitorDone chan struct{}
+	stopOnce    sync.Once
 }
 
 // New builds a Server over det; mon may be nil to disable /v1/assess.
+// When mon also implements SessionMonitor, the stateful per-user
+// endpoints are enabled and a background janitor sweeps idle
+// sessions every cfg.SessionSweepEvery until Shutdown.
 func New(det Screener, mon Assessor, cfg Config) *Server {
 	m := NewMetrics()
-	return &Server{
+	s := &Server{
 		det:     det,
 		mon:     mon,
 		cache:   NewCache(cfg.cacheSize()),
@@ -65,6 +105,41 @@ func New(det Screener, mon Assessor, cfg Config) *Server {
 		metrics: m,
 		start:   time.Now(),
 	}
+	if sm, ok := mon.(SessionMonitor); ok && sm != nil {
+		s.sessions = sm
+		s.metrics.SessionStats = sm.SessionStats
+		if every := cfg.sessionSweepEvery(); every > 0 {
+			s.janitorStop = make(chan struct{})
+			s.janitorDone = make(chan struct{})
+			go s.janitor(every)
+		}
+	}
+	return s
+}
+
+// janitor periodically evicts idle sessions so memory is released
+// even when a user never posts again. It exits on Shutdown.
+func (s *Server) janitor(every time.Duration) {
+	defer close(s.janitorDone)
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			s.sessions.SweepSessions()
+		case <-s.janitorStop:
+			return
+		}
+	}
+}
+
+// stopJanitor stops the sweep goroutine; safe to call repeatedly.
+func (s *Server) stopJanitor() {
+	if s.janitorStop == nil {
+		return
+	}
+	s.stopOnce.Do(func() { close(s.janitorStop) })
+	<-s.janitorDone
 }
 
 // Metrics exposes the server's metric set (for tests and embedding).
@@ -77,6 +152,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/screen", s.instrument("screen", http.MethodPost, true, s.handleScreen))
 	mux.HandleFunc("/v1/screen/batch", s.instrument("screen_batch", http.MethodPost, true, s.handleScreenBatch))
 	mux.HandleFunc("/v1/assess", s.instrument("assess", http.MethodPost, true, s.handleAssess))
+	mux.HandleFunc("/v1/users/{id}/posts", s.instrument("user_observe", http.MethodPost, true, s.handleUserObserve))
+	mux.HandleFunc("/v1/users/{id}/risk", s.instrument("user_risk", http.MethodGet, true, s.handleUserRisk))
+	mux.HandleFunc("/v1/users/{id}", s.instrument("user_delete", http.MethodDelete, true, s.handleUserDelete))
 	mux.HandleFunc("/healthz", s.instrument("healthz", http.MethodGet, false, s.handleHealthz))
 	mux.HandleFunc("/metrics", s.instrument("metrics", http.MethodGet, false, s.handleMetrics))
 	return mux
@@ -152,12 +230,15 @@ func (s *Server) Start(addr string) (string, <-chan error, error) {
 	return ln.Addr().String(), errc, nil
 }
 
-// Shutdown drains gracefully: stop accepting connections, wait for
-// in-flight handlers, then flush and drain the coalescer so every
-// admitted request gets its report. Both waits are bounded by ctx —
-// when it expires, in-flight batch execution is aborted rather than
-// awaited.
+// Shutdown drains gracefully: stop the session janitor, stop
+// accepting connections, wait for in-flight handlers, then flush and
+// drain the coalescer so every admitted request gets its report. The
+// HTTP and coalescer waits are bounded by ctx — when it expires,
+// in-flight batch execution is aborted rather than awaited. After
+// Shutdown returns, the session store is quiescent, so a caller may
+// snapshot it consistently.
 func (s *Server) Shutdown(ctx context.Context) error {
+	s.stopJanitor()
 	var err error
 	if s.http != nil {
 		err = s.http.Shutdown(ctx)

@@ -1,0 +1,305 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	mhd "repro"
+)
+
+// fakeSessionMonitor is a scripted SessionMonitor (and Assessor): a
+// session alarms on the first post containing "risky".
+type fakeSessionMonitor struct {
+	fakeAssessor
+	mu    sync.Mutex
+	users map[string]mhd.RiskState
+	stats mhd.SessionStats
+	swept atomic.Int64
+}
+
+func newFakeSessionMonitor() *fakeSessionMonitor {
+	return &fakeSessionMonitor{users: map[string]mhd.RiskState{}}
+}
+
+func (f *fakeSessionMonitor) Observe(user, post string) (mhd.RiskState, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	st, ok := f.users[user]
+	if !ok {
+		st = mhd.RiskState{User: user}
+		f.stats.Created++
+	}
+	st.Posts++
+	st.Evidence += float64(len(post))
+	if !st.Alarm && strings.Contains(post, "risky") {
+		st.Alarm, st.AlarmAt = true, st.Posts
+		f.stats.Alarms++
+	}
+	f.users[user] = st
+	f.stats.Observations++
+	return st, nil
+}
+
+func (f *fakeSessionMonitor) Risk(user string) (mhd.RiskState, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	st, ok := f.users[user]
+	return st, ok
+}
+
+func (f *fakeSessionMonitor) End(user string) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, ok := f.users[user]; !ok {
+		return false
+	}
+	delete(f.users, user)
+	f.stats.Ended++
+	return true
+}
+
+func (f *fakeSessionMonitor) SessionStats() mhd.SessionStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	st := f.stats
+	st.Active = len(f.users)
+	return st
+}
+
+func (f *fakeSessionMonitor) SweepSessions() int {
+	f.swept.Add(1)
+	return 0
+}
+
+// newSessionTestServer wires a Server whose monitor supports
+// sessions (janitor disabled unless cfg says otherwise).
+func newSessionTestServer(t *testing.T, cfg Config) (*fakeSessionMonitor, *httptest.Server) {
+	t.Helper()
+	if cfg.SessionSweepEvery == 0 {
+		cfg.SessionSweepEvery = -1
+	}
+	mon := newFakeSessionMonitor()
+	s := New(&fakeScreener{}, mon, cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	})
+	return mon, ts
+}
+
+func getJSON(t *testing.T, url string, v any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if v != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestUserObserveRiskDeleteLifecycle(t *testing.T) {
+	_, ts := newSessionTestServer(t, Config{})
+
+	// Observe three posts; the second one alarms.
+	var st riskStateResponse
+	for i, post := range []string{"fine today", "risky business", "calm again"} {
+		code, body := doPost(t, ts.URL+"/v1/users/u-1/posts", map[string]any{"text": post})
+		if code != http.StatusOK {
+			t.Fatalf("post %d: status %d: %s", i, code, body)
+		}
+		if err := json.Unmarshal(body, &st); err != nil {
+			t.Fatal(err)
+		}
+		if st.Posts != i+1 || st.User != "u-1" {
+			t.Fatalf("post %d: state %+v", i, st)
+		}
+	}
+	if !st.Alarm || st.AlarmAt != 2 {
+		t.Fatalf("alarm not latched at post 2: %+v", st)
+	}
+
+	// GET risk reads the same state.
+	var read riskStateResponse
+	if code := getJSON(t, ts.URL+"/v1/users/u-1/risk", &read); code != http.StatusOK {
+		t.Fatalf("risk: status %d", code)
+	}
+	if read != st {
+		t.Errorf("risk read %+v != observed %+v", read, st)
+	}
+
+	// DELETE removes it; a second delete and a read 404.
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/users/u-1", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("delete: status %d, want 204", resp.StatusCode)
+	}
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNotFound {
+		t.Fatalf("second delete: status %d, want 404", resp2.StatusCode)
+	}
+	if code := getJSON(t, ts.URL+"/v1/users/u-1/risk", nil); code != http.StatusNotFound {
+		t.Fatalf("risk after delete: status %d, want 404", code)
+	}
+}
+
+func TestUserEndpointsValidation(t *testing.T) {
+	_, ts := newSessionTestServer(t, Config{})
+
+	code, _ := doPost(t, ts.URL+"/v1/users/u-1/posts", map[string]any{"text": ""})
+	if code != http.StatusBadRequest {
+		t.Errorf("empty text: status %d, want 400", code)
+	}
+	code, _ = doPost(t, ts.URL+"/v1/users/u-1/posts", map[string]any{"txet": "typo"})
+	if code != http.StatusBadRequest {
+		t.Errorf("unknown field: status %d, want 400", code)
+	}
+	long := strings.Repeat("x", maxUserIDBytes+1)
+	code, _ = doPost(t, ts.URL+"/v1/users/"+long+"/posts", map[string]any{"text": "hello"})
+	if code != http.StatusBadRequest {
+		t.Errorf("oversized user id: status %d, want 400", code)
+	}
+	// Wrong methods.
+	if code := getJSON(t, ts.URL+"/v1/users/u-1/posts", nil); code != http.StatusMethodNotAllowed {
+		t.Errorf("GET posts: status %d, want 405", code)
+	}
+	code, _ = doPost(t, ts.URL+"/v1/users/u-1/risk", map[string]any{"text": "x"})
+	if code != http.StatusMethodNotAllowed {
+		t.Errorf("POST risk: status %d, want 405", code)
+	}
+}
+
+func TestUserEndpointsDisabledWithoutSessionMonitor(t *testing.T) {
+	// The plain fakeAssessor does not implement SessionMonitor, so
+	// the session surface answers 501 while /v1/assess still works.
+	_, ts := newTestServer(t, &fakeScreener{}, Config{})
+	code, _ := doPost(t, ts.URL+"/v1/users/u-1/posts", map[string]any{"text": "hello"})
+	if code != http.StatusNotImplemented {
+		t.Fatalf("observe without sessions: status %d, want 501", code)
+	}
+	if code := getJSON(t, ts.URL+"/v1/users/u-1/risk", nil); code != http.StatusNotImplemented {
+		t.Fatalf("risk without sessions: status %d, want 501", code)
+	}
+}
+
+func TestUserObserveRidesAdmissionControl(t *testing.T) {
+	// One slot, held by a gated batch screen; an observe must shed.
+	f := &fakeScreener{gate: make(chan struct{}), entered: make(chan struct{}, 1)}
+	mon := newFakeSessionMonitor()
+	s := New(f, mon, Config{MaxBatch: 1, MaxDelay: time.Millisecond,
+		MaxInFlight: 1, CacheSize: -1, SessionSweepEvery: -1})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	})
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		code, _ := doPost(t, ts.URL+"/v1/screen", map[string]any{"text": "slot holder"})
+		if code != http.StatusOK {
+			t.Errorf("slot holder: status %d", code)
+		}
+	}()
+	<-f.entered
+
+	code, _ := doPost(t, ts.URL+"/v1/users/u-1/posts", map[string]any{"text": "while full"})
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("observe under overload: status %d, want 429", code)
+	}
+	close(f.gate)
+	wg.Wait()
+}
+
+func TestSessionMetricsAndHealth(t *testing.T) {
+	mon, ts := newSessionTestServer(t, Config{})
+	doPost(t, ts.URL+"/v1/users/u-1/posts", map[string]any{"text": "risky start"})
+	doPost(t, ts.URL+"/v1/users/u-2/posts", map[string]any{"text": "all fine"})
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := new(strings.Builder)
+	if _, err := io.Copy(body, resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	for _, want := range []string{
+		"mh_sessions_active 2",
+		"mh_sessions_created_total 2",
+		"mh_session_observations_total 2",
+		"mh_session_alarms_total 1",
+		`mh_sessions_evicted_total{reason="ttl"} 0`,
+		`mh_sessions_evicted_total{reason="capacity"} 0`,
+		`mh_requests_total{endpoint="user_observe"} 2`,
+	} {
+		if !strings.Contains(body.String(), want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+
+	var health struct {
+		Sessions *int `json:"sessions"`
+	}
+	if code := getJSON(t, ts.URL+"/healthz", &health); code != http.StatusOK {
+		t.Fatalf("healthz: status %d", code)
+	}
+	if health.Sessions == nil || *health.Sessions != 2 {
+		t.Errorf("healthz sessions = %v, want 2", health.Sessions)
+	}
+	_ = mon
+}
+
+func TestJanitorSweepsAndStopsOnShutdown(t *testing.T) {
+	mon := newFakeSessionMonitor()
+	s := New(&fakeScreener{}, mon, Config{SessionSweepEvery: 2 * time.Millisecond})
+	deadline := time.Now().Add(5 * time.Second)
+	for mon.swept.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if mon.swept.Load() == 0 {
+		t.Fatal("janitor never swept")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	after := mon.swept.Load()
+	time.Sleep(20 * time.Millisecond)
+	if got := mon.swept.Load(); got != after {
+		t.Errorf("janitor kept sweeping after Shutdown (%d -> %d)", after, got)
+	}
+	// Shutdown is idempotent.
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+}

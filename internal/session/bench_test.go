@@ -1,0 +1,82 @@
+package session
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/benchio"
+	"repro/internal/early"
+	"repro/internal/task"
+)
+
+// benchClassifier is a near-free deterministic classifier, so the
+// benchmark gates the store itself (hashing, striped locking, LRU
+// bookkeeping) rather than classifier inference.
+type benchClassifier struct{}
+
+func (benchClassifier) Name() string { return "bench" }
+func (benchClassifier) Predict(text string) (task.Prediction, error) {
+	p := float64(len(text)%7) / 20
+	return task.Prediction{Label: 0, Scores: []float64{1 - p, p}}, nil
+}
+
+// BenchmarkSessionStoreObserve measures concurrent per-user observes
+// across a working set of 4096 users — the hot path of the stateful
+// serving layer. The headline observes/sec is written to
+// BENCH_sessions.json at the repo root, recording the session-store
+// trajectory across PRs alongside BENCH_serve.json.
+func BenchmarkSessionStoreObserve(b *testing.B) {
+	mon, err := early.NewMonitor(benchClassifier{}, 50, 0.05)
+	if err != nil {
+		b.Fatal(err)
+	}
+	st, err := New(mon, Config{TTL: time.Hour, Capacity: 1 << 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const userSet = 4096
+	users := make([]string, userSet)
+	posts := make([]string, userSet)
+	for i := range users {
+		users[i] = fmt.Sprintf("user-%04d", i)
+		posts[i] = fmt.Sprintf("synthetic post number %d about an ordinary day", i)
+	}
+
+	var seq atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			i := int(seq.Add(1))
+			if _, err := st.Observe(users[i%userSet], posts[(i*31)%userSet]); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	b.StopTimer()
+
+	obsPerSec := float64(b.N) / b.Elapsed().Seconds()
+	b.ReportMetric(obsPerSec, "observes/s")
+	writeBenchJSON(b, obsPerSec, st.Stats())
+}
+
+// writeBenchJSON records the session-store benchmark result at the
+// repo root (best effort: benches must not fail on read-only
+// checkouts).
+func writeBenchJSON(b *testing.B, obsPerSec float64, stats Stats) {
+	path, err := benchio.Write("BENCH_sessions.json", map[string]any{
+		"benchmark":        "SessionStoreObserve",
+		"observations":     b.N,
+		"observes_per_sec": obsPerSec,
+		"active_sessions":  stats.Active,
+		"gomaxprocs":       runtime.GOMAXPROCS(0),
+	})
+	if err != nil {
+		b.Logf("skipping BENCH_sessions.json: %v", err)
+		return
+	}
+	b.Logf("wrote %s (%.0f observes/s)", path, obsPerSec)
+}

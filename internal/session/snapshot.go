@@ -1,0 +1,141 @@
+package session
+
+import (
+	"container/list"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"repro/internal/early"
+)
+
+// snapshotVersion is the wire version of the snapshot format. Bump it
+// whenever the session or state encoding changes shape; Restore
+// refuses versions it does not understand.
+const snapshotVersion = 1
+
+// ErrSnapshotVersion is returned (wrapped) by Restore when the
+// snapshot's version is not one this build can read.
+var ErrSnapshotVersion = errors.New("session: unsupported snapshot version")
+
+// ErrSnapshotMismatch is returned (wrapped) by Restore when the
+// snapshot was taken under different monitor parameters: evidence
+// accumulated at one threshold/decay is meaningless at another.
+var ErrSnapshotMismatch = errors.New("session: snapshot monitor parameters mismatch")
+
+// snapshotFile is the on-disk snapshot envelope.
+type snapshotFile struct {
+	Version   int               `json:"version"`
+	Threshold float64           `json:"threshold"`
+	Decay     float64           `json:"decay"`
+	Sessions  []snapshotSession `json:"sessions"`
+}
+
+type snapshotSession struct {
+	User     string      `json:"user"`
+	State    early.State `json:"state"`
+	LastSeen time.Time   `json:"last_seen"`
+}
+
+// Snapshot writes the store's sessions to w as JSON, sorted by user
+// ID for stable output. Shards are locked one at a time, so the
+// snapshot is per-shard consistent; for a fully quiescent snapshot
+// (e.g. at graceful shutdown) stop observers first.
+func (st *Store) Snapshot(w io.Writer) error {
+	snap := snapshotFile{
+		Version:   snapshotVersion,
+		Threshold: st.mon.Threshold(),
+		Decay:     st.mon.Decay(),
+	}
+	for i := range st.shards {
+		sh := &st.shards[i]
+		sh.mu.Lock()
+		for el := sh.order.Front(); el != nil; el = el.Next() {
+			e := el.Value.(*sessionEntry)
+			snap.Sessions = append(snap.Sessions, snapshotSession{
+				User: e.user, State: e.state, LastSeen: e.last,
+			})
+		}
+		sh.mu.Unlock()
+	}
+	sort.Slice(snap.Sessions, func(a, b int) bool {
+		return snap.Sessions[a].User < snap.Sessions[b].User
+	})
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(snap)
+}
+
+// Restore replaces the store's contents with the sessions read from
+// r. The snapshot must carry the current version and have been taken
+// under the same monitor threshold/decay (ErrSnapshotVersion /
+// ErrSnapshotMismatch otherwise). Sessions already expired relative
+// to the store's TTL are dropped; the rest are loaded in last-seen
+// order so LRU recency — and capacity shedding, if the snapshot
+// exceeds capacity — favor the most recently active users.
+func (st *Store) Restore(r io.Reader) error {
+	var snap snapshotFile
+	if err := json.NewDecoder(r).Decode(&snap); err != nil {
+		return fmt.Errorf("session: decoding snapshot: %w", err)
+	}
+	if snap.Version != snapshotVersion {
+		return fmt.Errorf("%w: snapshot v%d, supported v%d",
+			ErrSnapshotVersion, snap.Version, snapshotVersion)
+	}
+	if snap.Threshold != st.mon.Threshold() || snap.Decay != st.mon.Decay() {
+		return fmt.Errorf("%w: snapshot (threshold=%g decay=%g), monitor (threshold=%g decay=%g)",
+			ErrSnapshotMismatch, snap.Threshold, snap.Decay,
+			st.mon.Threshold(), st.mon.Decay())
+	}
+	seen := make(map[string]bool, len(snap.Sessions))
+	for i, s := range snap.Sessions {
+		if s.User == "" {
+			return fmt.Errorf("session: snapshot session %d has empty user id", i)
+		}
+		if seen[s.User] {
+			return fmt.Errorf("session: snapshot has duplicate user %q", s.User)
+		}
+		seen[s.User] = true
+	}
+
+	// Oldest first: inserting in ascending last-seen order rebuilds
+	// each shard's LRU list with the most recent users at the front,
+	// which is also who survives if capacity shedding kicks in.
+	sessions := append([]snapshotSession(nil), snap.Sessions...)
+	sort.Slice(sessions, func(a, b int) bool {
+		return sessions[a].LastSeen.Before(sessions[b].LastSeen)
+	})
+
+	now := st.now()
+	for i := range st.shards {
+		sh := &st.shards[i]
+		sh.mu.Lock()
+		sh.order.Init()
+		sh.entries = make(map[string]*list.Element)
+		sh.mu.Unlock()
+	}
+	loaded := int64(0)
+	for _, s := range sessions {
+		if now.Sub(s.LastSeen) > st.ttl {
+			continue // expired while the store was down
+		}
+		sh := st.shard(s.User)
+		sh.mu.Lock()
+		// An Observe racing the restore may have re-created this user
+		// after the clear above; the snapshot replaces it (insert
+		// would otherwise orphan the old list element).
+		if el, ok := sh.entries[s.User]; ok {
+			sh.order.Remove(el)
+			delete(sh.entries, s.User)
+		}
+		e := st.insert(sh, s.User, s.LastSeen)
+		e.state = s.State
+		sh.mu.Unlock()
+		loaded++
+	}
+	st.restored.Add(loaded)
+	return nil
+}

@@ -1,0 +1,314 @@
+// Package session is the stateful half of online early-risk serving:
+// a sharded per-user session store that accumulates risk evidence
+// post by post through an early.Monitor. Each session is one user's
+// running early.State plus a last-seen timestamp; the store bounds
+// its memory with TTL-based idle eviction and a hard capacity with
+// LRU shedding, and can snapshot/restore itself as JSON so a serving
+// process survives restarts without losing accumulated evidence.
+//
+// Locking is striped: user IDs hash onto shards, each shard guarding
+// its own map and LRU list. The classifier — the expensive half of
+// an observation — runs outside the shard lock (see early.Signal /
+// early.Fold), so the lock only covers the map touch and fold.
+package session
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/early"
+)
+
+// Config tunes a Store. The zero value selects sensible defaults.
+type Config struct {
+	// TTL is how long an idle session survives before it is eligible
+	// for eviction (default 30m). Expired sessions are dropped lazily
+	// on access and in bulk by Sweep.
+	TTL time.Duration
+	// Capacity bounds the number of live sessions (default 65536).
+	// When a shard is full the least-recently-observed session of
+	// that shard is shed to admit the new one.
+	Capacity int
+	// Shards is the lock-stripe count (default 16, clamped to
+	// Capacity). Tests pin it to 1 for deterministic LRU order.
+	Shards int
+	// Now overrides the clock (tests); defaults to time.Now.
+	Now func() time.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.TTL <= 0 {
+		c.TTL = 30 * time.Minute
+	}
+	if c.Capacity <= 0 {
+		c.Capacity = 65536
+	}
+	if c.Shards <= 0 {
+		c.Shards = 16
+	}
+	if c.Shards > c.Capacity {
+		c.Shards = c.Capacity
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// Status is one session's externally visible state.
+type Status struct {
+	User     string
+	State    early.State
+	LastSeen time.Time
+}
+
+// Stats is a point-in-time snapshot of the store's metrics, shaped
+// for Prometheus-style exposition (active gauge + monotonic
+// counters).
+type Stats struct {
+	Active          int   // live sessions right now
+	Created         int64 // sessions started (incl. restarts after eviction)
+	Observations    int64 // posts folded into sessions
+	Alarms          int64 // sessions that crossed into alarm
+	EvictedTTL      int64 // sessions dropped for idleness
+	EvictedCapacity int64 // sessions shed to admit new ones at capacity
+	Ended           int64 // sessions removed by explicit End
+	Restored        int64 // sessions loaded by Restore
+}
+
+// Store is a sharded per-user session store. Construct with New; all
+// methods are safe for concurrent use.
+type Store struct {
+	mon    *early.Monitor
+	ttl    time.Duration
+	now    func() time.Time
+	shards []shard
+
+	created      atomic.Int64
+	observations atomic.Int64
+	alarms       atomic.Int64
+	evictedTTL   atomic.Int64
+	evictedCap   atomic.Int64
+	ended        atomic.Int64
+	restored     atomic.Int64
+}
+
+type shard struct {
+	mu      sync.Mutex
+	cap     int
+	order   *list.List               // front = most recently observed
+	entries map[string]*list.Element // value: *sessionEntry
+}
+
+type sessionEntry struct {
+	user  string
+	state early.State
+	last  time.Time
+}
+
+// New builds a session store that folds observations through mon.
+func New(mon *early.Monitor, cfg Config) (*Store, error) {
+	if mon == nil {
+		return nil, fmt.Errorf("session: nil monitor")
+	}
+	cfg = cfg.withDefaults()
+	st := &Store{
+		mon:    mon,
+		ttl:    cfg.TTL,
+		now:    cfg.Now,
+		shards: make([]shard, cfg.Shards),
+	}
+	base, extra := cfg.Capacity/cfg.Shards, cfg.Capacity%cfg.Shards
+	for i := range st.shards {
+		s := &st.shards[i]
+		s.cap = base
+		if i < extra {
+			s.cap++
+		}
+		s.order = list.New()
+		s.entries = make(map[string]*list.Element)
+	}
+	return st, nil
+}
+
+// TTL returns the idle-eviction window the store was built with.
+func (st *Store) TTL() time.Duration { return st.ttl }
+
+// shard hashes user with inline FNV-1a (no per-call allocation).
+func (st *Store) shard(user string) *shard {
+	const offset64, prime64 = 14695981039346656037, 1099511628211
+	h := uint64(offset64)
+	for i := 0; i < len(user); i++ {
+		h ^= uint64(user[i])
+		h *= prime64
+	}
+	return &st.shards[h%uint64(len(st.shards))]
+}
+
+// expired reports whether an entry's idle time exceeds the TTL.
+func (st *Store) expired(e *sessionEntry, now time.Time) bool {
+	return now.Sub(e.last) > st.ttl
+}
+
+// get returns the live entry for user, lazily evicting it first if it
+// expired. Caller holds sh.mu.
+func (st *Store) get(sh *shard, user string, now time.Time) *sessionEntry {
+	el, ok := sh.entries[user]
+	if !ok {
+		return nil
+	}
+	e := el.Value.(*sessionEntry)
+	if st.expired(e, now) {
+		sh.order.Remove(el)
+		delete(sh.entries, user)
+		st.evictedTTL.Add(1)
+		return nil
+	}
+	return e
+}
+
+// insert adds a fresh session for user, shedding the shard's least
+// recently observed session if the shard is at capacity. Caller
+// holds sh.mu.
+func (st *Store) insert(sh *shard, user string, now time.Time) *sessionEntry {
+	if sh.order.Len() >= sh.cap {
+		oldest := sh.order.Back()
+		sh.order.Remove(oldest)
+		old := oldest.Value.(*sessionEntry)
+		delete(sh.entries, old.user)
+		if st.expired(old, now) {
+			st.evictedTTL.Add(1)
+		} else {
+			st.evictedCap.Add(1)
+		}
+	}
+	e := &sessionEntry{user: user, last: now}
+	sh.entries[user] = sh.order.PushFront(e)
+	return e
+}
+
+// Observe feeds one post into user's session (starting it if absent
+// or expired) and returns the updated status. Concurrent observes of
+// the same user serialize on the shard lock; each post is folded
+// exactly once.
+func (st *Store) Observe(user, post string) (Status, error) {
+	if user == "" {
+		return Status{}, fmt.Errorf("session: empty user id")
+	}
+	if post == "" {
+		return Status{}, fmt.Errorf("session: empty post")
+	}
+	// The classifier runs before the lock: the signal depends only on
+	// the post text, never on session state.
+	sig, err := st.mon.Signal(post)
+	if err != nil {
+		return Status{}, fmt.Errorf("session: user %s: %w", user, err)
+	}
+	now := st.now()
+	sh := st.shard(user)
+	sh.mu.Lock()
+	e := st.get(sh, user, now)
+	if e == nil {
+		e = st.insert(sh, user, now)
+		st.created.Add(1)
+	}
+	wasAlarmed := e.state.Alarm
+	e.state = st.mon.Fold(e.state, sig)
+	e.last = now
+	sh.order.MoveToFront(sh.entries[user])
+	status := Status{User: user, State: e.state, LastSeen: e.last}
+	sh.mu.Unlock()
+
+	st.observations.Add(1)
+	if status.State.Alarm && !wasAlarmed {
+		st.alarms.Add(1)
+	}
+	return status, nil
+}
+
+// Risk returns user's current status without observing anything: a
+// pure read that neither refreshes the session's idle clock nor its
+// LRU position. Expired sessions read as absent (and are dropped).
+func (st *Store) Risk(user string) (Status, bool) {
+	sh := st.shard(user)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e := st.get(sh, user, st.now())
+	if e == nil {
+		return Status{}, false
+	}
+	return Status{User: user, State: e.state, LastSeen: e.last}, true
+}
+
+// End removes user's session, reporting whether one existed.
+func (st *Store) End(user string) bool {
+	sh := st.shard(user)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	el, ok := sh.entries[user]
+	if !ok {
+		return false
+	}
+	sh.order.Remove(el)
+	delete(sh.entries, user)
+	st.ended.Add(1)
+	return true
+}
+
+// Len returns the number of stored sessions (including idle ones not
+// yet swept).
+func (st *Store) Len() int {
+	n := 0
+	for i := range st.shards {
+		sh := &st.shards[i]
+		sh.mu.Lock()
+		n += sh.order.Len()
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Sweep evicts every expired session and returns how many it
+// dropped. Run it periodically so idle sessions release memory
+// without waiting to be touched.
+func (st *Store) Sweep() int {
+	now := st.now()
+	dropped := 0
+	for i := range st.shards {
+		sh := &st.shards[i]
+		sh.mu.Lock()
+		// Walk from the LRU tail; entries are ordered by recency, so
+		// the first live one ends the scan.
+		for el := sh.order.Back(); el != nil; {
+			e := el.Value.(*sessionEntry)
+			if !st.expired(e, now) {
+				break
+			}
+			prev := el.Prev()
+			sh.order.Remove(el)
+			delete(sh.entries, e.user)
+			st.evictedTTL.Add(1)
+			dropped++
+			el = prev
+		}
+		sh.mu.Unlock()
+	}
+	return dropped
+}
+
+// Stats returns a point-in-time snapshot of the store's metrics.
+func (st *Store) Stats() Stats {
+	return Stats{
+		Active:          st.Len(),
+		Created:         st.created.Load(),
+		Observations:    st.observations.Load(),
+		Alarms:          st.alarms.Load(),
+		EvictedTTL:      st.evictedTTL.Load(),
+		EvictedCapacity: st.evictedCap.Load(),
+		Ended:           st.ended.Load(),
+		Restored:        st.restored.Load(),
+	}
+}

@@ -1,0 +1,391 @@
+package session
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/early"
+	"repro/internal/task"
+)
+
+// scriptedClassifier returns risk 1.0 for posts containing "risk"
+// and 0.0 otherwise.
+type scriptedClassifier struct{}
+
+func (scriptedClassifier) Name() string { return "scripted" }
+func (scriptedClassifier) Predict(text string) (task.Prediction, error) {
+	if strings.Contains(text, "risk") {
+		return task.Prediction{Label: 1, Scores: []float64{0, 1}}, nil
+	}
+	return task.Prediction{Label: 0, Scores: []float64{1, 0}}, nil
+}
+
+// fakeClock is an injectable, atomically advanceable clock.
+type fakeClock struct{ offset atomic.Int64 }
+
+var clockEpoch = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func (c *fakeClock) Now() time.Time {
+	return clockEpoch.Add(time.Duration(c.offset.Load()))
+}
+
+func (c *fakeClock) Advance(d time.Duration) { c.offset.Add(int64(d)) }
+
+func newTestStore(t *testing.T, cfg Config) (*Store, *fakeClock) {
+	t.Helper()
+	mon, err := early.NewMonitor(scriptedClassifier{}, 2.0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk := &fakeClock{}
+	cfg.Now = clk.Now
+	st, err := New(mon, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st, clk
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, Config{}); err == nil {
+		t.Error("nil monitor must error")
+	}
+}
+
+func TestObserveValidation(t *testing.T) {
+	st, _ := newTestStore(t, Config{})
+	if _, err := st.Observe("", "a post"); err == nil {
+		t.Error("empty user must error")
+	}
+	if _, err := st.Observe("u1", ""); err == nil {
+		t.Error("empty post must error")
+	}
+}
+
+func TestObserveMatchesOfflineAssess(t *testing.T) {
+	// Feeding posts one Observe at a time must alarm at the same post
+	// index Monitor.Assess reports for the whole history.
+	st, _ := newTestStore(t, Config{})
+	posts := []string{"calm", "risk", "calm", "risk", "calm"}
+	wantAlarm, wantDelay, err := st.mon.Assess(posts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !wantAlarm {
+		t.Fatal("test history must alarm offline")
+	}
+	var got Status
+	for _, p := range posts {
+		if got, err = st.Observe("u1", p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !got.State.Alarm || got.State.AlarmAt != wantDelay {
+		t.Errorf("online alarm at %d (alarm=%v), offline Assess at %d",
+			got.State.AlarmAt, got.State.Alarm, wantDelay)
+	}
+	if got.State.Posts != len(posts) {
+		t.Errorf("posts = %d, want %d", got.State.Posts, len(posts))
+	}
+	if s := st.Stats(); s.Alarms != 1 || s.Created != 1 || s.Observations != int64(len(posts)) {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestRiskIsAPureRead(t *testing.T) {
+	st, clk := newTestStore(t, Config{TTL: time.Minute})
+	if _, err := st.Observe("u1", "calm"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st.Risk("nobody"); ok {
+		t.Error("unknown user must read as absent")
+	}
+	got, ok := st.Risk("u1")
+	if !ok || got.State.Posts != 1 || got.State.Alarm {
+		t.Fatalf("risk = %+v, %v", got, ok)
+	}
+	// Reading must not refresh the idle clock: advance past the TTL
+	// with interleaved reads, then confirm the session expired.
+	for i := 0; i < 4; i++ {
+		clk.Advance(20 * time.Second)
+		st.Risk("u1")
+	}
+	if _, ok := st.Risk("u1"); ok {
+		t.Error("reads kept the session alive past its TTL")
+	}
+}
+
+func TestEnd(t *testing.T) {
+	st, _ := newTestStore(t, Config{})
+	st.Observe("u1", "calm")
+	if !st.End("u1") {
+		t.Error("End must report an existing session")
+	}
+	if st.End("u1") {
+		t.Error("End must report a missing session")
+	}
+	if _, ok := st.Risk("u1"); ok {
+		t.Error("session survived End")
+	}
+	if s := st.Stats(); s.Ended != 1 || s.Active != 0 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestTTLEvictionUnderConcurrentObserve(t *testing.T) {
+	const users = 64
+	st, clk := newTestStore(t, Config{TTL: time.Minute, Capacity: 1024})
+
+	// Phase 1: many goroutines observe disjoint users while Sweep
+	// runs concurrently; nothing is idle, so nothing may be evicted.
+	var wg sync.WaitGroup
+	for u := 0; u < users; u++ {
+		wg.Add(1)
+		go func(u int) {
+			defer wg.Done()
+			id := fmt.Sprintf("user-%d", u)
+			for p := 0; p < 10; p++ {
+				if _, err := st.Observe(id, "calm post"); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(u)
+	}
+	stop := make(chan struct{})
+	var sweeper sync.WaitGroup
+	sweeper.Add(1)
+	go func() {
+		defer sweeper.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				st.Sweep()
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	sweeper.Wait()
+	if s := st.Stats(); s.EvictedTTL != 0 || s.Active != users {
+		t.Fatalf("live sessions evicted: %+v", s)
+	}
+
+	// Phase 2: keep half the users warm past the TTL; the idle half
+	// must be swept (and must restart fresh on their next observe).
+	clk.Advance(45 * time.Second)
+	for u := 0; u < users/2; u++ {
+		if _, err := st.Observe(fmt.Sprintf("user-%d", u), "calm post"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	clk.Advance(45 * time.Second) // idle half now 90s idle, warm half 45s
+	if dropped := st.Sweep(); dropped != users/2 {
+		t.Fatalf("swept %d sessions, want %d", dropped, users/2)
+	}
+	if s := st.Stats(); s.Active != users/2 || s.EvictedTTL != users/2 {
+		t.Fatalf("stats after sweep = %+v", s)
+	}
+	// An expired user restarts from zero even without a sweep.
+	clk.Advance(2 * time.Minute)
+	got, err := st.Observe("user-0", "calm post")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.State.Posts != 1 {
+		t.Errorf("expired session resumed with %d posts, want fresh start", got.State.Posts)
+	}
+}
+
+func TestCapacityOneShedding(t *testing.T) {
+	st, _ := newTestStore(t, Config{Capacity: 1})
+	if len(st.shards) != 1 {
+		t.Fatalf("capacity 1 must clamp to 1 shard, got %d", len(st.shards))
+	}
+	if _, err := st.Observe("alice", "risk talk"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Observe("bob", "calm"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st.Risk("alice"); ok {
+		t.Error("alice should have been shed to admit bob")
+	}
+	if _, ok := st.Risk("bob"); !ok {
+		t.Error("bob missing after admission")
+	}
+	if s := st.Stats(); s.Active != 1 || s.EvictedCapacity != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+	// Alice returns as a brand-new session.
+	got, err := st.Observe("alice", "calm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.State.Posts != 1 || got.State.Evidence != 0 {
+		t.Errorf("shed session kept state: %+v", got.State)
+	}
+}
+
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	st, clk := newTestStore(t, Config{TTL: time.Hour, Shards: 4})
+	histories := map[string][]string{
+		"u-alarmed": {"risk", "risk", "calm"},
+		"u-warm":    {"calm", "risk"},
+		"u-cold":    {"calm"},
+	}
+	for user, posts := range histories {
+		for _, p := range posts {
+			if _, err := st.Observe(user, p); err != nil {
+				t.Fatal(err)
+			}
+			clk.Advance(time.Second)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := st.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Snapshot output is deterministic (sorted by user).
+	var again bytes.Buffer
+	if err := st.Snapshot(&again); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != again.String() {
+		t.Error("snapshot output not deterministic")
+	}
+
+	st2, clk2 := newTestStore(t, Config{TTL: time.Hour, Shards: 2})
+	clk2.Advance(time.Duration(clk.offset.Load()))
+	if err := st2.Restore(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if st2.Len() != len(histories) {
+		t.Fatalf("restored %d sessions, want %d", st2.Len(), len(histories))
+	}
+	if s := st2.Stats(); s.Restored != int64(len(histories)) {
+		t.Errorf("stats = %+v", s)
+	}
+	for user := range histories {
+		want, ok1 := st.Risk(user)
+		got, ok2 := st2.Risk(user)
+		if !ok1 || !ok2 {
+			t.Fatalf("user %s missing after restore (%v, %v)", user, ok1, ok2)
+		}
+		if got.State != want.State || !got.LastSeen.Equal(want.LastSeen) {
+			t.Errorf("user %s: restored %+v != original %+v", user, got, want)
+		}
+	}
+	if _, err := st2.Observe("u-warm", "risk talk"); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := st2.Risk("u-warm")
+	if !got.State.Alarm || got.State.AlarmAt != 3 {
+		t.Errorf("restored evidence did not carry forward: %+v", got.State)
+	}
+}
+
+func TestRestoreDropsExpired(t *testing.T) {
+	st, clk := newTestStore(t, Config{TTL: time.Minute})
+	st.Observe("old", "calm")
+	clk.Advance(30 * time.Second)
+	st.Observe("fresh", "calm")
+
+	var buf bytes.Buffer
+	if err := st.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	st2, clk2 := newTestStore(t, Config{TTL: time.Minute})
+	clk2.Advance(time.Duration(clk.offset.Load()) + 45*time.Second)
+	if err := st2.Restore(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st2.Risk("old"); ok {
+		t.Error("75s-idle session restored despite 1m TTL")
+	}
+	if _, ok := st2.Risk("fresh"); !ok {
+		t.Error("45s-idle session dropped despite 1m TTL")
+	}
+}
+
+func TestRestoreRejectsMismatch(t *testing.T) {
+	st, _ := newTestStore(t, Config{})
+	st.Observe("u1", "calm")
+	var buf bytes.Buffer
+	if err := st.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	otherMon, err := early.NewMonitor(scriptedClassifier{}, 3.0, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, err := New(otherMon, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := other.Restore(bytes.NewReader(buf.Bytes())); !errors.Is(err, ErrSnapshotMismatch) {
+		t.Errorf("mismatched params: err = %v, want ErrSnapshotMismatch", err)
+	}
+
+	st2, _ := newTestStore(t, Config{})
+	bad := strings.Replace(buf.String(), `"version": 1`, `"version": 99`, 1)
+	if err := st2.Restore(strings.NewReader(bad)); !errors.Is(err, ErrSnapshotVersion) {
+		t.Errorf("bad version: err = %v, want ErrSnapshotVersion", err)
+	}
+	if err := st2.Restore(strings.NewReader("{not json")); err == nil {
+		t.Error("garbage snapshot must error")
+	}
+}
+
+func TestRestoreRejectsDuplicateUsers(t *testing.T) {
+	// A crafted snapshot repeating a user must be refused outright:
+	// inserting the same key twice would orphan a list element and
+	// desynchronize the shard's map and LRU list.
+	st, _ := newTestStore(t, Config{})
+	dup := `{"version":1,"threshold":2,"decay":0,"sessions":[` +
+		`{"user":"u1","state":{"evidence":1,"posts":1},"last_seen":"2026-01-01T00:00:01Z"},` +
+		`{"user":"u1","state":{"evidence":2,"posts":2},"last_seen":"2026-01-01T00:00:02Z"}]}`
+	if err := st.Restore(strings.NewReader(dup)); err == nil {
+		t.Fatal("duplicate user accepted")
+	}
+	if st.Len() != 0 {
+		t.Errorf("rejected restore left %d sessions", st.Len())
+	}
+}
+
+func TestRestoreShedsBeyondCapacity(t *testing.T) {
+	st, clk := newTestStore(t, Config{TTL: time.Hour, Capacity: 8})
+	for i := 0; i < 6; i++ {
+		st.Observe(fmt.Sprintf("user-%d", i), "calm")
+		clk.Advance(time.Second)
+	}
+	var buf bytes.Buffer
+	if err := st.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	small, clk2 := newTestStore(t, Config{TTL: time.Hour, Capacity: 2, Shards: 1})
+	clk2.Advance(time.Duration(clk.offset.Load()))
+	if err := small.Restore(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if small.Len() != 2 {
+		t.Fatalf("restored %d sessions into capacity 2", small.Len())
+	}
+	// The two most recently seen users survive.
+	for _, user := range []string{"user-4", "user-5"} {
+		if _, ok := small.Risk(user); !ok {
+			t.Errorf("most-recent user %s shed during restore", user)
+		}
+	}
+}
