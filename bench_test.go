@@ -12,8 +12,11 @@ package mhd
 // results. Full-size runs are available through cmd/mhbench.
 
 import (
+	"runtime"
 	"strconv"
 	"testing"
+
+	"repro/internal/benchio"
 )
 
 // runExperimentB regenerates experiment id once per iteration and
@@ -183,6 +186,65 @@ func BenchmarkDetectorScreenBaseline(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkDetectorScreen is the screening hot-path trajectory bench:
+// sequential single-post Screen over a rotating synthetic feed, so
+// the figure tracks the per-post inference cost (tokenize, featurize,
+// classify, lexicon pass) with no batching or HTTP in front of it.
+// Throughput and steady-state allocations are written to
+// BENCH_screen.json at the repo root, where CI's bench-trajectory job
+// validates and archives them.
+func BenchmarkDetectorScreen(b *testing.B) {
+	det, err := NewDetector(WithSeed(1), WithTrainingSize(1200))
+	if err != nil {
+		b.Fatal(err)
+	}
+	feed := SampleFeed(512, 9)
+	posts := make([]string, len(feed))
+	for i, p := range feed {
+		posts[i] = p.Text
+	}
+	// Warm the per-detector scratch pool so the measured region is the
+	// steady state.
+	for _, p := range posts[:16] {
+		if _, err := det.Screen(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := det.Screen(posts[i%len(posts)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	postsPerSec := float64(b.N) / b.Elapsed().Seconds()
+	// Derive the recorded allocs/op with AllocsPerRun rather than
+	// from the timed loop: CI runs this bench at -benchtime=1x, where
+	// a process-wide counter delta over b.N=1 would jitter by whole
+	// units on any stray background allocation.
+	n := 0
+	allocsPerOp := testing.AllocsPerRun(256, func() {
+		if _, err := det.Screen(posts[n%len(posts)]); err != nil {
+			b.Fatal(err)
+		}
+		n++
+	})
+	b.ReportMetric(postsPerSec, "posts/s")
+	path, err := benchio.Write("BENCH_screen.json", map[string]any{
+		"benchmark":     "DetectorScreen",
+		"posts":         b.N,
+		"posts_per_sec": postsPerSec,
+		"allocs_per_op": allocsPerOp,
+		"gomaxprocs":    runtime.GOMAXPROCS(0),
+	})
+	if err != nil {
+		b.Logf("skipping BENCH_screen.json: %v", err)
+		return
+	}
+	b.Logf("wrote %s (%.0f posts/s, %.1f allocs/op)", path, postsPerSec, allocsPerOp)
 }
 
 // BenchmarkDetectorScreenBatch compares a sequential Screen loop

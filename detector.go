@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/baseline"
@@ -44,9 +45,15 @@ type Report struct {
 // are safe for concurrent use.
 type Detector struct {
 	clf        task.Classifier
+	fast       task.BatchPredictor // clf's tokenize-once fast path; nil when unsupported
 	labels     []Disorder
 	labelNames []string
 	workers    int
+	// scratch recycles per-call screen state for the single-post
+	// Screen entry point, so even unbatched callers ride the
+	// zero-allocation path once warm. Batch and stream carry their
+	// own per-shard scratch instead (never contended, no pool trips).
+	scratch sync.Pool
 }
 
 // detectorConfig collects NewDetector and NewRiskMonitor options.
@@ -156,32 +163,62 @@ func NewDetector(opts ...Option) (*Detector, error) {
 		}
 		d.clf = clf
 	}
+	d.fast, _ = d.clf.(task.BatchPredictor)
 	return d, nil
 }
 
 // screenScratch is per-shard reusable state for the screening hot
 // path: token and match buffers grown once and reused across posts,
-// so steady-state batch screening does not allocate per post beyond
-// the Report itself.
+// plus the classifier's own scratch, so steady-state screening does
+// not allocate per post beyond the Report itself. Ownership rule:
+// a screenScratch belongs to exactly one worker shard (or to one
+// pooled Screen call) at a time and is never shared concurrently.
 type screenScratch struct {
 	tokens  []string
 	matches []lexicon.Match
+	ps      task.Scratch // classifier scratch; nil when d.fast is nil
+}
+
+// newScratch builds scratch wired to the detector's classifier.
+func (d *Detector) newScratch() *screenScratch {
+	sc := &screenScratch{}
+	if d.fast != nil {
+		sc.ps = d.fast.NewScratch()
+	}
+	return sc
 }
 
 // Screen classifies one post and grades its suicide risk.
 func (d *Detector) Screen(text string) (Report, error) {
-	return d.screen(text, &screenScratch{})
+	sc, _ := d.scratch.Get().(*screenScratch)
+	if sc == nil {
+		sc = d.newScratch()
+	}
+	rep, err := d.screen(text, sc)
+	d.scratch.Put(sc)
+	return rep, err
 }
 
 func (d *Detector) screen(text string, sc *screenScratch) (Report, error) {
 	if text == "" {
 		return Report{}, fmt.Errorf("mhd: empty text")
 	}
-	pred, err := d.clf.Predict(text)
+	// Tokenize once: the same normalized word tokens feed both the
+	// classifier's featurizer (via the fast path) and the condition
+	// automaton below. The fused tokenizer skips materializing the
+	// normalized string entirely.
+	sc.tokens = textkit.AppendNormalizedWords(sc.tokens[:0], text)
+	var pred task.Prediction
+	var err error
+	if d.fast != nil {
+		pred, err = d.fast.PredictTokens(sc.tokens, sc.ps)
+	} else {
+		pred, err = d.clf.Predict(text)
+	}
 	if err != nil {
 		return Report{}, err
 	}
-	rep := Report{Condition: Control, Scores: map[string]float64{}}
+	rep := Report{Condition: Control, Scores: make(map[string]float64, len(d.labels))}
 	if pred.Label >= 0 && pred.Label < len(d.labels) {
 		rep.Condition = d.labels[pred.Label]
 	}
@@ -204,11 +241,10 @@ func (d *Detector) screen(text string, sc *screenScratch) (Report, error) {
 
 	// Risk grading and evidence are lexicon-grounded so they remain
 	// auditable regardless of the engine. One pass over the shared
-	// condition automaton yields the matches of every lexicon at
-	// once; risk score and evidence lists are then derived without
-	// re-scanning the tokens.
+	// condition automaton — over the token slice already computed
+	// above — yields the matches of every lexicon at once; risk score
+	// and evidence lists are then derived without re-scanning.
 	ca := lexicon.Conditions()
-	sc.tokens = textkit.AppendWords(sc.tokens[:0], textkit.Normalize(text))
 	sc.matches = ca.AppendMatches(sc.matches[:0], sc.tokens)
 	siLex := ca.Index(SuicidalIdeation)
 	rep.Risk = gradeRisk(sc.matches, siLex, len(sc.tokens))
@@ -250,15 +286,28 @@ func gradeRisk(matches []lexicon.Match, siLex, ntokens int) Severity {
 	}
 }
 
+// mergeEvidence concatenates a then b, dropping duplicates while
+// preserving first-occurrence order. Evidence lists are a handful of
+// lexicon phrases, so the linear dedup scan over out beats hashing:
+// the whole merge costs exactly one allocation (the output slice).
 func mergeEvidence(a, b []string) []string {
-	seen := map[string]bool{}
 	out := make([]string, 0, len(a)+len(b))
-	for _, s := range append(append([]string{}, a...), b...) {
-		if !seen[s] {
-			seen[s] = true
-			out = append(out, s)
+	appendNew := func(ss []string) {
+		for _, s := range ss {
+			dup := false
+			for _, t := range out {
+				if t == s {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				out = append(out, s)
+			}
 		}
 	}
+	appendNew(a)
+	appendNew(b)
 	return out
 }
 
@@ -294,10 +343,13 @@ func (d *Detector) ScreenBatch(texts []string) ([]Report, error) {
 // error is returned.
 func (d *Detector) ScreenBatchContext(ctx context.Context, texts []string) ([]Report, error) {
 	workers := d.poolWorkers()
-	scratch := make([]screenScratch, workers)
+	scratch := make([]*screenScratch, workers)
+	for i := range scratch {
+		scratch[i] = d.newScratch()
+	}
 	reports, err := pipeline.Map(ctx, texts, pipeline.Config{Workers: workers},
 		func(shard int, text string) (Report, error) {
-			return d.screen(text, &scratch[shard])
+			return d.screen(text, scratch[shard])
 		})
 	var ie *pipeline.ItemError
 	if errors.As(err, &ie) {
@@ -324,14 +376,17 @@ type StreamReport struct {
 // two apart). Consumers must drain the channel or cancel ctx.
 func (d *Detector) ScreenStream(ctx context.Context, posts <-chan string) <-chan StreamReport {
 	workers := d.poolWorkers()
-	scratch := make([]screenScratch, workers)
+	scratch := make([]*screenScratch, workers)
+	for i := range scratch {
+		scratch[i] = d.newScratch()
+	}
 	type screened struct {
 		text string
 		rep  Report
 	}
 	results := pipeline.Stream(ctx, posts, pipeline.Config{Workers: workers},
 		func(shard int, text string) (screened, error) {
-			rep, err := d.screen(text, &scratch[shard])
+			rep, err := d.screen(text, scratch[shard])
 			return screened{text: text, rep: rep}, err
 		})
 	out := make(chan StreamReport)

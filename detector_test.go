@@ -12,11 +12,12 @@ import (
 )
 
 // reportsEquivalent compares two reports for the same post. The
-// decision fields must agree exactly; Confidence and Scores are
-// compared with a tolerance because the classifier's feature
-// extraction sums bag-of-words counts in map order, which makes its
-// probabilities jitter at the 1e-16 scale between calls (a
-// pre-existing property of the engine, not of the batch pipeline).
+// decision fields must agree exactly. The baseline engine is now
+// fully deterministic (every order-sensitive float sum runs in
+// ascending feature index order, on both the map and slice paths),
+// so its Confidence and Scores repeat bit for bit; the small
+// tolerance is kept so this helper stays valid for any engine,
+// including future ones with no such guarantee.
 func reportsEquivalent(a, b Report) bool {
 	const eps = 1e-9
 	if a.Condition != b.Condition || a.Risk != b.Risk || a.Crisis != b.Crisis {
@@ -77,6 +78,72 @@ func TestScreenBatchMatchesScreen(t *testing.T) {
 			t.Errorf("post %d: batch report %+v != sequential %+v", i, got[i], want[i])
 		}
 	}
+}
+
+// TestScreenDeterministic pins the fast path's reproducibility:
+// repeated Screens of the same post — through pooled scratch, so
+// buffers are reused — return bit-identical scores.
+func TestScreenDeterministic(t *testing.T) {
+	det, err := newTestDetector()
+	if err != nil {
+		t.Fatal(err)
+	}
+	texts := testFeedTexts(t, 8)
+	for _, p := range texts {
+		first, err := det.Screen(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 3; i++ {
+			again, err := det.Screen(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if again.Confidence != first.Confidence {
+				t.Fatalf("confidence drifted across calls: %v != %v", again.Confidence, first.Confidence)
+			}
+			for k, v := range first.Scores {
+				if again.Scores[k] != v {
+					t.Fatalf("score[%s] drifted across calls: %v != %v", k, again.Scores[k], v)
+				}
+			}
+		}
+	}
+}
+
+// TestScreenAllocations is the allocation-regression gate on the
+// zero-allocation fast path: once the detector's scratch pool is
+// warm, one Screen may allocate only the Report itself (its Scores
+// map and evidence slices — 5 to 6 allocations today). The cap
+// carries headroom for Go-version drift, but a return of per-post
+// tokenization, featurization, or sparse-vector allocations (dozens
+// per call) fails loudly.
+func TestScreenAllocations(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation changes allocation counts")
+	}
+	det, err := newTestDetector()
+	if err != nil {
+		t.Fatal(err)
+	}
+	texts := testFeedTexts(t, 64)
+	for _, p := range texts {
+		if _, err := det.Screen(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const maxAllocs = 10
+	i := 0
+	avg := testing.AllocsPerRun(256, func() {
+		if _, err := det.Screen(texts[i%len(texts)]); err != nil {
+			t.Fatal(err)
+		}
+		i++
+	})
+	if avg > maxAllocs {
+		t.Errorf("steady-state Screen = %.1f allocs/op, gate is %d", avg, maxAllocs)
+	}
+	t.Logf("steady-state Screen: %.1f allocs/op", avg)
 }
 
 func TestScreenBatchPostError(t *testing.T) {

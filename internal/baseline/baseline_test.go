@@ -338,3 +338,39 @@ func TestSparseVecOps(t *testing.T) {
 	empty := SparseVec{}
 	empty.L2Normalize() // must not panic or NaN
 }
+
+// TestSparseVecDotTruncation pins the documented truncation contract:
+// features with index >= len(w) are silently dropped — they
+// contribute exactly nothing, as if w were zero-extended — and the
+// surviving terms accumulate in ascending index order. The slice fast
+// path asserts parity against exactly this behavior, so a change here
+// is a change to the inference fast path's semantics.
+func TestSparseVecDotTruncation(t *testing.T) {
+	s := SparseVec{0: 2, 3: 5, 7: 11, 100: 1e18}
+	w := []float64{1, 1, 1, 10, 1} // len 5: indices 7 and 100 truncated
+	if got, want := s.Dot(w), 2.0+50.0; got != want {
+		t.Errorf("Dot = %v, want %v (indices >= len(w) must be dropped)", got, want)
+	}
+	// Parity with the slice representation: a slice dot over the
+	// in-range entries in ascending order must agree bit for bit.
+	feats := s.AppendFeatures(nil)
+	sum := 0.0
+	for _, f := range feats {
+		if f.Index < len(w) {
+			sum += f.Value * w[f.Index]
+		}
+	}
+	if math.Float64bits(sum) != math.Float64bits(s.Dot(w)) {
+		t.Errorf("slice dot %v != map dot %v", sum, s.Dot(w))
+	}
+	// Fully out-of-range vector dots to exactly zero.
+	if got := (SparseVec{10: 5}).Dot(w[:3]); got != 0 {
+		t.Errorf("all-truncated Dot = %v, want 0", got)
+	}
+	// AppendFeatures emits ascending, dupe-free indices.
+	for i := 1; i < len(feats); i++ {
+		if feats[i-1].Index >= feats[i].Index {
+			t.Fatalf("AppendFeatures not strictly ascending: %+v", feats)
+		}
+	}
+}

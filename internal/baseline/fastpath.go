@@ -1,0 +1,157 @@
+package baseline
+
+import (
+	"fmt"
+	"math"
+	"slices"
+
+	"repro/internal/task"
+	"repro/internal/textkit"
+)
+
+// This file is the slice-backed inference fast path. The map-backed
+// SparseVec API stays for training and the legacy Predict entry
+// points; at inference time the classifiers instead run on sorted
+// (index, value) slices produced by TFIDF.AppendTransform and dot
+// them against feature-major contiguous weight layouts, reusing
+// per-worker predictScratch buffers so the steady state allocates
+// nothing. Every reduction here accumulates in ascending feature
+// index order — the same order the (now deterministic) SparseVec
+// methods use — so fast-path predictions are bit-identical to the
+// legacy path (pinned by FuzzFastFeaturizeMatchesLegacy).
+
+// IndexedFeature is one (feature index, value) entry of a
+// slice-backed sparse vector. Vectors are sorted ascending by Index
+// with no duplicate indices.
+type IndexedFeature struct {
+	Index int
+	Value float64
+}
+
+// predictScratch is the per-worker scratch every baseline classifier
+// hands out via NewScratch: token, feature, and score buffers grown
+// once, plus a memoizing stemmer so suffix rewrites are paid once per
+// distinct word. Not safe for concurrent use.
+type predictScratch struct {
+	stems   []string
+	feats   []IndexedFeature
+	scores  []float64
+	stemmer textkit.Stemmer
+}
+
+// scratchFor coerces a task.Scratch back to the concrete type,
+// falling back to fresh temporary state for nil or foreign scratch
+// (correct, just not allocation-free).
+func scratchFor(s task.Scratch) *predictScratch {
+	if sc, ok := s.(*predictScratch); ok && sc != nil {
+		return sc
+	}
+	return &predictScratch{}
+}
+
+// stemFiltered reduces normalized word tokens to the stemmed,
+// stopword-free sequence the vectorizers consume — exactly
+// stemTokens(text) when toks == textkit.Words(textkit.Normalize(text))
+// — reusing sc.stems and leaving toks untouched.
+func (sc *predictScratch) stemFiltered(toks []string) []string {
+	out := sc.stems[:0]
+	for _, t := range toks {
+		if !textkit.IsStopword(t) {
+			out = append(out, sc.stemmer.Stem(t))
+		}
+	}
+	sc.stems = out
+	return out
+}
+
+// AppendTransform maps a stemmed, stopword-free token sequence (the
+// output of stemTokens / predictScratch.stemFiltered) to its
+// L2-normalized TF-IDF vector in sorted slice form, appending to dst
+// and returning the extended slice. Unigrams are looked up in the
+// fitted vocabulary directly and bigrams through the interned
+// (token, token) pair index, so no feature strings are built.
+// Out-of-vocabulary features are dropped. The appended region is
+// sorted ascending by Index with duplicate occurrences merged into
+// sublinear term frequencies, and the normalization sum runs in that
+// order — making the result bit-identical to Transform on the
+// originating text.
+func (v *TFIDF) AppendTransform(dst []IndexedFeature, stems []string) ([]IndexedFeature, error) {
+	if !v.fitted {
+		return dst, fmt.Errorf("baseline: TFIDF.AppendTransform before Fit")
+	}
+	n0 := len(dst)
+	for _, t := range stems {
+		if idx, ok := v.vocab[t]; ok {
+			dst = append(dst, IndexedFeature{Index: idx, Value: 1})
+		}
+	}
+	for i := 0; i+1 < len(stems); i++ {
+		if idx, ok := v.pairs[bigramPair{stems[i], stems[i+1]}]; ok {
+			dst = append(dst, IndexedFeature{Index: idx, Value: 1})
+		}
+	}
+	feats := dst[n0:]
+	slices.SortFunc(feats, func(a, b IndexedFeature) int { return a.Index - b.Index })
+	// Merge duplicate indices into counts, then apply sublinear
+	// tf-idf. Counts accumulate 1.0 at a time, matching Transform's
+	// map increments exactly.
+	w := 0
+	for r := 0; r < len(feats); {
+		idx := feats[r].Index
+		c := 0.0
+		for ; r < len(feats) && feats[r].Index == idx; r++ {
+			c += feats[r].Value
+		}
+		feats[w] = IndexedFeature{Index: idx, Value: (1 + math.Log(c)) * v.idf[idx]}
+		w++
+	}
+	feats = feats[:w]
+	norm := 0.0
+	for _, f := range feats {
+		norm += f.Value * f.Value
+	}
+	if norm > 0 {
+		norm = math.Sqrt(norm)
+		for i := range feats {
+			feats[i].Value /= norm
+		}
+	}
+	return dst[:n0+w], nil
+}
+
+// flatten packs per-class weight rows [class][feature] into the
+// feature-major contiguous layout [feature*classes + class] the
+// slice dot walks: all classes of one feature sit in adjacent memory,
+// so a post's ~10^2 active features cost ~10^2 cache lines instead of
+// scattering across per-class rows.
+func flatten(w [][]float64, numFeatures int) []float64 {
+	flat := make([]float64, numFeatures*len(w))
+	for c, row := range w {
+		for idx, v := range row {
+			if idx >= numFeatures {
+				break
+			}
+			flat[idx*len(w)+c] = v
+		}
+	}
+	return flat
+}
+
+// dotFeats accumulates feats against a feature-major flat weight
+// layout, returning one score per class in dst (resliced from
+// dst[:0]). Per class, terms add in ascending feature index order
+// with no bias — callers add biases afterwards, preserving
+// SparseVec.Dot's exact summation order.
+func dotFeats(dst []float64, feats []IndexedFeature, flat []float64, classes int) []float64 {
+	dst = dst[:0]
+	for c := 0; c < classes; c++ {
+		dst = append(dst, 0)
+	}
+	for _, f := range feats {
+		base := f.Index * classes
+		for c := 0; c < classes; c++ {
+			dst[c] += f.Value * flat[base+c]
+		}
+	}
+	return dst
+}

@@ -1,0 +1,203 @@
+package baseline
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"unicode/utf8"
+
+	"repro/internal/corpus"
+	"repro/internal/domain"
+	"repro/internal/task"
+	"repro/internal/textkit"
+)
+
+// fastModels trains one instance of every slice-fast-path classifier
+// on a shared small corpus, once per test process.
+type fastModels struct {
+	lr   *LogisticRegression
+	svm  *LinearSVM
+	cent *Centroid
+	nb   *NaiveBayes
+	all  []task.BatchPredictor
+}
+
+var (
+	fastOnce sync.Once
+	fastM    fastModels
+	fastErr  error
+)
+
+func trainedFastModels(t testing.TB) *fastModels {
+	t.Helper()
+	fastOnce.Do(func() {
+		spec := corpus.Spec{
+			Name: "fastpath", Kind: corpus.KindDisorder,
+			Classes:    []domain.Disorder{domain.Control, domain.Depression, domain.Anxiety},
+			ClassProbs: []float64{0.34, 0.33, 0.33},
+			N:          180, Difficulty: 0.3, Seed: 53,
+		}
+		ds, err := spec.Build()
+		if err != nil {
+			fastErr = err
+			return
+		}
+		train := ds.Examples()
+		fastM.lr = NewLogisticRegression(3, LRConfig{Seed: 7, Epochs: 4})
+		fastM.svm = NewLinearSVM(3, SVMConfig{Seed: 7, Epochs: 3})
+		fastM.cent = NewCentroid(3, 0)
+		fastM.nb = NewNaiveBayes(3, 1)
+		for _, m := range []task.Trainable{fastM.lr, fastM.svm, fastM.cent, fastM.nb} {
+			if err := m.Fit(train); err != nil {
+				fastErr = err
+				return
+			}
+		}
+		fastM.all = []task.BatchPredictor{fastM.lr, fastM.svm, fastM.cent, fastM.nb}
+	})
+	if fastErr != nil {
+		t.Fatalf("training fast-path models: %v", fastErr)
+	}
+	return &fastM
+}
+
+// assertSamePrediction requires bit-identical predictions from the
+// legacy and fast paths.
+func assertSamePrediction(t *testing.T, name, text string, legacy, fast task.Prediction) {
+	t.Helper()
+	if legacy.Label != fast.Label {
+		t.Fatalf("%s label mismatch on %q: legacy %d, fast %d", name, text, legacy.Label, fast.Label)
+	}
+	if len(legacy.Scores) != len(fast.Scores) {
+		t.Fatalf("%s score arity mismatch on %q: %d vs %d", name, text, len(legacy.Scores), len(fast.Scores))
+	}
+	for i := range legacy.Scores {
+		if math.Float64bits(legacy.Scores[i]) != math.Float64bits(fast.Scores[i]) {
+			t.Fatalf("%s score[%d] mismatch on %q: legacy %v (%#x), fast %v (%#x)",
+				name, i, text, legacy.Scores[i], math.Float64bits(legacy.Scores[i]),
+				fast.Scores[i], math.Float64bits(fast.Scores[i]))
+		}
+	}
+}
+
+// checkParity runs every classifier down both paths for one text.
+func checkParity(t *testing.T, m *fastModels, text string, toksBuf []string, scratches []task.Scratch) []string {
+	t.Helper()
+	toks := textkit.AppendNormalizedWords(toksBuf[:0], text)
+
+	// Vectorizer-level parity: Transform's map and AppendTransform's
+	// slice must hold exactly the same (index, value) pairs.
+	legacyVec, err := m.lr.vec.Transform(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := legacyVec.AppendFeatures(nil)
+	sc := scratchFor(scratches[0])
+	got, err := m.lr.vec.AppendTransform(nil, sc.stemFiltered(toks))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("feature count mismatch on %q: legacy %v, fast %v", text, want, got)
+	}
+	for i := range want {
+		if want[i].Index != got[i].Index ||
+			math.Float64bits(want[i].Value) != math.Float64bits(got[i].Value) {
+			t.Fatalf("feature %d mismatch on %q: legacy %+v, fast %+v", i, text, want[i], got[i])
+		}
+	}
+
+	for i, clf := range m.all {
+		legacy, err := clf.Predict(text)
+		if err != nil {
+			t.Fatalf("%s.Predict(%q): %v", clf.Name(), text, err)
+		}
+		fast, err := clf.PredictTokens(toks, scratches[i])
+		if err != nil {
+			t.Fatalf("%s.PredictTokens(%q): %v", clf.Name(), text, err)
+		}
+		assertSamePrediction(t, clf.Name(), text, legacy, fast)
+	}
+	return toks
+}
+
+func newScratches(m *fastModels) []task.Scratch {
+	out := make([]task.Scratch, len(m.all))
+	for i, clf := range m.all {
+		out[i] = clf.NewScratch()
+	}
+	return out
+}
+
+func TestFastPredictMatchesLegacy(t *testing.T) {
+	m := trainedFastModels(t)
+	scratches := newScratches(m)
+	texts := []string{
+		"i feel so hopeless and worthless lately, crying every night",
+		"what a great sunny day for hiking with friends",
+		"can't stop worrying about everything, heart racing",
+		"",
+		"zzz qqq completely out of vocabulary words",
+		"Sooo tired!!! https://example.com @you #anxious t_t",
+		"panic panic panic attack attack",
+	}
+	var toks []string
+	for _, text := range texts {
+		// Run each text twice through the same scratches so buffer
+		// reuse is exercised, not just fresh-slice behavior.
+		toks = checkParity(t, m, text, toks, scratches)
+		toks = checkParity(t, m, text, toks, scratches)
+	}
+}
+
+func TestPredictTokensNilScratch(t *testing.T) {
+	m := trainedFastModels(t)
+	text := "i feel hopeless and empty"
+	toks := textkit.AppendNormalizedWords(nil, text)
+	for _, clf := range m.all {
+		legacy, err := clf.Predict(text)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fast, err := clf.PredictTokens(toks, nil)
+		if err != nil {
+			t.Fatalf("%s.PredictTokens(nil scratch): %v", clf.Name(), err)
+		}
+		assertSamePrediction(t, clf.Name(), text, legacy, fast)
+	}
+}
+
+func TestPredictTokensBeforeFit(t *testing.T) {
+	for _, clf := range []task.BatchPredictor{
+		NewLogisticRegression(2, LRConfig{}),
+		NewLinearSVM(2, SVMConfig{}),
+		NewCentroid(2, 0),
+		NewNaiveBayes(2, 1),
+	} {
+		if _, err := clf.PredictTokens([]string{"x"}, clf.NewScratch()); err == nil {
+			t.Errorf("%s.PredictTokens before Fit must error", clf.Name())
+		}
+	}
+}
+
+// FuzzFastFeaturizeMatchesLegacy pins the tentpole invariant: for
+// arbitrary UTF-8 input, the fused tokenize + AppendTransform path
+// produces identical feature vectors and bit-identical Predict scores
+// to the legacy featurize + Transform map path, for every classifier
+// with a fast path.
+func FuzzFastFeaturizeMatchesLegacy(f *testing.F) {
+	f.Add("i feel so hopeless and worthless lately")
+	f.Add("Sooo tired!!! check https://x.com @me #fine t_t")
+	f.Add("panic attack t_t panic t t attack")
+	f.Add("“quotes” — www.x.y #@user i can't... 日本語")
+	f.Add("")
+	m := trainedFastModels(f)
+	scratches := newScratches(m)
+	var toks []string
+	f.Fuzz(func(t *testing.T, s string) {
+		if !utf8.ValidString(s) {
+			t.Skip()
+		}
+		toks = checkParity(t, m, s, toks, scratches)
+	})
+}

@@ -18,25 +18,50 @@ import (
 	"repro/internal/textkit"
 )
 
-// SparseVec is a sparse feature vector keyed by feature index.
+// SparseVec is a sparse feature vector keyed by feature index. It is
+// the map-backed representation used for training and the legacy
+// Predict path; the inference fast path uses the slice-backed
+// IndexedFeature form (see AppendTransform), and the two must agree
+// bit for bit, so every order-sensitive reduction over a SparseVec
+// iterates indices in ascending order.
 type SparseVec map[int]float64
 
-// Dot returns the sparse-dense dot product.
+// sortedIndices returns s's feature indices in ascending order — the
+// canonical summation order shared with the slice fast path.
+func (s SparseVec) sortedIndices() []int {
+	idxs := make([]int, 0, len(s))
+	for i := range s {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	return idxs
+}
+
+// Dot returns the sparse-dense dot product, accumulating terms in
+// ascending index order so the result is reproducible and
+// bit-identical to the slice fast path's dot.
+//
+// Truncation contract: features whose index is >= len(w) are silently
+// dropped — they contribute exactly nothing to the sum, as if the
+// weight vector were zero-extended. The fast path asserts parity
+// against this behavior (see TestSparseVecDotTruncation).
 func (s SparseVec) Dot(w []float64) float64 {
 	sum := 0.0
-	for i, v := range s {
+	for _, i := range s.sortedIndices() {
 		if i < len(w) {
-			sum += v * w[i]
+			sum += s[i] * w[i]
 		}
 	}
 	return sum
 }
 
-// L2Normalize scales s to unit norm in place and returns it.
+// L2Normalize scales s to unit norm in place and returns it. The
+// squared-norm sum runs in ascending index order for bit-identity
+// with the slice fast path.
 func (s SparseVec) L2Normalize() SparseVec {
 	n := 0.0
-	for _, v := range s {
-		n += v * v
+	for _, i := range s.sortedIndices() {
+		n += s[i] * s[i]
 	}
 	if n == 0 {
 		return s
@@ -48,15 +73,36 @@ func (s SparseVec) L2Normalize() SparseVec {
 	return s
 }
 
+// AppendFeatures appends s's entries to dst as sorted IndexedFeatures
+// and returns the extended slice — the bridge from the map
+// representation to the slice fast path (training builds maps once,
+// then trains and predicts on slices).
+func (s SparseVec) AppendFeatures(dst []IndexedFeature) []IndexedFeature {
+	n0 := len(dst)
+	for i, v := range s {
+		dst = append(dst, IndexedFeature{Index: i, Value: v})
+	}
+	fs := dst[n0:]
+	sort.Slice(fs, func(i, j int) bool { return fs[i].Index < fs[j].Index })
+	return dst
+}
+
 // TFIDF is a unigram+bigram TF-IDF vectorizer with a capped,
 // frequency-ranked vocabulary, sublinear term frequency, and smooth
 // IDF. Fit before Transform.
 type TFIDF struct {
 	maxFeatures int
 	vocab       map[string]int
-	idf         []float64
-	fitted      bool
+	// pairs interns the fitted bigram vocabulary under a two-token
+	// composite key, so the fast path looks bigrams up straight from
+	// adjacent stems with no "a_b" string build per window.
+	pairs  map[bigramPair]int
+	idf    []float64
+	fitted bool
 }
+
+// bigramPair is the composite key of one interned bigram feature.
+type bigramPair struct{ a, b string }
 
 // NewTFIDF returns a vectorizer keeping at most maxFeatures
 // vocabulary entries (<=0 means unlimited).
@@ -64,15 +110,28 @@ func NewTFIDF(maxFeatures int) *TFIDF {
 	return &TFIDF{maxFeatures: maxFeatures}
 }
 
-// featurize is the shared token pipeline: normalize, word-tokenize,
-// drop stopwords, stem, then emit unigrams + bigrams.
-func featurize(text string) []string {
-	toks := textkit.RemoveStopwords(textkit.Words(textkit.Normalize(text)))
-	toks = textkit.StemAll(toks)
-	return textkit.UniBigrams(toks)
+// stemTokens is the token half of the shared feature pipeline:
+// normalize, word-tokenize, drop stopwords, stem — built from the
+// same append-style textkit primitives the inference fast path uses
+// (predictScratch.stemFiltered fuses the last two steps), so the two
+// routes cannot drift. The filter and stem passes compact into the
+// token slice's own backing array, which is safe because neither
+// writes ahead of its read position.
+func stemTokens(text string) []string {
+	toks := textkit.AppendNormalizedWords(nil, text)
+	toks = textkit.AppendNonStopwords(toks[:0], toks)
+	return textkit.AppendStems(toks[:0], toks)
 }
 
-// Fit learns the vocabulary and IDF weights from texts.
+// featurize is the shared string-feature pipeline: stemTokens, then
+// unigrams + "_"-joined bigrams.
+func featurize(text string) []string {
+	return textkit.UniBigrams(stemTokens(text))
+}
+
+// Fit learns the vocabulary and IDF weights from texts, then interns
+// the vocabulary's bigrams under (token, token) composite keys so
+// AppendTransform can look bigrams up without joining strings.
 func (v *TFIDF) Fit(texts []string) error {
 	if len(texts) == 0 {
 		return fmt.Errorf("baseline: TFIDF.Fit on empty corpus")
@@ -111,8 +170,28 @@ func (v *TFIDF) Fit(texts []string) error {
 		v.vocab[e.feat] = i
 		v.idf[i] = math.Log((1+n)/(1+float64(e.df))) + 1 // smooth idf
 	}
+	v.pairs = internPairs(v.vocab)
 	v.fitted = true
 	return nil
+}
+
+// internPairs indexes every (a, b) token pair whose "_"-join is a
+// vocabulary feature. Enumerating every underscore split of every
+// feature — not just the bigrams observed during fitting — makes the
+// composite lookup exactly equivalent to the legacy string join: a
+// token that itself contains an underscore (the emoticon "t_t") is
+// reachable both as a unigram and as the join of the pair ("t", "t"),
+// and both routes land on the same feature index either way.
+func internPairs(vocab map[string]int) map[bigramPair]int {
+	pairs := make(map[bigramPair]int)
+	for f, idx := range vocab {
+		for i := 1; i+1 < len(f); i++ {
+			if f[i] == '_' {
+				pairs[bigramPair{f[:i], f[i+1:]}] = idx
+			}
+		}
+	}
+	return pairs
 }
 
 // NumFeatures returns the fitted vocabulary size.

@@ -20,6 +20,7 @@ type LogisticRegression struct {
 
 	vec    *TFIDF
 	w      [][]float64 // [class][feature]
+	wf     []float64   // feature-major flat layout, for the fast path
 	b      []float64   // [class]
 	fitted bool
 }
@@ -76,13 +77,17 @@ func (m *LogisticRegression) Fit(train []task.Example) error {
 	if err := m.vec.Fit(texts); err != nil {
 		return err
 	}
-	feats := make([]SparseVec, len(train))
+	// Train on the sorted slice representation: dots accumulate in
+	// ascending index order (the canonical order shared with the
+	// legacy SparseVec path), and walking contiguous slices beats
+	// re-hashing map entries every epoch.
+	feats := make([][]IndexedFeature, len(train))
 	for i, ex := range train {
 		f, err := m.vec.Transform(ex.Text)
 		if err != nil {
 			return err
 		}
-		feats[i] = f
+		feats[i] = f.AppendFeatures(nil)
 	}
 	nf := m.vec.NumFeatures()
 	m.w = make([][]float64, m.numClasses)
@@ -93,13 +98,20 @@ func (m *LogisticRegression) Fit(train []task.Example) error {
 
 	rng := rand.New(rand.NewSource(m.seed))
 	order := rng.Perm(len(train))
+	probs := make([]float64, m.numClasses)
 	step := 0
 	for epoch := 0; epoch < m.epochs; epoch++ {
 		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
 		for _, i := range order {
 			step++
 			eta := m.lr / (1 + m.lr*m.l2*float64(step))
-			probs := m.logits(feats[i])
+			for c := 0; c < m.numClasses; c++ {
+				sum := 0.0
+				for _, f := range feats[i] {
+					sum += f.Value * m.w[c][f.Index]
+				}
+				probs[c] = sum + m.b[c]
+			}
 			softmax(probs)
 			for c := 0; c < m.numClasses; c++ {
 				grad := probs[c]
@@ -110,21 +122,33 @@ func (m *LogisticRegression) Fit(train []task.Example) error {
 					continue
 				}
 				wc := m.w[c]
-				for idx, v := range feats[i] {
-					wc[idx] -= eta * (grad*v + m.l2*wc[idx])
+				for _, f := range feats[i] {
+					wc[f.Index] -= eta * (grad*f.Value + m.l2*wc[f.Index])
 				}
 				m.b[c] -= eta * grad
 			}
 		}
 	}
+	m.wf = flatten(m.w, nf)
 	m.fitted = true
 	return nil
 }
 
-func (m *LogisticRegression) logits(f SparseVec) []float64 {
-	out := make([]float64, m.numClasses)
-	for c := 0; c < m.numClasses; c++ {
-		out[c] = f.Dot(m.w[c]) + m.b[c]
+// logitsOf computes per-class scores from the sorted slice form of a
+// feature vector: ascending-index accumulation per class, bias last —
+// SparseVec.Dot's exact summation order, without re-sorting the same
+// index set once per class.
+func logitsOf(feats []IndexedFeature, w [][]float64, b []float64) []float64 {
+	out := make([]float64, len(w))
+	for c := range w {
+		sum := 0.0
+		for _, f := range feats {
+			sum += f.Value * w[c][f.Index]
+		}
+		if b != nil {
+			sum += b[c]
+		}
+		out[c] = sum
 	}
 	return out
 }
@@ -138,7 +162,31 @@ func (m *LogisticRegression) Predict(text string) (task.Prediction, error) {
 	if err != nil {
 		return task.Prediction{}, err
 	}
-	scores := softmax(m.logits(f))
+	scores := softmax(logitsOf(f.AppendFeatures(nil), m.w, m.b))
+	return task.Prediction{Label: argmax(scores), Scores: scores}, nil
+}
+
+// NewScratch implements task.BatchPredictor.
+func (m *LogisticRegression) NewScratch() task.Scratch { return &predictScratch{} }
+
+// PredictTokens implements task.BatchPredictor: Predict from
+// pre-computed normalized word tokens through the slice fast path.
+// The returned Scores alias sc.
+func (m *LogisticRegression) PredictTokens(toks []string, s task.Scratch) (task.Prediction, error) {
+	if !m.fitted {
+		return task.Prediction{}, fmt.Errorf("baseline: LogisticRegression.PredictTokens before Fit")
+	}
+	sc := scratchFor(s)
+	feats, err := m.vec.AppendTransform(sc.feats[:0], sc.stemFiltered(toks))
+	if err != nil {
+		return task.Prediction{}, err
+	}
+	sc.feats = feats
+	sc.scores = dotFeats(sc.scores, feats, m.wf, m.numClasses)
+	for c := range sc.scores {
+		sc.scores[c] += m.b[c]
+	}
+	scores := softmax(sc.scores)
 	return task.Prediction{Label: argmax(scores), Scores: scores}, nil
 }
 
@@ -153,6 +201,7 @@ type LinearSVM struct {
 
 	vec    *TFIDF
 	w      [][]float64
+	wf     []float64 // feature-major flat layout, for the fast path
 	b      []float64
 	fitted bool
 }
@@ -203,13 +252,13 @@ func (m *LinearSVM) Fit(train []task.Example) error {
 	if err := m.vec.Fit(texts); err != nil {
 		return err
 	}
-	feats := make([]SparseVec, len(train))
+	feats := make([][]IndexedFeature, len(train))
 	for i, ex := range train {
 		f, err := m.vec.Transform(ex.Text)
 		if err != nil {
 			return err
 		}
-		feats[i] = f
+		feats[i] = f.AppendFeatures(nil)
 	}
 	nf := m.vec.NumFeatures()
 	m.w = make([][]float64, m.numClasses)
@@ -217,12 +266,13 @@ func (m *LinearSVM) Fit(train []task.Example) error {
 	for c := 0; c < m.numClasses; c++ {
 		m.w[c] = m.trainBinary(feats, train, c, nf)
 	}
+	m.wf = flatten(m.w, nf)
 	m.fitted = true
 	return nil
 }
 
 // trainBinary runs Pegasos for the class-c-vs-rest problem.
-func (m *LinearSVM) trainBinary(feats []SparseVec, train []task.Example, class, nf int) []float64 {
+func (m *LinearSVM) trainBinary(feats [][]IndexedFeature, train []task.Example, class, nf int) []float64 {
 	w := make([]float64, nf)
 	rng := rand.New(rand.NewSource(m.seed + int64(class)*7919))
 	t := 0
@@ -235,7 +285,11 @@ func (m *LinearSVM) trainBinary(feats []SparseVec, train []task.Example, class, 
 				y = 1.0
 			}
 			eta := 1 / (m.lambda * float64(t))
-			margin := y * (feats[i].Dot(w) + m.b[class])
+			dot := 0.0
+			for _, f := range feats[i] {
+				dot += f.Value * w[f.Index]
+			}
+			margin := y * (dot + m.b[class])
 			// w <- (1 - eta*lambda) w  [+ eta*y*x if margin < 1]
 			scale := 1 - eta*m.lambda
 			if scale < 0 {
@@ -245,8 +299,8 @@ func (m *LinearSVM) trainBinary(feats []SparseVec, train []task.Example, class, 
 				w[idx] *= scale
 			}
 			if margin < 1 {
-				for idx, v := range feats[i] {
-					w[idx] += eta * y * v
+				for _, f := range feats[i] {
+					w[f.Index] += eta * y * f.Value
 				}
 				m.b[class] += eta * y
 			}
@@ -264,10 +318,32 @@ func (m *LinearSVM) Predict(text string) (task.Prediction, error) {
 	if err != nil {
 		return task.Prediction{}, err
 	}
-	margins := make([]float64, m.numClasses)
-	for c := 0; c < m.numClasses; c++ {
-		margins[c] = f.Dot(m.w[c]) + m.b[c]
+	margins := logitsOf(f.AppendFeatures(nil), m.w, m.b)
+	label := argmax(margins)
+	scores := softmax(margins)
+	return task.Prediction{Label: label, Scores: scores}, nil
+}
+
+// NewScratch implements task.BatchPredictor.
+func (m *LinearSVM) NewScratch() task.Scratch { return &predictScratch{} }
+
+// PredictTokens implements task.BatchPredictor. The returned Scores
+// alias sc.
+func (m *LinearSVM) PredictTokens(toks []string, s task.Scratch) (task.Prediction, error) {
+	if !m.fitted {
+		return task.Prediction{}, fmt.Errorf("baseline: LinearSVM.PredictTokens before Fit")
 	}
+	sc := scratchFor(s)
+	feats, err := m.vec.AppendTransform(sc.feats[:0], sc.stemFiltered(toks))
+	if err != nil {
+		return task.Prediction{}, err
+	}
+	sc.feats = feats
+	margins := dotFeats(sc.scores, feats, m.wf, m.numClasses)
+	for c := range margins {
+		margins[c] += m.b[c]
+	}
+	sc.scores = margins
 	label := argmax(margins)
 	scores := softmax(margins)
 	return task.Prediction{Label: label, Scores: scores}, nil
@@ -279,6 +355,7 @@ type Centroid struct {
 	numClasses int
 	vec        *TFIDF
 	centroids  [][]float64
+	centFlat   []float64 // feature-major flat layout, for the fast path
 	fitted     bool
 }
 
@@ -336,6 +413,7 @@ func (m *Centroid) Fit(train []task.Example) error {
 			}
 		}
 	}
+	m.centFlat = flatten(m.centroids, nf)
 	m.fitted = true
 	return nil
 }
@@ -349,10 +427,32 @@ func (m *Centroid) Predict(text string) (task.Prediction, error) {
 	if err != nil {
 		return task.Prediction{}, err
 	}
-	sims := make([]float64, m.numClasses)
-	for c := range m.centroids {
-		sims[c] = f.Dot(m.centroids[c]) // both unit-norm -> cosine
+	sims := logitsOf(f.AppendFeatures(nil), m.centroids, nil) // both unit-norm -> cosine
+	label := argmax(sims)
+	for i := range sims {
+		sims[i] *= 4 // sharpen before softmax so scores spread
 	}
+	scores := softmax(sims)
+	return task.Prediction{Label: label, Scores: scores}, nil
+}
+
+// NewScratch implements task.BatchPredictor.
+func (m *Centroid) NewScratch() task.Scratch { return &predictScratch{} }
+
+// PredictTokens implements task.BatchPredictor. The returned Scores
+// alias sc.
+func (m *Centroid) PredictTokens(toks []string, s task.Scratch) (task.Prediction, error) {
+	if !m.fitted {
+		return task.Prediction{}, fmt.Errorf("baseline: Centroid.PredictTokens before Fit")
+	}
+	sc := scratchFor(s)
+	feats, err := m.vec.AppendTransform(sc.feats[:0], sc.stemFiltered(toks))
+	if err != nil {
+		return task.Prediction{}, err
+	}
+	sc.feats = feats
+	sims := dotFeats(sc.scores, feats, m.centFlat, m.numClasses)
+	sc.scores = sims
 	label := argmax(sims)
 	for i := range sims {
 		sims[i] *= 4 // sharpen before softmax so scores spread

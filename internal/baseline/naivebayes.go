@@ -3,6 +3,7 @@ package baseline
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"repro/internal/task"
 )
@@ -19,7 +20,15 @@ type NaiveBayes struct {
 	// to that class's smoothed default.
 	logLikelihood []map[string]float64
 	logDefault    []float64
-	fitted        bool
+	// Fast-path index over the training vocabulary: feature strings
+	// and interned bigram pairs map to rows of llFlat, the
+	// feature-major [featIdx*numClasses + c] contiguous layout with
+	// per-class defaults already folded in for classes that never saw
+	// the feature.
+	featIndex map[string]int
+	pairs     map[bigramPair]int
+	llFlat    []float64
+	fitted    bool
 }
 
 // NewNaiveBayes returns a classifier for numClasses classes with
@@ -72,8 +81,36 @@ func (nb *NaiveBayes) Fit(train []task.Example) error {
 		}
 		nb.logLikelihood[c] = ll
 	}
+	nb.buildFastIndex(vocab)
 	nb.fitted = true
 	return nil
+}
+
+// buildFastIndex interns the training vocabulary for PredictTokens:
+// each feature gets a row of llFlat holding its per-class
+// log-likelihoods (the class default where the class never saw it,
+// exactly the fallback the legacy map path takes), and every bigram
+// the legacy string join could match is reachable through its
+// (token, token) pair key (see internPairs).
+func (nb *NaiveBayes) buildFastIndex(vocab map[string]bool) {
+	feats := make([]string, 0, len(vocab))
+	for f := range vocab {
+		feats = append(feats, f)
+	}
+	sort.Strings(feats)
+	nb.featIndex = make(map[string]int, len(feats))
+	nb.llFlat = make([]float64, len(feats)*nb.numClasses)
+	for i, f := range feats {
+		nb.featIndex[f] = i
+		for c := 0; c < nb.numClasses; c++ {
+			if ll, ok := nb.logLikelihood[c][f]; ok {
+				nb.llFlat[i*nb.numClasses+c] = ll
+			} else {
+				nb.llFlat[i*nb.numClasses+c] = nb.logDefault[c]
+			}
+		}
+	}
+	nb.pairs = internPairs(nb.featIndex)
 }
 
 // Predict implements task.Classifier.
@@ -92,6 +129,47 @@ func (nb *NaiveBayes) Predict(text string) (task.Prediction, error) {
 			}
 		}
 	}
+	scores := softmax(logp)
+	return task.Prediction{Label: argmax(scores), Scores: scores}, nil
+}
+
+// NewScratch implements task.BatchPredictor.
+func (nb *NaiveBayes) NewScratch() task.Scratch { return &predictScratch{} }
+
+// PredictTokens implements task.BatchPredictor. Features accumulate
+// in the legacy path's occurrence order — every unigram in token
+// order, then every bigram window — through the interned index, so
+// scores are bit-identical to Predict with no feature-string builds.
+// The returned Scores alias sc.
+func (nb *NaiveBayes) PredictTokens(toks []string, s task.Scratch) (task.Prediction, error) {
+	if !nb.fitted {
+		return task.Prediction{}, fmt.Errorf("baseline: NaiveBayes.PredictTokens before Fit")
+	}
+	sc := scratchFor(s)
+	stems := sc.stemFiltered(toks)
+	logp := sc.scores[:0]
+	logp = append(logp, nb.logPrior...)
+	addFeat := func(idx int, known bool) {
+		if known {
+			base := idx * nb.numClasses
+			for c := 0; c < nb.numClasses; c++ {
+				logp[c] += nb.llFlat[base+c]
+			}
+			return
+		}
+		for c := 0; c < nb.numClasses; c++ {
+			logp[c] += nb.logDefault[c]
+		}
+	}
+	for _, t := range stems {
+		idx, ok := nb.featIndex[t]
+		addFeat(idx, ok)
+	}
+	for i := 0; i+1 < len(stems); i++ {
+		idx, ok := nb.pairs[bigramPair{stems[i], stems[i+1]}]
+		addFeat(idx, ok)
+	}
+	sc.scores = logp
 	scores := softmax(logp)
 	return task.Prediction{Label: argmax(scores), Scores: scores}, nil
 }

@@ -7,6 +7,9 @@
 //   - "gomaxprocs": number >= 1
 //   - at least one "*_per_sec" key — the headline throughput figure
 //     the trajectory tracks — and every such key a positive number
+//   - every "*allocs_per_op" key, when present, a non-negative number
+//     (zero is the goal for the screening fast path, so unlike the
+//     throughput keys this one may legitimately be 0)
 //
 // Usage: go run ./internal/benchcheck BENCH_serve.json ...
 package main
@@ -62,14 +65,19 @@ func checkFile(path string) error {
 	}
 	found := false
 	for key, v := range doc {
-		if !strings.HasSuffix(key, "_per_sec") {
-			continue
+		switch {
+		case strings.HasSuffix(key, "_per_sec"):
+			rate, ok := v.(float64)
+			if !ok || rate <= 0 {
+				return fmt.Errorf("%q must be a positive number, got %v", key, v)
+			}
+			found = true
+		case strings.HasSuffix(key, "allocs_per_op"):
+			allocs, ok := v.(float64)
+			if !ok || allocs < 0 {
+				return fmt.Errorf("%q must be a non-negative number, got %v", key, v)
+			}
 		}
-		rate, ok := v.(float64)
-		if !ok || rate <= 0 {
-			return fmt.Errorf("%q must be a positive number, got %v", key, v)
-		}
-		found = true
 	}
 	if !found {
 		return fmt.Errorf(`no "*_per_sec" throughput key`)

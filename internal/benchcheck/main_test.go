@@ -34,6 +34,10 @@ func TestBenchcheck(t *testing.T) {
 		{"zero throughput", `{"benchmark":"X","gomaxprocs":1,"requests_per_sec":0}`, 1},
 		{"string throughput", `{"benchmark":"X","gomaxprocs":1,"requests_per_sec":"fast"}`, 1},
 		{"one bad among two throughput keys", `{"benchmark":"X","gomaxprocs":1,"a_per_sec":5,"b_per_sec":0}`, 1},
+		{"zero allocs is legal", `{"benchmark":"X","gomaxprocs":1,"posts_per_sec":5,"allocs_per_op":0}`, 0},
+		{"fractional allocs is legal", `{"benchmark":"X","gomaxprocs":1,"posts_per_sec":5,"allocs_per_op":5.5}`, 0},
+		{"negative allocs", `{"benchmark":"X","gomaxprocs":1,"posts_per_sec":5,"allocs_per_op":-1}`, 1},
+		{"string allocs", `{"benchmark":"X","gomaxprocs":1,"posts_per_sec":5,"allocs_per_op":"few"}`, 1},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -73,7 +77,7 @@ func TestBenchcheck(t *testing.T) {
 func TestBenchcheckAcceptsCommittedFiles(t *testing.T) {
 	// The checked-in trajectory files must satisfy the schema the CI
 	// gate enforces.
-	for _, name := range []string{"BENCH_serve.json", "BENCH_sessions.json"} {
+	for _, name := range []string{"BENCH_serve.json", "BENCH_sessions.json", "BENCH_screen.json"} {
 		path := filepath.Join("..", "..", name)
 		if _, err := os.Stat(path); err != nil {
 			t.Skipf("%s not present: %v", name, err)

@@ -13,12 +13,14 @@ import (
 	"repro/internal/domain"
 	"repro/internal/eval"
 	"repro/internal/task"
+	"repro/internal/textkit"
 )
 
 // Monitor wraps a post-level binary classifier (label 1 = at-risk)
 // into a sequential early-detection system.
 type Monitor struct {
 	clf       task.Classifier
+	fast      task.BatchPredictor // clf's tokenize-once fast path; nil when unsupported
 	threshold float64
 	decay     float64
 }
@@ -55,7 +57,9 @@ func NewMonitor(clf task.Classifier, threshold, decay float64) (*Monitor, error)
 	if decay < 0 || decay >= 1 {
 		return nil, fmt.Errorf("early: decay %v out of [0,1)", decay)
 	}
-	return &Monitor{clf: clf, threshold: threshold, decay: decay}, nil
+	m := &Monitor{clf: clf, threshold: threshold, decay: decay}
+	m.fast, _ = clf.(task.BatchPredictor)
+	return m, nil
 }
 
 // Threshold returns the alarm threshold the monitor was built with.
@@ -69,12 +73,54 @@ func (m *Monitor) Decay() float64 { return m.decay }
 // named for symmetry with Observe).
 func (m *Monitor) Start() State { return State{} }
 
+// Scratch is per-worker reusable state for SignalScratch: the token
+// buffer of the fused tokenizer plus the classifier's own scratch.
+// A Scratch belongs to one goroutine at a time (the session store
+// keeps a pool; Assess keeps one per replay) and must come from
+// NewScratch on the monitor that uses it.
+type Scratch struct {
+	toks []string
+	ps   task.Scratch
+}
+
+// HasFastPath reports whether the monitor's classifier implements
+// task.BatchPredictor, i.e. whether SignalScratch can put a Scratch
+// to use. Callers that pool scratch (the session store) check this
+// once and skip the pool entirely for classifiers that would ignore
+// it.
+func (m *Monitor) HasFastPath() bool { return m.fast != nil }
+
+// NewScratch allocates scratch wired to the monitor's classifier.
+func (m *Monitor) NewScratch() *Scratch {
+	sc := &Scratch{}
+	if m.fast != nil {
+		sc.ps = m.fast.NewScratch()
+	}
+	return sc
+}
+
 // Signal computes one post's risk evidence without touching any
 // state. It is split from Fold so callers that serialize per-user
 // state updates (the session store) can run the classifier — the
 // expensive half — outside their locks.
 func (m *Monitor) Signal(post string) (float64, error) {
-	pred, err := m.clf.Predict(post)
+	return m.SignalScratch(post, nil)
+}
+
+// SignalScratch is Signal riding the classifier's tokenize-once fast
+// path through reusable scratch, so steady-state session observes
+// allocate nothing in the classifier. A nil sc (or a classifier with
+// no fast path) falls back to the legacy Predict route; the two are
+// bit-identical (see task.BatchPredictor's contract).
+func (m *Monitor) SignalScratch(post string, sc *Scratch) (float64, error) {
+	var pred task.Prediction
+	var err error
+	if m.fast != nil && sc != nil {
+		sc.toks = textkit.AppendNormalizedWords(sc.toks[:0], post)
+		pred, err = m.fast.PredictTokens(sc.toks, sc.ps)
+	} else {
+		pred, err = m.clf.Predict(post)
+	}
 	if err != nil {
 		return 0, err
 	}
@@ -106,17 +152,22 @@ func (m *Monitor) Observe(s State, post string) (State, error) {
 
 // Assess reads posts in order and returns whether an alarm fired and
 // after how many posts (1-based). When no alarm fires, the returned
-// delay is len(posts). It is a replay of the incremental API: one
-// Observe per post, stopping at the first alarm.
+// delay is len(posts). It is a replay of the incremental API — one
+// signal+fold per post, stopping at the first alarm — riding one
+// reused Scratch, which the fast path's parity contract guarantees
+// changes nothing about the outcome.
 func (m *Monitor) Assess(posts []string) (alarm bool, delay int, err error) {
 	if len(posts) == 0 {
 		return false, 0, fmt.Errorf("early: empty history")
 	}
 	s := m.Start()
+	sc := m.NewScratch() // one scratch per replay: posts screen back to back
 	for _, p := range posts {
-		if s, err = m.Observe(s, p); err != nil {
-			return false, 0, err
+		sig, serr := m.SignalScratch(p, sc)
+		if serr != nil {
+			return false, 0, fmt.Errorf("early: post %d: %w", s.Posts, serr)
 		}
+		s = m.Fold(s, sig)
 		if s.Alarm {
 			return true, s.AlarmAt, nil
 		}

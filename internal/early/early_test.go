@@ -97,6 +97,60 @@ func TestObserveMatchesAssess(t *testing.T) {
 	}
 }
 
+// TestSignalScratchMatchesSignal pins the monitor's fast path: with a
+// real classifier that implements task.BatchPredictor, the
+// scratch-riding signal must equal the legacy Predict route bit for
+// bit, including across scratch reuse.
+func TestSignalScratchMatchesSignal(t *testing.T) {
+	spec := corpus.Spec{
+		Name: "signal-train", Kind: corpus.KindDisorder,
+		Classes:    []domain.Disorder{domain.Control, domain.Depression},
+		ClassProbs: []float64{0.6, 0.4},
+		N:          240, Difficulty: 0.4, Seed: 23,
+	}
+	ds, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	clf := baseline.NewLogisticRegression(2, baseline.LRConfig{Seed: 5, Epochs: 4})
+	if err := clf.Fit(ds.Examples()); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := task.Classifier(clf).(task.BatchPredictor); !ok {
+		t.Fatal("logistic regression must implement task.BatchPredictor")
+	}
+	m, err := NewMonitor(clf, 1.5, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := m.NewScratch()
+	posts := []string{
+		"i feel hopeless and can't get out of bed",
+		"lovely afternoon at the park with the dog",
+		"everything is pointless lately",
+		"",
+	}
+	for _, p := range posts {
+		for rep := 0; rep < 2; rep++ { // reuse the same scratch
+			want, err := m.Signal(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := m.SignalScratch(p, sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Errorf("SignalScratch(%q) = %v, Signal = %v", p, got, want)
+			}
+		}
+	}
+	// Nil scratch must take the legacy route, not panic.
+	if _, err := m.SignalScratch(posts[0], nil); err != nil {
+		t.Errorf("nil-scratch SignalScratch: %v", err)
+	}
+}
+
 func TestObserveLatchesAlarm(t *testing.T) {
 	m, err := NewMonitor(scriptedClassifier{}, 1.0, 0)
 	if err != nil {

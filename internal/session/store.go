@@ -86,6 +86,12 @@ type Store struct {
 	ttl    time.Duration
 	now    func() time.Time
 	shards []shard
+	// scratch pools per-observe classifier scratch. The classifier
+	// runs outside shard locks, so scratch cannot live on a shard;
+	// the pool hands each in-flight Observe a private one instead.
+	// Unused (and unpaid for) when the monitor has no fast path.
+	scratch  sync.Pool
+	fastPath bool
 
 	created      atomic.Int64
 	observations atomic.Int64
@@ -116,10 +122,11 @@ func New(mon *early.Monitor, cfg Config) (*Store, error) {
 	}
 	cfg = cfg.withDefaults()
 	st := &Store{
-		mon:    mon,
-		ttl:    cfg.TTL,
-		now:    cfg.Now,
-		shards: make([]shard, cfg.Shards),
+		mon:      mon,
+		ttl:      cfg.TTL,
+		now:      cfg.Now,
+		shards:   make([]shard, cfg.Shards),
+		fastPath: mon.HasFastPath(),
 	}
 	base, extra := cfg.Capacity/cfg.Shards, cfg.Capacity%cfg.Shards
 	for i := range st.shards {
@@ -202,8 +209,21 @@ func (st *Store) Observe(user, post string) (Status, error) {
 		return Status{}, fmt.Errorf("session: empty post")
 	}
 	// The classifier runs before the lock: the signal depends only on
-	// the post text, never on session state.
-	sig, err := st.mon.Signal(post)
+	// the post text, never on session state. Pooled scratch keeps the
+	// steady-state observe on the zero-allocation fast path; a
+	// classifier without one skips the pool trip too.
+	var sig float64
+	var err error
+	if st.fastPath {
+		sc, _ := st.scratch.Get().(*early.Scratch)
+		if sc == nil {
+			sc = st.mon.NewScratch()
+		}
+		sig, err = st.mon.SignalScratch(post, sc)
+		st.scratch.Put(sc)
+	} else {
+		sig, err = st.mon.Signal(post)
+	}
 	if err != nil {
 		return Status{}, fmt.Errorf("session: user %s: %w", user, err)
 	}

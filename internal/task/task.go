@@ -145,3 +145,41 @@ type Trainable interface {
 	Classifier
 	Fit(train []Example) error
 }
+
+// Scratch is opaque per-worker state owned by a BatchPredictor.
+// Obtain one from NewScratch, keep it private to a single worker
+// (it is not safe for concurrent use), and reuse it across calls so
+// the steady state allocates nothing.
+type Scratch any
+
+// BatchPredictor is a Classifier with a tokenize-once fast path:
+// callers that already hold a post's normalized word tokens — the
+// detector computes them once and feeds the same slice to both the
+// classifier and the lexicon automaton — skip re-normalizing and
+// re-tokenizing the text inside Predict.
+//
+// Contract:
+//
+//   - toks must equal textkit.Words(textkit.Normalize(text)) for the
+//     post being classified; PredictTokens must then return exactly
+//     the Prediction that Predict(text) would (identical Label and
+//     bit-identical Scores — the fuzz parity tests pin this).
+//   - PredictTokens must not mutate toks, and may retain token
+//     aliases only inside sc's reusable buffers, where they live
+//     until a later call overwrites them — the same bounded
+//     aliasing textkit's append tokenizers already have. Callers
+//     whose post texts must not outlive the call should not share
+//     the scratch beyond it.
+//   - sc must come from NewScratch on the same predictor, or be nil
+//     (nil falls back to temporary state and loses the zero-allocation
+//     property, not correctness).
+//   - The returned Prediction's Scores may alias sc and are only
+//     valid until sc's next use; callers that keep them must copy.
+type BatchPredictor interface {
+	Classifier
+	// NewScratch allocates predictor-specific per-worker scratch.
+	NewScratch() Scratch
+	// PredictTokens is Predict over pre-computed normalized word
+	// tokens.
+	PredictTokens(toks []string, sc Scratch) (Prediction, error)
+}

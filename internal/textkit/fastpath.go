@@ -1,0 +1,128 @@
+package textkit
+
+import (
+	"strings"
+	"unicode"
+)
+
+// This file is the fused, append-style tokenization layer behind the
+// detector's zero-allocation inference fast path. The contract of
+// every function here is strict equivalence with the composed legacy
+// pipeline (Normalize then Words, RemoveStopwords, StemAll): the
+// outputs are identical token for token, only the intermediate
+// materializations are gone. The fuzz tests in fuzz_test.go pin the
+// equivalence for arbitrary UTF-8 input.
+
+// AppendNormalizedWords appends the word tokens of Normalize(s) to
+// dst and returns the extended slice, without materializing the
+// normalized string: each whitespace-separated field of the raw input
+// is lowercased, normalized, and tokenized in one pass. Fields that
+// need no rewriting — already-lowercase text with no URLs, mentions,
+// hashtags, elongations, or curly quotes, which is the common case
+// after the first pass of a feed — yield tokens that alias s's
+// backing memory and cost no allocations; rewritten fields allocate
+// only their small normalized form.
+//
+// AppendNormalizedWords(dst, s) is equivalent to
+// AppendWords(dst, Normalize(s)); callers on the batch path reuse dst
+// (resliced to [:0]) across posts.
+func AppendNormalizedWords(dst []string, s string) []string {
+	start := -1
+	for i, r := range s {
+		if unicode.IsSpace(r) {
+			if start >= 0 {
+				dst = appendNormalizedFieldWords(dst, s[start:i])
+				start = -1
+			}
+		} else if start < 0 {
+			start = i
+		}
+	}
+	if start >= 0 {
+		dst = appendNormalizedFieldWords(dst, s[start:])
+	}
+	return dst
+}
+
+// appendNormalizedFieldWords normalizes one raw whitespace-free field
+// and appends its word tokens. Normalized tokens never contain
+// whitespace and never come out empty, so running the per-field
+// tokenizer on each normalized field visits exactly the fields that
+// AppendTokenize would find in the space-joined normalized string.
+func appendNormalizedFieldWords(dst []string, field string) []string {
+	nf := normalizeToken(strings.ToLower(field))
+	n0 := len(dst)
+	dst = appendFieldTokens(dst, nf)
+	// Keep only word tokens, exactly as AppendWords does.
+	w := n0
+	for _, t := range dst[n0:] {
+		if isWord(t) {
+			dst[w] = t
+			w++
+		}
+	}
+	return dst[:w]
+}
+
+// AppendNonStopwords appends the non-stopword tokens of toks to dst
+// and returns the extended slice. It is the append-style counterpart
+// of RemoveStopwords for callers that must keep toks intact.
+// AppendNonStopwords and AppendStems are the composable single-step
+// variants; the inference featurizer fuses the filter and stem steps
+// into one loop over IsStopword and Stemmer.Stem instead (one pass,
+// one output buffer), so prefer that shape on a hot path that needs
+// both.
+func AppendNonStopwords(dst []string, toks []string) []string {
+	for _, t := range toks {
+		if !stopwordSet[t] {
+			dst = append(dst, t)
+		}
+	}
+	return dst
+}
+
+// AppendStems appends Stem(t) for every token to dst and returns the
+// extended slice — the append-style counterpart of StemAll.
+func AppendStems(dst []string, toks []string) []string {
+	for _, t := range toks {
+		dst = append(dst, Stem(t))
+	}
+	return dst
+}
+
+// stemmerMemoCap bounds a Stemmer's memo so adversarial vocabulary
+// (random strings) cannot grow it without limit; past the cap new
+// words fall through to the direct stemmer.
+const stemmerMemoCap = 1 << 15
+
+// Stemmer memoizes Stem. Real-world corpora draw from a bounded
+// vocabulary, so a per-worker Stemmer makes steady-state stemming
+// allocation-free: the suffix-rewrite allocations inside Stem are
+// paid once per distinct word, then every later occurrence is a map
+// hit. A Stemmer is not safe for concurrent use; keep one per worker
+// shard.
+type Stemmer struct {
+	memo map[string]string
+}
+
+// Stem returns Stem(w), memoized. Keys are cloned before insertion so
+// the memo never retains the (potentially large) post text a token
+// aliases.
+func (st *Stemmer) Stem(w string) string {
+	if s, ok := st.memo[w]; ok {
+		return s
+	}
+	s := Stem(w)
+	if st.memo == nil {
+		st.memo = make(map[string]string, 256)
+	}
+	if len(st.memo) < stemmerMemoCap {
+		k := strings.Clone(w)
+		if s == w {
+			st.memo[k] = k
+		} else {
+			st.memo[k] = strings.Clone(s)
+		}
+	}
+	return s
+}

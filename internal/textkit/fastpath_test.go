@@ -1,0 +1,125 @@
+package textkit
+
+import (
+	"reflect"
+	"testing"
+)
+
+// normalizedWordCases stress every normalization rule plus the plain
+// fast path the fused tokenizer short-circuits on.
+var normalizedWordCases = []string{
+	"",
+	"   ",
+	"i feel so hopeless and worthless lately",
+	"Check THIS out https://example.com/a?b=c @someone #MentalHealth",
+	"soooo tired!!! can't sleep :( </3",
+	"“smart quotes” and — dashes – everywhere",
+	"#@user ###tag htttp://not-a-url www.real.example",
+	"self-harm and can't and 3.14 and ... ?!",
+	"日本語のテキスト mixed WITH English words",
+	"t_t -_- xd <3 <url> <user>",
+	"aaaa bbbb aaab #so00oo",
+}
+
+func TestAppendNormalizedWordsMatchesLegacy(t *testing.T) {
+	for _, s := range normalizedWordCases {
+		want := AppendWords(nil, Normalize(s))
+		got := AppendNormalizedWords(nil, s)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("AppendNormalizedWords(%q) = %q, want %q", s, got, want)
+		}
+	}
+}
+
+func TestAppendNormalizedWordsReusesBuffer(t *testing.T) {
+	buf := make([]string, 0, 64)
+	first := AppendNormalizedWords(buf, "one two three")
+	if len(first) != 3 {
+		t.Fatalf("len = %d, want 3", len(first))
+	}
+	second := AppendNormalizedWords(first[:0], "four five")
+	if &first[0] != &second[0] {
+		t.Error("buffer was reallocated despite spare capacity")
+	}
+	if !reflect.DeepEqual(second, []string{"four", "five"}) {
+		t.Errorf("second = %q", second)
+	}
+}
+
+func TestAppendNonStopwordsMatchesRemoveStopwords(t *testing.T) {
+	for _, s := range normalizedWordCases {
+		toks := Words(Normalize(s))
+		want := RemoveStopwords(append([]string(nil), toks...))
+		got := AppendNonStopwords(nil, toks)
+		if len(got) == 0 && len(want) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("AppendNonStopwords(%q) = %q, want %q", s, got, want)
+		}
+		// The input slice must be untouched.
+		if !reflect.DeepEqual(toks, Words(Normalize(s))) {
+			t.Errorf("AppendNonStopwords mutated its input for %q", s)
+		}
+	}
+}
+
+func TestAppendStemsMatchesStemAll(t *testing.T) {
+	toks := []string{"crying", "cried", "cries", "hoping", "hopped", "happiness", "t_t", "a"}
+	want := StemAll(append([]string(nil), toks...))
+	if got := AppendStems(nil, toks); !reflect.DeepEqual(got, want) {
+		t.Errorf("AppendStems = %q, want %q", got, want)
+	}
+	var st Stemmer
+	// Twice through the memo: first pass populates, second pass hits.
+	for i := 0; i < 2; i++ {
+		got := make([]string, 0, len(toks))
+		for _, tok := range toks {
+			got = append(got, st.Stem(tok))
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("memoized stems pass %d = %q, want %q", i, got, want)
+		}
+	}
+}
+
+func TestStemmerMemoDoesNotAliasInput(t *testing.T) {
+	var st Stemmer
+	post := "sleeeeping badly again"
+	toks := AppendNormalizedWords(nil, post)
+	for _, tok := range toks {
+		st.Stem(tok)
+	}
+	// Stems must equal the pure function's output on fresh lookups.
+	for _, tok := range []string{"sleeping", "badly", "again"} {
+		if got, want := st.Stem(tok), Stem(tok); got != want {
+			t.Errorf("memoized Stem(%q) = %q, want %q", tok, got, want)
+		}
+	}
+}
+
+func TestStemmerMemoCap(t *testing.T) {
+	st := Stemmer{memo: make(map[string]string, stemmerMemoCap)}
+	for i := 0; i < stemmerMemoCap; i++ {
+		st.memo[string(rune('a'+i%26))+"x"+itoa(i)] = "x"
+	}
+	before := len(st.memo)
+	if got, want := st.Stem("running"), Stem("running"); got != want {
+		t.Fatalf("Stem past cap = %q, want %q", got, want)
+	}
+	if len(st.memo) != before {
+		t.Errorf("memo grew past cap: %d -> %d", before, len(st.memo))
+	}
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b []byte
+	for i > 0 {
+		b = append([]byte{byte('0' + i%10)}, b...)
+		i /= 10
+	}
+	return string(b)
+}

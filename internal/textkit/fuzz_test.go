@@ -40,6 +40,33 @@ func FuzzTokenizeNoEmpty(f *testing.F) {
 	})
 }
 
+// FuzzAppendNormalizedWordsMatchesLegacy pins the fused tokenizer's
+// contract: for any UTF-8 input it yields exactly the tokens of the
+// two-pass Normalize-then-Words pipeline.
+func FuzzAppendNormalizedWordsMatchesLegacy(f *testing.F) {
+	f.Add("Hello World")
+	f.Add("soooo tired :( check https://x.com @me #tag")
+	f.Add("“quotes” — and www.x.y #@user i can't...")
+	f.Add("日本語 mixed with English t_t")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, s string) {
+		if !utf8.ValidString(s) {
+			t.Skip()
+		}
+		want := AppendWords(nil, Normalize(s))
+		got := AppendNormalizedWords(nil, s)
+		if len(got) != len(want) {
+			t.Fatalf("token count %d != %d for %q: got %q want %q",
+				len(got), len(want), s, got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("token %d of %q: got %q want %q", i, s, got[i], want[i])
+			}
+		}
+	})
+}
+
 func FuzzBPERoundTrip(f *testing.F) {
 	bpe := TrainBPE(bpeCorpus, 80)
 	f.Add("feeling low again nothing helps")

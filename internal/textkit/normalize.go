@@ -97,8 +97,27 @@ func replaceQuotes(s string) string {
 }
 
 // squeezeRepeats limits any run of the same rune to at most two
-// occurrences: "soooo" -> "soo", "!!!" -> "!!".
+// occurrences: "soooo" -> "soo", "!!!" -> "!!". Tokens with no run of
+// three or more are returned unchanged without allocating — the
+// common case, and what keeps the fused tokenizer's hot path
+// allocation-free.
 func squeezeRepeats(s string) string {
+	var prev rune = -1
+	run := 0
+	for _, r := range s {
+		if r == prev {
+			run++
+			if run >= 2 {
+				return squeezeRepeatsRewrite(s)
+			}
+		} else {
+			prev, run = r, 0
+		}
+	}
+	return s
+}
+
+func squeezeRepeatsRewrite(s string) string {
 	var b strings.Builder
 	b.Grow(len(s))
 	var prev rune = -1

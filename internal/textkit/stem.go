@@ -21,7 +21,7 @@ func Stem(w string) string {
 	case strings.HasSuffix(w, "sses"):
 		w = w[:len(w)-2]
 	case strings.HasSuffix(w, "ies"):
-		w = w[:len(w)-3] + "i"
+		w = w[:len(w)-2] // "...ies" -> "...i": drop "es", no rebuild
 	case strings.HasSuffix(w, "ss"):
 		// keep
 	case strings.HasSuffix(w, "s") && !strings.HasSuffix(w, "us") && !strings.HasSuffix(w, "is"):
@@ -36,7 +36,7 @@ func Stem(w string) string {
 				w = w[:len(w)-1]
 			}
 		case strings.HasSuffix(w, "ied"):
-			w = w[:len(w)-3] + "i"
+			w = w[:len(w)-2] // "...ied" -> "...i": drop "ed", no rebuild
 		case strings.HasSuffix(w, "ed") && hasVowel(w[:len(w)-2]):
 			w = fixup(w[:len(w)-2])
 		case strings.HasSuffix(w, "ing") && hasVowel(w[:len(w)-3]):
