@@ -247,6 +247,59 @@ func BenchmarkDetectorScreen(b *testing.B) {
 	b.Logf("wrote %s (%.0f posts/s, %.1f allocs/op)", path, postsPerSec, allocsPerOp)
 }
 
+// BenchmarkCascadeScreen is the two-stage cascade trajectory bench:
+// batches of a rotating synthetic feed through ScreenCascade, so the
+// figure tracks what cascade serving costs end to end — stage-1
+// screening for every post plus LLM adjudication of the uncertainty
+// band. Throughput and the observed escalation rate are written to
+// BENCH_cascade.json at the repo root, where CI's bench-trajectory
+// job validates them (the rate must stay a probability: an escalation
+// rate drifting toward 1 means the calibration broke and the cascade
+// degenerated into screening everything through the LLM).
+func BenchmarkCascadeScreen(b *testing.B) {
+	det, err := NewDetector(WithSeed(1), WithTrainingSize(1200),
+		WithAdjudicator("gpt-4-sim"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	feed := SampleFeed(256, 9)
+	posts := make([]string, len(feed))
+	for i, p := range feed {
+		posts[i] = p.Text
+	}
+	// Warm scratch and the simulated adjudicator's lazy state.
+	if _, _, err := det.ScreenCascade(posts[:16]); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	screened, escalated := 0, 0
+	for i := 0; i < b.N; i++ {
+		_, stats, err := det.ScreenCascade(posts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		screened += stats.Screened
+		escalated += stats.Escalated
+	}
+	b.StopTimer()
+	postsPerSec := float64(screened) / b.Elapsed().Seconds()
+	rate := float64(escalated) / float64(screened)
+	b.ReportMetric(postsPerSec, "posts/s")
+	b.ReportMetric(rate, "escalation_rate")
+	path, err := benchio.Write("BENCH_cascade.json", map[string]any{
+		"benchmark":       "CascadeScreen",
+		"posts":           screened,
+		"posts_per_sec":   postsPerSec,
+		"escalation_rate": rate,
+		"gomaxprocs":      runtime.GOMAXPROCS(0),
+	})
+	if err != nil {
+		b.Logf("skipping BENCH_cascade.json: %v", err)
+		return
+	}
+	b.Logf("wrote %s (%.0f posts/s, escalation rate %.3f)", path, postsPerSec, rate)
+}
+
 // BenchmarkDetectorScreenBatch compares a sequential Screen loop
 // against ScreenBatch on the same feed; the acceptance bar for the
 // batch pipeline is >= 2x throughput at GOMAXPROCS >= 4.

@@ -1,0 +1,211 @@
+package mhd
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/domain"
+	"repro/internal/eval"
+)
+
+// cascadeEvalSet builds the seeded synthetic corpus the cascade e2e
+// assertions run on, separate from both the detector's training and
+// calibration splits.
+func cascadeEvalSet(t *testing.T, n int, seed int64) (posts []string, golds []int) {
+	t.Helper()
+	labels := domain.AllDisorders()
+	probs := make([]float64, len(labels))
+	for i := range probs {
+		probs[i] = (1 - 0.3) / float64(len(labels)-1)
+	}
+	probs[0] = 0.3
+	spec := corpus.Spec{
+		Name: "cascade-e2e", Kind: corpus.KindDisorder,
+		Classes: labels, ClassProbs: probs,
+		N: n, Difficulty: 0.5, Seed: seed,
+	}
+	ds, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ex := range ds.Examples() {
+		posts = append(posts, ex.Text)
+		golds = append(golds, ex.Label)
+	}
+	return posts, golds
+}
+
+func macroF1OfReports(golds []int, reps []Report) float64 {
+	m := eval.NewConfusionMatrix(len(domain.AllDisorders()))
+	for i, rep := range reps {
+		_ = m.Add(golds[i], int(rep.Condition))
+	}
+	return m.MacroF1()
+}
+
+// TestCascadeEndToEnd is the headline proof of the two-stage cascade:
+// on a seeded synthetic corpus, escalating only the calibrated
+// uncertainty band to the LLM adjudicator must reach at least the
+// classifier-only macro-F1 while adjudicating no more than 25% of
+// posts — and the whole run must be bit-reproducible.
+func TestCascadeEndToEnd(t *testing.T) {
+	posts, golds := cascadeEvalSet(t, 400, 99)
+	newDet := func() *Detector {
+		det, err := NewDetector(WithSeed(1), WithTrainingSize(1200),
+			WithAdjudicator("gpt-4-sim"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return det
+	}
+	det := newDet()
+	if !det.HasCascade() {
+		t.Fatal("HasCascade = false after WithAdjudicator")
+	}
+	if det.CascadeBand() != DefaultBand {
+		t.Fatalf("band = %v, want default %v", det.CascadeBand(), DefaultBand)
+	}
+
+	base, err := det.ScreenBatch(posts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	casc, stats, err := det.ScreenCascade(posts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if stats.Screened != len(posts) {
+		t.Fatalf("screened %d of %d posts", stats.Screened, len(posts))
+	}
+	if stats.Escalated != stats.Adjudicated+stats.Fallbacks {
+		t.Fatalf("inconsistent stats: %+v", stats)
+	}
+	if stats.Adjudicated == 0 {
+		t.Fatal("cascade never adjudicated; the band is dead")
+	}
+	if rate := stats.EscalationRate(); rate > 0.25 {
+		t.Fatalf("escalation rate %.3f exceeds the 25%% budget", rate)
+	}
+	baseF1 := macroF1OfReports(golds, base)
+	cascF1 := macroF1OfReports(golds, casc)
+	t.Logf("macro-F1: classifier-only %.4f, cascade %.4f (escalated %.1f%%, adjudicated %d, fallbacks %d)",
+		baseF1, cascF1, 100*stats.EscalationRate(), stats.Adjudicated, stats.Fallbacks)
+	if cascF1 < baseF1 {
+		t.Fatalf("cascade macro-F1 %.4f below classifier-only %.4f", cascF1, baseF1)
+	}
+
+	// Adjudicated reports are marked and usage was metered.
+	marked := 0
+	for _, rep := range casc {
+		if rep.Adjudicated {
+			marked++
+		}
+	}
+	if marked != stats.Adjudicated {
+		t.Fatalf("%d reports marked Adjudicated, stats say %d", marked, stats.Adjudicated)
+	}
+	if u := det.AdjudicatorUsage(); u.Calls < stats.Escalated || u.CostUSD <= 0 {
+		t.Fatalf("adjudicator usage %+v inconsistent with %d escalations", u, stats.Escalated)
+	}
+
+	// Bit-reproducibility: a freshly constructed identical detector
+	// must produce identical reports and identical routing counts.
+	det2 := newDet()
+	casc2, stats2, err := det2.ScreenCascade(posts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(casc, casc2) {
+		t.Fatal("cascade reports differ between two identically-seeded runs")
+	}
+	if stats.Escalated != stats2.Escalated || stats.Adjudicated != stats2.Adjudicated ||
+		stats.Fallbacks != stats2.Fallbacks || stats.Screened != stats2.Screened {
+		t.Fatalf("cascade routing differs between runs: %+v vs %+v", stats, stats2)
+	}
+}
+
+func TestCascadeKeepsStage1OutsideBand(t *testing.T) {
+	posts, _ := cascadeEvalSet(t, 80, 5)
+	// A zero-width band at probability 0: no calibrated probability is
+	// <= 0, so every post keeps its stage-1 verdict.
+	det, err := NewDetector(WithSeed(1), WithTrainingSize(1200),
+		WithAdjudicator("gpt-4-sim"), WithBand(0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := det.ScreenBatch(posts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	casc, stats, err := det.ScreenCascade(posts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Escalated != 0 {
+		t.Fatalf("escalated %d posts through a dead band", stats.Escalated)
+	}
+	if !reflect.DeepEqual(base, casc) {
+		t.Fatal("dead-band cascade reports differ from ScreenBatch")
+	}
+	if u := det.AdjudicatorUsage(); u.Calls != 0 {
+		t.Fatalf("adjudicator was called %d times through a dead band", u.Calls)
+	}
+}
+
+func TestCascadeConfigErrors(t *testing.T) {
+	if _, err := NewDetector(WithAdjudicator("no-such-model"), WithTrainingSize(300)); err == nil {
+		t.Error("unknown adjudicator model must error")
+	}
+	if _, err := NewDetector(WithAdjudicator("gpt-4-sim"), WithBand(0.9, 0.1), WithTrainingSize(300)); err == nil {
+		t.Error("inverted band must error")
+	}
+	if _, err := NewDetector(WithAdjudicator("gpt-4-sim"), WithAdjudicators(-1), WithTrainingSize(300)); err == nil {
+		t.Error("negative pool size must error")
+	}
+	det, err := NewDetector(WithTrainingSize(300))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if det.HasCascade() {
+		t.Error("HasCascade without WithAdjudicator")
+	}
+	if _, _, err := det.ScreenCascade([]string{"hello"}); err == nil ||
+		!strings.Contains(err.Error(), "no adjudicator") {
+		t.Errorf("ScreenCascade without adjudicator: err = %v", err)
+	}
+	if u := det.AdjudicatorUsage(); u.Calls != 0 || u.CostUSD != 0 {
+		t.Errorf("AdjudicatorUsage without cascade = %+v, want zero", u)
+	}
+}
+
+func TestCascadeContextCancellation(t *testing.T) {
+	posts, _ := cascadeEvalSet(t, 64, 8)
+	det, err := NewDetector(WithSeed(1), WithTrainingSize(1200),
+		WithAdjudicator("gpt-4-sim"), WithBand(0, 1)) // escalate everything
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := det.ScreenCascadeContext(ctx, posts); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled cascade: err = %v, want context.Canceled", err)
+	}
+}
+
+func TestCascadePostErrorIndex(t *testing.T) {
+	det, err := NewDetector(WithSeed(1), WithTrainingSize(1200),
+		WithAdjudicator("gpt-4-sim"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = det.ScreenCascade([]string{"ok post", "", "another"})
+	var pe *PostError
+	if !errors.As(err, &pe) || pe.Post != 1 {
+		t.Fatalf("err = %v, want PostError at index 1", err)
+	}
+}

@@ -44,21 +44,27 @@ type report struct {
 	Crisis     bool               `json:"crisis"`
 	Evidence   []string           `json:"evidence,omitempty"`
 	Scores     map[string]float64 `json:"scores,omitempty"`
+	// Adjudicated marks a verdict ruled by the cascade's LLM
+	// adjudicator (-cascade) rather than the stage-1 classifier.
+	Adjudicated bool `json:"adjudicated,omitempty"`
 }
 
 // options collects the flag values; run is kept free of global state
 // so tests can drive every mode directly.
 type options struct {
-	in         string
-	engine     string
-	seed       int64
-	train      int
-	workers    int
-	batch      bool
-	stream     bool
-	crisisOnly bool
-	pretty     bool
-	withScores bool
+	in           string
+	engine       string
+	seed         int64
+	train        int
+	workers      int
+	batch        bool
+	stream       bool
+	crisisOnly   bool
+	pretty       bool
+	withScores   bool
+	cascade      string
+	band         string
+	adjudicators int
 }
 
 func main() {
@@ -73,17 +79,23 @@ func main() {
 	flag.BoolVar(&opts.crisisOnly, "crisis-only", false, "emit only crisis-flagged posts")
 	flag.BoolVar(&opts.pretty, "pretty", false, "indent JSON output")
 	flag.BoolVar(&opts.withScores, "scores", false, "include the full per-condition score map")
+	flag.StringVar(&opts.cascade, "cascade", "", "screen through the two-stage cascade, adjudicating uncertain posts with this model (see mhbench -list; empty disables)")
+	flag.StringVar(&opts.band, "band", mhd.DefaultBand.String(), `cascade: calibrated-probability uncertainty band "lo,hi" — posts inside it escalate`)
+	flag.IntVar(&opts.adjudicators, "adjudicators", 4, "cascade: max concurrent LLM adjudications")
 	flag.Parse()
 
-	if err := run(context.Background(), opts, os.Stdin, os.Stdout); err != nil {
+	if err := run(context.Background(), opts, os.Stdin, os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "mhscreen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(ctx context.Context, opts options, stdin io.Reader, out io.Writer) error {
+func run(ctx context.Context, opts options, stdin io.Reader, out, errw io.Writer) error {
 	if opts.batch && opts.stream {
 		return fmt.Errorf("-batch and -stream are mutually exclusive")
+	}
+	if opts.cascade != "" && opts.stream {
+		return fmt.Errorf("-cascade does not support -stream (use -batch or the line mode)")
 	}
 	src := stdin
 	if opts.in != "" {
@@ -94,12 +106,24 @@ func run(ctx context.Context, opts options, stdin io.Reader, out io.Writer) erro
 		defer f.Close()
 		src = f
 	}
-	det, err := mhd.NewDetector(
+	detOpts := []mhd.Option{
 		mhd.WithEngine(opts.engine),
 		mhd.WithSeed(opts.seed),
 		mhd.WithTrainingSize(opts.train),
 		mhd.WithWorkers(opts.workers),
-	)
+	}
+	if opts.cascade != "" {
+		band, err := mhd.ParseBand(opts.band)
+		if err != nil {
+			return err
+		}
+		detOpts = append(detOpts,
+			mhd.WithAdjudicator(opts.cascade),
+			mhd.WithBand(band.Lo, band.Hi),
+			mhd.WithAdjudicators(opts.adjudicators),
+		)
+	}
+	det, err := mhd.NewDetector(detOpts...)
 	if err != nil {
 		return err
 	}
@@ -112,17 +136,35 @@ func run(ctx context.Context, opts options, stdin io.Reader, out io.Writer) erro
 			return nil
 		}
 		wire := report{
-			Post:       post,
-			Condition:  rep.Condition.String(),
-			Confidence: rep.Confidence,
-			Risk:       rep.Risk.String(),
-			Crisis:     rep.Crisis,
-			Evidence:   rep.Evidence,
+			Post:        post,
+			Condition:   rep.Condition.String(),
+			Confidence:  rep.Confidence,
+			Risk:        rep.Risk.String(),
+			Crisis:      rep.Crisis,
+			Evidence:    rep.Evidence,
+			Adjudicated: rep.Adjudicated,
 		}
 		if opts.withScores {
 			wire.Scores = rep.Scores
 		}
 		return enc.Encode(wire)
+	}
+	if opts.cascade != "" {
+		var total mhd.CascadeStats
+		if opts.batch {
+			err = runBatchCascade(ctx, det, src, emit, &total)
+		} else {
+			err = runLinesCascade(ctx, det, src, emit, &total)
+		}
+		if err != nil {
+			return err
+		}
+		u := det.AdjudicatorUsage()
+		fmt.Fprintf(errw, "mhscreen: cascade: screened %d, escalated %d (%.1f%%), adjudicated %d, fallbacks %d; adjudicator %s: %d calls, %d in / %d out tokens, $%.4f\n",
+			total.Screened, total.Escalated, 100*total.EscalationRate(),
+			total.Adjudicated, total.Fallbacks, opts.cascade,
+			u.Calls, u.TokensIn, u.TokensOut, u.CostUSD)
+		return nil
 	}
 	switch {
 	case opts.batch:
@@ -132,6 +174,64 @@ func run(ctx context.Context, opts options, stdin io.Reader, out io.Writer) erro
 	default:
 		return runLines(det, src, emit)
 	}
+}
+
+// addStats folds one cascade call's counts into the running total
+// (latencies are dropped; the CLI summary reports counts and spend).
+func addStats(total *mhd.CascadeStats, st mhd.CascadeStats) {
+	total.Screened += st.Screened
+	total.Escalated += st.Escalated
+	total.Adjudicated += st.Adjudicated
+	total.Fallbacks += st.Fallbacks
+}
+
+// runLinesCascade is runLines through the cascade: each post is
+// screened (and, inside the band, adjudicated) as it is read.
+func runLinesCascade(ctx context.Context, det *mhd.Detector, src io.Reader, emit func(string, mhd.Report) error, total *mhd.CascadeStats) error {
+	scanner := newScanner(src)
+	lineNo := 0
+	one := make([]string, 1)
+	for scanner.Scan() {
+		lineNo++
+		post := strings.TrimSpace(scanner.Text())
+		if post == "" {
+			continue
+		}
+		one[0] = post
+		reps, st, err := det.ScreenCascadeContext(ctx, one)
+		addStats(total, st)
+		if err != nil {
+			var pe *mhd.PostError
+			if errors.As(err, &pe) {
+				err = pe.Err
+			}
+			return fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		if err := emit(post, reps[0]); err != nil {
+			return err
+		}
+	}
+	return scanner.Err()
+}
+
+// runBatchCascade reads everything, then fans the posts through the
+// cascade on the detector's worker pool.
+func runBatchCascade(ctx context.Context, det *mhd.Detector, src io.Reader, emit func(string, mhd.Report) error, total *mhd.CascadeStats) error {
+	posts, lines, err := readPosts(src)
+	if err != nil {
+		return err
+	}
+	reports, st, err := det.ScreenCascadeContext(ctx, posts)
+	addStats(total, st)
+	if err != nil {
+		return mapPostError(err, 0, lines)
+	}
+	for i, rep := range reports {
+		if err := emit(posts[i], rep); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // newScanner sizes a line scanner for long social-media posts.

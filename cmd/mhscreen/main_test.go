@@ -45,7 +45,7 @@ func decodeReports(t *testing.T, out []byte) []report {
 func runMode(t *testing.T, opts options, input string) []report {
 	t.Helper()
 	var out bytes.Buffer
-	if err := run(context.Background(), opts, strings.NewReader(input), &out); err != nil {
+	if err := run(context.Background(), opts, strings.NewReader(input), &out, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	return decodeReports(t, out.Bytes())
@@ -116,7 +116,7 @@ func TestRunInputFile(t *testing.T) {
 	opts.in = path
 	opts.batch = true
 	var out bytes.Buffer
-	if err := run(context.Background(), opts, nil, &out); err != nil {
+	if err := run(context.Background(), opts, nil, &out, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	if got := decodeReports(t, out.Bytes()); len(got) != 3 {
@@ -128,28 +128,28 @@ func TestRunErrorPaths(t *testing.T) {
 	t.Run("batch-and-stream", func(t *testing.T) {
 		opts := testOpts()
 		opts.batch, opts.stream = true, true
-		if err := run(context.Background(), opts, strings.NewReader(""), &bytes.Buffer{}); err == nil {
+		if err := run(context.Background(), opts, strings.NewReader(""), &bytes.Buffer{}, io.Discard); err == nil {
 			t.Fatal("expected mutual-exclusion error")
 		}
 	})
 	t.Run("missing-input-file", func(t *testing.T) {
 		opts := testOpts()
 		opts.in = filepath.Join(t.TempDir(), "absent.txt")
-		if err := run(context.Background(), opts, nil, &bytes.Buffer{}); err == nil {
+		if err := run(context.Background(), opts, nil, &bytes.Buffer{}, io.Discard); err == nil {
 			t.Fatal("expected file-open error")
 		}
 	})
 	t.Run("unknown-engine", func(t *testing.T) {
 		opts := testOpts()
 		opts.engine = "no-such-model"
-		if err := run(context.Background(), opts, strings.NewReader("hi\n"), &bytes.Buffer{}); err == nil {
+		if err := run(context.Background(), opts, strings.NewReader("hi\n"), &bytes.Buffer{}, io.Discard); err == nil {
 			t.Fatal("expected engine lookup error")
 		}
 	})
 	t.Run("training-size-too-small", func(t *testing.T) {
 		opts := testOpts()
 		opts.train = 10
-		if err := run(context.Background(), opts, strings.NewReader("hi\n"), &bytes.Buffer{}); err == nil {
+		if err := run(context.Background(), opts, strings.NewReader("hi\n"), &bytes.Buffer{}, io.Discard); err == nil {
 			t.Fatal("expected training-size error")
 		}
 	})
@@ -183,7 +183,7 @@ func TestRunStreamErrorOnLiveFeed(t *testing.T) {
 	opts.stream = true
 	done := make(chan error, 1)
 	go func() {
-		done <- run(context.Background(), opts, pr, &failAfterWriter{n: 1})
+		done <- run(context.Background(), opts, pr, &failAfterWriter{n: 1}, io.Discard)
 	}()
 	select {
 	case err := <-done:
@@ -201,11 +201,75 @@ func TestRunEmptyInput(t *testing.T) {
 		opts.batch = mode == "batch"
 		opts.stream = mode == "stream"
 		var out bytes.Buffer
-		if err := run(context.Background(), opts, strings.NewReader("\n\n"), &out); err != nil {
+		if err := run(context.Background(), opts, strings.NewReader("\n\n"), &out, io.Discard); err != nil {
 			t.Fatalf("%s mode on blank input: %v", mode, err)
 		}
 		if out.Len() != 0 {
 			t.Fatalf("%s mode emitted output for blank input: %q", mode, out.String())
 		}
+	}
+}
+
+// TestRunCascadeModes drives -cascade through the line and batch
+// modes: both must emit identical reports (the cascade is
+// deterministic), mark adjudicated verdicts, refuse -stream, and
+// write the routing/spend summary to the error stream.
+func TestRunCascadeModes(t *testing.T) {
+	opts := testOpts()
+	opts.cascade = "gpt-4-sim"
+	opts.band = "0,1" // escalate everything: adjudications are certain
+	opts.adjudicators = 2
+
+	var lineOut, lineSum bytes.Buffer
+	if err := run(context.Background(), opts, strings.NewReader(testInput), &lineOut, &lineSum); err != nil {
+		t.Fatal(err)
+	}
+	lineReps := decodeReports(t, lineOut.Bytes())
+
+	opts.batch = true
+	var batchOut, batchSum bytes.Buffer
+	if err := run(context.Background(), opts, strings.NewReader(testInput), &batchOut, &batchSum); err != nil {
+		t.Fatal(err)
+	}
+	batchReps := decodeReports(t, batchOut.Bytes())
+
+	if len(lineReps) != 3 || len(batchReps) != 3 {
+		t.Fatalf("reports: line %d, batch %d, want 3", len(lineReps), len(batchReps))
+	}
+	for i := range lineReps {
+		if lineReps[i].Post != batchReps[i].Post ||
+			lineReps[i].Condition != batchReps[i].Condition ||
+			lineReps[i].Confidence != batchReps[i].Confidence ||
+			lineReps[i].Adjudicated != batchReps[i].Adjudicated {
+			t.Errorf("post %d: line %+v vs batch %+v", i, lineReps[i], batchReps[i])
+		}
+	}
+	adjudicated := 0
+	for _, r := range lineReps {
+		if r.Adjudicated {
+			adjudicated++
+		}
+	}
+	if adjudicated == 0 {
+		t.Error("full-width band produced no adjudicated reports")
+	}
+	for name, sum := range map[string]string{"line": lineSum.String(), "batch": batchSum.String()} {
+		if !strings.Contains(sum, "cascade: screened 3, escalated 3") ||
+			!strings.Contains(sum, "gpt-4-sim") {
+			t.Errorf("%s summary missing cascade accounting: %q", name, sum)
+		}
+	}
+
+	opts.batch = false
+	opts.stream = true
+	err := run(context.Background(), opts, strings.NewReader(testInput), &bytes.Buffer{}, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "-stream") {
+		t.Errorf("cascade+stream: err = %v, want stream rejection", err)
+	}
+
+	opts.stream = false
+	opts.band = "bogus"
+	if err := run(context.Background(), opts, strings.NewReader(testInput), &bytes.Buffer{}, io.Discard); err == nil {
+		t.Error("bogus band accepted")
 	}
 }

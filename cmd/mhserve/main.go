@@ -26,9 +26,17 @@
 //	GET    /healthz             liveness + uptime + in-flight count
 //	GET    /metrics             Prometheus text format
 //
+// With -cascade <model>, screening runs the two-stage cascade: the
+// classifier rules on every post, and posts whose calibrated
+// confidence falls inside the -band uncertainty interval are
+// escalated to a bounded pool (-adjudicators) of LLM adjudications,
+// with escalation rate, adjudication latency quantiles, fallbacks,
+// and adjudicator spend exposed as mh_cascade_* metrics.
+//
 // Usage:
 //
 //	mhserve -addr :8080
+//	mhserve -addr :8080 -cascade gpt-4-sim -band 0,0.74
 //	curl -s localhost:8080/v1/screen -d '{"text":"i feel hopeless lately"}'
 //	curl -s localhost:8080/v1/users/u17/posts -d '{"text":"rough week"}'
 //
@@ -68,6 +76,9 @@ type options struct {
 	sessionTTL      time.Duration
 	sessionCap      int
 	sessionSnapshot string
+	cascade         string
+	band            string
+	adjudicators    int
 }
 
 func main() {
@@ -87,6 +98,9 @@ func main() {
 	flag.DurationVar(&opts.sessionTTL, "session-ttl", 30*time.Minute, "sessions: evict a user after this long idle")
 	flag.IntVar(&opts.sessionCap, "session-capacity", 65536, "sessions: max live user sessions (LRU shedding at capacity)")
 	flag.StringVar(&opts.sessionSnapshot, "session-snapshot", "", "sessions: snapshot file restored at boot and written on graceful shutdown")
+	flag.StringVar(&opts.cascade, "cascade", "", "screen through the two-stage cascade, adjudicating uncertain posts with this model (see mhbench -list; empty disables)")
+	flag.StringVar(&opts.band, "band", mhd.DefaultBand.String(), `cascade: calibrated-probability uncertainty band "lo,hi" — posts inside it escalate`)
+	flag.IntVar(&opts.adjudicators, "adjudicators", 4, "cascade: max concurrent LLM adjudications")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -101,12 +115,24 @@ func main() {
 // drains gracefully. The bound address (useful with ":0") is sent on
 // ready when non-nil.
 func run(ctx context.Context, opts options, ready chan<- string, logw io.Writer) error {
-	det, err := mhd.NewDetector(
+	detOpts := []mhd.Option{
 		mhd.WithEngine(opts.engine),
 		mhd.WithSeed(opts.seed),
 		mhd.WithTrainingSize(opts.train),
 		mhd.WithWorkers(opts.workers),
-	)
+	}
+	if opts.cascade != "" {
+		band, err := mhd.ParseBand(opts.band)
+		if err != nil {
+			return err
+		}
+		detOpts = append(detOpts,
+			mhd.WithAdjudicator(opts.cascade),
+			mhd.WithBand(band.Lo, band.Hi),
+			mhd.WithAdjudicators(opts.adjudicators),
+		)
+	}
+	det, err := mhd.NewDetector(detOpts...)
 	if err != nil {
 		return err
 	}
@@ -135,13 +161,18 @@ func run(ctx context.Context, opts options, ready chan<- string, logw io.Writer)
 		CacheSize:   opts.cacheSize,
 		MaxInFlight: opts.inflight,
 		QueueWait:   opts.queueWait,
+		Cascade:     opts.cascade != "",
 	})
 	addr, errc, err := srv.Start(opts.addr)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(logw, "mhserve: listening on %s (engine=%s batch=%d/%s cache=%d inflight=%d)\n",
-		addr, opts.engine, opts.maxBatch, opts.batchDelay, opts.cacheSize, opts.inflight)
+	mode := "classifier-only"
+	if opts.cascade != "" {
+		mode = "cascade:" + opts.cascade + " band=" + opts.band
+	}
+	fmt.Fprintf(logw, "mhserve: listening on %s (engine=%s mode=%s batch=%d/%s cache=%d inflight=%d)\n",
+		addr, opts.engine, mode, opts.maxBatch, opts.batchDelay, opts.cacheSize, opts.inflight)
 	if ready != nil {
 		ready <- addr
 	}

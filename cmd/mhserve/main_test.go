@@ -460,3 +460,68 @@ func TestServeRejectsBadInput(t *testing.T) {
 		t.Errorf("assess disabled: status %d, want 501", r4.StatusCode)
 	}
 }
+
+// TestServeCascadeEndToEnd boots mhserve in cascade mode with a band
+// that escalates everything, drives screening traffic, and asserts
+// adjudicated verdicts are served and the mh_cascade_* series are
+// visible and mutually consistent on /metrics.
+func TestServeCascadeEndToEnd(t *testing.T) {
+	opts := options{
+		addr: "127.0.0.1:0", engine: "baseline", seed: 1, train: 600,
+		maxBatch: 8, batchDelay: time.Millisecond,
+		cacheSize: -1, // no cache: every request must ride the cascade
+		inflight:  8, threshold: 1.5, noAssess: true,
+		cascade: "gpt-4-sim", band: "0,1", adjudicators: 2,
+	}
+	base, shutdown := bootServer(t, opts)
+	defer shutdown()
+
+	feed := mhd.SampleFeed(24, 11)
+	adjudicated := 0
+	for _, p := range feed {
+		resp, body := postJSON(t, base+"/v1/screen", map[string]any{"text": p.Text})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d: %s", resp.StatusCode, body)
+		}
+		var rep wireReport
+		if err := json.Unmarshal(body, &rep); err != nil {
+			t.Fatal(err)
+		}
+		if rep.Adjudicated {
+			adjudicated++
+		}
+	}
+	if adjudicated == 0 {
+		t.Fatal("a full-width band never served an adjudicated verdict")
+	}
+
+	screened := metricValue(t, base, "mh_cascade_screened_total")
+	escalated := metricValue(t, base, "mh_cascade_escalated_total")
+	applied := metricValue(t, base, "mh_cascade_adjudicated_total")
+	fallbacks := metricValue(t, base, "mh_cascade_fallbacks_total")
+	rate := metricValue(t, base, "mh_cascade_escalation_rate")
+	if screened != float64(len(feed)) {
+		t.Errorf("mh_cascade_screened_total = %v, want %d", screened, len(feed))
+	}
+	if escalated != screened {
+		t.Errorf("band 0,1 escalated %v of %v posts", escalated, screened)
+	}
+	if applied+fallbacks != escalated {
+		t.Errorf("adjudicated %v + fallbacks %v != escalated %v", applied, fallbacks, escalated)
+	}
+	if float64(adjudicated) != applied {
+		t.Errorf("served %d adjudicated reports, metrics say %v", adjudicated, applied)
+	}
+	if rate != 1 {
+		t.Errorf("mh_cascade_escalation_rate = %v, want 1", rate)
+	}
+	if calls := metricValue(t, base, "mh_cascade_adjudicator_calls_total"); calls < escalated {
+		t.Errorf("adjudicator calls %v < escalations %v", calls, escalated)
+	}
+	if cost := metricValue(t, base, "mh_cascade_adjudicator_cost_usd"); cost <= 0 {
+		t.Errorf("adjudicator cost %v, want > 0", cost)
+	}
+	if p99 := metricValue(t, base, "mh_cascade_adjudication_seconds_p99"); p99 <= 0 {
+		t.Errorf("adjudication p99 %v, want > 0", p99)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/baseline"
+	"repro/internal/cascade"
 	"repro/internal/corpus"
 	"repro/internal/domain"
 	"repro/internal/lexicon"
@@ -38,6 +39,10 @@ type Report struct {
 	// Crisis is set when suicide-risk severity is moderate or above;
 	// consumers should route such posts to human review immediately.
 	Crisis bool
+	// Adjudicated is set by the cascade path when the condition
+	// verdict came from the LLM adjudicator rather than the stage-1
+	// classifier (see ScreenCascade).
+	Adjudicated bool
 }
 
 // Detector screens social-media text for mental-health signals.
@@ -49,6 +54,13 @@ type Detector struct {
 	labels     []Disorder
 	labelNames []string
 	workers    int
+
+	// Cascade state; all nil/zero unless WithAdjudicator configured
+	// one (see ScreenCascade).
+	cal     *baseline.PlattScaler // stage-1 confidence calibration
+	band    cascade.Band          // calibrated uncertainty band
+	adjPool *cascade.Pool         // bounded LLM adjudicator pool
+	adjClf  *prompting.Classifier // adjudicator, kept for usage accounting
 	// scratch recycles per-call screen state for the single-post
 	// Screen entry point, so even unbatched callers ride the
 	// zero-allocation path once warm. Batch and stream carry their
@@ -58,12 +70,15 @@ type Detector struct {
 
 // detectorConfig collects NewDetector and NewRiskMonitor options.
 type detectorConfig struct {
-	engine     string // "baseline" or a model name from Models()
-	seed       int64
-	trainSize  int
-	workers    int
-	sessionTTL time.Duration // NewRiskMonitor only
-	sessionCap int           // NewRiskMonitor only
+	engine       string // "baseline" or a model name from Models()
+	seed         int64
+	trainSize    int
+	workers      int
+	sessionTTL   time.Duration // NewRiskMonitor only
+	sessionCap   int           // NewRiskMonitor only
+	adjModel     string        // cascade adjudicator model; "" disables
+	band         cascade.Band  // cascade uncertainty band
+	adjudicators int           // cascade pool size
 }
 
 // Option configures NewDetector.
@@ -109,9 +124,59 @@ func WithSessionCapacity(n int) Option {
 	return func(c *detectorConfig) { c.sessionCap = n }
 }
 
+// Band is the cascade's uncertainty interval on calibrated
+// correctness probability; re-exported from the cascade engine. A
+// stage-1 verdict whose calibrated probability of being correct falls
+// inside [Lo, Hi] is escalated to the LLM adjudicator.
+type Band = cascade.Band
+
+// ParseBand parses a "lo,hi" flag value (e.g. "0.15,0.85") into a
+// validated Band.
+func ParseBand(s string) (Band, error) { return cascade.ParseBand(s) }
+
+// DefaultBand is the uncertainty band WithAdjudicator uses unless
+// WithBand overrides it. The ceiling is chosen so that on the
+// built-in synthetic corpora roughly the least-confident fifth of
+// verdicts escalate; the floor of 0 means even hopeless stage-1
+// verdicts get a second opinion.
+var DefaultBand = Band{Lo: 0, Hi: 0.74}
+
+// CascadeStats summarizes one ScreenCascade call: how many posts
+// completed stage 1, how many escalated, and of those how many took
+// the adjudicator's verdict vs. fell back to stage 1; re-exported
+// from the cascade engine.
+type CascadeStats = cascade.Stats
+
+// WithAdjudicator arms the screening cascade: posts whose calibrated
+// stage-1 confidence falls inside the uncertainty band (WithBand) are
+// escalated to a bounded pool (WithAdjudicators) of chain-of-thought
+// LLM adjudications on the named model (any name from Models()).
+// Construction additionally fits a Platt calibration of the stage-1
+// classifier on a held-out synthetic split, so the band is a
+// probability interval over "is this verdict correct". Use
+// ScreenCascade / ScreenCascadeContext to screen through the cascade;
+// Screen and ScreenBatch remain stage-1 only.
+func WithAdjudicator(model string) Option {
+	return func(c *detectorConfig) { c.adjModel = model }
+}
+
+// WithBand overrides the cascade's uncertainty band (default
+// DefaultBand). Only meaningful together with WithAdjudicator.
+func WithBand(lo, hi float64) Option {
+	return func(c *detectorConfig) { c.band = Band{Lo: lo, Hi: hi} }
+}
+
+// WithAdjudicators bounds how many LLM adjudications may run
+// concurrently (default 4). Only meaningful together with
+// WithAdjudicator.
+func WithAdjudicators(n int) Option {
+	return func(c *detectorConfig) { c.adjudicators = n }
+}
+
 // NewDetector builds a multi-condition screening detector.
 func NewDetector(opts ...Option) (*Detector, error) {
-	cfg := detectorConfig{engine: "baseline", seed: 1, trainSize: 2400}
+	cfg := detectorConfig{engine: "baseline", seed: 1, trainSize: 2400,
+		band: DefaultBand, adjudicators: 4}
 	for _, o := range opts {
 		o(&cfg)
 	}
@@ -164,7 +229,103 @@ func NewDetector(opts ...Option) (*Detector, error) {
 		d.clf = clf
 	}
 	d.fast, _ = d.clf.(task.BatchPredictor)
+	if cfg.adjModel != "" {
+		if err := d.armCascade(cfg, probs); err != nil {
+			return nil, err
+		}
+	}
 	return d, nil
+}
+
+// calibrationSize is how many held-out synthetic posts the cascade's
+// Platt calibration is fitted on. Big enough for a stable sigmoid,
+// small enough that arming the cascade stays sub-second.
+const calibrationSize = 600
+
+// armCascade builds the adjudicator pool and fits the stage-1
+// confidence calibration on a held-out split (a corpus seeded apart
+// from the training one, so the calibration measures generalization
+// rather than training fit).
+func (d *Detector) armCascade(cfg detectorConfig, probs []float64) error {
+	if err := cfg.band.Validate(); err != nil {
+		return fmt.Errorf("mhd: %w", err)
+	}
+	if cfg.adjudicators <= 0 {
+		return fmt.Errorf("mhd: adjudicator pool size %d must be positive", cfg.adjudicators)
+	}
+	card, err := llm.LookupModel(cfg.adjModel)
+	if err != nil {
+		return fmt.Errorf("mhd: adjudicator must be a model name: %w", err)
+	}
+	client, err := llm.NewSimClient(card)
+	if err != nil {
+		return err
+	}
+	adj, err := prompting.New(client, "which mental health condition, if any, the author shows signs of",
+		d.labelNames, prompting.Config{Strategy: prompting.ChainOfThought, Seed: cfg.seed})
+	if err != nil {
+		return err
+	}
+	if err := adj.Fit(nil); err != nil {
+		return err
+	}
+	pool, err := cascade.NewPool(adj, cfg.adjudicators)
+	if err != nil {
+		return err
+	}
+
+	spec := corpus.Spec{
+		Name: "detector-cal", Kind: corpus.KindDisorder,
+		Classes: d.labels, ClassProbs: probs,
+		N: calibrationSize, Difficulty: 0.5, Seed: cfg.seed + 7919,
+	}
+	ds, err := spec.Build()
+	if err != nil {
+		return err
+	}
+	exs := ds.Examples()
+	confs := make([]float64, 0, len(exs))
+	correct := make([]bool, 0, len(exs))
+	for _, ex := range exs {
+		pred, err := d.clf.Predict(ex.Text)
+		if err != nil {
+			return fmt.Errorf("mhd: calibration predict: %w", err)
+		}
+		top := 0.0
+		for _, s := range pred.Scores {
+			if s > top {
+				top = s
+			}
+		}
+		confs = append(confs, top)
+		correct = append(correct, pred.Label == ex.Label)
+	}
+	cal, err := baseline.FitPlatt(confs, correct)
+	if err != nil {
+		return fmt.Errorf("mhd: fitting calibration: %w", err)
+	}
+	d.cal = cal
+	d.band = cfg.band
+	d.adjPool = pool
+	d.adjClf = adj
+	return nil
+}
+
+// HasCascade reports whether WithAdjudicator armed the cascade.
+func (d *Detector) HasCascade() bool { return d.adjPool != nil }
+
+// CascadeBand returns the armed cascade's uncertainty band (zero
+// Band when no cascade is configured).
+func (d *Detector) CascadeBand() Band { return d.band }
+
+// AdjudicatorUsage returns the cumulative token/cost accounting of
+// the LLM adjudicator since construction (zero Usage when no cascade
+// is configured).
+func (d *Detector) AdjudicatorUsage() llm.Usage {
+	if d.adjClf == nil {
+		return llm.Usage{}
+	}
+	return d.adjClf.Usage()
 }
 
 // screenScratch is per-shard reusable state for the screening hot
@@ -194,14 +355,19 @@ func (d *Detector) Screen(text string) (Report, error) {
 	if sc == nil {
 		sc = d.newScratch()
 	}
-	rep, err := d.screen(text, sc)
+	rep, _, err := d.screen(text, sc)
 	d.scratch.Put(sc)
 	return rep, err
 }
 
-func (d *Detector) screen(text string, sc *screenScratch) (Report, error) {
+// screen is the stage-1 hot path. Besides the report it returns the
+// classifier's raw top-class confidence — the pre-guardrail maximum
+// softmax score — which the cascade calibrates to decide escalation
+// (the Report's own Confidence may have been remapped to the control
+// class by the guardrails below and is useless for routing).
+func (d *Detector) screen(text string, sc *screenScratch) (Report, float64, error) {
 	if text == "" {
-		return Report{}, fmt.Errorf("mhd: empty text")
+		return Report{}, 0, fmt.Errorf("mhd: empty text")
 	}
 	// Tokenize once: the same normalized word tokens feed both the
 	// classifier's featurizer (via the fast path) and the condition
@@ -216,7 +382,13 @@ func (d *Detector) screen(text string, sc *screenScratch) (Report, error) {
 		pred, err = d.clf.Predict(text)
 	}
 	if err != nil {
-		return Report{}, err
+		return Report{}, 0, err
+	}
+	top := 0.0
+	for _, s := range pred.Scores {
+		if s > top {
+			top = s
+		}
 	}
 	rep := Report{Condition: Control, Scores: make(map[string]float64, len(d.labels))}
 	if pred.Label >= 0 && pred.Label < len(d.labels) {
@@ -265,7 +437,7 @@ func (d *Detector) screen(text string, sc *screenScratch) (Report, error) {
 		siHits := lexicon.AppendHitsOf(nil, sc.matches, siLex)
 		rep.Evidence = mergeEvidence(rep.Evidence, siHits)
 	}
-	return rep, nil
+	return rep, top, nil
 }
 
 // riskThresholds are the SI-score cut points between severity
@@ -349,7 +521,8 @@ func (d *Detector) ScreenBatchContext(ctx context.Context, texts []string) ([]Re
 	}
 	reports, err := pipeline.Map(ctx, texts, pipeline.Config{Workers: workers},
 		func(shard int, text string) (Report, error) {
-			return d.screen(text, scratch[shard])
+			rep, _, err := d.screen(text, scratch[shard])
+			return rep, err
 		})
 	var ie *pipeline.ItemError
 	if errors.As(err, &ie) {
@@ -386,7 +559,7 @@ func (d *Detector) ScreenStream(ctx context.Context, posts <-chan string) <-chan
 	}
 	results := pipeline.Stream(ctx, posts, pipeline.Config{Workers: workers},
 		func(shard int, text string) (screened, error) {
-			rep, err := d.screen(text, scratch[shard])
+			rep, _, err := d.screen(text, scratch[shard])
 			return screened{text: text, rep: rep}, err
 		})
 	out := make(chan StreamReport)
@@ -402,6 +575,152 @@ func (d *Detector) ScreenStream(ctx context.Context, posts <-chan string) <-chan
 		}
 	}()
 	return out
+}
+
+// ScreenCascade screens every post through the two-stage cascade:
+// stage 1 is the ordinary classifier screen, and posts whose
+// calibrated stage-1 confidence falls inside the uncertainty band are
+// escalated to the bounded LLM adjudicator pool. The adjudicator's
+// verdict replaces the stage-1 condition only when it parses cleanly
+// and — for clinical calls — is grounded in at least one lexicon
+// phrase of the claimed condition (the same auditability invariant
+// Screen enforces); any adjudication failure falls back to the
+// stage-1 verdict and is counted in the returned stats, so one flaky
+// LLM call can never fail a batch. Requires WithAdjudicator.
+//
+// Deterministic: the simulated adjudicator is a pure function of the
+// post text and seed, so identical inputs yield identical reports
+// (stats latencies are wall-clock and vary).
+func (d *Detector) ScreenCascade(texts []string) ([]Report, CascadeStats, error) {
+	return d.ScreenCascadeContext(context.Background(), texts)
+}
+
+// ScreenCascadeContext is ScreenCascade with cancellation: ctx
+// governs both the stage-1 pipeline and adjudications (cancelling it
+// abandons queued adjudications immediately).
+func (d *Detector) ScreenCascadeContext(ctx context.Context, texts []string) ([]Report, CascadeStats, error) {
+	if d.adjPool == nil {
+		return nil, CascadeStats{}, fmt.Errorf("mhd: no adjudicator configured (use WithAdjudicator)")
+	}
+	// Workers are capped at the batch size, and their scratch comes
+	// from (and returns to) the detector's pool: callers that cascade
+	// one post at a time — mhscreen's line mode, the serving layer's
+	// per-post fallback — reuse warm buffers instead of paying
+	// GOMAXPROCS cold scratch allocations per call.
+	workers := d.poolWorkers()
+	if workers > len(texts) {
+		workers = len(texts)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	scratch := make([]*screenScratch, workers)
+	for i := range scratch {
+		sc, _ := d.scratch.Get().(*screenScratch)
+		if sc == nil {
+			sc = d.newScratch()
+		}
+		scratch[i] = sc
+	}
+	defer func() {
+		for _, sc := range scratch {
+			d.scratch.Put(sc)
+		}
+	}()
+	col := &cascade.Collector{}
+	reports, err := pipeline.Map(ctx, texts, pipeline.Config{Workers: workers},
+		func(shard int, text string) (Report, error) {
+			return d.screenCascade(ctx, text, scratch[shard], col)
+		})
+	stats := col.Stats()
+	var ie *pipeline.ItemError
+	if errors.As(err, &ie) {
+		return nil, stats, &PostError{Post: ie.Index, Err: ie.Err}
+	}
+	return reports, stats, err
+}
+
+// screenCascade runs one post through both stages on the worker's
+// scratch. The adjudication happens while this worker still owns sc,
+// so sc.matches (this post's lexicon matches) stays valid for
+// grounding the adjudicator's verdict.
+func (d *Detector) screenCascade(ctx context.Context, text string, sc *screenScratch, col *cascade.Collector) (Report, error) {
+	rep, top, err := d.screen(text, sc)
+	if err != nil {
+		return Report{}, err
+	}
+	if !d.band.Contains(d.cal.Calibrate(top)) {
+		col.Observe(cascade.Kept, 0)
+		return rep, nil
+	}
+	pred, lat, aerr := d.adjPool.Adjudicate(ctx, text)
+	if aerr != nil {
+		// Cancellation aborts the batch; an adjudicator failure is
+		// isolated to this post and the stage-1 verdict stands.
+		if ctx.Err() != nil {
+			return Report{}, ctx.Err()
+		}
+		col.Observe(cascade.Fallback, lat)
+		return rep, nil
+	}
+	if !d.applyAdjudication(&rep, pred, sc) {
+		col.Observe(cascade.Fallback, lat)
+		return rep, nil
+	}
+	col.Observe(cascade.Adjudicated, lat)
+	return rep, nil
+}
+
+// adjudicatorWeight is the adjudicator's share in the fused score
+// distribution: fused = (1-w)*stage1 + w*adjudicator. A second
+// opinion corroborates rather than replaces — the adjudicator flips
+// the verdict only when its confidence outweighs the stage-1 margin,
+// which is what makes the cascade safe on posts the LLM is wrong
+// about too.
+const adjudicatorWeight = 0.5
+
+// applyAdjudication fuses the adjudicator's prediction into rep,
+// reporting whether it applied. It refuses unparseable labels,
+// verdicts without a verbalized score distribution, and fused
+// clinical labels without a grounding lexicon phrase (keeping
+// Screen's auditability invariant: every clinical call cites
+// evidence). Risk and Crisis stay lexicon-graded — the adjudicator
+// rules on the condition, not on suicide-risk severity.
+func (d *Detector) applyAdjudication(rep *Report, pred task.Prediction, sc *screenScratch) bool {
+	if pred.Label < 0 || pred.Label >= len(d.labels) || len(pred.Scores) != len(d.labels) {
+		return false
+	}
+	// Fuse the two posteriors; the stage-1 side comes from the report's
+	// score map, which screen always fills on the baseline engines.
+	fused := make([]float64, len(d.labels))
+	best := 0
+	for i, name := range d.labelNames {
+		fused[i] = (1-adjudicatorWeight)*rep.Scores[name] + adjudicatorWeight*pred.Scores[i]
+		if fused[i] > fused[best] {
+			best = i
+		}
+	}
+	cond := d.labels[best]
+	ca := lexicon.Conditions()
+	var evidence []string
+	if cond != Control {
+		evidence = lexicon.AppendHitsOf(nil, sc.matches, ca.Index(cond))
+		if len(evidence) == 0 {
+			return false
+		}
+	}
+	rep.Condition = cond
+	rep.Adjudicated = true
+	rep.Confidence = fused[best]
+	for i, name := range d.labelNames {
+		rep.Scores[name] = fused[i]
+	}
+	rep.Evidence = evidence
+	if rep.Risk > SeverityNone {
+		siHits := lexicon.AppendHitsOf(nil, sc.matches, ca.Index(SuicidalIdeation))
+		rep.Evidence = mergeEvidence(rep.Evidence, siHits)
+	}
+	return true
 }
 
 // Triage screens a batch of posts concurrently and returns the

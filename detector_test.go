@@ -6,6 +6,7 @@ import (
 	"math"
 	"reflect"
 	"runtime"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -444,4 +445,112 @@ func newTestDetectorMust(t *testing.T) *Detector {
 		t.Fatal(err)
 	}
 	return det
+}
+
+// TestScreenEdgeCases drives Screen through inputs a public screening
+// endpoint will inevitably receive: degenerate whitespace, megabyte
+// posts, and invalid UTF-8. Every case must return gracefully — a
+// well-formed Report or the documented empty-text error — and the
+// pathological inputs must not poison the pooled scratch for
+// subsequent normal posts.
+func TestScreenEdgeCases(t *testing.T) {
+	det := newTestDetectorMust(t)
+	huge := strings.Repeat("i feel hopeless and tired of everything today honestly ", 20000) // ~1.1 MiB
+	if len(huge) <= 1<<20 {
+		t.Fatalf("huge post only %d bytes, want > 1 MiB", len(huge))
+	}
+	cases := []struct {
+		name    string
+		text    string
+		wantErr bool
+	}{
+		{"empty", "", true},
+		{"whitespace only", " \t\r\n  \t ", false},
+		{"punctuation only", "?!... --- ///", false},
+		{"single rune", "a", false},
+		{"over 1MiB", huge, false},
+		{"invalid UTF-8", "feeling \xff\xfe broken \x80 inside", false},
+		{"invalid UTF-8 only", "\xff\xfe\x80\xc3", false},
+		{"NUL bytes", "hopeless\x00and\x00numb", false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rep, err := det.Screen(tc.text)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatal("expected an error")
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("Screen(%q...): %v", tc.text[:min(len(tc.text), 24)], err)
+			}
+			if !rep.Condition.Valid() {
+				t.Errorf("invalid condition %v", rep.Condition)
+			}
+			if rep.Confidence < 0 || rep.Confidence > 1 {
+				t.Errorf("confidence %v out of [0,1]", rep.Confidence)
+			}
+			if len(rep.Scores) != len(det.labels) {
+				t.Errorf("scores carry %d of %d conditions", len(rep.Scores), len(det.labels))
+			}
+			if rep.Crisis != (rep.Risk >= SeverityModerate) {
+				t.Errorf("crisis flag %v inconsistent with risk %v", rep.Crisis, rep.Risk)
+			}
+		})
+	}
+	// A normal post still screens identically after the pathological
+	// inputs ran through the same pooled scratch.
+	normal := testFeedTexts(t, 1)[0]
+	want, err := det.Screen(normal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := newTestDetectorMust(t)
+	got, err := fresh.Screen(normal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Condition != got.Condition || want.Risk != got.Risk {
+		t.Errorf("post-edge-case report %+v differs from fresh detector's %+v", want, got)
+	}
+}
+
+// TestScreenEdgeCaseAllocations extends the allocation gate to the
+// degenerate inputs: once scratch is warm (including the buffers a
+// megabyte post grew), edge-case posts must stay on the
+// zero-allocation path like any other post.
+func TestScreenEdgeCaseAllocations(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation changes allocation counts")
+	}
+	det := newTestDetectorMust(t)
+	huge := strings.Repeat("i feel hopeless and tired of everything today honestly ", 20000)
+	inputs := []string{
+		" \t\r\n  \t ",
+		"feeling \xff\xfe broken \x80 inside",
+		huge,
+		"?!... --- ///",
+	}
+	for _, p := range inputs { // warm the pooled scratch per shape
+		if _, err := det.Screen(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const maxAllocs = 10
+	for _, p := range inputs {
+		if len(p) > 1<<20 {
+			continue // the 1 MiB post re-grows pooled buffers across pool rotation; gated for completion above, not allocs
+		}
+		i := 0
+		avg := testing.AllocsPerRun(64, func() {
+			if _, err := det.Screen(p); err != nil {
+				t.Fatal(err)
+			}
+			i++
+		})
+		if avg > maxAllocs {
+			t.Errorf("steady-state Screen(%q...) = %.1f allocs/op, gate is %d", p[:min(len(p), 16)], avg, maxAllocs)
+		}
+	}
 }

@@ -1,8 +1,14 @@
-// Early-risk: a client for the mhserve stateful session endpoints.
-// It streams one synthetic user's posting history into the server a
-// post at a time — the shape real early detection has, where
-// evidence arrives incrementally — and prints when the server's
-// alarm fired against the user's gold label.
+// Early-risk: the ONLINE half of early-risk detection — a client for
+// the mhserve stateful session endpoints. It streams one synthetic
+// user's posting history into the server a post at a time — the
+// shape real early detection has, where evidence arrives
+// incrementally — and prints when the server's alarm fired against
+// the user's gold label.
+//
+// Its offline counterpart is examples/earlyrisk (no hyphen), which
+// evaluates a RiskMonitor over a whole cohort of complete histories
+// in one process and scores it with ERDE. Same detection logic, two
+// serving shapes: per-post streaming here, batch evaluation there.
 //
 // Run the server first, then the client:
 //

@@ -1,7 +1,14 @@
-// Earlyrisk: monitor user posting histories and raise alarms as
-// early as the evidence allows — the eRisk early-detection setting.
-// The demo scores the monitor with ERDE (the latency-weighted error
-// the shared tasks use) against the never-alarm floor.
+// Earlyrisk: the OFFLINE half of early-risk detection — evaluate a
+// RiskMonitor over a whole synthetic cohort of complete posting
+// histories and score it with ERDE (the latency-weighted error the
+// eRisk shared tasks use) against the never-alarm floor.
+//
+// Its online counterpart is examples/early-risk (note the hyphen),
+// which streams a single user's history into a running mhserve
+// process one post at a time via the stateful session endpoints and
+// reaches the same alarm decision incrementally. Same detection
+// logic, two serving shapes: batch evaluation here, per-post
+// streaming there.
 //
 // Run with:
 //

@@ -1,0 +1,22 @@
+package mhd
+
+import (
+	"os/exec"
+	"testing"
+)
+
+// TestExamplesVet makes `go vet ./examples/...` part of tier-1: the
+// example programs are the adoption surface, build-tagged into no
+// test binary of their own, and a vet regression there (a stale
+// Printf verb after an API change, say) should fail `go test ./...`,
+// not wait for CI's separate vet step.
+func TestExamplesVet(t *testing.T) {
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skipf("go binary not in PATH: %v", err)
+	}
+	out, err := exec.Command(goBin, "vet", "./examples/...").CombinedOutput()
+	if err != nil {
+		t.Fatalf("go vet ./examples/...: %v\n%s", err, out)
+	}
+}

@@ -1,0 +1,111 @@
+package baseline
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// synthConfidences builds a miscalibrated synthetic split: raw
+// confidences drawn in [0.3, 1), with the true correctness
+// probability deliberately lower than the raw value (overconfidence,
+// the shape softmax classifiers exhibit).
+func synthConfidences(n int, seed int64) (conf []float64, correct []bool) {
+	rng := rand.New(rand.NewSource(seed))
+	conf = make([]float64, n)
+	correct = make([]bool, n)
+	for i := range conf {
+		c := 0.3 + 0.7*rng.Float64()
+		conf[i] = c
+		// True accuracy at raw confidence c: markedly lower than c.
+		pTrue := 0.15 + 0.55*(c-0.3)/0.7
+		correct[i] = rng.Float64() < pTrue
+	}
+	return conf, correct
+}
+
+func TestFitPlattValidation(t *testing.T) {
+	if _, err := FitPlatt([]float64{0.5}, []bool{true, false}); err == nil {
+		t.Error("length mismatch must error")
+	}
+	if _, err := FitPlatt([]float64{0.5, 0.6}, []bool{true, false}); err == nil {
+		t.Error("too-few examples must error")
+	}
+	conf := make([]float64, 12)
+	correct := make([]bool, 12)
+	conf[3] = 1.5
+	if _, err := FitPlatt(conf, correct); err == nil {
+		t.Error("out-of-range confidence must error")
+	}
+}
+
+func TestPlattImprovesECE(t *testing.T) {
+	conf, correct := synthConfidences(4000, 7)
+	p, err := FitPlatt(conf, correct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, cal, err := p.ECE(conf, correct, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cal >= raw {
+		t.Fatalf("calibration did not improve ECE: raw %.4f -> calibrated %.4f", raw, cal)
+	}
+	if cal > 0.05 {
+		t.Fatalf("calibrated ECE %.4f still large", cal)
+	}
+}
+
+func TestPlattCalibrateMonotoneAndBounded(t *testing.T) {
+	conf, correct := synthConfidences(2000, 11)
+	p, err := FitPlatt(conf, correct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := math.Inf(-1)
+	for s := 0.0; s <= 1.0; s += 0.01 {
+		v := p.Calibrate(s)
+		if v < 0 || v > 1 || math.IsNaN(v) {
+			t.Fatalf("Calibrate(%v) = %v out of [0,1]", s, v)
+		}
+		if v < prev {
+			t.Fatalf("Calibrate not monotone at %v: %v < %v", s, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestPlattDeterministic(t *testing.T) {
+	conf, correct := synthConfidences(1000, 3)
+	p1, err := FitPlatt(conf, correct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := FitPlatt(conf, correct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *p1 != *p2 {
+		t.Fatalf("fit not deterministic: %+v vs %+v", p1, p2)
+	}
+}
+
+func TestPlattHandlesOneSidedSplit(t *testing.T) {
+	// All-correct split: smoothing must keep the fit finite and the
+	// output a sane (high) probability.
+	conf := make([]float64, 50)
+	correct := make([]bool, 50)
+	for i := range conf {
+		conf[i] = 0.5 + 0.01*float64(i%40)
+		correct[i] = true
+	}
+	p, err := FitPlatt(conf, correct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := p.Calibrate(0.7)
+	if math.IsNaN(v) || v < 0.5 {
+		t.Fatalf("one-sided fit gave %v, want a finite high probability", v)
+	}
+}

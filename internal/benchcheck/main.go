@@ -10,6 +10,10 @@
 //   - every "*allocs_per_op" key, when present, a non-negative number
 //     (zero is the goal for the screening fast path, so unlike the
 //     throughput keys this one may legitimately be 0)
+//   - every "*_rate" key, when present, a number in [0, 1] — rates
+//     (the cascade's escalation_rate) are probabilities, and a value
+//     outside the unit interval means the recording is wrong, not
+//     just slow
 //
 // Usage: go run ./internal/benchcheck BENCH_serve.json ...
 package main
@@ -76,6 +80,11 @@ func checkFile(path string) error {
 			allocs, ok := v.(float64)
 			if !ok || allocs < 0 {
 				return fmt.Errorf("%q must be a non-negative number, got %v", key, v)
+			}
+		case strings.HasSuffix(key, "_rate"):
+			rate, ok := v.(float64)
+			if !ok || rate < 0 || rate > 1 {
+				return fmt.Errorf("%q must be a number in [0,1], got %v", key, v)
 			}
 		}
 	}

@@ -38,6 +38,12 @@ func TestBenchcheck(t *testing.T) {
 		{"fractional allocs is legal", `{"benchmark":"X","gomaxprocs":1,"posts_per_sec":5,"allocs_per_op":5.5}`, 0},
 		{"negative allocs", `{"benchmark":"X","gomaxprocs":1,"posts_per_sec":5,"allocs_per_op":-1}`, 1},
 		{"string allocs", `{"benchmark":"X","gomaxprocs":1,"posts_per_sec":5,"allocs_per_op":"few"}`, 1},
+		{"zero rate is legal", `{"benchmark":"X","gomaxprocs":1,"posts_per_sec":5,"escalation_rate":0}`, 0},
+		{"unit rate is legal", `{"benchmark":"X","gomaxprocs":1,"posts_per_sec":5,"escalation_rate":1}`, 0},
+		{"fractional rate is legal", `{"benchmark":"X","gomaxprocs":1,"posts_per_sec":5,"escalation_rate":0.18}`, 0},
+		{"negative rate", `{"benchmark":"X","gomaxprocs":1,"posts_per_sec":5,"escalation_rate":-0.1}`, 1},
+		{"rate above one", `{"benchmark":"X","gomaxprocs":1,"posts_per_sec":5,"escalation_rate":1.2}`, 1},
+		{"string rate", `{"benchmark":"X","gomaxprocs":1,"posts_per_sec":5,"escalation_rate":"low"}`, 1},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -77,7 +83,7 @@ func TestBenchcheck(t *testing.T) {
 func TestBenchcheckAcceptsCommittedFiles(t *testing.T) {
 	// The checked-in trajectory files must satisfy the schema the CI
 	// gate enforces.
-	for _, name := range []string{"BENCH_serve.json", "BENCH_sessions.json", "BENCH_screen.json"} {
+	for _, name := range []string{"BENCH_serve.json", "BENCH_sessions.json", "BENCH_screen.json", "BENCH_cascade.json"} {
 		path := filepath.Join("..", "..", name)
 		if _, err := os.Stat(path); err != nil {
 			t.Skipf("%s not present: %v", name, err)

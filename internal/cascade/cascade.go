@@ -1,0 +1,189 @@
+// Package cascade implements the two-stage screening cascade the
+// survey's cost analysis motivates: a cheap calibrated classifier
+// screens every post, and only posts whose calibrated confidence
+// falls inside an uncertainty band are escalated to a bounded pool of
+// LLM adjudicators. Confident stage-1 verdicts return immediately at
+// classifier speed; the expensive adjudicator is spent exactly where
+// the survey finds LLMs earn their cost — the borderline posts.
+//
+// The package is deliberately engine-agnostic: the adjudicator is any
+// task.Classifier (in practice a prompting.Classifier over an
+// llm.Client), the band is an interval over calibrated correctness
+// probability (see baseline.PlattScaler), and the pool bounds
+// concurrent adjudications with a semaphore so a wide screening
+// pipeline cannot fan an unbounded number of in-flight LLM calls.
+package cascade
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/task"
+)
+
+// Band is the uncertainty interval on calibrated correctness
+// probability: a stage-1 verdict with probability p is escalated to
+// the adjudicator iff Lo <= p <= Hi. Verdicts below Lo are so poor
+// that adjudication is unlikely to help (and on heavy traffic would
+// burn the budget); verdicts above Hi are confident enough to stand.
+type Band struct {
+	Lo, Hi float64
+}
+
+// Validate checks 0 <= Lo <= Hi <= 1.
+func (b Band) Validate() error {
+	if b.Lo < 0 || b.Hi > 1 || b.Lo > b.Hi {
+		return fmt.Errorf("cascade: band [%g, %g] not within 0 <= lo <= hi <= 1", b.Lo, b.Hi)
+	}
+	return nil
+}
+
+// Contains reports whether p falls inside the band (inclusive).
+func (b Band) Contains(p float64) bool { return p >= b.Lo && p <= b.Hi }
+
+// String renders the band in the "lo,hi" form ParseBand accepts.
+func (b Band) String() string {
+	return strconv.FormatFloat(b.Lo, 'g', -1, 64) + "," + strconv.FormatFloat(b.Hi, 'g', -1, 64)
+}
+
+// ParseBand parses a "lo,hi" flag value (e.g. "0.15,0.85") into a
+// validated Band.
+func ParseBand(s string) (Band, error) {
+	lo, hi, ok := strings.Cut(s, ",")
+	if !ok {
+		return Band{}, fmt.Errorf("cascade: band %q not in \"lo,hi\" form", s)
+	}
+	l, err := strconv.ParseFloat(strings.TrimSpace(lo), 64)
+	if err != nil {
+		return Band{}, fmt.Errorf("cascade: band lo %q: %w", lo, err)
+	}
+	h, err := strconv.ParseFloat(strings.TrimSpace(hi), 64)
+	if err != nil {
+		return Band{}, fmt.Errorf("cascade: band hi %q: %w", hi, err)
+	}
+	b := Band{Lo: l, Hi: h}
+	if err := b.Validate(); err != nil {
+		return Band{}, err
+	}
+	return b, nil
+}
+
+// Pool is a bounded adjudicator pool: at most its size adjudications
+// run concurrently, and waiters honour context cancellation while
+// queueing for a slot. Safe for concurrent use.
+type Pool struct {
+	clf task.Classifier
+	sem chan struct{}
+}
+
+// NewPool builds a pool of size concurrent slots over clf.
+func NewPool(clf task.Classifier, size int) (*Pool, error) {
+	if clf == nil {
+		return nil, fmt.Errorf("cascade: nil adjudicator classifier")
+	}
+	if size <= 0 {
+		return nil, fmt.Errorf("cascade: pool size %d must be positive", size)
+	}
+	return &Pool{clf: clf, sem: make(chan struct{}, size)}, nil
+}
+
+// Adjudicate runs one adjudication, blocking for a slot first. The
+// returned duration is the wall time of the adjudication (slot wait
+// excluded — queueing is backpressure, not adjudicator latency). On
+// ctx cancellation while queued it returns ctx's error immediately.
+func (p *Pool) Adjudicate(ctx context.Context, text string) (task.Prediction, time.Duration, error) {
+	select {
+	case p.sem <- struct{}{}:
+	case <-ctx.Done():
+		return task.Prediction{}, 0, ctx.Err()
+	}
+	defer func() { <-p.sem }()
+	if err := ctx.Err(); err != nil {
+		return task.Prediction{}, 0, err
+	}
+	t0 := time.Now()
+	pred, err := p.clf.Predict(text)
+	return pred, time.Since(t0), err
+}
+
+// Outcome classifies what the cascade did with one post.
+type Outcome int
+
+const (
+	// Kept means the stage-1 verdict was confident enough to stand.
+	Kept Outcome = iota
+	// Adjudicated means the post was escalated and the adjudicator's
+	// verdict was applied.
+	Adjudicated
+	// Fallback means the post was escalated but the adjudication
+	// failed (error, unparseable verdict, or ungrounded label) and the
+	// stage-1 verdict was kept.
+	Fallback
+)
+
+// Stats summarizes one cascade screening call. Escalated ==
+// Adjudicated + Fallbacks, and Screened counts every post that
+// completed stage 1.
+type Stats struct {
+	Screened    int
+	Escalated   int
+	Adjudicated int
+	Fallbacks   int
+	// Latencies holds the wall time of each escalated post's
+	// adjudication, in completion order (the order is
+	// scheduling-dependent; the multiset is deterministic inputs
+	// permitting). Serving layers feed these into histograms.
+	Latencies []time.Duration
+}
+
+// EscalationRate returns Escalated/Screened, or 0 before any post.
+func (s Stats) EscalationRate() float64 {
+	if s.Screened == 0 {
+		return 0
+	}
+	return float64(s.Escalated) / float64(s.Screened)
+}
+
+// Collector accumulates per-post outcomes from concurrent screening
+// workers into a Stats. Safe for concurrent use; one Collector per
+// cascade call.
+type Collector struct {
+	mu        sync.Mutex
+	screened  int
+	adjud     int
+	fallbacks int
+	latencies []time.Duration
+}
+
+// Observe records one post's outcome; lat is the adjudication wall
+// time for escalated posts (ignored for Kept).
+func (c *Collector) Observe(o Outcome, lat time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.screened++
+	switch o {
+	case Adjudicated:
+		c.adjud++
+		c.latencies = append(c.latencies, lat)
+	case Fallback:
+		c.fallbacks++
+		c.latencies = append(c.latencies, lat)
+	}
+}
+
+// Stats returns the collected totals.
+func (c *Collector) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Screened:    c.screened,
+		Escalated:   c.adjud + c.fallbacks,
+		Adjudicated: c.adjud,
+		Fallbacks:   c.fallbacks,
+		Latencies:   append([]time.Duration(nil), c.latencies...),
+	}
+}

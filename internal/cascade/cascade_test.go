@@ -1,0 +1,193 @@
+package cascade
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/task"
+)
+
+func TestBandValidateAndContains(t *testing.T) {
+	cases := []struct {
+		band Band
+		ok   bool
+	}{
+		{Band{0, 1}, true},
+		{Band{0.2, 0.8}, true},
+		{Band{0.5, 0.5}, true},
+		{Band{-0.1, 0.5}, false},
+		{Band{0.2, 1.1}, false},
+		{Band{0.8, 0.2}, false},
+	}
+	for _, c := range cases {
+		err := c.band.Validate()
+		if (err == nil) != c.ok {
+			t.Errorf("Validate(%v): err = %v, want ok=%v", c.band, err, c.ok)
+		}
+	}
+	b := Band{0.2, 0.8}
+	for p, want := range map[float64]bool{
+		0.1: false, 0.2: true, 0.5: true, 0.8: true, 0.81: false,
+	} {
+		if got := b.Contains(p); got != want {
+			t.Errorf("Contains(%v) = %v, want %v", p, got, want)
+		}
+	}
+}
+
+func TestParseBand(t *testing.T) {
+	b, err := ParseBand("0.15, 0.85")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Lo != 0.15 || b.Hi != 0.85 {
+		t.Fatalf("parsed %v", b)
+	}
+	// String round-trips through ParseBand.
+	rt, err := ParseBand(b.String())
+	if err != nil || rt != b {
+		t.Fatalf("round trip: %v, %v", rt, err)
+	}
+	for _, bad := range []string{"", "0.5", "a,b", "0.9,0.1", "-1,0.5", "0.2,2"} {
+		if _, err := ParseBand(bad); err == nil {
+			t.Errorf("ParseBand(%q) accepted", bad)
+		}
+	}
+}
+
+// gateClf blocks every Predict until released, counting concurrent
+// callers so the pool's bound is observable.
+type gateClf struct {
+	release chan struct{}
+	active  atomic.Int32
+	peak    atomic.Int32
+}
+
+func (g *gateClf) Name() string { return "gate" }
+
+func (g *gateClf) Predict(text string) (task.Prediction, error) {
+	n := g.active.Add(1)
+	for {
+		p := g.peak.Load()
+		if n <= p || g.peak.CompareAndSwap(p, n) {
+			break
+		}
+	}
+	<-g.release
+	g.active.Add(-1)
+	return task.Prediction{Label: 1}, nil
+}
+
+func TestPoolValidation(t *testing.T) {
+	if _, err := NewPool(nil, 1); err == nil {
+		t.Error("nil classifier must error")
+	}
+	if _, err := NewPool(&gateClf{}, 0); err == nil {
+		t.Error("zero size must error")
+	}
+}
+
+func TestPoolBoundsConcurrency(t *testing.T) {
+	g := &gateClf{release: make(chan struct{})}
+	p, err := NewPool(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const callers = 16
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, _, err := p.Adjudicate(context.Background(), fmt.Sprintf("post %d", i)); err != nil {
+				t.Errorf("adjudicate: %v", err)
+			}
+		}(i)
+	}
+	// Let callers pile up against the gate, then release them all.
+	deadline := time.Now().Add(2 * time.Second)
+	for g.active.Load() < 3 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	close(g.release)
+	wg.Wait()
+	if peak := g.peak.Load(); peak > 3 {
+		t.Fatalf("peak concurrency %d exceeds pool size 3", peak)
+	}
+}
+
+func TestPoolAdjudicateHonorsContextWhileQueued(t *testing.T) {
+	g := &gateClf{release: make(chan struct{})}
+	defer close(g.release)
+	p, err := NewPool(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Occupy the only slot.
+	go p.Adjudicate(context.Background(), "occupier")
+	deadline := time.Now().Add(2 * time.Second)
+	for g.active.Load() < 1 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := p.Adjudicate(ctx, "queued"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("queued adjudicate: err = %v, want context.Canceled", err)
+	}
+}
+
+// errClf always fails, standing in for a flaky LLM backend.
+type errClf struct{}
+
+func (errClf) Name() string { return "err" }
+func (errClf) Predict(text string) (task.Prediction, error) {
+	return task.Prediction{}, errors.New("backend down")
+}
+
+func TestPoolSurfacesClassifierError(t *testing.T) {
+	p, err := NewPool(errClf{}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := p.Adjudicate(context.Background(), "post"); err == nil {
+		t.Fatal("expected classifier error to surface")
+	}
+}
+
+func TestCollectorStats(t *testing.T) {
+	var c Collector
+	var wg sync.WaitGroup
+	for i := 0; i < 100; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			switch i % 4 {
+			case 0:
+				c.Observe(Adjudicated, time.Millisecond)
+			case 1:
+				c.Observe(Fallback, 2*time.Millisecond)
+			default:
+				c.Observe(Kept, 0)
+			}
+		}(i)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Screened != 100 || st.Adjudicated != 25 || st.Fallbacks != 25 || st.Escalated != 50 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if len(st.Latencies) != 50 {
+		t.Fatalf("latencies = %d, want 50 (one per escalation)", len(st.Latencies))
+	}
+	if got, want := st.EscalationRate(), 0.5; got != want {
+		t.Fatalf("escalation rate = %v, want %v", got, want)
+	}
+	if (Stats{}).EscalationRate() != 0 {
+		t.Fatal("empty stats escalation rate must be 0")
+	}
+}

@@ -1,0 +1,59 @@
+package server
+
+import (
+	"context"
+
+	mhd "repro"
+	"repro/internal/llm"
+)
+
+// CascadeScreener is the detector surface cascade-mode serving needs:
+// a Screener that can also route uncertain posts through an LLM
+// adjudicator. *mhd.Detector with WithAdjudicator satisfies it.
+type CascadeScreener interface {
+	Screener
+	// HasCascade reports whether an adjudicator is actually armed.
+	// Every *mhd.Detector carries the cascade methods, so the type
+	// assertion alone cannot distinguish a detector built
+	// WithAdjudicator from one that will fail every ScreenCascade
+	// call; New checks this at construction instead of serving 500s.
+	HasCascade() bool
+	ScreenCascadeContext(ctx context.Context, texts []string) ([]mhd.Report, mhd.CascadeStats, error)
+	AdjudicatorUsage() llm.Usage
+}
+
+// cascadeScreener adapts a CascadeScreener to the plain Screener the
+// coalescer and batch handler drive, so cascade mode rides the exact
+// same micro-batching, caching, and admission paths as classifier-only
+// serving — every batch goes through the cascade, and its routing
+// stats feed the mh_cascade_* metrics.
+type cascadeScreener struct {
+	det CascadeScreener
+	m   *Metrics
+	// base bounds the contextless Screen fallback path; the server
+	// cancels it when its shutdown drain budget expires, so a stalled
+	// adjudication cannot wedge the coalescer's drain.
+	base context.Context
+}
+
+// Screen implements Screener; it is the per-post fallback the
+// coalescer uses to isolate a failing post, so it too must rule via
+// the cascade (a stage-1-only fallback would un-adjudicate posts
+// whose batch neighbour failed).
+func (c cascadeScreener) Screen(text string) (mhd.Report, error) {
+	reps, stats, err := c.det.ScreenCascadeContext(c.base, []string{text})
+	c.m.ObserveCascade(stats)
+	if err != nil {
+		return mhd.Report{}, err
+	}
+	return reps[0], nil
+}
+
+// ScreenBatchContext implements Screener over the cascade. Stats are
+// observed even on error: posts that completed stage 1 or escalated
+// before the failure did consume adjudicator budget.
+func (c cascadeScreener) ScreenBatchContext(ctx context.Context, texts []string) ([]mhd.Report, error) {
+	reps, stats, err := c.det.ScreenCascadeContext(ctx, texts)
+	c.m.ObserveCascade(stats)
+	return reps, err
+}

@@ -1,0 +1,206 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	mhd "repro"
+	"repro/internal/llm"
+)
+
+// fakeCascadeScreener escalates posts containing "borderline"
+// (adjudicating them) and posts containing "flaky" (falling back),
+// mirroring the detector's cascade semantics without the model cost.
+type fakeCascadeScreener struct {
+	fakeScreener
+	calls atomic.Int64
+}
+
+func (f *fakeCascadeScreener) ScreenCascadeContext(ctx context.Context, texts []string) ([]mhd.Report, mhd.CascadeStats, error) {
+	reps, err := f.ScreenBatchContext(ctx, texts)
+	if err != nil {
+		return nil, mhd.CascadeStats{Screened: len(texts)}, err
+	}
+	stats := mhd.CascadeStats{Screened: len(texts)}
+	for i, t := range texts {
+		switch {
+		case strings.Contains(t, "borderline"):
+			reps[i].Adjudicated = true
+			reps[i].Condition = mhd.Depression
+			stats.Escalated++
+			stats.Adjudicated++
+			stats.Latencies = append(stats.Latencies, 2*time.Millisecond)
+			f.calls.Add(1)
+		case strings.Contains(t, "flaky"):
+			stats.Escalated++
+			stats.Fallbacks++
+			stats.Latencies = append(stats.Latencies, time.Millisecond)
+			f.calls.Add(1)
+		}
+	}
+	return reps, stats, nil
+}
+
+func (f *fakeCascadeScreener) HasCascade() bool { return true }
+
+func (f *fakeCascadeScreener) AdjudicatorUsage() llm.Usage {
+	n := int(f.calls.Load())
+	return llm.Usage{Calls: n, TokensIn: 100 * n,
+		TokensOut: 10 * n, CostUSD: 0.001 * float64(n)}
+}
+
+// newCascadeTestServer wires a cascade-mode Server over the fake.
+func newCascadeTestServer(t *testing.T, f *fakeCascadeScreener) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(f, nil, Config{Cascade: true, MaxBatch: 4, MaxDelay: time.Millisecond})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	})
+	return s, ts
+}
+
+func TestCascadeModeServesAdjudicatedReports(t *testing.T) {
+	f := &fakeCascadeScreener{}
+	s, ts := newCascadeTestServer(t, f)
+
+	// An escalated post comes back marked adjudicated...
+	code, body := doPost(t, ts.URL+"/v1/screen", map[string]any{"text": "a borderline post"})
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	var rep WireReport
+	if err := json.Unmarshal(body, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Adjudicated || rep.Condition != "depression" {
+		t.Fatalf("adjudicated report not surfaced: %+v", rep)
+	}
+	// ...a confident one does not.
+	code, body = doPost(t, ts.URL+"/v1/screen", map[string]any{"text": "a plainly fine post"})
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	var plain WireReport // fresh: omitempty would leave stale fields on reuse
+	if err := json.Unmarshal(body, &plain); err != nil {
+		t.Fatal(err)
+	}
+	if plain.Adjudicated {
+		t.Fatalf("confident report marked adjudicated: %+v", plain)
+	}
+
+	// A batch rides the cascade too, including the fallback path.
+	code, body = doPost(t, ts.URL+"/v1/screen/batch", map[string]any{"posts": []string{
+		"plain one", "another borderline case", "a flaky escalation"}})
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+
+	m := s.Metrics()
+	if got := m.CascadeScreened.Value(); got != 5 {
+		t.Fatalf("cascade screened %d, want 5", got)
+	}
+	if got := m.CascadeEscalated.Value(); got != 3 {
+		t.Fatalf("cascade escalated %d, want 3", got)
+	}
+	if got := m.CascadeAdjudicated.Value(); got != 2 {
+		t.Fatalf("cascade adjudicated %d, want 2", got)
+	}
+	if got := m.CascadeFallbacks.Value(); got != 1 {
+		t.Fatalf("cascade fallbacks %d, want 1", got)
+	}
+	if got := m.CascadeLatency.Count(); got != 3 {
+		t.Fatalf("latency observations %d, want 3", got)
+	}
+	if rate := m.CascadeEscalationRate(); rate != 0.6 {
+		t.Fatalf("escalation rate %v, want 0.6", rate)
+	}
+}
+
+func TestCascadeMetricsRendered(t *testing.T) {
+	f := &fakeCascadeScreener{}
+	_, ts := newCascadeTestServer(t, f)
+
+	code, body := doPost(t, ts.URL+"/v1/screen", map[string]any{"text": "a borderline post"})
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sb strings.Builder
+	if _, err := io.Copy(&sb, resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, want := range []string{
+		"mh_cascade_screened_total 1",
+		"mh_cascade_escalated_total 1",
+		"mh_cascade_adjudicated_total 1",
+		"mh_cascade_fallbacks_total 0",
+		"mh_cascade_escalation_rate 1",
+		"mh_cascade_adjudication_seconds_p50",
+		"mh_cascade_adjudication_seconds_p99",
+		"mh_cascade_adjudicator_calls_total 1",
+		`mh_cascade_adjudicator_tokens_total{dir="in"} 100`,
+		"mh_cascade_adjudicator_cost_usd 0.001",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+func TestCascadeMetricsAbsentWhenDisabled(t *testing.T) {
+	f := &fakeScreener{}
+	_, ts := newTestServer(t, f, Config{})
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sb strings.Builder
+	if _, err := io.Copy(&sb, resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "mh_cascade_") {
+		t.Fatal("mh_cascade_* series rendered without cascade mode")
+	}
+}
+
+func TestCascadeConfigRequiresCascadeScreener(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Config.Cascade over a plain Screener must panic")
+		}
+	}()
+	New(&fakeScreener{}, nil, Config{Cascade: true})
+}
+
+// unarmedCascadeScreener carries the cascade method set but reports
+// no armed adjudicator — the shape of a detector built without
+// WithAdjudicator.
+type unarmedCascadeScreener struct{ fakeCascadeScreener }
+
+func (*unarmedCascadeScreener) HasCascade() bool { return false }
+
+func TestCascadeConfigRequiresArmedCascade(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Config.Cascade over an unarmed CascadeScreener must panic")
+		}
+	}()
+	New(&unarmedCascadeScreener{}, nil, Config{Cascade: true})
+}

@@ -31,18 +31,22 @@ type WireReport struct {
 	Crisis     bool               `json:"crisis"`
 	Evidence   []string           `json:"evidence,omitempty"`
 	Scores     map[string]float64 `json:"scores,omitempty"`
+	// Adjudicated marks a verdict ruled by the cascade's LLM
+	// adjudicator rather than the stage-1 classifier.
+	Adjudicated bool `json:"adjudicated,omitempty"`
 	// Cached marks a report served from the result cache.
 	Cached bool `json:"cached,omitempty"`
 }
 
 func toWire(rep mhd.Report, withScores, cached bool) WireReport {
 	w := WireReport{
-		Condition:  rep.Condition.String(),
-		Confidence: rep.Confidence,
-		Risk:       rep.Risk.String(),
-		Crisis:     rep.Crisis,
-		Evidence:   rep.Evidence,
-		Cached:     cached,
+		Condition:   rep.Condition.String(),
+		Confidence:  rep.Confidence,
+		Risk:        rep.Risk.String(),
+		Crisis:      rep.Crisis,
+		Evidence:    rep.Evidence,
+		Adjudicated: rep.Adjudicated,
+		Cached:      cached,
 	}
 	if withScores {
 		w.Scores = rep.Scores

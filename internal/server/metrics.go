@@ -18,6 +18,8 @@ import (
 	"sync"
 	"sync/atomic"
 
+	mhd "repro"
+	"repro/internal/llm"
 	"repro/internal/session"
 )
 
@@ -153,6 +155,20 @@ type Metrics struct {
 	// store's snapshot rendered as the mh_session* series at scrape
 	// time (the store's own counters are the source of truth).
 	SessionStats func() session.Stats
+
+	// Cascade metrics; populated by EnableCascade and fed by
+	// ObserveCascade. All nil/no-op when cascade mode is off, and the
+	// mh_cascade_* series are only rendered when it is on.
+	CascadeScreened    Counter
+	CascadeEscalated   Counter
+	CascadeAdjudicated Counter
+	CascadeFallbacks   Counter
+	// CascadeLatency is the adjudication wall time in seconds (slot
+	// wait excluded); doubles as the cascade-enabled flag.
+	CascadeLatency *Histogram
+	// CascadeUsage, when non-nil, supplies the adjudicator's
+	// cumulative token/cost accounting at scrape time.
+	CascadeUsage func() llm.Usage
 }
 
 // endpoints are the labeled request counters, fixed so that /metrics
@@ -180,6 +196,47 @@ func NewMetrics() *Metrics {
 		m.Responses[c] = &Counter{}
 	}
 	return m
+}
+
+// EnableCascade switches the cascade metric set on: allocates the
+// adjudication-latency histogram (whose presence gates the
+// mh_cascade_* series) and wires the adjudicator usage supplier.
+func (m *Metrics) EnableCascade(usage func() llm.Usage) {
+	// Adjudications are simulated-LLM calls: tens of microseconds to
+	// low milliseconds of wall time locally, seconds against a real
+	// backend — the buckets span both regimes.
+	m.CascadeLatency = NewHistogram(0.0001, 0.00025, 0.0005, 0.001,
+		0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5)
+	m.CascadeUsage = usage
+}
+
+// ObserveCascade folds one cascade call's routing stats into the
+// cascade counters and latency histogram. No-op before EnableCascade.
+func (m *Metrics) ObserveCascade(st mhd.CascadeStats) {
+	if m.CascadeLatency == nil {
+		return
+	}
+	m.CascadeScreened.Add(int64(st.Screened))
+	m.CascadeEscalated.Add(int64(st.Escalated))
+	m.CascadeAdjudicated.Add(int64(st.Adjudicated))
+	m.CascadeFallbacks.Add(int64(st.Fallbacks))
+	for _, d := range st.Latencies {
+		m.CascadeLatency.Observe(d.Seconds())
+	}
+}
+
+// CascadeEscalationRate returns escalated/screened since start, or 0
+// before any cascade screening. Escalated is read before Screened: a
+// concurrent ObserveCascade landing between the two reads can then
+// only inflate the denominator, so a scrape racing traffic still
+// renders a probability (never a rate above 1).
+func (m *Metrics) CascadeEscalationRate() float64 {
+	escalated := m.CascadeEscalated.Value()
+	screened := m.CascadeScreened.Value()
+	if screened == 0 {
+		return 0
+	}
+	return float64(escalated) / float64(screened)
 }
 
 // ObserveBatch records one coalescer flush of n posts.
@@ -238,6 +295,34 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 	fmt.Fprintf(cw, "mh_request_duration_seconds_p50 %g\n", m.Latency.Quantile(0.5))
 	writeHeader("mh_request_duration_seconds_p99", "Estimated 99th-percentile request latency.", "gauge")
 	fmt.Fprintf(cw, "mh_request_duration_seconds_p99 %g\n", m.Latency.Quantile(0.99))
+
+	if m.CascadeLatency != nil {
+		writeHeader("mh_cascade_screened_total", "Posts screened through the cascade.", "counter")
+		fmt.Fprintf(cw, "mh_cascade_screened_total %d\n", m.CascadeScreened.Value())
+		writeHeader("mh_cascade_escalated_total", "Posts escalated to the LLM adjudicator.", "counter")
+		fmt.Fprintf(cw, "mh_cascade_escalated_total %d\n", m.CascadeEscalated.Value())
+		writeHeader("mh_cascade_adjudicated_total", "Escalations whose adjudicator verdict was applied.", "counter")
+		fmt.Fprintf(cw, "mh_cascade_adjudicated_total %d\n", m.CascadeAdjudicated.Value())
+		writeHeader("mh_cascade_fallbacks_total", "Escalations that fell back to the stage-1 verdict.", "counter")
+		fmt.Fprintf(cw, "mh_cascade_fallbacks_total %d\n", m.CascadeFallbacks.Value())
+		writeHeader("mh_cascade_escalation_rate", "Escalated / screened since start.", "gauge")
+		fmt.Fprintf(cw, "mh_cascade_escalation_rate %g\n", m.CascadeEscalationRate())
+		m.writeHistogram(cw, "mh_cascade_adjudication_seconds", "Adjudication wall time in seconds (slot wait excluded).", m.CascadeLatency)
+		writeHeader("mh_cascade_adjudication_seconds_p50", "Estimated median adjudication latency.", "gauge")
+		fmt.Fprintf(cw, "mh_cascade_adjudication_seconds_p50 %g\n", m.CascadeLatency.Quantile(0.5))
+		writeHeader("mh_cascade_adjudication_seconds_p99", "Estimated 99th-percentile adjudication latency.", "gauge")
+		fmt.Fprintf(cw, "mh_cascade_adjudication_seconds_p99 %g\n", m.CascadeLatency.Quantile(0.99))
+		if m.CascadeUsage != nil {
+			u := m.CascadeUsage()
+			writeHeader("mh_cascade_adjudicator_calls_total", "LLM completion calls made by the adjudicator.", "counter")
+			fmt.Fprintf(cw, "mh_cascade_adjudicator_calls_total %d\n", u.Calls)
+			writeHeader("mh_cascade_adjudicator_tokens_total", "Adjudicator tokens, by direction.", "counter")
+			fmt.Fprintf(cw, "mh_cascade_adjudicator_tokens_total{dir=\"in\"} %d\n", u.TokensIn)
+			fmt.Fprintf(cw, "mh_cascade_adjudicator_tokens_total{dir=\"out\"} %d\n", u.TokensOut)
+			writeHeader("mh_cascade_adjudicator_cost_usd", "Cumulative adjudicator spend in USD.", "counter")
+			fmt.Fprintf(cw, "mh_cascade_adjudicator_cost_usd %g\n", u.CostUSD)
+		}
+	}
 
 	if m.SessionStats != nil {
 		st := m.SessionStats()

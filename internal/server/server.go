@@ -56,6 +56,13 @@ type Config struct {
 	// idle early-risk sessions (default 1m; negative disables the
 	// janitor). Only used when the monitor supports sessions.
 	SessionSweepEvery time.Duration
+	// Cascade routes every screening through the two-stage cascade
+	// (stage-1 classifier + LLM adjudication of the uncertainty band)
+	// and exposes the mh_cascade_* metrics. Requires the Screener
+	// passed to New to implement CascadeScreener (an *mhd.Detector
+	// built WithAdjudicator); New panics otherwise — that is a wiring
+	// bug, not a runtime condition.
+	Cascade bool
 }
 
 func (c Config) sessionSweepEvery() time.Duration {
@@ -88,6 +95,11 @@ type Server struct {
 	janitorStop chan struct{}
 	janitorDone chan struct{}
 	stopOnce    sync.Once
+
+	// cascadeCancel aborts the cascade adapter's base context; nil
+	// when cascade mode is off. Shutdown arms it on the drain budget
+	// so in-flight LLM adjudications cannot outlive the drain.
+	cascadeCancel context.CancelFunc
 }
 
 // New builds a Server over det; mon may be nil to disable /v1/assess.
@@ -96,6 +108,17 @@ type Server struct {
 // sessions every cfg.SessionSweepEvery until Shutdown.
 func New(det Screener, mon Assessor, cfg Config) *Server {
 	m := NewMetrics()
+	var cascadeCancel context.CancelFunc
+	if cfg.Cascade {
+		cs, ok := det.(CascadeScreener)
+		if !ok || !cs.HasCascade() {
+			panic("server: Config.Cascade set but the Screener has no cascade (build the detector WithAdjudicator)")
+		}
+		m.EnableCascade(cs.AdjudicatorUsage)
+		base, cancel := context.WithCancel(context.Background())
+		cascadeCancel = cancel
+		det = cascadeScreener{det: cs, m: m, base: base}
+	}
 	s := &Server{
 		det:     det,
 		mon:     mon,
@@ -104,6 +127,8 @@ func New(det Screener, mon Assessor, cfg Config) *Server {
 		adm:     NewAdmission(cfg.MaxInFlight, cfg.QueueWait),
 		metrics: m,
 		start:   time.Now(),
+
+		cascadeCancel: cascadeCancel,
 	}
 	if sm, ok := mon.(SessionMonitor); ok && sm != nil {
 		s.sessions = sm
@@ -242,6 +267,16 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	var err error
 	if s.http != nil {
 		err = s.http.Shutdown(ctx)
+	}
+	if s.cascadeCancel != nil {
+		// The coalescer's per-post fallback screens through the
+		// cascade adapter's base context, not the drain context; arm
+		// its cancellation on the drain budget (and fire it once the
+		// drain finishes either way) so a stalled LLM adjudication
+		// cannot wedge the CloseContext wait below.
+		stop := context.AfterFunc(ctx, s.cascadeCancel)
+		defer stop()
+		defer s.cascadeCancel()
 	}
 	if cerr := s.coal.CloseContext(ctx); err == nil {
 		err = cerr

@@ -1,0 +1,134 @@
+package session
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/early"
+	"repro/internal/task"
+)
+
+// gradedClassifier emits a deterministic risk score in [0, 1] derived
+// from the post text, so fuzzed observe sequences accumulate varied
+// evidence floats (the values JSON round-tripping must preserve
+// exactly).
+type gradedClassifier struct{}
+
+func (gradedClassifier) Name() string { return "graded" }
+func (gradedClassifier) Predict(text string) (task.Prediction, error) {
+	h := uint32(2166136261)
+	for i := 0; i < len(text); i++ {
+		h = (h ^ uint32(text[i])) * 16777619
+	}
+	p := float64(h%997) / 996
+	label := 0
+	if p >= 0.5 {
+		label = 1
+	}
+	return task.Prediction{Label: label, Scores: []float64{1 - p, p}}, nil
+}
+
+// FuzzSessionSnapshotRoundTrip pins the versioned-JSON snapshot
+// contract: any sequence of observes (arbitrary user interleavings,
+// idle gaps long enough to expire sessions) snapshotted and restored
+// into a fresh store must reproduce every surviving session exactly —
+// bitwise-equal evidence, post counts, latched alarms and their
+// 1-based alarm indices, and last-seen timestamps.
+func FuzzSessionSnapshotRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 1, 1, 2, 2, 3})
+	f.Add([]byte{7, 200, 7, 201, 7, 202, 3, 9})
+	f.Add(bytes.Repeat([]byte{5, 250}, 40)) // one user, heavy history
+	f.Add([]byte{0, 0, 255, 255, 1, 128, 9, 64, 2, 32})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		mon, err := early.NewMonitor(gradedClassifier{}, 1.3, 0.35)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clk := &fakeClock{}
+		cfg := Config{TTL: 30 * time.Minute, Shards: 4, Now: clk.Now}
+		st, err := New(mon, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		users := make([]string, 8)
+		for i := range users {
+			users[i] = fmt.Sprintf("user-%d", i)
+		}
+		// Each byte pair drives one observe: the first byte picks the
+		// user and an idle gap (long gaps expire sessions, exercising
+		// the restore-drops-expired path), the second the post text.
+		for i := 0; i+1 < len(data); i += 2 {
+			clk.Advance(time.Duration(data[i]%32) * time.Minute / 8)
+			u := users[int(data[i])%len(users)]
+			post := fmt.Sprintf("post variant %d", data[i+1])
+			if _, err := st.Observe(u, post); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		var buf bytes.Buffer
+		if err := st.Snapshot(&buf); err != nil {
+			t.Fatal(err)
+		}
+		st2, err := New(mon, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := st2.Restore(bytes.NewReader(buf.Bytes())); err != nil {
+			t.Fatalf("restore: %v\nsnapshot: %s", err, buf.String())
+		}
+
+		// Both stores are on the same clock; every user must read back
+		// identically — same liveness, same state, same last-seen.
+		for _, u := range users {
+			got, ok2 := st2.Risk(u)
+			want, ok1 := st.Risk(u)
+			if ok1 != ok2 {
+				t.Fatalf("user %s: live=%v in source, %v after restore", u, ok1, ok2)
+			}
+			if !ok1 {
+				continue
+			}
+			if got.State != want.State {
+				t.Fatalf("user %s: state %+v != %+v after round trip", u, got.State, want.State)
+			}
+			if !got.LastSeen.Equal(want.LastSeen) {
+				t.Fatalf("user %s: last-seen %v != %v after round trip", u, got.LastSeen, want.LastSeen)
+			}
+		}
+		st.Sweep()
+		st2.Sweep()
+		if st.Len() != st2.Len() {
+			t.Fatalf("session count %d != %d after round trip", st2.Len(), st.Len())
+		}
+
+		// Snapshot-restore must be idempotent from the first restore
+		// on: the restored store's own snapshot (which, unlike the
+		// source's, can no longer contain expired sessions) restores to
+		// a byte-identical snapshot — the canonical sorted, versioned
+		// form is a fixed point.
+		var buf2 bytes.Buffer
+		if err := st2.Snapshot(&buf2); err != nil {
+			t.Fatal(err)
+		}
+		st3, err := New(mon, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := st3.Restore(bytes.NewReader(buf2.Bytes())); err != nil {
+			t.Fatalf("second restore: %v", err)
+		}
+		var buf3 bytes.Buffer
+		if err := st3.Snapshot(&buf3); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf2.Bytes(), buf3.Bytes()) {
+			t.Fatalf("snapshot not a fixed point after restore:\n%s\nvs\n%s", buf2.String(), buf3.String())
+		}
+	})
+}
