@@ -12,6 +12,7 @@ package mhd
 // results. Full-size runs are available through cmd/mhbench.
 
 import (
+	"math"
 	"runtime"
 	"strconv"
 	"testing"
@@ -298,6 +299,70 @@ func BenchmarkCascadeScreen(b *testing.B) {
 		return
 	}
 	b.Logf("wrote %s (%.0f posts/s, escalation rate %.3f)", path, postsPerSec, rate)
+}
+
+// BenchmarkRobustness is the adversarial robustness trajectory bench:
+// it perturbs a seeded gold corpus at the pinned mutation budget,
+// measures the macro-F1 drop of the plain and hardened detectors, and
+// times hardened screening of the perturbed feed. Three figures go to
+// BENCH_robust.json at the repo root, where CI's bench-trajectory job
+// validates them: robustness_drop (plain detector's macro-F1 loss
+// under perturbation), hardened_drop (the hardened detector's — the
+// robustness eval requires it stay at most half the plain drop), and
+// perturbed_posts_per_sec (hardened screening throughput on
+// adversarial traffic, so the hardening memo's cost stays on the
+// trajectory record). Drops are clamped to [0, 1], the benchcheck
+// bounded-drop rule's domain.
+func BenchmarkRobustness(b *testing.B) {
+	posts, golds := cascadeEvalSet(b, 400, 424243)
+	perturbed := perturbTexts(posts, robustSeed, robustBudget)
+	plain, err := NewDetector(WithSeed(1), WithTrainingSize(1200))
+	if err != nil {
+		b.Fatal(err)
+	}
+	hard, err := NewDetector(WithSeed(1), WithTrainingSize(1200), WithHardening())
+	if err != nil {
+		b.Fatal(err)
+	}
+	f1 := func(det *Detector, texts []string) float64 {
+		reps, err := det.ScreenBatch(texts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return macroF1OfReports(golds, reps)
+	}
+	clamp := func(v float64) float64 { return math.Min(1, math.Max(0, v)) }
+	cleanF1 := f1(plain, posts)
+	plainDrop := clamp(cleanF1 - f1(plain, perturbed))
+	hardenedDrop := clamp(cleanF1 - f1(hard, perturbed))
+
+	// Timed region: hardened screening of the perturbed feed, memo warm
+	// (the drop measurement above already screened it once).
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := hard.ScreenBatch(perturbed); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	perturbedPerSec := float64(b.N*len(perturbed)) / b.Elapsed().Seconds()
+	b.ReportMetric(perturbedPerSec, "posts/s")
+	b.ReportMetric(plainDrop, "robustness_drop")
+	b.ReportMetric(hardenedDrop, "hardened_drop")
+	path, err := benchio.Write("BENCH_robust.json", map[string]any{
+		"benchmark":               "Robustness",
+		"posts":                   len(perturbed),
+		"perturbed_posts_per_sec": perturbedPerSec,
+		"robustness_drop":         plainDrop,
+		"hardened_drop":           hardenedDrop,
+		"gomaxprocs":              runtime.GOMAXPROCS(0),
+	})
+	if err != nil {
+		b.Logf("skipping BENCH_robust.json: %v", err)
+		return
+	}
+	b.Logf("wrote %s (%.0f perturbed posts/s, drop plain %.4f vs hardened %.4f)",
+		path, perturbedPerSec, plainDrop, hardenedDrop)
 }
 
 // BenchmarkDetectorScreenBatch compares a sequential Screen loop

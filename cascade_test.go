@@ -15,7 +15,7 @@ import (
 // cascadeEvalSet builds the seeded synthetic corpus the cascade e2e
 // assertions run on, separate from both the detector's training and
 // calibration splits.
-func cascadeEvalSet(t *testing.T, n int, seed int64) (posts []string, golds []int) {
+func cascadeEvalSet(t testing.TB, n int, seed int64) (posts []string, golds []int) {
 	t.Helper()
 	labels := domain.AllDisorders()
 	probs := make([]float64, len(labels))

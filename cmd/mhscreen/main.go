@@ -47,6 +47,9 @@ type report struct {
 	// Adjudicated marks a verdict ruled by the cascade's LLM
 	// adjudicator (-cascade) rather than the stage-1 classifier.
 	Adjudicated bool `json:"adjudicated,omitempty"`
+	// Suspicious marks a post whose hardening rewrite count (-harden)
+	// crossed the obfuscation threshold.
+	Suspicious bool `json:"suspicious,omitempty"`
 }
 
 // options collects the flag values; run is kept free of global state
@@ -65,6 +68,7 @@ type options struct {
 	cascade      string
 	band         string
 	adjudicators int
+	harden       bool
 }
 
 func main() {
@@ -82,6 +86,7 @@ func main() {
 	flag.StringVar(&opts.cascade, "cascade", "", "screen through the two-stage cascade, adjudicating uncertain posts with this model (see mhbench -list; empty disables)")
 	flag.StringVar(&opts.band, "band", mhd.DefaultBand.String(), `cascade: calibrated-probability uncertainty band "lo,hi" — posts inside it escalate`)
 	flag.IntVar(&opts.adjudicators, "adjudicators", 4, "cascade: max concurrent LLM adjudications")
+	flag.BoolVar(&opts.harden, "harden", false, "fold homoglyphs, zero-width characters, and leetspeak before screening; with -cascade, suspicious posts escalate")
 	flag.Parse()
 
 	if err := run(context.Background(), opts, os.Stdin, os.Stdout, os.Stderr); err != nil {
@@ -111,6 +116,9 @@ func run(ctx context.Context, opts options, stdin io.Reader, out, errw io.Writer
 		mhd.WithSeed(opts.seed),
 		mhd.WithTrainingSize(opts.train),
 		mhd.WithWorkers(opts.workers),
+	}
+	if opts.harden {
+		detOpts = append(detOpts, mhd.WithHardening())
 	}
 	if opts.cascade != "" {
 		band, err := mhd.ParseBand(opts.band)
@@ -143,6 +151,7 @@ func run(ctx context.Context, opts options, stdin io.Reader, out, errw io.Writer
 			Crisis:      rep.Crisis,
 			Evidence:    rep.Evidence,
 			Adjudicated: rep.Adjudicated,
+			Suspicious:  rep.Suspicious,
 		}
 		if opts.withScores {
 			wire.Scores = rep.Scores

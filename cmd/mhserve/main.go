@@ -79,6 +79,7 @@ type options struct {
 	cascade         string
 	band            string
 	adjudicators    int
+	harden          bool
 }
 
 func main() {
@@ -101,6 +102,7 @@ func main() {
 	flag.StringVar(&opts.cascade, "cascade", "", "screen through the two-stage cascade, adjudicating uncertain posts with this model (see mhbench -list; empty disables)")
 	flag.StringVar(&opts.band, "band", mhd.DefaultBand.String(), `cascade: calibrated-probability uncertainty band "lo,hi" — posts inside it escalate`)
 	flag.IntVar(&opts.adjudicators, "adjudicators", 4, "cascade: max concurrent LLM adjudications")
+	flag.BoolVar(&opts.harden, "harden", false, "fold homoglyphs, zero-width characters, and leetspeak before screening; with -cascade, suspicious posts escalate")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -120,6 +122,9 @@ func run(ctx context.Context, opts options, ready chan<- string, logw io.Writer)
 		mhd.WithSeed(opts.seed),
 		mhd.WithTrainingSize(opts.train),
 		mhd.WithWorkers(opts.workers),
+	}
+	if opts.harden {
+		detOpts = append(detOpts, mhd.WithHardening())
 	}
 	if opts.cascade != "" {
 		band, err := mhd.ParseBand(opts.band)

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"runtime"
 	"sort"
 	"sync"
@@ -43,6 +44,18 @@ type Report struct {
 	// verdict came from the LLM adjudicator rather than the stage-1
 	// classifier (see ScreenCascade).
 	Adjudicated bool
+	// HardeningRewrites counts how many characters the adversarial
+	// hardening pass rewrote before featurization (homoglyphs folded,
+	// zero-width characters stripped, leet canonicalized, emoji
+	// mapped). Always 0 unless WithHardening is enabled.
+	HardeningRewrites int
+	// Suspicious is set when HardeningRewrites reaches the configured
+	// suspicion threshold (WithSuspicionThreshold) — the post was
+	// likely obfuscated deliberately. The cascade path routes such
+	// posts to the adjudicator within a bounded budget
+	// (WithSuspicionBudget) even when stage-1 confidence is outside
+	// the uncertainty band.
+	Suspicious bool
 }
 
 // Detector screens social-media text for mental-health signals.
@@ -61,6 +74,11 @@ type Detector struct {
 	band    cascade.Band          // calibrated uncertainty band
 	adjPool *cascade.Pool         // bounded LLM adjudicator pool
 	adjClf  *prompting.Classifier // adjudicator, kept for usage accounting
+
+	// Adversarial hardening state; zero unless WithHardening.
+	harden        bool
+	suspicionK    int     // rewrites >= K flags the post suspicious
+	suspicionRate float64 // cascade budget for suspicion escalations
 	// scratch recycles per-call screen state for the single-post
 	// Screen entry point, so even unbatched callers ride the
 	// zero-allocation path once warm. Batch and stream carry their
@@ -79,6 +97,9 @@ type detectorConfig struct {
 	adjModel     string        // cascade adjudicator model; "" disables
 	band         cascade.Band  // cascade uncertainty band
 	adjudicators int           // cascade pool size
+	harden       bool          // adversarial text hardening
+	suspicionK   int           // hardening rewrites that flag suspicion
+	suspicion    float64       // cascade suspicion escalation budget
 }
 
 // Option configures NewDetector.
@@ -173,15 +194,55 @@ func WithAdjudicators(n int) Option {
 	return func(c *detectorConfig) { c.adjudicators = n }
 }
 
+// WithHardening enables adversarial text hardening: before
+// featurization every post passes the textkit Harden canonicalization
+// (Unicode homoglyphs folded to ASCII, zero-width characters and
+// combining marks stripped, leet digits mapped back to letters,
+// sentiment emoji expanded to words), so obfuscated posts hit the
+// same classifier features and lexicon evidence as their clean
+// spellings. Reports carry how many characters were rewritten
+// (Report.HardeningRewrites) and whether that crossed the suspicion
+// threshold (Report.Suspicious). The hardened path keeps the
+// zero-allocation fast path: rewritten fields are memoized per worker
+// and clean fields still alias the input.
+func WithHardening() Option {
+	return func(c *detectorConfig) { c.harden = true }
+}
+
+// WithSuspicionThreshold sets how many hardening rewrites flag a post
+// as Suspicious (default 4; values < 1 are rejected). Only meaningful
+// together with WithHardening.
+func WithSuspicionThreshold(k int) Option {
+	return func(c *detectorConfig) { c.suspicionK = k }
+}
+
+// WithSuspicionBudget bounds, as a fraction of the batch, how many
+// suspicious posts one ScreenCascade call may escalate to the
+// adjudicator on suspicion alone (default 0.25; must be in [0, 1]).
+// The bound is what keeps an adversary who obfuscates every post from
+// routing the whole batch to the expensive adjudicator. Only
+// meaningful together with WithHardening and WithAdjudicator.
+func WithSuspicionBudget(rate float64) Option {
+	return func(c *detectorConfig) { c.suspicion = rate }
+}
+
 // NewDetector builds a multi-condition screening detector.
 func NewDetector(opts ...Option) (*Detector, error) {
 	cfg := detectorConfig{engine: "baseline", seed: 1, trainSize: 2400,
-		band: DefaultBand, adjudicators: 4}
+		band: DefaultBand, adjudicators: 4, suspicionK: 4, suspicion: 0.25}
 	for _, o := range opts {
 		o(&cfg)
 	}
 	if cfg.trainSize < 100 {
 		return nil, fmt.Errorf("mhd: training size %d too small (need >= 100)", cfg.trainSize)
+	}
+	if cfg.harden {
+		if cfg.suspicionK < 1 {
+			return nil, fmt.Errorf("mhd: suspicion threshold %d must be >= 1", cfg.suspicionK)
+		}
+		if cfg.suspicion < 0 || cfg.suspicion > 1 {
+			return nil, fmt.Errorf("mhd: suspicion budget %g must be in [0, 1]", cfg.suspicion)
+		}
 	}
 	labels := domain.AllDisorders()
 	labelNames := make([]string, len(labels))
@@ -192,7 +253,8 @@ func NewDetector(opts ...Option) (*Detector, error) {
 	}
 	probs[0] = 0.3 // control prior
 
-	d := &Detector{labels: labels, labelNames: labelNames, workers: cfg.workers}
+	d := &Detector{labels: labels, labelNames: labelNames, workers: cfg.workers,
+		harden: cfg.harden, suspicionK: cfg.suspicionK, suspicionRate: cfg.suspicion}
 	switch cfg.engine {
 	case "baseline":
 		spec := corpus.Spec{
@@ -337,7 +399,8 @@ func (d *Detector) AdjudicatorUsage() llm.Usage {
 type screenScratch struct {
 	tokens  []string
 	matches []lexicon.Match
-	ps      task.Scratch // classifier scratch; nil when d.fast is nil
+	ps      task.Scratch      // classifier scratch; nil when d.fast is nil
+	hard    *textkit.Hardener // hardening memo; nil unless WithHardening
 }
 
 // newScratch builds scratch wired to the detector's classifier.
@@ -345,6 +408,9 @@ func (d *Detector) newScratch() *screenScratch {
 	sc := &screenScratch{}
 	if d.fast != nil {
 		sc.ps = d.fast.NewScratch()
+	}
+	if d.harden {
+		sc.hard = &textkit.Hardener{}
 	}
 	return sc
 }
@@ -372,8 +438,15 @@ func (d *Detector) screen(text string, sc *screenScratch) (Report, float64, erro
 	// Tokenize once: the same normalized word tokens feed both the
 	// classifier's featurizer (via the fast path) and the condition
 	// automaton below. The fused tokenizer skips materializing the
-	// normalized string entirely.
-	sc.tokens = textkit.AppendNormalizedWords(sc.tokens[:0], text)
+	// normalized string entirely. In hardened mode the fused hardening
+	// tokenizer additionally canonicalizes obfuscation (homoglyphs,
+	// zero-width, leet, emoji) and counts the rewrites.
+	rewrites := 0
+	if sc.hard != nil {
+		sc.tokens, rewrites = sc.hard.AppendNormalizedWords(sc.tokens[:0], text)
+	} else {
+		sc.tokens = textkit.AppendNormalizedWords(sc.tokens[:0], text)
+	}
 	var pred task.Prediction
 	var err error
 	if d.fast != nil {
@@ -390,7 +463,8 @@ func (d *Detector) screen(text string, sc *screenScratch) (Report, float64, erro
 			top = s
 		}
 	}
-	rep := Report{Condition: Control, Scores: make(map[string]float64, len(d.labels))}
+	rep := Report{Condition: Control, Scores: make(map[string]float64, len(d.labels)),
+		HardeningRewrites: rewrites, Suspicious: sc.hard != nil && rewrites >= d.suspicionK}
 	if pred.Label >= 0 && pred.Label < len(d.labels) {
 		rep.Condition = d.labels[pred.Label]
 	}
@@ -628,9 +702,16 @@ func (d *Detector) ScreenCascadeContext(ctx context.Context, texts []string) ([]
 		}
 	}()
 	col := &cascade.Collector{}
+	// In hardened mode, posts the hardening pass flagged suspicious may
+	// escalate on suspicion alone, bounded per call by the configured
+	// budget fraction of the batch (nil gate admits nothing).
+	var gate *cascade.SuspicionGate
+	if d.harden {
+		gate = cascade.NewSuspicionGate(int(math.Ceil(d.suspicionRate * float64(len(texts)))))
+	}
 	reports, err := pipeline.Map(ctx, texts, pipeline.Config{Workers: workers},
 		func(shard int, text string) (Report, error) {
-			return d.screenCascade(ctx, text, scratch[shard], col)
+			return d.screenCascade(ctx, text, scratch[shard], col, gate)
 		})
 	stats := col.Stats()
 	var ie *pipeline.ItemError
@@ -644,12 +725,25 @@ func (d *Detector) ScreenCascadeContext(ctx context.Context, texts []string) ([]
 // scratch. The adjudication happens while this worker still owns sc,
 // so sc.matches (this post's lexicon matches) stays valid for
 // grounding the adjudicator's verdict.
-func (d *Detector) screenCascade(ctx context.Context, text string, sc *screenScratch, col *cascade.Collector) (Report, error) {
+func (d *Detector) screenCascade(ctx context.Context, text string, sc *screenScratch, col *cascade.Collector, gate *cascade.SuspicionGate) (Report, error) {
 	rep, top, err := d.screen(text, sc)
 	if err != nil {
 		return Report{}, err
 	}
-	if !d.band.Contains(d.cal.Calibrate(top)) {
+	// Escalate on calibrated uncertainty as usual; a suspicious post
+	// (hardening rewrote >= threshold characters) outside the band may
+	// escalate too, within the gate's budget — deliberate obfuscation
+	// is itself a signal the cheap stage-1 verdict may be unsafe.
+	escalate := d.band.Contains(d.cal.Calibrate(top))
+	bySuspicion := false
+	if !escalate && rep.Suspicious && gate.Admit() {
+		escalate = true
+		bySuspicion = true
+	}
+	if d.harden {
+		col.ObserveHardening(rep.HardeningRewrites, rep.Suspicious, bySuspicion)
+	}
+	if !escalate {
 		col.Observe(cascade.Kept, 0)
 		return rep, nil
 	}

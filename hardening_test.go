@@ -1,0 +1,221 @@
+package mhd
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/corpus"
+)
+
+// newTestHardenedDetector is the hardened twin of newTestDetector:
+// same seed and training size, adversarial hardening enabled.
+var newTestHardenedDetector = sync.OnceValues(func() (*Detector, error) {
+	return NewDetector(WithSeed(7), WithTrainingSize(600), WithHardening())
+})
+
+func newTestHardenedDetectorMust(t *testing.T) *Detector {
+	t.Helper()
+	det, err := newTestHardenedDetector()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return det
+}
+
+// perturbTexts obfuscates a slice of posts with a seeded mutation
+// budget, the adversarial traffic shape the hardening tests run on.
+func perturbTexts(texts []string, seed int64, budget int) []string {
+	p := corpus.NewPerturber(seed, budget)
+	out := make([]string, len(texts))
+	for i, t := range texts {
+		out[i] = p.Perturb(t)
+	}
+	return out
+}
+
+// TestHardenedScreenMatchesPlainOnCleanText pins that hardening is
+// free on clean traffic: the built-in synthetic feed is unobfuscated,
+// so the hardened detector must report zero rewrites, no suspicion,
+// and decisions identical to the plain detector's.
+func TestHardenedScreenMatchesPlainOnCleanText(t *testing.T) {
+	plain := newTestDetectorMust(t)
+	hard := newTestHardenedDetectorMust(t)
+	for i, p := range testFeedTexts(t, 48) {
+		want, err := plain.Screen(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := hard.Screen(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.HardeningRewrites != 0 || got.Suspicious {
+			t.Errorf("post %d: clean text counted %d rewrites (suspicious=%v)",
+				i, got.HardeningRewrites, got.Suspicious)
+		}
+		if !reportsEquivalent(got, want) {
+			t.Errorf("post %d: hardened report %+v != plain %+v on clean text", i, got, want)
+		}
+	}
+}
+
+// TestHardenedScreenRecoversObfuscation is the point of the whole
+// layer: an obfuscated post must screen exactly like its clean
+// spelling — same condition, scores, risk, and evidence — because the
+// hardened tokenizer feeds the classifier and the lexicon automaton
+// the canonical tokens. The plain detector sees none of the planted
+// signal.
+func TestHardenedScreenRecoversObfuscation(t *testing.T) {
+	plain := newTestDetectorMust(t)
+	hard := newTestHardenedDetectorMust(t)
+	cases := []struct{ clean, obfuscated string }{
+		{
+			"i feel so hopeless and worthless lately nothing matters",
+			"i feel so һореlеѕѕ and wоrtһlеѕѕ lately nothing matters",
+		},
+		{
+			"i want to end it all tonight i am just done",
+			"i w4nt to end 1t 4ll tonight i am just d0ne",
+		},
+		{
+			"crying all night and feeling empty inside",
+			"cry\u200bing all nig\u200dht and fee\ufefflіng empty inside",
+		},
+	}
+	for i, tc := range cases {
+		want, err := hard.Screen(tc.clean)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := hard.Screen(tc.obfuscated)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.HardeningRewrites == 0 || !got.Suspicious {
+			t.Errorf("case %d: obfuscated post not flagged (rewrites=%d suspicious=%v)",
+				i, got.HardeningRewrites, got.Suspicious)
+		}
+		// The hardening metadata necessarily differs; the decision
+		// surface must not.
+		got.HardeningRewrites, got.Suspicious = want.HardeningRewrites, want.Suspicious
+		if !reportsEquivalent(got, want) {
+			t.Errorf("case %d: hardened screen of obfuscation %+v != clean spelling %+v", i, got, want)
+		}
+		// And the plain detector must actually be blind to the planted
+		// evidence, or this test proves nothing.
+		blind, err := plain.Screen(tc.obfuscated)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(blind.Evidence) >= len(want.Evidence) {
+			t.Errorf("case %d: plain detector saw %d evidence phrases through the obfuscation (hardened saw %d)",
+				i, len(blind.Evidence), len(want.Evidence))
+		}
+	}
+}
+
+func TestHardeningConfigErrors(t *testing.T) {
+	if _, err := NewDetector(WithTrainingSize(300), WithHardening(), WithSuspicionThreshold(0)); err == nil {
+		t.Error("suspicion threshold 0 must error")
+	}
+	if _, err := NewDetector(WithTrainingSize(300), WithHardening(), WithSuspicionBudget(1.5)); err == nil {
+		t.Error("suspicion budget > 1 must error")
+	}
+	if _, err := NewDetector(WithTrainingSize(300), WithHardening(), WithSuspicionBudget(-0.1)); err == nil {
+		t.Error("negative suspicion budget must error")
+	}
+}
+
+// TestHardenAllocations extends the steady-state allocation gate to
+// hardened mode: once the memo has seen the rotating feed — clean and
+// adversarial alike — a hardened Screen must stay within the same
+// ≤10-alloc budget as the plain fast path. This is what stops the
+// hardening layer from quietly re-introducing per-post tokenization
+// allocations.
+func TestHardenAllocations(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation changes allocation counts")
+	}
+	det := newTestHardenedDetectorMust(t)
+	clean := testFeedTexts(t, 32)
+	adversarial := perturbTexts(testFeedTexts(t, 32), 17, 5)
+	const maxAllocs = 10
+	for name, texts := range map[string][]string{"clean": clean, "adversarial": adversarial} {
+		for _, p := range texts { // warm scratch and hardening memo
+			if _, err := det.Screen(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+		i := 0
+		avg := testing.AllocsPerRun(256, func() {
+			if _, err := det.Screen(texts[i%len(texts)]); err != nil {
+				t.Fatal(err)
+			}
+			i++
+		})
+		if avg > maxAllocs {
+			t.Errorf("steady-state hardened Screen (%s) = %.1f allocs/op, gate is %d", name, avg, maxAllocs)
+		}
+		t.Logf("steady-state hardened Screen (%s): %.1f allocs/op", name, avg)
+	}
+}
+
+// TestCascadeSuspicionRoutingProperty is the suspicion-routing
+// property test (run under -race in CI): on perturbation-heavy
+// corpora, suspicion-driven escalations never exceed the configured
+// budget fraction of the batch, the stats stay internally consistent,
+// and every report — escalated for suspicion or not — satisfies the
+// evidence-grounding invariant (a clinical condition always cites at
+// least one lexicon phrase).
+func TestCascadeSuspicionRoutingProperty(t *testing.T) {
+	const rate = 0.1
+	det, err := NewDetector(WithSeed(1), WithTrainingSize(1200),
+		WithAdjudicator("gpt-4-sim"), WithHardening(),
+		WithSuspicionThreshold(3), WithSuspicionBudget(rate))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial, seed := range []int64{3, 41, 97} {
+		posts, _ := cascadeEvalSet(t, 150, seed)
+		posts = perturbTexts(posts, seed*31+1, 6) // heavy obfuscation on every post
+		reports, stats, err := det.ScreenCascade(posts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		budget := int(math.Ceil(rate * float64(len(posts))))
+		if stats.SuspicionEscalated > budget {
+			t.Errorf("trial %d: %d suspicion escalations exceed budget %d",
+				trial, stats.SuspicionEscalated, budget)
+		}
+		if stats.SuspicionEscalated > stats.Suspicious {
+			t.Errorf("trial %d: inconsistent stats: %d suspicion escalations of %d suspicious posts",
+				trial, stats.SuspicionEscalated, stats.Suspicious)
+		}
+		if stats.Suspicious == 0 {
+			t.Errorf("trial %d: heavy perturbation flagged no post suspicious", trial)
+		}
+		if stats.HardeningRewrites < stats.Suspicious {
+			t.Errorf("trial %d: %d total rewrites below %d suspicious posts",
+				trial, stats.HardeningRewrites, stats.Suspicious)
+		}
+		if stats.Escalated != stats.Adjudicated+stats.Fallbacks || stats.Screened != len(posts) {
+			t.Errorf("trial %d: inconsistent cascade stats %+v", trial, stats)
+		}
+		suspicious := 0
+		for i, rep := range reports {
+			if rep.Suspicious {
+				suspicious++
+			}
+			if rep.Condition != Control && len(rep.Evidence) == 0 {
+				t.Errorf("trial %d post %d: clinical condition %v with no evidence", trial, i, rep.Condition)
+			}
+			if rep.Confidence < 0 || rep.Confidence > 1 {
+				t.Errorf("trial %d post %d: confidence %v out of [0,1]", trial, i, rep.Confidence)
+			}
+		}
+		if suspicious != stats.Suspicious {
+			t.Errorf("trial %d: %d reports marked Suspicious, stats say %d", trial, suspicious, stats.Suspicious)
+		}
+	}
+}

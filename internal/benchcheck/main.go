@@ -14,6 +14,10 @@
 //     (the cascade's escalation_rate) are probabilities, and a value
 //     outside the unit interval means the recording is wrong, not
 //     just slow
+//   - every "*_drop" key, when present, a number in [0, 1] — drops
+//     (the robustness eval's macro-F1 losses under perturbation) are
+//     clamped differences of probabilities-scaled scores, so a value
+//     outside the unit interval means the eval recorded garbage
 //
 // Usage: go run ./internal/benchcheck BENCH_serve.json ...
 package main
@@ -84,6 +88,11 @@ func checkFile(path string) error {
 		case strings.HasSuffix(key, "_rate"):
 			rate, ok := v.(float64)
 			if !ok || rate < 0 || rate > 1 {
+				return fmt.Errorf("%q must be a number in [0,1], got %v", key, v)
+			}
+		case strings.HasSuffix(key, "_drop"):
+			drop, ok := v.(float64)
+			if !ok || drop < 0 || drop > 1 {
 				return fmt.Errorf("%q must be a number in [0,1], got %v", key, v)
 			}
 		}

@@ -44,6 +44,12 @@ func TestBenchcheck(t *testing.T) {
 		{"negative rate", `{"benchmark":"X","gomaxprocs":1,"posts_per_sec":5,"escalation_rate":-0.1}`, 1},
 		{"rate above one", `{"benchmark":"X","gomaxprocs":1,"posts_per_sec":5,"escalation_rate":1.2}`, 1},
 		{"string rate", `{"benchmark":"X","gomaxprocs":1,"posts_per_sec":5,"escalation_rate":"low"}`, 1},
+		{"zero drop is legal", `{"benchmark":"X","gomaxprocs":1,"posts_per_sec":5,"robustness_drop":0}`, 0},
+		{"unit drop is legal", `{"benchmark":"X","gomaxprocs":1,"posts_per_sec":5,"robustness_drop":1}`, 0},
+		{"fractional drops are legal", `{"benchmark":"X","gomaxprocs":1,"posts_per_sec":5,"robustness_drop":0.04,"hardened_drop":0.01}`, 0},
+		{"negative drop", `{"benchmark":"X","gomaxprocs":1,"posts_per_sec":5,"hardened_drop":-0.2}`, 1},
+		{"drop above one", `{"benchmark":"X","gomaxprocs":1,"posts_per_sec":5,"robustness_drop":1.01}`, 1},
+		{"string drop", `{"benchmark":"X","gomaxprocs":1,"posts_per_sec":5,"robustness_drop":"small"}`, 1},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -83,7 +89,7 @@ func TestBenchcheck(t *testing.T) {
 func TestBenchcheckAcceptsCommittedFiles(t *testing.T) {
 	// The checked-in trajectory files must satisfy the schema the CI
 	// gate enforces.
-	for _, name := range []string{"BENCH_serve.json", "BENCH_sessions.json", "BENCH_screen.json", "BENCH_cascade.json"} {
+	for _, name := range []string{"BENCH_serve.json", "BENCH_sessions.json", "BENCH_screen.json", "BENCH_cascade.json", "BENCH_robust.json"} {
 		path := filepath.Join("..", "..", name)
 		if _, err := os.Stat(path); err != nil {
 			t.Skipf("%s not present: %v", name, err)

@@ -133,6 +133,18 @@ type Stats struct {
 	Escalated   int
 	Adjudicated int
 	Fallbacks   int
+	// Suspicious counts posts whose text hardening rewrote at least
+	// the detector's suspicion threshold of characters — likely
+	// obfuscation attempts. Zero unless hardening is enabled.
+	Suspicious int
+	// SuspicionEscalated counts the subset of Suspicious posts that
+	// were escalated on suspicion alone (their calibrated confidence
+	// was outside the uncertainty band), bounded by the suspicion
+	// budget. Always <= both Suspicious and Escalated.
+	SuspicionEscalated int
+	// HardeningRewrites totals the hardening rewrites across every
+	// screened post. Zero unless hardening is enabled.
+	HardeningRewrites int
 	// Latencies holds the wall time of each escalated post's
 	// adjudication, in completion order (the order is
 	// scheduling-dependent; the multiset is deterministic inputs
@@ -148,15 +160,52 @@ func (s Stats) EscalationRate() float64 {
 	return float64(s.Escalated) / float64(s.Screened)
 }
 
+// SuspicionGate bounds how many posts one cascade call may escalate
+// on suspicion alone (hardening rewrote enough characters) rather
+// than on calibrated uncertainty. Without the bound, an adversary who
+// obfuscates every post could route an entire batch to the expensive
+// adjudicator — the gate caps suspicion-driven escalations at a
+// budget the caller derives from its configured rate. Safe for
+// concurrent use; one gate per cascade call.
+type SuspicionGate struct {
+	mu     sync.Mutex
+	budget int
+	used   int
+}
+
+// NewSuspicionGate builds a gate admitting at most budget
+// suspicion-driven escalations (budget <= 0 admits none).
+func NewSuspicionGate(budget int) *SuspicionGate {
+	return &SuspicionGate{budget: budget}
+}
+
+// Admit consumes one budget slot, reporting whether the escalation
+// may proceed. A nil gate admits nothing.
+func (g *SuspicionGate) Admit() bool {
+	if g == nil {
+		return false
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.used >= g.budget {
+		return false
+	}
+	g.used++
+	return true
+}
+
 // Collector accumulates per-post outcomes from concurrent screening
 // workers into a Stats. Safe for concurrent use; one Collector per
 // cascade call.
 type Collector struct {
-	mu        sync.Mutex
-	screened  int
-	adjud     int
-	fallbacks int
-	latencies []time.Duration
+	mu         sync.Mutex
+	screened   int
+	adjud      int
+	fallbacks  int
+	suspicious int
+	suspEsc    int
+	rewrites   int
+	latencies  []time.Duration
 }
 
 // Observe records one post's outcome; lat is the adjudication wall
@@ -175,15 +224,34 @@ func (c *Collector) Observe(o Outcome, lat time.Duration) {
 	}
 }
 
+// ObserveHardening records one post's hardening outcome alongside its
+// Observe call: how many characters hardening rewrote, whether that
+// crossed the suspicion threshold, and whether the post was escalated
+// on suspicion alone (escalated implies suspicious).
+func (c *Collector) ObserveHardening(rewrites int, suspicious, escalated bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.rewrites += rewrites
+	if suspicious {
+		c.suspicious++
+	}
+	if escalated {
+		c.suspEsc++
+	}
+}
+
 // Stats returns the collected totals.
 func (c *Collector) Stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return Stats{
-		Screened:    c.screened,
-		Escalated:   c.adjud + c.fallbacks,
-		Adjudicated: c.adjud,
-		Fallbacks:   c.fallbacks,
-		Latencies:   append([]time.Duration(nil), c.latencies...),
+		Screened:           c.screened,
+		Escalated:          c.adjud + c.fallbacks,
+		Adjudicated:        c.adjud,
+		Fallbacks:          c.fallbacks,
+		Suspicious:         c.suspicious,
+		SuspicionEscalated: c.suspEsc,
+		HardeningRewrites:  c.rewrites,
+		Latencies:          append([]time.Duration(nil), c.latencies...),
 	}
 }

@@ -1,0 +1,213 @@
+package corpus
+
+import (
+	"math/rand"
+	"strings"
+	"unicode"
+
+	"repro/internal/textkit"
+)
+
+// Perturber applies adversarial text mutations to gold posts under a
+// seeded budget, simulating the obfuscation real at-risk users write:
+// homoglyph swaps, zero-width injection, leet digits, character
+// elongation, sentiment-emoji substitution, and token-boundary
+// splits. The mutation inventory is textkit's own hardening
+// inventory run in reverse, so a hardened detector can in principle
+// recover the first four mutation classes exactly; elongation beyond
+// the squeeze limit and token splits are deliberately unrecoverable,
+// keeping robustness evals honest about the residual gap.
+//
+// Deterministic: the same seed, budget, and input sequence yields
+// bit-identical output. Not safe for concurrent use; create one per
+// goroutine (construction is cheap), like Generator.
+type Perturber struct {
+	rng    *rand.Rand
+	budget int
+}
+
+// NewPerturber returns a perturber applying at most budget mutation
+// attempts per post (budget <= 0 makes Perturb the identity).
+func NewPerturber(seed int64, budget int) *Perturber {
+	return &Perturber{rng: rand.New(rand.NewSource(seed)), budget: budget}
+}
+
+// Mutation kinds, weighted so the recoverable classes (homoglyph,
+// zero-width, leet, emoji) dominate the unrecoverable tail (repeat,
+// split) — the hardened detector is supposed to win back most of the
+// perturbation damage, not all of it.
+const (
+	mutHomoglyph = iota
+	mutZeroWidth
+	mutLeet
+	mutRepeat
+	mutEmoji
+	mutSplit
+	numMutations
+)
+
+var mutWeights = [numMutations]int{28, 22, 22, 12, 8, 8}
+
+// zeroWidthRunes are the invisibles the injection mutation draws
+// from; all are stripped by textkit.Harden.
+var zeroWidthRunes = []rune{0x200B, 0x200C, 0x200D, 0xFEFF}
+
+// Perturb returns text with up to the perturber's budget of seeded
+// mutations applied. Attempts that cannot apply (e.g. an emoji
+// substitution on a word with no emoji) are spent, not retried, so
+// the number of random draws per post depends only on the budget and
+// the evolving field list — never on wall clock or map order.
+func (p *Perturber) Perturb(text string) string {
+	fields := strings.Fields(text)
+	if len(fields) == 0 || p.budget <= 0 {
+		return text
+	}
+	for i := 0; i < p.budget; i++ {
+		kind := p.pickMutation()
+		fi := p.rng.Intn(len(fields))
+		switch kind {
+		case mutHomoglyph:
+			fields[fi] = p.swapHomoglyph(fields[fi])
+		case mutZeroWidth:
+			fields[fi] = p.injectZeroWidth(fields[fi])
+		case mutLeet:
+			fields[fi] = p.leetify(fields[fi])
+		case mutRepeat:
+			fields[fi] = p.elongate(fields[fi])
+		case mutEmoji:
+			fields[fi] = p.emojify(fields[fi])
+		case mutSplit:
+			if split, ok := p.splitToken(fields[fi]); ok {
+				fields = append(fields[:fi], append(split, fields[fi+1:]...)...)
+			}
+		}
+	}
+	return strings.Join(fields, " ")
+}
+
+func (p *Perturber) pickMutation() int {
+	total := 0
+	for _, w := range mutWeights {
+		total += w
+	}
+	n := p.rng.Intn(total)
+	for kind, w := range mutWeights {
+		if n < w {
+			return kind
+		}
+		n -= w
+	}
+	return mutSplit
+}
+
+// swapHomoglyph replaces one random ASCII letter that has a
+// confusable alternative with a random pick from its inventory.
+func (p *Perturber) swapHomoglyph(field string) string {
+	runes := []rune(field)
+	var candidates []int
+	for i, r := range runes {
+		if len(textkit.HomoglyphAlternatives(unicode.ToLower(r))) > 0 {
+			candidates = append(candidates, i)
+		}
+	}
+	if len(candidates) == 0 {
+		return field
+	}
+	i := candidates[p.rng.Intn(len(candidates))]
+	alts := textkit.HomoglyphAlternatives(unicode.ToLower(runes[i]))
+	runes[i] = alts[p.rng.Intn(len(alts))]
+	return string(runes)
+}
+
+// injectZeroWidth inserts one invisible rune at a random interior
+// position of a field with at least two runes.
+func (p *Perturber) injectZeroWidth(field string) string {
+	runes := []rune(field)
+	if len(runes) < 2 {
+		return field
+	}
+	at := 1 + p.rng.Intn(len(runes)-1)
+	zw := zeroWidthRunes[p.rng.Intn(len(zeroWidthRunes))]
+	out := make([]rune, 0, len(runes)+1)
+	out = append(out, runes[:at]...)
+	out = append(out, zw)
+	out = append(out, runes[at:]...)
+	return string(out)
+}
+
+// leetify replaces one random mappable letter with its leet digit,
+// but only in fields keeping at least one other letter — a lone
+// digit has no letter context for Harden to fold it back in.
+func (p *Perturber) leetify(field string) string {
+	runes := []rune(field)
+	letters := 0
+	var candidates []int
+	for i, r := range runes {
+		if unicode.IsLetter(r) && r < 0x80 {
+			letters++
+			if _, ok := textkit.LeetDigit(unicode.ToLower(r)); ok {
+				candidates = append(candidates, i)
+			}
+		} else if unicode.IsDigit(r) {
+			// A digit already present may be unmappable (2, 6, 9) and
+			// would block Harden's whole-run fold; leave such fields
+			// alone so the mutation stays recoverable.
+			return field
+		}
+	}
+	if len(candidates) == 0 || letters < 2 {
+		return field
+	}
+	i := candidates[p.rng.Intn(len(candidates))]
+	d, _ := textkit.LeetDigit(unicode.ToLower(runes[i]))
+	runes[i] = d
+	return string(runes)
+}
+
+// elongate repeats one random letter 2–4 extra times ("sad" →
+// "saaaad"). The squeeze pass caps runs at two, so elongation
+// degrades hardened and unhardened features alike.
+func (p *Perturber) elongate(field string) string {
+	runes := []rune(field)
+	var candidates []int
+	for i, r := range runes {
+		if unicode.IsLetter(r) {
+			candidates = append(candidates, i)
+		}
+	}
+	if len(candidates) == 0 {
+		return field
+	}
+	i := candidates[p.rng.Intn(len(candidates))]
+	extra := 2 + p.rng.Intn(3)
+	out := make([]rune, 0, len(runes)+extra)
+	out = append(out, runes[:i+1]...)
+	for k := 0; k < extra; k++ {
+		out = append(out, runes[i])
+	}
+	out = append(out, runes[i+1:]...)
+	return string(out)
+}
+
+// emojify swaps a sentiment word for its emoji, keeping any trailing
+// punctuation ("crying." → "😭.").
+func (p *Perturber) emojify(field string) string {
+	word := strings.TrimRight(field, ".,!?;:")
+	suffix := field[len(word):]
+	e, ok := textkit.SentimentEmoji(strings.ToLower(word))
+	if !ok {
+		return field
+	}
+	return string(e) + suffix
+}
+
+// splitToken breaks one field at a random interior boundary
+// ("hopeless" → "hope less"); neither detector mode rejoins it.
+func (p *Perturber) splitToken(field string) ([]string, bool) {
+	runes := []rune(field)
+	if len(runes) < 4 {
+		return nil, false
+	}
+	at := 2 + p.rng.Intn(len(runes)-3)
+	return []string{string(runes[:at]), string(runes[at:])}, true
+}

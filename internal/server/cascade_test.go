@@ -43,6 +43,19 @@ func (f *fakeCascadeScreener) ScreenCascadeContext(ctx context.Context, texts []
 			stats.Fallbacks++
 			stats.Latencies = append(stats.Latencies, time.Millisecond)
 			f.calls.Add(1)
+		case strings.Contains(t, "obfuscated"):
+			// Suspicion routing: hardening rewrote enough characters to
+			// flag the post and escalate it on suspicion alone.
+			reps[i].Suspicious = true
+			reps[i].HardeningRewrites = 5
+			reps[i].Adjudicated = true
+			stats.Suspicious++
+			stats.SuspicionEscalated++
+			stats.HardeningRewrites += 5
+			stats.Escalated++
+			stats.Adjudicated++
+			stats.Latencies = append(stats.Latencies, 3*time.Millisecond)
+			f.calls.Add(1)
 		}
 	}
 	return reps, stats, nil
@@ -158,6 +171,49 @@ func TestCascadeMetricsRendered(t *testing.T) {
 		"mh_cascade_adjudicator_cost_usd 0.001",
 	} {
 		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+// TestHardeningMetrics covers the mh_hardening_* series: suspicion
+// stats flow from the cascade stats into the counters and render on
+// /metrics alongside the cascade series.
+func TestHardeningMetrics(t *testing.T) {
+	f := &fakeCascadeScreener{}
+	s, ts := newCascadeTestServer(t, f)
+
+	code, body := doPost(t, ts.URL+"/v1/screen/batch", map[string]any{"posts": []string{
+		"a plainly fine post", "an obfuscated post", "a borderline post"}})
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	m := s.Metrics()
+	if got := m.HardeningRewrites.Value(); got != 5 {
+		t.Fatalf("hardening rewrites %d, want 5", got)
+	}
+	if got := m.HardeningSuspicious.Value(); got != 1 {
+		t.Fatalf("hardening suspicious %d, want 1", got)
+	}
+	if got := m.HardeningEscalated.Value(); got != 1 {
+		t.Fatalf("hardening escalated %d, want 1", got)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sb strings.Builder
+	if _, err := io.Copy(&sb, resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"mh_hardening_rewrites_total 5",
+		"mh_hardening_suspicious_total 1",
+		"mh_hardening_escalated_total 1",
+	} {
+		if !strings.Contains(sb.String(), want) {
 			t.Errorf("/metrics missing %q", want)
 		}
 	}

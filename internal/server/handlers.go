@@ -34,6 +34,11 @@ type WireReport struct {
 	// Adjudicated marks a verdict ruled by the cascade's LLM
 	// adjudicator rather than the stage-1 classifier.
 	Adjudicated bool `json:"adjudicated,omitempty"`
+	// Suspicious marks a post whose hardening rewrote enough
+	// characters to suggest deliberate obfuscation; Rewrites carries
+	// the count. Both zero unless the detector hardens text.
+	Suspicious bool `json:"suspicious,omitempty"`
+	Rewrites   int  `json:"hardening_rewrites,omitempty"`
 	// Cached marks a report served from the result cache.
 	Cached bool `json:"cached,omitempty"`
 }
@@ -46,6 +51,8 @@ func toWire(rep mhd.Report, withScores, cached bool) WireReport {
 		Crisis:      rep.Crisis,
 		Evidence:    rep.Evidence,
 		Adjudicated: rep.Adjudicated,
+		Suspicious:  rep.Suspicious,
+		Rewrites:    rep.HardeningRewrites,
 		Cached:      cached,
 	}
 	if withScores {

@@ -169,6 +169,14 @@ type Metrics struct {
 	// CascadeUsage, when non-nil, supplies the adjudicator's
 	// cumulative token/cost accounting at scrape time.
 	CascadeUsage func() llm.Usage
+
+	// Hardening metrics; fed by ObserveCascade from the cascade stats
+	// when the detector runs with hardening enabled. Rendered as the
+	// mh_hardening_* series whenever cascade metrics are on (the
+	// counters just stay zero for unhardened detectors).
+	HardeningRewrites   Counter // characters rewritten by hardening
+	HardeningSuspicious Counter // posts flagged suspicious
+	HardeningEscalated  Counter // suspicious posts escalated on suspicion alone
 }
 
 // endpoints are the labeled request counters, fixed so that /metrics
@@ -220,6 +228,9 @@ func (m *Metrics) ObserveCascade(st mhd.CascadeStats) {
 	m.CascadeEscalated.Add(int64(st.Escalated))
 	m.CascadeAdjudicated.Add(int64(st.Adjudicated))
 	m.CascadeFallbacks.Add(int64(st.Fallbacks))
+	m.HardeningRewrites.Add(int64(st.HardeningRewrites))
+	m.HardeningSuspicious.Add(int64(st.Suspicious))
+	m.HardeningEscalated.Add(int64(st.SuspicionEscalated))
 	for _, d := range st.Latencies {
 		m.CascadeLatency.Observe(d.Seconds())
 	}
@@ -307,6 +318,12 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 		fmt.Fprintf(cw, "mh_cascade_fallbacks_total %d\n", m.CascadeFallbacks.Value())
 		writeHeader("mh_cascade_escalation_rate", "Escalated / screened since start.", "gauge")
 		fmt.Fprintf(cw, "mh_cascade_escalation_rate %g\n", m.CascadeEscalationRate())
+		writeHeader("mh_hardening_rewrites_total", "Characters rewritten by adversarial text hardening.", "counter")
+		fmt.Fprintf(cw, "mh_hardening_rewrites_total %d\n", m.HardeningRewrites.Value())
+		writeHeader("mh_hardening_suspicious_total", "Posts whose hardening rewrites crossed the suspicion threshold.", "counter")
+		fmt.Fprintf(cw, "mh_hardening_suspicious_total %d\n", m.HardeningSuspicious.Value())
+		writeHeader("mh_hardening_escalated_total", "Suspicious posts escalated to the adjudicator on suspicion alone.", "counter")
+		fmt.Fprintf(cw, "mh_hardening_escalated_total %d\n", m.HardeningEscalated.Value())
 		m.writeHistogram(cw, "mh_cascade_adjudication_seconds", "Adjudication wall time in seconds (slot wait excluded).", m.CascadeLatency)
 		writeHeader("mh_cascade_adjudication_seconds_p50", "Estimated median adjudication latency.", "gauge")
 		fmt.Fprintf(cw, "mh_cascade_adjudication_seconds_p50 %g\n", m.CascadeLatency.Quantile(0.5))

@@ -67,6 +67,75 @@ func FuzzAppendNormalizedWordsMatchesLegacy(f *testing.F) {
 	})
 }
 
+// FuzzHardenIdempotent pins Harden's canonicalization contract: for
+// arbitrary UTF-8 input, hardening a hardened string changes nothing
+// and the output is valid UTF-8. Every rewrite stage must therefore
+// land outside every stage's input domain.
+func FuzzHardenIdempotent(f *testing.F) {
+	f.Add("Hello World")
+	f.Add("i feel ѕо һореlеѕѕ tonight")
+	f.Add("w4nt to end 1t 4ll")
+	f.Add("ho\u200bpe\u200dless and wor\ufeffth\u00adless")
+	f.Add("😭😭 crying ❤️ 💔")
+	f.Add("ѕѕѕad sѕs ｈｏｐｅ")
+	f.Add("mixed ѕ3lf-h4rm \u200bzwsp")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, s string) {
+		if !utf8.ValidString(s) {
+			t.Skip()
+		}
+		once, n1 := HardenCount(s)
+		if !utf8.ValidString(once) {
+			t.Fatalf("Harden(%q) = %q is not valid UTF-8", s, once)
+		}
+		twice, _ := HardenCount(once)
+		if twice != once {
+			t.Fatalf("not idempotent: %q -> %q -> %q", s, once, twice)
+		}
+		if n1 < 0 {
+			t.Fatalf("negative rewrite count %d for %q", n1, s)
+		}
+	})
+}
+
+// FuzzHardenedWordsMatchLegacy is the hardened fast path's
+// equivalence oracle, mirroring FuzzAppendNormalizedWordsMatchesLegacy:
+// the fused Hardener tokenizer must yield exactly the tokens of the
+// three-pass Harden → Normalize → Words pipeline, and its rewrite
+// count must match HardenCount — on first compute and on memo replay.
+func FuzzHardenedWordsMatchLegacy(f *testing.F) {
+	f.Add("Hello World")
+	f.Add("i feel ѕо һореlеѕѕ and wор\u200bthlеѕѕ lately")
+	f.Add("w4nt to end 1t 4ll tonight 😭")
+	f.Add("soooo tired :( check https://х.com @mе #ѕаd")
+	f.Add("ｆｅｅｌｉｎｇ ｅｍｐｔｙ inside")
+	f.Add("“quotes” — and www.x.y #@user i can't...")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, s string) {
+		if !utf8.ValidString(s) {
+			t.Skip()
+		}
+		want := AppendWords(nil, Normalize(Harden(s)))
+		_, wantRW := HardenCount(s)
+		var h Hardener
+		for pass := 0; pass < 2; pass++ {
+			got, rw := h.AppendNormalizedWords(nil, s)
+			if rw != wantRW {
+				t.Fatalf("pass %d: rewrites %d != HardenCount %d for %q", pass, rw, wantRW, s)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("pass %d: token count %d != %d for %q: got %q want %q",
+					pass, len(got), len(want), s, got, want)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("pass %d: token %d of %q: got %q want %q", pass, i, s, got[i], want[i])
+				}
+			}
+		}
+	})
+}
+
 func FuzzBPERoundTrip(f *testing.F) {
 	bpe := TrainBPE(bpeCorpus, 80)
 	f.Add("feeling low again nothing helps")

@@ -1,0 +1,462 @@
+package textkit
+
+import (
+	"strings"
+	"unicode"
+)
+
+// This file is the adversarial-text hardening layer. Real at-risk
+// users write obfuscated text — Cyrillic/Greek homoglyphs, zero-width
+// joiners inside words, leet-speak, elongated characters, affect
+// carried by emoji — that slips past a normalizer built for clean
+// English. Harden canonicalizes those obfuscations *before* the
+// normalize→tokenize pipeline sees the text, so the classifier
+// features and the lexicon evidence automaton match the post the
+// author meant to write, not the one they typed to evade detection.
+//
+// The rewrite taxonomy, applied per whitespace field in this order:
+//
+//  1. strip: zero-width characters (ZWSP/ZWNJ/ZWJ, word joiner, BOM,
+//     soft hyphen, variation selectors) and combining marks are
+//     dropped — they are invisible or near-invisible and exist in
+//     adversarial text only to break token matching;
+//  2. fold: Unicode confusables (Cyrillic/Greek homoglyphs, fullwidth
+//     forms) fold to their lowercase ASCII skeleton ("ѕаd" → "sad");
+//  3. map: a small emoji inventory rewrites to its sentiment word
+//     ("😭" → "crying"), surfacing affect the tokenizer would drop;
+//  4. leet: digit-for-letter substitutions canonicalize ("s3lf h4rm"
+//     → "self harm") — only inside tokens that mix letters with
+//     mappable digits, so bare numbers ("2024") survive;
+//  5. squeeze: character runs collapse to at most two, AFTER folding,
+//     so mixed-script repeats ("ѕѕѕad") canonicalize exactly like
+//     ASCII ones ("sssad") — both to "ssad".
+//
+// Harden is idempotent (every rewrite lands on plain ASCII outside
+// every rewrite's domain) and pure. The fused fast path lives on
+// Hardener, whose memo keeps steady-state hardened screening inside
+// the detector's zero-allocation gate.
+
+// zero-width and format characters stripped by stage 1. U+FE00–FE0F
+// (variation selectors) and U+00AD (soft hyphen) are included: they
+// render invisibly and are the cheapest token-breaking injection.
+func isZeroWidth(r rune) bool {
+	switch r {
+	case 0x200B, // zero width space
+		0x200C, // zero width non-joiner
+		0x200D, // zero width joiner
+		0x2060, // word joiner
+		0xFEFF, // byte order mark
+		0x00AD, // soft hyphen
+		0x180E: // Mongolian vowel separator
+		return true
+	}
+	return r >= 0xFE00 && r <= 0xFE0F // variation selectors
+}
+
+// confusablePairs maps non-ASCII homoglyphs to their lowercase ASCII
+// skeleton. Declared as an ordered slice (not a map literal) so the
+// reverse index used by the adversarial corpus generator is
+// deterministic. Cyrillic first, then Greek; uppercase variants fold
+// to lowercase ASCII directly — Harden canonicalizes, Normalize
+// lowercases the rest later.
+var confusablePairs = []struct{ from, to rune }{
+	// Cyrillic lowercase lookalikes.
+	{'а', 'a'}, {'е', 'e'}, {'о', 'o'}, {'р', 'p'}, {'с', 'c'},
+	{'х', 'x'}, {'у', 'y'}, {'і', 'i'}, {'ѕ', 's'}, {'ј', 'j'},
+	{'ԁ', 'd'}, {'һ', 'h'}, {'ԝ', 'w'}, {'ɡ', 'g'}, {'ь', 'b'},
+	{'п', 'n'}, {'м', 'm'}, {'т', 't'}, {'к', 'k'}, {'в', 'v'},
+	// Cyrillic uppercase lookalikes.
+	{'А', 'a'}, {'В', 'b'}, {'Е', 'e'}, {'К', 'k'}, {'М', 'm'},
+	{'Н', 'h'}, {'О', 'o'}, {'Р', 'p'}, {'С', 'c'}, {'Т', 't'},
+	{'Х', 'x'}, {'У', 'y'}, {'І', 'i'}, {'Ѕ', 's'}, {'Ј', 'j'},
+	// Greek lookalikes.
+	{'α', 'a'}, {'ο', 'o'}, {'ν', 'v'}, {'ι', 'i'}, {'κ', 'k'},
+	{'ρ', 'p'}, {'τ', 't'}, {'υ', 'u'}, {'ε', 'e'}, {'η', 'n'},
+	{'Α', 'a'}, {'Β', 'b'}, {'Ε', 'e'}, {'Ζ', 'z'}, {'Η', 'h'},
+	{'Ι', 'i'}, {'Κ', 'k'}, {'Μ', 'm'}, {'Ν', 'n'}, {'Ο', 'o'},
+	{'Ρ', 'p'}, {'Τ', 't'}, {'Υ', 'y'}, {'Χ', 'x'},
+	// Precomposed Latin accents: the stdlib has no NFKD, so the
+	// common vowel/consonant variants fold here (combining marks on
+	// bare letters are stripped by stage 1 instead).
+	{'á', 'a'}, {'à', 'a'}, {'â', 'a'}, {'ä', 'a'}, {'ã', 'a'}, {'å', 'a'}, {'ā', 'a'},
+	{'é', 'e'}, {'è', 'e'}, {'ê', 'e'}, {'ë', 'e'}, {'ē', 'e'},
+	{'í', 'i'}, {'ì', 'i'}, {'î', 'i'}, {'ï', 'i'}, {'ī', 'i'},
+	{'ó', 'o'}, {'ò', 'o'}, {'ô', 'o'}, {'ö', 'o'}, {'õ', 'o'}, {'ō', 'o'},
+	{'ú', 'u'}, {'ù', 'u'}, {'û', 'u'}, {'ü', 'u'}, {'ū', 'u'},
+	{'ñ', 'n'}, {'ń', 'n'}, {'ç', 'c'}, {'ć', 'c'}, {'č', 'c'},
+	{'ý', 'y'}, {'ÿ', 'y'}, {'š', 's'}, {'ś', 's'}, {'ž', 'z'}, {'ź', 'z'},
+}
+
+var confusableFold = func() map[rune]rune {
+	m := make(map[rune]rune, len(confusablePairs))
+	for _, p := range confusablePairs {
+		m[p.from] = p.to
+	}
+	return m
+}()
+
+// homoglyphsFor indexes the fold table by ASCII skeleton, in
+// confusablePairs order, for the adversarial corpus generator.
+var homoglyphsFor = func() map[rune][]rune {
+	m := make(map[rune][]rune)
+	for _, p := range confusablePairs {
+		m[p.to] = append(m[p.to], p.from)
+	}
+	return m
+}()
+
+// HomoglyphAlternatives returns the non-ASCII homoglyphs that Harden
+// folds to the ASCII letter r, in a fixed deterministic order (nil
+// when r has none). The adversarial corpus generator draws from this
+// inventory so every perturbation it plants is one hardening undoes.
+func HomoglyphAlternatives(r rune) []rune { return homoglyphsFor[r] }
+
+// emojiPairs maps affect-bearing emoji to the sentiment word Harden
+// rewrites them to. Ordered slice for the same determinism reason as
+// confusablePairs: the corpus generator inverts it.
+var emojiPairs = []struct {
+	emoji rune
+	word  string
+}{
+	{'😢', "crying"}, {'😭', "crying"}, {'😿', "crying"},
+	{'😔', "sad"}, {'😞', "sad"}, {'😟', "sad"}, {'🙁', "sad"}, {'☹', "sad"},
+	{'😊', "happy"}, {'🙂', "happy"}, {'😀', "happy"}, {'😁', "happy"},
+	{'😡', "angry"}, {'😠', "angry"},
+	{'😱', "scared"}, {'😨', "scared"}, {'😰', "scared"},
+	{'😴', "tired"}, {'🥱', "tired"},
+	{'💀', "dead"}, {'⚰', "dead"},
+	{'💔', "heartbroken"},
+	{'❤', "love"}, {'💕', "love"},
+	{'🔪', "knife"}, {'🩸', "blood"},
+}
+
+var emojiSentiment = func() map[rune]string {
+	m := make(map[rune]string, len(emojiPairs))
+	for _, p := range emojiPairs {
+		m[p.emoji] = p.word
+	}
+	return m
+}()
+
+// sentimentEmoji is the first emoji listed for each word, for the
+// corpus generator's emoji-substitution mutation.
+var sentimentEmoji = func() map[string]rune {
+	m := make(map[string]rune, len(emojiPairs))
+	for _, p := range emojiPairs {
+		if _, ok := m[p.word]; !ok {
+			m[p.word] = p.emoji
+		}
+	}
+	return m
+}()
+
+// SentimentEmoji returns the canonical emoji Harden maps to word
+// ("crying" → 😢), for planting recoverable emoji perturbations.
+func SentimentEmoji(word string) (rune, bool) {
+	e, ok := sentimentEmoji[word]
+	return e, ok
+}
+
+// leetFold maps the classic digit-for-letter substitutions back to
+// letters. Only digits: '@'→a and '$'→s would collide with mentions
+// and prices, which the normalizer owns.
+var leetFold = map[rune]rune{
+	'0': 'o', '1': 'i', '3': 'e', '4': 'a', '5': 's', '7': 't', '8': 'b',
+}
+
+// leetDigits is the inverse, letter → digit, for the corpus
+// generator.
+var leetDigits = map[rune]rune{
+	'o': '0', 'i': '1', 'e': '3', 'a': '4', 's': '5', 't': '7', 'b': '8',
+}
+
+// LeetDigit returns the leet digit Harden folds back to the ASCII
+// letter r ('e' → '3'), for planting recoverable leet perturbations.
+func LeetDigit(r rune) (rune, bool) {
+	d, ok := leetDigits[r]
+	return d, ok
+}
+
+// isFullwidth reports whether r is a fullwidth ASCII form
+// (U+FF01–FF5E), folded by subtracting the fixed offset to U+0021–7E.
+func isFullwidth(r rune) bool { return r >= 0xFF01 && r <= 0xFF5E }
+
+const fullwidthOffset = 0xFEE0
+
+// Harden canonicalizes adversarially obfuscated text: zero-width and
+// combining-mark stripping, Unicode confusable folding, emoji →
+// sentiment-word mapping, leet canonicalization, and repeated-rune
+// squeezing (after folding), per whitespace field. Whitespace runs
+// collapse to single spaces, like Normalize. Harden is idempotent and
+// composes in front of the legacy pipeline: the detector's hardened
+// mode is exactly Normalize(Harden(s)) tokenized, which
+// FuzzHardenedWordsMatchLegacy pins against the fused fast path.
+func Harden(s string) string {
+	h, _ := hardenCount(s)
+	return h
+}
+
+// HardenCount is Harden plus the number of rewritten runes — the
+// per-post obfuscation mass the detector uses to flag suspicious
+// posts (squeezing is excluded: elongation is ordinary social-media
+// register, not obfuscation).
+func HardenCount(s string) (hardened string, rewrites int) {
+	return hardenCount(s)
+}
+
+func hardenCount(s string) (string, int) {
+	var b strings.Builder
+	b.Grow(len(s))
+	rewrites := 0
+	wrote := false
+	start := -1
+	flush := func(field string) {
+		hf, rw := hardenField(field)
+		rewrites += rw
+		if hf == "" {
+			return
+		}
+		if wrote {
+			b.WriteByte(' ')
+		}
+		b.WriteString(hf)
+		wrote = true
+	}
+	for i, r := range s {
+		if unicode.IsSpace(r) {
+			if start >= 0 {
+				flush(s[start:i])
+				start = -1
+			}
+		} else if start < 0 {
+			start = i
+		}
+	}
+	if start >= 0 {
+		flush(s[start:])
+	}
+	return b.String(), rewrites
+}
+
+// hardenField runs the five-stage rewrite on one whitespace-free
+// field. The result may contain internal spaces (emoji expand to
+// space-separated words) or be empty (a field of pure zero-width
+// characters vanishes).
+func hardenField(field string) (string, int) {
+	// URLs and mentions are replaced wholesale by the normalizer
+	// (<url>/<user>), which checks them BEFORE squeezing; rewriting
+	// them here (e.g. squeezing "www" to "ww") would break that
+	// detection, so they pass through untouched.
+	lower := strings.ToLower(field)
+	if isURL(lower) {
+		return field, 0
+	}
+	if len(field) > 1 && field[0] == '@' && hasLetterOrDigit(field[1:]) {
+		return field, 0
+	}
+	// Stage 1–3 in one rune pass: strip, fold, map.
+	var b strings.Builder
+	b.Grow(len(field))
+	rewrites := 0
+	for _, r := range field {
+		switch {
+		case isZeroWidth(r) || unicode.Is(unicode.Mn, r):
+			rewrites++
+		case confusableFold[r] != 0:
+			b.WriteRune(confusableFold[r])
+			rewrites++
+		case isFullwidth(r):
+			b.WriteRune(r - fullwidthOffset)
+			rewrites++
+		case emojiSentiment[r] != "":
+			// Spaces split the word out of its field; empty segments
+			// are dropped below.
+			b.WriteByte(' ')
+			b.WriteString(emojiSentiment[r])
+			b.WriteByte(' ')
+			rewrites++
+		default:
+			b.WriteRune(r)
+		}
+	}
+	// Stage 4–5 per space-separated segment: leet, then squeeze.
+	segs := strings.Fields(b.String())
+	for i, seg := range segs {
+		if leet, rw := leetMap(seg); rw > 0 {
+			seg = leet
+			rewrites += rw
+		}
+		segs[i] = squeezeRepeats(seg)
+	}
+	return strings.Join(segs, " "), rewrites
+}
+
+// isLeetRunByte delimits the alphanumeric runs the leet stage
+// inspects: ASCII letters, digits, and word-internal
+// apostrophes/hyphens. Anything else (punctuation, Unicode) breaks
+// the run, so "h4rm." and "(s3lf)" still canonicalize.
+func isLeetRunByte(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' ||
+		c >= '0' && c <= '9' || c == '\'' || c == '-'
+}
+
+// leetRunMappable reports whether one alphanumeric run reads as an
+// obfuscated word: at least one letter, at least one mappable digit,
+// and no unmappable digit. Bare numbers ("2024") and mixed
+// identifiers ("covid19" — '9' is unmappable) never qualify.
+func leetRunMappable(run string) bool {
+	hasLetter, hasDigit := false, false
+	for i := 0; i < len(run); i++ {
+		c := run[i]
+		switch {
+		case c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z':
+			hasLetter = true
+		case leetFold[rune(c)] != 0:
+			hasDigit = true
+		case c >= '0' && c <= '9': // unmappable digit: 2, 6, 9
+			return false
+		}
+	}
+	return hasLetter && hasDigit
+}
+
+// leetMap folds leet digits back to letters inside every mappable
+// alphanumeric run of seg. Returns the input and 0 when no run
+// qualified.
+func leetMap(seg string) (string, int) {
+	var b strings.Builder
+	b.Grow(len(seg))
+	total := 0
+	for i := 0; i < len(seg); {
+		if !isLeetRunByte(seg[i]) {
+			b.WriteByte(seg[i])
+			i++
+			continue
+		}
+		j := i
+		for j < len(seg) && isLeetRunByte(seg[j]) {
+			j++
+		}
+		run := seg[i:j]
+		if leetRunMappable(run) {
+			for k := 0; k < len(run); k++ {
+				if l := leetFold[rune(run[k])]; l != 0 {
+					b.WriteRune(l)
+					total++
+				} else {
+					b.WriteByte(run[k])
+				}
+			}
+		} else {
+			b.WriteString(run)
+		}
+		i = j
+	}
+	if total == 0 {
+		return seg, 0
+	}
+	return b.String(), total
+}
+
+// fieldNeedsHardening is the fused fast path's pre-filter: false only
+// when hardenField is the identity modulo squeezing (which the legacy
+// normalizer applies anyway), so clean fields ride the allocation-free
+// aliasing path. Any non-ASCII byte routes to the slow path —
+// over-approximate but exact enough: ASCII fields are checked
+// precisely for leet eligibility, run by run, mirroring leetMap.
+func fieldNeedsHardening(field string) bool {
+	for i := 0; i < len(field); {
+		c := field[i]
+		if c >= 0x80 {
+			return true
+		}
+		if !isLeetRunByte(c) {
+			i++
+			continue
+		}
+		j := i
+		for j < len(field) && field[j] < 0x80 && isLeetRunByte(field[j]) {
+			j++
+		}
+		if leetRunMappable(field[i:j]) {
+			return true
+		}
+		i = j
+	}
+	return false
+}
+
+// hardenerMemoCap bounds the Hardener memo like stemmerMemoCap bounds
+// the Stemmer's: adversarial vocabulary cannot grow it without limit.
+const hardenerMemoCap = 1 << 14
+
+// hardenerFieldMax is the longest field the memo will retain; a
+// megabyte glyph-soup field is hardened every time rather than
+// cloned into the memo.
+const hardenerFieldMax = 256
+
+// hardenedField is one memoized rewrite: the normalized word tokens
+// of the hardened field and the rune rewrites hardening performed.
+type hardenedField struct {
+	toks     []string
+	rewrites int
+}
+
+// Hardener fuses Harden into the append-style tokenizer with a
+// per-worker memo, mirroring Stemmer: real feeds draw obfuscated
+// fields from a bounded vocabulary, so steady-state hardened
+// tokenization is allocation-free — clean fields alias the input via
+// the ordinary fast path, and previously seen dirty fields replay
+// their memoized tokens. Not safe for concurrent use; keep one per
+// worker shard.
+type Hardener struct {
+	memo map[string]hardenedField
+}
+
+// AppendNormalizedWords appends the word tokens of
+// Normalize(Harden(s)) to dst and returns the extended slice plus the
+// total rune rewrites hardening performed on s. It is the hardened
+// counterpart of the package-level AppendNormalizedWords and carries
+// the same equivalence contract, pinned by
+// FuzzHardenedWordsMatchLegacy:
+//
+//	h.AppendNormalizedWords(dst, s) ≡ AppendWords(dst, Normalize(Harden(s)))
+func (h *Hardener) AppendNormalizedWords(dst []string, s string) ([]string, int) {
+	rewrites := 0
+	start := -1
+	for i, r := range s {
+		if unicode.IsSpace(r) {
+			if start >= 0 {
+				dst, rewrites = h.appendFieldWords(dst, s[start:i], rewrites)
+				start = -1
+			}
+		} else if start < 0 {
+			start = i
+		}
+	}
+	if start >= 0 {
+		dst, rewrites = h.appendFieldWords(dst, s[start:], rewrites)
+	}
+	return dst, rewrites
+}
+
+func (h *Hardener) appendFieldWords(dst []string, field string, rewrites int) ([]string, int) {
+	if !fieldNeedsHardening(field) {
+		return appendNormalizedFieldWords(dst, field), rewrites
+	}
+	if hf, ok := h.memo[field]; ok {
+		return append(dst, hf.toks...), rewrites + hf.rewrites
+	}
+	hardened, rw := hardenField(field)
+	toks := AppendNormalizedWords(nil, hardened)
+	if len(field) <= hardenerFieldMax && len(h.memo) < hardenerMemoCap {
+		if h.memo == nil {
+			h.memo = make(map[string]hardenedField, 64)
+		}
+		// Keys and tokens are cloned off the post text; toks already
+		// alias only the fresh hardened string, which the memo may
+		// retain whole.
+		h.memo[strings.Clone(field)] = hardenedField{toks: toks, rewrites: rw}
+	}
+	return append(dst, toks...), rewrites + rw
+}

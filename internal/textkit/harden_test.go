@@ -1,0 +1,194 @@
+package textkit
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHarden(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		want string
+	}{
+		{"clean passthrough", "feeling fine today", "feeling fine today"},
+		{"cyrillic homoglyphs", "ѕаd and һореlеѕѕ", "sad and hopeless"},
+		{"greek homoglyphs", "ραnic αttαck", "panic attack"},
+		{"zero width injection", "ho\u200bpe\u200dless", "hopeless"},
+		{"bom and soft hyphen", "wor\ufeffth\u00adless", "worthless"},
+		{"combining marks", "númb́", "numb"},
+		{"leet", "s3lf h4rm", "self harm"},
+		{"leet with punctuation", "end 1t 4ll.", "end it all."},
+		{"leet run in brackets", "(s3lf)", "(self)"},
+		{"bare numbers survive", "since 2024 i slept 10 hours", "since 2024 i slept 10 hours"},
+		{"unmappable digit blocks run", "covid19 numbers", "covid19 numbers"},
+		{"emoji to sentiment", "😭 all night", "crying all night"},
+		{"emoji glued to word", "sad😢face", "sad crying face"},
+		{"emoji with variation selector", "❤️ u", "love u"},
+		{"fullwidth forms", "ｈｏｐｅｌｅｓｓ", "hopeless"},
+		{"squeeze to two", "sooooo tired", "soo tired"},
+		{"zero width only field vanishes", "a \u200b\u200d b", "a b"},
+		{"whitespace collapses", "  a \t b  ", "a b"},
+		{"mention untouched", "@me and @you", "@me and @you"},
+		{"url untouched", "http://x.com", "http://x.com"},
+		{"empty", "", ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := Harden(tc.in); got != tc.want {
+				t.Errorf("Harden(%q) = %q, want %q", tc.in, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestHardenSqueezeAfterFold pins the stage order the taxonomy
+// promises: repeats squeeze AFTER confusable folding, so a
+// mixed-script elongation canonicalizes exactly like its ASCII
+// spelling. Squeezing first would see "ѕsѕ" as three distinct runes
+// and leave three characters where ASCII input leaves two.
+func TestHardenSqueezeAfterFold(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		want string
+	}{
+		{"ascii repeats", "sssad", "ssad"},
+		{"cyrillic repeats", "ѕѕѕad", "ssad"},
+		{"mixed script run", "ѕsѕad", "ssad"},
+		{"mixed with zero width", "s\u200bѕsad", "ssad"},
+		{"leet inside run", "ki1ll", "kiill"},
+		{"fold then squeeze then stable", "ѕѕѕѕѕad", "ssad"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := Harden(tc.in)
+			if got != tc.want {
+				t.Errorf("Harden(%q) = %q, want %q", tc.in, got, tc.want)
+			}
+			if ascii := Harden(tc.want); ascii != got {
+				t.Errorf("canonical form drifts: Harden(%q) = %q", tc.want, ascii)
+			}
+		})
+	}
+}
+
+func TestHardenCount(t *testing.T) {
+	cases := []struct {
+		in          string
+		wantRewrite int
+	}{
+		{"feeling fine today", 0},
+		{"soooo tired", 0}, // squeezing is register, not obfuscation
+		{"ѕаd", 2},
+		{"s3lf h4rm", 2},
+		{"ho\u200bpe", 1},
+		{"😭", 1},
+	}
+	for _, tc := range cases {
+		if _, got := HardenCount(tc.in); got != tc.wantRewrite {
+			t.Errorf("HardenCount(%q) rewrites = %d, want %d", tc.in, got, tc.wantRewrite)
+		}
+	}
+}
+
+// TestHardenerMatchesLegacyOnAdversarialFeed is the deterministic
+// slice of the fuzz oracle: the fused hardened tokenizer must yield
+// exactly the tokens of Harden-then-legacy-Normalize on obfuscated
+// posts, including memo replay on the second pass.
+func TestHardenerMatchesLegacyOnAdversarialFeed(t *testing.T) {
+	posts := []string{
+		"i feel ѕо һореlеѕѕ and wор\u200bthlеѕѕ lately",
+		"w4nt to end 1t 4ll tonight 😭😭",
+		"сrying all night, can't ѕlеер",
+		"going to the ｇｙｍ then coffee with @frіend",
+		"sooo tired t_t check https://х.com #ѕаd",
+	}
+	var h Hardener
+	for pass := 0; pass < 2; pass++ { // second pass rides the memo
+		for _, p := range posts {
+			want := AppendWords(nil, Normalize(Harden(p)))
+			got, _ := h.AppendNormalizedWords(nil, p)
+			if strings.Join(got, " ") != strings.Join(want, " ") {
+				t.Errorf("pass %d: fused %q != legacy %q for %q", pass, got, want, p)
+			}
+		}
+	}
+}
+
+// TestHardenerRewriteCountStable pins that the rewrite count the
+// detector's suspicion flag keys on is identical between the compute
+// and memo-replay paths.
+func TestHardenerRewriteCountStable(t *testing.T) {
+	post := "і w4nt to diѕарреаr 😢"
+	var h Hardener
+	_, first := h.AppendNormalizedWords(nil, post)
+	_, second := h.AppendNormalizedWords(nil, post)
+	if first == 0 {
+		t.Fatal("adversarial post counted zero rewrites")
+	}
+	if first != second {
+		t.Errorf("rewrite count drifted across memo replay: %d then %d", first, second)
+	}
+	if _, legacy := HardenCount(post); legacy != first {
+		t.Errorf("fused rewrites %d != HardenCount %d", first, legacy)
+	}
+}
+
+// TestHardenerMemoBounded proves adversarial vocabulary cannot grow
+// the memo without limit, mirroring the Stemmer cap.
+func TestHardenerMemoBounded(t *testing.T) {
+	var h Hardener
+	// Oversized fields must never be retained.
+	huge := strings.Repeat("ѕ", hardenerFieldMax+1)
+	h.AppendNormalizedWords(nil, huge)
+	if len(h.memo) != 0 {
+		t.Fatalf("memo retained an oversized field (%d entries)", len(h.memo))
+	}
+	small := []string{"ѕаd", "h4rm", "😭", "ѕсаrеd"}
+	for _, s := range small {
+		h.AppendNormalizedWords(nil, s)
+	}
+	if len(h.memo) != len(small) {
+		t.Fatalf("memo holds %d entries, want %d", len(h.memo), len(small))
+	}
+}
+
+func TestHomoglyphInventoryRoundTrips(t *testing.T) {
+	for _, ascii := range "abcdefghijklmnopqrstuvwxyz" {
+		for _, glyph := range HomoglyphAlternatives(ascii) {
+			if got := Harden(string(glyph)); got != string(ascii) {
+				t.Errorf("Harden(%q) = %q, want %q", string(glyph), got, string(ascii))
+			}
+		}
+	}
+}
+
+func TestSentimentEmojiRoundTrips(t *testing.T) {
+	words := []string{"crying", "sad", "happy", "tired", "scared", "dead", "love"}
+	for _, w := range words {
+		e, ok := SentimentEmoji(w)
+		if !ok {
+			t.Errorf("no emoji for %q", w)
+			continue
+		}
+		if got := Harden(string(e)); got != w {
+			t.Errorf("Harden(%q) = %q, want %q", string(e), got, w)
+		}
+	}
+}
+
+func TestLeetDigitRoundTrips(t *testing.T) {
+	for _, l := range "oieastb" {
+		d, ok := LeetDigit(l)
+		if !ok {
+			t.Errorf("no leet digit for %q", string(l))
+			continue
+		}
+		// A digit alone is not mappable (no letter in the run); in word
+		// context it must fold back.
+		if got := Harden("x" + string(d) + "x"); got != "x"+string(l)+"x" {
+			t.Errorf("Harden(%q) = %q, want %q", "x"+string(d)+"x", got, "x"+string(l)+"x")
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package mhd
+
+import (
+	"reflect"
+	"testing"
+)
+
+// Robustness eval pin: the seed and mutation budget every robustness
+// assertion and the BENCH_robust.json bench run at. Fixed so the
+// eval is bit-reproducible — CI compares two full runs.
+const (
+	robustSeed   = 1337
+	robustBudget = 5
+)
+
+// robustnessDrops screens the eval corpus clean and perturbed with
+// both detector modes and returns the two macro-F1 drops.
+func robustnessDrops(t *testing.T, posts []string, golds []int) (plainDrop, hardenedDrop float64) {
+	t.Helper()
+	perturbed := perturbTexts(posts, robustSeed, robustBudget)
+	plain := newTestDetectorMust(t)
+	hard := newTestHardenedDetectorMust(t)
+
+	f1 := func(det *Detector, texts []string) float64 {
+		reps, err := det.ScreenBatch(texts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return macroF1OfReports(golds, reps)
+	}
+	cleanF1 := f1(plain, posts)
+	if hardCleanF1 := f1(hard, posts); hardCleanF1 != cleanF1 {
+		t.Fatalf("hardened detector diverges on clean text: %.4f != %.4f", hardCleanF1, cleanF1)
+	}
+	plainDrop = cleanF1 - f1(plain, perturbed)
+	hardenedDrop = cleanF1 - f1(hard, perturbed)
+	t.Logf("clean macro-F1 %.4f; drop under perturbation: plain %.4f, hardened %.4f",
+		cleanF1, plainDrop, hardenedDrop)
+	return plainDrop, hardenedDrop
+}
+
+// TestRobustnessEval is the CI-pinned robustness acceptance bar: at
+// the fixed seed and mutation budget, perturbation must hurt the
+// plain detector measurably, and the hardened detector must recover
+// at least half of that macro-F1 drop. This is the test form of the
+// BENCH_robust.json trajectory metrics.
+func TestRobustnessEval(t *testing.T) {
+	posts, golds := cascadeEvalSet(t, 400, 424243)
+	plainDrop, hardenedDrop := robustnessDrops(t, posts, golds)
+	if plainDrop <= 0.01 {
+		t.Fatalf("perturbation dropped plain macro-F1 by only %.4f; the adversarial corpus is toothless", plainDrop)
+	}
+	if hardenedDrop > 0.5*plainDrop {
+		t.Fatalf("hardened drop %.4f exceeds half the plain drop %.4f; hardening is not recovering enough",
+			hardenedDrop, plainDrop)
+	}
+}
+
+// TestRobustnessEvalReproducible pins bit-reproducibility: two
+// independent runs — fresh perturber, fresh identically-seeded
+// detector — must produce byte-identical reports on the perturbed
+// corpus. The perturbation is seeded, screening is deterministic, so
+// any divergence is a real nondeterminism bug.
+func TestRobustnessEvalReproducible(t *testing.T) {
+	posts, _ := cascadeEvalSet(t, 200, 424243)
+	run := func() ([]string, []Report) {
+		perturbed := perturbTexts(posts, robustSeed, robustBudget)
+		det, err := NewDetector(WithSeed(7), WithTrainingSize(600), WithHardening())
+		if err != nil {
+			t.Fatal(err)
+		}
+		reps, err := det.ScreenBatch(perturbed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return perturbed, reps
+	}
+	texts1, reps1 := run()
+	texts2, reps2 := run()
+	if !reflect.DeepEqual(texts1, texts2) {
+		t.Fatal("perturbed corpora differ between two identically-seeded runs")
+	}
+	if !reflect.DeepEqual(reps1, reps2) {
+		t.Fatal("hardened screening reports differ between two identically-seeded runs")
+	}
+}
