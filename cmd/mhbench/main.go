@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/report"
 
 	mhd "repro"
@@ -26,14 +27,19 @@ import (
 
 func main() {
 	var (
-		list   = flag.Bool("list", false, "list experiments, datasets, and models")
-		run    = flag.String("run", "", "experiment id to run, or \"all\"")
-		out    = flag.String("out", "", "directory to write results into (default: stdout)")
-		format = flag.String("format", "md", "output format: md, csv, or chart (ASCII plot of figures)")
-		quick  = flag.Bool("quick", false, "shrink datasets for a fast smoke run")
-		seed   = flag.Int64("seed", 2025, "run seed")
+		list    = flag.Bool("list", false, "list experiments, datasets, and models")
+		run     = flag.String("run", "", "experiment id to run, or \"all\"")
+		out     = flag.String("out", "", "directory to write results into (default: stdout)")
+		format  = flag.String("format", "md", "output format: md, csv, or chart (ASCII plot of figures)")
+		quick   = flag.Bool("quick", false, "shrink datasets for a fast smoke run")
+		seed    = flag.Int64("seed", 2025, "run seed")
+		version = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println("mhbench", obs.ReadBuild())
+		return
+	}
 
 	if err := realMain(os.Stdout, *list, *run, *out, *format, *quick, *seed); err != nil {
 		fmt.Fprintln(os.Stderr, "mhbench:", err)

@@ -33,6 +33,7 @@ import (
 	"sync"
 
 	mhd "repro"
+	"repro/internal/obs"
 )
 
 // report is the JSON wire format, stable for downstream consumers.
@@ -87,7 +88,12 @@ func main() {
 	flag.StringVar(&opts.band, "band", mhd.DefaultBand.String(), `cascade: calibrated-probability uncertainty band "lo,hi" — posts inside it escalate`)
 	flag.IntVar(&opts.adjudicators, "adjudicators", 4, "cascade: max concurrent LLM adjudications")
 	flag.BoolVar(&opts.harden, "harden", false, "fold homoglyphs, zero-width characters, and leetspeak before screening; with -cascade, suspicious posts escalate")
+	version := flag.Bool("version", false, "print build information and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println("mhscreen", obs.ReadBuild())
+		return
+	}
 
 	if err := run(context.Background(), opts, os.Stdin, os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "mhscreen:", err)
@@ -168,11 +174,21 @@ func run(ctx context.Context, opts options, stdin io.Reader, out, errw io.Writer
 		if err != nil {
 			return err
 		}
+		// The summary is one structured JSON line on stderr, machine-
+		// and grep-friendly, like mhserve's logs.
 		u := det.AdjudicatorUsage()
-		fmt.Fprintf(errw, "mhscreen: cascade: screened %d, escalated %d (%.1f%%), adjudicated %d, fallbacks %d; adjudicator %s: %d calls, %d in / %d out tokens, $%.4f\n",
-			total.Screened, total.Escalated, 100*total.EscalationRate(),
-			total.Adjudicated, total.Fallbacks, opts.cascade,
-			u.Calls, u.TokensIn, u.TokensOut, u.CostUSD)
+		obs.NewLogger(errw, obs.LevelInfo).With(obs.F("component", "mhscreen")).Info("cascade summary",
+			obs.F("screened", total.Screened),
+			obs.F("escalated", total.Escalated),
+			obs.F("escalation_rate", total.EscalationRate()),
+			obs.F("adjudicated", total.Adjudicated),
+			obs.F("fallbacks", total.Fallbacks),
+			obs.F("adjudicator", opts.cascade),
+			obs.F("calls", u.Calls),
+			obs.F("tokens_in", u.TokensIn),
+			obs.F("tokens_out", u.TokensOut),
+			obs.F("cost_usd", u.CostUSD),
+		)
 		return nil
 	}
 	switch {

@@ -254,9 +254,13 @@ func TestRunCascadeModes(t *testing.T) {
 		t.Error("full-width band produced no adjudicated reports")
 	}
 	for name, sum := range map[string]string{"line": lineSum.String(), "batch": batchSum.String()} {
-		if !strings.Contains(sum, "cascade: screened 3, escalated 3") ||
-			!strings.Contains(sum, "gpt-4-sim") {
-			t.Errorf("%s summary missing cascade accounting: %q", name, sum)
+		var m map[string]any
+		if err := json.Unmarshal([]byte(strings.TrimSpace(sum)), &m); err != nil {
+			t.Fatalf("%s summary is not one JSON log line: %v: %q", name, err, sum)
+		}
+		if m["screened"] != float64(3) || m["escalated"] != float64(3) ||
+			m["adjudicator"] != "gpt-4-sim" || m["component"] != "mhscreen" {
+			t.Errorf("%s summary missing cascade accounting: %v", name, m)
 		}
 	}
 

@@ -25,6 +25,7 @@
 //	DELETE /v1/users/{id}       discard the user's session
 //	GET    /healthz             liveness + uptime + in-flight count
 //	GET    /metrics             Prometheus text format
+//	GET    /debug/traces        retained request traces as JSON
 //
 // With -cascade <model>, screening runs the two-stage cascade: the
 // classifier rules on every post, and posts whose calibrated
@@ -32,6 +33,15 @@
 // escalated to a bounded pool (-adjudicators) of LLM adjudications,
 // with escalation rate, adjudication latency quantiles, fallbacks,
 // and adjudicator spend exposed as mh_cascade_* metrics.
+//
+// Observability: 1 in every -trace-sample screening requests is
+// recorded as a trace (admission wait, cache lookup, coalescer queue,
+// screening, adjudication, session stages); requests slower than
+// -trace-slow are always retained and logged. GET /debug/traces
+// serves the retained traces, per-stage latencies feed the
+// mh_stage_duration_seconds histograms, and logs are structured JSON
+// lines on stderr (-log-level). -debug-addr starts a separate
+// listener serving net/http/pprof, kept off the public port.
 //
 // Usage:
 //
@@ -49,12 +59,16 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	mhd "repro"
+	"repro/internal/obs"
 	"repro/internal/server"
 )
 
@@ -80,6 +94,11 @@ type options struct {
 	band            string
 	adjudicators    int
 	harden          bool
+	traceSample     int
+	traceSlow       time.Duration
+	traceRing       int
+	debugAddr       string
+	logLevel        string
 }
 
 func main() {
@@ -103,7 +122,17 @@ func main() {
 	flag.StringVar(&opts.band, "band", mhd.DefaultBand.String(), `cascade: calibrated-probability uncertainty band "lo,hi" — posts inside it escalate`)
 	flag.IntVar(&opts.adjudicators, "adjudicators", 4, "cascade: max concurrent LLM adjudications")
 	flag.BoolVar(&opts.harden, "harden", false, "fold homoglyphs, zero-width characters, and leetspeak before screening; with -cascade, suspicious posts escalate")
+	flag.IntVar(&opts.traceSample, "trace-sample", 16, "tracing: record 1 in this many screening requests (1 traces all, 0 disables; slow requests and sampled traceparent headers always trace)")
+	flag.DurationVar(&opts.traceSlow, "trace-slow", 250*time.Millisecond, "tracing: always retain and log requests at least this slow")
+	flag.IntVar(&opts.traceRing, "trace-ring", 64, "tracing: how many recent and slow traces /debug/traces retains")
+	flag.StringVar(&opts.debugAddr, "debug-addr", "", "serve net/http/pprof on this separate address (empty disables)")
+	flag.StringVar(&opts.logLevel, "log-level", "info", "log verbosity: debug, info, warn, or error")
+	version := flag.Bool("version", false, "print build information and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println("mhserve", obs.ReadBuild())
+		return
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -117,6 +146,15 @@ func main() {
 // drains gracefully. The bound address (useful with ":0") is sent on
 // ready when non-nil.
 func run(ctx context.Context, opts options, ready chan<- string, logw io.Writer) error {
+	level := obs.LevelInfo
+	if opts.logLevel != "" {
+		var err error
+		if level, err = obs.ParseLevel(opts.logLevel); err != nil {
+			return err
+		}
+	}
+	logger := obs.NewLogger(logw, level).With(obs.F("component", "mhserve"))
+
 	detOpts := []mhd.Option{
 		mhd.WithEngine(opts.engine),
 		mhd.WithSeed(opts.seed),
@@ -153,11 +191,30 @@ func run(ctx context.Context, opts options, ready chan<- string, logw io.Writer)
 			return err
 		}
 		if opts.sessionSnapshot != "" {
-			if err := restoreSessions(riskMon, opts.sessionSnapshot, logw); err != nil {
+			if err := restoreSessions(riskMon, opts.sessionSnapshot, logger); err != nil {
 				return err
 			}
 		}
 		mon = riskMon
+	}
+
+	if opts.debugAddr != "" {
+		// pprof lives on its own listener so profiling endpoints are
+		// never reachable through the public serving port.
+		dln, err := net.Listen("tcp", opts.debugAddr)
+		if err != nil {
+			return fmt.Errorf("debug listener: %w", err)
+		}
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		dsrv := &http.Server{Handler: dmux, ReadHeaderTimeout: 5 * time.Second}
+		go dsrv.Serve(dln)
+		defer dsrv.Close()
+		logger.Info("pprof debug listener up", obs.F("addr", dln.Addr().String()))
 	}
 
 	srv := server.New(det, mon, server.Config{
@@ -167,6 +224,10 @@ func run(ctx context.Context, opts options, ready chan<- string, logw io.Writer)
 		MaxInFlight: opts.inflight,
 		QueueWait:   opts.queueWait,
 		Cascade:     opts.cascade != "",
+		TraceSample: opts.traceSample,
+		TraceSlow:   opts.traceSlow,
+		TraceRing:   opts.traceRing,
+		Logger:      logger,
 	})
 	addr, errc, err := srv.Start(opts.addr)
 	if err != nil {
@@ -176,8 +237,16 @@ func run(ctx context.Context, opts options, ready chan<- string, logw io.Writer)
 	if opts.cascade != "" {
 		mode = "cascade:" + opts.cascade + " band=" + opts.band
 	}
-	fmt.Fprintf(logw, "mhserve: listening on %s (engine=%s mode=%s batch=%d/%s cache=%d inflight=%d)\n",
-		addr, opts.engine, mode, opts.maxBatch, opts.batchDelay, opts.cacheSize, opts.inflight)
+	logger.Info("listening",
+		obs.F("addr", addr),
+		obs.F("engine", opts.engine),
+		obs.F("mode", mode),
+		obs.F("max_batch", opts.maxBatch),
+		obs.F("batch_delay", opts.batchDelay),
+		obs.F("cache", opts.cacheSize),
+		obs.F("inflight", opts.inflight),
+		obs.F("trace_sample", opts.traceSample),
+	)
 	if ready != nil {
 		ready <- addr
 	}
@@ -187,7 +256,7 @@ func run(ctx context.Context, opts options, ready chan<- string, logw io.Writer)
 		return err
 	case <-ctx.Done():
 	}
-	fmt.Fprintln(logw, "mhserve: draining...")
+	logger.Info("draining")
 	sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(sctx); err != nil {
@@ -196,7 +265,7 @@ func run(ctx context.Context, opts options, ready chan<- string, logw io.Writer)
 	// Shutdown returned, so the store is quiescent: snapshot it for
 	// the next boot.
 	if riskMon != nil && opts.sessionSnapshot != "" {
-		if err := snapshotSessions(riskMon, opts.sessionSnapshot, logw); err != nil {
+		if err := snapshotSessions(riskMon, opts.sessionSnapshot, logger); err != nil {
 			return err
 		}
 	}
@@ -205,7 +274,7 @@ func run(ctx context.Context, opts options, ready chan<- string, logw io.Writer)
 
 // restoreSessions loads a session snapshot written by a previous
 // run; a missing file is a normal first boot.
-func restoreSessions(mon *mhd.RiskMonitor, path string, logw io.Writer) error {
+func restoreSessions(mon *mhd.RiskMonitor, path string, logger *obs.Logger) error {
 	f, err := os.Open(path)
 	if err != nil {
 		if os.IsNotExist(err) {
@@ -217,14 +286,14 @@ func restoreSessions(mon *mhd.RiskMonitor, path string, logw io.Writer) error {
 	if err := mon.RestoreSessions(f); err != nil {
 		return fmt.Errorf("restoring %s: %w", path, err)
 	}
-	fmt.Fprintf(logw, "mhserve: restored %d sessions from %s\n",
-		mon.SessionStats().Restored, path)
+	logger.Info("sessions restored",
+		obs.F("count", mon.SessionStats().Restored), obs.F("path", path))
 	return nil
 }
 
 // snapshotSessions writes the store to path via a temp file + rename
 // so a crash mid-write cannot corrupt the previous snapshot.
-func snapshotSessions(mon *mhd.RiskMonitor, path string, logw io.Writer) error {
+func snapshotSessions(mon *mhd.RiskMonitor, path string, logger *obs.Logger) error {
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {
@@ -243,7 +312,7 @@ func snapshotSessions(mon *mhd.RiskMonitor, path string, logw io.Writer) error {
 		os.Remove(tmp)
 		return err
 	}
-	fmt.Fprintf(logw, "mhserve: snapshotted %d sessions to %s\n",
-		mon.SessionStats().Active, path)
+	logger.Info("sessions snapshotted",
+		obs.F("count", mon.SessionStats().Active), obs.F("path", path))
 	return nil
 }

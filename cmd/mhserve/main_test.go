@@ -29,10 +29,18 @@ type wireReport = server.WireReport
 // base URL plus a shutdown func that asserts a clean drain.
 func bootServer(t *testing.T, opts options) (string, func()) {
 	t.Helper()
+	return bootServerTo(t, opts, io.Discard)
+}
+
+// bootServerTo is bootServer with the log stream captured: logw
+// receives the server's structured JSON log lines (the obs.Logger
+// serializes writes, so a plain bytes.Buffer is a safe target).
+func bootServerTo(t *testing.T, opts options, logw io.Writer) (string, func()) {
+	t.Helper()
 	ctx, cancel := context.WithCancel(context.Background())
 	ready := make(chan string, 1)
 	done := make(chan error, 1)
-	go func() { done <- run(ctx, opts, ready, io.Discard) }()
+	go func() { done <- run(ctx, opts, ready, logw) }()
 	var addr string
 	select {
 	case addr = <-ready:
@@ -524,4 +532,199 @@ func TestServeCascadeEndToEnd(t *testing.T) {
 	if p99 := metricValue(t, base, "mh_cascade_adjudication_seconds_p99"); p99 <= 0 {
 		t.Errorf("adjudication p99 %v, want > 0", p99)
 	}
+}
+
+// TestServeTraceEndToEnd is the observability acceptance test: a
+// cascade-escalated screening request carrying a W3C traceparent
+// header must come back with the trace recorded end to end — the
+// response echoes the caller's trace ID, GET /debug/traces serves a
+// trace under that ID whose spans cover admission, the coalescer
+// queue, screening, and adjudication with durations that fit inside
+// the observed wall time, and (with -trace-slow forced to 1ns) the
+// structured slow-request log carries the same trace ID.
+func TestServeTraceEndToEnd(t *testing.T) {
+	opts := options{
+		addr: "127.0.0.1:0", engine: "baseline", seed: 1, train: 600,
+		maxBatch: 8, batchDelay: time.Millisecond,
+		cacheSize: -1, // no cache: the request must ride every traced stage
+		inflight:  8, threshold: 1.5, noAssess: true,
+		cascade: "gpt-4-sim", band: "0,1", adjudicators: 2,
+		traceSample: 1, traceSlow: time.Nanosecond, traceRing: 16,
+	}
+	var logs bytes.Buffer
+	base, shutdown := bootServerTo(t, opts, &logs)
+	defer shutdown()
+
+	const (
+		wantTrace   = "4bf92f3577b34da6a3ce929d0e0e4736"
+		traceparent = "00-" + wantTrace + "-00f067aa0ba902b7-01"
+	)
+	body, err := json.Marshal(map[string]string{"text": "i feel hopeless and empty lately"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, base+"/v1/screen", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("traceparent", traceparent)
+	t0 := time.Now()
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	wall := time.Since(t0).Seconds()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, out)
+	}
+	var rep wireReport
+	if err := json.Unmarshal(out, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Adjudicated {
+		t.Fatal("band 0,1 served an unadjudicated verdict; the trace cannot carry adjudication spans")
+	}
+
+	// The response joins the caller's trace: same trace ID, a fresh
+	// span ID, sampled flag set.
+	echo := resp.Header.Get("traceparent")
+	if !strings.HasPrefix(echo, "00-"+wantTrace+"-") || !strings.HasSuffix(echo, "-01") {
+		t.Errorf("response traceparent = %q, want trace %s sampled", echo, wantTrace)
+	}
+	if echo == traceparent {
+		t.Error("response traceparent reused the caller's span ID")
+	}
+
+	// The root span seals after the handler returns, so the retained
+	// trace and the slow log can land just after the client sees the
+	// response — poll briefly.
+	var trace struct {
+		TraceID         string     `json:"trace_id"`
+		Name            string     `json:"name"`
+		DurationSeconds float64    `json:"duration_seconds"`
+		Slow            bool       `json:"slow"`
+		Spans           []wireSpan `json:"spans"`
+	}
+	found := false
+	for deadline := time.Now().Add(5 * time.Second); time.Now().Before(deadline); time.Sleep(10 * time.Millisecond) {
+		r2, raw := getURL(t, base+"/debug/traces")
+		if r2.StatusCode != http.StatusOK {
+			t.Fatalf("debug/traces: status %d: %s", r2.StatusCode, raw)
+		}
+		var dump struct {
+			Recent []json.RawMessage `json:"recent"`
+			Slow   []json.RawMessage `json:"slow"`
+		}
+		if err := json.Unmarshal(raw, &dump); err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range dump.Slow {
+			if err := json.Unmarshal(m, &trace); err != nil {
+				t.Fatal(err)
+			}
+			if trace.TraceID == wantTrace {
+				found = true
+				break
+			}
+		}
+		if found {
+			break
+		}
+	}
+	if !found {
+		t.Fatalf("trace %s never appeared in the slow ring", wantTrace)
+	}
+	if trace.Name != "screen" || !trace.Slow {
+		t.Errorf("trace = %q slow=%v, want endpoint screen retained as slow", trace.Name, trace.Slow)
+	}
+
+	// The stage spans run back to back on the request path, so their
+	// durations sum to at most the trace's wall time, which in turn
+	// fits inside the client-observed wall time. The root span (the
+	// whole request, named after the endpoint — its parent is the
+	// caller's remote span, not anything in the trace) is excluded so
+	// the endpoint name does not double-count the screen stage.
+	ids := map[string]bool{}
+	for _, s := range trace.Spans {
+		ids[s.SpanID] = true
+	}
+	stages := map[string]float64{}
+	for _, s := range trace.Spans {
+		if s.DurationSeconds < 0 {
+			t.Errorf("span %s has negative duration %v", s.Name, s.DurationSeconds)
+		}
+		if !ids[s.ParentID] { // root: parent is the caller's span
+			continue
+		}
+		stages[s.Name] += s.DurationSeconds
+	}
+	sum := 0.0
+	for _, name := range []string{"admission", "coalesce_queue", "screen", "adjudication_wait", "adjudication"} {
+		d, ok := stages[name]
+		if !ok {
+			t.Errorf("trace has no %s span (spans: %v)", name, spanNames(trace.Spans))
+			continue
+		}
+		sum += d
+	}
+	if sum > trace.DurationSeconds {
+		t.Errorf("stage durations sum to %v > trace duration %v", sum, trace.DurationSeconds)
+	}
+	if trace.DurationSeconds > wall {
+		t.Errorf("trace duration %v > observed wall time %v", trace.DurationSeconds, wall)
+	}
+
+	// The slow-request log line correlates to the same trace.
+	logged := false
+	for deadline := time.Now().Add(5 * time.Second); time.Now().Before(deadline) && !logged; time.Sleep(10 * time.Millisecond) {
+		for _, line := range strings.Split(logs.String(), "\n") {
+			if line == "" {
+				continue
+			}
+			var entry map[string]any
+			if err := json.Unmarshal([]byte(line), &entry); err != nil {
+				t.Fatalf("malformed log line %q: %v", line, err)
+			}
+			if entry["msg"] != "slow request" {
+				continue
+			}
+			if entry["trace"] != wantTrace {
+				t.Fatalf("slow request logged trace %v, want %s", entry["trace"], wantTrace)
+			}
+			if entry["level"] != "warn" || entry["component"] != "mhserve" || entry["endpoint"] != "screen" {
+				t.Fatalf("slow log line %q missing level/component/endpoint fields", line)
+			}
+			if d, ok := entry["duration_seconds"].(float64); !ok || d <= 0 || d > wall {
+				t.Fatalf("slow log duration_seconds = %v, want in (0, %v]", entry["duration_seconds"], wall)
+			}
+			logged = true
+			break
+		}
+	}
+	if !logged {
+		t.Error("no slow-request log line for the traced request")
+	}
+}
+
+// wireSpan mirrors the obs.SpanRecord fields this test reads.
+type wireSpan struct {
+	Name            string  `json:"name"`
+	SpanID          string  `json:"span_id"`
+	ParentID        string  `json:"parent_id"`
+	DurationSeconds float64 `json:"duration_seconds"`
+}
+
+// spanNames lists span names for failure messages.
+func spanNames(spans []wireSpan) []string {
+	out := make([]string, len(spans))
+	for i, s := range spans {
+		out[i] = s.Name
+	}
+	return out
 }

@@ -16,6 +16,7 @@ import (
 	"repro/internal/domain"
 	"repro/internal/lexicon"
 	"repro/internal/llm"
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/prompting"
 	"repro/internal/task"
@@ -421,7 +422,7 @@ func (d *Detector) Screen(text string) (Report, error) {
 	if sc == nil {
 		sc = d.newScratch()
 	}
-	rep, _, err := d.screen(text, sc)
+	rep, _, err := d.screen(text, sc, nil)
 	d.scratch.Put(sc)
 	return rep, err
 }
@@ -431,7 +432,10 @@ func (d *Detector) Screen(text string) (Report, error) {
 // softmax score — which the cascade calibrates to decide escalation
 // (the Report's own Confidence may have been remapped to the control
 // class by the guardrails below and is useless for routing).
-func (d *Detector) screen(text string, sc *screenScratch) (Report, float64, error) {
+// sp, when non-nil, is this post's trace span; the hardening pass is
+// recorded as a "harden" child. A nil span keeps the path
+// zero-allocation.
+func (d *Detector) screen(text string, sc *screenScratch, sp *obs.Span) (Report, float64, error) {
 	if text == "" {
 		return Report{}, 0, fmt.Errorf("mhd: empty text")
 	}
@@ -443,7 +447,9 @@ func (d *Detector) screen(text string, sc *screenScratch) (Report, float64, erro
 	// zero-width, leet, emoji) and counts the rewrites.
 	rewrites := 0
 	if sc.hard != nil {
+		hsp := sp.Child("harden")
 		sc.tokens, rewrites = sc.hard.AppendNormalizedWords(sc.tokens[:0], text)
+		hsp.End()
 	} else {
 		sc.tokens = textkit.AppendNormalizedWords(sc.tokens[:0], text)
 	}
@@ -593,9 +599,15 @@ func (d *Detector) ScreenBatchContext(ctx context.Context, texts []string) ([]Re
 	for i := range scratch {
 		scratch[i] = d.newScratch()
 	}
-	reports, err := pipeline.Map(ctx, texts, pipeline.Config{Workers: workers},
-		func(shard int, text string) (Report, error) {
-			rep, _, err := d.screen(text, scratch[shard])
+	// Per-item trace spans, when the caller (the serving coalescer)
+	// attached any to ctx: each post's screening is recorded as a
+	// "screen" span on that post's request trace.
+	spans := obs.BatchFromContext(ctx)
+	reports, err := pipeline.MapIndexed(ctx, texts, pipeline.Config{Workers: workers},
+		func(shard, i int, text string) (Report, error) {
+			sp := spans.At(i).Child("screen")
+			rep, _, err := d.screen(text, scratch[shard], sp)
+			sp.End()
 			return rep, err
 		})
 	var ie *pipeline.ItemError
@@ -633,7 +645,7 @@ func (d *Detector) ScreenStream(ctx context.Context, posts <-chan string) <-chan
 	}
 	results := pipeline.Stream(ctx, posts, pipeline.Config{Workers: workers},
 		func(shard int, text string) (screened, error) {
-			rep, _, err := d.screen(text, scratch[shard])
+			rep, _, err := d.screen(text, scratch[shard], nil)
 			return screened{text: text, rep: rep}, err
 		})
 	out := make(chan StreamReport)
@@ -709,9 +721,10 @@ func (d *Detector) ScreenCascadeContext(ctx context.Context, texts []string) ([]
 	if d.harden {
 		gate = cascade.NewSuspicionGate(int(math.Ceil(d.suspicionRate * float64(len(texts)))))
 	}
-	reports, err := pipeline.Map(ctx, texts, pipeline.Config{Workers: workers},
-		func(shard int, text string) (Report, error) {
-			return d.screenCascade(ctx, text, scratch[shard], col, gate)
+	spans := obs.BatchFromContext(ctx)
+	reports, err := pipeline.MapIndexed(ctx, texts, pipeline.Config{Workers: workers},
+		func(shard, i int, text string) (Report, error) {
+			return d.screenCascade(ctx, text, scratch[shard], col, gate, spans.At(i))
 		})
 	stats := col.Stats()
 	var ie *pipeline.ItemError
@@ -725,8 +738,13 @@ func (d *Detector) ScreenCascadeContext(ctx context.Context, texts []string) ([]
 // scratch. The adjudication happens while this worker still owns sc,
 // so sc.matches (this post's lexicon matches) stays valid for
 // grounding the adjudicator's verdict.
-func (d *Detector) screenCascade(ctx context.Context, text string, sc *screenScratch, col *cascade.Collector, gate *cascade.SuspicionGate) (Report, error) {
-	rep, top, err := d.screen(text, sc)
+// sp, when non-nil, is the post's request span: stage 1 is recorded
+// as a "screen" child and an escalation adds the pool's
+// adjudication_wait/adjudication children.
+func (d *Detector) screenCascade(ctx context.Context, text string, sc *screenScratch, col *cascade.Collector, gate *cascade.SuspicionGate, sp *obs.Span) (Report, error) {
+	ssp := sp.Child("screen")
+	rep, top, err := d.screen(text, sc, ssp)
+	ssp.End()
 	if err != nil {
 		return Report{}, err
 	}
@@ -747,7 +765,7 @@ func (d *Detector) screenCascade(ctx context.Context, text string, sc *screenScr
 		col.Observe(cascade.Kept, 0)
 		return rep, nil
 	}
-	pred, lat, aerr := d.adjPool.Adjudicate(ctx, text)
+	pred, lat, aerr := d.adjPool.Adjudicate(ctx, text, sp)
 	if aerr != nil {
 		// Cancellation aborts the batch; an adjudicator failure is
 		// isolated to this post and the stage-1 verdict stands.

@@ -9,6 +9,7 @@ import (
 	"repro/internal/domain"
 	"repro/internal/early"
 	"repro/internal/eval"
+	"repro/internal/obs"
 	"repro/internal/session"
 )
 
@@ -123,13 +124,21 @@ type SessionStats = session.Stats
 // Assess: risk evidence accumulates across calls instead of
 // requiring the full history at once.
 func (m *RiskMonitor) Observe(user, post string) (RiskState, error) {
+	return m.ObserveTraced(user, post, nil)
+}
+
+// ObserveTraced is Observe with request tracing: the classifier
+// signal and the session fold are recorded as children of sp (see
+// session.Store.ObserveTraced). A nil span costs nothing, so Observe
+// simply delegates here.
+func (m *RiskMonitor) ObserveTraced(user, post string, sp *obs.Span) (RiskState, error) {
 	if user == "" {
 		return RiskState{}, inputErrf("Observe", "empty user id")
 	}
 	if post == "" {
 		return RiskState{}, inputErrf("Observe", "empty post")
 	}
-	st, err := m.sessions.Observe(user, post)
+	st, err := m.sessions.ObserveTraced(user, post, sp)
 	if err != nil {
 		return RiskState{}, err
 	}

@@ -18,6 +18,11 @@
 //     (the robustness eval's macro-F1 losses under perturbation) are
 //     clamped differences of probabilities-scaled scores, so a value
 //     outside the unit interval means the eval recorded garbage
+//   - every "*_overhead_pct" key, when present, a number in [0, 100]
+//     — overheads (the tracing on-vs-off cost) are clamped relative
+//     slowdowns in percent; a value outside [0, 100] means the paired
+//     measurement is broken, and one approaching 100 means the
+//     feature doubles the cost of the path it instruments
 //
 // Usage: go run ./internal/benchcheck BENCH_serve.json ...
 package main
@@ -94,6 +99,11 @@ func checkFile(path string) error {
 			drop, ok := v.(float64)
 			if !ok || drop < 0 || drop > 1 {
 				return fmt.Errorf("%q must be a number in [0,1], got %v", key, v)
+			}
+		case strings.HasSuffix(key, "_overhead_pct"):
+			pct, ok := v.(float64)
+			if !ok || pct < 0 || pct > 100 {
+				return fmt.Errorf("%q must be a number in [0,100], got %v", key, v)
 			}
 		}
 	}

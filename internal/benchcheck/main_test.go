@@ -50,6 +50,12 @@ func TestBenchcheck(t *testing.T) {
 		{"negative drop", `{"benchmark":"X","gomaxprocs":1,"posts_per_sec":5,"hardened_drop":-0.2}`, 1},
 		{"drop above one", `{"benchmark":"X","gomaxprocs":1,"posts_per_sec":5,"robustness_drop":1.01}`, 1},
 		{"string drop", `{"benchmark":"X","gomaxprocs":1,"posts_per_sec":5,"robustness_drop":"small"}`, 1},
+		{"zero overhead is legal", `{"benchmark":"X","gomaxprocs":1,"posts_per_sec":5,"tracing_overhead_pct":0}`, 0},
+		{"fractional overhead is legal", `{"benchmark":"X","gomaxprocs":1,"posts_per_sec":5,"tracing_overhead_pct":2.4}`, 0},
+		{"full overhead is legal", `{"benchmark":"X","gomaxprocs":1,"posts_per_sec":5,"tracing_overhead_pct":100}`, 0},
+		{"negative overhead", `{"benchmark":"X","gomaxprocs":1,"posts_per_sec":5,"tracing_overhead_pct":-1}`, 1},
+		{"overhead above 100", `{"benchmark":"X","gomaxprocs":1,"posts_per_sec":5,"tracing_overhead_pct":250}`, 1},
+		{"string overhead", `{"benchmark":"X","gomaxprocs":1,"posts_per_sec":5,"tracing_overhead_pct":"tiny"}`, 1},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -49,3 +49,23 @@ func Write(name string, doc map[string]any) (string, error) {
 	}
 	return path, nil
 }
+
+// Read decodes <repo root>/<name> previously written by Write, so a
+// benchmark can merge new keys into a trajectory file another
+// benchmark in the same run started (e.g. the tracing-overhead figure
+// joining the serving throughput record).
+func Read(name string) (map[string]any, error) {
+	root, ok := RepoRoot()
+	if !ok {
+		return nil, fmt.Errorf("benchio: repo root not found from working directory")
+	}
+	buf, err := os.ReadFile(filepath.Join(root, name))
+	if err != nil {
+		return nil, err
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf, &doc); err != nil {
+		return nil, fmt.Errorf("benchio: %s: %w", name, err)
+	}
+	return doc, nil
+}

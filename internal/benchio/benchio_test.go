@@ -38,4 +38,15 @@ func TestWriteRoundTrips(t *testing.T) {
 	if buf[len(buf)-1] != '\n' {
 		t.Error("missing trailing newline")
 	}
+
+	got, err := Read(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["benchmark"] != "T" || got["x_per_sec"] != 1.5 {
+		t.Errorf("Read = %v", got)
+	}
+	if _, err := Read("BENCH_benchio_absent.json"); err == nil {
+		t.Error("Read of a missing file did not error")
+	}
 }

@@ -22,6 +22,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/task"
 )
 
@@ -95,19 +96,30 @@ func NewPool(clf task.Classifier, size int) (*Pool, error) {
 // returned duration is the wall time of the adjudication (slot wait
 // excluded — queueing is backpressure, not adjudicator latency). On
 // ctx cancellation while queued it returns ctx's error immediately.
-func (p *Pool) Adjudicate(ctx context.Context, text string) (task.Prediction, time.Duration, error) {
+//
+// sp, when non-nil, is the post's trace span: the slot wait and the
+// LLM call are recorded as separate child spans ("adjudication_wait"
+// vs "adjudication"), so a trace distinguishes pool backpressure from
+// adjudicator latency. A nil span costs nothing.
+func (p *Pool) Adjudicate(ctx context.Context, text string, sp *obs.Span) (task.Prediction, time.Duration, error) {
+	wait := sp.Child("adjudication_wait")
 	select {
 	case p.sem <- struct{}{}:
 	case <-ctx.Done():
+		wait.End()
 		return task.Prediction{}, 0, ctx.Err()
 	}
+	wait.End()
 	defer func() { <-p.sem }()
 	if err := ctx.Err(); err != nil {
 		return task.Prediction{}, 0, err
 	}
+	call := sp.Child("adjudication")
 	t0 := time.Now()
 	pred, err := p.clf.Predict(text)
-	return pred, time.Since(t0), err
+	d := time.Since(t0)
+	call.End()
+	return pred, d, err
 }
 
 // Outcome classifies what the cascade did with one post.

@@ -104,7 +104,7 @@ func TestPoolBoundsConcurrency(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			if _, _, err := p.Adjudicate(context.Background(), fmt.Sprintf("post %d", i)); err != nil {
+			if _, _, err := p.Adjudicate(context.Background(), fmt.Sprintf("post %d", i), nil); err != nil {
 				t.Errorf("adjudicate: %v", err)
 			}
 		}(i)
@@ -129,14 +129,14 @@ func TestPoolAdjudicateHonorsContextWhileQueued(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Occupy the only slot.
-	go p.Adjudicate(context.Background(), "occupier")
+	go p.Adjudicate(context.Background(), "occupier", nil)
 	deadline := time.Now().Add(2 * time.Second)
 	for g.active.Load() < 1 && time.Now().Before(deadline) {
 		time.Sleep(time.Millisecond)
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	if _, _, err := p.Adjudicate(ctx, "queued"); !errors.Is(err, context.Canceled) {
+	if _, _, err := p.Adjudicate(ctx, "queued", nil); !errors.Is(err, context.Canceled) {
 		t.Fatalf("queued adjudicate: err = %v, want context.Canceled", err)
 	}
 }
@@ -154,7 +154,7 @@ func TestPoolSurfacesClassifierError(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := p.Adjudicate(context.Background(), "post"); err == nil {
+	if _, _, err := p.Adjudicate(context.Background(), "post", nil); err == nil {
 		t.Fatal("expected classifier error to surface")
 	}
 }

@@ -1,0 +1,265 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Level is a log severity.
+type Level int
+
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+)
+
+// String renders the level in the lowercase form log lines carry.
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "debug"
+	case LevelInfo:
+		return "info"
+	case LevelWarn:
+		return "warn"
+	case LevelError:
+		return "error"
+	default:
+		return "level(" + strconv.Itoa(int(l)) + ")"
+	}
+}
+
+// ParseLevel parses a -log-level flag value.
+func ParseLevel(s string) (Level, error) {
+	switch s {
+	case "debug":
+		return LevelDebug, nil
+	case "info":
+		return LevelInfo, nil
+	case "warn", "warning":
+		return LevelWarn, nil
+	case "error":
+		return LevelError, nil
+	}
+	return 0, fmt.Errorf(`obs: unknown log level %q (want debug, info, warn, or error)`, s)
+}
+
+// Field is one structured key/value pair on a log line.
+type Field struct {
+	Key   string
+	Value any
+}
+
+// F builds a Field.
+func F(key string, value any) Field { return Field{Key: key, Value: value} }
+
+// Logger writes leveled JSON-lines logs: one object per line with
+// "ts", "level", and "msg" plus the line's fields. Safe for
+// concurrent use (lines are written atomically under one writer
+// lock); every method is safe and free on a nil receiver, so wiring
+// no logger disables logging outright.
+type Logger struct {
+	mu    *sync.Mutex // shared with With-derived children: one writer lock
+	w     io.Writer
+	level Level
+	base  []Field
+	now   func() time.Time // test hook
+}
+
+// NewLogger builds a logger emitting lines at or above level to w.
+func NewLogger(w io.Writer, level Level) *Logger {
+	return &Logger{mu: &sync.Mutex{}, w: w, level: level, now: time.Now}
+}
+
+// With returns a child logger whose lines all carry fields.
+func (l *Logger) With(fields ...Field) *Logger {
+	if l == nil {
+		return nil
+	}
+	child := *l
+	child.base = append(append([]Field(nil), l.base...), fields...)
+	return &child
+}
+
+// Enabled reports whether lines at lv would be written.
+func (l *Logger) Enabled(lv Level) bool { return l != nil && lv >= l.level }
+
+// Debug logs at debug level.
+func (l *Logger) Debug(msg string, fields ...Field) { l.log(LevelDebug, msg, fields) }
+
+// Info logs at info level.
+func (l *Logger) Info(msg string, fields ...Field) { l.log(LevelInfo, msg, fields) }
+
+// Warn logs at warn level.
+func (l *Logger) Warn(msg string, fields ...Field) { l.log(LevelWarn, msg, fields) }
+
+// Error logs at error level.
+func (l *Logger) Error(msg string, fields ...Field) { l.log(LevelError, msg, fields) }
+
+func (l *Logger) log(lv Level, msg string, fields []Field) {
+	if !l.Enabled(lv) {
+		return
+	}
+	buf := make([]byte, 0, 256)
+	buf = append(buf, `{"ts":"`...)
+	buf = l.now().UTC().AppendFormat(buf, time.RFC3339Nano)
+	buf = append(buf, `","level":"`...)
+	buf = append(buf, lv.String()...)
+	buf = append(buf, `","msg":`...)
+	buf = appendJSONString(buf, msg)
+	for _, f := range l.base {
+		buf = appendField(buf, f)
+	}
+	for _, f := range fields {
+		buf = appendField(buf, f)
+	}
+	buf = append(buf, '}', '\n')
+	l.mu.Lock()
+	l.w.Write(buf)
+	l.mu.Unlock()
+}
+
+// appendField renders ,"key":value with a JSON encoding per dynamic
+// type. Durations render as float seconds so log lines stay
+// machine-comparable with the *_seconds metrics.
+func appendField(buf []byte, f Field) []byte {
+	buf = append(buf, ',')
+	buf = appendJSONString(buf, f.Key)
+	buf = append(buf, ':')
+	switch v := f.Value.(type) {
+	case nil:
+		return append(buf, "null"...)
+	case string:
+		return appendJSONString(buf, v)
+	case bool:
+		return strconv.AppendBool(buf, v)
+	case int:
+		return strconv.AppendInt(buf, int64(v), 10)
+	case int64:
+		return strconv.AppendInt(buf, v, 10)
+	case uint64:
+		return strconv.AppendUint(buf, v, 10)
+	case float64:
+		return appendJSONFloat(buf, v)
+	case time.Duration:
+		return appendJSONFloat(buf, v.Seconds())
+	case time.Time:
+		buf = append(buf, '"')
+		buf = v.UTC().AppendFormat(buf, time.RFC3339Nano)
+		return append(buf, '"')
+	case error:
+		if v == nil {
+			return append(buf, "null"...)
+		}
+		return appendJSONString(buf, v.Error())
+	case fmt.Stringer:
+		if v == nil {
+			return append(buf, "null"...)
+		}
+		return appendJSONString(buf, v.String())
+	default:
+		return appendJSONString(buf, fmt.Sprintf("%v", v))
+	}
+}
+
+// appendJSONFloat renders a float, quoting the values JSON numbers
+// cannot carry.
+func appendJSONFloat(buf []byte, v float64) []byte {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		buf = append(buf, '"')
+		buf = strconv.AppendFloat(buf, v, 'g', -1, 64)
+		return append(buf, '"')
+	}
+	return strconv.AppendFloat(buf, v, 'g', -1, 64)
+}
+
+const hexDigits = "0123456789abcdef"
+
+// appendJSONString renders a JSON string literal. UTF-8 passes
+// through unescaped; control characters, quotes, and backslashes are
+// escaped per RFC 8259.
+func appendJSONString(buf []byte, s string) []byte {
+	buf = append(buf, '"')
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '"' || c == '\\':
+			buf = append(buf, '\\', c)
+		case c == '\n':
+			buf = append(buf, '\\', 'n')
+		case c == '\r':
+			buf = append(buf, '\\', 'r')
+		case c == '\t':
+			buf = append(buf, '\\', 't')
+		case c < 0x20:
+			buf = append(buf, '\\', 'u', '0', '0', hexDigits[c>>4], hexDigits[c&0xf])
+		default:
+			buf = append(buf, c)
+		}
+	}
+	return append(buf, '"')
+}
+
+// RateLimiter is a token bucket bounding noisy log paths (the
+// slow-request log): Allow refills at the configured rate up to the
+// burst and reports whether one event may proceed. Safe for
+// concurrent use; a nil limiter allows everything.
+type RateLimiter struct {
+	mu         sync.Mutex
+	rate       float64 // tokens per second
+	burst      float64
+	tokens     float64
+	last       time.Time
+	now        func() time.Time // test hook
+	suppressed atomic.Int64
+}
+
+// NewRateLimiter builds a limiter refilling perSec tokens per second
+// with the given burst capacity (both clamped to at least 1 event).
+func NewRateLimiter(perSec float64, burst int) *RateLimiter {
+	if perSec <= 0 {
+		perSec = 1
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	return &RateLimiter{rate: perSec, burst: float64(burst), tokens: float64(burst), now: time.Now}
+}
+
+// Allow consumes one token, reporting whether the event may proceed.
+func (r *RateLimiter) Allow() bool {
+	if r == nil {
+		return true
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	now := r.now()
+	if !r.last.IsZero() {
+		r.tokens += now.Sub(r.last).Seconds() * r.rate
+		if r.tokens > r.burst {
+			r.tokens = r.burst
+		}
+	}
+	r.last = now
+	if r.tokens < 1 {
+		r.suppressed.Add(1)
+		return false
+	}
+	r.tokens--
+	return true
+}
+
+// Suppressed returns how many events Allow has rejected.
+func (r *RateLimiter) Suppressed() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.suppressed.Load()
+}

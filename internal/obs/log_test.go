@@ -1,0 +1,179 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// decodeLines decodes each JSON log line into a map.
+func decodeLines(t *testing.T, buf *bytes.Buffer) []map[string]any {
+	t.Helper()
+	var out []map[string]any
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		if line == "" {
+			continue
+		}
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("log line is not valid JSON: %v\n%s", err, line)
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+func TestLoggerJSONLines(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, LevelDebug)
+	l.now = func() time.Time { return time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC) }
+	l.Info("listening",
+		F("addr", ":8080"),
+		F("inflight", 256),
+		F("ratio", 0.75),
+		F("delay", 2*time.Millisecond),
+		F("ok", true),
+		F("err", errors.New("boom")),
+		F("nan", math.NaN()),
+		F("quote", `a "b" \c`+"\n\x01"),
+	)
+	lines := decodeLines(t, &buf)
+	if len(lines) != 1 {
+		t.Fatalf("got %d lines, want 1", len(lines))
+	}
+	m := lines[0]
+	if m["ts"] != "2026-08-07T12:00:00Z" || m["level"] != "info" || m["msg"] != "listening" {
+		t.Errorf("envelope = %v", m)
+	}
+	if m["addr"] != ":8080" || m["inflight"] != float64(256) || m["ratio"] != 0.75 ||
+		m["delay"] != 0.002 || m["ok"] != true || m["err"] != "boom" {
+		t.Errorf("fields = %v", m)
+	}
+	if m["nan"] != "NaN" {
+		t.Errorf("NaN rendered as %v, want the quoted string", m["nan"])
+	}
+	if m["quote"] != `a "b" \c`+"\n\x01" {
+		t.Errorf("escaping round trip failed: %q", m["quote"])
+	}
+}
+
+func TestLoggerLevels(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, LevelWarn)
+	l.Debug("d")
+	l.Info("i")
+	l.Warn("w")
+	l.Error("e")
+	lines := decodeLines(t, &buf)
+	if len(lines) != 2 || lines[0]["level"] != "warn" || lines[1]["level"] != "error" {
+		t.Fatalf("LevelWarn logger emitted %v", lines)
+	}
+	if l.Enabled(LevelInfo) || !l.Enabled(LevelError) {
+		t.Error("Enabled disagrees with filtering")
+	}
+}
+
+func TestLoggerWith(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, LevelInfo).With(F("component", "mhserve"))
+	l.Info("hello", F("x", 1))
+	lines := decodeLines(t, &buf)
+	if lines[0]["component"] != "mhserve" || lines[0]["x"] != float64(1) {
+		t.Fatalf("With fields missing: %v", lines[0])
+	}
+}
+
+func TestLoggerNilSafe(t *testing.T) {
+	var l *Logger
+	l.Info("nothing happens")
+	l.With(F("a", 1)).Error("still nothing")
+	if l.Enabled(LevelError) {
+		t.Error("nil logger claims enabled")
+	}
+}
+
+func TestLoggerConcurrentLinesAtomic(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, LevelInfo)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				l.Info("line", F("g", g), F("i", i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	lines := decodeLines(t, &buf)
+	if len(lines) != 400 {
+		t.Fatalf("got %d intact lines, want 400", len(lines))
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for s, want := range map[string]Level{
+		"debug": LevelDebug, "info": LevelInfo,
+		"warn": LevelWarn, "warning": LevelWarn, "error": LevelError,
+	} {
+		got, err := ParseLevel(s)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Error("ParseLevel accepted garbage")
+	}
+}
+
+func TestRateLimiter(t *testing.T) {
+	r := NewRateLimiter(1, 2)
+	now := time.Unix(0, 0)
+	r.now = func() time.Time { return now }
+	if !r.Allow() || !r.Allow() {
+		t.Fatal("burst of 2 not allowed")
+	}
+	if r.Allow() {
+		t.Fatal("third immediate event allowed past the burst")
+	}
+	now = now.Add(1500 * time.Millisecond) // refills 1.5 tokens
+	if !r.Allow() {
+		t.Fatal("refilled token not allowed")
+	}
+	if r.Allow() {
+		t.Fatal("half a token allowed")
+	}
+	if r.Suppressed() != 2 {
+		t.Errorf("Suppressed = %d, want 2", r.Suppressed())
+	}
+	var nilLim *RateLimiter
+	if !nilLim.Allow() || nilLim.Suppressed() != 0 {
+		t.Error("nil limiter must allow everything")
+	}
+}
+
+func TestRuntimeStatsAndBuild(t *testing.T) {
+	rs := ReadRuntimeStats()
+	if rs.Goroutines < 1 || rs.GOMAXPROCS < 1 || rs.HeapAllocBytes == 0 {
+		t.Errorf("implausible runtime stats: %+v", rs)
+	}
+	b := ReadBuild()
+	if b.GoVersion == "" || b.Version == "" || b.Revision == "" || b.Path == "" {
+		t.Errorf("build info has empty fields: %+v", b)
+	}
+	if s := b.String(); !strings.Contains(s, b.GoVersion) {
+		t.Errorf("Build.String() = %q missing go version", s)
+	}
+	if got := quantileSorted([]float64{1, 2, 3, 4}, 0.5); got != 2 {
+		t.Errorf("quantileSorted p50 of 1..4 = %g, want 2", got)
+	}
+	if got := quantileSorted([]float64{7}, 0.99); got != 7 {
+		t.Errorf("quantileSorted single sample = %g, want 7", got)
+	}
+}

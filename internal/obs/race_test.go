@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestConcurrentTracesDoNotInterleave is the -race property test for
+// the tracer: many goroutines complete traces concurrently — each
+// with concurrently-ending child spans — and every retained trace
+// must contain exactly its own spans (every span name carries its
+// trace's identity, so a single foreign span proves interleaving),
+// while both retention rings hold their capacity bound under the
+// storm.
+func TestConcurrentTracesDoNotInterleave(t *testing.T) {
+	const (
+		goroutines     = 8
+		tracesPerG     = 50
+		childrenPerTr  = 6
+		ringCap        = 16
+		expectedTraces = goroutines * tracesPerG
+	)
+	tr := NewTracer(Config{
+		SampleN:       1,
+		SlowThreshold: time.Nanosecond, // every trace competes for the slow ring
+		Ring:          ringCap,
+		OnSpanEnd:     func(string, time.Duration) {}, // exercise the hook under race too
+	})
+
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < tracesPerG; i++ {
+				ident := fmt.Sprintf("g%d.t%d", g, i)
+				root := tr.Root("request:"+ident, Traceparent{})
+				if root == nil {
+					t.Errorf("SampleN=1 returned a nil root")
+					return
+				}
+				// End half the children from separate goroutines so
+				// span completion races within one trace as it does
+				// when a coalesced batch delivers on worker goroutines.
+				var cwg sync.WaitGroup
+				for c := 0; c < childrenPerTr; c++ {
+					child := root.Child("stage:" + ident + ":" + strconv.Itoa(c))
+					if c%2 == 0 {
+						cwg.Add(1)
+						go func() {
+							defer cwg.Done()
+							child.End()
+						}()
+					} else {
+						child.End()
+					}
+				}
+				cwg.Wait()
+				root.End()
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	recent, slow := tr.Snapshot()
+	if len(recent) > ringCap || len(slow) > ringCap {
+		t.Fatalf("ring bound violated under storm: %d recent / %d slow, cap %d",
+			len(recent), len(slow), ringCap)
+	}
+	if len(recent) != ringCap || len(slow) != ringCap {
+		t.Fatalf("rings not full after %d traces: %d recent / %d slow",
+			expectedTraces, len(recent), len(slow))
+	}
+	for _, trace := range append(append([]*Trace(nil), recent...), slow...) {
+		ident := strings.TrimPrefix(trace.Name, "request:")
+		if len(trace.Spans) != childrenPerTr+1 {
+			t.Errorf("trace %s has %d spans, want %d", ident, len(trace.Spans), childrenPerTr+1)
+		}
+		seen := map[string]bool{}
+		for _, sp := range trace.Spans {
+			if seen[sp.Name] {
+				t.Errorf("trace %s retains duplicate span %s", ident, sp.Name)
+			}
+			seen[sp.Name] = true
+			if sp.Name == trace.Name {
+				continue // the root itself
+			}
+			if !strings.HasPrefix(sp.Name, "stage:"+ident+":") {
+				t.Errorf("trace %s retains foreign span %s — spans interleaved across traces",
+					ident, sp.Name)
+			}
+		}
+	}
+}

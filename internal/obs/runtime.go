@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"runtime/debug"
+	"sort"
+)
+
+// RuntimeStats is a point-in-time snapshot of Go runtime health,
+// shaped for the mh_* runtime series on /metrics. ReadRuntimeStats
+// stops the world briefly (runtime.ReadMemStats), so callers sample
+// it at scrape time, not per request.
+type RuntimeStats struct {
+	Goroutines          int
+	GOMAXPROCS          int
+	HeapAllocBytes      uint64
+	HeapInuseBytes      uint64
+	HeapSysBytes        uint64
+	StackInuseBytes     uint64
+	GCCycles            uint32
+	GCPauseTotalSeconds float64
+	// GCPauseP50Seconds / GCPauseP99Seconds are quantiles over the
+	// runtime's circular buffer of recent GC pauses (up to the last
+	// 256 cycles); zero before the first collection.
+	GCPauseP50Seconds float64
+	GCPauseP99Seconds float64
+}
+
+// ReadRuntimeStats samples the runtime.
+func ReadRuntimeStats() RuntimeStats {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	rs := RuntimeStats{
+		Goroutines:          runtime.NumGoroutine(),
+		GOMAXPROCS:          runtime.GOMAXPROCS(0),
+		HeapAllocBytes:      ms.HeapAlloc,
+		HeapInuseBytes:      ms.HeapInuse,
+		HeapSysBytes:        ms.HeapSys,
+		StackInuseBytes:     ms.StackInuse,
+		GCCycles:            ms.NumGC,
+		GCPauseTotalSeconds: float64(ms.PauseTotalNs) / 1e9,
+	}
+	n := int(ms.NumGC)
+	if n > len(ms.PauseNs) {
+		n = len(ms.PauseNs)
+	}
+	if n > 0 {
+		pauses := make([]float64, n)
+		for i := 0; i < n; i++ {
+			pauses[i] = float64(ms.PauseNs[i]) / 1e9
+		}
+		sort.Float64s(pauses)
+		rs.GCPauseP50Seconds = quantileSorted(pauses, 0.5)
+		rs.GCPauseP99Seconds = quantileSorted(pauses, 0.99)
+	}
+	return rs
+}
+
+// quantileSorted returns the q-th quantile of a sorted sample by the
+// nearest-rank method.
+func quantileSorted(sorted []float64, q float64) float64 {
+	i := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// Build identifies the running binary: module path and version, Go
+// toolchain, and VCS revision when the binary was built from a
+// checkout. Fields degrade to placeholders ("(devel)", "unknown")
+// rather than empties so label values and -version output are always
+// printable.
+type Build struct {
+	Path      string
+	Version   string
+	GoVersion string
+	Revision  string
+	Modified  bool // VCS checkout had local modifications
+}
+
+// ReadBuild reads the binary's build info via
+// runtime/debug.ReadBuildInfo.
+func ReadBuild() Build {
+	b := Build{Path: "unknown", Version: "(devel)", GoVersion: runtime.Version(), Revision: "unknown"}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return b
+	}
+	if bi.Main.Path != "" {
+		b.Path = bi.Main.Path
+	}
+	if bi.Main.Version != "" {
+		b.Version = bi.Main.Version
+	}
+	if bi.GoVersion != "" {
+		b.GoVersion = bi.GoVersion
+	}
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			if s.Value != "" {
+				b.Revision = s.Value
+			}
+		case "vcs.modified":
+			b.Modified = s.Value == "true"
+		}
+	}
+	return b
+}
+
+// String renders the one-line form the CLIs' -version flag prints.
+func (b Build) String() string {
+	rev := b.Revision
+	if b.Modified {
+		rev += "+dirty"
+	}
+	return fmt.Sprintf("%s %s (%s, revision %s)", b.Path, b.Version, b.GoVersion, rev)
+}

@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// SpanRecord is one completed span as retained and served on
+// /debug/traces.
+type SpanRecord struct {
+	Name            string       `json:"name"`
+	SpanID          string       `json:"span_id"`
+	ParentID        string       `json:"parent_id,omitempty"`
+	Start           time.Time    `json:"start"`
+	DurationSeconds float64      `json:"duration_seconds"`
+	Annotations     []Annotation `json:"annotations,omitempty"`
+}
+
+// Trace is one completed, sealed trace: the root's identity and
+// timing plus every span that ended before the seal, in start order.
+type Trace struct {
+	TraceID         string       `json:"trace_id"`
+	Name            string       `json:"name"` // root span name (the endpoint)
+	Start           time.Time    `json:"start"`
+	DurationSeconds float64      `json:"duration_seconds"`
+	Slow            bool         `json:"slow"`
+	Spans           []SpanRecord `json:"spans"`
+}
+
+// Sink is the tail-based retention store: a ring of the most recent N
+// completed traces plus the slowest N traces over the tracer's
+// latency threshold. Completed traces are immutable, so the lock only
+// guards pointer-slot bookkeeping — adding a trace is a few pointer
+// writes (plus, for slow traces with a full slow ring, one linear
+// min-scan over at most N entries).
+type Sink struct {
+	mu      sync.Mutex
+	capEach int
+	recent  []*Trace // ring; next indexes the oldest slot once full
+	next    int
+	slow    []*Trace // slowest-N over threshold, unordered
+}
+
+// NewSink builds a sink retaining at most capEach traces per ring.
+func NewSink(capEach int) *Sink {
+	if capEach <= 0 {
+		capEach = 64
+	}
+	return &Sink{capEach: capEach}
+}
+
+// Add retains one completed trace; slow traces additionally compete
+// for the slowest-N ring (evicting the fastest retained slow trace
+// when full).
+func (s *Sink) Add(t *Trace, slow bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.recent) < s.capEach {
+		s.recent = append(s.recent, t)
+	} else {
+		s.recent[s.next] = t
+		s.next = (s.next + 1) % s.capEach
+	}
+	if !slow {
+		return
+	}
+	if len(s.slow) < s.capEach {
+		s.slow = append(s.slow, t)
+		return
+	}
+	fastest := 0
+	for i, o := range s.slow {
+		if o.DurationSeconds < s.slow[fastest].DurationSeconds {
+			fastest = i
+		}
+	}
+	if t.DurationSeconds > s.slow[fastest].DurationSeconds {
+		s.slow[fastest] = t
+	}
+}
+
+// Snapshot copies out the retained traces: recent newest-first, slow
+// by descending duration.
+func (s *Sink) Snapshot() (recent, slow []*Trace) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := len(s.recent)
+	recent = make([]*Trace, 0, n)
+	for i := 0; i < n; i++ {
+		recent = append(recent, s.recent[((s.next-1-i)%n+n)%n])
+	}
+	slow = append([]*Trace(nil), s.slow...)
+	sort.SliceStable(slow, func(i, j int) bool {
+		return slow[i].DurationSeconds > slow[j].DurationSeconds
+	})
+	return recent, slow
+}

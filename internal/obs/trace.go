@@ -1,0 +1,404 @@
+// Package obs is the serving stack's dependency-free observability
+// layer: request tracing (parent/child spans with W3C traceparent
+// propagation and tail-based retention), leveled structured JSON
+// logging correlated by trace ID, and runtime telemetry snapshots for
+// /metrics.
+//
+// The tracing API is built so the disabled path costs nothing: every
+// method is safe on a nil *Tracer and nil *Span and does no work and
+// no allocation there, so instrumented hot paths (the detector's
+// zero-allocation screen fast path, the coalescer) pay only a nil
+// check when tracing is off or a request was not sampled.
+//
+// Sampling is head-based — a new root is recorded for 1 in every
+// Config.SampleN arrivals — with two always-keep escape hatches:
+// requests carrying a sampled W3C traceparent header are always
+// recorded (so a caller can force a trace end-to-end), and completed
+// traces at or above Config.SlowThreshold are retained in a dedicated
+// slowest-N ring regardless of when they were sampled (tail-based
+// retention of exactly the traces worth debugging).
+package obs
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/hex"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TraceID is a 128-bit trace identifier, rendered as 32 lowercase hex
+// digits (the W3C trace-id field).
+type TraceID [16]byte
+
+// IsZero reports whether the ID is the invalid all-zero ID.
+func (t TraceID) IsZero() bool { return t == TraceID{} }
+
+// String renders the ID as 32 lowercase hex digits.
+func (t TraceID) String() string { return hex.EncodeToString(t[:]) }
+
+// SpanID is a 64-bit span identifier, rendered as 16 lowercase hex
+// digits (the W3C parent-id field).
+type SpanID [8]byte
+
+// IsZero reports whether the ID is the invalid all-zero ID.
+func (s SpanID) IsZero() bool { return s == SpanID{} }
+
+// String renders the ID as 16 lowercase hex digits.
+func (s SpanID) String() string { return hex.EncodeToString(s[:]) }
+
+// Traceparent is a parsed W3C traceparent header. The zero value
+// means "no usable upstream context".
+type Traceparent struct {
+	Trace   TraceID
+	Span    SpanID // upstream parent span
+	Sampled bool
+}
+
+// ParseTraceparent parses a W3C traceparent header
+// ("00-<32 hex trace-id>-<16 hex parent-id>-<2 hex flags>"). Any
+// malformed, all-zero, or future-version-invalid header yields the
+// zero Traceparent — propagation is best-effort, never an error the
+// request should see.
+func ParseTraceparent(h string) Traceparent {
+	if len(h) != 55 || h[2] != '-' || h[35] != '-' || h[52] != '-' {
+		return Traceparent{}
+	}
+	var version [1]byte
+	if _, err := hex.Decode(version[:], []byte(h[0:2])); err != nil || version[0] == 0xff {
+		return Traceparent{}
+	}
+	var tp Traceparent
+	if _, err := hex.Decode(tp.Trace[:], []byte(h[3:35])); err != nil || tp.Trace.IsZero() {
+		return Traceparent{}
+	}
+	if _, err := hex.Decode(tp.Span[:], []byte(h[36:52])); err != nil || tp.Span.IsZero() {
+		return Traceparent{}
+	}
+	var flags [1]byte
+	if _, err := hex.Decode(flags[:], []byte(h[53:55])); err != nil {
+		return Traceparent{}
+	}
+	tp.Sampled = flags[0]&0x01 != 0
+	return tp
+}
+
+// FormatTraceparent renders a version-00 traceparent header for
+// emission to the client / downstream services.
+func FormatTraceparent(trace TraceID, span SpanID, sampled bool) string {
+	flags := "00"
+	if sampled {
+		flags = "01"
+	}
+	return "00-" + trace.String() + "-" + span.String() + "-" + flags
+}
+
+// Config tunes a Tracer.
+type Config struct {
+	// SampleN head-samples 1 in every SampleN new roots (1 records
+	// every request; 0 or negative records none — only requests that
+	// arrive with a sampled traceparent header are then traced).
+	SampleN int
+	// SlowThreshold marks a completed trace slow: it is retained in
+	// the slowest-N ring and reported to OnSlow (default 250ms).
+	SlowThreshold time.Duration
+	// Ring is the capacity of each retention ring — most-recent and
+	// slowest — so at most 2*Ring completed traces are held
+	// (default 64).
+	Ring int
+	// OnSpanEnd, when set, observes every completed non-root span with
+	// its name and duration — the hook that derives the per-stage
+	// latency histograms from the same spans /debug/traces serves, so
+	// metrics and traces cannot disagree. Called synchronously on the
+	// instrumented goroutine; must be cheap and safe for concurrent
+	// use.
+	OnSpanEnd func(name string, d time.Duration)
+	// OnSlow, when set, is called with each completed slow trace
+	// (after it is retained). Callers rate-limit inside the hook.
+	OnSlow func(t *Trace)
+}
+
+func (c Config) withDefaults() Config {
+	if c.SlowThreshold <= 0 {
+		c.SlowThreshold = 250 * time.Millisecond
+	}
+	if c.Ring <= 0 {
+		c.Ring = 64
+	}
+	return c
+}
+
+// Tracer samples and records request traces. Construct with
+// NewTracer; all methods are safe for concurrent use and safe (and
+// free) on a nil receiver.
+type Tracer struct {
+	cfg      Config
+	seed     uint64
+	ids      atomic.Uint64 // ID-generation counter
+	arrivals atomic.Uint64 // head-sampling counter
+	sink     *Sink
+}
+
+// NewTracer builds a tracer over its two retention rings.
+func NewTracer(cfg Config) *Tracer {
+	cfg = cfg.withDefaults()
+	return &Tracer{
+		cfg:  cfg,
+		seed: uint64(time.Now().UnixNano()),
+		sink: NewSink(cfg.Ring),
+	}
+}
+
+// splitmix64 is the SplitMix64 output function: a cheap, well-mixed
+// bijection good enough for non-adversarial ID generation.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func (tr *Tracer) nextID() uint64 {
+	return splitmix64(tr.seed + tr.ids.Add(1)*0x9e3779b97f4a7c15)
+}
+
+func (tr *Tracer) newTraceID() TraceID {
+	var t TraceID
+	binary.BigEndian.PutUint64(t[:8], tr.nextID())
+	binary.BigEndian.PutUint64(t[8:], tr.nextID())
+	if t.IsZero() { // all-zero is invalid per the W3C spec
+		t[15] = 1
+	}
+	return t
+}
+
+func (tr *Tracer) newSpanID() SpanID {
+	var s SpanID
+	binary.BigEndian.PutUint64(s[:], tr.nextID())
+	if s.IsZero() {
+		s[7] = 1
+	}
+	return s
+}
+
+// Root starts a root span for one request, applying the sampling
+// policy: a sampled upstream traceparent always records (continuing
+// the upstream trace ID), otherwise the head sampler records 1 in
+// SampleN arrivals. Returns nil — a free no-op span — when the
+// request is not sampled or the tracer itself is nil.
+func (tr *Tracer) Root(name string, tp Traceparent) *Span {
+	if tr == nil {
+		return nil
+	}
+	record := tp.Sampled
+	if !record {
+		record = tr.cfg.SampleN > 0 && (tr.arrivals.Add(1)-1)%uint64(tr.cfg.SampleN) == 0
+	}
+	if !record {
+		return nil
+	}
+	trace := tp.Trace
+	if trace.IsZero() {
+		trace = tr.newTraceID()
+	}
+	return &Span{
+		tracer: tr,
+		rec:    &traceRec{},
+		trace:  trace,
+		id:     tr.newSpanID(),
+		parent: tp.Span,
+		name:   name,
+		start:  time.Now(),
+		root:   true,
+	}
+}
+
+// Snapshot returns the retained traces: recent is the most-recent
+// ring newest-first, slow is the slowest-over-threshold ring ordered
+// by descending duration. Nil-safe.
+func (tr *Tracer) Snapshot() (recent, slow []*Trace) {
+	if tr == nil {
+		return nil, nil
+	}
+	return tr.sink.Snapshot()
+}
+
+// traceRec accumulates the completed spans of one sampled trace. The
+// root span's End seals it; spans ending after the seal (a waiter
+// that gave up while its batch kept computing) are dropped rather
+// than racing the retained snapshot.
+type traceRec struct {
+	mu     sync.Mutex
+	spans  []SpanRecord
+	sealed bool
+}
+
+// Span is one timed operation within a trace. A nil *Span is a valid,
+// free no-op — every method nil-checks — which is how unsampled
+// requests and disabled tracing stay zero-allocation. A span's
+// non-End methods must be called from one goroutine at a time; End
+// must be called exactly once (later calls no-op).
+type Span struct {
+	tracer *Tracer
+	rec    *traceRec
+	trace  TraceID
+	id     SpanID
+	parent SpanID
+	name   string
+	start  time.Time
+	root   bool
+	ended  bool
+	annots []Annotation
+}
+
+// Annotation is one key/value note attached to a span.
+type Annotation struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// TraceID returns the span's trace ID (zero for a nil span).
+func (s *Span) TraceID() TraceID {
+	if s == nil {
+		return TraceID{}
+	}
+	return s.trace
+}
+
+// SpanID returns the span's own ID (zero for a nil span).
+func (s *Span) SpanID() SpanID {
+	if s == nil {
+		return SpanID{}
+	}
+	return s.id
+}
+
+// Child starts a child span. Nil-safe: a nil parent yields a nil
+// child for free.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return &Span{
+		tracer: s.tracer,
+		rec:    s.rec,
+		trace:  s.trace,
+		id:     s.tracer.newSpanID(),
+		parent: s.id,
+		name:   name,
+		start:  time.Now(),
+	}
+}
+
+// Annotate attaches a key/value note to the span. Call before End.
+func (s *Span) Annotate(key, value string) {
+	if s == nil {
+		return
+	}
+	s.annots = append(s.annots, Annotation{Key: key, Value: value})
+}
+
+// End completes the span, feeding OnSpanEnd (non-root spans) and —
+// for the root — sealing the trace and handing it to the retention
+// rings and the slow-trace hook.
+func (s *Span) End() {
+	if s == nil || s.ended {
+		return
+	}
+	s.ended = true
+	d := time.Since(s.start)
+	tr := s.tracer
+	if !s.root && tr.cfg.OnSpanEnd != nil {
+		tr.cfg.OnSpanEnd(s.name, d)
+	}
+	rec := SpanRecord{
+		Name:            s.name,
+		SpanID:          s.id.String(),
+		Start:           s.start,
+		DurationSeconds: d.Seconds(),
+		Annotations:     s.annots,
+	}
+	if !s.parent.IsZero() {
+		rec.ParentID = s.parent.String()
+	}
+	if !s.root {
+		s.rec.mu.Lock()
+		if !s.rec.sealed {
+			s.rec.spans = append(s.rec.spans, rec)
+		}
+		s.rec.mu.Unlock()
+		return
+	}
+	s.rec.mu.Lock()
+	s.rec.spans = append(s.rec.spans, rec)
+	s.rec.sealed = true
+	spans := s.rec.spans
+	s.rec.mu.Unlock()
+	sort.SliceStable(spans, func(i, j int) bool { return spans[i].Start.Before(spans[j].Start) })
+	t := &Trace{
+		TraceID:         s.trace.String(),
+		Name:            s.name,
+		Start:           s.start,
+		DurationSeconds: d.Seconds(),
+		Slow:            d >= tr.cfg.SlowThreshold,
+		Spans:           spans,
+	}
+	tr.sink.Add(t, t.Slow)
+	if t.Slow && tr.cfg.OnSlow != nil {
+		tr.cfg.OnSlow(t)
+	}
+}
+
+type ctxKey int
+
+const (
+	spanKey ctxKey = iota
+	batchKey
+)
+
+// NewContext returns ctx carrying s. A nil span returns ctx unchanged
+// (no allocation), so untraced requests pay nothing.
+func NewContext(ctx context.Context, s *Span) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanKey, s)
+}
+
+// FromContext returns the span carried by ctx, or nil.
+func FromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanKey).(*Span)
+	return s
+}
+
+// SpanSet is a batch's per-item parent spans, index-aligned with the
+// batch items. Entries may be nil (untraced items); a nil or short
+// set yields nil for every index.
+type SpanSet []*Span
+
+// At returns the span for item i, nil-safe on any index.
+func (ss SpanSet) At(i int) *Span {
+	if i < 0 || i >= len(ss) {
+		return nil
+	}
+	return ss[i]
+}
+
+// NewBatchContext returns ctx carrying the batch's span set — how the
+// coalescer hands each waiter's request span through a batch API that
+// executes under its own base context. An empty set returns ctx
+// unchanged.
+func NewBatchContext(ctx context.Context, ss SpanSet) context.Context {
+	if len(ss) == 0 {
+		return ctx
+	}
+	return context.WithValue(ctx, batchKey, ss)
+}
+
+// BatchFromContext returns the span set carried by ctx, or nil.
+func BatchFromContext(ctx context.Context) SpanSet {
+	ss, _ := ctx.Value(batchKey).(SpanSet)
+	return ss
+}

@@ -1,0 +1,245 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseTraceparent(t *testing.T) {
+	valid := "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+	tp := ParseTraceparent(valid)
+	if !tp.Sampled {
+		t.Fatalf("valid sampled header parsed as %+v", tp)
+	}
+	if got := tp.Trace.String(); got != "4bf92f3577b34da6a3ce929d0e0e4736" {
+		t.Errorf("trace id = %s", got)
+	}
+	if got := tp.Span.String(); got != "00f067aa0ba902b7" {
+		t.Errorf("span id = %s", got)
+	}
+
+	unsampled := ParseTraceparent("00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-00")
+	if unsampled.Sampled || unsampled.Trace.IsZero() {
+		t.Errorf("unsampled header: got %+v, want valid ids with Sampled=false", unsampled)
+	}
+
+	invalid := []string{
+		"",
+		"not a header",
+		"ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",  // forbidden version
+		"00-00000000000000000000000000000000-00f067aa0ba902b7-01",  // zero trace id
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01",  // zero span id
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-zz",  // bad flags
+		"00-XYZ92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",  // bad hex
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-012", // bad length
+	}
+	for _, h := range invalid {
+		if got := ParseTraceparent(h); got != (Traceparent{}) {
+			t.Errorf("ParseTraceparent(%q) = %+v, want zero", h, got)
+		}
+	}
+}
+
+func TestFormatTraceparentRoundTrip(t *testing.T) {
+	tr := NewTracer(Config{SampleN: 1})
+	sp := tr.Root("request", Traceparent{})
+	h := FormatTraceparent(sp.TraceID(), sp.SpanID(), true)
+	tp := ParseTraceparent(h)
+	if !tp.Sampled || tp.Trace != sp.TraceID() || tp.Span != sp.SpanID() {
+		t.Fatalf("round trip %q -> %+v", h, tp)
+	}
+}
+
+func TestHeadSampling(t *testing.T) {
+	tr := NewTracer(Config{SampleN: 4})
+	sampled := 0
+	for i := 0; i < 16; i++ {
+		if sp := tr.Root("r", Traceparent{}); sp != nil {
+			sampled++
+			sp.End()
+		}
+	}
+	if sampled != 4 {
+		t.Errorf("1-in-4 sampling over 16 arrivals recorded %d traces, want 4", sampled)
+	}
+
+	// SampleN <= 0: only a sampled traceparent forces recording.
+	off := NewTracer(Config{SampleN: 0})
+	for i := 0; i < 8; i++ {
+		if sp := off.Root("r", Traceparent{}); sp != nil {
+			t.Fatal("SampleN=0 recorded a head-sampled trace")
+		}
+	}
+	forced := off.Root("r", ParseTraceparent("00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"))
+	if forced == nil {
+		t.Fatal("sampled traceparent did not force recording")
+	}
+	if got := forced.TraceID().String(); got != "4bf92f3577b34da6a3ce929d0e0e4736" {
+		t.Errorf("forced trace did not keep the upstream trace id: %s", got)
+	}
+	forced.End()
+}
+
+func TestSpanTreeAndRetention(t *testing.T) {
+	var stages []string
+	tr := NewTracer(Config{
+		SampleN:       1,
+		SlowThreshold: time.Nanosecond, // everything is slow
+		OnSpanEnd:     func(name string, d time.Duration) { stages = append(stages, name) },
+	})
+	root := tr.Root("request", Traceparent{})
+	a := root.Child("admission")
+	a.End()
+	s := root.Child("screen")
+	h := s.Child("harden")
+	h.Annotate("rewrites", "3")
+	h.End()
+	s.End()
+	root.End()
+
+	recent, slow := tr.Snapshot()
+	if len(recent) != 1 || len(slow) != 1 {
+		t.Fatalf("retained %d recent / %d slow, want 1/1", len(recent), len(slow))
+	}
+	trace := recent[0]
+	if !trace.Slow {
+		t.Error("trace not marked slow")
+	}
+	if len(trace.Spans) != 4 {
+		t.Fatalf("trace has %d spans, want 4: %+v", len(trace.Spans), trace.Spans)
+	}
+	byName := map[string]SpanRecord{}
+	for _, sr := range trace.Spans {
+		byName[sr.Name] = sr
+	}
+	if byName["admission"].ParentID != byName["request"].SpanID {
+		t.Error("admission is not a child of request")
+	}
+	if byName["harden"].ParentID != byName["screen"].SpanID {
+		t.Error("harden is not a child of screen")
+	}
+	if got := byName["harden"].Annotations; len(got) != 1 || got[0] != (Annotation{"rewrites", "3"}) {
+		t.Errorf("harden annotations = %+v", got)
+	}
+	// OnSpanEnd sees every non-root span, never the root (request
+	// latency already has its own histogram).
+	if got := strings.Join(stages, ","); got != "admission,harden,screen" {
+		t.Errorf("OnSpanEnd saw %q, want admission,harden,screen", got)
+	}
+}
+
+func TestLateSpanAfterSealDropped(t *testing.T) {
+	tr := NewTracer(Config{SampleN: 1, SlowThreshold: time.Hour})
+	root := tr.Root("request", Traceparent{})
+	straggler := root.Child("screen")
+	root.End() // waiter gave up; batch still computing
+	straggler.End()
+	recent, _ := tr.Snapshot()
+	if len(recent) != 1 {
+		t.Fatalf("retained %d traces, want 1", len(recent))
+	}
+	if n := len(recent[0].Spans); n != 1 {
+		t.Errorf("sealed trace has %d spans, want only the root", n)
+	}
+}
+
+func TestSinkRetention(t *testing.T) {
+	sk := NewSink(3)
+	mk := func(id string, dur float64) *Trace {
+		return &Trace{TraceID: id, DurationSeconds: dur}
+	}
+	sk.Add(mk("a", 1), true)
+	sk.Add(mk("b", 5), true)
+	sk.Add(mk("c", 2), true)
+	sk.Add(mk("d", 4), true)  // evicts a (fastest slow)
+	sk.Add(mk("e", 0), false) // recent only
+	recent, slow := sk.Snapshot()
+	gotRecent := make([]string, 0, len(recent))
+	for _, t := range recent {
+		gotRecent = append(gotRecent, t.TraceID)
+	}
+	if strings.Join(gotRecent, "") != "edc" {
+		t.Errorf("recent (newest first) = %v, want [e d c]", gotRecent)
+	}
+	gotSlow := make([]string, 0, len(slow))
+	for _, t := range slow {
+		gotSlow = append(gotSlow, t.TraceID)
+	}
+	if strings.Join(gotSlow, "") != "bdc" {
+		t.Errorf("slow (slowest first) = %v, want [b d c]", gotSlow)
+	}
+}
+
+func TestOnSlowHook(t *testing.T) {
+	var slow []*Trace
+	tr := NewTracer(Config{SampleN: 1, SlowThreshold: time.Nanosecond,
+		OnSlow: func(t *Trace) { slow = append(slow, t) }})
+	tr.Root("request", Traceparent{}).End()
+	if len(slow) != 1 || slow[0].Name != "request" {
+		t.Fatalf("OnSlow saw %+v, want the one slow trace", slow)
+	}
+
+	var fast []*Trace
+	tr2 := NewTracer(Config{SampleN: 1, SlowThreshold: time.Hour,
+		OnSlow: func(t *Trace) { fast = append(fast, t) }})
+	tr2.Root("request", Traceparent{}).End()
+	if len(fast) != 0 {
+		t.Fatalf("OnSlow fired for a fast trace")
+	}
+}
+
+// TestNilSafety drives the whole span surface through nil receivers —
+// the disabled-tracing path — and asserts it allocates nothing.
+func TestNilSafety(t *testing.T) {
+	var tr *Tracer
+	allocs := testing.AllocsPerRun(100, func() {
+		sp := tr.Root("request", Traceparent{})
+		ctx := NewContext(context.Background(), sp)
+		got := FromContext(ctx)
+		child := got.Child("stage")
+		child.Annotate("k", "v")
+		grand := child.Child("deeper")
+		grand.End()
+		child.End()
+		_ = sp.TraceID()
+		_ = sp.SpanID()
+		sp.End()
+		var ss SpanSet
+		_ = ss.At(0).Child("x")
+		_ = BatchFromContext(NewBatchContext(ctx, nil))
+	})
+	if allocs != 0 {
+		t.Errorf("disabled tracing path allocates %g/op, want 0", allocs)
+	}
+	recent, slow := tr.Snapshot()
+	if recent != nil || slow != nil {
+		t.Error("nil tracer snapshot not empty")
+	}
+}
+
+func TestSpanSetAt(t *testing.T) {
+	tr := NewTracer(Config{SampleN: 1})
+	sp := tr.Root("request", Traceparent{})
+	ss := SpanSet{sp, nil}
+	if ss.At(0) != sp || ss.At(1) != nil || ss.At(2) != nil || ss.At(-1) != nil {
+		t.Error("SpanSet.At index handling wrong")
+	}
+	ctx := NewBatchContext(context.Background(), ss)
+	if got := BatchFromContext(ctx); got.At(0) != sp {
+		t.Error("batch context round trip lost the span set")
+	}
+	sp.End()
+}
+
+func TestDoubleEndIsIdempotent(t *testing.T) {
+	tr := NewTracer(Config{SampleN: 1})
+	root := tr.Root("request", Traceparent{})
+	root.End()
+	root.End()
+	recent, _ := tr.Snapshot()
+	if len(recent) != 1 {
+		t.Fatalf("double End retained %d traces, want 1", len(recent))
+	}
+}

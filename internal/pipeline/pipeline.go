@@ -68,6 +68,15 @@ func (e *ItemError) Unwrap() error { return e.Err }
 // before shutdown). If ctx is cancelled first, ctx.Err() is
 // returned.
 func Map[In, Out any](ctx context.Context, items []In, cfg Config, fn WorkerFunc[In, Out]) ([]Out, error) {
+	return MapIndexed(ctx, items, cfg, func(shard, _ int, item In) (Out, error) {
+		return fn(shard, item)
+	})
+}
+
+// MapIndexed is Map for workers that need each item's batch position
+// as well as their shard — e.g. to join an item with index-aligned
+// side data (per-item trace spans) without widening In.
+func MapIndexed[In, Out any](ctx context.Context, items []In, cfg Config, fn func(shard, index int, item In) (Out, error)) ([]Out, error) {
 	if len(items) == 0 {
 		return nil, ctx.Err()
 	}
@@ -91,7 +100,7 @@ func Map[In, Out any](ctx context.Context, items []In, cfg Config, fn WorkerFunc
 				if i >= len(items) {
 					return
 				}
-				v, err := fn(shard, items[i])
+				v, err := fn(shard, i, items[i])
 				if err != nil {
 					mu.Lock()
 					if firstErr == nil || i < firstErr.Index {

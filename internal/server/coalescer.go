@@ -7,6 +7,7 @@ import (
 	"time"
 
 	mhd "repro"
+	"repro/internal/obs"
 )
 
 // Screener is the detector surface the serving layer needs;
@@ -69,6 +70,11 @@ type Coalescer struct {
 type pending struct {
 	text string
 	ch   chan outcome // buffered: the batch runner never blocks on it
+
+	// span is the submitting request's root span (nil when untraced);
+	// queue times the wait between submission and batch dispatch.
+	span  *obs.Span
+	queue *obs.Span
 }
 
 type outcome struct {
@@ -98,12 +104,15 @@ func NewCoalescer(det Screener, cfg CoalescerConfig) *Coalescer {
 // only governs the wait: a batch already dispatched keeps computing
 // for its other waiters even if this caller gives up.
 func (c *Coalescer) Submit(ctx context.Context, text string) (mhd.Report, error) {
-	p := &pending{text: text, ch: make(chan outcome, 1)}
+	sp := obs.FromContext(ctx)
+	p := &pending{text: text, ch: make(chan outcome, 1), span: sp, queue: sp.Child("coalesce_queue")}
 	select {
 	case c.submit <- p:
 	case <-ctx.Done():
+		p.queue.End()
 		return mhd.Report{}, ctx.Err()
 	case <-c.quit:
+		p.queue.End()
 		return mhd.Report{}, ErrShuttingDown
 	}
 	select {
@@ -209,16 +218,31 @@ func (c *Coalescer) run(b []*pending) {
 	idx := make(map[string]int, len(b)) // text -> position in texts
 	texts := make([]string, 0, len(b))
 	pos := make([]int, len(b)) // waiter i -> texts index
+	var spans obs.SpanSet      // texts index -> first waiter's span
+	traced := false
 	for i, p := range b {
+		p.queue.End()
 		j, ok := idx[p.text]
 		if !ok {
 			j = len(texts)
 			idx[p.text] = j
 			texts = append(texts, p.text)
+			spans = append(spans, p.span)
+			if p.span != nil {
+				traced = true
+			}
 		}
 		pos[i] = j
 	}
-	reps, err := c.det.ScreenBatchContext(c.base, texts)
+	// Batches execute under the coalescer's base context, not any one
+	// waiter's, so traced waiters hand their spans to the detector as
+	// index-aligned batch side data (a deduped text is credited to its
+	// first waiter's trace).
+	bctx := c.base
+	if traced {
+		bctx = obs.NewBatchContext(c.base, spans)
+	}
+	reps, err := c.det.ScreenBatchContext(bctx, texts)
 	if err == nil {
 		for i, p := range b {
 			p.ch <- outcome{rep: reps[pos[i]]}

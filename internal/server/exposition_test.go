@@ -1,0 +1,389 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/llm"
+	"repro/internal/session"
+)
+
+// TestHistogramQuantileEdges pins the Quantile contract at its edges:
+// empty histograms, bounds-less histograms, single-bucket geometry,
+// and out-of-range q (clamped rather than extrapolated).
+func TestHistogramQuantileEdges(t *testing.T) {
+	// No finite bounds: every observation is +Inf-bucketed and there
+	// is no geometry to interpolate in.
+	nb := NewHistogram()
+	nb.Observe(3)
+	if q := nb.Quantile(0.5); q != 0 {
+		t.Errorf("bounds-less quantile = %v, want 0", q)
+	}
+
+	// Single bucket: rank interpolates linearly inside [0, bound].
+	sb := NewHistogram(10)
+	for i := 0; i < 4; i++ {
+		sb.Observe(5)
+	}
+	if q := sb.Quantile(0.5); q != 5 {
+		t.Errorf("single-bucket p50 = %v, want 5", q)
+	}
+	if q := sb.Quantile(1); q != 10 {
+		t.Errorf("single-bucket p100 = %v, want the bound", q)
+	}
+	if q := sb.Quantile(0); q != 0 {
+		t.Errorf("single-bucket p0 = %v, want the bucket floor", q)
+	}
+
+	// q outside [0, 1] is clamped: a negative q must never interpolate
+	// below the first bucket's floor into a negative "latency".
+	if q := sb.Quantile(-3); q != 0 {
+		t.Errorf("Quantile(-3) = %v, want 0", q)
+	}
+	if q := sb.Quantile(7); q != 10 {
+		t.Errorf("Quantile(7) = %v, want the largest finite bound", q)
+	}
+}
+
+func TestObserveStage(t *testing.T) {
+	m := NewMetrics()
+	m.ObserveStage("screen", time.Millisecond) // before EnableStages: no-op
+	m.EnableStages()
+	m.ObserveStage("screen", time.Millisecond)
+	m.ObserveStage("screen", 2*time.Millisecond)
+	m.ObserveStage("no_such_stage", time.Millisecond)
+	if got := m.Stages["screen"].Count(); got != 2 {
+		t.Errorf("screen stage count = %d, want 2", got)
+	}
+	var buf bytes.Buffer
+	m.WriteTo(&buf)
+	if !strings.Contains(buf.String(), `mh_stage_duration_seconds_count{stage="screen"} 2`) {
+		t.Error("stage histogram not rendered")
+	}
+	if strings.Contains(buf.String(), "no_such_stage") {
+		t.Error("unknown stage leaked into the exposition")
+	}
+}
+
+var (
+	metricNameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelNameRe  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+// expoSample is one parsed exposition sample line.
+type expoSample struct {
+	name   string
+	labels map[string]string
+	value  float64
+	line   string
+}
+
+// labelsKey canonicalizes a label set (minus the given key) for
+// grouping and duplicate detection.
+func labelsKey(labels map[string]string, drop string) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		if k != drop {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s=%q,", k, labels[k])
+	}
+	return b.String()
+}
+
+// parseExpoLabels parses a `{name="value",...}` block, validating
+// label names and that values are correctly escaped (they must
+// round-trip through strconv.Unquote).
+func parseExpoLabels(t *testing.T, block, line string) map[string]string {
+	t.Helper()
+	labels := map[string]string{}
+	rest := block
+	for rest != "" {
+		eq := strings.Index(rest, "=")
+		if eq < 0 {
+			t.Fatalf("label block missing '=' in %q", line)
+		}
+		name := rest[:eq]
+		if !labelNameRe.MatchString(name) {
+			t.Fatalf("bad label name %q in %q", name, line)
+		}
+		rest = rest[eq+1:]
+		if !strings.HasPrefix(rest, `"`) {
+			t.Fatalf("unquoted label value in %q", line)
+		}
+		// Find the closing unescaped quote.
+		end := -1
+		for i := 1; i < len(rest); i++ {
+			if rest[i] == '\\' {
+				i++
+				continue
+			}
+			if rest[i] == '"' {
+				end = i
+				break
+			}
+		}
+		if end < 0 {
+			t.Fatalf("unterminated label value in %q", line)
+		}
+		val, err := strconv.Unquote(rest[:end+1])
+		if err != nil {
+			t.Fatalf("label value escaping invalid in %q: %v", line, err)
+		}
+		if _, dup := labels[name]; dup {
+			t.Fatalf("duplicate label %q in %q", name, line)
+		}
+		labels[name] = val
+		rest = rest[end+1:]
+		rest = strings.TrimPrefix(rest, ",")
+	}
+	return labels
+}
+
+// lintExposition validates Prometheus text exposition format (0.0.4)
+// strictly enough to catch real scrape breakage: HELP/TYPE pairing
+// before first sample, valid metric and label names, escaped label
+// values, no duplicate series, monotone cumulative histogram buckets,
+// +Inf bucket equal to _count, and _sum/_count present per histogram.
+func lintExposition(t *testing.T, out string) {
+	t.Helper()
+	type family struct {
+		help, typ string
+	}
+	families := map[string]family{}
+	var samples []expoSample
+	seen := map[string]bool{}
+
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if line == "" {
+			t.Fatal("blank line in exposition")
+		}
+		if rest, ok := strings.CutPrefix(line, "# HELP "); ok {
+			name, help, ok := strings.Cut(rest, " ")
+			if !ok || help == "" || !metricNameRe.MatchString(name) {
+				t.Fatalf("malformed HELP line %q", line)
+			}
+			if _, dup := families[name]; dup {
+				t.Fatalf("duplicate HELP for %q", name)
+			}
+			families[name] = family{help: help}
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
+			name, typ, ok := strings.Cut(rest, " ")
+			if !ok {
+				t.Fatalf("malformed TYPE line %q", line)
+			}
+			f, helped := families[name]
+			if !helped || f.typ != "" {
+				t.Fatalf("TYPE for %q without a preceding HELP (or duplicated)", name)
+			}
+			if typ != "counter" && typ != "gauge" && typ != "histogram" {
+				t.Fatalf("unknown metric type %q for %q", typ, name)
+			}
+			f.typ = typ
+			families[name] = f
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			t.Fatalf("unrecognized comment line %q", line)
+		}
+
+		// Sample line: name[{labels}] value
+		s := expoSample{labels: map[string]string{}, line: line}
+		rest := line
+		if brace := strings.Index(rest, "{"); brace >= 0 {
+			s.name = rest[:brace]
+			close := strings.LastIndex(rest, "}")
+			if close < brace {
+				t.Fatalf("unbalanced braces in %q", line)
+			}
+			s.labels = parseExpoLabels(t, rest[brace+1:close], line)
+			rest = strings.TrimPrefix(rest[close+1:], " ")
+		} else {
+			var ok bool
+			s.name, rest, ok = strings.Cut(rest, " ")
+			if !ok {
+				t.Fatalf("sample line without value %q", line)
+			}
+		}
+		if !metricNameRe.MatchString(s.name) {
+			t.Fatalf("bad metric name in %q", line)
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+		if err != nil {
+			t.Fatalf("unparseable value in %q: %v", line, err)
+		}
+		s.value = v
+
+		// Resolve the family: histogram samples carry suffixes.
+		fam := s.name
+		if f, ok := families[fam]; !ok || f.typ == "" {
+			base := s.name
+			for _, suf := range []string{"_bucket", "_sum", "_count"} {
+				if b, ok := strings.CutSuffix(s.name, suf); ok {
+					base = b
+					break
+				}
+			}
+			bf, ok := families[base]
+			if !ok || bf.typ != "histogram" {
+				t.Fatalf("sample %q has no HELP/TYPE header", line)
+			}
+			fam = base
+		}
+		if families[fam].typ == "counter" && v < 0 {
+			t.Fatalf("counter %q is negative: %q", s.name, line)
+		}
+
+		id := s.name + "|" + labelsKey(s.labels, "")
+		if seen[id] {
+			t.Fatalf("duplicate series %q", line)
+		}
+		seen[id] = true
+		samples = append(samples, s)
+	}
+
+	// Histogram shape checks per (family, label-set-minus-le) group.
+	type histGroup struct {
+		les    []float64
+		counts []float64
+		inf    float64
+		hasInf bool
+		sum    *float64
+		count  *float64
+	}
+	groups := map[string]*histGroup{}
+	groupFor := func(base string, labels map[string]string) *histGroup {
+		key := base + "|" + labelsKey(labels, "le")
+		g, ok := groups[key]
+		if !ok {
+			g = &histGroup{}
+			groups[key] = g
+		}
+		return g
+	}
+	for i := range samples {
+		s := &samples[i]
+		if base, ok := strings.CutSuffix(s.name, "_bucket"); ok && families[base].typ == "histogram" {
+			g := groupFor(base, s.labels)
+			le, ok := s.labels["le"]
+			if !ok {
+				t.Fatalf("bucket without le label: %q", s.line)
+			}
+			if le == "+Inf" {
+				g.inf, g.hasInf = s.value, true
+				continue
+			}
+			bound, err := strconv.ParseFloat(le, 64)
+			if err != nil {
+				t.Fatalf("unparseable le %q in %q", le, s.line)
+			}
+			g.les = append(g.les, bound)
+			g.counts = append(g.counts, s.value)
+		} else if base, ok := strings.CutSuffix(s.name, "_sum"); ok && families[base].typ == "histogram" {
+			v := s.value
+			groupFor(base, s.labels).sum = &v
+		} else if base, ok := strings.CutSuffix(s.name, "_count"); ok && families[base].typ == "histogram" {
+			v := s.value
+			groupFor(base, s.labels).count = &v
+		}
+	}
+	for key, g := range groups {
+		if !g.hasInf {
+			t.Errorf("histogram %s missing the +Inf bucket", key)
+			continue
+		}
+		if g.sum == nil || g.count == nil {
+			t.Errorf("histogram %s missing _sum or _count", key)
+			continue
+		}
+		if g.inf != *g.count {
+			t.Errorf("histogram %s: +Inf bucket %v != _count %v", key, g.inf, *g.count)
+		}
+		prevLe := math.Inf(-1)
+		prevCount := 0.0
+		for i, le := range g.les {
+			if le <= prevLe {
+				t.Errorf("histogram %s: le bounds not strictly increasing at %v", key, le)
+			}
+			if g.counts[i] < prevCount {
+				t.Errorf("histogram %s: cumulative bucket counts decrease at le=%v", key, le)
+			}
+			prevLe, prevCount = le, g.counts[i]
+		}
+		if g.inf < prevCount {
+			t.Errorf("histogram %s: +Inf bucket below the last finite bucket", key)
+		}
+	}
+}
+
+// TestMetricsExpositionLint scrapes a fully enabled metric set —
+// stages, cascade, hardening, sessions, runtime, build info — and
+// lints every line of the exposition.
+func TestMetricsExpositionLint(t *testing.T) {
+	m := NewMetrics()
+	m.EnableStages()
+	m.EnableCascade(func() llm.Usage {
+		return llm.Usage{Calls: 3, TokensIn: 120, TokensOut: 40, CostUSD: 0.0125}
+	})
+	m.SessionStats = func() session.Stats {
+		return session.Stats{Active: 2, Created: 5, Observations: 40, Alarms: 1}
+	}
+	m.Requests["screen"].Add(7)
+	m.Responses["2xx"].Add(6)
+	m.Responses["4xx"].Add(1)
+	m.Shed.Inc()
+	m.CacheHits.Add(3)
+	m.CacheMisses.Add(4)
+	m.ObserveBatch(5)
+	m.QueueDepth.Set(1)
+	m.Latency.Observe(0.004)
+	m.Latency.Observe(7) // past the largest bound: exercises +Inf
+	m.CascadeScreened.Add(7)
+	m.CascadeEscalated.Add(2)
+	m.CascadeAdjudicated.Add(2)
+	m.CascadeLatency.Observe(0.3)
+	for _, st := range stageNames {
+		m.ObserveStage(st, 3*time.Millisecond)
+	}
+
+	var buf bytes.Buffer
+	if _, err := m.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lintExposition(t, out)
+
+	for _, want := range []string{
+		`mh_stage_duration_seconds_count{stage="adjudication_wait"} 1`,
+		"mh_goroutines ",
+		"mh_gomaxprocs ",
+		"mh_heap_alloc_bytes ",
+		"mh_gc_pause_seconds_p99 ",
+		`mh_build_info{version=`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+
+	// The minimal configuration must lint too (no stages, no cascade,
+	// no sessions — just traffic, runtime, and build series).
+	var buf2 bytes.Buffer
+	if _, err := NewMetrics().WriteTo(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	lintExposition(t, buf2.String())
+}

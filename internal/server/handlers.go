@@ -10,6 +10,7 @@ import (
 	"time"
 
 	mhd "repro"
+	"repro/internal/obs"
 	"repro/internal/textkit"
 )
 
@@ -185,26 +186,35 @@ func (s *Server) handleScreen(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "empty post text")
 		return
 	}
+	sp := obs.FromContext(r.Context())
 	// The cache key is safe across engines: every predict path flows
 	// through textkit.Normalize (baseline featurize, the sim-LLM
 	// client, the exemplar selectors' embeddings) as do risk grading
 	// and evidence, so normalization-equal posts yield identical
 	// reports.
+	csp := sp.Child("cache_lookup")
 	key := textkit.Normalize(req.Text)
-	if rep, ok := s.cache.Get(key); ok {
+	rep, hit := s.cache.Get(key)
+	csp.End()
+	if hit {
 		s.metrics.CacheHits.Inc()
+		sp.Annotate("cache", "hit")
 		writeJSON(w, http.StatusOK, toWire(rep, req.Scores, true))
 		return
 	}
 	s.metrics.CacheMisses.Inc()
 
-	if !s.adm.Acquire(r.Context()) {
+	asp := sp.Child("admission")
+	admitted := s.adm.Acquire(r.Context())
+	asp.End()
+	if !admitted {
 		s.shed(w)
 		return
 	}
 	defer s.adm.Release()
 
-	rep, err := s.coal.Submit(r.Context(), req.Text)
+	var err error
+	rep, err = s.coal.Submit(r.Context(), req.Text)
 	if err != nil {
 		writeError(w, screenErrCode(err), err.Error())
 		return
@@ -245,13 +255,27 @@ func (s *Server) handleScreenBatch(w http.ResponseWriter, r *http.Request) {
 	}
 
 	if len(missTexts) > 0 {
-		if !s.adm.Acquire(r.Context()) {
+		sp := obs.FromContext(r.Context())
+		asp := sp.Child("admission")
+		admitted := s.adm.Acquire(r.Context())
+		asp.End()
+		if !admitted {
 			s.shed(w)
 			return
 		}
 		defer s.adm.Release()
 
-		reps, err := s.det.ScreenBatchContext(r.Context(), missTexts)
+		bctx := r.Context()
+		if sp != nil {
+			// Every deduped miss shares the request's root span, so the
+			// trace carries one screen child per screened post.
+			spans := make(obs.SpanSet, len(missTexts))
+			for i := range spans {
+				spans[i] = sp
+			}
+			bctx = obs.NewBatchContext(bctx, spans)
+		}
+		reps, err := s.det.ScreenBatchContext(bctx, missTexts)
 		if err != nil {
 			if r.Context().Err() != nil {
 				writeError(w, screenErrCode(err), err.Error())
@@ -381,13 +405,25 @@ func (s *Server) handleUserObserve(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "empty post text")
 		return
 	}
-	if !s.adm.Acquire(r.Context()) {
+	sp := obs.FromContext(r.Context())
+	asp := sp.Child("admission")
+	admitted := s.adm.Acquire(r.Context())
+	asp.End()
+	if !admitted {
 		s.shed(w)
 		return
 	}
 	defer s.adm.Release()
 
-	st, err := s.sessions.Observe(user, req.Text)
+	osp := sp.Child("session_observe")
+	var st mhd.RiskState
+	var err error
+	if s.tracedSessions != nil {
+		st, err = s.tracedSessions.ObserveTraced(user, req.Text, osp)
+	} else {
+		st, err = s.sessions.Observe(user, req.Text)
+	}
+	osp.End()
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err.Error())
 		return
@@ -437,6 +473,31 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		body["sessions"] = s.sessions.SessionStats().Active
 	}
 	writeJSON(w, http.StatusOK, body)
+}
+
+// debugTracesResponse is the GET /debug/traces reply: the most
+// recent retained traces (newest first) and the slowest retained
+// traces over the slow threshold (slowest first).
+type debugTracesResponse struct {
+	Recent []*obs.Trace `json:"recent"`
+	Slow   []*obs.Trace `json:"slow"`
+}
+
+// handleDebugTraces serves GET /debug/traces from the tracer's
+// retention rings; 501 when tracing is disabled.
+func (s *Server) handleDebugTraces(w http.ResponseWriter, r *http.Request) {
+	if s.tracer == nil {
+		writeError(w, http.StatusNotImplemented, "tracing not enabled (run with -trace-sample > 0)")
+		return
+	}
+	recent, slow := s.tracer.Snapshot()
+	if recent == nil {
+		recent = []*obs.Trace{}
+	}
+	if slow == nil {
+		slow = []*obs.Trace{}
+	}
+	writeJSON(w, http.StatusOK, debugTracesResponse{Recent: recent, Slow: slow})
 }
 
 // handleMetrics serves GET /metrics in Prometheus text format. The

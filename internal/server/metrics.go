@@ -14,12 +14,15 @@ package server
 import (
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	mhd "repro"
 	"repro/internal/llm"
+	"repro/internal/obs"
 	"repro/internal/session"
 )
 
@@ -52,9 +55,15 @@ func (g *Gauge) Value() int64 { return g.v.Load() }
 // Histogram counts observations into cumulative buckets with fixed
 // upper bounds, Prometheus-style (an implicit +Inf bucket catches the
 // tail). Safe for concurrent use.
+//
+// Immutability contract: bounds is written once by NewHistogram and
+// never mutated afterwards. Observe depends on this — it runs its
+// bucket binary search against bounds before taking the lock, so any
+// future variant that reshapes buckets dynamically must swap in a
+// freshly constructed Histogram rather than mutate bounds in place.
 type Histogram struct {
 	mu     sync.Mutex
-	bounds []float64 // sorted upper bounds, exclusive of +Inf
+	bounds []float64 // sorted upper bounds, exclusive of +Inf; immutable after construction
 	counts []int64   // len(bounds)+1; last is the +Inf bucket
 	sum    float64
 	count  int64
@@ -68,7 +77,9 @@ func NewHistogram(bounds ...float64) *Histogram {
 	return &Histogram{bounds: bs, counts: make([]int64, len(bs)+1)}
 }
 
-// Observe records one value.
+// Observe records one value. The bucket search reads the immutable
+// bounds outside the lock (see the type's immutability contract); the
+// lock covers only the counter update.
 func (h *Histogram) Observe(v float64) {
 	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
 	h.mu.Lock()
@@ -96,12 +107,16 @@ func (h *Histogram) Count() int64 {
 // interpolation inside the bucket that contains it, the same estimate
 // Prometheus' histogram_quantile computes. Observations landing in
 // the +Inf bucket are attributed to the largest finite bound. Returns
-// 0 when the histogram is empty.
+// 0 when the histogram is empty or was built with no finite bounds
+// (there is no bucket geometry to interpolate in). q is clamped into
+// [0, 1]: without the clamp a negative q would interpolate below the
+// first bucket's lower edge and return a negative "latency".
 func (h *Histogram) Quantile(q float64) float64 {
 	counts, _, count := h.snapshot()
 	if count == 0 || len(h.bounds) == 0 {
 		return 0
 	}
+	q = math.Min(math.Max(q, 0), 1)
 	rank := q * float64(count)
 	var cum int64
 	for i, c := range counts {
@@ -177,13 +192,27 @@ type Metrics struct {
 	HardeningRewrites   Counter // characters rewritten by hardening
 	HardeningSuspicious Counter // posts flagged suspicious
 	HardeningEscalated  Counter // suspicious posts escalated on suspicion alone
+
+	// Stages, when non-nil (EnableStages; the server enables it with
+	// tracing), holds the per-stage latency histograms rendered as the
+	// labeled mh_stage_duration_seconds family. They are fed by
+	// completed trace spans via ObserveStage — derived from the same
+	// spans /debug/traces serves, so metrics and traces cannot
+	// disagree — and therefore observe only sampled requests. The map
+	// itself is immutable after EnableStages.
+	Stages map[string]*Histogram
+
+	// build identifies the running binary for the mh_build_info gauge,
+	// read once at construction.
+	build obs.Build
 }
 
 // endpoints are the labeled request counters, fixed so that /metrics
 // always exposes every series (scrapers dislike appearing/vanishing
 // series).
 var endpoints = []string{"screen", "screen_batch", "assess",
-	"user_observe", "user_risk", "user_delete", "healthz", "metrics"}
+	"user_observe", "user_risk", "user_delete", "healthz", "metrics",
+	"debug_traces"}
 
 // codeClasses are the labeled response counters.
 var codeClasses = []string{"2xx", "4xx", "5xx"}
@@ -193,6 +222,7 @@ func NewMetrics() *Metrics {
 	m := &Metrics{
 		Requests:  map[string]*Counter{},
 		Responses: map[string]*Counter{},
+		build:     obs.ReadBuild(),
 		BatchSize: NewHistogram(1, 2, 4, 8, 16, 32, 64, 128, 256),
 		Latency: NewHistogram(0.0005, 0.001, 0.0025, 0.005, 0.01,
 			0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5),
@@ -204,6 +234,33 @@ func NewMetrics() *Metrics {
 		m.Responses[c] = &Counter{}
 	}
 	return m
+}
+
+// stageNames are the span names the online path instruments, one
+// stage label value each. Fixed so the series set is stable across
+// scrapes (scrapers dislike appearing/vanishing series).
+var stageNames = []string{"admission", "cache_lookup", "coalesce_queue",
+	"screen", "harden", "adjudication_wait", "adjudication",
+	"session_observe", "session_signal", "session_fold"}
+
+// EnableStages switches the per-stage latency histograms on. Stage
+// spans range from sub-microsecond map touches (cache_lookup) to
+// multi-second LLM adjudications; the bucket ladder spans both.
+func (m *Metrics) EnableStages() {
+	m.Stages = make(map[string]*Histogram, len(stageNames))
+	for _, st := range stageNames {
+		m.Stages[st] = NewHistogram(0.000001, 0.000005, 0.000025,
+			0.0001, 0.0005, 0.0025, 0.01, 0.05, 0.25, 1, 2.5)
+	}
+}
+
+// ObserveStage records one completed stage span's duration; span
+// names without a stage histogram (the roots) are ignored. No-op
+// before EnableStages.
+func (m *Metrics) ObserveStage(name string, d time.Duration) {
+	if h, ok := m.Stages[name]; ok {
+		h.Observe(d.Seconds())
+	}
 }
 
 // EnableCascade switches the cascade metric set on: allocates the
@@ -341,6 +398,24 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 		}
 	}
 
+	if m.Stages != nil {
+		const name = "mh_stage_duration_seconds"
+		writeHeader(name, "Per-stage latency of sampled requests in seconds, derived from trace spans.", "histogram")
+		for _, st := range stageNames {
+			h := m.Stages[st]
+			counts, sum, count := h.snapshot()
+			var cum int64
+			for i, b := range h.bounds {
+				cum += counts[i]
+				fmt.Fprintf(cw, "%s_bucket{stage=%q,le=\"%g\"} %d\n", name, st, b, cum)
+			}
+			cum += counts[len(counts)-1]
+			fmt.Fprintf(cw, "%s_bucket{stage=%q,le=\"+Inf\"} %d\n", name, st, cum)
+			fmt.Fprintf(cw, "%s_sum{stage=%q} %g\n", name, st, sum)
+			fmt.Fprintf(cw, "%s_count{stage=%q} %d\n", name, st, count)
+		}
+	}
+
 	if m.SessionStats != nil {
 		st := m.SessionStats()
 		writeHeader("mh_sessions_active", "Live early-risk sessions.", "gauge")
@@ -359,6 +434,33 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 		writeHeader("mh_sessions_restored_total", "Sessions loaded from a snapshot.", "counter")
 		fmt.Fprintf(cw, "mh_sessions_restored_total %d\n", st.Restored)
 	}
+
+	// Runtime telemetry, sampled at scrape time, and the build-identity
+	// gauge (value always 1; the identity lives in the labels).
+	rs := obs.ReadRuntimeStats()
+	writeHeader("mh_goroutines", "Live goroutines.", "gauge")
+	fmt.Fprintf(cw, "mh_goroutines %d\n", rs.Goroutines)
+	writeHeader("mh_gomaxprocs", "GOMAXPROCS at scrape time.", "gauge")
+	fmt.Fprintf(cw, "mh_gomaxprocs %d\n", rs.GOMAXPROCS)
+	writeHeader("mh_heap_alloc_bytes", "Bytes of allocated, live heap objects.", "gauge")
+	fmt.Fprintf(cw, "mh_heap_alloc_bytes %d\n", rs.HeapAllocBytes)
+	writeHeader("mh_heap_inuse_bytes", "Bytes of heap spans in use.", "gauge")
+	fmt.Fprintf(cw, "mh_heap_inuse_bytes %d\n", rs.HeapInuseBytes)
+	writeHeader("mh_heap_sys_bytes", "Bytes of heap obtained from the OS.", "gauge")
+	fmt.Fprintf(cw, "mh_heap_sys_bytes %d\n", rs.HeapSysBytes)
+	writeHeader("mh_stack_inuse_bytes", "Bytes of stack spans in use.", "gauge")
+	fmt.Fprintf(cw, "mh_stack_inuse_bytes %d\n", rs.StackInuseBytes)
+	writeHeader("mh_gc_cycles_total", "Completed GC cycles.", "counter")
+	fmt.Fprintf(cw, "mh_gc_cycles_total %d\n", rs.GCCycles)
+	writeHeader("mh_gc_pause_seconds_total", "Cumulative GC stop-the-world pause time.", "counter")
+	fmt.Fprintf(cw, "mh_gc_pause_seconds_total %g\n", rs.GCPauseTotalSeconds)
+	writeHeader("mh_gc_pause_seconds_p50", "Median of the recent GC pauses.", "gauge")
+	fmt.Fprintf(cw, "mh_gc_pause_seconds_p50 %g\n", rs.GCPauseP50Seconds)
+	writeHeader("mh_gc_pause_seconds_p99", "99th percentile of the recent GC pauses.", "gauge")
+	fmt.Fprintf(cw, "mh_gc_pause_seconds_p99 %g\n", rs.GCPauseP99Seconds)
+	writeHeader("mh_build_info", "Build identity of the running binary (value is always 1).", "gauge")
+	fmt.Fprintf(cw, "mh_build_info{version=%q,goversion=%q,revision=%q,modified=%q} 1\n",
+		m.build.Version, m.build.GoVersion, m.build.Revision, fmt.Sprintf("%t", m.build.Modified))
 
 	return cw.n, cw.err
 }

@@ -4,10 +4,12 @@ import (
 	"context"
 	"net"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
 	mhd "repro"
+	"repro/internal/obs"
 )
 
 // Assessor is the early-risk surface /v1/assess needs;
@@ -32,6 +34,15 @@ type SessionMonitor interface {
 	SessionStats() mhd.SessionStats
 	// SweepSessions evicts idle sessions, returning how many.
 	SweepSessions() int
+}
+
+// TracedSessionMonitor is optionally implemented by SessionMonitors
+// whose Observe can record trace spans (*mhd.RiskMonitor does). When
+// the monitor supports it, traced /v1/users/{id}/posts requests get
+// session_signal / session_fold child spans; plain SessionMonitors
+// still work, their observe just traces as one opaque span.
+type TracedSessionMonitor interface {
+	ObserveTraced(user, post string, sp *obs.Span) (mhd.RiskState, error)
 }
 
 // Config tunes the serving subsystem. The zero value selects sensible
@@ -63,6 +74,29 @@ type Config struct {
 	// built WithAdjudicator); New panics otherwise — that is a wiring
 	// bug, not a runtime condition.
 	Cascade bool
+	// TraceSample enables request tracing on the latency-observed
+	// endpoints: 1 in every TraceSample requests is head-sampled into
+	// a recorded trace (1 traces everything; 0, the default, disables
+	// tracing — the disabled path adds no allocations to the hot
+	// path). Requests arriving with a sampled W3C traceparent header
+	// are always traced regardless of the sampler, keeping the
+	// upstream trace ID. Traced requests echo their trace identity in
+	// a traceparent response header, retained traces are served on
+	// GET /debug/traces, and completed stage spans feed the
+	// mh_stage_duration_seconds histograms.
+	TraceSample int
+	// TraceSlow is the slow-trace threshold: completed traces at or
+	// above it are always retained in the slow ring and logged through
+	// Logger, rate-limited (default 250ms).
+	TraceSlow time.Duration
+	// TraceRing caps each trace retention ring — the most recent
+	// TraceRing traces plus the slowest TraceRing over TraceSlow
+	// (default 64).
+	TraceRing int
+	// Logger, when non-nil, receives the server's structured log
+	// lines (currently the rate-limited slow-request log). Nil
+	// disables server logging; tracing still works.
+	Logger *obs.Logger
 }
 
 func (c Config) sessionSweepEvery() time.Duration {
@@ -91,6 +125,14 @@ type Server struct {
 	metrics  *Metrics
 	start    time.Time
 	http     *http.Server
+
+	// Tracing; all nil when Config.TraceSample is 0. tracedSessions is
+	// non-nil only when tracing is on AND the session monitor supports
+	// span-carrying observes.
+	tracer         *obs.Tracer
+	logger         *obs.Logger
+	slowLog        *obs.RateLimiter
+	tracedSessions TracedSessionMonitor
 
 	janitorStop chan struct{}
 	janitorDone chan struct{}
@@ -130,9 +172,26 @@ func New(det Screener, mon Assessor, cfg Config) *Server {
 
 		cascadeCancel: cascadeCancel,
 	}
+	if cfg.TraceSample > 0 {
+		m.EnableStages()
+		s.logger = cfg.Logger
+		s.slowLog = obs.NewRateLimiter(1, 4)
+		s.tracer = obs.NewTracer(obs.Config{
+			SampleN:       cfg.TraceSample,
+			SlowThreshold: cfg.TraceSlow,
+			Ring:          cfg.TraceRing,
+			OnSpanEnd:     m.ObserveStage,
+			OnSlow:        s.logSlowTrace,
+		})
+	}
 	if sm, ok := mon.(SessionMonitor); ok && sm != nil {
 		s.sessions = sm
 		s.metrics.SessionStats = sm.SessionStats
+		if s.tracer != nil {
+			if ts, ok := mon.(TracedSessionMonitor); ok {
+				s.tracedSessions = ts
+			}
+		}
 		if every := cfg.sessionSweepEvery(); every > 0 {
 			s.janitorStop = make(chan struct{})
 			s.janitorDone = make(chan struct{})
@@ -140,6 +199,23 @@ func New(det Screener, mon Assessor, cfg Config) *Server {
 		}
 	}
 	return s
+}
+
+// logSlowTrace is the tracer's slow-trace hook: one structured log
+// line per slow request, rate-limited so a latency storm cannot turn
+// the log into its own overload, correlated to /debug/traces by trace
+// ID.
+func (s *Server) logSlowTrace(t *obs.Trace) {
+	if s.logger == nil || !s.slowLog.Allow() {
+		return
+	}
+	s.logger.Warn("slow request",
+		obs.F("trace", t.TraceID),
+		obs.F("endpoint", t.Name),
+		obs.F("duration_seconds", t.DurationSeconds),
+		obs.F("spans", len(t.Spans)),
+		obs.F("suppressed", s.slowLog.Suppressed()),
+	)
 }
 
 // janitor periodically evicts idle sessions so memory is released
@@ -182,6 +258,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/users/{id}", s.instrument("user_delete", http.MethodDelete, true, s.handleUserDelete))
 	mux.HandleFunc("/healthz", s.instrument("healthz", http.MethodGet, false, s.handleHealthz))
 	mux.HandleFunc("/metrics", s.instrument("metrics", http.MethodGet, false, s.handleMetrics))
+	mux.HandleFunc("/debug/traces", s.instrument("debug_traces", http.MethodGet, false, s.handleDebugTraces))
 	return mux
 }
 
@@ -201,10 +278,25 @@ func (s *Server) instrument(endpoint, method string, observeLatency bool, h http
 			return
 		}
 		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		var sp *obs.Span
+		if observeLatency && s.tracer != nil {
+			// Root span per sampled request; its name is the endpoint.
+			// Echo the trace identity so callers can quote it back when
+			// reporting a slow request (and downstream hops can join).
+			sp = s.tracer.Root(endpoint, obs.ParseTraceparent(r.Header.Get("traceparent")))
+			if sp != nil {
+				w.Header().Set("traceparent", obs.FormatTraceparent(sp.TraceID(), sp.SpanID(), true))
+				r = r.WithContext(obs.NewContext(r.Context(), sp))
+			}
+		}
 		t0 := time.Now()
 		h(rec, r)
 		if observeLatency {
 			s.metrics.Latency.Observe(time.Since(t0).Seconds())
+		}
+		if sp != nil {
+			sp.Annotate("status", strconv.Itoa(rec.code))
+			sp.End()
 		}
 		s.metrics.Responses[codeClass(rec.code)].Inc()
 	}

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"repro/internal/early"
+	"repro/internal/obs"
 )
 
 // Config tunes a Store. The zero value selects sensible defaults.
@@ -202,6 +203,15 @@ func (st *Store) insert(sh *shard, user string, now time.Time) *sessionEntry {
 // the same user serialize on the shard lock; each post is folded
 // exactly once.
 func (st *Store) Observe(user, post string) (Status, error) {
+	return st.ObserveTraced(user, post, nil)
+}
+
+// ObserveTraced is Observe with request tracing: when sp is non-nil,
+// the classifier signal (computed outside the shard lock) and the
+// locked fold are recorded as "session_signal" and "session_fold"
+// child spans, so a trace shows where an observation's time went. A
+// nil span costs nothing.
+func (st *Store) ObserveTraced(user, post string, sp *obs.Span) (Status, error) {
 	if user == "" {
 		return Status{}, fmt.Errorf("session: empty user id")
 	}
@@ -214,6 +224,7 @@ func (st *Store) Observe(user, post string) (Status, error) {
 	// classifier without one skips the pool trip too.
 	var sig float64
 	var err error
+	sigSp := sp.Child("session_signal")
 	if st.fastPath {
 		sc, _ := st.scratch.Get().(*early.Scratch)
 		if sc == nil {
@@ -224,10 +235,12 @@ func (st *Store) Observe(user, post string) (Status, error) {
 	} else {
 		sig, err = st.mon.Signal(post)
 	}
+	sigSp.End()
 	if err != nil {
 		return Status{}, fmt.Errorf("session: user %s: %w", user, err)
 	}
 	now := st.now()
+	foldSp := sp.Child("session_fold")
 	sh := st.shard(user)
 	sh.mu.Lock()
 	e := st.get(sh, user, now)
@@ -241,6 +254,7 @@ func (st *Store) Observe(user, post string) (Status, error) {
 	sh.order.MoveToFront(sh.entries[user])
 	status := Status{User: user, State: e.state, LastSeen: e.last}
 	sh.mu.Unlock()
+	foldSp.End()
 
 	st.observations.Add(1)
 	if status.State.Alarm && !wasAlarmed {
