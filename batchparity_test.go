@@ -1,0 +1,165 @@
+package mhd
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// This file pins the batch-major kernel's end-to-end contract at the
+// Report level: screening a feed through the chunked batch path, the
+// single-post path, and the quantized escape hatch must agree exactly
+// where the design says they agree, across worker parallelism levels.
+// Run with -race these tests double as the data-race proof for the
+// per-shard scratch and the disjoint-region report writes.
+
+// newQuantTestDetector builds the int8-quantized twin of
+// newTestDetector, once per process.
+var newQuantTestDetector = sync.OnceValues(func() (*Detector, error) {
+	return NewDetector(WithSeed(7), WithTrainingSize(600), WithQuantization(8))
+})
+
+// adversarialFeed builds a deterministically shuffled mix of clean
+// and obfuscated posts — the traffic shape where batched, unbatched,
+// and quantized paths are most likely to diverge if the kernel
+// reorders any accumulation.
+func adversarialFeed(t testing.TB, n int) []string {
+	t.Helper()
+	clean := testFeedTexts(t, n/2)
+	texts := append(clean, perturbTexts(clean, 4242, 3)...)
+	rng := rand.New(rand.NewSource(99))
+	rng.Shuffle(len(texts), func(i, j int) { texts[i], texts[j] = texts[j], texts[i] })
+	return texts
+}
+
+// assertReportsBitIdentical requires got to equal want in every field,
+// with float64s compared by bit pattern.
+func assertReportsBitIdentical(t *testing.T, label string, i int, want, got Report) {
+	t.Helper()
+	fail := func(field string, w, g any) {
+		t.Fatalf("%s: post %d %s mismatch: want %v, got %v", label, i, field, w, g)
+	}
+	if got.Condition != want.Condition {
+		fail("Condition", want.Condition, got.Condition)
+	}
+	if math.Float64bits(got.Confidence) != math.Float64bits(want.Confidence) {
+		fail("Confidence", want.Confidence, got.Confidence)
+	}
+	if len(got.Scores) != len(want.Scores) {
+		fail("Scores arity", want.Scores, got.Scores)
+	}
+	for name, w := range want.Scores {
+		g, ok := got.Scores[name]
+		if !ok || math.Float64bits(g) != math.Float64bits(w) {
+			fail("Scores["+name+"]", w, g)
+		}
+	}
+	if got.Risk != want.Risk {
+		fail("Risk", want.Risk, got.Risk)
+	}
+	if got.Crisis != want.Crisis {
+		fail("Crisis", want.Crisis, got.Crisis)
+	}
+	if got.Adjudicated != want.Adjudicated {
+		fail("Adjudicated", want.Adjudicated, got.Adjudicated)
+	}
+	if got.HardeningRewrites != want.HardeningRewrites {
+		fail("HardeningRewrites", want.HardeningRewrites, got.HardeningRewrites)
+	}
+	if got.Suspicious != want.Suspicious {
+		fail("Suspicious", want.Suspicious, got.Suspicious)
+	}
+	if len(got.Evidence) != len(want.Evidence) {
+		fail("Evidence", want.Evidence, got.Evidence)
+	}
+	for k := range want.Evidence {
+		if got.Evidence[k] != want.Evidence[k] {
+			fail("Evidence", want.Evidence, got.Evidence)
+		}
+	}
+}
+
+// TestBatchKernelPathsBitIdentical screens one shuffled adversarial
+// feed through every inference path at GOMAXPROCS 1 and 4:
+//
+//   - the batch-major kernel (ScreenBatch's chunked PredictTokensBatch
+//     path) must produce Reports bit-identical to the legacy per-post
+//     Screen loop;
+//   - the quantized detector's batch path must likewise be
+//     bit-identical to its own per-post path;
+//   - quantized and float detectors must agree on every
+//     lexicon-grounded field (Risk, Crisis, rewrite accounting) —
+//     quantization may only shift classifier scores, never the
+//     auditable safety outputs.
+func TestBatchKernelPathsBitIdentical(t *testing.T) {
+	det := newTestDetectorMust(t)
+	qdet, err := newQuantTestDetector()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 chunks per worker at the default micro-batch size: enough to
+	// exercise chunk boundaries and a ragged tail.
+	texts := adversarialFeed(t, 2*screenMicroBatch*3-10)
+
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	for _, gmp := range []int{1, 4} {
+		runtime.GOMAXPROCS(gmp)
+
+		wantFloat := screenOneByOne(t, det, texts)
+		gotFloat, err := det.ScreenBatch(texts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantQuant := screenOneByOne(t, qdet, texts)
+		gotQuant, err := qdet.ScreenBatch(texts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range texts {
+			assertReportsBitIdentical(t, "float batch-vs-single", i, wantFloat[i], gotFloat[i])
+			assertReportsBitIdentical(t, "quant batch-vs-single", i, wantQuant[i], gotQuant[i])
+			if wantQuant[i].Risk != wantFloat[i].Risk || wantQuant[i].Crisis != wantFloat[i].Crisis {
+				t.Fatalf("post %d: quantization moved lexicon-graded risk: float (%v, %v), quant (%v, %v)",
+					i, wantFloat[i].Risk, wantFloat[i].Crisis, wantQuant[i].Risk, wantQuant[i].Crisis)
+			}
+			if wantQuant[i].HardeningRewrites != wantFloat[i].HardeningRewrites {
+				t.Fatalf("post %d: quantization changed rewrite accounting", i)
+			}
+		}
+	}
+}
+
+func screenOneByOne(t *testing.T, det *Detector, texts []string) []Report {
+	t.Helper()
+	out := make([]Report, len(texts))
+	for i, text := range texts {
+		rep, err := det.Screen(text)
+		if err != nil {
+			t.Fatalf("Screen(post %d): %v", i, err)
+		}
+		out[i] = rep
+	}
+	return out
+}
+
+// TestScreenBatchChunkErrorAttribution pins that a failing post inside
+// a later micro-batch chunk is attributed to its absolute batch index,
+// not its chunk-local one.
+func TestScreenBatchChunkErrorAttribution(t *testing.T) {
+	det := newTestDetectorMust(t)
+	texts := testFeedTexts(t, screenMicroBatch+5)
+	bad := screenMicroBatch + 2 // second chunk
+	texts[bad] = ""
+	_, err := det.ScreenBatch(texts)
+	var pe *PostError
+	if !errors.As(err, &pe) {
+		t.Fatalf("want *PostError, got %v", err)
+	}
+	if pe.Post != bad {
+		t.Fatalf("PostError.Post = %d, want %d", pe.Post, bad)
+	}
+}

@@ -70,6 +70,7 @@ type options struct {
 	band         string
 	adjudicators int
 	harden       bool
+	quantize     int
 }
 
 func main() {
@@ -88,6 +89,7 @@ func main() {
 	flag.StringVar(&opts.band, "band", mhd.DefaultBand.String(), `cascade: calibrated-probability uncertainty band "lo,hi" — posts inside it escalate`)
 	flag.IntVar(&opts.adjudicators, "adjudicators", 4, "cascade: max concurrent LLM adjudications")
 	flag.BoolVar(&opts.harden, "harden", false, "fold homoglyphs, zero-width characters, and leetspeak before screening; with -cascade, suspicious posts escalate")
+	flag.IntVar(&opts.quantize, "quantize", 0, "quantize baseline weights to 8 or 16 bits (0 keeps float64; scores shift within the documented error bound)")
 	version := flag.Bool("version", false, "print build information and exit")
 	flag.Parse()
 	if *version {
@@ -125,6 +127,9 @@ func run(ctx context.Context, opts options, stdin io.Reader, out, errw io.Writer
 	}
 	if opts.harden {
 		detOpts = append(detOpts, mhd.WithHardening())
+	}
+	if opts.quantize != 0 {
+		detOpts = append(detOpts, mhd.WithQuantization(opts.quantize))
 	}
 	if opts.cascade != "" {
 		band, err := mhd.ParseBand(opts.band)

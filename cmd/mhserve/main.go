@@ -94,6 +94,7 @@ type options struct {
 	band            string
 	adjudicators    int
 	harden          bool
+	quantize        int
 	traceSample     int
 	traceSlow       time.Duration
 	traceRing       int
@@ -122,6 +123,7 @@ func main() {
 	flag.StringVar(&opts.band, "band", mhd.DefaultBand.String(), `cascade: calibrated-probability uncertainty band "lo,hi" — posts inside it escalate`)
 	flag.IntVar(&opts.adjudicators, "adjudicators", 4, "cascade: max concurrent LLM adjudications")
 	flag.BoolVar(&opts.harden, "harden", false, "fold homoglyphs, zero-width characters, and leetspeak before screening; with -cascade, suspicious posts escalate")
+	flag.IntVar(&opts.quantize, "quantize", 0, "quantize baseline weights to 8 or 16 bits (0 keeps float64; scores shift within the documented error bound)")
 	flag.IntVar(&opts.traceSample, "trace-sample", 16, "tracing: record 1 in this many screening requests (1 traces all, 0 disables; slow requests and sampled traceparent headers always trace)")
 	flag.DurationVar(&opts.traceSlow, "trace-slow", 250*time.Millisecond, "tracing: always retain and log requests at least this slow")
 	flag.IntVar(&opts.traceRing, "trace-ring", 64, "tracing: how many recent and slow traces /debug/traces retains")
@@ -163,6 +165,9 @@ func run(ctx context.Context, opts options, ready chan<- string, logw io.Writer)
 	}
 	if opts.harden {
 		detOpts = append(detOpts, mhd.WithHardening())
+	}
+	if opts.quantize != 0 {
+		detOpts = append(detOpts, mhd.WithQuantization(opts.quantize))
 	}
 	if opts.cascade != "" {
 		band, err := mhd.ParseBand(opts.band)

@@ -80,10 +80,10 @@ type Detector struct {
 	harden        bool
 	suspicionK    int     // rewrites >= K flags the post suspicious
 	suspicionRate float64 // cascade budget for suspicion escalations
-	// scratch recycles per-call screen state for the single-post
-	// Screen entry point, so even unbatched callers ride the
-	// zero-allocation path once warm. Batch and stream carry their
-	// own per-shard scratch instead (never contended, no pool trips).
+	// scratch recycles per-call screen state across Screen, batch, and
+	// cascade entry points, so both unbatched callers and repeat
+	// batchers (the serving coalescer) ride warm buffers. Streams keep
+	// private per-shard scratch for their lifetime instead.
 	scratch sync.Pool
 }
 
@@ -101,6 +101,7 @@ type detectorConfig struct {
 	harden       bool          // adversarial text hardening
 	suspicionK   int           // hardening rewrites that flag suspicion
 	suspicion    float64       // cascade suspicion escalation budget
+	quantBits    int           // weight quantization width; 0 keeps float
 }
 
 // Option configures NewDetector.
@@ -227,6 +228,21 @@ func WithSuspicionBudget(rate float64) Option {
 	return func(c *detectorConfig) { c.suspicion = rate }
 }
 
+// WithQuantization compresses the baseline engine's trained weight
+// matrix to the given integer width — 8 (int8) or 16 (int16) bits —
+// shrinking it 8x or 4x so more of it stays cache-resident on the
+// inference fast path. This is an escape hatch, off by default: the
+// float path stays the reference oracle (the quantization fuzz test
+// pins the quantized scores to it within the documented error
+// contract — at most scale/2 * ||x||_1 per class pre-softmax, where
+// scale is max|w|/(2^(bits-1)-1)). Reports may differ from the float
+// path in Scores/Confidence by up to that bound; lexicon-grounded
+// fields (Risk, Crisis, Evidence) are unaffected. Only meaningful
+// with the baseline engine; NewDetector rejects it on LLM engines.
+func WithQuantization(bits int) Option {
+	return func(c *detectorConfig) { c.quantBits = bits }
+}
+
 // NewDetector builds a multi-condition screening detector.
 func NewDetector(opts ...Option) (*Detector, error) {
 	cfg := detectorConfig{engine: "baseline", seed: 1, trainSize: 2400,
@@ -271,8 +287,16 @@ func NewDetector(opts ...Option) (*Detector, error) {
 		if err := clf.Fit(ds.Examples()); err != nil {
 			return nil, err
 		}
+		if cfg.quantBits != 0 {
+			if err := clf.EnableQuantization(cfg.quantBits); err != nil {
+				return nil, fmt.Errorf("mhd: %w", err)
+			}
+		}
 		d.clf = clf
 	default:
+		if cfg.quantBits != 0 {
+			return nil, fmt.Errorf("mhd: quantization requires the baseline engine")
+		}
 		card, err := llm.LookupModel(cfg.engine)
 		if err != nil {
 			return nil, fmt.Errorf("mhd: engine must be \"baseline\" or a model name: %w", err)
@@ -398,10 +422,18 @@ func (d *Detector) AdjudicatorUsage() llm.Usage {
 // a screenScratch belongs to exactly one worker shard (or to one
 // pooled Screen call) at a time and is never shared concurrently.
 type screenScratch struct {
-	tokens  []string
-	matches []lexicon.Match
-	ps      task.Scratch      // classifier scratch; nil when d.fast is nil
-	hard    *textkit.Hardener // hardening memo; nil unless WithHardening
+	tokens   []string
+	matches  []lexicon.Match
+	evidence []string          // per-post evidence staging arena
+	ps       task.Scratch      // classifier scratch; nil when d.fast is nil
+	hard     *textkit.Hardener // hardening memo; nil unless WithHardening
+
+	// Micro-batch chunk state (screenChunk): the chunk's posts
+	// tokenize into the shared tokens arena with per-post windows in
+	// views, so one PredictTokensBatch call scores the whole chunk.
+	views         [][]string
+	chunkRewrites []int
+	chunkSpans    []*obs.Span
 }
 
 // newScratch builds scratch wired to the detector's classifier.
@@ -437,32 +469,52 @@ func (d *Detector) Screen(text string) (Report, error) {
 // zero-allocation.
 func (d *Detector) screen(text string, sc *screenScratch, sp *obs.Span) (Report, float64, error) {
 	if text == "" {
-		return Report{}, 0, fmt.Errorf("mhd: empty text")
+		return Report{}, 0, errEmptyText
 	}
-	// Tokenize once: the same normalized word tokens feed both the
-	// classifier's featurizer (via the fast path) and the condition
-	// automaton below. The fused tokenizer skips materializing the
-	// normalized string entirely. In hardened mode the fused hardening
-	// tokenizer additionally canonicalizes obfuscation (homoglyphs,
-	// zero-width, leet, emoji) and counts the rewrites.
-	rewrites := 0
-	if sc.hard != nil {
-		hsp := sp.Child("harden")
-		sc.tokens, rewrites = sc.hard.AppendNormalizedWords(sc.tokens[:0], text)
-		hsp.End()
-	} else {
-		sc.tokens = textkit.AppendNormalizedWords(sc.tokens[:0], text)
-	}
+	toks, rewrites := d.tokenize(sc.tokens[:0], text, sc, sp)
+	sc.tokens = toks
 	var pred task.Prediction
 	var err error
 	if d.fast != nil {
-		pred, err = d.fast.PredictTokens(sc.tokens, sc.ps)
+		pred, err = d.fast.PredictTokens(toks, sc.ps)
 	} else {
 		pred, err = d.clf.Predict(text)
 	}
 	if err != nil {
 		return Report{}, 0, err
 	}
+	rep, top := d.finishReport(toks, pred, rewrites, sc)
+	return rep, top, nil
+}
+
+var errEmptyText = errors.New("mhd: empty text")
+
+// tokenize appends text's normalized word tokens to dst and reports
+// how many characters the hardening pass rewrote (always 0 without
+// WithHardening). The same token slice feeds both the classifier's
+// featurizer (via the fast path) and the condition automaton, and the
+// fused tokenizer skips materializing the normalized string entirely.
+// In hardened mode the fused hardening tokenizer additionally
+// canonicalizes obfuscation (homoglyphs, zero-width, leet, emoji) and
+// the pass is recorded as a "harden" child of sp when tracing.
+func (d *Detector) tokenize(dst []string, text string, sc *screenScratch, sp *obs.Span) ([]string, int) {
+	if sc.hard != nil {
+		hsp := sp.Child("harden")
+		toks, rewrites := sc.hard.AppendNormalizedWords(dst, text)
+		hsp.End()
+		return toks, rewrites
+	}
+	return textkit.AppendNormalizedWords(dst, text), 0
+}
+
+// finishReport turns one post's prediction into its Report: score-map
+// fill, the control-margin guardrail, lexicon-grounded risk grading
+// and evidence. It is shared verbatim by the per-post and micro-batch
+// paths, which is what keeps batched Reports bit-identical to
+// unbatched ones. The returned float64 is the classifier's raw
+// top-class confidence (pre-guardrail max softmax score), which the
+// cascade calibrates for escalation routing.
+func (d *Detector) finishReport(toks []string, pred task.Prediction, rewrites int, sc *screenScratch) (Report, float64) {
 	top := 0.0
 	for _, s := range pred.Scores {
 		if s > top {
@@ -493,20 +545,25 @@ func (d *Detector) screen(text string, sc *screenScratch, sp *obs.Span) (Report,
 
 	// Risk grading and evidence are lexicon-grounded so they remain
 	// auditable regardless of the engine. One pass over the shared
-	// condition automaton — over the token slice already computed
-	// above — yields the matches of every lexicon at once; risk score
-	// and evidence lists are then derived without re-scanning.
+	// condition automaton — over the token slice already computed by
+	// the caller — yields the matches of every lexicon at once; risk
+	// score and evidence lists are then derived without re-scanning.
+	// Evidence stages through sc.evidence (condition hits, then SI
+	// hits deduplicated against them in first-occurrence order) so the
+	// whole evidence build costs exactly one allocation — the final
+	// exact-size copy into the Report.
 	ca := lexicon.Conditions()
-	sc.matches = ca.AppendMatches(sc.matches[:0], sc.tokens)
+	sc.matches = ca.AppendMatches(sc.matches[:0], toks)
 	siLex := ca.Index(SuicidalIdeation)
-	rep.Risk = gradeRisk(sc.matches, siLex, len(sc.tokens))
+	rep.Risk = gradeRisk(sc.matches, siLex, len(toks))
 	rep.Crisis = rep.Risk >= SeverityModerate
+	ev := sc.evidence[:0]
 	if rep.Condition != Control {
-		rep.Evidence = lexicon.AppendHitsOf(nil, sc.matches, ca.Index(rep.Condition))
+		ev = lexicon.AppendHitsOf(ev, sc.matches, ca.Index(rep.Condition))
 		// Auditability invariant: a clinical call must cite at least
 		// one lexicon phrase; otherwise it degrades to Control (the
 		// score distribution still records the model's suspicion).
-		if len(rep.Evidence) == 0 {
+		if len(ev) == 0 {
 			rep.Condition = Control
 			if len(pred.Scores) == len(d.labels) {
 				rep.Confidence = pred.Scores[0]
@@ -514,10 +571,38 @@ func (d *Detector) screen(text string, sc *screenScratch, sp *obs.Span) (Report,
 		}
 	}
 	if rep.Risk > SeverityNone {
-		siHits := lexicon.AppendHitsOf(nil, sc.matches, siLex)
-		rep.Evidence = mergeEvidence(rep.Evidence, siHits)
+		ev = appendDedup(ev, sc.matches, siLex)
 	}
-	return rep, top, nil
+	sc.evidence = ev
+	if len(ev) > 0 {
+		rep.Evidence = make([]string, len(ev))
+		copy(rep.Evidence, ev)
+	}
+	return rep, top
+}
+
+// appendDedup appends lexicon lex's hit phrases to ev, dropping any
+// phrase already present — mergeEvidence's semantics on the staging
+// arena, without its intermediate allocations. Hit lists are a
+// handful of phrases, so the linear containment scan beats hashing.
+func appendDedup(ev []string, matches []lexicon.Match, lex int) []string {
+	n0 := len(ev)
+	ev = lexicon.AppendHitsOf(ev, matches, lex)
+	w := n0
+	for r := n0; r < len(ev); r++ {
+		dup := false
+		for _, t := range ev[:w] {
+			if t == ev[r] {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			ev[w] = ev[r]
+			w++
+		}
+	}
+	return ev[:w]
 }
 
 // riskThresholds are the SI-score cut points between severity
@@ -590,31 +675,137 @@ func (d *Detector) ScreenBatch(texts []string) ([]Report, error) {
 	return d.ScreenBatchContext(context.Background(), texts)
 }
 
+// screenMicroBatch is how many posts one batch-major kernel call
+// scores. Large enough that the gathered feature sweep amortizes the
+// weight-matrix traffic (a feature active in k posts of the chunk
+// costs one cache-line fill instead of k), small enough that a
+// coalescer-sized batch still fans out across every worker shard.
+const screenMicroBatch = 32
+
 // ScreenBatchContext is ScreenBatch with cancellation: if ctx is
 // cancelled mid-batch the remaining posts are abandoned and ctx's
 // error is returned.
+//
+// When the engine exposes the tokenize-once fast path, the batch is
+// chunked into micro-batches of screenMicroBatch posts and each chunk
+// is scored by one batch-major kernel call (task.BatchPredictor.
+// PredictTokensBatch); reports are bit-identical to the per-post path
+// — the kernel contract plus the shared finishReport guarantee it,
+// and the race-mode property tests pin it.
 func (d *Detector) ScreenBatchContext(ctx context.Context, texts []string) ([]Report, error) {
 	workers := d.poolWorkers()
+	// Per-shard scratch comes from (and returns to) the detector's
+	// pool, so a caller that batches repeatedly — the serving
+	// coalescer above all — reuses warm kernel arenas instead of
+	// regrowing gather/score buffers from zero on every batch.
 	scratch := make([]*screenScratch, workers)
 	for i := range scratch {
-		scratch[i] = d.newScratch()
+		sc, _ := d.scratch.Get().(*screenScratch)
+		if sc == nil {
+			sc = d.newScratch()
+		}
+		scratch[i] = sc
 	}
+	defer func() {
+		for _, sc := range scratch {
+			d.scratch.Put(sc)
+		}
+	}()
 	// Per-item trace spans, when the caller (the serving coalescer)
 	// attached any to ctx: each post's screening is recorded as a
 	// "screen" span on that post's request trace.
 	spans := obs.BatchFromContext(ctx)
-	reports, err := pipeline.MapIndexed(ctx, texts, pipeline.Config{Workers: workers},
-		func(shard, i int, text string) (Report, error) {
-			sp := spans.At(i).Child("screen")
-			rep, _, err := d.screen(text, scratch[shard], sp)
-			sp.End()
-			return rep, err
+	if d.fast == nil || len(texts) < 2 {
+		// LLM engines have no token kernel; a lone post gains nothing
+		// from chunking. Screen post-by-post as before.
+		reports, err := pipeline.MapIndexed(ctx, texts, pipeline.Config{Workers: workers},
+			func(shard, i int, text string) (Report, error) {
+				sp := spans.At(i).Child("screen")
+				rep, _, err := d.screen(text, scratch[shard], sp)
+				sp.End()
+				return rep, err
+			})
+		var ie *pipeline.ItemError
+		if errors.As(err, &ie) {
+			return nil, &PostError{Post: ie.Index, Err: ie.Err}
+		}
+		return reports, err
+	}
+
+	starts := make([]int, (len(texts)+screenMicroBatch-1)/screenMicroBatch)
+	for i := range starts {
+		starts[i] = i * screenMicroBatch
+	}
+	reports := make([]Report, len(texts))
+	// Chunks write disjoint regions of reports, so the only shared
+	// state between workers is the read-only input.
+	_, err := pipeline.MapIndexed(ctx, starts, pipeline.Config{Workers: workers},
+		func(shard, ci, lo int) (struct{}, error) {
+			hi := lo + screenMicroBatch
+			if hi > len(texts) {
+				hi = len(texts)
+			}
+			return struct{}{}, d.screenChunk(texts[lo:hi], lo, reports[lo:hi], scratch[shard], spans)
 		})
 	var ie *pipeline.ItemError
 	if errors.As(err, &ie) {
-		return nil, &PostError{Post: ie.Index, Err: ie.Err}
+		var pe *PostError
+		if errors.As(ie.Err, &pe) {
+			return nil, pe
+		}
+		return nil, &PostError{Post: starts[ie.Index], Err: ie.Err}
 	}
-	return reports, err
+	if err != nil {
+		return nil, err
+	}
+	return reports, nil
+}
+
+// screenChunk screens one micro-batch on the worker's scratch: every
+// post tokenizes into the shared token arena, one batch-major kernel
+// call scores the whole chunk, then each post gets the same
+// finishReport as the per-post path. base is the chunk's offset in
+// the batch (for error attribution and trace spans); out receives the
+// chunk's reports. A traced post's "screen" span covers the chunk
+// work its screening is batched with — under the coalescer that is
+// the latency the request actually experiences.
+func (d *Detector) screenChunk(texts []string, base int, out []Report, sc *screenScratch, spans obs.SpanSet) error {
+	views := sc.views[:0]
+	rewrites := sc.chunkRewrites[:0]
+	ssp := sc.chunkSpans[:0]
+	fail := func(post int, err error) error {
+		for _, sp := range ssp {
+			sp.End()
+		}
+		sc.views, sc.chunkRewrites, sc.chunkSpans = views, rewrites, ssp[:0]
+		return &PostError{Post: post, Err: err}
+	}
+	toks := sc.tokens[:0]
+	for i, text := range texts {
+		sp := spans.At(base + i).Child("screen")
+		ssp = append(ssp, sp)
+		if text == "" {
+			return fail(base+i, errEmptyText)
+		}
+		// Earlier views survive arena growth: append may move the
+		// backing array, but the moved-from prefix is never mutated.
+		n0 := len(toks)
+		var rw int
+		toks, rw = d.tokenize(toks, text, sc, sp)
+		views = append(views, toks[n0:])
+		rewrites = append(rewrites, rw)
+	}
+	sc.tokens = toks
+	preds, err := d.fast.PredictTokensBatch(views, sc.ps)
+	if err != nil {
+		return fail(base, err)
+	}
+	for i := range texts {
+		out[i], _ = d.finishReport(views[i], preds[i], rewrites[i], sc)
+		ssp[i].End()
+	}
+	sc.views, sc.chunkRewrites, sc.chunkSpans = views, rewrites, ssp[:0]
+	return nil
 }
 
 // StreamReport pairs one streamed post with its report. Err is

@@ -114,11 +114,13 @@ func TestScreenDeterministic(t *testing.T) {
 
 // TestScreenAllocations is the allocation-regression gate on the
 // zero-allocation fast path: once the detector's scratch pool is
-// warm, one Screen may allocate only the Report itself (its Scores
-// map and evidence slices — 5 to 6 allocations today). The cap
-// carries headroom for Go-version drift, but a return of per-post
-// tokenization, featurization, or sparse-vector allocations (dozens
-// per call) fails loudly.
+// warm, one Screen may allocate only the Report itself — its Scores
+// map (part of the public API) and, when there is evidence, one
+// exact-size evidence slice; 2 allocations today, since evidence is
+// staged in scratch and copied out once. The cap carries headroom
+// for Go-version drift, but a return of per-post tokenization,
+// featurization, or sparse-vector allocations (dozens per call)
+// fails loudly.
 func TestScreenAllocations(t *testing.T) {
 	if raceEnabled {
 		t.Skip("race instrumentation changes allocation counts")
@@ -133,7 +135,7 @@ func TestScreenAllocations(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	const maxAllocs = 10
+	const maxAllocs = 4
 	i := 0
 	avg := testing.AllocsPerRun(256, func() {
 		if _, err := det.Screen(texts[i%len(texts)]); err != nil {

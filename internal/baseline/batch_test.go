@@ -1,0 +1,262 @@
+package baseline
+
+import (
+	"math"
+	"math/rand"
+	"slices"
+	"testing"
+	"unicode/utf8"
+
+	"repro/internal/task"
+	"repro/internal/textkit"
+)
+
+// batchTexts is a small feed with deliberate feature overlap (shared
+// vocabulary across posts) so the gathered sweep exercises the
+// coalesced-weight-row path, plus degenerate rows (empty, OOV).
+var batchTexts = []string{
+	"i feel so hopeless and worthless lately, crying every night",
+	"what a great sunny day for hiking with friends",
+	"can't stop worrying about everything, heart racing",
+	"hopeless worthless crying hopeless crying",
+	"zzz qqq completely out of vocabulary words",
+	"",
+	"Sooo tired!!! https://example.com @you #anxious t_t",
+	"panic panic panic attack attack",
+	"sunny friends hiking crying hopeless",
+}
+
+// tokenizeBatch materializes per-post token slices the way the
+// detector's chunk path does: one shared arena, per-post windows.
+func tokenizeBatch(texts []string) [][]string {
+	var arena []string
+	views := make([][]string, len(texts))
+	for i, text := range texts {
+		n0 := len(arena)
+		arena = textkit.AppendNormalizedWords(arena, text)
+		views[i] = arena[n0:]
+	}
+	return views
+}
+
+// TestPredictTokensBatchMatchesSingle pins the batch kernel contract:
+// for every classifier, PredictTokensBatch(batch)[i] is bit-identical
+// to PredictTokens(batch[i]), and the whole batch's Scores stay valid
+// together after the call.
+func TestPredictTokensBatchMatchesSingle(t *testing.T) {
+	m := trainedFastModels(t)
+	batch := tokenizeBatch(batchTexts)
+	for _, clf := range m.all {
+		batchSc := clf.NewScratch()
+		singleSc := clf.NewScratch()
+		// Two rounds through the same scratch: the second exercises
+		// buffer reuse, not just fresh-slice behavior.
+		for round := 0; round < 2; round++ {
+			preds, err := clf.PredictTokensBatch(batch, batchSc)
+			if err != nil {
+				t.Fatalf("%s.PredictTokensBatch: %v", clf.Name(), err)
+			}
+			if len(preds) != len(batch) {
+				t.Fatalf("%s: got %d predictions for %d posts", clf.Name(), len(preds), len(batch))
+			}
+			// Compare every row only after the full batch call so the
+			// all-rows-alive-together guarantee is what's tested.
+			for i, text := range batchTexts {
+				single, err := clf.PredictTokens(batch[i], singleSc)
+				if err != nil {
+					t.Fatalf("%s.PredictTokens(%q): %v", clf.Name(), text, err)
+				}
+				assertSamePrediction(t, clf.Name(), text, single, preds[i])
+			}
+		}
+	}
+}
+
+func TestPredictTokensBatchBeforeFit(t *testing.T) {
+	for _, clf := range []task.BatchPredictor{
+		NewLogisticRegression(2, LRConfig{}),
+		NewLinearSVM(2, SVMConfig{}),
+		NewCentroid(2, 0),
+		NewNaiveBayes(2, 1),
+	} {
+		if _, err := clf.PredictTokensBatch([][]string{{"x"}}, clf.NewScratch()); err == nil {
+			t.Errorf("%s.PredictTokensBatch before Fit must error", clf.Name())
+		}
+	}
+}
+
+func TestPredictTokensBatchEmpty(t *testing.T) {
+	m := trainedFastModels(t)
+	for _, clf := range m.all {
+		preds, err := clf.PredictTokensBatch(nil, clf.NewScratch())
+		if err != nil {
+			t.Fatalf("%s on empty batch: %v", clf.Name(), err)
+		}
+		if len(preds) != 0 {
+			t.Fatalf("%s: %d predictions for empty batch", clf.Name(), len(preds))
+		}
+	}
+}
+
+// TestSortGather checks the radix sort against the comparison sort on
+// sizes both below and above the radix cutoff, including indices that
+// force the 4-pass wide path.
+func TestSortGather(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, tc := range []struct {
+		n      int
+		maxIdx int32
+	}{
+		{10, 100}, {63, 30000}, {64, 30000}, {500, 30000}, {500, 1 << 20}, {2000, 65535},
+	} {
+		sc := &predictScratch{}
+		for i := 0; i < tc.n; i++ {
+			sc.gather = append(sc.gather, gatherFeat{
+				index: rng.Int31n(tc.maxIdx + 1),
+				row:   int32(i), // unique rows double as a stability witness
+				value: rng.Float64(),
+			})
+		}
+		want := slices.Clone(sc.gather)
+		slices.SortStableFunc(want, func(a, b gatherFeat) int { return int(a.index) - int(b.index) })
+		sc.sortGather(tc.maxIdx)
+		for i := range want {
+			if sc.gather[i] != want[i] {
+				t.Fatalf("n=%d maxIdx=%d: entry %d = %+v, want %+v (stable order violated)",
+					tc.n, tc.maxIdx, i, sc.gather[i], want[i])
+			}
+		}
+	}
+}
+
+// quantLR lazily quantizes clones of the shared LR model. Quantizing
+// mutates the model's fast path, so the tests work on copies and the
+// shared instance stays float.
+func quantLR(t testing.TB, bits int) *LogisticRegression {
+	t.Helper()
+	m := trainedFastModels(t)
+	clone := *m.lr
+	if err := clone.EnableQuantization(bits); err != nil {
+		t.Fatalf("EnableQuantization(%d): %v", bits, err)
+	}
+	return &clone
+}
+
+func TestEnableQuantizationValidates(t *testing.T) {
+	m := trainedFastModels(t)
+	clone := *m.lr
+	for _, bits := range []int{0, 7, 32, -8} {
+		if err := clone.EnableQuantization(bits); err == nil {
+			t.Errorf("EnableQuantization(%d) must error", bits)
+		}
+	}
+	unfitted := NewLogisticRegression(2, LRConfig{})
+	if err := unfitted.EnableQuantization(8); err == nil {
+		t.Error("EnableQuantization before Fit must error")
+	}
+	if bits, scale := m.lr.QuantizationScale(); bits != 0 || scale != 0 {
+		t.Errorf("float model reports quantization (%d, %g)", bits, scale)
+	}
+	if bits, _ := quantLR(t, 16).QuantizationScale(); bits != 16 {
+		t.Errorf("quantized model reports bits %d, want 16", bits)
+	}
+}
+
+// checkQuantContract verifies the documented quantization error
+// contract for one token slice: per class, the quantized pre-bias
+// score differs from the float score by at most (scale/2) * ||x||_1,
+// and the quantized batch path is bit-identical to the quantized
+// single-post path.
+func checkQuantContract(t *testing.T, qm *LogisticRegression, fm *LogisticRegression, toks []string) {
+	t.Helper()
+	sc := &predictScratch{}
+	feats, err := fm.vec.AppendTransform(nil, sc.stemFiltered(toks))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l1 := 0.0
+	for _, f := range feats {
+		l1 += math.Abs(f.Value)
+	}
+	_, scale := qm.QuantizationScale()
+	bound := scale/2*l1 + 1e-12 // epsilon absorbs the accumulation rounding
+	ref := dotFeats(nil, feats, fm.wf, fm.numClasses)
+	got := qm.quant.dotFeats(nil, feats, qm.numClasses)
+	for c := range ref {
+		if diff := math.Abs(got[c] - ref[c]); diff > bound {
+			t.Fatalf("bits=%d class %d: quantized score %v vs float %v, |diff| %g > bound %g (scale %g, l1 %g)",
+				qm.quant.Bits, c, got[c], ref[c], diff, bound, scale, l1)
+		}
+	}
+}
+
+func TestQuantizationErrorContract(t *testing.T) {
+	m := trainedFastModels(t)
+	for _, bits := range []int{8, 16} {
+		qm := quantLR(t, bits)
+		for _, text := range batchTexts {
+			toks := textkit.AppendNormalizedWords(nil, text)
+			checkQuantContract(t, qm, m.lr, toks)
+		}
+	}
+}
+
+// TestQuantizedBatchMatchesSingle pins that the batch kernel contract
+// holds on the quantized path too: quantized batch rows are
+// bit-identical to quantized single-post predictions.
+func TestQuantizedBatchMatchesSingle(t *testing.T) {
+	batch := tokenizeBatch(batchTexts)
+	for _, bits := range []int{8, 16} {
+		qm := quantLR(t, bits)
+		batchSc := qm.NewScratch()
+		singleSc := qm.NewScratch()
+		preds, err := qm.PredictTokensBatch(batch, batchSc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, text := range batchTexts {
+			single, err := qm.PredictTokens(batch[i], singleSc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertSamePrediction(t, "quantized-lr", text, single, preds[i])
+		}
+	}
+}
+
+// FuzzQuantizedMatchesFloatOracle mirrors FuzzFastFeaturizeMatchesLegacy
+// for the quantized escape hatch: the float path is the oracle, and
+// for arbitrary UTF-8 input the quantized pre-bias scores must stay
+// within the documented error contract while the quantized batch and
+// single-post paths stay bit-identical to each other.
+func FuzzQuantizedMatchesFloatOracle(f *testing.F) {
+	f.Add("i feel so hopeless and worthless lately")
+	f.Add("panic attack t_t panic t t attack")
+	f.Add("“quotes” — www.x.y #@user i can't... 日本語")
+	f.Add("")
+	m := trainedFastModels(f)
+	q8, q16 := quantLR(f, 8), quantLR(f, 16)
+	scratches := []task.Scratch{q8.NewScratch(), q16.NewScratch()}
+	single := []task.Scratch{q8.NewScratch(), q16.NewScratch()}
+	f.Fuzz(func(t *testing.T, s string) {
+		if !utf8.ValidString(s) {
+			t.Skip()
+		}
+		toks := textkit.AppendNormalizedWords(nil, s)
+		batch := [][]string{toks, toks}
+		for i, qm := range []*LogisticRegression{q8, q16} {
+			checkQuantContract(t, qm, m.lr, toks)
+			preds, err := qm.PredictTokensBatch(batch, scratches[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref, err := qm.PredictTokens(toks, single[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, p := range preds {
+				assertSamePrediction(t, "quantized-lr", s, ref, p)
+			}
+		}
+	})
+}

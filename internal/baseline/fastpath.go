@@ -37,6 +37,12 @@ type predictScratch struct {
 	feats   []IndexedFeature
 	scores  []float64
 	stemmer textkit.Stemmer
+
+	// batch-major kernel state (PredictTokensBatch)
+	gather  []gatherFeat      // whole-batch features sorted by index
+	gather2 []gatherFeat      // radix-sort ping-pong buffer
+	mat     []float64         // rows*classes flat score matrix
+	preds   []task.Prediction // reusable result slice
 }
 
 // scratchFor coerces a task.Scratch back to the concrete type,
@@ -154,4 +160,234 @@ func dotFeats(dst []float64, feats []IndexedFeature, flat []float64, classes int
 		}
 	}
 	return dst
+}
+
+// gatherFeat is one (feature index, post row, tf-idf value) triple of
+// a gathered micro-batch. 32-bit index/row keep the triple at 16
+// bytes so the post-sort sweep streams through it two per cache line.
+type gatherFeat struct {
+	index int32
+	row   int32
+	value float64
+}
+
+// gatherBatch featurizes every post of a micro-batch and merges the
+// per-post sorted feature lists into one gather list sorted ascending
+// by feature index in sc.gather. Within a post a feature index never
+// repeats (AppendTransform merges duplicates), so any index-ordered
+// permutation keeps each row's entries in ascending-index order —
+// exactly the per-post accumulation order dotFeats uses, which is
+// what makes the sweep bit-identical to the single-post path.
+func (sc *predictScratch) gatherBatch(vec *TFIDF, batch [][]string) error {
+	sc.gather = sc.gather[:0]
+	feats := sc.feats
+	maxIdx := int32(0)
+	for row, toks := range batch {
+		feats = feats[:0]
+		var err error
+		feats, err = vec.AppendTransform(feats, sc.stemFiltered(toks))
+		if err != nil {
+			sc.feats = feats
+			return err
+		}
+		for _, f := range feats {
+			sc.gather = append(sc.gather, gatherFeat{
+				index: int32(f.Index), row: int32(row), value: f.Value,
+			})
+		}
+		if n := len(feats); n > 0 && feats[n-1].Index > int(maxIdx) {
+			maxIdx = int32(feats[n-1].Index) // per-post lists are sorted; last is max
+		}
+	}
+	sc.feats = feats
+	sc.sortGather(maxIdx)
+	return nil
+}
+
+// sortGather orders sc.gather ascending by feature index with an LSD
+// radix sort — stable, so each row's entries keep their relative
+// (already ascending) order, and O(n) where a comparison sort's
+// n log n constant dominated the whole kernel at micro-batch sizes.
+// Passes run in pairs ping-ponging through sc.gather2, so the result
+// always lands back in sc.gather.
+func (sc *predictScratch) sortGather(maxIdx int32) {
+	n := len(sc.gather)
+	if n < 64 {
+		// Tiny chunks: the comparison sort's constant is smaller than
+		// two counting passes.
+		slices.SortFunc(sc.gather, func(a, b gatherFeat) int {
+			return int(a.index) - int(b.index)
+		})
+		return
+	}
+	if cap(sc.gather2) < n {
+		sc.gather2 = make([]gatherFeat, n)
+	}
+	passes := 2 // default vocabularies fit in 16 bits
+	if maxIdx >= 1<<16 {
+		passes = 4
+	}
+	src, dst := sc.gather, sc.gather2[:n]
+	var count [256]int
+	for p := 0; p < passes; p++ {
+		shift := uint(8 * p)
+		for i := range count {
+			count[i] = 0
+		}
+		for _, g := range src {
+			count[(g.index>>shift)&0xff]++
+		}
+		sum := 0
+		for i, c := range count {
+			count[i] = sum
+			sum += c
+		}
+		for _, g := range src {
+			b := (g.index >> shift) & 0xff
+			dst[count[b]] = g
+			count[b]++
+		}
+		src, dst = dst, src
+	}
+}
+
+// scoreMat reslices sc.mat to a zeroed rows*classes matrix.
+func (sc *predictScratch) scoreMat(rows, classes int) []float64 {
+	n := rows * classes
+	mat := sc.mat[:0]
+	for i := 0; i < n; i++ {
+		mat = append(mat, 0)
+	}
+	sc.mat = mat
+	return mat
+}
+
+// sweepBatch is the batch-major kernel: one pass over the gathered
+// micro-batch in ascending feature index order, accumulating every
+// post's scores against the feature-major flat weight layout at once.
+// The weight matrix — the large operand — is visited once per
+// distinct active feature instead of once per (post, feature), so a
+// feature shared by k posts costs one cache-line fill instead of k.
+// Per (row, class) the terms still add in ascending index order, so
+// each row of the result is bit-identical to dotFeats on that post.
+func (sc *predictScratch) sweepBatch(flat []float64, rows, classes int) []float64 {
+	mat := sc.scoreMat(rows, classes)
+	for _, g := range sc.gather {
+		wBase := int(g.index) * classes
+		row := mat[int(g.row)*classes:][:classes]
+		for c := 0; c < classes; c++ {
+			row[c] += g.value * flat[wBase+c]
+		}
+	}
+	return mat
+}
+
+// batchPreds reslices sc.preds for a rows-long result.
+func (sc *predictScratch) batchPreds() []task.Prediction {
+	return sc.preds[:0]
+}
+
+// quantInt constrains the storable quantized weight cell types.
+type quantInt interface{ ~int8 | ~int16 }
+
+// quantWeights is a symmetric linear quantization of a feature-major
+// flat weight layout: w[i] ≈ scale * float64(q[i]) with
+// |w[i] - scale*q[i]| <= scale/2 for every cell (round-to-nearest).
+// Dot products accumulate the integer-valued weights in float64 and
+// apply the scale once at the end, so the quantized path's per-class
+// pre-bias score error is bounded by (scale/2) * ||x||_1 — the error
+// contract the quantization fuzz oracle checks against the float
+// path. Exactly one of q8/q16 is non-nil, per Bits.
+type quantWeights struct {
+	Bits  int     // 8 or 16
+	Scale float64 // dequantization multiplier
+	q8    []int8
+	q16   []int16
+}
+
+// quantizeWeights compresses flat to the given width. bits must be 8
+// or 16. The scale is max|w| / (2^(bits-1)-1), so the full integer
+// range is used and zero weights stay exactly zero.
+func quantizeWeights(flat []float64, bits int) (*quantWeights, error) {
+	if bits != 8 && bits != 16 {
+		return nil, fmt.Errorf("baseline: quantization width must be 8 or 16 bits, got %d", bits)
+	}
+	maxAbs := 0.0
+	for _, w := range flat {
+		if a := math.Abs(w); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	qmax := float64(int64(1)<<(bits-1) - 1)
+	scale := maxAbs / qmax
+	if maxAbs == 0 {
+		scale = 1 // all-zero weights quantize to all-zero cells
+	}
+	qw := &quantWeights{Bits: bits, Scale: scale}
+	if bits == 8 {
+		qw.q8 = quantizeCells[int8](flat, scale)
+	} else {
+		qw.q16 = quantizeCells[int16](flat, scale)
+	}
+	return qw, nil
+}
+
+func quantizeCells[T quantInt](flat []float64, scale float64) []T {
+	q := make([]T, len(flat))
+	for i, w := range flat {
+		q[i] = T(math.Round(w / scale))
+	}
+	return q
+}
+
+// dotFeats is dotFeats over the quantized layout: identical
+// ascending-index accumulation, integer weights widened to float64,
+// scale applied once after the reduction.
+func (qw *quantWeights) dotFeats(dst []float64, feats []IndexedFeature, classes int) []float64 {
+	if qw.Bits == 8 {
+		return dotFeatsQ(dst, feats, qw.q8, qw.Scale, classes)
+	}
+	return dotFeatsQ(dst, feats, qw.q16, qw.Scale, classes)
+}
+
+func dotFeatsQ[T quantInt](dst []float64, feats []IndexedFeature, q []T, scale float64, classes int) []float64 {
+	dst = dst[:0]
+	for c := 0; c < classes; c++ {
+		dst = append(dst, 0)
+	}
+	for _, f := range feats {
+		base := f.Index * classes
+		for c := 0; c < classes; c++ {
+			dst[c] += f.Value * float64(q[base+c])
+		}
+	}
+	for c := range dst {
+		dst[c] *= scale
+	}
+	return dst
+}
+
+// sweepBatch is predictScratch.sweepBatch over the quantized layout;
+// each row is bit-identical to quantWeights.dotFeats on that post.
+func (qw *quantWeights) sweepBatch(sc *predictScratch, rows, classes int) []float64 {
+	mat := sc.scoreMat(rows, classes)
+	if qw.Bits == 8 {
+		sweepBatchQ(mat, sc.gather, qw.q8, classes)
+	} else {
+		sweepBatchQ(mat, sc.gather, qw.q16, classes)
+	}
+	for i := range mat {
+		mat[i] *= qw.Scale
+	}
+	return mat
+}
+
+func sweepBatchQ[T quantInt](mat []float64, gather []gatherFeat, q []T, classes int) {
+	for _, g := range gather {
+		wBase := int(g.index) * classes
+		row := mat[int(g.row)*classes:][:classes]
+		for c := 0; c < classes; c++ {
+			row[c] += g.value * float64(q[wBase+c])
+		}
+	}
 }

@@ -19,9 +19,10 @@ type LogisticRegression struct {
 	seed       int64
 
 	vec    *TFIDF
-	w      [][]float64 // [class][feature]
-	wf     []float64   // feature-major flat layout, for the fast path
-	b      []float64   // [class]
+	w      [][]float64   // [class][feature]
+	wf     []float64     // feature-major flat layout, for the fast path
+	quant  *quantWeights // optional int8/int16 compression of wf
+	b      []float64     // [class]
 	fitted bool
 }
 
@@ -182,12 +183,80 @@ func (m *LogisticRegression) PredictTokens(toks []string, s task.Scratch) (task.
 		return task.Prediction{}, err
 	}
 	sc.feats = feats
-	sc.scores = dotFeats(sc.scores, feats, m.wf, m.numClasses)
+	if m.quant != nil {
+		sc.scores = m.quant.dotFeats(sc.scores, feats, m.numClasses)
+	} else {
+		sc.scores = dotFeats(sc.scores, feats, m.wf, m.numClasses)
+	}
 	for c := range sc.scores {
 		sc.scores[c] += m.b[c]
 	}
 	scores := softmax(sc.scores)
 	return task.Prediction{Label: argmax(scores), Scores: scores}, nil
+}
+
+// PredictTokensBatch implements task.BatchPredictor: the gathered
+// micro-batch is swept against the weight layout once, then each row
+// gets the same bias/softmax finish as PredictTokens, so every row is
+// bit-identical to the single-post path (float or quantized alike).
+func (m *LogisticRegression) PredictTokensBatch(batch [][]string, s task.Scratch) ([]task.Prediction, error) {
+	if !m.fitted {
+		return nil, fmt.Errorf("baseline: LogisticRegression.PredictTokensBatch before Fit")
+	}
+	sc := scratchFor(s)
+	if err := sc.gatherBatch(m.vec, batch); err != nil {
+		return nil, err
+	}
+	var mat []float64
+	if m.quant != nil {
+		mat = m.quant.sweepBatch(sc, len(batch), m.numClasses)
+	} else {
+		mat = sc.sweepBatch(m.wf, len(batch), m.numClasses)
+	}
+	preds := sc.batchPreds()
+	for row := range batch {
+		scores := mat[row*m.numClasses:][:m.numClasses]
+		for c := range scores {
+			scores[c] += m.b[c]
+		}
+		softmax(scores)
+		preds = append(preds, task.Prediction{Label: argmax(scores), Scores: scores})
+	}
+	sc.preds = preds
+	return preds, nil
+}
+
+// EnableQuantization compresses the trained weight matrix to int8 or
+// int16 cells (bits must be 8 or 16); subsequent fast-path
+// predictions run on the compressed layout. The float layout is kept
+// untouched as the reference oracle — Predict still uses it, and
+// DisableQuantization restores it for the fast path too. Scores under
+// quantization differ from the float path by at most
+// (Scale/2)*||x||_1 per class pre-softmax; see the quantWeights error
+// contract.
+func (m *LogisticRegression) EnableQuantization(bits int) error {
+	if !m.fitted {
+		return fmt.Errorf("baseline: LogisticRegression.EnableQuantization before Fit")
+	}
+	q, err := quantizeWeights(m.wf, bits)
+	if err != nil {
+		return err
+	}
+	m.quant = q
+	return nil
+}
+
+// DisableQuantization restores the float fast path.
+func (m *LogisticRegression) DisableQuantization() { m.quant = nil }
+
+// QuantizationScale returns (bits, scale) of the active quantized
+// layout, or (0, 0) when the float path is active. The documented
+// score error bound per class is (scale/2) * ||x||_1.
+func (m *LogisticRegression) QuantizationScale() (bits int, scale float64) {
+	if m.quant == nil {
+		return 0, 0
+	}
+	return m.quant.Bits, m.quant.Scale
 }
 
 // LinearSVM is a one-vs-rest linear SVM trained with the Pegasos
@@ -349,6 +418,32 @@ func (m *LinearSVM) PredictTokens(toks []string, s task.Scratch) (task.Predictio
 	return task.Prediction{Label: label, Scores: scores}, nil
 }
 
+// PredictTokensBatch implements task.BatchPredictor; each row is
+// bit-identical to PredictTokens (labels come from raw margins before
+// the softmax squash, exactly as there).
+func (m *LinearSVM) PredictTokensBatch(batch [][]string, s task.Scratch) ([]task.Prediction, error) {
+	if !m.fitted {
+		return nil, fmt.Errorf("baseline: LinearSVM.PredictTokensBatch before Fit")
+	}
+	sc := scratchFor(s)
+	if err := sc.gatherBatch(m.vec, batch); err != nil {
+		return nil, err
+	}
+	mat := sc.sweepBatch(m.wf, len(batch), m.numClasses)
+	preds := sc.batchPreds()
+	for row := range batch {
+		margins := mat[row*m.numClasses:][:m.numClasses]
+		for c := range margins {
+			margins[c] += m.b[c]
+		}
+		label := argmax(margins)
+		scores := softmax(margins)
+		preds = append(preds, task.Prediction{Label: label, Scores: scores})
+	}
+	sc.preds = preds
+	return preds, nil
+}
+
 // Centroid is a Rocchio nearest-centroid classifier over TF-IDF
 // features with cosine similarity.
 type Centroid struct {
@@ -459,4 +554,30 @@ func (m *Centroid) PredictTokens(toks []string, s task.Scratch) (task.Prediction
 	}
 	scores := softmax(sims)
 	return task.Prediction{Label: label, Scores: scores}, nil
+}
+
+// PredictTokensBatch implements task.BatchPredictor; each row is
+// bit-identical to PredictTokens (label from raw cosines, then the
+// same sharpen-and-softmax finish).
+func (m *Centroid) PredictTokensBatch(batch [][]string, s task.Scratch) ([]task.Prediction, error) {
+	if !m.fitted {
+		return nil, fmt.Errorf("baseline: Centroid.PredictTokensBatch before Fit")
+	}
+	sc := scratchFor(s)
+	if err := sc.gatherBatch(m.vec, batch); err != nil {
+		return nil, err
+	}
+	mat := sc.sweepBatch(m.centFlat, len(batch), m.numClasses)
+	preds := sc.batchPreds()
+	for row := range batch {
+		sims := mat[row*m.numClasses:][:m.numClasses]
+		label := argmax(sims)
+		for i := range sims {
+			sims[i] *= 4 // sharpen before softmax so scores spread
+		}
+		scores := softmax(sims)
+		preds = append(preds, task.Prediction{Label: label, Scores: scores})
+	}
+	sc.preds = preds
+	return preds, nil
 }

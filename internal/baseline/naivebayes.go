@@ -173,3 +173,49 @@ func (nb *NaiveBayes) PredictTokens(toks []string, s task.Scratch) (task.Predict
 	scores := softmax(logp)
 	return task.Prediction{Label: argmax(scores), Scores: scores}, nil
 }
+
+// PredictTokensBatch implements task.BatchPredictor. Naive Bayes
+// accumulates log-likelihood rows in feature occurrence order — the
+// order the legacy Predict path is pinned to — so it cannot use the
+// index-sorted gather sweep; instead each post scores into its own
+// row of the shared batch matrix, which keeps the whole batch's
+// Scores alive together as the interface requires and is trivially
+// bit-identical to PredictTokens.
+func (nb *NaiveBayes) PredictTokensBatch(batch [][]string, s task.Scratch) ([]task.Prediction, error) {
+	if !nb.fitted {
+		return nil, fmt.Errorf("baseline: NaiveBayes.PredictTokensBatch before Fit")
+	}
+	sc := scratchFor(s)
+	classes := nb.numClasses
+	mat := sc.scoreMat(len(batch), classes)
+	preds := sc.batchPreds()
+	for row, toks := range batch {
+		stems := sc.stemFiltered(toks)
+		logp := mat[row*classes:][:classes]
+		copy(logp, nb.logPrior)
+		addFeat := func(idx int, known bool) {
+			if known {
+				base := idx * classes
+				for c := 0; c < classes; c++ {
+					logp[c] += nb.llFlat[base+c]
+				}
+				return
+			}
+			for c := 0; c < classes; c++ {
+				logp[c] += nb.logDefault[c]
+			}
+		}
+		for _, t := range stems {
+			idx, ok := nb.featIndex[t]
+			addFeat(idx, ok)
+		}
+		for i := 0; i+1 < len(stems); i++ {
+			idx, ok := nb.pairs[bigramPair{stems[i], stems[i+1]}]
+			addFeat(idx, ok)
+		}
+		scores := softmax(logp)
+		preds = append(preds, task.Prediction{Label: argmax(scores), Scores: scores})
+	}
+	sc.preds = preds
+	return preds, nil
+}

@@ -23,8 +23,32 @@
 //     slowdowns in percent; a value outside [0, 100] means the paired
 //     measurement is broken, and one approaching 100 means the
 //     feature doubles the cost of the path it instruments
+//   - every key containing "_efficiency", when present, a number in
+//     (0, 1.5] — parallel efficiencies are machine-relative speedup
+//     fractions; 0 or below means the sweep divided by a dead
+//     baseline, and anything past 1.5 is beyond plausible
+//     super-linear scaling, i.e. a measurement artifact
 //
-// Usage: go run ./internal/benchcheck BENCH_serve.json ...
+// File arguments may be shell-style globs (quoted so the shell does
+// not expand them first): benchcheck 'BENCH_*.json' checks every
+// trajectory file at once and fails if a pattern matches nothing, so
+// CI cannot silently check an empty set.
+//
+// The trajectory-delta mode
+//
+//	benchcheck compare old.json new.json
+//
+// gates a new trajectory file against a committed baseline: bounded
+// ratio figures regressing past their threshold hard-fail (parallel
+// efficiency falling more than 0.15 below baseline AND below the 0.6
+// floor, a robustness drop growing more than 0.15, an overhead
+// growing more than 15 percentage points, a figure disappearing
+// entirely), while absolute throughput only warns
+// when it falls below half the baseline — *_per_sec is noisy on
+// shared runners, and machine-relative ratios, not absolute numbers,
+// are what the trajectory promises to hold.
+//
+// Usage: go run ./internal/benchcheck 'BENCH_*.json'
 package main
 
 import (
@@ -32,6 +56,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
+	"sort"
 	"strings"
 )
 
@@ -39,10 +65,18 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(paths []string, stdout, stderr io.Writer) int {
-	if len(paths) == 0 {
+func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) > 0 && args[0] == "compare" {
+		return runCompare(args[1:], stdout, stderr)
+	}
+	if len(args) == 0 {
 		fmt.Fprintln(stderr, "benchcheck: no files given")
 		return 2
+	}
+	paths, err := expandGlobs(args)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchcheck: %v\n", err)
+		return 1
 	}
 	failed := false
 	for _, path := range paths {
@@ -59,14 +93,34 @@ func run(paths []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
+// expandGlobs resolves arguments containing glob metacharacters via
+// filepath.Glob; plain paths pass through untouched (so a missing
+// literal file still reports its own read error). A pattern matching
+// nothing is an error: CI hand-listing was replaced by the glob, and
+// a silently empty match would validate nothing while exiting 0.
+func expandGlobs(args []string) ([]string, error) {
+	var out []string
+	for _, a := range args {
+		if !strings.ContainsAny(a, "*?[") {
+			out = append(out, a)
+			continue
+		}
+		matches, err := filepath.Glob(a)
+		if err != nil {
+			return nil, fmt.Errorf("bad pattern %q: %v", a, err)
+		}
+		if len(matches) == 0 {
+			return nil, fmt.Errorf("pattern %q matched no files", a)
+		}
+		out = append(out, matches...)
+	}
+	return out, nil
+}
+
 func checkFile(path string) error {
-	buf, err := os.ReadFile(path)
+	doc, err := readDoc(path)
 	if err != nil {
 		return err
-	}
-	var doc map[string]any
-	if err := json.Unmarshal(buf, &doc); err != nil {
-		return fmt.Errorf("not a JSON object: %w", err)
 	}
 	name, ok := doc["benchmark"].(string)
 	if !ok || name == "" {
@@ -105,10 +159,113 @@ func checkFile(path string) error {
 			if !ok || pct < 0 || pct > 100 {
 				return fmt.Errorf("%q must be a number in [0,100], got %v", key, v)
 			}
+		case strings.Contains(key, "_efficiency"):
+			eff, ok := v.(float64)
+			if !ok || eff <= 0 || eff > 1.5 {
+				return fmt.Errorf("%q must be a number in (0,1.5], got %v", key, v)
+			}
 		}
 	}
 	if !found {
 		return fmt.Errorf(`no "*_per_sec" throughput key`)
 	}
 	return nil
+}
+
+func readDoc(path string) (map[string]any, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf, &doc); err != nil {
+		return nil, fmt.Errorf("not a JSON object: %w", err)
+	}
+	return doc, nil
+}
+
+// Compare thresholds. Ratio figures are machine-relative, so their
+// budgets are absolute deltas; throughput is machine-absolute, so its
+// budget is a factor and it only warns.
+const (
+	efficiencyBudget = 0.15 // *_efficiency* may fall at most this much...
+	efficiencyFloor  = 0.6  // ...and only past-budget dips below the floor fail
+	dropBudget       = 0.15 // *_drop may grow at most this much
+	overheadBudget   = 15.0 // *_overhead_pct may grow this many points
+	throughputFactor = 0.5  // *_per_sec below this fraction of baseline warns
+)
+
+// runCompare implements `benchcheck compare old.json new.json`.
+func runCompare(args []string, stdout, stderr io.Writer) int {
+	if len(args) != 2 {
+		fmt.Fprintln(stderr, "benchcheck: usage: benchcheck compare old.json new.json")
+		return 2
+	}
+	oldDoc, err := readDoc(args[0])
+	if err != nil {
+		fmt.Fprintf(stderr, "benchcheck: %s: %v\n", args[0], err)
+		return 1
+	}
+	newDoc, err := readDoc(args[1])
+	if err != nil {
+		fmt.Fprintf(stderr, "benchcheck: %s: %v\n", args[1], err)
+		return 1
+	}
+	failed := false
+	fail := func(format string, a ...any) {
+		fmt.Fprintf(stderr, "benchcheck: compare: "+format+"\n", a...)
+		failed = true
+	}
+	keys := make([]string, 0, len(oldDoc))
+	for k := range oldDoc {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		oldV, isNum := oldDoc[key].(float64)
+		if !isNum {
+			continue // names and counts are not trajectory figures
+		}
+		gated := strings.Contains(key, "_efficiency") ||
+			strings.HasSuffix(key, "_drop") ||
+			strings.HasSuffix(key, "_overhead_pct") ||
+			strings.HasSuffix(key, "_per_sec")
+		if !gated {
+			continue
+		}
+		newV, ok := newDoc[key].(float64)
+		if !ok {
+			fail("%q: baseline records %v but the new file dropped the figure", key, oldV)
+			continue
+		}
+		switch {
+		case strings.Contains(key, "_efficiency"):
+			// Efficiency is machine-relative (speedup over the ideal
+			// for the cores actually visible), so a dip past the
+			// budget only fails once it also breaches the absolute
+			// floor the design promises — a 1-CPU baseline near 1.0
+			// must not fail a healthy multi-core run near 0.75.
+			if newV < oldV-efficiencyBudget && newV < efficiencyFloor {
+				fail("%q regressed: %.3f -> %.3f (budget -%.2f, floor %.2f)", key, oldV, newV, efficiencyBudget, efficiencyFloor)
+			}
+		case strings.HasSuffix(key, "_drop"):
+			if newV > oldV+dropBudget {
+				fail("%q regressed: %.3f -> %.3f (budget +%.2f)", key, oldV, newV, dropBudget)
+			}
+		case strings.HasSuffix(key, "_overhead_pct"):
+			if newV > oldV+overheadBudget {
+				fail("%q regressed: %.1f -> %.1f (budget +%.0f points)", key, oldV, newV, overheadBudget)
+			}
+		case strings.HasSuffix(key, "_per_sec"):
+			if newV < oldV*throughputFactor {
+				fmt.Fprintf(stdout, "benchcheck: compare: warning: %q fell to %.0f from %.0f (below %.0f%% of baseline; absolute throughput is advisory on shared runners)\n",
+					key, newV, oldV, throughputFactor*100)
+			}
+		}
+	}
+	if failed {
+		return 1
+	}
+	fmt.Fprintf(stdout, "benchcheck: compare: %s holds the trajectory of %s\n", args[1], args[0])
+	return 0
 }

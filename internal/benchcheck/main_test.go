@@ -56,6 +56,13 @@ func TestBenchcheck(t *testing.T) {
 		{"negative overhead", `{"benchmark":"X","gomaxprocs":1,"posts_per_sec":5,"tracing_overhead_pct":-1}`, 1},
 		{"overhead above 100", `{"benchmark":"X","gomaxprocs":1,"posts_per_sec":5,"tracing_overhead_pct":250}`, 1},
 		{"string overhead", `{"benchmark":"X","gomaxprocs":1,"posts_per_sec":5,"tracing_overhead_pct":"tiny"}`, 1},
+		{"fractional efficiency is legal", `{"benchmark":"X","gomaxprocs":1,"posts_per_sec":5,"parallel_efficiency_p4":0.74}`, 0},
+		{"superlinear efficiency up to 1.5 is legal", `{"benchmark":"X","gomaxprocs":1,"posts_per_sec":5,"parallel_efficiency_p4":1.5}`, 0},
+		{"zero efficiency", `{"benchmark":"X","gomaxprocs":1,"posts_per_sec":5,"parallel_efficiency_p4":0}`, 1},
+		{"negative efficiency", `{"benchmark":"X","gomaxprocs":1,"posts_per_sec":5,"parallel_efficiency_p4":-0.2}`, 1},
+		{"efficiency above 1.5", `{"benchmark":"X","gomaxprocs":1,"posts_per_sec":5,"parallel_efficiency_p4":2.0}`, 1},
+		{"string efficiency", `{"benchmark":"X","gomaxprocs":1,"posts_per_sec":5,"parallel_efficiency_p4":"good"}`, 1},
+		{"efficiency key mid-name is checked", `{"benchmark":"X","gomaxprocs":1,"posts_per_sec":5,"sweep_efficiency_vs_serial":3}`, 1},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -88,6 +95,142 @@ func TestBenchcheck(t *testing.T) {
 		}
 		if !strings.Contains(out.String(), "good.json ok") {
 			t.Errorf("valid file not reported ok: %s", out.String())
+		}
+	})
+}
+
+func TestBenchcheckGlob(t *testing.T) {
+	dir := t.TempDir()
+	good := `{"benchmark":"X","gomaxprocs":4,"requests_per_sec":812.5}`
+	for _, name := range []string{"BENCH_a.json", "BENCH_b.json"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(good), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	t.Run("pattern checks every match", func(t *testing.T) {
+		var out, errOut strings.Builder
+		if got := run([]string{filepath.Join(dir, "BENCH_*.json")}, &out, &errOut); got != 0 {
+			t.Fatalf("exit = %d, stderr: %s", got, errOut.String())
+		}
+		for _, name := range []string{"BENCH_a.json", "BENCH_b.json"} {
+			if !strings.Contains(out.String(), name+" ok") {
+				t.Errorf("%s not reported ok: %s", name, out.String())
+			}
+		}
+	})
+	t.Run("empty match fails", func(t *testing.T) {
+		var out, errOut strings.Builder
+		if got := run([]string{filepath.Join(dir, "NOSUCH_*.json")}, &out, &errOut); got != 1 {
+			t.Errorf("exit = %d, want 1 for a pattern matching nothing", got)
+		}
+	})
+	t.Run("one bad match fails the set", func(t *testing.T) {
+		if err := os.WriteFile(filepath.Join(dir, "BENCH_c.json"), []byte(`{}`), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var out, errOut strings.Builder
+		if got := run([]string{filepath.Join(dir, "BENCH_*.json")}, &out, &errOut); got != 1 {
+			t.Errorf("exit = %d, want 1", got)
+		}
+	})
+}
+
+// TestBenchcheckCompare pins the trajectory-delta gate, including the
+// acceptance case: an injected parallel-efficiency regression beyond
+// the budget must fail the compare.
+func TestBenchcheckCompare(t *testing.T) {
+	baseline := `{"benchmark":"DetectorScreen","gomaxprocs":1,"posts_per_sec":90000,
+		"posts_per_sec_p1":90000,"posts_per_sec_p4":270000,
+		"parallel_efficiency_p4":0.75,"allocs_per_op":2}`
+	cases := []struct {
+		name     string
+		new      string
+		want     int
+		inStderr string
+		inStdout string
+	}{
+		{
+			name: "identical holds",
+			new:  baseline,
+			want: 0,
+		},
+		{
+			name: "efficiency within budget holds",
+			new: `{"benchmark":"DetectorScreen","gomaxprocs":1,"posts_per_sec":88000,
+				"posts_per_sec_p1":88000,"posts_per_sec_p4":250000,
+				"parallel_efficiency_p4":0.62}`,
+			want: 0,
+		},
+		{
+			name: "injected efficiency regression fails",
+			new: `{"benchmark":"DetectorScreen","gomaxprocs":1,"posts_per_sec":91000,
+				"posts_per_sec_p1":91000,"posts_per_sec_p4":100000,
+				"parallel_efficiency_p4":0.27}`,
+			want:     1,
+			inStderr: "parallel_efficiency_p4",
+		},
+		{
+			name: "dropped figure fails",
+			new: `{"benchmark":"DetectorScreen","gomaxprocs":1,"posts_per_sec":91000,
+				"posts_per_sec_p1":91000,"posts_per_sec_p4":280000}`,
+			want:     1,
+			inStderr: "dropped the figure",
+		},
+		{
+			name: "halved throughput only warns",
+			new: `{"benchmark":"DetectorScreen","gomaxprocs":1,"posts_per_sec":30000,
+				"posts_per_sec_p1":30000,"posts_per_sec_p4":90000,
+				"parallel_efficiency_p4":0.75}`,
+			want:     0,
+			inStdout: "warning",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			oldPath := write(t, "old.json", baseline)
+			newPath := write(t, "new.json", tc.new)
+			var out, errOut strings.Builder
+			if got := run([]string{"compare", oldPath, newPath}, &out, &errOut); got != tc.want {
+				t.Fatalf("exit = %d, want %d (stderr: %s)", got, tc.want, errOut.String())
+			}
+			if tc.inStderr != "" && !strings.Contains(errOut.String(), tc.inStderr) {
+				t.Errorf("stderr missing %q: %s", tc.inStderr, errOut.String())
+			}
+			if tc.inStdout != "" && !strings.Contains(out.String(), tc.inStdout) {
+				t.Errorf("stdout missing %q: %s", tc.inStdout, out.String())
+			}
+		})
+	}
+	t.Run("usage", func(t *testing.T) {
+		var out, errOut strings.Builder
+		if got := run([]string{"compare", "only-one.json"}, &out, &errOut); got != 2 {
+			t.Errorf("exit = %d, want 2", got)
+		}
+	})
+	t.Run("missing baseline file", func(t *testing.T) {
+		newPath := write(t, "new.json", baseline)
+		var out, errOut strings.Builder
+		if got := run([]string{"compare", filepath.Join(t.TempDir(), "absent.json"), newPath}, &out, &errOut); got != 1 {
+			t.Errorf("exit = %d, want 1", got)
+		}
+	})
+	t.Run("cross-machine efficiency dip above the floor holds", func(t *testing.T) {
+		// A 1-CPU baseline near 1.0 compared against a healthy 4-core
+		// run near 0.7: past the delta budget, but above the absolute
+		// floor, so the machine difference must not fail the gate.
+		oldPath := write(t, "old.json", `{"benchmark":"D","gomaxprocs":1,"posts_per_sec":90000,"parallel_efficiency_p4":0.96}`)
+		newPath := write(t, "new.json", `{"benchmark":"D","gomaxprocs":1,"posts_per_sec":88000,"parallel_efficiency_p4":0.70}`)
+		var out, errOut strings.Builder
+		if got := run([]string{"compare", oldPath, newPath}, &out, &errOut); got != 0 {
+			t.Errorf("exit = %d, want 0 (stderr: %s)", got, errOut.String())
+		}
+	})
+	t.Run("drop regression fails", func(t *testing.T) {
+		oldPath := write(t, "old.json", `{"benchmark":"R","gomaxprocs":1,"x_per_sec":5,"robustness_drop":0.05}`)
+		newPath := write(t, "new.json", `{"benchmark":"R","gomaxprocs":1,"x_per_sec":5,"robustness_drop":0.4}`)
+		var out, errOut strings.Builder
+		if got := run([]string{"compare", oldPath, newPath}, &out, &errOut); got != 1 {
+			t.Errorf("exit = %d, want 1 (stderr: %s)", got, errOut.String())
 		}
 	})
 }

@@ -1,7 +1,7 @@
 package lexicon
 
 import (
-	"sort"
+	"slices"
 	"strings"
 	"sync"
 
@@ -17,6 +17,15 @@ import (
 // lexicon per post) with O(tokens) automaton steps for all lexicons
 // at once. The naive matcher is kept (naiveScore/naiveHits) as the
 // reference implementation for equivalence and fuzz tests.
+//
+// The trie is built on maps (automatonBuilder) and then compiled into
+// a dense double-array DFA: per-state goto maps become one shared
+// (base, check, target) slot array, output lists flatten into one
+// index array with per-state offsets, and per-lexicon weight sums
+// flatten into contiguous rows. A step on the hot path is then an
+// array add, a load, and a compare — no pointer chasing, no map
+// probing — and the whole automaton lives in a handful of flat
+// slices sized by the transition count rather than states × alphabet.
 
 // Match is one pattern occurrence found by an Automaton: the term
 // of lexicon index Lexicon matched tokens[Start:End]. Matches are
@@ -39,38 +48,69 @@ type output struct {
 }
 
 // Automaton is an immutable Aho-Corasick multi-pattern matcher over
-// the terms of one or more lexicons. Build cost is paid once; an
-// Automaton is safe for concurrent use.
+// the terms of one or more lexicons, compiled to a double-array DFA.
+// Build cost is paid once; an Automaton is safe for concurrent use.
 type Automaton struct {
 	names    []string
 	alphabet map[string]int32 // token -> symbol; absent tokens reset to root
+
+	// Double-array transition table. State s has an edge on symbol
+	// sym iff check[base[s]+sym] == s, in which case the edge leads
+	// to target[base[s]+sym]. Slots are shared between states (two
+	// states may interleave their edges in the same region), which is
+	// what keeps the table O(transitions) instead of O(states ×
+	// alphabet). check is padded so base[s]+sym is always in range.
+	base   []int32
+	check  []int32
+	target []int32
+	fail   []int32
+
+	// Flattened output lists: state s accepts the patterns
+	// outputs[outIdx[outStart[s]:outStart[s+1]]], own then
+	// fail-suffix.
+	outStart []int32
+	outIdx   []int32
+	outputs  []output
+
+	// Flattened per-state per-lexicon weight sums: state s with
+	// outputs has row wFlat[wOff[s] : wOff[s]+len(names)]; wOff[s] is
+	// -1 for states accepting nothing, so scoring loops skip them on
+	// one comparison.
+	wOff  []int32
+	wFlat []float64
+}
+
+// automatonBuilder holds the map-backed trie the patterns are
+// inserted into; compile() lowers it into the Automaton's flat
+// arrays and the maps are garbage afterwards.
+type automatonBuilder struct {
+	alphabet map[string]int32
 	next     []map[int32]int32
 	fail     []int32
-	out      [][]int32 // per state: output indices, own then fail-suffix
+	out      [][]int32
 	outputs  []output
-	addW     [][]float64 // per state: per-lexicon weight sum of out; nil when empty
 }
 
 // NewAutomaton builds an automaton over the given lexicons. Lexicon
 // index i in Match/Scores results refers to lexicons[i].
 func NewAutomaton(lexicons ...*Lexicon) *Automaton {
-	a := &Automaton{
-		names:    make([]string, len(lexicons)),
+	b := &automatonBuilder{
 		alphabet: map[string]int32{},
 		next:     []map[int32]int32{{}},
 		fail:     []int32{0},
 		out:      [][]int32{nil},
 	}
+	names := make([]string, len(lexicons))
 	for li, l := range lexicons {
-		a.names[li] = l.name
+		names[li] = l.name
 		for _, e := range l.Entries() { // Entries is deterministic
 			for _, pat := range tokenizations(e.Term) {
-				a.insert(int32(li), e.Term, e.Weight, pat)
+				b.insert(int32(li), e.Term, e.Weight, pat)
 			}
 		}
 	}
-	a.build()
-	return a
+	b.build()
+	return b.compile(names)
 }
 
 // Lexicons returns the names of the automaton's lexicons, in index
@@ -105,79 +145,160 @@ func tokenizations(term string) [][]string {
 }
 
 // insert adds one pattern to the trie.
-func (a *Automaton) insert(lex int32, term string, weight float64, pattern []string) {
+func (b *automatonBuilder) insert(lex int32, term string, weight float64, pattern []string) {
 	state := int32(0)
 	for _, tok := range pattern {
-		sym, ok := a.alphabet[tok]
+		sym, ok := b.alphabet[tok]
 		if !ok {
-			sym = int32(len(a.alphabet))
-			a.alphabet[tok] = sym
+			sym = int32(len(b.alphabet))
+			b.alphabet[tok] = sym
 		}
-		nxt, ok := a.next[state][sym]
+		nxt, ok := b.next[state][sym]
 		if !ok {
-			nxt = int32(len(a.next))
-			a.next = append(a.next, map[int32]int32{})
-			a.fail = append(a.fail, 0)
-			a.out = append(a.out, nil)
-			a.next[state][sym] = nxt
+			nxt = int32(len(b.next))
+			b.next = append(b.next, map[int32]int32{})
+			b.fail = append(b.fail, 0)
+			b.out = append(b.out, nil)
+			b.next[state][sym] = nxt
 		}
 		state = nxt
 	}
-	a.outputs = append(a.outputs, output{
+	b.outputs = append(b.outputs, output{
 		lex: lex, depth: int32(len(pattern)), term: term, weight: weight,
 	})
-	a.out[state] = append(a.out[state], int32(len(a.outputs)-1))
+	b.out[state] = append(b.out[state], int32(len(b.outputs)-1))
 }
 
-// build computes fail links breadth-first, merges each state's output
-// list with its fail suffix's, and precomputes per-state per-lexicon
-// weight sums so scoring needs no per-match iteration.
-func (a *Automaton) build() {
-	queue := make([]int32, 0, len(a.next))
-	for _, s := range a.next[0] {
+// build computes fail links breadth-first and merges each state's
+// output list with its fail suffix's.
+func (b *automatonBuilder) build() {
+	queue := make([]int32, 0, len(b.next))
+	for _, s := range b.next[0] {
 		queue = append(queue, s) // depth-1 states fail to the root
 	}
 	for head := 0; head < len(queue); head++ {
 		s := queue[head]
-		for sym, ch := range a.next[s] {
-			f := a.fail[s]
+		for sym, ch := range b.next[s] {
+			f := b.fail[s]
 			for f != 0 {
-				if _, ok := a.next[f][sym]; ok {
+				if _, ok := b.next[f][sym]; ok {
 					break
 				}
-				f = a.fail[f]
+				f = b.fail[f]
 			}
-			if t, ok := a.next[f][sym]; ok && t != ch {
-				a.fail[ch] = t
+			if t, ok := b.next[f][sym]; ok && t != ch {
+				b.fail[ch] = t
 			}
-			a.out[ch] = append(a.out[ch], a.out[a.fail[ch]]...)
+			b.out[ch] = append(b.out[ch], b.out[b.fail[ch]]...)
 			queue = append(queue, ch)
 		}
 	}
-	a.addW = make([][]float64, len(a.next))
-	for s, outs := range a.out {
-		if len(outs) == 0 {
-			continue
-		}
-		w := make([]float64, len(a.names))
-		for _, oi := range outs {
-			o := a.outputs[oi]
-			w[o.lex] += o.weight
-		}
-		a.addW[s] = w
-	}
 }
 
-// step advances the automaton by one token. Tokens outside the
-// pattern alphabet reset to the root without walking fail links.
+// compile lowers the map trie into the flat double-array layout.
+// States are placed first-fit in BFS-insertion order; the slot array
+// grows only as far as the collision pattern requires, which for
+// token-level tries (low fan-out, shared shallow prefixes) lands
+// within a small constant of the transition count.
+func (b *automatonBuilder) compile(names []string) *Automaton {
+	nStates := len(b.next)
+	nSyms := int32(len(b.alphabet))
+	a := &Automaton{
+		names:    names,
+		alphabet: b.alphabet,
+		base:     make([]int32, nStates),
+		fail:     b.fail,
+		outputs:  b.outputs,
+	}
+
+	// Transition slots. taken tracks claimed slots; check starts all
+	// -1 ("owned by nobody") so a miss is a single compare.
+	grow := func(n int32) {
+		for int32(len(a.check)) < n {
+			a.check = append(a.check, -1)
+			a.target = append(a.target, 0)
+		}
+	}
+	grow(nSyms)
+	type edge struct{ sym, to int32 }
+	edges := make([]edge, 0, 8)
+	nextBase := int32(0) // lowest base any unplaced state could still use
+	for s := 0; s < nStates; s++ {
+		edges = edges[:0]
+		for sym, to := range b.next[s] {
+			edges = append(edges, edge{sym, to})
+		}
+		if len(edges) == 0 {
+			// States with no outgoing edges claim no slots; any base
+			// works because check[x] == s never holds for them.
+			a.base[s] = 0
+			continue
+		}
+		slices.SortFunc(edges, func(x, y edge) int { return int(x.sym - y.sym) })
+	placing:
+		for bse := nextBase; ; bse++ {
+			grow(bse + nSyms)
+			for _, e := range edges {
+				if a.check[bse+e.sym] != -1 {
+					continue placing
+				}
+			}
+			a.base[s] = bse
+			for _, e := range edges {
+				a.check[bse+e.sym] = int32(s)
+				a.target[bse+e.sym] = e.to
+			}
+			break
+		}
+		// Advance the search floor past fully dense prefixes so the
+		// first-fit scan stays near-linear overall.
+		for nextBase < int32(len(a.check)) && a.check[nextBase] != -1 {
+			nextBase++
+		}
+	}
+	// Pad so base[s]+sym is always in range for every (state, symbol)
+	// pair, existing edge or not.
+	maxBase := int32(0)
+	for _, bse := range a.base {
+		if bse > maxBase {
+			maxBase = bse
+		}
+	}
+	grow(maxBase + nSyms)
+
+	// Flatten output lists and per-lexicon weight rows.
+	a.outStart = make([]int32, nStates+1)
+	a.wOff = make([]int32, nStates)
+	for s, outs := range b.out {
+		a.outStart[s+1] = a.outStart[s] + int32(len(outs))
+		a.outIdx = append(a.outIdx, outs...)
+		if len(outs) == 0 {
+			a.wOff[s] = -1
+			continue
+		}
+		a.wOff[s] = int32(len(a.wFlat))
+		row := make([]float64, len(names))
+		for _, oi := range outs {
+			o := b.outputs[oi]
+			row[o.lex] += o.weight
+		}
+		a.wFlat = append(a.wFlat, row...)
+	}
+	return a
+}
+
+// step advances the automaton by one token: resolve the token to its
+// symbol (tokens outside the pattern alphabet reset to the root
+// without walking fail links), then follow the double-array edge,
+// falling back along fail links on a miss.
 func (a *Automaton) step(state int32, token string) int32 {
 	sym, ok := a.alphabet[token]
 	if !ok {
 		return 0
 	}
 	for {
-		if nxt, ok := a.next[state][sym]; ok {
-			return nxt
+		if slot := a.base[state] + sym; a.check[slot] == state {
+			return a.target[slot]
 		}
 		if state == 0 {
 			return 0
@@ -199,11 +320,12 @@ func (a *Automaton) AppendScores(dst []float64, tokens []string) []float64 {
 		return dst
 	}
 	sums := dst[n0:]
+	width := int32(len(a.names))
 	state := int32(0)
 	for _, tok := range tokens {
 		state = a.step(state, tok)
-		if w := a.addW[state]; w != nil {
-			for i, v := range w {
+		if off := a.wOff[state]; off >= 0 {
+			for i, v := range a.wFlat[off : off+width] {
 				sums[i] += v
 			}
 		}
@@ -231,8 +353,8 @@ func (a *Automaton) score1(tokens []string) float64 {
 	state := int32(0)
 	for _, tok := range tokens {
 		state = a.step(state, tok)
-		if w := a.addW[state]; w != nil {
-			sum += w[0]
+		if off := a.wOff[state]; off >= 0 {
+			sum += a.wFlat[off]
 		}
 	}
 	return sum / sqrt(float64(len(tokens)))
@@ -248,7 +370,7 @@ func (a *Automaton) AppendMatches(dst []Match, tokens []string) []Match {
 	state := int32(0)
 	for i, tok := range tokens {
 		state = a.step(state, tok)
-		for _, oi := range a.out[state] {
+		for _, oi := range a.outIdx[a.outStart[state]:a.outStart[state+1]] {
 			o := a.outputs[oi]
 			dst = append(dst, Match{
 				Lexicon: int(o.lex), Term: o.term, Weight: o.weight,
@@ -257,14 +379,14 @@ func (a *Automaton) AppendMatches(dst []Match, tokens []string) []Match {
 		}
 	}
 	m := dst[n0:]
-	sort.Slice(m, func(i, j int) bool {
-		if m[i].Start != m[j].Start {
-			return m[i].Start < m[j].Start
+	slices.SortFunc(m, func(x, y Match) int {
+		if x.Start != y.Start {
+			return x.Start - y.Start
 		}
-		if m[i].End != m[j].End {
-			return m[i].End < m[j].End
+		if x.End != y.End {
+			return x.End - y.End
 		}
-		return m[i].Lexicon < m[j].Lexicon
+		return x.Lexicon - y.Lexicon
 	})
 	return dst
 }

@@ -182,4 +182,19 @@ type BatchPredictor interface {
 	// PredictTokens is Predict over pre-computed normalized word
 	// tokens.
 	PredictTokens(toks []string, sc Scratch) (Prediction, error)
+	// PredictTokensBatch is the batch-major kernel: it scores a
+	// micro-batch of token slices (each element under the same
+	// contract as PredictTokens's toks) in one sweep and returns one
+	// Prediction per post, index-aligned with batch.
+	//
+	// Contract, in addition to PredictTokens's:
+	//
+	//   - PredictTokensBatch(batch, sc)[i] must be bit-identical to
+	//     PredictTokens(batch[i], sc) for every i — batching is a
+	//     memory-layout optimization, never a semantic one. The
+	//     race-mode property tests pin this.
+	//   - The returned slice and every Prediction's Scores may alias
+	//     sc; all of them remain valid together until sc's next use,
+	//     so callers may consume the whole batch before copying.
+	PredictTokensBatch(batch [][]string, sc Scratch) ([]Prediction, error)
 }

@@ -2,7 +2,6 @@ package textkit
 
 import (
 	"strings"
-	"unicode"
 )
 
 // This file is the fused, append-style tokenization layer behind the
@@ -29,7 +28,7 @@ import (
 func AppendNormalizedWords(dst []string, s string) []string {
 	start := -1
 	for i, r := range s {
-		if unicode.IsSpace(r) {
+		if isSpaceRune(r) {
 			if start >= 0 {
 				dst = appendNormalizedFieldWords(dst, s[start:i])
 				start = -1

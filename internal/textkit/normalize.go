@@ -85,6 +85,13 @@ func hasLetterOrDigit(s string) bool {
 }
 
 func replaceQuotes(s string) string {
+	// Every rune this replacer rewrites (curly quotes, en/em dashes)
+	// encodes in UTF-8 with lead byte 0xE2, so a token without that
+	// byte — any pure-ASCII token, the overwhelmingly common case —
+	// is rejected by one SIMD byte scan instead of a rune-set walk.
+	if strings.IndexByte(s, 0xE2) < 0 {
+		return s
+	}
 	if !strings.ContainsAny(s, "‘’“”–—") {
 		return s
 	}

@@ -41,7 +41,7 @@ func Tokenize(s string) []string {
 func AppendTokenize(dst []string, s string) []string {
 	start := -1
 	for i, r := range s {
-		if unicode.IsSpace(r) {
+		if isSpaceRune(r) {
 			if start >= 0 {
 				dst = appendFieldTokens(dst, s[start:i])
 				start = -1
@@ -69,7 +69,7 @@ func appendFieldTokens(tokens []string, field string) []string {
 	}
 	for i, r := range field {
 		switch {
-		case unicode.IsLetter(r) || unicode.IsDigit(r):
+		case isAlnumRune(r):
 			if start < 0 {
 				start = i
 			}
@@ -89,7 +89,25 @@ func appendFieldTokens(tokens []string, field string) []string {
 // startsAlnum reports whether s begins with a letter or digit.
 func startsAlnum(s string) bool {
 	r, size := utf8.DecodeRuneInString(s)
-	return size > 0 && (unicode.IsLetter(r) || unicode.IsDigit(r))
+	return size > 0 && isAlnumRune(r)
+}
+
+// isAlnumRune is unicode.IsLetter(r) || unicode.IsDigit(r) with an
+// ASCII fast path: the tokenizer decodes every rune of every field,
+// and almost all of them are ASCII letters in social-media text.
+func isAlnumRune(r rune) bool {
+	if r < 128 {
+		return 'a' <= r && r <= 'z' || '0' <= r && r <= '9' || 'A' <= r && r <= 'Z'
+	}
+	return unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+// isSpaceRune is unicode.IsSpace with the same ASCII fast path.
+func isSpaceRune(r rune) bool {
+	if r < 128 {
+		return r == ' ' || '\t' <= r && r <= '\r'
+	}
+	return unicode.IsSpace(r)
 }
 
 // Words tokenizes and keeps only alphanumeric word tokens (drops
@@ -118,7 +136,7 @@ func AppendWords(dst []string, s string) []string {
 
 func isWord(t string) bool {
 	for _, r := range t {
-		if unicode.IsLetter(r) || unicode.IsDigit(r) {
+		if isAlnumRune(r) {
 			return true
 		}
 	}
