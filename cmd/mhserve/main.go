@@ -13,7 +13,12 @@
 // requiring the full history per request. Sessions are TTL-evicted
 // when idle, capacity-bounded with LRU shedding, and optionally
 // snapshotted to disk on graceful shutdown (-session-snapshot) so
-// evidence survives restarts.
+// evidence survives restarts. For crash safety, -wal-dir replaces the
+// shutdown snapshot with per-shard write-ahead logs and background
+// checkpoints: every observation is logged as it happens (-wal-sync
+// picks the fsync policy), recovery replays the logs at boot, and even
+// a SIGKILL loses at most the current sync window (see the session
+// package's durability notes).
 //
 // Endpoints:
 //
@@ -64,10 +69,12 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
 	mhd "repro"
+	"repro/internal/durable"
 	"repro/internal/obs"
 	"repro/internal/server"
 )
@@ -90,6 +97,9 @@ type options struct {
 	sessionTTL      time.Duration
 	sessionCap      int
 	sessionSnapshot string
+	walDir          string
+	walSync         string
+	checkpointEvery time.Duration
 	cascade         string
 	band            string
 	adjudicators    int
@@ -119,6 +129,9 @@ func main() {
 	flag.DurationVar(&opts.sessionTTL, "session-ttl", 30*time.Minute, "sessions: evict a user after this long idle")
 	flag.IntVar(&opts.sessionCap, "session-capacity", 65536, "sessions: max live user sessions (LRU shedding at capacity)")
 	flag.StringVar(&opts.sessionSnapshot, "session-snapshot", "", "sessions: snapshot file restored at boot and written on graceful shutdown")
+	flag.StringVar(&opts.walDir, "wal-dir", "", "sessions: write-ahead-log directory for crash-safe durability (empty disables; excludes -session-snapshot)")
+	flag.StringVar(&opts.walSync, "wal-sync", "group", `sessions: WAL sync policy — "always", "never", "group", or a group-commit interval like "5ms"`)
+	flag.DurationVar(&opts.checkpointEvery, "checkpoint-interval", time.Minute, "sessions: WAL checkpoint/compaction cadence (negative disables periodic checkpoints)")
 	flag.StringVar(&opts.cascade, "cascade", "", "screen through the two-stage cascade, adjudicating uncertain posts with this model (see mhbench -list; empty disables)")
 	flag.StringVar(&opts.band, "band", mhd.DefaultBand.String(), `cascade: calibrated-probability uncertainty band "lo,hi" — posts inside it escalate`)
 	flag.IntVar(&opts.adjudicators, "adjudicators", 4, "cascade: max concurrent LLM adjudications")
@@ -187,13 +200,35 @@ func run(ctx context.Context, opts options, ready chan<- string, logw io.Writer)
 	var mon server.Assessor
 	var riskMon *mhd.RiskMonitor
 	if !opts.noAssess {
-		riskMon, err = mhd.NewRiskMonitor(opts.threshold,
+		if opts.walDir != "" && opts.sessionSnapshot != "" {
+			return fmt.Errorf("-wal-dir and -session-snapshot are mutually exclusive: the WAL already persists sessions continuously")
+		}
+		monOpts := []mhd.Option{
 			mhd.WithSeed(opts.seed),
 			mhd.WithSessionTTL(opts.sessionTTL),
 			mhd.WithSessionCapacity(opts.sessionCap),
-		)
+		}
+		if opts.walDir != "" {
+			monOpts = append(monOpts,
+				mhd.WithSessionWAL(opts.walDir),
+				mhd.WithSessionWALSync(opts.walSync),
+				mhd.WithSessionCheckpointInterval(opts.checkpointEvery),
+				mhd.WithSessionLogger(logger),
+			)
+		}
+		riskMon, err = mhd.NewRiskMonitor(opts.threshold, monOpts...)
 		if err != nil {
 			return err
+		}
+		// Close flushes the WAL and stops the checkpointer on every
+		// exit path; it is idempotent and trivial without a WAL.
+		defer riskMon.Close()
+		if opts.walDir != "" {
+			st := riskMon.SessionStats()
+			logger.Info("session wal recovered",
+				obs.F("dir", opts.walDir),
+				obs.F("sessions", st.Recovered),
+				obs.F("recovery_seconds", st.RecoverySeconds))
 		}
 		if opts.sessionSnapshot != "" {
 			if err := restoreSessions(riskMon, opts.sessionSnapshot, logger); err != nil {
@@ -277,8 +312,11 @@ func run(ctx context.Context, opts options, ready chan<- string, logw io.Writer)
 	return nil
 }
 
-// restoreSessions loads a session snapshot written by a previous
-// run; a missing file is a normal first boot.
+// restoreSessions loads a session snapshot written by a previous run.
+// A missing file is a normal first boot; a corrupt or mismatched one
+// must not keep the service down — it is renamed aside as
+// <path>.corrupt (preserved for inspection), counted in
+// mh_session_restore_failures_total, and the store starts empty.
 func restoreSessions(mon *mhd.RiskMonitor, path string, logger *obs.Logger) error {
 	f, err := os.Open(path)
 	if err != nil {
@@ -289,15 +327,24 @@ func restoreSessions(mon *mhd.RiskMonitor, path string, logger *obs.Logger) erro
 	}
 	defer f.Close()
 	if err := mon.RestoreSessions(f); err != nil {
-		return fmt.Errorf("restoring %s: %w", path, err)
+		aside := path + ".corrupt"
+		if rerr := os.Rename(path, aside); rerr != nil {
+			logger.Warn("session snapshot unusable and could not be moved aside",
+				obs.F("path", path), obs.F("error", err.Error()), obs.F("rename_error", rerr.Error()))
+		} else {
+			logger.Warn("session snapshot unusable; starting with an empty store",
+				obs.F("path", path), obs.F("moved_to", aside), obs.F("error", err.Error()))
+		}
+		return nil
 	}
 	logger.Info("sessions restored",
 		obs.F("count", mon.SessionStats().Restored), obs.F("path", path))
 	return nil
 }
 
-// snapshotSessions writes the store to path via a temp file + rename
-// so a crash mid-write cannot corrupt the previous snapshot.
+// snapshotSessions writes the store to path via temp file + fsync +
+// rename + parent-directory fsync, so the new snapshot is durable and
+// a crash mid-write cannot corrupt the previous one.
 func snapshotSessions(mon *mhd.RiskMonitor, path string, logger *obs.Logger) error {
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
@@ -309,12 +356,23 @@ func snapshotSessions(mon *mhd.RiskMonitor, path string, logger *obs.Logger) err
 		os.Remove(tmp)
 		return fmt.Errorf("snapshotting sessions: %w", err)
 	}
+	// Sync before rename: without it the rename can land while the
+	// data has not, leaving a durable name pointing at torn contents.
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
 	if err := f.Close(); err != nil {
 		os.Remove(tmp)
 		return err
 	}
 	if err := os.Rename(tmp, path); err != nil {
 		os.Remove(tmp)
+		return err
+	}
+	// And sync the directory so the rename itself survives a crash.
+	if err := (durable.OS{}).SyncDir(filepath.Dir(path)); err != nil {
 		return err
 	}
 	logger.Info("sessions snapshotted",

@@ -728,3 +728,195 @@ func spanNames(spans []wireSpan) []string {
 	}
 	return out
 }
+
+// TestServeKillMidStreamChaos is the crash-safety acceptance test: a
+// WAL-backed server is killed mid-stream — no graceful snapshot, and
+// a torn write appended to a WAL tail, which is exactly what SIGKILL
+// leaves behind — and the next boot must recover every observed post
+// and fire the alarm at the same index the offline Assess reports.
+func TestServeKillMidStreamChaos(t *testing.T) {
+	const (
+		seed      = int64(1)
+		threshold = 1.5
+	)
+	ref, err := mhd.NewRiskMonitor(threshold, mhd.WithSeed(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cohort, err := mhd.SampleUserHistories(60, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var posts []string
+	wantDelay := 0
+	for _, u := range cohort {
+		alarm, delay, err := ref.Assess(u.Posts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if alarm && delay >= 4 && delay < len(u.Posts) {
+			posts, wantDelay = u.Posts, delay
+			break
+		}
+	}
+	if posts == nil {
+		t.Fatal("no cohort user alarms with delay >= 4; adjust the seed")
+	}
+	mid := wantDelay / 2 // kill strictly before the alarm
+
+	walDir := t.TempDir()
+	opts := options{
+		addr: "127.0.0.1:0", engine: "baseline", seed: seed, train: 600,
+		maxBatch: 8, batchDelay: time.Millisecond, cacheSize: 64,
+		inflight: 8, threshold: threshold,
+		sessionTTL: time.Hour, sessionCap: 1024,
+		// sync=always: every observation is durable the moment the
+		// request returns, so a kill at any point loses nothing. The
+		// huge checkpoint interval keeps recovery on the WAL-replay
+		// path instead of the checkpoint fast path.
+		walDir: walDir, walSync: "always", checkpointEvery: time.Hour,
+	}
+
+	observe := func(t *testing.T, base, user, text string) wireRiskState {
+		t.Helper()
+		resp, body := postJSON(t, base+"/v1/users/"+user+"/posts", map[string]any{"text": text})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("observe: status %d: %s", resp.StatusCode, body)
+		}
+		var st wireRiskState
+		if err := json.Unmarshal(body, &st); err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+
+	base, shutdown := bootServer(t, opts)
+	for i, p := range posts[:mid] {
+		st := observe(t, base, "chaos-user", p)
+		if st.Posts != i+1 {
+			t.Fatalf("post %d: session counted %d posts", i, st.Posts)
+		}
+		if st.Alarm {
+			t.Fatalf("alarm fired at post %d, offline Assess says %d", i+1, wantDelay)
+		}
+	}
+	if got := metricValue(t, base, "mh_wal_appends_total"); got < float64(mid) {
+		t.Errorf("mh_wal_appends_total = %g after %d observations", got, mid)
+	}
+	shutdown()
+
+	// The kill: no snapshot file exists (WAL mode forbids one), and a
+	// torn frame lands on the fattest WAL tail — recovery must
+	// truncate it instead of refusing to boot or inventing state.
+	entries, err := os.ReadDir(walDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fattest string
+	var fattestSize int64
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".wal") {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.Size() >= fattestSize {
+			fattest, fattestSize = filepath.Join(walDir, e.Name()), info.Size()
+		}
+	}
+	if fattest == "" || fattestSize == 0 {
+		t.Fatalf("no non-empty WAL segment written (size %d)", fattestSize)
+	}
+	f, err := os.OpenFile(fattest, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0x13, 0x37, 0xde, 0xad, 0xbe}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	base2, shutdown2 := bootServer(t, opts)
+	defer shutdown2()
+	if got := metricValue(t, base2, "mh_sessions_recovered_total"); got != 1 {
+		t.Errorf("mh_sessions_recovered_total = %g, want 1", got)
+	}
+	if got := metricValue(t, base2, "mh_session_recovery_seconds"); got < 0 {
+		t.Errorf("mh_session_recovery_seconds = %g, want >= 0", got)
+	}
+	if got := metricValue(t, base2, "mh_wal_degraded"); got != 0 {
+		t.Errorf("mh_wal_degraded = %g after clean recovery", got)
+	}
+
+	resp, body := getURL(t, base2+"/v1/users/chaos-user/risk")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("risk after recovery: status %d: %s", resp.StatusCode, body)
+	}
+	var recovered wireRiskState
+	if err := json.Unmarshal(body, &recovered); err != nil {
+		t.Fatal(err)
+	}
+	if recovered.Posts != mid || recovered.Alarm {
+		t.Fatalf("recovered state = %+v, want %d posts and no alarm", recovered, mid)
+	}
+
+	alarmAt := 0
+	for i := mid; i < len(posts); i++ {
+		st := observe(t, base2, "chaos-user", posts[i])
+		if st.Alarm && alarmAt == 0 {
+			alarmAt = st.AlarmAt
+		}
+	}
+	if alarmAt != wantDelay {
+		t.Errorf("alarm at post %d after crash recovery, offline Assess says %d", alarmAt, wantDelay)
+	}
+}
+
+// TestServeWALExcludesSnapshot pins the flag contract: the WAL
+// replaces the shutdown snapshot, combining them is a config error.
+func TestServeWALExcludesSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	opts := options{
+		addr: "127.0.0.1:0", engine: "baseline", seed: 1, train: 600,
+		maxBatch: 8, batchDelay: time.Millisecond, inflight: 8,
+		sessionTTL: time.Hour, sessionCap: 64,
+		walDir: filepath.Join(dir, "wal"), sessionSnapshot: filepath.Join(dir, "snap.json"),
+	}
+	err := run(context.Background(), opts, make(chan string, 1), io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "mutually exclusive") {
+		t.Fatalf("run with -wal-dir and -session-snapshot: err = %v, want mutual-exclusion error", err)
+	}
+}
+
+// TestServeCorruptSnapshotDegrades pins the boot contract for a bad
+// snapshot: move it aside, warn, start empty — never refuse to boot.
+func TestServeCorruptSnapshotDegrades(t *testing.T) {
+	snapshot := filepath.Join(t.TempDir(), "sessions.json")
+	if err := os.WriteFile(snapshot, []byte("{torn mid-write"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var logBuf bytes.Buffer
+	opts := options{
+		addr: "127.0.0.1:0", engine: "baseline", seed: 1, train: 600,
+		maxBatch: 8, batchDelay: time.Millisecond, cacheSize: 64,
+		inflight: 8, sessionTTL: time.Hour, sessionCap: 64,
+		sessionSnapshot: snapshot,
+	}
+	base, shutdown := bootServerTo(t, opts, &logBuf)
+	if got := metricValue(t, base, "mh_session_restore_failures_total"); got != 1 {
+		t.Errorf("mh_session_restore_failures_total = %g, want 1", got)
+	}
+	resp, _ := postJSON(t, base+"/v1/users/u1/posts", map[string]any{"text": "still serving"})
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("observe on degraded boot: status %d", resp.StatusCode)
+	}
+	shutdown()
+	if _, err := os.Stat(snapshot + ".corrupt"); err != nil {
+		t.Errorf("corrupt snapshot not moved aside: %v", err)
+	}
+	if !strings.Contains(logBuf.String(), "corrupt") {
+		t.Error("boot log never mentioned the corrupt snapshot")
+	}
+}

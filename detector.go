@@ -89,19 +89,23 @@ type Detector struct {
 
 // detectorConfig collects NewDetector and NewRiskMonitor options.
 type detectorConfig struct {
-	engine       string // "baseline" or a model name from Models()
-	seed         int64
-	trainSize    int
-	workers      int
-	sessionTTL   time.Duration // NewRiskMonitor only
-	sessionCap   int           // NewRiskMonitor only
-	adjModel     string        // cascade adjudicator model; "" disables
-	band         cascade.Band  // cascade uncertainty band
-	adjudicators int           // cascade pool size
-	harden       bool          // adversarial text hardening
-	suspicionK   int           // hardening rewrites that flag suspicion
-	suspicion    float64       // cascade suspicion escalation budget
-	quantBits    int           // weight quantization width; 0 keeps float
+	engine         string // "baseline" or a model name from Models()
+	seed           int64
+	trainSize      int
+	workers        int
+	sessionTTL     time.Duration // NewRiskMonitor only
+	sessionCap     int           // NewRiskMonitor only
+	sessionWALDir  string        // NewRiskMonitor only: "" disables the WAL
+	sessionWALSync string        // NewRiskMonitor only: -wal-sync spelling
+	sessionCkpt    time.Duration // NewRiskMonitor only: checkpoint cadence
+	sessionLogger  *obs.Logger   // NewRiskMonitor only: durability warnings
+	adjModel       string        // cascade adjudicator model; "" disables
+	band           cascade.Band  // cascade uncertainty band
+	adjudicators   int           // cascade pool size
+	harden         bool          // adversarial text hardening
+	suspicionK     int           // hardening rewrites that flag suspicion
+	suspicion      float64       // cascade suspicion escalation budget
+	quantBits      int           // weight quantization width; 0 keeps float
 }
 
 // Option configures NewDetector.
@@ -145,6 +149,39 @@ func WithSessionTTL(d time.Duration) Option {
 // NewRiskMonitor; ignored by NewDetector.
 func WithSessionCapacity(n int) Option {
 	return func(c *detectorConfig) { c.sessionCap = n }
+}
+
+// WithSessionWAL makes the session store crash-safe: observations are
+// written ahead to per-shard logs under dir, checkpointed in the
+// background, and replayed by NewRiskMonitor at construction, so an
+// ungraceful exit loses at most the current sync window instead of
+// every session since boot. Used by NewRiskMonitor; ignored by
+// NewDetector. Call Close on the monitor at shutdown to flush the
+// logs.
+func WithSessionWAL(dir string) Option {
+	return func(c *detectorConfig) { c.sessionWALDir = dir }
+}
+
+// WithSessionWALSync selects the WAL sync policy: "always" (fsync per
+// observation), "never" (no fsync), "group" — the default — for group
+// commit at the default interval, or a Go duration like "5ms" for
+// group commit at that interval. Only meaningful with WithSessionWAL.
+func WithSessionWALSync(policy string) Option {
+	return func(c *detectorConfig) { c.sessionWALSync = policy }
+}
+
+// WithSessionCheckpointInterval sets the background checkpoint
+// cadence (default 1m; negative disables periodic checkpoints). Only
+// meaningful with WithSessionWAL.
+func WithSessionCheckpointInterval(d time.Duration) Option {
+	return func(c *detectorConfig) { c.sessionCkpt = d }
+}
+
+// WithSessionLogger routes rate-limited session durability warnings
+// (WAL degradation, checkpoint failures, recovery truncations) to l.
+// Only meaningful with WithSessionWAL; a nil logger disables logging.
+func WithSessionLogger(l *obs.Logger) Option {
+	return func(c *detectorConfig) { c.sessionLogger = l }
 }
 
 // Band is the cascade's uncertainty interval on calibrated

@@ -3,10 +3,12 @@ package mhd
 import (
 	"fmt"
 	"io"
+	"time"
 
 	"repro/internal/baseline"
 	"repro/internal/corpus"
 	"repro/internal/domain"
+	"repro/internal/durable"
 	"repro/internal/early"
 	"repro/internal/eval"
 	"repro/internal/obs"
@@ -70,14 +72,45 @@ func NewRiskMonitor(threshold float64, opts ...Option) (*RiskMonitor, error) {
 	if err != nil {
 		return nil, err
 	}
-	store, err := session.New(mon, session.Config{
+	scfg := session.Config{
 		TTL:      cfg.sessionTTL,
 		Capacity: cfg.sessionCap,
-	})
+	}
+	if cfg.sessionWALDir != "" {
+		policy, groupEvery, err := durable.ParseSyncPolicy(cfg.sessionWALSync)
+		if err != nil {
+			return nil, err
+		}
+		scfg.WALDir = cfg.sessionWALDir
+		scfg.WALSync = policy
+		scfg.WALGroupEvery = groupEvery
+		scfg.CheckpointEvery = cfg.sessionCkpt
+		scfg.Logger = cfg.sessionLogger
+	}
+	store, err := session.New(mon, scfg)
 	if err != nil {
 		return nil, err
 	}
 	return &RiskMonitor{mon: mon, sessions: store}, nil
+}
+
+// Close flushes and closes the session store's write-ahead logs and
+// stops its background checkpointer. A monitor built without
+// WithSessionWAL closes trivially; Close is idempotent.
+func (m *RiskMonitor) Close() error { return m.sessions.Close() }
+
+// CheckpointSessions forces a full checkpoint pass of the session
+// store's WAL (a no-op without one): every shard is rotated,
+// serialized, and compacted, bounding the WAL replay a future boot
+// must do.
+func (m *RiskMonitor) CheckpointSessions() error { return m.sessions.CheckpointNow() }
+
+// SetSessionStageObserver registers fn to receive session durability
+// stage timings ("checkpoint" per shard pass, "recovery" once for the
+// boot-time WAL replay). The server wires this into its stage-latency
+// histograms alongside the span-derived stages.
+func (m *RiskMonitor) SetSessionStageObserver(fn func(stage string, d time.Duration)) {
+	m.sessions.SetStageObserver(fn)
 }
 
 // Assess reads posts in order; it reports whether an alarm fired and

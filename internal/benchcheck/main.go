@@ -28,6 +28,10 @@
 //     fractions; 0 or below means the sweep divided by a dead
 //     baseline, and anything past 1.5 is beyond plausible
 //     super-linear scaling, i.e. a measurement artifact
+//   - every "*recovery_seconds" key, when present, a number in
+//     [0, 600) — a negative recovery time means the clock math is
+//     wrong, and ten minutes means recovery is effectively broken
+//     (the session WAL replays a bounded, checkpoint-truncated tail)
 //
 // File arguments may be shell-style globs (quoted so the shell does
 // not expand them first): benchcheck 'BENCH_*.json' checks every
@@ -42,7 +46,8 @@
 // ratio figures regressing past their threshold hard-fail (parallel
 // efficiency falling more than 0.15 below baseline AND below the 0.6
 // floor, a robustness drop growing more than 0.15, an overhead
-// growing more than 15 percentage points, a figure disappearing
+// growing more than 15 percentage points, a recovery time more than
+// tripling while also above a 0.5s floor, a figure disappearing
 // entirely), while absolute throughput only warns
 // when it falls below half the baseline — *_per_sec is noisy on
 // shared runners, and machine-relative ratios, not absolute numbers,
@@ -164,6 +169,11 @@ func checkFile(path string) error {
 			if !ok || eff <= 0 || eff > 1.5 {
 				return fmt.Errorf("%q must be a number in (0,1.5], got %v", key, v)
 			}
+		case strings.HasSuffix(key, "recovery_seconds"):
+			secs, ok := v.(float64)
+			if !ok || secs < 0 || secs >= 600 {
+				return fmt.Errorf("%q must be a number in [0,600), got %v", key, v)
+			}
 		}
 	}
 	if !found {
@@ -193,6 +203,8 @@ const (
 	dropBudget       = 0.15 // *_drop may grow at most this much
 	overheadBudget   = 15.0 // *_overhead_pct may grow this many points
 	throughputFactor = 0.5  // *_per_sec below this fraction of baseline warns
+	recoveryFactor   = 3.0  // *recovery_seconds may grow at most this factor...
+	recoveryFloor    = 0.5  // ...and only past-factor times above this floor fail
 )
 
 // runCompare implements `benchcheck compare old.json new.json`.
@@ -229,7 +241,8 @@ func runCompare(args []string, stdout, stderr io.Writer) int {
 		gated := strings.Contains(key, "_efficiency") ||
 			strings.HasSuffix(key, "_drop") ||
 			strings.HasSuffix(key, "_overhead_pct") ||
-			strings.HasSuffix(key, "_per_sec")
+			strings.HasSuffix(key, "_per_sec") ||
+			strings.HasSuffix(key, "recovery_seconds")
 		if !gated {
 			continue
 		}
@@ -260,6 +273,13 @@ func runCompare(args []string, stdout, stderr io.Writer) int {
 			if newV < oldV*throughputFactor {
 				fmt.Fprintf(stdout, "benchcheck: compare: warning: %q fell to %.0f from %.0f (below %.0f%% of baseline; absolute throughput is advisory on shared runners)\n",
 					key, newV, oldV, throughputFactor*100)
+			}
+		case strings.HasSuffix(key, "recovery_seconds"):
+			// Recovery time is wall-clock on a shared runner, so small
+			// absolute wobbles are noise; only a multiple of baseline
+			// that also lands above an absolute floor fails.
+			if newV > oldV*recoveryFactor && newV > recoveryFloor {
+				fail("%q regressed: %.3fs -> %.3fs (budget x%.0f above %.1fs)", key, oldV, newV, recoveryFactor, recoveryFloor)
 			}
 		}
 	}

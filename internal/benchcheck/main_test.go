@@ -63,6 +63,12 @@ func TestBenchcheck(t *testing.T) {
 		{"efficiency above 1.5", `{"benchmark":"X","gomaxprocs":1,"posts_per_sec":5,"parallel_efficiency_p4":2.0}`, 1},
 		{"string efficiency", `{"benchmark":"X","gomaxprocs":1,"posts_per_sec":5,"parallel_efficiency_p4":"good"}`, 1},
 		{"efficiency key mid-name is checked", `{"benchmark":"X","gomaxprocs":1,"posts_per_sec":5,"sweep_efficiency_vs_serial":3}`, 1},
+		{"zero recovery is legal", `{"benchmark":"X","gomaxprocs":1,"posts_per_sec":5,"recovery_seconds":0}`, 0},
+		{"fractional recovery is legal", `{"benchmark":"X","gomaxprocs":1,"posts_per_sec":5,"recovery_seconds":0.031}`, 0},
+		{"prefixed recovery key is checked", `{"benchmark":"X","gomaxprocs":1,"posts_per_sec":5,"wal_recovery_seconds":-0.5}`, 1},
+		{"negative recovery", `{"benchmark":"X","gomaxprocs":1,"posts_per_sec":5,"recovery_seconds":-1}`, 1},
+		{"recovery at ten minutes", `{"benchmark":"X","gomaxprocs":1,"posts_per_sec":5,"recovery_seconds":600}`, 1},
+		{"string recovery", `{"benchmark":"X","gomaxprocs":1,"posts_per_sec":5,"recovery_seconds":"fast"}`, 1},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -228,6 +234,35 @@ func TestBenchcheckCompare(t *testing.T) {
 	t.Run("drop regression fails", func(t *testing.T) {
 		oldPath := write(t, "old.json", `{"benchmark":"R","gomaxprocs":1,"x_per_sec":5,"robustness_drop":0.05}`)
 		newPath := write(t, "new.json", `{"benchmark":"R","gomaxprocs":1,"x_per_sec":5,"robustness_drop":0.4}`)
+		var out, errOut strings.Builder
+		if got := run([]string{"compare", oldPath, newPath}, &out, &errOut); got != 1 {
+			t.Errorf("exit = %d, want 1 (stderr: %s)", got, errOut.String())
+		}
+	})
+	t.Run("recovery tripling above the floor fails", func(t *testing.T) {
+		oldPath := write(t, "old.json", `{"benchmark":"S","gomaxprocs":1,"x_per_sec":5,"recovery_seconds":0.4}`)
+		newPath := write(t, "new.json", `{"benchmark":"S","gomaxprocs":1,"x_per_sec":5,"recovery_seconds":2.0}`)
+		var out, errOut strings.Builder
+		if got := run([]string{"compare", oldPath, newPath}, &out, &errOut); got != 1 {
+			t.Errorf("exit = %d, want 1 (stderr: %s)", got, errOut.String())
+		}
+		if !strings.Contains(errOut.String(), "recovery_seconds") {
+			t.Errorf("stderr missing recovery_seconds: %s", errOut.String())
+		}
+	})
+	t.Run("recovery wobble below the floor holds", func(t *testing.T) {
+		// 5ms -> 80ms is a 16x "regression" that is pure runner noise;
+		// the absolute floor keeps it from failing the gate.
+		oldPath := write(t, "old.json", `{"benchmark":"S","gomaxprocs":1,"x_per_sec":5,"recovery_seconds":0.005}`)
+		newPath := write(t, "new.json", `{"benchmark":"S","gomaxprocs":1,"x_per_sec":5,"recovery_seconds":0.08}`)
+		var out, errOut strings.Builder
+		if got := run([]string{"compare", oldPath, newPath}, &out, &errOut); got != 0 {
+			t.Errorf("exit = %d, want 0 (stderr: %s)", got, errOut.String())
+		}
+	})
+	t.Run("dropped recovery figure fails", func(t *testing.T) {
+		oldPath := write(t, "old.json", `{"benchmark":"S","gomaxprocs":1,"x_per_sec":5,"recovery_seconds":0.02}`)
+		newPath := write(t, "new.json", `{"benchmark":"S","gomaxprocs":1,"x_per_sec":5}`)
 		var out, errOut strings.Builder
 		if got := run([]string{"compare", oldPath, newPath}, &out, &errOut); got != 1 {
 			t.Errorf("exit = %d, want 1 (stderr: %s)", got, errOut.String())

@@ -1,0 +1,201 @@
+package durable
+
+import (
+	"io/fs"
+	"sync"
+)
+
+// FaultFS wraps an FS with failpoint-style fault injection for
+// crash-recovery tests:
+//
+//   - CrashAfterBytes(n): after n data bytes have been persisted
+//     across all files, further writes silently vanish while still
+//     reporting success — exactly what a kernel crash does to pages
+//     the application wrote but the disk never saw. The byte budget
+//     may land mid-record, producing torn frames.
+//   - FailWritesAfter(n, err): after n more persisted bytes, writes
+//     return err — a write may persist a short prefix first (disk
+//     full, I/O error), and the caller sees the failure.
+//   - FailSyncs(err): every Sync returns err (fsync failure).
+//
+// Metadata operations (create, rename, remove) pass through even
+// while crashed: a rename that reached the journal is a legitimate
+// crash outcome, and recovery must tolerate any interleaving of
+// surviving metadata with vanished data.
+type FaultFS struct {
+	base FS
+
+	mu        sync.Mutex
+	written   int64 // data bytes persisted to base so far
+	crashAt   int64 // -1: disabled; else budget after which writes vanish
+	failAt    int64 // -1: disabled; else budget after which writes error
+	writeErr  error
+	syncErr   error
+	syncCalls int64
+}
+
+// NewFaultFS wraps base with all faults disabled.
+func NewFaultFS(base FS) *FaultFS {
+	return &FaultFS{base: base, crashAt: -1, failAt: -1}
+}
+
+// CrashAfterBytes arms the crash failpoint: once n total data bytes
+// have been persisted, every further byte is dropped while the write
+// still reports success.
+func (f *FaultFS) CrashAfterBytes(n int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.crashAt = n
+}
+
+// FailWritesAfter arms the write-error failpoint: once n further data
+// bytes have been persisted, writes return err (after persisting any
+// remaining budget as a short write).
+func (f *FaultFS) FailWritesAfter(n int64, err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failAt = f.written + n
+	f.writeErr = err
+}
+
+// FailSyncs makes every Sync return err (nil disarms).
+func (f *FaultFS) FailSyncs(err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.syncErr = err
+}
+
+// Heal disarms every fault; subsequent I/O passes through.
+func (f *FaultFS) Heal() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.crashAt = -1
+	f.failAt = -1
+	f.writeErr = nil
+	f.syncErr = nil
+}
+
+// Written reports total data bytes persisted through this FS — run a
+// workload once fault-free to learn the byte span, then replay it with
+// CrashAfterBytes at any offset within it.
+func (f *FaultFS) Written() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.written
+}
+
+// SyncCalls reports how many Sync calls reached this FS.
+func (f *FaultFS) SyncCalls() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.syncCalls
+}
+
+// Create implements FS.
+func (f *FaultFS) Create(path string) (File, error) {
+	base, err := f.base.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, f: base}, nil
+}
+
+// ReadFile implements FS.
+func (f *FaultFS) ReadFile(path string) ([]byte, error) { return f.base.ReadFile(path) }
+
+// Rename implements FS.
+func (f *FaultFS) Rename(oldpath, newpath string) error { return f.base.Rename(oldpath, newpath) }
+
+// Remove implements FS.
+func (f *FaultFS) Remove(path string) error { return f.base.Remove(path) }
+
+// Truncate implements FS.
+func (f *FaultFS) Truncate(path string, size int64) error { return f.base.Truncate(path, size) }
+
+// MkdirAll implements FS.
+func (f *FaultFS) MkdirAll(path string) error { return f.base.MkdirAll(path) }
+
+// ReadDir implements FS.
+func (f *FaultFS) ReadDir(path string) ([]string, error) { return f.base.ReadDir(path) }
+
+// SyncDir implements FS.
+func (f *FaultFS) SyncDir(path string) error {
+	f.mu.Lock()
+	serr := f.syncErr
+	f.mu.Unlock()
+	if serr != nil {
+		return serr
+	}
+	return f.base.SyncDir(path)
+}
+
+type faultFile struct {
+	fs *FaultFS
+	f  File
+}
+
+func (ff *faultFile) Write(p []byte) (int, error) {
+	ff.fs.mu.Lock()
+	// Write-error budget: persist what remains of it, then fail.
+	if ff.fs.failAt >= 0 && ff.fs.written+int64(len(p)) > ff.fs.failAt {
+		allow := ff.fs.failAt - ff.fs.written
+		if allow < 0 {
+			allow = 0
+		}
+		werr := ff.fs.writeErr
+		if werr == nil {
+			werr = fs.ErrInvalid
+		}
+		crashAt := ff.fs.crashAt
+		persist := allow
+		if crashAt >= 0 && ff.fs.written+persist > crashAt {
+			persist = crashAt - ff.fs.written
+			if persist < 0 {
+				persist = 0
+			}
+		}
+		ff.fs.written += allow
+		ff.fs.mu.Unlock()
+		if persist > 0 {
+			ff.f.Write(p[:persist])
+		}
+		return int(allow), werr
+	}
+	// Crash budget: report full success, persist only what fits.
+	persist := int64(len(p))
+	if ff.fs.crashAt >= 0 {
+		if room := ff.fs.crashAt - ff.fs.written; room < persist {
+			persist = room
+			if persist < 0 {
+				persist = 0
+			}
+		}
+	}
+	ff.fs.written += int64(len(p))
+	ff.fs.mu.Unlock()
+	if persist > 0 {
+		if n, err := ff.f.Write(p[:persist]); err != nil {
+			return n, err
+		}
+	}
+	return len(p), nil
+}
+
+func (ff *faultFile) Sync() error {
+	ff.fs.mu.Lock()
+	ff.fs.syncCalls++
+	serr := ff.fs.syncErr
+	crashed := ff.fs.crashAt >= 0 && ff.fs.written > ff.fs.crashAt
+	ff.fs.mu.Unlock()
+	if serr != nil {
+		return serr
+	}
+	if crashed {
+		// The process believes the sync succeeded; the dropped bytes
+		// are already gone, which is the point of the crash model.
+		return nil
+	}
+	return ff.f.Sync()
+}
+
+func (ff *faultFile) Close() error { return ff.f.Close() }

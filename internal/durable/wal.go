@@ -1,0 +1,273 @@
+package durable
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"sync"
+)
+
+// WAL frame layout, little-endian:
+//
+//	[u32 payload length] [u32 CRC32C over seq+payload] [u64 seq] [payload]
+//
+// The CRC covers the sequence number as well as the payload, so a
+// record can never be silently re-stamped with a different position in
+// the log; the length field is outside the CRC but bounded by
+// MaxRecord, so a corrupt length cannot send the reader megabytes off
+// into garbage before the checksum catches it.
+const (
+	frameHeaderSize = 16
+	// MaxRecord bounds a single WAL payload. Session records are tens
+	// of bytes; anything claiming more than this is corruption, not
+	// data.
+	MaxRecord = 1 << 20
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Record is one decoded WAL entry. Payload aliases the replay buffer;
+// copy it if it must outlive the buffer.
+type Record struct {
+	Seq     uint64
+	Payload []byte
+}
+
+// CorruptError reports the first undecodable byte of a WAL segment:
+// everything before Offset replayed cleanly, nothing at or after it
+// should be trusted (or retained — recovery truncates here).
+type CorruptError struct {
+	Offset int64
+	Reason string
+}
+
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("durable: corrupt wal record at offset %d: %s", e.Offset, e.Reason)
+}
+
+// AppendRecord appends the framed record to dst and returns the
+// extended slice. This is the one encoder: Replay accepts exactly what
+// AppendRecord produces, byte for byte.
+func AppendRecord(dst []byte, seq uint64, payload []byte) []byte {
+	var hdr [frameHeaderSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint64(hdr[8:16], seq)
+	crc := crc32.Update(0, castagnoli, hdr[8:16])
+	crc = crc32.Update(crc, castagnoli, payload)
+	binary.LittleEndian.PutUint32(hdr[4:8], crc)
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
+}
+
+// Replay scans buf for consecutive valid frames with strictly
+// increasing sequence numbers. It returns the decoded records, the
+// byte offset of the end of the valid prefix, and a *CorruptError if
+// the scan stopped before the end of the buffer (torn header, torn
+// payload, checksum mismatch, implausible length, or a sequence
+// regression). A buffer that ends exactly on a frame boundary returns
+// a nil error. Records alias buf.
+func Replay(buf []byte) ([]Record, int64, error) {
+	var recs []Record
+	off := 0
+	lastSeq := uint64(0)
+	for off < len(buf) {
+		rem := len(buf) - off
+		if rem < frameHeaderSize {
+			return recs, int64(off), &CorruptError{int64(off), fmt.Sprintf("torn header: %d trailing bytes", rem)}
+		}
+		length := int(binary.LittleEndian.Uint32(buf[off : off+4]))
+		if length > MaxRecord {
+			return recs, int64(off), &CorruptError{int64(off), fmt.Sprintf("implausible payload length %d", length)}
+		}
+		if rem-frameHeaderSize < length {
+			return recs, int64(off), &CorruptError{int64(off), fmt.Sprintf("torn payload: header claims %d bytes, %d remain", length, rem-frameHeaderSize)}
+		}
+		want := binary.LittleEndian.Uint32(buf[off+4 : off+8])
+		seq := binary.LittleEndian.Uint64(buf[off+8 : off+16])
+		// seq and payload are contiguous in the frame, so one pass
+		// over that span is the whole checksum.
+		got := crc32.Checksum(buf[off+8:off+frameHeaderSize+length], castagnoli)
+		if got != want {
+			return recs, int64(off), &CorruptError{int64(off), "checksum mismatch"}
+		}
+		if seq <= lastSeq {
+			return recs, int64(off), &CorruptError{int64(off), fmt.Sprintf("sequence %d not after %d", seq, lastSeq)}
+		}
+		recs = append(recs, Record{Seq: seq, Payload: buf[off+frameHeaderSize : off+frameHeaderSize+length]})
+		lastSeq = seq
+		off += frameHeaderSize + length
+	}
+	return recs, int64(off), nil
+}
+
+// flushThreshold forces a write-through when the userspace buffer of a
+// group/never log grows past this, bounding memory between flushes.
+const flushThreshold = 256 << 10
+
+// Log is a single append-only WAL segment writer. Append frames the
+// record and either writes+fsyncs it immediately (SyncAlways) or
+// copies it into a userspace buffer that Flush — called by the owner's
+// group-commit loop, or by Close — writes through. Log has its own
+// mutex so the owner's hot path never contends with the flusher for
+// longer than a memcpy.
+type Log struct {
+	// mu guards the append state (buf, f-for-appenders): appends hold
+	// it only long enough to frame into buf, so they never wait out a
+	// write or fsync. flushMu serializes the writers themselves —
+	// whoever holds it swaps buf out (briefly taking mu) and performs
+	// the file write and fsync outside mu, which is what makes group
+	// commit a latency win instead of a 2ms lock convoy.
+	mu      sync.Mutex
+	flushMu sync.Mutex
+	fs      FS
+	f       File
+	path    string
+	policy  SyncPolicy
+	buf     []byte // framed records not yet written to f (mu)
+	spare   []byte // the other half of the double buffer (flushMu)
+	scratch []byte // frame assembly under SyncAlways (mu)
+	dirty   bool   // bytes written but not fsynced (mu)
+}
+
+// CreateLog starts a fresh (truncated) segment at path. Segments are
+// always created, never reopened: recovery rotates to a new generation
+// rather than appending to a file whose tail it just validated.
+func CreateLog(fs FS, path string, policy SyncPolicy) (*Log, error) {
+	f, err := fs.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	l := &Log{fs: fs, f: f, path: path, policy: policy}
+	if policy != SyncAlways {
+		// Both halves of the double buffer sized for the pressure
+		// threshold up front: a hot shard ping-pongs these at up to
+		// 500 swaps/s, and growing them live means multi-hundred-KiB
+		// reallocs on the append path.
+		l.buf = make([]byte, 0, flushThreshold+4096)
+		l.spare = make([]byte, 0, flushThreshold+4096)
+	}
+	return l, nil
+}
+
+// Path returns the segment's file path.
+func (l *Log) Path() string { return l.path }
+
+// Append frames one record into the segment. Under SyncAlways it is
+// durable when Append returns; under SyncGroup it is durable after the
+// next Flush; under SyncNever it is written through on buffer
+// pressure, rotation, or Close, and never fsynced.
+func (l *Log) Append(seq uint64, payload []byte) error {
+	l.mu.Lock()
+	if l.f == nil {
+		l.mu.Unlock()
+		return fmt.Errorf("durable: append to closed log %s", l.path)
+	}
+	if l.policy == SyncAlways {
+		defer l.mu.Unlock()
+		l.scratch = AppendRecord(l.scratch[:0], seq, payload)
+		if err := writeAll(l.f, l.path, l.scratch); err != nil {
+			l.dirty = true
+			return err
+		}
+		return l.f.Sync()
+	}
+	l.buf = AppendRecord(l.buf, seq, payload)
+	pressure := len(l.buf) >= flushThreshold
+	l.mu.Unlock()
+	if pressure {
+		// Write through without waiting for the group ticker, but
+		// never fsync on the append path, and never queue behind a
+		// flusher mid-fsync — buffer pressure is about memory, not
+		// durability, and the in-flight flush is already draining
+		// the buffer we would have written.
+		return l.flushPressure()
+	}
+	return nil
+}
+
+// Flush writes any buffered records through to the file and, except
+// under SyncNever, fsyncs. The group-commit loop calls this every
+// interval; appends proceed during the write and fsync.
+func (l *Log) Flush() error {
+	return l.flush(l.policy != SyncNever)
+}
+
+// flushPressure is flush(false) that gives up instead of waiting for
+// the flushMu holder.
+func (l *Log) flushPressure() error {
+	if !l.flushMu.TryLock() {
+		return nil
+	}
+	return l.flushLocked(false)
+}
+
+// flush is the only file writer for buffered policies. flushMu orders
+// concurrent flushers (so records reach the file in append order) and
+// fences Close; the buffer swap under mu is the only moment appends
+// are held up.
+func (l *Log) flush(sync bool) error {
+	l.flushMu.Lock()
+	return l.flushLocked(sync)
+}
+
+// flushLocked does the swap + write + fsync; caller holds flushMu,
+// which is released here.
+func (l *Log) flushLocked(sync bool) error {
+	defer l.flushMu.Unlock()
+	l.mu.Lock()
+	f := l.f
+	if f == nil {
+		l.mu.Unlock()
+		return nil
+	}
+	buf := l.buf
+	l.buf = l.spare[:0]
+	doSync := sync && (l.dirty || len(buf) > 0)
+	l.dirty = !sync && (l.dirty || len(buf) > 0)
+	l.mu.Unlock()
+
+	err := writeAll(f, l.path, buf)
+	l.spare = buf[:0]
+	if err != nil {
+		return err
+	}
+	if doSync {
+		return f.Sync()
+	}
+	return nil
+}
+
+// Close flushes, fsyncs (policy permitting), and closes the segment.
+// Safe to call twice.
+func (l *Log) Close() error {
+	err := l.flush(l.policy != SyncNever)
+	l.flushMu.Lock()
+	defer l.flushMu.Unlock()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return err
+	}
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	l.f = nil
+	return err
+}
+
+// writeAll loops over short writes; a File that accepts some bytes and
+// errors (disk nearly full) still advances so the error reflects the
+// true boundary.
+func writeAll(f File, path string, p []byte) error {
+	for len(p) > 0 {
+		n, err := f.Write(p)
+		p = p[n:]
+		if err != nil {
+			return err
+		}
+		if n == 0 {
+			return fmt.Errorf("durable: write to %s made no progress", path)
+		}
+	}
+	return nil
+}

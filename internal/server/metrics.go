@@ -241,7 +241,8 @@ func NewMetrics() *Metrics {
 // scrapes (scrapers dislike appearing/vanishing series).
 var stageNames = []string{"admission", "cache_lookup", "coalesce_queue",
 	"screen", "harden", "adjudication_wait", "adjudication",
-	"session_observe", "session_signal", "session_fold"}
+	"session_observe", "session_signal", "session_fold",
+	"wal_append", "checkpoint", "recovery"}
 
 // EnableStages switches the per-stage latency histograms on. Stage
 // spans range from sub-microsecond map touches (cache_lookup) to
@@ -433,6 +434,26 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 		fmt.Fprintf(cw, "mh_sessions_ended_total %d\n", st.Ended)
 		writeHeader("mh_sessions_restored_total", "Sessions loaded from a snapshot.", "counter")
 		fmt.Fprintf(cw, "mh_sessions_restored_total %d\n", st.Restored)
+		writeHeader("mh_session_restore_failures_total", "Snapshot restores rejected (corrupt or mismatched).", "counter")
+		fmt.Fprintf(cw, "mh_session_restore_failures_total %d\n", st.RestoreFailures)
+		writeHeader("mh_wal_appends_total", "Records appended to the session write-ahead logs.", "counter")
+		fmt.Fprintf(cw, "mh_wal_appends_total %d\n", st.WALAppends)
+		writeHeader("mh_wal_append_errors_total", "Session WAL appends or flushes that failed.", "counter")
+		fmt.Fprintf(cw, "mh_wal_append_errors_total %d\n", st.WALAppendErrors)
+		writeHeader("mh_wal_degraded", "1 while any session shard runs in-memory-only after a WAL failure.", "gauge")
+		degraded := 0
+		if st.WALDegraded {
+			degraded = 1
+		}
+		fmt.Fprintf(cw, "mh_wal_degraded %d\n", degraded)
+		writeHeader("mh_checkpoints_total", "Session shard checkpoints written.", "counter")
+		fmt.Fprintf(cw, "mh_checkpoints_total %d\n", st.Checkpoints)
+		writeHeader("mh_checkpoint_errors_total", "Session shard checkpoints that failed.", "counter")
+		fmt.Fprintf(cw, "mh_checkpoint_errors_total %d\n", st.CheckpointErrors)
+		writeHeader("mh_sessions_recovered_total", "Sessions rebuilt from the WAL at boot.", "counter")
+		fmt.Fprintf(cw, "mh_sessions_recovered_total %d\n", st.Recovered)
+		writeHeader("mh_session_recovery_seconds", "Wall time of the boot-time WAL recovery.", "gauge")
+		fmt.Fprintf(cw, "mh_session_recovery_seconds %g\n", st.RecoverySeconds)
 	}
 
 	// Runtime telemetry, sampled at scrape time, and the build-identity

@@ -45,6 +45,15 @@ type TracedSessionMonitor interface {
 	ObserveTraced(user, post string, sp *obs.Span) (mhd.RiskState, error)
 }
 
+// StageObservableSessionMonitor is optionally implemented by
+// SessionMonitors that can report durability stage timings
+// ("checkpoint", "recovery") outside any request span
+// (*mhd.RiskMonitor does). New wires it into the stage-latency
+// histograms.
+type StageObservableSessionMonitor interface {
+	SetSessionStageObserver(fn func(stage string, d time.Duration))
+}
+
 // Config tunes the serving subsystem. The zero value selects sensible
 // defaults for every field.
 type Config struct {
@@ -191,6 +200,14 @@ func New(det Screener, mon Assessor, cfg Config) *Server {
 			if ts, ok := mon.(TracedSessionMonitor); ok {
 				s.tracedSessions = ts
 			}
+		}
+		// Durability stages (checkpoint passes, the boot-time WAL
+		// recovery) happen outside any request, so they feed the stage
+		// histograms through a direct observer instead of spans.
+		// ObserveStage no-ops until EnableStages, so wiring is free
+		// when tracing is off.
+		if so, ok := mon.(StageObservableSessionMonitor); ok {
+			so.SetSessionStageObserver(m.ObserveStage)
 		}
 		if every := cfg.sessionSweepEvery(); every > 0 {
 			s.janitorStop = make(chan struct{})

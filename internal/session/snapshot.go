@@ -76,7 +76,26 @@ func (st *Store) Snapshot(w io.Writer) error {
 // to the store's TTL are dropped; the rest are loaded in last-seen
 // order so LRU recency — and capacity shedding, if the snapshot
 // exceeds capacity — favor the most recently active users.
+//
+// With a WAL configured, a successful restore immediately checkpoints
+// so the loaded state is durable and stale WAL records cannot
+// resurrect sessions the snapshot replaced. Failed restores leave the
+// store untouched and are counted in Stats.RestoreFailures.
 func (st *Store) Restore(r io.Reader) error {
+	err := st.restore(r)
+	if err != nil {
+		st.restoreFailures.Add(1)
+		return err
+	}
+	if st.wal != nil {
+		if cerr := st.CheckpointNow(); cerr != nil {
+			st.wal.warnf("post-restore checkpoint failed; restored state not yet durable", cerr)
+		}
+	}
+	return nil
+}
+
+func (st *Store) restore(r io.Reader) error {
 	var snap snapshotFile
 	if err := json.NewDecoder(r).Decode(&snap); err != nil {
 		return fmt.Errorf("session: decoding snapshot: %w", err)

@@ -19,6 +19,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/durable"
 	"repro/internal/early"
 	"repro/internal/obs"
 )
@@ -38,6 +39,29 @@ type Config struct {
 	Shards int
 	// Now overrides the clock (tests); defaults to time.Now.
 	Now func() time.Time
+
+	// WALDir, when non-empty, makes the store crash-safe: every
+	// Observe/End appends to a per-shard write-ahead log under this
+	// directory, a background checkpointer bounds recovery time, and
+	// New replays whatever a previous process left behind (see
+	// wal.go). The directory is created if missing.
+	WALDir string
+	// WALSync selects when WAL appends reach stable storage (default
+	// durable.SyncGroup: group commit every WALGroupEvery).
+	WALSync durable.SyncPolicy
+	// WALGroupEvery is the group-commit flush+fsync interval (default
+	// 2ms); only meaningful under durable.SyncGroup.
+	WALGroupEvery time.Duration
+	// CheckpointEvery is the background checkpoint cadence (default
+	// 1m). Negative disables the periodic pass; CheckpointNow still
+	// works, and degraded-mode re-probing still runs.
+	CheckpointEvery time.Duration
+	// FS overrides the durability filesystem seam (fault-injection
+	// tests); defaults to the real filesystem.
+	FS durable.FS
+	// Logger receives rate-limited durability warnings; nil disables
+	// logging (obs.Logger is nil-safe).
+	Logger *obs.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -78,6 +102,16 @@ type Stats struct {
 	EvictedCapacity int64 // sessions shed to admit new ones at capacity
 	Ended           int64 // sessions removed by explicit End
 	Restored        int64 // sessions loaded by Restore
+	RestoreFailures int64 // Restore calls that failed (corrupt/mismatched snapshot)
+
+	// Durability figures; all zero when no WAL is configured.
+	WALAppends       int64   // records appended to shard WALs
+	WALAppendErrors  int64   // appends/flushes that failed (each degrades a shard)
+	WALDegraded      bool    // true while any shard is in-memory-only
+	Checkpoints      int64   // shard checkpoints written
+	CheckpointErrors int64   // shard checkpoints that failed
+	Recovered        int64   // sessions rebuilt by WAL recovery at boot
+	RecoverySeconds  float64 // wall time of that recovery
 }
 
 // Store is a sharded per-user session store. Construct with New; all
@@ -94,20 +128,28 @@ type Store struct {
 	scratch  sync.Pool
 	fastPath bool
 
-	created      atomic.Int64
-	observations atomic.Int64
-	alarms       atomic.Int64
-	evictedTTL   atomic.Int64
-	evictedCap   atomic.Int64
-	ended        atomic.Int64
-	restored     atomic.Int64
+	created         atomic.Int64
+	observations    atomic.Int64
+	alarms          atomic.Int64
+	evictedTTL      atomic.Int64
+	evictedCap      atomic.Int64
+	ended           atomic.Int64
+	restored        atomic.Int64
+	restoreFailures atomic.Int64
+
+	// Durability (nil / zero when Config.WALDir is empty; see wal.go).
+	wal       *walState
+	onStage   atomic.Value // func(stage string, d time.Duration)
+	closeOnce sync.Once
 }
 
 type shard struct {
 	mu      sync.Mutex
+	idx     int
 	cap     int
 	order   *list.List               // front = most recently observed
 	entries map[string]*list.Element // value: *sessionEntry
+	wal     shardWAL
 }
 
 type sessionEntry struct {
@@ -132,12 +174,18 @@ func New(mon *early.Monitor, cfg Config) (*Store, error) {
 	base, extra := cfg.Capacity/cfg.Shards, cfg.Capacity%cfg.Shards
 	for i := range st.shards {
 		s := &st.shards[i]
+		s.idx = i
 		s.cap = base
 		if i < extra {
 			s.cap++
 		}
 		s.order = list.New()
 		s.entries = make(map[string]*list.Element)
+	}
+	if cfg.WALDir != "" {
+		if err := st.initWAL(cfg); err != nil {
+			return nil, err
+		}
 	}
 	return st, nil
 }
@@ -253,6 +301,11 @@ func (st *Store) ObserveTraced(user, post string, sp *obs.Span) (Status, error) 
 	e.last = now
 	sh.order.MoveToFront(sh.entries[user])
 	status := Status{User: user, State: e.state, LastSeen: e.last}
+	if st.wal != nil {
+		walSp := sp.Child("wal_append")
+		st.walAppend(sh, walOpObserve, user, e.state, now)
+		walSp.End()
+	}
 	sh.mu.Unlock()
 	foldSp.End()
 
@@ -289,6 +342,9 @@ func (st *Store) End(user string) bool {
 	sh.order.Remove(el)
 	delete(sh.entries, user)
 	st.ended.Add(1)
+	if st.wal != nil {
+		st.walAppend(sh, walOpEnd, user, early.State{}, st.now())
+	}
 	return true
 }
 
@@ -335,7 +391,7 @@ func (st *Store) Sweep() int {
 
 // Stats returns a point-in-time snapshot of the store's metrics.
 func (st *Store) Stats() Stats {
-	return Stats{
+	s := Stats{
 		Active:          st.Len(),
 		Created:         st.created.Load(),
 		Observations:    st.observations.Load(),
@@ -344,5 +400,16 @@ func (st *Store) Stats() Stats {
 		EvictedCapacity: st.evictedCap.Load(),
 		Ended:           st.ended.Load(),
 		Restored:        st.restored.Load(),
+		RestoreFailures: st.restoreFailures.Load(),
 	}
+	if w := st.wal; w != nil {
+		s.WALAppends = w.appends.Load()
+		s.WALAppendErrors = w.appendErrs.Load()
+		s.WALDegraded = w.degraded.Load()
+		s.Checkpoints = w.checkpoints.Load()
+		s.CheckpointErrors = w.checkpointErrs.Load()
+		s.Recovered = w.recoveredSessions
+		s.RecoverySeconds = w.recoverySeconds
+	}
+	return s
 }

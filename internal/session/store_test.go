@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"math/rand"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -387,5 +388,99 @@ func TestRestoreShedsBeyondCapacity(t *testing.T) {
 		if _, ok := small.Risk(user); !ok {
 			t.Errorf("most-recent user %s shed during restore", user)
 		}
+	}
+}
+
+// TestConcurrentSweepRestoreObserve races every mutating entry point
+// of a plain in-memory store — Observe, End, Sweep, Restore, Risk,
+// Stats — against a moving clock. A randomized property test: it
+// asserts no operation ever errors and the store's bounds hold, and
+// under -race it proves the lock discipline.
+func TestConcurrentSweepRestoreObserve(t *testing.T) {
+	const capacity = 48
+	st, clk := newTestStore(t, Config{TTL: time.Minute, Capacity: capacity, Shards: 4})
+
+	seed, _ := newTestStore(t, Config{Shards: 1})
+	for i := 0; i < 8; i++ {
+		if _, err := seed.Observe(fmt.Sprintf("snap-%d", i), "risk"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var snap bytes.Buffer
+	if err := seed.Snapshot(&snap); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				user := fmt.Sprintf("user-%d", rng.Intn(64))
+				switch rng.Intn(8) {
+				case 0:
+					st.End(user)
+				case 1:
+					st.Risk(user)
+				default:
+					if _, err := st.Observe(user, "risk and calm"); err != nil {
+						t.Errorf("observe: %v", err)
+						return
+					}
+				}
+				if i%50 == 0 {
+					clk.Advance(10 * time.Second)
+				}
+			}
+		}(w)
+	}
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				if n := st.Sweep(); n < 0 {
+					t.Errorf("Sweep returned %d", n)
+					return
+				}
+				st.Stats()
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				if err := st.Restore(bytes.NewReader(snap.Bytes())); err != nil {
+					t.Errorf("restore: %v", err)
+					return
+				}
+			}
+		}
+	}()
+	time.Sleep(100 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	if n := st.Len(); n > capacity {
+		t.Errorf("Len() = %d exceeds capacity %d", n, capacity)
+	}
+	s := st.Stats()
+	if s.Created < int64(s.Active) {
+		t.Errorf("created %d < active %d", s.Created, s.Active)
 	}
 }

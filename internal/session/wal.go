@@ -1,0 +1,772 @@
+package session
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/durable"
+	"repro/internal/early"
+	"repro/internal/obs"
+)
+
+// Durability layer: per-shard write-ahead logs plus incremental
+// checkpoints, so a crash loses at most the current sync window
+// instead of every observation since boot.
+//
+// Layout of a WAL directory:
+//
+//	MANIFEST.json            shard count + monitor params, written once
+//	shard-0003-00000007.wal  shard 3's generation-7 WAL segment
+//	shard-0003-00000007.ckpt shard 3's checkpoint AT THE START of gen 7
+//
+// A checkpoint for generation g captures the shard exactly as of the
+// rotation that opened segment g, so recovery is: newest decodable
+// checkpoint, then every segment of that generation and later, in
+// order. Each Observe/End appends one record carrying the user's
+// ABSOLUTE post-fold state (not the input signal), which keeps replay
+// classifier-free and idempotent: applying a record is "set this
+// user's state", so a record surviving in both a checkpoint and a
+// segment is harmless.
+//
+// Compaction keeps the newest TWO checkpoint generations — the second
+// is the fallback when the newest proves unreadable — and every WAL
+// segment from the older kept checkpoint forward.
+//
+// Degradation contract: a failed append marks that shard's WAL dead
+// and the store degraded (mh_wal_degraded gauge), but Observe keeps
+// serving from memory — losing durability must not lose availability.
+// The background loop re-probes at jittered exponential backoff by
+// attempting a checkpoint pass; a successful rotation+checkpoint
+// re-establishes durability because the checkpoint captures everything
+// the dead WAL missed.
+//
+// Not logged: TTL sweeps and capacity shedding. Recovery re-applies
+// both bounds itself (expired sessions are dropped against the clock
+// at boot, the load re-sheds at capacity), so persisting evictions
+// would buy nothing but WAL traffic.
+
+// walManifestName pins the WAL directory to one store shape.
+const walManifestName = "MANIFEST.json"
+
+// ErrWALMismatch is returned by New when the WAL directory was written
+// by a store with different shards or monitor parameters — evidence
+// accumulated under one configuration is meaningless under another,
+// and shard-hashed records would land on the wrong shards.
+var ErrWALMismatch = errors.New("session: wal directory mismatch")
+
+type walManifest struct {
+	Version   int     `json:"version"`
+	Shards    int     `json:"shards"`
+	Threshold float64 `json:"threshold"`
+	Decay     float64 `json:"decay"`
+}
+
+// checkpointFile reuses the snapshot codec (same version, same
+// parameter checks, same session encoding) plus the shard index and
+// the WAL sequence the checkpoint is current through.
+type checkpointFile struct {
+	Version   int               `json:"version"`
+	Shard     int               `json:"shard"`
+	Seq       uint64            `json:"seq"`
+	Threshold float64           `json:"threshold"`
+	Decay     float64           `json:"decay"`
+	Sessions  []snapshotSession `json:"sessions"`
+}
+
+// shardWAL is the per-shard durability state; all fields are guarded
+// by the shard mutex except the Log, which has its own.
+type shardWAL struct {
+	log     *durable.Log
+	gen     uint64
+	seq     uint64 // last sequence appended (or recovered)
+	ok      bool   // false: appends skipped, shard is in-memory only
+	payload []byte // record-encoding scratch, reused across appends
+	// Checkpoint bookkeeping, guarded by walState.ckptMu instead
+	// (only the checkpointer touches it).
+	lastCkpt uint64
+	prevCkpt uint64
+}
+
+// walState is the store-wide durability state.
+type walState struct {
+	dir        string
+	fs         durable.FS
+	policy     durable.SyncPolicy
+	groupEvery time.Duration
+	ckptEvery  time.Duration
+	logger     *obs.Logger
+	errLimit   *obs.RateLimiter
+
+	degraded       atomic.Bool
+	appends        atomic.Int64
+	appendErrs     atomic.Int64
+	checkpoints    atomic.Int64
+	checkpointErrs atomic.Int64
+	truncations    atomic.Int64
+
+	// Recovery results, written once before the loop starts.
+	recoveredSessions int64
+	recoveredRecords  int64
+	recoverySeconds   float64
+
+	ckptMu  chanMutex // serializes checkpoint passes (and probe passes)
+	stop    chan struct{}
+	done    chan struct{}
+	emitted atomic.Bool // recovery stage reported to an observer
+}
+
+// chanMutex is a mutex the durability loop can also poll without
+// blocking (TryLock), so a slow manual CheckpointNow never backs up
+// the ticker.
+type chanMutex chan struct{}
+
+func newChanMutex() chanMutex {
+	m := make(chanMutex, 1)
+	m <- struct{}{}
+	return m
+}
+
+func (m chanMutex) Lock()   { <-m }
+func (m chanMutex) Unlock() { m <- struct{}{} }
+func (m chanMutex) TryLock() bool {
+	select {
+	case <-m:
+		return true
+	default:
+		return false
+	}
+}
+
+func walSegName(shard int, gen uint64) string {
+	return fmt.Sprintf("shard-%04d-%08d.wal", shard, gen)
+}
+
+func ckptSegName(shard int, gen uint64) string {
+	return fmt.Sprintf("shard-%04d-%08d.ckpt", shard, gen)
+}
+
+// parseWALName inverts the segment naming; ok is false for manifest,
+// temp files, and anything else.
+func parseWALName(name string) (shard int, gen uint64, isCkpt bool, ok bool) {
+	var ext string
+	switch {
+	case strings.HasSuffix(name, ".wal"):
+		ext = ".wal"
+	case strings.HasSuffix(name, ".ckpt"):
+		ext = ".ckpt"
+		isCkpt = true
+	default:
+		return 0, 0, false, false
+	}
+	var s int
+	var g uint64
+	n, err := fmt.Sscanf(strings.TrimSuffix(name, ext), "shard-%04d-%08d", &s, &g)
+	if err != nil || n != 2 {
+		return 0, 0, false, false
+	}
+	return s, g, isCkpt, true
+}
+
+// WAL record payload, little-endian:
+//
+//	[u8 op] [u32 user len] [user bytes]
+//	observe only: [f64 evidence] [u32 posts] [u8 alarm] [u32 alarm_at] [i64 last unix-nanos]
+const (
+	walOpObserve = 1
+	walOpEnd     = 2
+)
+
+type walRecord struct {
+	op    byte
+	user  string
+	state early.State
+	last  int64 // unix nanos
+}
+
+func appendWALPayload(dst []byte, op byte, user string, state early.State, last int64) []byte {
+	var tmp [8]byte
+	dst = append(dst, op)
+	binary.LittleEndian.PutUint32(tmp[:4], uint32(len(user)))
+	dst = append(dst, tmp[:4]...)
+	dst = append(dst, user...)
+	if op != walOpObserve {
+		return dst
+	}
+	binary.LittleEndian.PutUint64(tmp[:], math.Float64bits(state.Evidence))
+	dst = append(dst, tmp[:]...)
+	binary.LittleEndian.PutUint32(tmp[:4], uint32(state.Posts))
+	dst = append(dst, tmp[:4]...)
+	if state.Alarm {
+		dst = append(dst, 1)
+	} else {
+		dst = append(dst, 0)
+	}
+	binary.LittleEndian.PutUint32(tmp[:4], uint32(state.AlarmAt))
+	dst = append(dst, tmp[:4]...)
+	binary.LittleEndian.PutUint64(tmp[:], uint64(last))
+	return append(dst, tmp[:]...)
+}
+
+func decodeWALPayload(p []byte) (walRecord, error) {
+	var r walRecord
+	if len(p) < 5 {
+		return r, fmt.Errorf("session: wal record too short (%d bytes)", len(p))
+	}
+	r.op = p[0]
+	ulen := int(binary.LittleEndian.Uint32(p[1:5]))
+	if ulen <= 0 || 5+ulen > len(p) {
+		return r, fmt.Errorf("session: wal record user length %d out of range", ulen)
+	}
+	r.user = string(p[5 : 5+ulen])
+	rest := p[5+ulen:]
+	switch r.op {
+	case walOpEnd:
+		if len(rest) != 0 {
+			return r, fmt.Errorf("session: wal end record has %d trailing bytes", len(rest))
+		}
+		return r, nil
+	case walOpObserve:
+		if len(rest) != 8+4+1+4+8 {
+			return r, fmt.Errorf("session: wal observe record body is %d bytes, want 25", len(rest))
+		}
+		r.state.Evidence = math.Float64frombits(binary.LittleEndian.Uint64(rest[0:8]))
+		r.state.Posts = int(int32(binary.LittleEndian.Uint32(rest[8:12])))
+		r.state.Alarm = rest[12] != 0
+		r.state.AlarmAt = int(int32(binary.LittleEndian.Uint32(rest[13:17])))
+		r.last = int64(binary.LittleEndian.Uint64(rest[17:25]))
+		return r, nil
+	default:
+		return r, fmt.Errorf("session: unknown wal op %d", r.op)
+	}
+}
+
+// initWAL recovers existing state from cfg.WALDir and starts the
+// durability loop. Called from New after the shards exist.
+func (st *Store) initWAL(cfg Config) error {
+	w := &walState{
+		dir:        cfg.WALDir,
+		fs:         cfg.FS,
+		policy:     cfg.WALSync,
+		groupEvery: cfg.WALGroupEvery,
+		ckptEvery:  cfg.CheckpointEvery,
+		logger:     cfg.Logger,
+		errLimit:   obs.NewRateLimiter(1, 4),
+		ckptMu:     newChanMutex(),
+		stop:       make(chan struct{}),
+		done:       make(chan struct{}),
+	}
+	if w.fs == nil {
+		w.fs = durable.OS{}
+	}
+	if w.groupEvery <= 0 {
+		w.groupEvery = 2 * time.Millisecond
+	}
+	if w.ckptEvery == 0 {
+		w.ckptEvery = time.Minute
+	}
+	st.wal = w
+	if err := st.recoverWAL(); err != nil {
+		return err
+	}
+	go st.durabilityLoop()
+	return nil
+}
+
+func (w *walState) warnf(msg string, err error, fields ...obs.Field) {
+	if !w.errLimit.Allow() {
+		return
+	}
+	if err != nil {
+		fields = append(fields, obs.F("error", err.Error()))
+	}
+	w.logger.Warn(msg, fields...)
+}
+
+// recoverWAL rebuilds every shard from its newest decodable checkpoint
+// plus WAL tail, truncating at the first corrupt record, then rotates
+// each shard to a fresh generation for new appends.
+func (st *Store) recoverWAL() error {
+	w := st.wal
+	start := time.Now()
+	if err := w.fs.MkdirAll(w.dir); err != nil {
+		return fmt.Errorf("session: wal dir: %w", err)
+	}
+	man := walManifest{Version: 1, Shards: len(st.shards), Threshold: st.mon.Threshold(), Decay: st.mon.Decay()}
+	mpath := filepath.Join(w.dir, walManifestName)
+	if buf, err := w.fs.ReadFile(mpath); err == nil {
+		var got walManifest
+		if jerr := json.Unmarshal(buf, &got); jerr != nil {
+			return fmt.Errorf("%w: unreadable manifest: %v", ErrWALMismatch, jerr)
+		}
+		if got != man {
+			return fmt.Errorf("%w: dir has shards=%d threshold=%g decay=%g, store wants shards=%d threshold=%g decay=%g",
+				ErrWALMismatch, got.Shards, got.Threshold, got.Decay, man.Shards, man.Threshold, man.Decay)
+		}
+	} else {
+		data, _ := json.MarshalIndent(man, "", "  ")
+		if werr := durable.WriteFileAtomic(w.fs, mpath, data); werr != nil {
+			return fmt.Errorf("session: writing wal manifest: %w", werr)
+		}
+	}
+	names, err := w.fs.ReadDir(w.dir)
+	if err != nil {
+		return fmt.Errorf("session: listing wal dir: %w", err)
+	}
+	walGens := make([][]uint64, len(st.shards))
+	ckptGens := make([][]uint64, len(st.shards))
+	for _, name := range names {
+		shard, gen, isCkpt, ok := parseWALName(name)
+		if !ok {
+			continue
+		}
+		if shard < 0 || shard >= len(st.shards) {
+			w.warnf("wal segment for out-of-range shard ignored", nil, obs.F("file", name))
+			continue
+		}
+		if isCkpt {
+			ckptGens[shard] = append(ckptGens[shard], gen)
+		} else {
+			walGens[shard] = append(walGens[shard], gen)
+		}
+	}
+	var sessions, records int64
+	for i := range st.shards {
+		sort.Slice(walGens[i], func(a, b int) bool { return walGens[i][a] < walGens[i][b] })
+		sort.Slice(ckptGens[i], func(a, b int) bool { return ckptGens[i][a] < ckptGens[i][b] })
+		n, r, err := st.recoverShard(i, walGens[i], ckptGens[i])
+		if err != nil {
+			return err
+		}
+		sessions += n
+		records += r
+	}
+	w.recoveredSessions = sessions
+	w.recoveredRecords = records
+	w.recoverySeconds = time.Since(start).Seconds()
+	return nil
+}
+
+// recoverShard loads shard i and opens its next-generation segment.
+func (st *Store) recoverShard(i int, walGens, ckptGens []uint64) (nsessions, nrecords int64, err error) {
+	w := st.wal
+	sh := &st.shards[i]
+
+	// Newest decodable checkpoint wins; an unreadable one falls back
+	// to the generation before it.
+	var baseGen, baseSeq uint64
+	var prevGen uint64
+	states := make(map[string]*walRecord)
+	for c := len(ckptGens) - 1; c >= 0; c-- {
+		gen := ckptGens[c]
+		path := filepath.Join(w.dir, ckptSegName(i, gen))
+		buf, rerr := w.fs.ReadFile(path)
+		if rerr != nil {
+			w.warnf("wal checkpoint unreadable, falling back", rerr, obs.F("file", path))
+			continue
+		}
+		var ck checkpointFile
+		if derr := json.Unmarshal(buf, &ck); derr != nil {
+			w.warnf("wal checkpoint corrupt, falling back", derr, obs.F("file", path))
+			continue
+		}
+		if ck.Version != snapshotVersion || ck.Shard != i ||
+			ck.Threshold != st.mon.Threshold() || ck.Decay != st.mon.Decay() {
+			w.warnf("wal checkpoint mismatched, falling back", nil, obs.F("file", path))
+			continue
+		}
+		for _, s := range ck.Sessions {
+			states[s.User] = &walRecord{op: walOpObserve, user: s.User, state: s.State, last: s.LastSeen.UnixNano()}
+		}
+		baseGen, baseSeq = gen, ck.Seq
+		if c > 0 {
+			prevGen = ckptGens[c-1]
+		} else {
+			prevGen = gen
+		}
+		break
+	}
+
+	// Replay segments from the checkpoint's generation forward,
+	// stopping — and truncating — at the first record that fails its
+	// CRC, regresses its sequence, or decodes to garbage.
+	seq := baseSeq
+	maxGen := baseGen
+	for gi, gen := range walGens {
+		if gen < baseGen {
+			continue
+		}
+		if gen > maxGen {
+			maxGen = gen
+		}
+		path := filepath.Join(w.dir, walSegName(i, gen))
+		buf, rerr := w.fs.ReadFile(path)
+		if rerr != nil {
+			return 0, 0, fmt.Errorf("session: reading wal segment %s: %w", path, rerr)
+		}
+		recs, valid, cerr := durable.Replay(buf)
+		var off int64
+		for _, r := range recs {
+			recLen := int64(len(r.Payload)) + 16
+			if r.Seq <= seq {
+				// At or before the checkpoint (or a duplicate across a
+				// rotation race): already accounted for.
+				off += recLen
+				continue
+			}
+			rec, derr := decodeWALPayload(r.Payload)
+			if derr != nil {
+				// Framed and checksummed but not a record this build can
+				// read: same contract as a torn tail — keep the prefix.
+				cerr = derr
+				valid = off
+				break
+			}
+			off += recLen
+			seq = r.Seq
+			nrecords++
+			if rec.op == walOpEnd {
+				delete(states, rec.user)
+			} else {
+				r := rec
+				states[rec.user] = &r
+			}
+		}
+		if cerr != nil {
+			w.truncations.Add(1)
+			w.warnf("wal tail truncated at first bad record", cerr,
+				obs.F("file", path), obs.F("valid_bytes", valid))
+			if terr := w.fs.Truncate(path, valid); terr != nil {
+				return 0, 0, fmt.Errorf("session: truncating torn wal %s: %w", path, terr)
+			}
+			// Later segments continue a history that no longer exists;
+			// recovery is a prefix, so they must go.
+			for _, g := range walGens[gi+1:] {
+				w.fs.Remove(filepath.Join(w.dir, walSegName(i, g)))
+				w.fs.Remove(filepath.Join(w.dir, ckptSegName(i, g)))
+			}
+			break
+		}
+	}
+
+	// Load like Restore: drop sessions that expired while down, insert
+	// ascending last-seen so LRU recency and capacity shedding favor
+	// the recently active.
+	ordered := make([]*walRecord, 0, len(states))
+	for _, r := range states {
+		ordered = append(ordered, r)
+	}
+	sort.Slice(ordered, func(a, b int) bool { return ordered[a].last < ordered[b].last })
+	now := st.now()
+	sh.mu.Lock()
+	for _, r := range ordered {
+		last := time.Unix(0, r.last)
+		if now.Sub(last) > st.ttl {
+			continue
+		}
+		e := st.insert(sh, r.user, last)
+		e.state = r.state
+		nsessions++
+	}
+	// Fresh generation for new appends: never append to a tail we just
+	// validated, and never reuse a generation number.
+	newGen := maxGen + 1
+	sh.wal.gen = newGen
+	sh.wal.seq = seq
+	sh.wal.lastCkpt = baseGen
+	sh.wal.prevCkpt = prevGen
+	sh.mu.Unlock()
+	log, lerr := durable.CreateLog(w.fs, filepath.Join(w.dir, walSegName(i, newGen)), w.policy)
+	if lerr != nil {
+		return 0, 0, fmt.Errorf("session: opening wal segment: %w", lerr)
+	}
+	sh.mu.Lock()
+	sh.wal.log = log
+	sh.wal.ok = true
+	sh.mu.Unlock()
+	return nsessions, nrecords, nil
+}
+
+// walAppend logs one operation. Caller holds sh.mu; the record carries
+// the user's absolute post-fold state, so replay never needs the
+// classifier. On failure the shard degrades to in-memory-only — the
+// observation itself is never refused.
+func (st *Store) walAppend(sh *shard, op byte, user string, state early.State, last time.Time) {
+	if !sh.wal.ok {
+		return
+	}
+	w := st.wal
+	sh.wal.seq++
+	sh.wal.payload = appendWALPayload(sh.wal.payload[:0], op, user, state, last.UnixNano())
+	if err := sh.wal.log.Append(sh.wal.seq, sh.wal.payload); err != nil {
+		sh.wal.ok = false
+		w.appendErrs.Add(1)
+		w.degraded.Store(true)
+		w.warnf("wal append failed; shard degraded to in-memory", err, obs.F("shard", sh.idx))
+		return
+	}
+	w.appends.Add(1)
+}
+
+// CheckpointNow runs a full checkpoint pass: every shard is rotated to
+// a new WAL generation, serialized, and compacted, one shard at a time
+// (no stop-the-world). It returns the first error; on a fully
+// successful pass a degraded store is healthy again. A no-op without a
+// WAL.
+func (st *Store) CheckpointNow() error {
+	if st.wal == nil {
+		return nil
+	}
+	st.wal.ckptMu.Lock()
+	defer st.wal.ckptMu.Unlock()
+	return st.checkpointAll()
+}
+
+// checkpointAll does the pass; caller holds ckptMu.
+func (st *Store) checkpointAll() error {
+	w := st.wal
+	var firstErr error
+	for i := range st.shards {
+		if err := st.checkpointShard(i); err != nil {
+			w.warnf("checkpoint failed", err, obs.F("shard", i))
+			if firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	if firstErr == nil {
+		if w.degraded.CompareAndSwap(true, false) {
+			w.logger.Info("wal durability restored by checkpoint pass")
+		}
+	}
+	return firstErr
+}
+
+// checkpointShard rotates shard i to a new generation, writes the
+// checkpoint for it, and compacts older generations. Caller holds
+// ckptMu (which also guards lastCkpt/prevCkpt).
+func (st *Store) checkpointShard(i int) error {
+	w := st.wal
+	sh := &st.shards[i]
+	t0 := time.Now()
+	newGen := sh.wal.gen + 1
+	log, err := durable.CreateLog(w.fs, filepath.Join(w.dir, walSegName(i, newGen)), w.policy)
+	if err != nil {
+		w.checkpointErrs.Add(1)
+		return err
+	}
+	sh.mu.Lock()
+	old := sh.wal.log
+	seq := sh.wal.seq
+	sessions := make([]snapshotSession, 0, sh.order.Len())
+	for el := sh.order.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*sessionEntry)
+		sessions = append(sessions, snapshotSession{User: e.user, State: e.state, LastSeen: e.last})
+	}
+	sh.wal.log = log
+	sh.wal.gen = newGen
+	// The swap and the copy are one critical section: from this
+	// instant every append lands in the new segment, so the checkpoint
+	// plus that segment is complete — which is also why a successful
+	// rotation heals a degraded shard (the copy captures everything
+	// the dead WAL missed).
+	sh.wal.ok = true
+	sh.mu.Unlock()
+	if old != nil {
+		if cerr := old.Close(); cerr != nil {
+			// Tail records of the old segment may be lost; the
+			// checkpoint about to be written supersedes them if it
+			// lands, and the old chain covers them if it does not.
+			w.warnf("closing rotated wal segment", cerr, obs.F("shard", i))
+		}
+	}
+	ck := checkpointFile{
+		Version:   snapshotVersion,
+		Shard:     i,
+		Seq:       seq,
+		Threshold: st.mon.Threshold(),
+		Decay:     st.mon.Decay(),
+		Sessions:  sessions,
+	}
+	data, err := json.Marshal(ck)
+	if err != nil {
+		w.checkpointErrs.Add(1)
+		return err
+	}
+	if err := durable.WriteFileAtomic(w.fs, filepath.Join(w.dir, ckptSegName(i, newGen)), data); err != nil {
+		w.checkpointErrs.Add(1)
+		// The previous checkpoint chain plus the WAL segments through
+		// newGen still recover everything; nothing is compacted away.
+		return err
+	}
+	keepFrom := sh.wal.lastCkpt
+	sh.wal.prevCkpt = keepFrom
+	sh.wal.lastCkpt = newGen
+	st.compactShard(i, keepFrom, newGen)
+	w.checkpoints.Add(1)
+	st.observeStage("checkpoint", time.Since(t0))
+	return nil
+}
+
+// compactShard removes shard i's files superseded by the checkpoint at
+// keepGen: checkpoints other than {keepFrom, keepGen} and WAL segments
+// older than keepFrom. Removal failures only warn — a stale segment is
+// dead weight, not a correctness problem, and the next pass retries.
+func (st *Store) compactShard(i int, keepFrom, keepGen uint64) {
+	w := st.wal
+	names, err := w.fs.ReadDir(w.dir)
+	if err != nil {
+		w.warnf("wal compaction listing failed", err)
+		return
+	}
+	for _, name := range names {
+		shard, gen, isCkpt, ok := parseWALName(name)
+		if !ok || shard != i {
+			continue
+		}
+		stale := false
+		if isCkpt {
+			stale = gen != keepFrom && gen != keepGen
+		} else {
+			stale = gen < keepFrom
+		}
+		if stale {
+			if rerr := w.fs.Remove(filepath.Join(w.dir, name)); rerr != nil {
+				w.warnf("wal compaction remove failed", rerr, obs.F("file", name))
+			}
+		}
+	}
+}
+
+// durabilityLoop is the store's one background goroutine when a WAL is
+// configured: group-commit flusher, periodic checkpointer, and
+// degraded-mode re-prober, all on a single ticker.
+func (st *Store) durabilityLoop() {
+	w := st.wal
+	defer close(w.done)
+	tick := w.groupEvery
+	if w.policy == durable.SyncAlways {
+		tick = time.Second // nothing to flush; keep the checkpoint cadence
+	}
+	timer := time.NewTimer(tick)
+	defer timer.Stop()
+	lastCkpt := time.Now()
+	backoff := time.Second
+	var nextProbe time.Time
+	for {
+		select {
+		case <-w.stop:
+			return
+		case <-timer.C:
+		}
+		st.flushAll()
+		now := time.Now()
+		switch {
+		case w.degraded.Load():
+			if nextProbe.IsZero() {
+				nextProbe = now.Add(backoff + time.Duration(rand.Int63n(int64(backoff/2)+1)))
+			}
+			if now.After(nextProbe) && w.ckptMu.TryLock() {
+				err := st.checkpointAll()
+				w.ckptMu.Unlock()
+				if err == nil {
+					backoff = time.Second
+					lastCkpt = time.Now()
+				} else if backoff < 30*time.Second {
+					backoff *= 2
+				}
+				nextProbe = time.Time{}
+			}
+		case w.ckptEvery > 0 && now.Sub(lastCkpt) >= w.ckptEvery:
+			if w.ckptMu.TryLock() {
+				st.checkpointAll()
+				w.ckptMu.Unlock()
+				lastCkpt = time.Now()
+			}
+		}
+		timer.Reset(tick)
+	}
+}
+
+// flushAll group-commits every shard's buffered records. A flush
+// failure degrades that shard exactly like a failed append.
+func (st *Store) flushAll() {
+	w := st.wal
+	for i := range st.shards {
+		sh := &st.shards[i]
+		sh.mu.Lock()
+		log := sh.wal.log
+		ok := sh.wal.ok
+		sh.mu.Unlock()
+		if log == nil || !ok {
+			continue
+		}
+		if err := log.Flush(); err != nil {
+			sh.mu.Lock()
+			// Re-check: a checkpoint may have rotated the log away
+			// while we flushed the old one.
+			if sh.wal.log == log {
+				sh.wal.ok = false
+				w.degraded.Store(true)
+			}
+			sh.mu.Unlock()
+			w.appendErrs.Add(1)
+			w.warnf("wal flush failed; shard degraded to in-memory", err, obs.F("shard", i))
+		}
+	}
+}
+
+// Close stops the durability loop and flushes + closes every WAL
+// segment. Idempotent; a store without a WAL closes trivially.
+func (st *Store) Close() error {
+	if st.wal == nil {
+		return nil
+	}
+	var err error
+	st.closeOnce.Do(func() {
+		w := st.wal
+		close(w.stop)
+		<-w.done
+		for i := range st.shards {
+			sh := &st.shards[i]
+			sh.mu.Lock()
+			log := sh.wal.log
+			sh.wal.ok = false
+			sh.mu.Unlock()
+			if log != nil {
+				if cerr := log.Close(); cerr != nil && err == nil {
+					err = cerr
+				}
+			}
+		}
+	})
+	return err
+}
+
+// SetStageObserver registers fn to receive durability stage timings
+// ("checkpoint", and "recovery" reported once retroactively — boot
+// recovery necessarily precedes any wiring). Pass nil to keep the
+// current observer.
+func (st *Store) SetStageObserver(fn func(stage string, d time.Duration)) {
+	if fn == nil {
+		return
+	}
+	st.onStage.Store(fn)
+	if st.wal != nil && st.wal.recoverySeconds > 0 && st.wal.emitted.CompareAndSwap(false, true) {
+		fn("recovery", time.Duration(st.wal.recoverySeconds*float64(time.Second)))
+	}
+}
+
+func (st *Store) observeStage(stage string, d time.Duration) {
+	if fn, ok := st.onStage.Load().(func(string, time.Duration)); ok && fn != nil {
+		fn(stage, d)
+	}
+}

@@ -1,0 +1,573 @@
+package session
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/durable"
+	"repro/internal/early"
+)
+
+// newWALStore builds a store on the scripted classifier (threshold 2,
+// no decay) with cfg as given; callers set WALDir/FS/clock themselves.
+func newWALStore(t *testing.T, cfg Config) *Store {
+	t.Helper()
+	mon, err := early.NewMonitor(scriptedClassifier{}, 2.0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := New(mon, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// kill simulates a crash: the durability loop stops without a final
+// flush and no WAL segment is closed. Anything the sync policy had
+// not yet persisted is lost, exactly as in a SIGKILL.
+func kill(st *Store) {
+	close(st.wal.stop)
+	<-st.wal.done
+}
+
+func TestWALRestartRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	clk := &fakeClock{}
+	cfg := Config{Shards: 2, Now: clk.Now, WALDir: dir, WALGroupEvery: time.Millisecond}
+
+	st := newWALStore(t, cfg)
+	var want Status
+	for i, post := range []string{"calm", "risk", "calm", "risk"} {
+		var err error
+		want, err = st.Observe("u1", post)
+		if err != nil {
+			t.Fatalf("observe %d: %v", i, err)
+		}
+	}
+	if _, err := st.Observe("u2", "calm"); err != nil {
+		t.Fatal(err)
+	}
+	if !st.End("u2") {
+		t.Fatal("End(u2) found no session")
+	}
+	if err := st.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatalf("second close must be a no-op: %v", err)
+	}
+
+	st2 := newWALStore(t, cfg)
+	defer st2.Close()
+	got, ok := st2.Risk("u1")
+	if !ok {
+		t.Fatal("u1 not recovered")
+	}
+	if got.State != want.State {
+		t.Errorf("recovered state %+v, want %+v", got.State, want.State)
+	}
+	if !got.State.Alarm || got.State.AlarmAt != 4 {
+		t.Errorf("recovered alarm=%v at=%d, want alarm at post 4", got.State.Alarm, got.State.AlarmAt)
+	}
+	if _, ok := st2.Risk("u2"); ok {
+		t.Error("u2 was Ended before the restart; must not be resurrected")
+	}
+	s := st2.Stats()
+	if s.Recovered != 1 {
+		t.Errorf("Recovered = %d, want 1", s.Recovered)
+	}
+	if s.RecoverySeconds < 0 {
+		t.Errorf("RecoverySeconds = %g, want >= 0", s.RecoverySeconds)
+	}
+}
+
+// TestWALCrashRecoveryPrefixProperty is the tentpole property test: a
+// store killed at an arbitrary byte offset of its WAL stream must
+// recover to an exact prefix of the observed history — same evidence,
+// same alarms, alarms at the same post index — and feeding the lost
+// suffix back in must land every user on the same final state as a
+// run that never crashed.
+func TestWALCrashRecoveryPrefixProperty(t *testing.T) {
+	const users, postsPer = 6, 25
+	for _, seed := range []int64{1, 2, 3} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+
+			// Deterministic histories; user 0 alarms early for certain.
+			history := make([][]string, users)
+			for u := range history {
+				posts := make([]string, postsPer)
+				for i := range posts {
+					if rng.Float64() < 0.2 {
+						posts[i] = fmt.Sprintf("risk post %d", i)
+					} else {
+						posts[i] = fmt.Sprintf("calm post %d", i)
+					}
+				}
+				history[u] = posts
+			}
+			history[0][0], history[0][1] = "risk", "risk"
+
+			// Interleave users into one global observation order.
+			type obsStep struct{ user, idx int }
+			var order []obsStep
+			left := make([]int, users)
+			for remaining := users * postsPer; remaining > 0; remaining-- {
+				u := rng.Intn(users)
+				for left[u] >= postsPer {
+					u = (u + 1) % users
+				}
+				order = append(order, obsStep{u, left[u]})
+				left[u]++
+			}
+			userID := func(u int) string { return fmt.Sprintf("user-%d", u) }
+
+			// Reference run (no WAL): state after each per-user prefix.
+			ref := newWALStore(t, Config{Shards: 4})
+			prefix := make([][]early.State, users)
+			for u := range prefix {
+				prefix[u] = make([]early.State, postsPer+1)
+				for i, post := range history[u] {
+					got, err := ref.Observe(userID(u), post)
+					if err != nil {
+						t.Fatal(err)
+					}
+					prefix[u][i+1] = got.State
+				}
+			}
+
+			// Dry run through a fault-free FaultFS to learn the byte
+			// extent of boot (manifest) and of the full record stream.
+			// SyncAlways makes the byte stream deterministic, so the
+			// same offset cuts at the same record in every trial.
+			run := func(dir string, fs durable.FS) *Store {
+				clk := &fakeClock{}
+				return newWALStore(t, Config{
+					Shards: 4, Now: clk.Now,
+					WALDir: dir, WALSync: durable.SyncAlways, FS: fs,
+				})
+			}
+			dryFS := durable.NewFaultFS(durable.OS{})
+			dry := run(t.TempDir(), dryFS)
+			bootBytes := dryFS.Written()
+			for _, step := range order {
+				if _, err := dry.Observe(userID(step.user), history[step.user][step.idx]); err != nil {
+					t.Fatal(err)
+				}
+			}
+			totalBytes := dryFS.Written()
+			dry.Close()
+			if totalBytes <= bootBytes {
+				t.Fatalf("dry run wrote no records (boot=%d total=%d)", bootBytes, totalBytes)
+			}
+
+			offsets := []int64{totalBytes} // crash after the last record: lose nothing
+			for len(offsets) < 5 {
+				offsets = append(offsets, bootBytes+1+rng.Int63n(totalBytes-bootBytes))
+			}
+			for _, crashAt := range offsets {
+				dir := t.TempDir()
+				fs := durable.NewFaultFS(durable.OS{})
+				fs.CrashAfterBytes(crashAt)
+				st := run(dir, fs)
+				for _, step := range order {
+					if _, err := st.Observe(userID(step.user), history[step.user][step.idx]); err != nil {
+						t.Fatal(err)
+					}
+				}
+				kill(st)
+
+				rec := run(dir, durable.OS{})
+
+				// Every recovered session must sit exactly on a per-user
+				// prefix of its history, and the cut must be a single
+				// point of the global order: user u recovered through
+				// post k iff u's k-th post was appended before the cut.
+				counts := make([]int, users)
+				var cut int
+				for u := range counts {
+					got, ok := rec.Risk(userID(u))
+					if !ok {
+						continue
+					}
+					counts[u] = got.State.Posts
+					cut += got.State.Posts
+					want := prefix[u][got.State.Posts]
+					if got.State != want {
+						t.Fatalf("crash@%d: user %d recovered %+v, want prefix state %+v",
+							crashAt, u, got.State, want)
+					}
+				}
+				if cut > len(order) {
+					t.Fatalf("crash@%d: recovered %d observations, only %d happened", crashAt, cut, len(order))
+				}
+				inCut := make([]int, users)
+				for _, step := range order[:cut] {
+					inCut[step.user]++
+				}
+				for u := range counts {
+					if counts[u] != inCut[u] {
+						t.Fatalf("crash@%d: user %d recovered %d posts but the global cut at %d contains %d — recovery is not a prefix",
+							crashAt, u, counts[u], cut, inCut[u])
+					}
+				}
+				if crashAt == totalBytes && cut != len(order) {
+					t.Fatalf("crash after final record recovered %d/%d observations", cut, len(order))
+				}
+
+				// Feeding the lost suffix back must converge on the
+				// no-crash final state, alarms included.
+				for _, step := range order[cut:] {
+					if _, err := rec.Observe(userID(step.user), history[step.user][step.idx]); err != nil {
+						t.Fatal(err)
+					}
+				}
+				for u := range counts {
+					got, ok := rec.Risk(userID(u))
+					if !ok {
+						t.Fatalf("crash@%d: user %d missing after re-feed", crashAt, u)
+					}
+					if want := prefix[u][postsPer]; got.State != want {
+						t.Fatalf("crash@%d: user %d final state %+v, want %+v (alarm index must survive the crash)",
+							crashAt, u, got.State, want)
+					}
+				}
+				rec.Close()
+			}
+		})
+	}
+}
+
+func TestWALDegradedKeepsServingAndHeals(t *testing.T) {
+	dir := t.TempDir()
+	clk := &fakeClock{}
+	fs := durable.NewFaultFS(durable.OS{})
+	cfg := Config{
+		Shards: 1, Now: clk.Now,
+		WALDir: dir, WALSync: durable.SyncAlways, FS: fs,
+	}
+	st := newWALStore(t, cfg)
+	if _, err := st.Observe("u1", "risk"); err != nil {
+		t.Fatal(err)
+	}
+
+	boom := errors.New("injected write error")
+	fs.FailWritesAfter(0, boom)
+	for i := 0; i < 3; i++ {
+		if _, err := st.Observe("u2", "calm"); err != nil {
+			t.Fatalf("degraded store must keep serving from memory, got %v", err)
+		}
+	}
+	s := st.Stats()
+	if !s.WALDegraded {
+		t.Fatal("store must report degraded after a failed append")
+	}
+	if s.WALAppendErrors == 0 {
+		t.Error("WALAppendErrors must count the failure")
+	}
+	if got, ok := st.Risk("u2"); !ok || got.State.Posts != 3 {
+		t.Fatalf("in-memory state lost while degraded: %+v ok=%v", got, ok)
+	}
+
+	// A successful checkpoint pass restores durability: the rotation
+	// captures everything the dead WAL missed.
+	fs.Heal()
+	if err := st.CheckpointNow(); err != nil {
+		t.Fatalf("checkpoint after heal: %v", err)
+	}
+	if st.Stats().WALDegraded {
+		t.Fatal("successful checkpoint pass must clear the degraded flag")
+	}
+	if _, err := st.Observe("u2", "calm"); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2 := newWALStore(t, cfg)
+	defer st2.Close()
+	if got, ok := st2.Risk("u2"); !ok || got.State.Posts != 4 {
+		t.Fatalf("posts observed while degraded must survive via the healing checkpoint, got %+v ok=%v", got, ok)
+	}
+	if got, ok := st2.Risk("u1"); !ok || got.State.Evidence != 1 {
+		t.Fatalf("pre-degradation state lost: %+v ok=%v", got, ok)
+	}
+}
+
+func TestWALCheckpointFallback(t *testing.T) {
+	dir := t.TempDir()
+	clk := &fakeClock{}
+	cfg := Config{Shards: 1, Now: clk.Now, WALDir: dir, WALSync: durable.SyncAlways}
+
+	st := newWALStore(t, cfg)
+	st.Observe("u1", "risk")
+	if err := st.CheckpointNow(); err != nil {
+		t.Fatal(err)
+	}
+	st.Observe("u2", "risk")
+	if err := st.CheckpointNow(); err != nil {
+		t.Fatal(err)
+	}
+	st.Observe("u3", "risk")
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Corrupt the newest checkpoint; recovery must fall back to the
+	// previous one and make up the difference from WAL segments.
+	newest := newestCkpt(t, dir)
+	if err := os.WriteFile(newest, []byte("{definitely not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st2 := newWALStore(t, cfg)
+	defer st2.Close()
+	for _, u := range []string{"u1", "u2", "u3"} {
+		if got, ok := st2.Risk(u); !ok || got.State.Posts != 1 {
+			t.Errorf("%s not recovered through checkpoint fallback: %+v ok=%v", u, got, ok)
+		}
+	}
+}
+
+// newestCkpt returns the path of the highest-generation checkpoint in
+// dir (one shard assumed).
+func newestCkpt(t *testing.T, dir string) string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var best string
+	var bestGen uint64
+	for _, e := range entries {
+		_, gen, isCkpt, ok := parseWALName(e.Name())
+		if ok && isCkpt && gen >= bestGen {
+			best, bestGen = filepath.Join(dir, e.Name()), gen
+		}
+	}
+	if best == "" {
+		t.Fatal("no checkpoint files found")
+	}
+	return best
+}
+
+func TestWALCompactionRetainsTwoCheckpoints(t *testing.T) {
+	dir := t.TempDir()
+	clk := &fakeClock{}
+	cfg := Config{Shards: 1, Now: clk.Now, WALDir: dir, WALSync: durable.SyncAlways}
+	st := newWALStore(t, cfg)
+	defer st.Close()
+	for i := 0; i < 3; i++ {
+		if _, err := st.Observe("u1", "calm"); err != nil {
+			t.Fatal(err)
+		}
+		if err := st.CheckpointNow(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ckpts, wals []uint64
+	for _, e := range entries {
+		_, gen, isCkpt, ok := parseWALName(e.Name())
+		if !ok {
+			continue
+		}
+		if isCkpt {
+			ckpts = append(ckpts, gen)
+		} else {
+			wals = append(wals, gen)
+		}
+	}
+	if len(ckpts) != 2 {
+		t.Fatalf("compaction must retain exactly two checkpoints, found %d: %v", len(ckpts), ckpts)
+	}
+	older := ckpts[0]
+	if ckpts[1] < older {
+		older = ckpts[1]
+	}
+	for _, g := range wals {
+		if g < older {
+			t.Errorf("wal generation %d predates the older kept checkpoint %d", g, older)
+		}
+	}
+}
+
+func TestWALRecoveryDropsExpiredSessions(t *testing.T) {
+	dir := t.TempDir()
+	mon, err := early.NewMonitor(scriptedClassifier{}, 2.0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk := &fakeClock{}
+	cfg := Config{Shards: 1, TTL: time.Minute, Now: clk.Now, WALDir: dir, WALSync: durable.SyncAlways}
+	st, err := New(mon, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Observe("stale", "calm")
+	clk.Advance(2 * time.Minute)
+	st.Observe("fresh", "calm")
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Boot a store whose clock sits at the same instant: "stale" has
+	// been idle past the TTL and must not come back.
+	st2, err := New(mon, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if _, ok := st2.Risk("stale"); ok {
+		t.Error("session idle past TTL resurrected by recovery")
+	}
+	if _, ok := st2.Risk("fresh"); !ok {
+		t.Error("live session lost by recovery")
+	}
+}
+
+func TestWALManifestMismatch(t *testing.T) {
+	dir := t.TempDir()
+	st := newWALStore(t, Config{Shards: 2, WALDir: dir})
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	mon, err := early.NewMonitor(scriptedClassifier{}, 2.0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(mon, Config{Shards: 4, WALDir: dir}); !errors.Is(err, ErrWALMismatch) {
+		t.Fatalf("shard-count change must fail with ErrWALMismatch, got %v", err)
+	}
+	mon2, err := early.NewMonitor(scriptedClassifier{}, 3.0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(mon2, Config{Shards: 2, WALDir: dir}); !errors.Is(err, ErrWALMismatch) {
+		t.Fatalf("threshold change must fail with ErrWALMismatch, got %v", err)
+	}
+}
+
+// TestWALConcurrentObserveCheckpointSweepRestore hammers a WAL-backed
+// store from every mutating entry point at once; run under -race it
+// is the durability layer's concurrency proof.
+func TestWALConcurrentObserveCheckpointSweepRestore(t *testing.T) {
+	dir := t.TempDir()
+	clk := &fakeClock{}
+	cfg := Config{
+		Shards: 4, Capacity: 64, TTL: time.Minute, Now: clk.Now,
+		WALDir: dir, WALGroupEvery: 100 * time.Microsecond,
+		CheckpointEvery: time.Millisecond,
+	}
+	st := newWALStore(t, cfg)
+
+	// A snapshot to restore mid-flight, from a store with identical
+	// monitor parameters.
+	seedStore := newWALStore(t, Config{Shards: 1})
+	for i := 0; i < 8; i++ {
+		seedStore.Observe(fmt.Sprintf("snap-%d", i), "risk")
+	}
+	var snap bytes.Buffer
+	if err := seedStore.Snapshot(&snap); err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 4
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				user := fmt.Sprintf("user-%d", rng.Intn(32))
+				switch rng.Intn(10) {
+				case 0:
+					st.End(user)
+				case 1:
+					st.Risk(user)
+				default:
+					if _, err := st.Observe(user, "risk and calm"); err != nil {
+						t.Errorf("observe: %v", err)
+						return
+					}
+				}
+				if i%64 == 0 {
+					clk.Advance(time.Second)
+				}
+			}
+		}(w)
+	}
+	wg.Add(3)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				if err := st.CheckpointNow(); err != nil {
+					t.Errorf("checkpoint: %v", err)
+					return
+				}
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				st.Sweep()
+				st.Stats()
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				if err := st.Restore(bytes.NewReader(snap.Bytes())); err != nil {
+					t.Errorf("restore: %v", err)
+					return
+				}
+			}
+		}
+	}()
+	time.Sleep(150 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	if err := st.Close(); err != nil {
+		t.Fatalf("close after hammering: %v", err)
+	}
+
+	// The directory must still recover cleanly.
+	st2 := newWALStore(t, cfg)
+	if err := st2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
