@@ -39,6 +39,22 @@
 // with escalation rate, adjudication latency quantiles, fallbacks,
 // and adjudicator spend exposed as mh_cascade_* metrics.
 //
+// Drift and shadow deployment: with -drift-window N the server keeps
+// a rolling window of the last N served top scores and compares it
+// (PSI and KS, exposed as mh_drift_psi / mh_drift_ks) against the
+// model's training-time reference distribution, latching mh_drift_alarm
+// once PSI crosses -drift-alarm. -shadow-model stages a second model
+// ("registry:<id>" to load stored weights, or "seed=N[,train=M]" to
+// train a variant) that scores every request alongside the active one
+// — recorded, never served — with disagreement and divergence
+// metrics; POST /admin/promote (or SIGHUP) hot-swaps it into the
+// active slot with sessions and in-flight requests intact.
+// -model-registry versions every boot-trained model as a
+// content-addressed artifact, and reports carry the serving model's
+// version in model_version. With -cascade, -refit-interval
+// periodically refits the stage-1 calibration from adjudication
+// verdicts.
+//
 // Observability: 1 in every -trace-sample screening requests is
 // recorded as a trace (admission wait, cache lookup, coalescer queue,
 // screening, adjudication, session stages); requests slower than
@@ -70,10 +86,13 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
 	mhd "repro"
+	"repro/internal/drift"
 	"repro/internal/durable"
 	"repro/internal/obs"
 	"repro/internal/server"
@@ -105,6 +124,11 @@ type options struct {
 	adjudicators    int
 	harden          bool
 	quantize        int
+	modelRegistry   string
+	shadowModel     string
+	driftWindow     int
+	driftAlarm      float64
+	refitInterval   time.Duration
 	traceSample     int
 	traceSlow       time.Duration
 	traceRing       int
@@ -137,6 +161,11 @@ func main() {
 	flag.IntVar(&opts.adjudicators, "adjudicators", 4, "cascade: max concurrent LLM adjudications")
 	flag.BoolVar(&opts.harden, "harden", false, "fold homoglyphs, zero-width characters, and leetspeak before screening; with -cascade, suspicious posts escalate")
 	flag.IntVar(&opts.quantize, "quantize", 0, "quantize baseline weights to 8 or 16 bits (0 keeps float64; scores shift within the documented error bound)")
+	flag.StringVar(&opts.modelRegistry, "model-registry", "", "directory of the versioned model registry; boot-trained baseline models are saved there and reports carry the content-addressed version")
+	flag.StringVar(&opts.shadowModel, "shadow-model", "", `stage a shadow candidate: "registry:<id>" loads stored weights, "seed=N[,train=M]" trains a variant; promote with POST /admin/promote or SIGHUP`)
+	flag.IntVar(&opts.driftWindow, "drift-window", 0, "streaming drift detection: compare the last N served scores against the training-time reference (0 disables)")
+	flag.Float64Var(&opts.driftAlarm, "drift-alarm", 0.25, "drift: latch mh_drift_alarm once the window PSI crosses this threshold (negative disables the alarm)")
+	flag.DurationVar(&opts.refitInterval, "refit-interval", 0, "with -cascade: refit stage-1 calibration from adjudication verdicts on this cadence (0 disables)")
 	flag.IntVar(&opts.traceSample, "trace-sample", 16, "tracing: record 1 in this many screening requests (1 traces all, 0 disables; slow requests and sampled traceparent headers always trace)")
 	flag.DurationVar(&opts.traceSlow, "trace-slow", 250*time.Millisecond, "tracing: always retain and log requests at least this slow")
 	flag.IntVar(&opts.traceRing, "trace-ring", 64, "tracing: how many recent and slow traces /debug/traces retains")
@@ -170,30 +199,37 @@ func run(ctx context.Context, opts options, ready chan<- string, logw io.Writer)
 	}
 	logger := obs.NewLogger(logw, level).With(obs.F("component", "mhserve"))
 
-	detOpts := []mhd.Option{
-		mhd.WithEngine(opts.engine),
-		mhd.WithSeed(opts.seed),
-		mhd.WithTrainingSize(opts.train),
-		mhd.WithWorkers(opts.workers),
-	}
+	// servingOpts are the engine-independent serving options; the
+	// shadow candidate shares them so a promote changes the weights
+	// and nothing else.
+	servingOpts := []mhd.Option{mhd.WithWorkers(opts.workers)}
 	if opts.harden {
-		detOpts = append(detOpts, mhd.WithHardening())
+		servingOpts = append(servingOpts, mhd.WithHardening())
 	}
 	if opts.quantize != 0 {
-		detOpts = append(detOpts, mhd.WithQuantization(opts.quantize))
+		servingOpts = append(servingOpts, mhd.WithQuantization(opts.quantize))
 	}
 	if opts.cascade != "" {
 		band, err := mhd.ParseBand(opts.band)
 		if err != nil {
 			return err
 		}
-		detOpts = append(detOpts,
+		servingOpts = append(servingOpts,
 			mhd.WithAdjudicator(opts.cascade),
 			mhd.WithBand(band.Lo, band.Hi),
 			mhd.WithAdjudicators(opts.adjudicators),
 		)
 	}
+	detOpts := append([]mhd.Option{
+		mhd.WithEngine(opts.engine),
+		mhd.WithSeed(opts.seed),
+		mhd.WithTrainingSize(opts.train),
+	}, servingOpts...)
 	det, err := mhd.NewDetector(detOpts...)
+	if err != nil {
+		return err
+	}
+	shadowCfg, err := buildShadow(opts, det, servingOpts, logger)
 	if err != nil {
 		return err
 	}
@@ -264,6 +300,7 @@ func run(ctx context.Context, opts options, ready chan<- string, logw io.Writer)
 		MaxInFlight: opts.inflight,
 		QueueWait:   opts.queueWait,
 		Cascade:     opts.cascade != "",
+		Shadow:      shadowCfg,
 		TraceSample: opts.traceSample,
 		TraceSlow:   opts.traceSlow,
 		TraceRing:   opts.traceRing,
@@ -291,6 +328,31 @@ func run(ctx context.Context, opts options, ready chan<- string, logw io.Writer)
 		ready <- addr
 	}
 
+	if shadowCfg != nil {
+		// SIGHUP is the operator's promote path — the same hot swap as
+		// POST /admin/promote, for deployments where the admin port is
+		// not reachable.
+		hup := make(chan os.Signal, 1)
+		signal.Notify(hup, syscall.SIGHUP)
+		defer signal.Stop(hup)
+		go func() {
+			for {
+				select {
+				case <-hup:
+					res, err := srv.Promote()
+					if err != nil {
+						logger.Warn("promote (SIGHUP) failed", obs.F("error", err.Error()))
+						continue
+					}
+					logger.Info("model promoted",
+						obs.F("from", res.From), obs.F("to", res.To))
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+	}
+
 	select {
 	case err := <-errc:
 		return err
@@ -310,6 +372,150 @@ func run(ctx context.Context, opts options, ready chan<- string, logw io.Writer)
 		}
 	}
 	return nil
+}
+
+// buildShadow assembles the server's drift/shadow configuration:
+// model versioning (registry-backed when -model-registry is set),
+// drift detection against the training-time reference distribution,
+// the optional shadow candidate, and the calibration refit cadence.
+// Returns nil when no drift/shadow flag is in use.
+func buildShadow(opts options, det *mhd.Detector, servingOpts []mhd.Option, logger *obs.Logger) (*server.ShadowConfig, error) {
+	if opts.modelRegistry == "" && opts.shadowModel == "" && opts.driftWindow <= 0 && opts.refitInterval <= 0 {
+		return nil, nil
+	}
+	sc := &server.ShadowConfig{RefitEvery: opts.refitInterval}
+	// Version the active model: its registry content address when the
+	// weights are exportable, the engine name otherwise.
+	switch {
+	case opts.engine != "baseline":
+		sc.ActiveVersion = opts.engine
+	case opts.modelRegistry != "":
+		man, err := det.SaveModel(opts.modelRegistry, "boot")
+		if err != nil {
+			return nil, err
+		}
+		sc.ActiveVersion = man.ID
+		logger.Info("model registered",
+			obs.F("id", man.ID), obs.F("dir", opts.modelRegistry))
+	default:
+		id, err := det.ModelID()
+		if err != nil {
+			return nil, err
+		}
+		sc.ActiveVersion = id
+	}
+	if opts.driftWindow > 0 {
+		d, err := newDriftDetector(det, opts.driftWindow, opts.driftAlarm)
+		if err != nil {
+			return nil, err
+		}
+		sc.ActiveDrift = d
+	}
+	if opts.cascade != "" {
+		sc.ActiveRefit = det
+	}
+	if opts.shadowModel != "" {
+		cand, version, err := buildCandidate(opts, servingOpts)
+		if err != nil {
+			return nil, err
+		}
+		m := &server.Model{Screener: cand, Version: version, Refit: candRefit(cand, opts)}
+		if opts.driftWindow > 0 {
+			d, err := newDriftDetector(cand, opts.driftWindow, opts.driftAlarm)
+			if err != nil {
+				return nil, err
+			}
+			m.Drift = d
+		}
+		sc.Candidate = m
+		logger.Info("shadow candidate staged",
+			obs.F("version", version), obs.F("spec", opts.shadowModel))
+	}
+	return sc, nil
+}
+
+// candRefit exposes the candidate's refit surface only in cascade
+// mode — without an adjudicator there are no labels to refit from.
+func candRefit(cand *mhd.Detector, opts options) server.Refitter {
+	if opts.cascade == "" {
+		return nil
+	}
+	return cand
+}
+
+// buildCandidate constructs the shadow model from -shadow-model:
+// "registry:<id>" loads stored weights from -model-registry,
+// "seed=N[,train=M]" trains a fresh baseline variant. Either way the
+// candidate carries the same serving options (workers, hardening,
+// quantization, cascade) as the active model.
+func buildCandidate(opts options, servingOpts []mhd.Option) (*mhd.Detector, string, error) {
+	spec := opts.shadowModel
+	if id, ok := strings.CutPrefix(spec, "registry:"); ok {
+		if opts.modelRegistry == "" {
+			return nil, "", fmt.Errorf("-shadow-model registry:%s requires -model-registry", id)
+		}
+		cand, err := mhd.LoadDetector(opts.modelRegistry, id, servingOpts...)
+		if err != nil {
+			return nil, "", err
+		}
+		return cand, id, nil
+	}
+	seed, train := opts.seed+1, opts.train
+	for _, kv := range strings.Split(spec, ",") {
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok {
+			return nil, "", fmt.Errorf("-shadow-model: bad spec %q (want registry:<id> or seed=N[,train=M])", spec)
+		}
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return nil, "", fmt.Errorf("-shadow-model: %s=%q is not an integer", k, v)
+		}
+		switch k {
+		case "seed":
+			seed = int64(n)
+		case "train":
+			train = n
+		default:
+			return nil, "", fmt.Errorf("-shadow-model: unknown key %q (want seed or train)", k)
+		}
+	}
+	candOpts := append([]mhd.Option{
+		mhd.WithEngine(opts.engine),
+		mhd.WithSeed(seed),
+		mhd.WithTrainingSize(train),
+	}, servingOpts...)
+	cand, err := mhd.NewDetector(candOpts...)
+	if err != nil {
+		return nil, "", err
+	}
+	version := fmt.Sprintf("%s-seed%d", opts.engine, seed)
+	if opts.engine == "baseline" {
+		if opts.modelRegistry != "" {
+			man, err := cand.SaveModel(opts.modelRegistry, "shadow-candidate")
+			if err != nil {
+				return nil, "", err
+			}
+			version = man.ID
+		} else if id, err := cand.ModelID(); err == nil {
+			version = id
+		}
+	}
+	return cand, version, nil
+}
+
+// newDriftDetector builds a drift detector over the model's
+// training-time reference score distribution — the same top-softmax
+// statistic the serving path observes live.
+func newDriftDetector(det *mhd.Detector, window int, alarm float64) (*drift.Detector, error) {
+	refN := 2048
+	if window > refN {
+		refN = window
+	}
+	ref, err := det.ReferenceScores(refN)
+	if err != nil {
+		return nil, err
+	}
+	return drift.New(ref, drift.Config{Window: window, Alarm: alarm})
 }
 
 // restoreSessions loads a session snapshot written by a previous run.

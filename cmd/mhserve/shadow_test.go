@@ -1,0 +1,249 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestShadowDeploymentEndToEnd is the drift/shadow acceptance path:
+// boot with a staged shadow candidate and drift detection, feed an
+// out-of-distribution workload until the PSI alarm latches, promote
+// the candidate through the admin endpoint, and verify subsequent
+// reports carry the new model version while an in-flight early-risk
+// session keeps its accumulated state across the swap.
+func TestShadowDeploymentEndToEnd(t *testing.T) {
+	registry := t.TempDir()
+	opts := options{
+		addr: "127.0.0.1:0", engine: "baseline", seed: 1, train: 600,
+		maxBatch: 8, batchDelay: time.Millisecond, cacheSize: 256,
+		inflight: 8, threshold: 1.5,
+		sessionTTL: time.Hour, sessionCap: 1024,
+		modelRegistry: registry,
+		shadowModel:   "seed=2,train=600",
+		driftWindow:   64,
+		driftAlarm:    0.25,
+	}
+	base, shutdown := bootServer(t, opts)
+	defer shutdown()
+
+	// Both models must be registered at boot: the active one and the
+	// trained candidate, each under its content address.
+	entries, err := os.ReadDir(registry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	manifests := 0
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".manifest.json") {
+			manifests++
+		}
+	}
+	if manifests != 2 {
+		t.Fatalf("registry holds %d manifests after boot, want 2 (active + candidate)", manifests)
+	}
+
+	// Start an early-risk session before the swap; it must survive it.
+	riskPost := "i feel hopeless and think about ending it"
+	var before wireRiskState
+	for i := 0; i < 3; i++ {
+		resp, body := postJSON(t, base+"/v1/users/u-e2e/posts", map[string]any{"text": riskPost})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("observe: status %d: %s", resp.StatusCode, body)
+		}
+		if err := json.Unmarshal(body, &before); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if before.Posts != 3 || before.Evidence <= 0 {
+		t.Fatalf("session did not accumulate: %+v", before)
+	}
+
+	// Pre-shift report: stamped with the active model's version.
+	resp, body := postJSON(t, base+"/v1/screen", map[string]any{"text": "lovely calm afternoon at the lake"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("screen: status %d: %s", resp.StatusCode, body)
+	}
+	var rep wireReport
+	if err := json.Unmarshal(body, &rep); err != nil {
+		t.Fatal(err)
+	}
+	activeVersion := rep.ModelVersion
+	if activeVersion == "" {
+		t.Fatal("report carries no model version")
+	}
+
+	// Inject a shifted distribution: distinct gibberish posts are far
+	// outside the training mixture, so the live top-score window walks
+	// away from the reference and PSI must cross the alarm threshold.
+	for i := 0; i < 96; i++ {
+		text := fmt.Sprintf("zxqv%d qqzz wrtk vbnm%d plom qwrt %d", i, i*7, i*13)
+		resp, body := postJSON(t, base+"/v1/screen", map[string]any{"text": text})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("shifted screen %d: status %d: %s", i, resp.StatusCode, body)
+		}
+	}
+	if psi := metricValue(t, base, "mh_drift_psi"); psi <= opts.driftAlarm {
+		t.Fatalf("injected shift left PSI at %v, want > %v", psi, opts.driftAlarm)
+	}
+	if alarm := metricValue(t, base, "mh_drift_alarm"); alarm != 1 {
+		t.Fatalf("mh_drift_alarm = %v, want 1 (latched)", alarm)
+	}
+
+	// The candidate shadow-scores asynchronously; wait for it to have
+	// seen traffic before promoting.
+	deadline := time.Now().Add(10 * time.Second)
+	for metricValue(t, base, "mh_shadow_scored_total") == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("shadow candidate never scored any traffic")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Promote through the admin path.
+	resp, body = postJSON(t, base+"/admin/promote", map[string]any{})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("promote: status %d: %s", resp.StatusCode, body)
+	}
+	var promoted struct {
+		From string `json:"from"`
+		To   string `json:"to"`
+	}
+	if err := json.Unmarshal(body, &promoted); err != nil {
+		t.Fatal(err)
+	}
+	if promoted.From != activeVersion {
+		t.Fatalf("promoted from %q, served version was %q", promoted.From, activeVersion)
+	}
+	if promoted.To == "" || promoted.To == promoted.From {
+		t.Fatalf("promotion did not change the model: %+v", promoted)
+	}
+
+	// Subsequent reports carry the promoted version.
+	resp, body = postJSON(t, base+"/v1/screen", map[string]any{"text": "lovely calm afternoon at the lake"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-promote screen: status %d: %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.ModelVersion != promoted.To {
+		t.Fatalf("post-promote report stamped %q, want %q", rep.ModelVersion, promoted.To)
+	}
+	if rep.Cached {
+		t.Fatal("promotion must purge the result cache")
+	}
+
+	// The in-flight session kept its early-risk state across the swap.
+	var after wireRiskState
+	resp, body = postJSON(t, base+"/v1/users/u-e2e/posts", map[string]any{"text": riskPost})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-promote observe: status %d: %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &after); err != nil {
+		t.Fatal(err)
+	}
+	if after.Posts != before.Posts+1 {
+		t.Fatalf("session posts %d after promote, want %d (state lost)", after.Posts, before.Posts+1)
+	}
+	if after.Evidence < before.Evidence {
+		t.Fatalf("session evidence fell across promote: %v -> %v", before.Evidence, after.Evidence)
+	}
+
+	// A second promote must conflict: the candidate slot emptied.
+	resp, _ = postJSON(t, base+"/admin/promote", map[string]any{})
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("second promote: status %d, want 409", resp.StatusCode)
+	}
+	if v := metricValue(t, base, "mh_model_promotions_total"); v != 1 {
+		t.Fatalf("mh_model_promotions_total = %v, want 1", v)
+	}
+}
+
+// TestShadowRegistryLoadPath boots against a registry populated by a
+// previous run and stages the candidate from stored weights — the
+// "registry:<id>" spec — asserting the loaded model is byte-identical
+// to the trained one (same content address end to end).
+func TestShadowRegistryLoadPath(t *testing.T) {
+	registry := t.TempDir()
+	opts := options{
+		addr: "127.0.0.1:0", engine: "baseline", seed: 3, train: 600,
+		maxBatch: 8, batchDelay: time.Millisecond, cacheSize: 64,
+		inflight: 4, threshold: 1.5, noAssess: true,
+		modelRegistry: registry,
+	}
+	base, shutdown := bootServer(t, opts)
+
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	expo, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	_, rest, ok := strings.Cut(string(expo), `mh_model_info{slot="active",version="`)
+	if !ok {
+		t.Fatalf("no active model info in exposition")
+	}
+	bootID, _, _ := strings.Cut(rest, `"`)
+	shutdown()
+
+	// Second boot: same registry, candidate loaded by content address.
+	opts.shadowModel = "registry:" + bootID
+	base, shutdown = bootServer(t, opts)
+	defer shutdown()
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	expo, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	want := `mh_model_info{slot="candidate",version="` + bootID + `"}`
+	if !strings.Contains(string(expo), want) {
+		t.Fatalf("candidate not staged from registry: missing %s", want)
+	}
+
+	// The loaded candidate and the retrained active model share the
+	// seed, so they must agree post for post; promote and compare.
+	texts := []string{
+		"i feel hopeless and empty every morning",
+		"great hike with friends this weekend",
+	}
+	var beforeReps []wireReport
+	for _, text := range texts {
+		_, body := postJSON(t, base+"/v1/screen", map[string]any{"text": text, "scores": true})
+		var rep wireReport
+		if err := json.Unmarshal(body, &rep); err != nil {
+			t.Fatal(err)
+		}
+		beforeReps = append(beforeReps, rep)
+	}
+	resp, body := postJSON(t, base+"/admin/promote", map[string]any{})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("promote: status %d: %s", resp.StatusCode, body)
+	}
+	for i, text := range texts {
+		_, body := postJSON(t, base+"/v1/screen", map[string]any{"text": text, "scores": true})
+		var rep wireReport
+		if err := json.Unmarshal(body, &rep); err != nil {
+			t.Fatal(err)
+		}
+		if rep.Condition != beforeReps[i].Condition || rep.Confidence != beforeReps[i].Confidence {
+			t.Fatalf("registry-loaded model diverged on %q: %+v vs %+v", text, rep, beforeReps[i])
+		}
+	}
+}
+
+// TestShadowSpecValidation pins the -shadow-model spec grammar.
+func TestShadowSpecValidation(t *testing.T) {
+	for _, spec := range []string{"bogus", "seed=x", "depth=3", "registry:abc"} {
+		opts := options{engine: "baseline", seed: 1, train: 600, shadowModel: spec}
+		if _, _, err := buildCandidate(opts, nil); err == nil {
+			t.Errorf("spec %q accepted", spec)
+		}
+	}
+}

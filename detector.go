@@ -8,12 +8,14 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/baseline"
 	"repro/internal/cascade"
 	"repro/internal/corpus"
 	"repro/internal/domain"
+	"repro/internal/drift"
 	"repro/internal/lexicon"
 	"repro/internal/llm"
 	"repro/internal/obs"
@@ -69,12 +71,22 @@ type Detector struct {
 	labelNames []string
 	workers    int
 
+	// Training provenance, kept for artifact export (SaveModel) and
+	// the held-out reference-score corpus (ReferenceScores).
+	engine    string
+	seed      int64
+	trainSize int
+	probs     []float64
+
 	// Cascade state; all nil/zero unless WithAdjudicator configured
-	// one (see ScreenCascade).
-	cal     *baseline.PlattScaler // stage-1 confidence calibration
-	band    cascade.Band          // calibrated uncertainty band
-	adjPool *cascade.Pool         // bounded LLM adjudicator pool
-	adjClf  *prompting.Classifier // adjudicator, kept for usage accounting
+	// one (see ScreenCascade). cal is behind an atomic pointer so the
+	// periodic refit (RefitCalibration) can swap it under live
+	// traffic without a lock on the screening path.
+	cal       atomic.Pointer[baseline.PlattScaler] // stage-1 confidence calibration
+	calLabels *drift.LabelBuffer                   // adjudication verdicts as free refit labels
+	band      cascade.Band                         // calibrated uncertainty band
+	adjPool   *cascade.Pool                        // bounded LLM adjudicator pool
+	adjClf    *prompting.Classifier                // adjudicator, kept for usage accounting
 
 	// Adversarial hardening state; zero unless WithHardening.
 	harden        bool
@@ -308,6 +320,7 @@ func NewDetector(opts ...Option) (*Detector, error) {
 	probs[0] = 0.3 // control prior
 
 	d := &Detector{labels: labels, labelNames: labelNames, workers: cfg.workers,
+		engine: cfg.engine, seed: cfg.seed, trainSize: cfg.trainSize, probs: probs,
 		harden: cfg.harden, suspicionK: cfg.suspicionK, suspicionRate: cfg.suspicion}
 	switch cfg.engine {
 	case "baseline":
@@ -425,15 +438,26 @@ func (d *Detector) armCascade(cfg detectorConfig, probs []float64) error {
 		correct = append(correct, pred.Label == ex.Label)
 	}
 	cal, err := baseline.FitPlatt(confs, correct)
-	if err != nil {
+	if err != nil && !errors.Is(err, baseline.ErrDegenerateCalibration) {
 		return fmt.Errorf("mhd: fitting calibration: %w", err)
 	}
-	d.cal = cal
+	// A degenerate calibration split (possible at tiny training sizes
+	// where the stage-1 model gets every held-out example right) hands
+	// back the identity fallback: the cascade still runs, banding on
+	// raw confidences.
+	d.cal.Store(cal)
+	d.calLabels = drift.NewLabelBuffer(calLabelWindow)
 	d.band = cfg.band
 	d.adjPool = pool
 	d.adjClf = adj
 	return nil
 }
+
+// calLabelWindow bounds the adjudication-verdict label buffer the
+// periodic calibration refit consumes. Sized a few times larger than
+// calibrationSize so a refit sees at least as much evidence as the
+// boot-time fit once traffic has warmed up.
+const calLabelWindow = 4096
 
 // HasCascade reports whether WithAdjudicator armed the cascade.
 func (d *Detector) HasCascade() bool { return d.adjPool != nil }
@@ -980,7 +1004,7 @@ func (d *Detector) screenCascade(ctx context.Context, text string, sc *screenScr
 	// (hardening rewrote >= threshold characters) outside the band may
 	// escalate too, within the gate's budget — deliberate obfuscation
 	// is itself a signal the cheap stage-1 verdict may be unsafe.
-	escalate := d.band.Contains(d.cal.Calibrate(top))
+	escalate := d.band.Contains(d.cal.Load().Calibrate(top))
 	bySuspicion := false
 	if !escalate && rep.Suspicious && gate.Admit() {
 		escalate = true
@@ -1003,10 +1027,17 @@ func (d *Detector) screenCascade(ctx context.Context, text string, sc *screenScr
 		col.Observe(cascade.Fallback, lat)
 		return rep, nil
 	}
+	stage1Cond := rep.Condition
 	if !d.applyAdjudication(&rep, pred, sc) {
 		col.Observe(cascade.Fallback, lat)
 		return rep, nil
 	}
+	// The applied verdict is a free calibration label: treat the fused
+	// outcome as ground truth and score stage 1 against it. Only
+	// adjudicated posts land here — a biased sample concentrated in
+	// the uncertainty band, which is exactly the region the refit
+	// needs fresh evidence for.
+	d.calLabels.Add(top, stage1Cond == rep.Condition)
 	col.Observe(cascade.Adjudicated, lat)
 	return rep, nil
 }

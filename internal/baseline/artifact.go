@@ -1,0 +1,159 @@
+package baseline
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"math"
+)
+
+// LRArtifact is the serializable form of a fitted LogisticRegression:
+// everything inference needs (vocabulary, IDF table, weights, biases)
+// and nothing training-only. The weight layout is the feature-major
+// flat layout the fast path uses — flat[featureIdx*numClasses+class]
+// — so a loaded model's batch kernels read the exact bytes that were
+// exported, and the per-class matrix is reconstructed from it rather
+// than serialized twice.
+//
+// Vocab is in feature-index order (Vocab[i] is the feature with index
+// i), which makes the artifact canonical: two exports of the same
+// fitted model are byte-identical, so content-addressed registry IDs
+// are stable.
+type LRArtifact struct {
+	NumClasses int       `json:"num_classes"`
+	Vocab      []string  `json:"vocab"`
+	IDF        []float64 `json:"idf"`
+	Weights    []float64 `json:"weights"` // feature-major: [featureIdx*NumClasses + class]
+	Bias       []float64 `json:"bias"`
+}
+
+// Export snapshots a fitted model into its artifact form. The
+// returned slices are copies; mutating them does not affect the
+// model.
+func (m *LogisticRegression) Export() (*LRArtifact, error) {
+	if !m.fitted {
+		return nil, fmt.Errorf("baseline: Export before Fit")
+	}
+	nf := m.vec.NumFeatures()
+	vocab := make([]string, nf)
+	for f, i := range m.vec.vocab {
+		vocab[i] = f
+	}
+	art := &LRArtifact{
+		NumClasses: m.numClasses,
+		Vocab:      vocab,
+		IDF:        append([]float64(nil), m.vec.idf...),
+		Weights:    append([]float64(nil), m.wf...),
+		Bias:       append([]float64(nil), m.b...),
+	}
+	return art, nil
+}
+
+// VocabHash returns a short hex digest over the artifact's vocabulary
+// in index order — the provenance field that lets a registry manifest
+// prove two models share (or do not share) a feature space without
+// shipping the vocabulary itself.
+func (a *LRArtifact) VocabHash() string {
+	h := sha256.New()
+	var idx [8]byte
+	for i, f := range a.Vocab {
+		binary.LittleEndian.PutUint64(idx[:], uint64(i))
+		h.Write(idx[:])
+		h.Write([]byte(f))
+		h.Write([]byte{0})
+	}
+	return hex.EncodeToString(h.Sum(nil))[:16]
+}
+
+// Validate checks the artifact's internal consistency: slice lengths
+// must agree, the vocabulary must be duplicate-free, and every number
+// must be finite. Load calls it; registries can call it on ingest so
+// a corrupt artifact is rejected at store time, not at serve time.
+func (a *LRArtifact) Validate() error {
+	if a.NumClasses < 2 {
+		return fmt.Errorf("baseline: artifact has %d classes (need >= 2)", a.NumClasses)
+	}
+	nf := len(a.Vocab)
+	if nf == 0 {
+		return fmt.Errorf("baseline: artifact has an empty vocabulary")
+	}
+	if len(a.IDF) != nf {
+		return fmt.Errorf("baseline: artifact idf length %d != vocab length %d", len(a.IDF), nf)
+	}
+	if len(a.Weights) != nf*a.NumClasses {
+		return fmt.Errorf("baseline: artifact weights length %d != vocab*classes %d", len(a.Weights), nf*a.NumClasses)
+	}
+	if len(a.Bias) != a.NumClasses {
+		return fmt.Errorf("baseline: artifact bias length %d != classes %d", len(a.Bias), a.NumClasses)
+	}
+	seen := make(map[string]struct{}, nf)
+	for i, f := range a.Vocab {
+		if f == "" {
+			return fmt.Errorf("baseline: artifact vocab[%d] is empty", i)
+		}
+		if _, dup := seen[f]; dup {
+			return fmt.Errorf("baseline: artifact vocab has duplicate feature %q", f)
+		}
+		seen[f] = struct{}{}
+	}
+	for _, v := range a.IDF {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("baseline: artifact idf contains a non-finite value")
+		}
+	}
+	for _, v := range a.Weights {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("baseline: artifact weights contain a non-finite value")
+		}
+	}
+	for _, v := range a.Bias {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("baseline: artifact bias contains a non-finite value")
+		}
+	}
+	return nil
+}
+
+// LoadLogisticRegression reconstructs a servable model from an
+// artifact: the vocabulary map, interned bigram pairs, IDF table,
+// per-class weight matrix, and the feature-major flat layout are all
+// rebuilt, so Predict and the PredictTokens fast paths produce
+// bit-identical scores to the model that was exported.
+func LoadLogisticRegression(a *LRArtifact) (*LogisticRegression, error) {
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	nf := len(a.Vocab)
+	vocab := make(map[string]int, nf)
+	for i, f := range a.Vocab {
+		vocab[f] = i
+	}
+	vec := &TFIDF{
+		maxFeatures: nf,
+		vocab:       vocab,
+		pairs:       internPairs(vocab),
+		idf:         append([]float64(nil), a.IDF...),
+		fitted:      true,
+	}
+	wf := append([]float64(nil), a.Weights...)
+	w := make([][]float64, a.NumClasses)
+	for c := range w {
+		row := make([]float64, nf)
+		for idx := range row {
+			row[idx] = wf[idx*a.NumClasses+c]
+		}
+		w[c] = row
+	}
+	return &LogisticRegression{
+		numClasses: a.NumClasses,
+		epochs:     12,
+		lr:         0.5,
+		l2:         1e-5,
+		vec:        vec,
+		w:          w,
+		wf:         wf,
+		b:          append([]float64(nil), a.Bias...),
+		fitted:     true,
+	}, nil
+}

@@ -1,0 +1,135 @@
+package baseline
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestArtifactRoundTrip pins the registry-facing contract: a model
+// exported and reloaded must score bit-identically to the original on
+// every path (Predict, the token fast path, and the batch kernel),
+// and two exports of the same model must be byte-identical so
+// content-addressed IDs are stable.
+func TestArtifactRoundTrip(t *testing.T) {
+	tk := multiTask(t, 400)
+	m := NewLogisticRegression(3, LRConfig{Seed: 5})
+	if err := m.Fit(tk.Train); err != nil {
+		t.Fatal(err)
+	}
+	art, err := m.Export()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := art.Validate(); err != nil {
+		t.Fatalf("exported artifact invalid: %v", err)
+	}
+	art2, err := m.Export()
+	if err != nil {
+		t.Fatal(err)
+	}
+	j1, _ := json.Marshal(art)
+	j2, _ := json.Marshal(art2)
+	if string(j1) != string(j2) {
+		t.Fatal("two exports of the same model differ; artifact is not canonical")
+	}
+	if art.VocabHash() != art2.VocabHash() {
+		t.Fatal("vocab hash unstable across exports")
+	}
+
+	loaded, err := LoadLogisticRegression(art)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ex := range tk.Test {
+		want, err := m.Predict(ex.Text)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := loaded.Predict(ex.Text)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Label != want.Label {
+			t.Fatalf("loaded model label %d != original %d on %q", got.Label, want.Label, ex.Text)
+		}
+		for i, s := range got.Scores {
+			if s != want.Scores[i] {
+				t.Fatalf("loaded model score[%d] = %v != original %v (must be bit-identical)", i, s, want.Scores[i])
+			}
+		}
+	}
+
+	// The fast path must agree with the slow path on the loaded model,
+	// proving wf/pairs/idf were all reconstructed.
+	sc := m.NewScratch()
+	for _, ex := range tk.Test[:10] {
+		toks := stemTokens(ex.Text)
+		want, err := m.PredictTokens(toks, sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := loaded.PredictTokens(toks, sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Label != want.Label {
+			t.Fatalf("fast-path label diverged on loaded model")
+		}
+		for i, s := range got.Scores {
+			if s != want.Scores[i] {
+				t.Fatalf("fast-path score[%d] = %v != %v on loaded model", i, s, want.Scores[i])
+			}
+		}
+	}
+}
+
+func TestArtifactValidate(t *testing.T) {
+	good := func() *LRArtifact {
+		return &LRArtifact{
+			NumClasses: 2,
+			Vocab:      []string{"a", "b"},
+			IDF:        []float64{1, 1},
+			Weights:    []float64{0.1, -0.1, 0.2, -0.2},
+			Bias:       []float64{0, 0},
+		}
+	}
+	if err := good().Validate(); err != nil {
+		t.Fatalf("valid artifact rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		mut  func(*LRArtifact)
+	}{
+		{"too few classes", func(a *LRArtifact) { a.NumClasses = 1 }},
+		{"empty vocab", func(a *LRArtifact) { a.Vocab = nil; a.IDF = nil; a.Weights = nil }},
+		{"idf length mismatch", func(a *LRArtifact) { a.IDF = a.IDF[:1] }},
+		{"weights length mismatch", func(a *LRArtifact) { a.Weights = a.Weights[:3] }},
+		{"bias length mismatch", func(a *LRArtifact) { a.Bias = a.Bias[:1] }},
+		{"duplicate feature", func(a *LRArtifact) { a.Vocab[1] = "a" }},
+		{"empty feature", func(a *LRArtifact) { a.Vocab[0] = "" }},
+		{"nan weight", func(a *LRArtifact) { a.Weights[2] = nan() }},
+		{"inf idf", func(a *LRArtifact) { a.IDF[0] = inf() }},
+		{"nan bias", func(a *LRArtifact) { a.Bias[1] = nan() }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			a := good()
+			tc.mut(a)
+			if err := a.Validate(); err == nil {
+				t.Fatal("corrupt artifact accepted")
+			}
+			if _, err := LoadLogisticRegression(a); err == nil {
+				t.Fatal("LoadLogisticRegression accepted a corrupt artifact")
+			}
+		})
+	}
+}
+
+func TestExportBeforeFitErrors(t *testing.T) {
+	if _, err := NewLogisticRegression(2, LRConfig{}).Export(); err == nil {
+		t.Fatal("Export before Fit must error")
+	}
+}
+
+func nan() float64 { n := 0.0; return n / n }
+func inf() float64 { n := 1.0; return n / 0 }

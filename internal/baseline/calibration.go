@@ -1,11 +1,23 @@
 package baseline
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
 	"repro/internal/eval"
 )
+
+// ErrDegenerateCalibration reports that the (confidence, correct)
+// split cannot support a sigmoid fit: every outcome agrees (all
+// correct or all incorrect) or every confidence is the same value, so
+// the cross-entropy has no interior optimum for Newton to find. It is
+// also returned if the fit somehow produces non-finite parameters.
+// FitPlatt returns this error TOGETHER with a usable identity scaler,
+// so callers refitting on small live-label buffers can keep serving
+// (identity calibration is the raw confidence, the behaviour a system
+// without calibration has) while surfacing that the refit was a no-op.
+var ErrDegenerateCalibration = errors.New("baseline: degenerate calibration split (one-sided labels or constant confidence)")
 
 // PlattScaler maps a classifier's raw top-class confidence to a
 // calibrated probability that the prediction is correct, via a fitted
@@ -18,9 +30,18 @@ import (
 // instead of a raw-margin hack.
 //
 // Fit with FitPlatt; Calibrate is safe for concurrent use.
+//
+// Identity marks a degenerate fallback scaler: Calibrate returns its
+// input unchanged. FitPlatt hands one back (with
+// ErrDegenerateCalibration) when the split cannot support a fit.
 type PlattScaler struct {
-	A, B float64
+	A, B     float64
+	Identity bool
 }
+
+// IdentityScaler returns the no-op scaler used as the degenerate
+// fallback: Calibrate(s) == s.
+func IdentityScaler() *PlattScaler { return &PlattScaler{Identity: true} }
 
 // platt evaluates 1/(1+exp(A*s+B)) without overflow on either tail.
 func platt(a, b, s float64) float64 {
@@ -48,15 +69,30 @@ func FitPlatt(confidences []float64, correct []bool) (*PlattScaler, error) {
 		return nil, fmt.Errorf("baseline: %d examples too few to fit calibration (need >= 10)", n)
 	}
 	pos, neg := 0, 0
+	distinct := false
 	for i, c := range confidences {
 		if c < 0 || c > 1 || math.IsNaN(c) {
 			return nil, fmt.Errorf("baseline: confidence %v out of [0,1]", c)
+		}
+		if c != confidences[0] {
+			distinct = true
 		}
 		if correct[i] {
 			pos++
 		} else {
 			neg++
 		}
+	}
+	// Degenerate splits have no interior optimum: with one-sided labels
+	// the MLE pushes the sigmoid to a constant, and with a single
+	// distinct confidence the slope A is unidentifiable (the Hessian in
+	// the slope direction is rank-deficient up to the ridge). Newton on
+	// such a split either stalls at the ridge-regularized flat point or
+	// walks B toward +/-inf; return the documented identity fallback
+	// instead of letting a near-singular solve smuggle NaN/Inf into the
+	// serving path.
+	if pos == 0 || neg == 0 || !distinct {
+		return IdentityScaler(), ErrDegenerateCalibration
 	}
 	// Smoothed targets: correct examples train towards slightly less
 	// than 1, incorrect towards slightly more than 0, regularizing the
@@ -133,6 +169,12 @@ func FitPlatt(confidences []float64, correct []bool) (*PlattScaler, error) {
 			break // line search failed; current point is as good as it gets
 		}
 	}
+	// Belt and braces: the degenerate-split screen above should make
+	// this unreachable, but a non-finite parameter must never escape
+	// into Calibrate — it would poison every escalation decision.
+	if math.IsNaN(a) || math.IsInf(a, 0) || math.IsNaN(b) || math.IsInf(b, 0) {
+		return IdentityScaler(), ErrDegenerateCalibration
+	}
 	return &PlattScaler{A: a, B: b}, nil
 }
 
@@ -141,6 +183,9 @@ func FitPlatt(confidences []float64, correct []bool) (*PlattScaler, error) {
 // for any sanely-fitted scaler), so thresholding calibrated
 // probabilities preserves the classifier's own confidence ordering.
 func (p *PlattScaler) Calibrate(s float64) float64 {
+	if p.Identity {
+		return s
+	}
 	return platt(p.A, p.B, s)
 }
 

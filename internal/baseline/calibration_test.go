@@ -1,6 +1,7 @@
 package baseline
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -91,21 +92,74 @@ func TestPlattDeterministic(t *testing.T) {
 	}
 }
 
-func TestPlattHandlesOneSidedSplit(t *testing.T) {
-	// All-correct split: smoothing must keep the fit finite and the
-	// output a sane (high) probability.
+// TestFitPlattDegenerateInputs pins the refit-path contract: splits
+// that cannot support a sigmoid fit (one-sided labels, constant
+// confidence) return the identity scaler together with
+// ErrDegenerateCalibration instead of diverging or handing back
+// NaN/Inf parameters. Live refits run on small adjudication-label
+// buffers, so these shapes occur routinely in production.
+func TestFitPlattDegenerateInputs(t *testing.T) {
+	spread := func(i int) float64 { return 0.5 + 0.01*float64(i%40) }
+	cases := []struct {
+		name    string
+		conf    func(i int) float64
+		correct func(i int) bool
+	}{
+		{"all correct", spread, func(int) bool { return true }},
+		{"all incorrect", spread, func(int) bool { return false }},
+		{"single distinct confidence", func(int) float64 { return 0.73 }, func(i int) bool { return i%3 == 0 }},
+		{"constant confidence one-sided", func(int) float64 { return 0.9 }, func(int) bool { return true }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			conf := make([]float64, 50)
+			correct := make([]bool, 50)
+			for i := range conf {
+				conf[i] = tc.conf(i)
+				correct[i] = tc.correct(i)
+			}
+			p, err := FitPlatt(conf, correct)
+			if !errors.Is(err, ErrDegenerateCalibration) {
+				t.Fatalf("err = %v, want ErrDegenerateCalibration", err)
+			}
+			if p == nil || !p.Identity {
+				t.Fatalf("scaler = %+v, want the identity fallback", p)
+			}
+			for _, s := range []float64{0, 0.25, 0.7, 1} {
+				if v := p.Calibrate(s); v != s || math.IsNaN(v) {
+					t.Fatalf("identity Calibrate(%v) = %v, want input unchanged", s, v)
+				}
+			}
+		})
+	}
+}
+
+// TestFitPlattNearDegenerateStaysFinite feeds barely-fittable splits
+// (one dissenting label, two distinct confidences) and asserts the
+// Newton solve converges to finite parameters with bounded output.
+func TestFitPlattNearDegenerateStaysFinite(t *testing.T) {
 	conf := make([]float64, 50)
 	correct := make([]bool, 50)
 	for i := range conf {
-		conf[i] = 0.5 + 0.01*float64(i%40)
-		correct[i] = true
+		conf[i] = 0.6
+		if i%2 == 0 {
+			conf[i] = 0.8
+		}
+		correct[i] = i != 17 // a single incorrect example
 	}
 	p, err := FitPlatt(conf, correct)
 	if err != nil {
 		t.Fatal(err)
 	}
-	v := p.Calibrate(0.7)
-	if math.IsNaN(v) || v < 0.5 {
-		t.Fatalf("one-sided fit gave %v, want a finite high probability", v)
+	if p.Identity {
+		t.Fatal("fittable split must not fall back to identity")
+	}
+	if math.IsNaN(p.A) || math.IsInf(p.A, 0) || math.IsNaN(p.B) || math.IsInf(p.B, 0) {
+		t.Fatalf("non-finite parameters: %+v", p)
+	}
+	for s := 0.0; s <= 1.0; s += 0.05 {
+		if v := p.Calibrate(s); math.IsNaN(v) || v < 0 || v > 1 {
+			t.Fatalf("Calibrate(%v) = %v out of [0,1]", s, v)
+		}
 	}
 }

@@ -32,6 +32,10 @@
 //     [0, 600) — a negative recovery time means the clock math is
 //     wrong, and ten minutes means recovery is effectively broken
 //     (the session WAL replays a bounded, checkpoint-truncated tail)
+//   - every "*_posts_to_alarm" key, when present, a number >= 1 — the
+//     drift detector's detection latency counted in observed posts;
+//     it cannot alarm before its first observation, so zero or a
+//     negative count means the measurement harness is broken
 //
 // File arguments may be shell-style globs (quoted so the shell does
 // not expand them first): benchcheck 'BENCH_*.json' checks every
@@ -51,7 +55,11 @@
 // entirely), while absolute throughput only warns
 // when it falls below half the baseline — *_per_sec is noisy on
 // shared runners, and machine-relative ratios, not absolute numbers,
-// are what the trajectory promises to hold.
+// are what the trajectory promises to hold. Every figure in the NEW
+// file — including keys the baseline never recorded — must also obey
+// the schema rules above: a freshly added figure has no baseline to
+// gate against, but a schema violation in it is a recording bug no
+// matter how new the key is.
 //
 // Usage: go run ./internal/benchcheck 'BENCH_*.json'
 package main
@@ -137,49 +145,72 @@ func checkFile(path string) error {
 	}
 	found := false
 	for key, v := range doc {
-		switch {
-		case strings.HasSuffix(key, "_per_sec"):
-			rate, ok := v.(float64)
-			if !ok || rate <= 0 {
-				return fmt.Errorf("%q must be a positive number, got %v", key, v)
-			}
-			found = true
-		case strings.HasSuffix(key, "allocs_per_op"):
-			allocs, ok := v.(float64)
-			if !ok || allocs < 0 {
-				return fmt.Errorf("%q must be a non-negative number, got %v", key, v)
-			}
-		case strings.HasSuffix(key, "_rate"):
-			rate, ok := v.(float64)
-			if !ok || rate < 0 || rate > 1 {
-				return fmt.Errorf("%q must be a number in [0,1], got %v", key, v)
-			}
-		case strings.HasSuffix(key, "_drop"):
-			drop, ok := v.(float64)
-			if !ok || drop < 0 || drop > 1 {
-				return fmt.Errorf("%q must be a number in [0,1], got %v", key, v)
-			}
-		case strings.HasSuffix(key, "_overhead_pct"):
-			pct, ok := v.(float64)
-			if !ok || pct < 0 || pct > 100 {
-				return fmt.Errorf("%q must be a number in [0,100], got %v", key, v)
-			}
-		case strings.Contains(key, "_efficiency"):
-			eff, ok := v.(float64)
-			if !ok || eff <= 0 || eff > 1.5 {
-				return fmt.Errorf("%q must be a number in (0,1.5], got %v", key, v)
-			}
-		case strings.HasSuffix(key, "recovery_seconds"):
-			secs, ok := v.(float64)
-			if !ok || secs < 0 || secs >= 600 {
-				return fmt.Errorf("%q must be a number in [0,600), got %v", key, v)
-			}
+		throughput, err := keyRule(key, v)
+		if err != nil {
+			return err
 		}
+		found = found || throughput
 	}
 	if !found {
 		return fmt.Errorf(`no "*_per_sec" throughput key`)
 	}
 	return nil
+}
+
+// keyRule validates one trajectory figure against the schema its key's
+// naming convention promises (see the package comment). It reports
+// whether the key is a "*_per_sec" throughput figure — checkFile
+// requires at least one — and an error when the value violates the
+// key's rule. Keys matching no convention pass: files may carry names,
+// counts, and ancillary context alongside the gated figures. Both the
+// single-file check and the compare gate's new-file validation route
+// through here, so a rule added for a new figure class cannot drift
+// between the two modes.
+func keyRule(key string, v any) (throughput bool, err error) {
+	switch {
+	case strings.HasSuffix(key, "_per_sec"):
+		rate, ok := v.(float64)
+		if !ok || rate <= 0 {
+			return false, fmt.Errorf("%q must be a positive number, got %v", key, v)
+		}
+		return true, nil
+	case strings.HasSuffix(key, "allocs_per_op"):
+		allocs, ok := v.(float64)
+		if !ok || allocs < 0 {
+			return false, fmt.Errorf("%q must be a non-negative number, got %v", key, v)
+		}
+	case strings.HasSuffix(key, "_rate"):
+		rate, ok := v.(float64)
+		if !ok || rate < 0 || rate > 1 {
+			return false, fmt.Errorf("%q must be a number in [0,1], got %v", key, v)
+		}
+	case strings.HasSuffix(key, "_drop"):
+		drop, ok := v.(float64)
+		if !ok || drop < 0 || drop > 1 {
+			return false, fmt.Errorf("%q must be a number in [0,1], got %v", key, v)
+		}
+	case strings.HasSuffix(key, "_overhead_pct"):
+		pct, ok := v.(float64)
+		if !ok || pct < 0 || pct > 100 {
+			return false, fmt.Errorf("%q must be a number in [0,100], got %v", key, v)
+		}
+	case strings.Contains(key, "_efficiency"):
+		eff, ok := v.(float64)
+		if !ok || eff <= 0 || eff > 1.5 {
+			return false, fmt.Errorf("%q must be a number in (0,1.5], got %v", key, v)
+		}
+	case strings.HasSuffix(key, "recovery_seconds"):
+		secs, ok := v.(float64)
+		if !ok || secs < 0 || secs >= 600 {
+			return false, fmt.Errorf("%q must be a number in [0,600), got %v", key, v)
+		}
+	case strings.HasSuffix(key, "_posts_to_alarm"):
+		posts, ok := v.(float64)
+		if !ok || posts < 1 {
+			return false, fmt.Errorf("%q must be a number >= 1, got %v", key, v)
+		}
+	}
+	return false, nil
 }
 
 func readDoc(path string) (map[string]any, error) {
@@ -228,12 +259,18 @@ func runCompare(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "benchcheck: compare: "+format+"\n", a...)
 		failed = true
 	}
-	keys := make([]string, 0, len(oldDoc))
-	for k := range oldDoc {
-		keys = append(keys, k)
+	// Schema-validate every figure in the new file first — including
+	// keys the baseline never recorded. The delta loop below only sees
+	// keys present in the baseline, so without this pass a malformed
+	// figure introduced by the new file (a negative overhead, an
+	// impossible efficiency) would ship unchecked merely for being new.
+	newKeys := sortedKeys(newDoc)
+	for _, key := range newKeys {
+		if _, err := keyRule(key, newDoc[key]); err != nil {
+			fail("%s: %v", args[1], err)
+		}
 	}
-	sort.Strings(keys)
-	for _, key := range keys {
+	for _, key := range sortedKeys(oldDoc) {
 		oldV, isNum := oldDoc[key].(float64)
 		if !isNum {
 			continue // names and counts are not trajectory figures
@@ -288,4 +325,13 @@ func runCompare(args []string, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprintf(stdout, "benchcheck: compare: %s holds the trajectory of %s\n", args[1], args[0])
 	return 0
+}
+
+func sortedKeys(doc map[string]any) []string {
+	keys := make([]string, 0, len(doc))
+	for k := range doc {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }

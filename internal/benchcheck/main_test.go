@@ -63,6 +63,11 @@ func TestBenchcheck(t *testing.T) {
 		{"efficiency above 1.5", `{"benchmark":"X","gomaxprocs":1,"posts_per_sec":5,"parallel_efficiency_p4":2.0}`, 1},
 		{"string efficiency", `{"benchmark":"X","gomaxprocs":1,"posts_per_sec":5,"parallel_efficiency_p4":"good"}`, 1},
 		{"efficiency key mid-name is checked", `{"benchmark":"X","gomaxprocs":1,"posts_per_sec":5,"sweep_efficiency_vs_serial":3}`, 1},
+		{"posts to alarm of one is legal", `{"benchmark":"X","gomaxprocs":1,"posts_per_sec":5,"detection_posts_to_alarm":1}`, 0},
+		{"large posts to alarm is legal", `{"benchmark":"X","gomaxprocs":1,"posts_per_sec":5,"detection_posts_to_alarm":4096}`, 0},
+		{"zero posts to alarm", `{"benchmark":"X","gomaxprocs":1,"posts_per_sec":5,"detection_posts_to_alarm":0}`, 1},
+		{"negative posts to alarm", `{"benchmark":"X","gomaxprocs":1,"posts_per_sec":5,"detection_posts_to_alarm":-3}`, 1},
+		{"string posts to alarm", `{"benchmark":"X","gomaxprocs":1,"posts_per_sec":5,"detection_posts_to_alarm":"soon"}`, 1},
 		{"zero recovery is legal", `{"benchmark":"X","gomaxprocs":1,"posts_per_sec":5,"recovery_seconds":0}`, 0},
 		{"fractional recovery is legal", `{"benchmark":"X","gomaxprocs":1,"posts_per_sec":5,"recovery_seconds":0.031}`, 0},
 		{"prefixed recovery key is checked", `{"benchmark":"X","gomaxprocs":1,"posts_per_sec":5,"wal_recovery_seconds":-0.5}`, 1},
@@ -207,6 +212,38 @@ func TestBenchcheckCompare(t *testing.T) {
 			}
 		})
 	}
+	// The compare gate must validate keys that exist only in the new
+	// file: the delta loop walks baseline keys, so before the schema
+	// pass a malformed brand-new figure shipped unchecked.
+	t.Run("malformed new-only key fails", func(t *testing.T) {
+		oldPath := write(t, "old.json", `{"benchmark":"T","gomaxprocs":1,"x_per_sec":5}`)
+		newPath := write(t, "new.json", `{"benchmark":"T","gomaxprocs":1,"x_per_sec":5,"shadow_overhead_pct":-4}`)
+		var out, errOut strings.Builder
+		if got := run([]string{"compare", oldPath, newPath}, &out, &errOut); got != 1 {
+			t.Errorf("exit = %d, want 1 (stderr: %s)", got, errOut.String())
+		}
+		if !strings.Contains(errOut.String(), "shadow_overhead_pct") {
+			t.Errorf("stderr missing shadow_overhead_pct: %s", errOut.String())
+		}
+	})
+	t.Run("well-formed new-only key holds", func(t *testing.T) {
+		oldPath := write(t, "old.json", `{"benchmark":"T","gomaxprocs":1,"x_per_sec":5}`)
+		newPath := write(t, "new.json", `{"benchmark":"T","gomaxprocs":1,"x_per_sec":5,"shadow_overhead_pct":4.2,"detection_posts_to_alarm":48}`)
+		var out, errOut strings.Builder
+		if got := run([]string{"compare", oldPath, newPath}, &out, &errOut); got != 0 {
+			t.Errorf("exit = %d, want 0 (stderr: %s)", got, errOut.String())
+		}
+	})
+	t.Run("malformed new value on a shared ungated key fails", func(t *testing.T) {
+		// escalation_rate is schema-checked but not delta-gated; the
+		// schema pass must still catch a new value outside [0,1].
+		oldPath := write(t, "old.json", `{"benchmark":"T","gomaxprocs":1,"x_per_sec":5,"escalation_rate":0.2}`)
+		newPath := write(t, "new.json", `{"benchmark":"T","gomaxprocs":1,"x_per_sec":5,"escalation_rate":1.7}`)
+		var out, errOut strings.Builder
+		if got := run([]string{"compare", oldPath, newPath}, &out, &errOut); got != 1 {
+			t.Errorf("exit = %d, want 1 (stderr: %s)", got, errOut.String())
+		}
+	})
 	t.Run("usage", func(t *testing.T) {
 		var out, errOut strings.Builder
 		if got := run([]string{"compare", "only-one.json"}, &out, &errOut); got != 2 {
@@ -273,7 +310,7 @@ func TestBenchcheckCompare(t *testing.T) {
 func TestBenchcheckAcceptsCommittedFiles(t *testing.T) {
 	// The checked-in trajectory files must satisfy the schema the CI
 	// gate enforces.
-	for _, name := range []string{"BENCH_serve.json", "BENCH_sessions.json", "BENCH_screen.json", "BENCH_cascade.json", "BENCH_robust.json"} {
+	for _, name := range []string{"BENCH_serve.json", "BENCH_sessions.json", "BENCH_screen.json", "BENCH_cascade.json", "BENCH_robust.json", "BENCH_drift.json"} {
 		path := filepath.Join("..", "..", name)
 		if _, err := os.Stat(path); err != nil {
 			t.Skipf("%s not present: %v", name, err)

@@ -1,0 +1,300 @@
+// Package drift detects distribution shift in a stream of stage-1
+// confidence scores, so a model fit once at construction can report
+// when live traffic has walked away from the distribution it was
+// calibrated on.
+//
+// The mechanism is deliberately simple and O(1) per observation: a
+// fixed-bin histogram over [0, 1] accumulated from a rolling window
+// of the most recent scores (a ring buffer of bin indices, so
+// evicting the oldest score is a decrement, not a re-bin), compared
+// against a reference histogram frozen at training time. Two
+// statistics are computed at read time:
+//
+//   - PSI, the population stability index: sum over bins of
+//     (p_live - p_ref) * ln(p_live / p_ref), with Laplace smoothing
+//     so an empty bin on either side cannot produce a division by
+//     zero or an infinite log. The conventional industry reading is
+//     PSI < 0.1 stable, 0.1-0.25 drifting, > 0.25 shifted.
+//   - KS, the two-sample Kolmogorov-Smirnov statistic evaluated at
+//     bin edges: the maximum absolute difference between the two
+//     binned CDFs. Bounded in [0, 1] and, unlike PSI, insensitive to
+//     smoothing choices — the pair gives one sensitive and one
+//     robust view of the same window.
+//
+// The detector never alarms before MinSamples observations are in
+// the window: a handful of posts after boot is noise, not evidence.
+// All methods are safe for concurrent use.
+package drift
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// Config parameterizes a Detector. Zero values get defaults.
+type Config struct {
+	// Bins is the fixed histogram resolution over [0, 1].
+	// Default 20 (5-point score buckets).
+	Bins int
+	// Window is the rolling window size in observations.
+	// Default 2048.
+	Window int
+	// MinSamples is the observation count below which the detector
+	// reports zero drift and never alarms. Default Window/4.
+	MinSamples int
+	// Alarm is the PSI threshold at or above which Status.Alarm is
+	// set. Default 0.25 (the conventional "population has shifted"
+	// reading). Set negative to disable alarming.
+	Alarm float64
+}
+
+func (c *Config) setDefaults() {
+	if c.Bins <= 0 {
+		c.Bins = 20
+	}
+	if c.Window <= 0 {
+		c.Window = 2048
+	}
+	if c.MinSamples <= 0 {
+		c.MinSamples = c.Window / 4
+	}
+	if c.MinSamples > c.Window {
+		c.MinSamples = c.Window
+	}
+	if c.Alarm == 0 {
+		c.Alarm = 0.25
+	}
+}
+
+// Status is a point-in-time read of the detector.
+type Status struct {
+	// PSI is the population stability index of the current window
+	// against the reference (0 when the window is below MinSamples).
+	PSI float64
+	// KS is the two-sample Kolmogorov-Smirnov statistic at bin edges
+	// (0 when the window is below MinSamples).
+	KS float64
+	// Alarm is set when PSI has reached the configured threshold.
+	Alarm bool
+	// Samples is the number of observations currently in the window.
+	Samples int
+	// Total is the number of observations ever made.
+	Total int64
+}
+
+// Detector compares a rolling window of scores against a fixed
+// reference distribution.
+type Detector struct {
+	cfg     Config
+	ref     []float64 // smoothed reference bin probabilities, sums to 1
+	refCum  []float64 // reference CDF at bin edges (unsmoothed)
+	mu      sync.Mutex
+	counts  []int   // live histogram: counts[bin]
+	ring    []uint8 // bin index per window slot (Bins <= 256 enforced)
+	head    int
+	filled  int
+	total   int64
+	alarmed bool  // latched on first threshold crossing
+	alarmAt int64 // Total at the first crossing, 0 if never
+}
+
+// New builds a detector from the training-time reference scores. The
+// reference histogram contract: ref must hold at least Bins
+// observations, every score in [0, 1] (NaN rejected); the reference
+// is frozen — a new model version gets a new Detector.
+func New(ref []float64, cfg Config) (*Detector, error) {
+	cfg.setDefaults()
+	if cfg.Bins > 256 {
+		return nil, fmt.Errorf("drift: %d bins exceeds the 256 the ring encoding supports", cfg.Bins)
+	}
+	if len(ref) < cfg.Bins {
+		return nil, fmt.Errorf("drift: %d reference scores for %d bins (need at least one per bin on average)", len(ref), cfg.Bins)
+	}
+	counts := make([]int, cfg.Bins)
+	for _, s := range ref {
+		if math.IsNaN(s) || s < 0 || s > 1 {
+			return nil, fmt.Errorf("drift: reference score %v outside [0,1]", s)
+		}
+		counts[binOf(s, cfg.Bins)]++
+	}
+	// Smoothed reference probabilities for PSI; raw CDF for KS.
+	refP := make([]float64, cfg.Bins)
+	refCum := make([]float64, cfg.Bins)
+	denom := float64(len(ref)) + float64(cfg.Bins)
+	cum := 0.0
+	for i, c := range counts {
+		refP[i] = (float64(c) + 1) / denom
+		cum += float64(c) / float64(len(ref))
+		refCum[i] = cum
+	}
+	return &Detector{
+		cfg:    cfg,
+		ref:    refP,
+		refCum: refCum,
+		counts: make([]int, cfg.Bins),
+		ring:   make([]uint8, cfg.Window),
+	}, nil
+}
+
+// binOf maps a score in [0,1] to its histogram bin; 1.0 lands in the
+// top bin rather than one past it.
+func binOf(s float64, bins int) int {
+	b := int(s * float64(bins))
+	if b >= bins {
+		b = bins - 1
+	}
+	if b < 0 {
+		b = 0
+	}
+	return b
+}
+
+// Observe folds one score into the rolling window. Out-of-range or
+// NaN scores are clamped into [0, 1] (the serving path hands us
+// softmax outputs, so anything else is already a bug upstream — the
+// detector must not be the thing that panics on it). O(1).
+func (d *Detector) Observe(score float64) {
+	if math.IsNaN(score) {
+		return // unattributable; dropping one sample beats poisoning a bin
+	}
+	if score < 0 {
+		score = 0
+	} else if score > 1 {
+		score = 1
+	}
+	bin := binOf(score, d.cfg.Bins)
+	d.mu.Lock()
+	if d.filled == len(d.ring) {
+		d.counts[d.ring[d.head]]--
+	} else {
+		d.filled++
+	}
+	d.ring[d.head] = uint8(bin)
+	d.counts[bin]++
+	d.head++
+	if d.head == len(d.ring) {
+		d.head = 0
+	}
+	d.total++
+	// Latch the first alarm crossing so "posts until detection" is
+	// answerable even if the statistic later wobbles back under.
+	if !d.alarmed && d.filled >= d.cfg.MinSamples && d.cfg.Alarm >= 0 {
+		if d.psiLocked() >= d.cfg.Alarm {
+			d.alarmed = true
+			d.alarmAt = d.total
+		}
+	}
+	d.mu.Unlock()
+}
+
+// psiLocked computes PSI of the current window against the reference.
+// Caller holds d.mu. Laplace smoothing on the window side matches the
+// smoothing baked into d.ref, so identical distributions cancel to
+// exactly 0 only in the infinite limit — in practice a few 1e-3 of
+// smoothing residue; Snapshot clamps the sub-epsilon tail to zero so
+// "identical" reads as identical.
+func (d *Detector) psiLocked() float64 {
+	if d.filled == 0 {
+		return 0
+	}
+	denom := float64(d.filled) + float64(d.cfg.Bins)
+	psi := 0.0
+	for i, c := range d.counts {
+		p := (float64(c) + 1) / denom
+		q := d.ref[i]
+		psi += (p - q) * math.Log(p/q)
+	}
+	return psi
+}
+
+// ksLocked computes the KS statistic at bin edges. Caller holds d.mu.
+func (d *Detector) ksLocked() float64 {
+	if d.filled == 0 {
+		return 0
+	}
+	ks, cum := 0.0, 0.0
+	for i, c := range d.counts {
+		cum += float64(c) / float64(d.filled)
+		if diff := math.Abs(cum - d.refCum[i]); diff > ks {
+			ks = diff
+		}
+	}
+	return ks
+}
+
+// psiEpsilon clamps smoothing residue: windows statistically
+// indistinguishable from the reference read as exactly zero drift.
+const psiEpsilon = 1e-9
+
+// Snapshot returns the current drift statistics. Below MinSamples it
+// reports zero drift and no alarm — an empty or barely-filled window
+// is absence of evidence.
+func (d *Detector) Snapshot() Status {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	st := Status{Samples: d.filled, Total: d.total}
+	if d.filled < d.cfg.MinSamples {
+		return st
+	}
+	st.PSI = d.psiLocked()
+	if st.PSI < psiEpsilon {
+		st.PSI = 0
+	}
+	st.KS = d.ksLocked()
+	st.Alarm = d.alarmed || (d.cfg.Alarm >= 0 && st.PSI >= d.cfg.Alarm)
+	return st
+}
+
+// AlarmAt returns the observation count (Status.Total) at the first
+// alarm crossing, or 0 if the detector has never alarmed. This is the
+// "posts until detection" figure the bench trajectory tracks.
+func (d *Detector) AlarmAt() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.alarmAt
+}
+
+// Histogram returns a copy of the current window's bin counts,
+// for divergence comparisons between two detectors.
+func (d *Detector) Histogram() []int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return append([]int(nil), d.counts...)
+}
+
+// Divergence computes the PSI between two live windows (a's window as
+// the reference side), the candidate-vs-active comparison shadow
+// deployment exports. Returns 0 unless both windows hold at least
+// their MinSamples. Symmetric in the smoothing, not in sign handling
+// — PSI itself is symmetric in (p,q) up to the log direction, and we
+// report the standard sum over both directions' contributions.
+func Divergence(a, b *Detector) float64 {
+	if a == nil || b == nil {
+		return 0
+	}
+	ha, sa := a.histAndFill()
+	hb, sb := b.histAndFill()
+	if sa < a.cfg.MinSamples || sb < b.cfg.MinSamples || len(ha) != len(hb) {
+		return 0
+	}
+	bins := float64(len(ha))
+	da := float64(sa) + bins
+	db := float64(sb) + bins
+	psi := 0.0
+	for i := range ha {
+		p := (float64(hb[i]) + 1) / db
+		q := (float64(ha[i]) + 1) / da
+		psi += (p - q) * math.Log(p/q)
+	}
+	if psi < psiEpsilon {
+		return 0
+	}
+	return psi
+}
+
+func (d *Detector) histAndFill() ([]int, int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return append([]int(nil), d.counts...), d.filled
+}

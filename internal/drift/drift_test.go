@@ -1,0 +1,329 @@
+package drift
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/baseline"
+)
+
+// refScores draws n reference scores from a beta-ish bump centered
+// where a confident classifier's top-softmax lives.
+func refScores(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = 0.55 + 0.4*rng.Float64() // [0.55, 0.95)
+	}
+	return out
+}
+
+// TestPSIKSZeroOnIdenticalDistribution: feeding the detector the
+// reference scores themselves must read as zero drift and no alarm.
+func TestPSIKSZeroOnIdenticalDistribution(t *testing.T) {
+	ref := refScores(4000, 1)
+	d, err := New(ref, Config{Bins: 20, Window: 4000, MinSamples: 500, Alarm: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range ref {
+		d.Observe(s)
+	}
+	st := d.Snapshot()
+	if st.Samples != 4000 || st.Total != 4000 {
+		t.Fatalf("window accounting wrong: %+v", st)
+	}
+	if st.PSI != 0 {
+		t.Fatalf("PSI on identical distribution = %v, want 0", st.PSI)
+	}
+	if st.KS != 0 {
+		t.Fatalf("KS on identical distribution = %v, want 0", st.KS)
+	}
+	if st.Alarm {
+		t.Fatal("alarm on identical distribution")
+	}
+}
+
+// TestDriftMonotoneUnderIncreasingShift: pushing the live window
+// further from the reference must increase both statistics.
+func TestDriftMonotoneUnderIncreasingShift(t *testing.T) {
+	ref := refScores(4000, 2)
+	prevPSI, prevKS := -1.0, -1.0
+	for _, shift := range []float64{0.05, 0.15, 0.3, 0.45} {
+		d, err := New(ref, Config{Bins: 20, Window: 2000, MinSamples: 500})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(99))
+		for i := 0; i < 2000; i++ {
+			s := 0.55 + 0.4*rng.Float64() - shift
+			if s < 0 {
+				s = 0
+			}
+			d.Observe(s)
+		}
+		st := d.Snapshot()
+		if st.PSI <= prevPSI {
+			t.Fatalf("PSI not monotone: shift %v gave %v after %v", shift, st.PSI, prevPSI)
+		}
+		if st.KS <= prevKS {
+			t.Fatalf("KS not monotone: shift %v gave %v after %v", shift, st.KS, prevKS)
+		}
+		if math.IsNaN(st.PSI) || math.IsInf(st.PSI, 0) || st.KS < 0 || st.KS > 1 {
+			t.Fatalf("statistics out of range at shift %v: %+v", shift, st)
+		}
+		prevPSI, prevKS = st.PSI, st.KS
+	}
+}
+
+// TestDriftGuardsDegenerateWindows: empty windows, constant-score
+// windows, and scores piled into a bin the reference never populated
+// must all produce finite statistics and no division by zero.
+func TestDriftGuardsDegenerateWindows(t *testing.T) {
+	ref := refScores(1000, 3)
+	t.Run("empty window", func(t *testing.T) {
+		d, err := New(ref, Config{Bins: 20, Window: 100, MinSamples: 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := d.Snapshot()
+		if st.PSI != 0 || st.KS != 0 || st.Alarm {
+			t.Fatalf("empty window must read zero drift: %+v", st)
+		}
+	})
+	t.Run("below MinSamples", func(t *testing.T) {
+		d, err := New(ref, Config{Bins: 20, Window: 100, MinSamples: 50})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 49; i++ {
+			d.Observe(0.01) // wildly shifted, but not yet evidence
+		}
+		if st := d.Snapshot(); st.PSI != 0 || st.Alarm {
+			t.Fatalf("below-MinSamples window must not report drift: %+v", st)
+		}
+	})
+	t.Run("constant scores in an unpopulated reference bin", func(t *testing.T) {
+		d, err := New(ref, Config{Bins: 20, Window: 100, MinSamples: 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 100; i++ {
+			d.Observe(0.0) // reference has zero mass at 0; smoothing must hold
+		}
+		st := d.Snapshot()
+		if math.IsNaN(st.PSI) || math.IsInf(st.PSI, 0) {
+			t.Fatalf("PSI not finite on constant out-of-support window: %v", st.PSI)
+		}
+		if st.PSI <= 0 || st.KS <= 0 || st.KS > 1 {
+			t.Fatalf("constant shifted window must show strong finite drift: %+v", st)
+		}
+	})
+	t.Run("NaN and out-of-range observations", func(t *testing.T) {
+		d, err := New(ref, Config{Bins: 20, Window: 100, MinSamples: 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		d.Observe(math.NaN())
+		for i := 0; i < 50; i++ {
+			d.Observe(-3)
+			d.Observe(7)
+		}
+		st := d.Snapshot()
+		if math.IsNaN(st.PSI) || math.IsInf(st.PSI, 0) {
+			t.Fatalf("clamped garbage produced non-finite PSI: %v", st.PSI)
+		}
+		if st.Total != 100 {
+			t.Fatalf("NaN observation must be dropped, not counted: total %d", st.Total)
+		}
+	})
+}
+
+// TestDriftAlarmLatchesAndRecordsDetectionLatency: a hard shift must
+// cross the alarm threshold, latch, and record the post count at
+// first crossing.
+func TestDriftAlarmLatchesAndRecordsDetectionLatency(t *testing.T) {
+	ref := refScores(2000, 4)
+	d, err := New(ref, Config{Bins: 20, Window: 1000, MinSamples: 200, Alarm: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		d.Observe(0.1) // far outside the reference support
+	}
+	st := d.Snapshot()
+	if !st.Alarm {
+		t.Fatalf("hard shift did not alarm: %+v", st)
+	}
+	at := d.AlarmAt()
+	if at < 200 || at > 1000 {
+		t.Fatalf("AlarmAt = %d, want within (MinSamples, window]", at)
+	}
+	// The latch holds even if the window later recovers.
+	for _, s := range ref[:1000] {
+		d.Observe(s)
+	}
+	if st := d.Snapshot(); !st.Alarm {
+		t.Fatal("alarm must latch across recovery")
+	}
+	if d.AlarmAt() != at {
+		t.Fatal("AlarmAt must pin the first crossing")
+	}
+}
+
+// TestDriftWindowEviction: the rolling window must forget — after a
+// full window of reference-shaped traffic, an earlier shift is gone.
+func TestDriftWindowEviction(t *testing.T) {
+	ref := refScores(2000, 5)
+	d, err := New(ref, Config{Bins: 20, Window: 500, MinSamples: 100, Alarm: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		d.Observe(0.05)
+	}
+	shifted := d.Snapshot().PSI
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 500; i++ {
+		d.Observe(0.55 + 0.4*rng.Float64())
+	}
+	recovered := d.Snapshot()
+	if recovered.PSI >= shifted/10 {
+		t.Fatalf("window did not evict the shift: %v -> %v", shifted, recovered.PSI)
+	}
+	if recovered.Samples != 500 {
+		t.Fatalf("window size drifted: %d", recovered.Samples)
+	}
+}
+
+// TestDriftConcurrentObserveSnapshot: Observe/Snapshot under
+// contention must not race (run with -race) and counts must add up.
+func TestDriftConcurrentObserveSnapshot(t *testing.T) {
+	ref := refScores(1000, 7)
+	d, err := New(ref, Config{Bins: 20, Window: 512, MinSamples: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 2000; i++ {
+				d.Observe(rng.Float64())
+				if i%100 == 0 {
+					d.Snapshot()
+				}
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	st := d.Snapshot()
+	if st.Total != 8000 || st.Samples != 512 {
+		t.Fatalf("concurrent accounting wrong: %+v", st)
+	}
+}
+
+// TestDivergence: two detectors fed the same stream diverge by zero;
+// fed different streams, positively.
+func TestDivergence(t *testing.T) {
+	ref := refScores(1000, 8)
+	mk := func() *Detector {
+		d, err := New(ref, Config{Bins: 20, Window: 500, MinSamples: 100})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	a, b := mk(), mk()
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 500; i++ {
+		s := rng.Float64()
+		a.Observe(s)
+		b.Observe(s)
+	}
+	if div := Divergence(a, b); div != 0 {
+		t.Fatalf("identical windows diverge by %v, want 0", div)
+	}
+	c := mk()
+	for i := 0; i < 500; i++ {
+		c.Observe(0.1)
+	}
+	if div := Divergence(a, c); div <= 0 {
+		t.Fatalf("shifted windows diverge by %v, want > 0", div)
+	}
+	if Divergence(a, nil) != 0 || Divergence(nil, c) != 0 {
+		t.Fatal("nil detector must read as zero divergence")
+	}
+	under := mk()
+	under.Observe(0.5)
+	if Divergence(a, under) != 0 {
+		t.Fatal("under-filled window must read as zero divergence")
+	}
+}
+
+// TestRefitBitReproducible: the same label buffer state must produce
+// bit-identical Platt parameters — the refit path's determinism
+// guarantee.
+func TestRefitBitReproducible(t *testing.T) {
+	buf := NewLabelBuffer(256)
+	rng := rand.New(rand.NewSource(10))
+	for i := 0; i < 300; i++ { // overfill so the ring has wrapped
+		c := 0.3 + 0.7*rng.Float64()
+		buf.Add(c, rng.Float64() < c)
+	}
+	c1, k1 := buf.Snapshot()
+	c2, k2 := buf.Snapshot()
+	if len(c1) != 256 || len(c2) != 256 {
+		t.Fatalf("snapshot sizes %d/%d, want the ring capacity", len(c1), len(c2))
+	}
+	p1, err := baseline.FitPlatt(c1, k1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := baseline.FitPlatt(c2, k2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *p1 != *p2 {
+		t.Fatalf("refit not bit-reproducible: %+v vs %+v", p1, p2)
+	}
+}
+
+// TestLabelBufferOrderAndEviction: snapshot returns oldest-first and
+// the ring evicts the oldest label once full.
+func TestLabelBufferOrderAndEviction(t *testing.T) {
+	buf := NewLabelBuffer(16)
+	for i := 0; i < 20; i++ {
+		buf.Add(float64(i)/20, i%2 == 0)
+	}
+	if buf.Len() != 16 {
+		t.Fatalf("Len = %d, want 16", buf.Len())
+	}
+	if buf.Total() != 20 {
+		t.Fatalf("Total = %d, want 20", buf.Total())
+	}
+	conf, _ := buf.Snapshot()
+	// Oldest surviving label is i=4.
+	if conf[0] != 4.0/20 || conf[15] != 19.0/20 {
+		t.Fatalf("snapshot order wrong: first %v last %v", conf[0], conf[15])
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New([]float64{0.5}, Config{Bins: 20}); err == nil {
+		t.Error("too-small reference must error")
+	}
+	if _, err := New([]float64{0.5, math.NaN(), 0.7}, Config{Bins: 2}); err == nil {
+		t.Error("NaN reference score must error")
+	}
+	if _, err := New([]float64{0.5, 1.7}, Config{Bins: 2}); err == nil {
+		t.Error("out-of-range reference score must error")
+	}
+	if _, err := New(refScores(300, 11), Config{Bins: 300}); err == nil {
+		t.Error("bins beyond ring encoding must error")
+	}
+}

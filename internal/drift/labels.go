@@ -1,0 +1,86 @@
+package drift
+
+import "sync"
+
+// Label is one free calibration label harvested from the cascade: the
+// stage-1 raw confidence for a post, and whether the adjudicator's
+// final verdict agreed with stage-1's condition. Adjudicated posts
+// are exactly the ones inside the uncertainty band — a biased but
+// continuously-refreshed sample of the region the calibration most
+// needs to get right.
+type Label struct {
+	Confidence float64
+	Correct    bool
+}
+
+// LabelBuffer is a bounded ring of calibration labels. Writers Add
+// from the serving path (O(1), short critical section); the periodic
+// refit Snapshots the whole window. Once full, the newest label
+// evicts the oldest, so the buffer always holds the most recent
+// window of adjudication verdicts.
+type LabelBuffer struct {
+	mu    sync.Mutex
+	buf   []Label
+	head  int
+	fill  int
+	total int64
+}
+
+// NewLabelBuffer returns a buffer holding at most capacity labels
+// (minimum 16: refit needs at least 10 and a margin keeps the ring
+// from thrashing).
+func NewLabelBuffer(capacity int) *LabelBuffer {
+	if capacity < 16 {
+		capacity = 16
+	}
+	return &LabelBuffer{buf: make([]Label, capacity)}
+}
+
+// Add records one label.
+func (b *LabelBuffer) Add(confidence float64, correct bool) {
+	b.mu.Lock()
+	b.buf[b.head] = Label{Confidence: confidence, Correct: correct}
+	b.head++
+	if b.head == len(b.buf) {
+		b.head = 0
+	}
+	if b.fill < len(b.buf) {
+		b.fill++
+	}
+	b.total++
+	b.mu.Unlock()
+}
+
+// Len returns the number of labels currently buffered.
+func (b *LabelBuffer) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.fill
+}
+
+// Total returns the number of labels ever added.
+func (b *LabelBuffer) Total() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.total
+}
+
+// Snapshot returns the buffered labels in insertion order (oldest
+// first). The ordering is deterministic, so a refit over the same
+// buffer state is bit-reproducible: same labels in, same scaler out.
+func (b *LabelBuffer) Snapshot() (confidences []float64, correct []bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	confidences = make([]float64, 0, b.fill)
+	correct = make([]bool, 0, b.fill)
+	start := b.head - b.fill
+	if start < 0 {
+		start += len(b.buf)
+	}
+	for i := 0; i < b.fill; i++ {
+		l := b.buf[(start+i)%len(b.buf)]
+		confidences = append(confidences, l.Confidence)
+		correct = append(correct, l.Correct)
+	}
+	return confidences, correct
+}

@@ -1,0 +1,248 @@
+// Package registry is the versioned model store: every model the
+// server can serve (or shadow) is a content-addressed artifact on
+// disk with a JSON manifest recording its provenance. The discipline
+// mirrors the evidence rule elsewhere in this codebase — every served
+// verdict can name the exact weights and calibration that produced
+// it, because "which model was live when this report was written?"
+// must be answerable after the fact, not reconstructed from deploy
+// logs.
+//
+// Layout: a registry directory holds, per model,
+//
+//	<id>.model.json     — the artifact (weights, vocab, calibration)
+//	<id>.manifest.json  — provenance (engine, seed, training size,
+//	                      vocabulary hash, parent version, source)
+//
+// The ID is the truncated SHA-256 of the canonical artifact JSON, so
+// identical models dedupe to one entry, saving the same model twice
+// is idempotent, and a corrupt artifact no longer matches its own
+// name. Writes go through durable.WriteFileAtomic with the model
+// written before the manifest: the manifest is the commit point, so
+// a crash between the two writes leaves an orphan model file (ignored
+// by List) rather than a manifest pointing at a missing or torn
+// model.
+package registry
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/durable"
+)
+
+// Calibration is the serialized PlattScaler of an artifact.
+type Calibration struct {
+	A        float64 `json:"a"`
+	B        float64 `json:"b"`
+	Identity bool    `json:"identity,omitempty"`
+}
+
+// Artifact is the stored model: the stage-1 classifier plus its
+// calibration (nil when the model was never calibrated — calibration
+// only exists once a cascade has been armed).
+type Artifact struct {
+	Classifier  *baseline.LRArtifact `json:"classifier"`
+	Calibration *Calibration         `json:"calibration,omitempty"`
+}
+
+// Manifest records a model's provenance. Every field is written at
+// Save time; none is recomputed on Load, so the manifest is a claim
+// the ID can be checked against.
+type Manifest struct {
+	// ID is the content address: truncated SHA-256 of the canonical
+	// artifact JSON.
+	ID string `json:"id"`
+	// CreatedAt is the wall-clock save time (RFC 3339).
+	CreatedAt time.Time `json:"created_at"`
+	// Engine names the training engine ("baseline").
+	Engine string `json:"engine"`
+	// Seed and TrainSize reproduce the training run.
+	Seed      int64 `json:"seed"`
+	TrainSize int   `json:"train_size"`
+	// Labels is the class list in index order.
+	Labels []string `json:"labels,omitempty"`
+	// VocabHash fingerprints the feature space (LRArtifact.VocabHash).
+	VocabHash string `json:"vocab_hash"`
+	// Parent is the ID of the model this one was promoted over or
+	// refit from, empty for a root model.
+	Parent string `json:"parent,omitempty"`
+	// Source is free-form provenance ("boot", "shadow-candidate",
+	// "refit") recorded by whoever saved the model.
+	Source string `json:"source,omitempty"`
+}
+
+// Meta carries the caller-supplied manifest fields for Save.
+type Meta struct {
+	Engine    string
+	Seed      int64
+	TrainSize int
+	Labels    []string
+	Parent    string
+	Source    string
+}
+
+// Store is a registry rooted at one directory.
+type Store struct {
+	dir string
+	fs  durable.FS
+}
+
+// Open returns a Store over dir, creating it if missing. A nil fs
+// uses the real filesystem.
+func Open(dir string, fs durable.FS) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("registry: empty directory")
+	}
+	if fs == nil {
+		fs = durable.OS{}
+	}
+	if err := fs.MkdirAll(dir); err != nil {
+		return nil, fmt.Errorf("registry: creating %s: %w", dir, err)
+	}
+	return &Store{dir: dir, fs: fs}, nil
+}
+
+// Dir returns the registry root.
+func (s *Store) Dir() string { return s.dir }
+
+// ID computes the content address of an artifact without storing it.
+func ID(art *Artifact) (string, error) {
+	buf, err := canonicalJSON(art)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(buf)
+	return hex.EncodeToString(sum[:])[:16], nil
+}
+
+// canonicalJSON is encoding/json's deterministic object form: struct
+// fields in declaration order, map keys sorted. The artifact is
+// structs and slices only, so marshaling is canonical as-is.
+func canonicalJSON(v any) ([]byte, error) {
+	buf, err := json.Marshal(v)
+	if err != nil {
+		return nil, fmt.Errorf("registry: marshal: %w", err)
+	}
+	return buf, nil
+}
+
+// Save stores an artifact and returns its manifest. Content
+// addressing makes Save idempotent: re-saving an identical model
+// rewrites the same two files with the same bytes (modulo
+// CreatedAt/Source in the manifest, which record the latest save).
+// The model file is committed before the manifest, so a manifest on
+// disk always names a complete model.
+func (s *Store) Save(art *Artifact, meta Meta) (Manifest, error) {
+	if art == nil || art.Classifier == nil {
+		return Manifest{}, fmt.Errorf("registry: nil artifact")
+	}
+	if err := art.Classifier.Validate(); err != nil {
+		return Manifest{}, fmt.Errorf("registry: refusing to store invalid artifact: %w", err)
+	}
+	id, err := ID(art)
+	if err != nil {
+		return Manifest{}, err
+	}
+	man := Manifest{
+		ID:        id,
+		CreatedAt: time.Now().UTC().Truncate(time.Second),
+		Engine:    meta.Engine,
+		Seed:      meta.Seed,
+		TrainSize: meta.TrainSize,
+		Labels:    meta.Labels,
+		VocabHash: art.Classifier.VocabHash(),
+		Parent:    meta.Parent,
+		Source:    meta.Source,
+	}
+	modelBuf, err := canonicalJSON(art)
+	if err != nil {
+		return Manifest{}, err
+	}
+	manBuf, err := json.MarshalIndent(man, "", "  ")
+	if err != nil {
+		return Manifest{}, fmt.Errorf("registry: marshal manifest: %w", err)
+	}
+	if err := durable.WriteFileAtomic(s.fs, s.modelPath(id), modelBuf); err != nil {
+		return Manifest{}, err
+	}
+	if err := durable.WriteFileAtomic(s.fs, s.manifestPath(id), manBuf); err != nil {
+		return Manifest{}, err
+	}
+	return man, nil
+}
+
+// Load reads a model by ID, verifying the stored bytes still hash to
+// the name they were stored under — a registry must detect its own
+// bit rot, not serve it.
+func (s *Store) Load(id string) (*Artifact, Manifest, error) {
+	manBuf, err := s.fs.ReadFile(s.manifestPath(id))
+	if err != nil {
+		return nil, Manifest{}, fmt.Errorf("registry: model %s: %w", id, err)
+	}
+	var man Manifest
+	if err := json.Unmarshal(manBuf, &man); err != nil {
+		return nil, Manifest{}, fmt.Errorf("registry: manifest %s corrupt: %w", id, err)
+	}
+	modelBuf, err := s.fs.ReadFile(s.modelPath(id))
+	if err != nil {
+		return nil, Manifest{}, fmt.Errorf("registry: model %s: %w", id, err)
+	}
+	sum := sha256.Sum256(modelBuf)
+	if got := hex.EncodeToString(sum[:])[:16]; got != id {
+		return nil, Manifest{}, fmt.Errorf("registry: model %s content hash %s does not match its ID (artifact corrupted)", id, got)
+	}
+	var art Artifact
+	if err := json.Unmarshal(modelBuf, &art); err != nil {
+		return nil, Manifest{}, fmt.Errorf("registry: model %s corrupt: %w", id, err)
+	}
+	if art.Classifier == nil {
+		return nil, Manifest{}, fmt.Errorf("registry: model %s has no classifier", id)
+	}
+	if err := art.Classifier.Validate(); err != nil {
+		return nil, Manifest{}, fmt.Errorf("registry: model %s invalid: %w", id, err)
+	}
+	return &art, man, nil
+}
+
+// List returns every complete (manifest-committed) model's manifest,
+// newest first; ties break by ID for determinism. Orphan model files
+// without a manifest — a crash between Save's two writes — are
+// skipped.
+func (s *Store) List() ([]Manifest, error) {
+	names, err := s.fs.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("registry: listing %s: %w", s.dir, err)
+	}
+	var out []Manifest
+	for _, name := range names {
+		id, ok := strings.CutSuffix(name, ".manifest.json")
+		if !ok {
+			continue
+		}
+		buf, err := s.fs.ReadFile(s.manifestPath(id))
+		if err != nil {
+			continue // racing delete; skip
+		}
+		var man Manifest
+		if err := json.Unmarshal(buf, &man); err != nil {
+			continue // torn manifest never commits a model
+		}
+		out = append(out, man)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].CreatedAt.Equal(out[j].CreatedAt) {
+			return out[i].CreatedAt.After(out[j].CreatedAt)
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out, nil
+}
+
+func (s *Store) modelPath(id string) string    { return s.dir + "/" + id + ".model.json" }
+func (s *Store) manifestPath(id string) string { return s.dir + "/" + id + ".manifest.json" }

@@ -1,0 +1,168 @@
+package registry
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/baseline"
+)
+
+func testArtifact() *Artifact {
+	return &Artifact{
+		Classifier: &baseline.LRArtifact{
+			NumClasses: 2,
+			Vocab:      []string{"feel", "hopeless", "feel_hopeless"},
+			IDF:        []float64{1.2, 2.1, 2.4},
+			Weights:    []float64{0.1, -0.1, -0.5, 0.5, -0.6, 0.6},
+			Bias:       []float64{0.05, -0.05},
+		},
+		Calibration: &Calibration{A: -3.2, B: 1.1},
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	st, err := Open(t.TempDir(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	art := testArtifact()
+	man, err := st.Save(art, Meta{Engine: "baseline", Seed: 7, TrainSize: 2400, Labels: []string{"control", "depression"}, Source: "boot"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.ID == "" || len(man.ID) != 16 {
+		t.Fatalf("bad ID %q", man.ID)
+	}
+	if man.VocabHash != art.Classifier.VocabHash() {
+		t.Fatal("manifest vocab hash mismatch")
+	}
+	got, gotMan, err := st.Load(man.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotMan.Engine != "baseline" || gotMan.Seed != 7 || gotMan.TrainSize != 2400 || gotMan.Source != "boot" {
+		t.Fatalf("manifest provenance lost: %+v", gotMan)
+	}
+	if got.Calibration == nil || got.Calibration.A != -3.2 || got.Calibration.B != 1.1 {
+		t.Fatalf("calibration lost: %+v", got.Calibration)
+	}
+	if len(got.Classifier.Vocab) != 3 || got.Classifier.Vocab[2] != "feel_hopeless" {
+		t.Fatalf("classifier lost: %+v", got.Classifier)
+	}
+	if _, err := baseline.LoadLogisticRegression(got.Classifier); err != nil {
+		t.Fatalf("loaded artifact not servable: %v", err)
+	}
+}
+
+func TestContentAddressing(t *testing.T) {
+	st, err := Open(t.TempDir(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := testArtifact()
+	m1, err := st.Save(a, Meta{Source: "first"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identical model saves to the identical ID (idempotent).
+	m2, err := st.Save(testArtifact(), Meta{Source: "second"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.ID != m2.ID {
+		t.Fatalf("identical artifacts got different IDs: %s vs %s", m1.ID, m2.ID)
+	}
+	// A different model gets a different ID.
+	b := testArtifact()
+	b.Classifier.Weights[0] = 0.2
+	m3, err := st.Save(b, Meta{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m3.ID == m1.ID {
+		t.Fatal("distinct artifacts collided")
+	}
+	list, err := st.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 2 {
+		t.Fatalf("List = %d entries, want 2", len(list))
+	}
+}
+
+func TestLoadDetectsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	man, err := st.Save(testArtifact(), Meta{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, man.ID+".model.json")
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a digit inside the weights: still valid JSON, wrong hash.
+	mut := strings.Replace(string(buf), "0.1", "0.9", 1)
+	if mut == string(buf) {
+		t.Fatal("mutation did not apply")
+	}
+	if err := os.WriteFile(path, []byte(mut), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := st.Load(man.ID); err == nil || !strings.Contains(err.Error(), "hash") {
+		t.Fatalf("corrupted model loaded without a hash error: %v", err)
+	}
+}
+
+func TestOrphanModelSkippedByList(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Save(testArtifact(), Meta{}); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash between the model write and the manifest write.
+	if err := os.WriteFile(filepath.Join(dir, "deadbeefdeadbeef.model.json"), []byte(`{}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	list, err := st.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 1 {
+		t.Fatalf("orphan model surfaced in List: %d entries", len(list))
+	}
+	if _, _, err := st.Load("deadbeefdeadbeef"); err == nil {
+		t.Fatal("orphan model loaded without its manifest")
+	}
+}
+
+func TestSaveRejectsInvalidArtifact(t *testing.T) {
+	st, err := Open(t.TempDir(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Save(nil, Meta{}); err == nil {
+		t.Error("nil artifact accepted")
+	}
+	bad := testArtifact()
+	bad.Classifier.IDF = bad.Classifier.IDF[:1]
+	if _, err := st.Save(bad, Meta{}); err == nil {
+		t.Error("invalid artifact accepted")
+	}
+}
+
+func TestOpenValidation(t *testing.T) {
+	if _, err := Open("", nil); err == nil {
+		t.Error("empty dir accepted")
+	}
+}

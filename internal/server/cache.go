@@ -122,6 +122,23 @@ func (c *Cache) Put(key string, rep mhd.Report) {
 	s.entries[key] = s.order.PushFront(&cacheEntry{key: key, rep: rep})
 }
 
+// Purge discards every cached report. Called on model promotion:
+// cached reports carry the retired model's scores, and serving them
+// after the swap would let stale verdicts outlive the model that
+// produced them.
+func (c *Cache) Purge() {
+	if c == nil {
+		return
+	}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		s.order.Init()
+		s.entries = make(map[string]*list.Element)
+		s.mu.Unlock()
+	}
+}
+
 // Len returns the number of cached reports across all shards.
 func (c *Cache) Len() int {
 	if c == nil {

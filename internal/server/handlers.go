@@ -42,6 +42,12 @@ type WireReport struct {
 	Rewrites   int  `json:"hardening_rewrites,omitempty"`
 	// Cached marks a report served from the result cache.
 	Cached bool `json:"cached,omitempty"`
+	// ModelVersion identifies the model that was active when this
+	// report was written (stamped at response time; empty when the
+	// server runs unversioned). The cache is purged on promotion, so
+	// a cached report never carries a newer version than the model
+	// that scored it.
+	ModelVersion string `json:"model_version,omitempty"`
 }
 
 func toWire(rep mhd.Report, withScores, cached bool) WireReport {
@@ -59,6 +65,13 @@ func toWire(rep mhd.Report, withScores, cached bool) WireReport {
 	if withScores {
 		w.Scores = rep.Scores
 	}
+	return w
+}
+
+// wire is toWire plus the response-time model-version stamp.
+func (s *Server) wire(rep mhd.Report, withScores, cached bool) WireReport {
+	w := toWire(rep, withScores, cached)
+	w.ModelVersion = s.ModelVersion()
 	return w
 }
 
@@ -199,7 +212,7 @@ func (s *Server) handleScreen(w http.ResponseWriter, r *http.Request) {
 	if hit {
 		s.metrics.CacheHits.Inc()
 		sp.Annotate("cache", "hit")
-		writeJSON(w, http.StatusOK, toWire(rep, req.Scores, true))
+		writeJSON(w, http.StatusOK, s.wire(rep, req.Scores, true))
 		return
 	}
 	s.metrics.CacheMisses.Inc()
@@ -220,7 +233,7 @@ func (s *Server) handleScreen(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.cache.Put(key, rep)
-	writeJSON(w, http.StatusOK, toWire(rep, req.Scores, false))
+	writeJSON(w, http.StatusOK, s.wire(rep, req.Scores, false))
 }
 
 // handleScreenBatch serves POST /v1/screen/batch: the posts already
@@ -243,7 +256,7 @@ func (s *Server) handleScreenBatch(w http.ResponseWriter, r *http.Request) {
 		keys[i] = textkit.Normalize(p)
 		if rep, ok := s.cache.Get(keys[i]); ok {
 			s.metrics.CacheHits.Inc()
-			out[i] = toWire(rep, req.Scores, true)
+			out[i] = s.wire(rep, req.Scores, true)
 			continue
 		}
 		s.metrics.CacheMisses.Inc()
@@ -305,7 +318,7 @@ func (s *Server) handleScreenBatch(w http.ResponseWriter, r *http.Request) {
 		for j, key := range missKeys {
 			s.cache.Put(key, reps[j])
 			for _, i := range missIdx[key] {
-				out[i] = toWire(reps[j], req.Scores, false)
+				out[i] = s.wire(reps[j], req.Scores, false)
 			}
 		}
 	}
@@ -498,6 +511,24 @@ func (s *Server) handleDebugTraces(w http.ResponseWriter, r *http.Request) {
 		slow = []*obs.Trace{}
 	}
 	writeJSON(w, http.StatusOK, debugTracesResponse{Recent: recent, Slow: slow})
+}
+
+// handleAdminPromote serves POST /admin/promote: hot-swap the staged
+// shadow candidate into the active slot. 501 when shadow deployment
+// is not enabled, 409 when no candidate is staged (including a repeat
+// promote — the candidate slot empties on promotion).
+func (s *Server) handleAdminPromote(w http.ResponseWriter, r *http.Request) {
+	res, err := s.Promote()
+	switch {
+	case errors.Is(err, ErrNoShadow):
+		writeError(w, http.StatusNotImplemented, err.Error())
+	case errors.Is(err, ErrNoCandidate):
+		writeError(w, http.StatusConflict, err.Error())
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, err.Error())
+	default:
+		writeJSON(w, http.StatusOK, res)
+	}
 }
 
 // handleMetrics serves GET /metrics in Prometheus text format. The

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	mhd "repro"
+	"repro/internal/drift"
 	"repro/internal/llm"
 	"repro/internal/obs"
 	"repro/internal/session"
@@ -193,6 +194,22 @@ type Metrics struct {
 	HardeningSuspicious Counter // posts flagged suspicious
 	HardeningEscalated  Counter // suspicious posts escalated on suspicion alone
 
+	// Shadow-deployment metrics; fed by the shadow wrapper and the
+	// promote/refit paths. Rendered (with the drift gauges) only when
+	// DriftStats is non-nil — the server sets it when a Shadow config
+	// is present.
+	ShadowScored        Counter // posts scored by the shadow candidate
+	ShadowDropped       Counter // shadow jobs dropped under load or error
+	ShadowDisagreements Counter // candidate verdict != served verdict
+	Promotions          Counter // candidate promotions applied
+	Refits              Counter // calibration refits applied
+	RefitFailures       Counter // refit attempts that kept the old scaler
+
+	// DriftStats, when non-nil, supplies the drift/shadow snapshot
+	// rendered as the mh_drift_* / mh_shadow_* series at scrape time
+	// (the model slots' own drift detectors are the source of truth).
+	DriftStats func() DriftStats
+
 	// Stages, when non-nil (EnableStages; the server enables it with
 	// tracing), holds the per-stage latency histograms rendered as the
 	// labeled mh_stage_duration_seconds family. They are fed by
@@ -212,7 +229,7 @@ type Metrics struct {
 // series).
 var endpoints = []string{"screen", "screen_batch", "assess",
 	"user_observe", "user_risk", "user_delete", "healthz", "metrics",
-	"debug_traces"}
+	"debug_traces", "admin_promote"}
 
 // codeClasses are the labeled response counters.
 var codeClasses = []string{"2xx", "4xx", "5xx"}
@@ -242,7 +259,8 @@ func NewMetrics() *Metrics {
 var stageNames = []string{"admission", "cache_lookup", "coalesce_queue",
 	"screen", "harden", "adjudication_wait", "adjudication",
 	"session_observe", "session_signal", "session_fold",
-	"wal_append", "checkpoint", "recovery"}
+	"wal_append", "checkpoint", "recovery",
+	"shadow_score", "refit", "promote"}
 
 // EnableStages switches the per-stage latency histograms on. Stage
 // spans range from sub-microsecond map touches (cache_lookup) to
@@ -306,6 +324,30 @@ func (m *Metrics) CascadeEscalationRate() float64 {
 		return 0
 	}
 	return float64(escalated) / float64(screened)
+}
+
+// DriftStats is the scrape-time snapshot of the drift/shadow state:
+// the active model's drift against its training-time reference, and —
+// when a candidate is staged — the candidate's own drift plus the
+// candidate-vs-active window divergence.
+type DriftStats struct {
+	// ActiveVersion identifies the model currently serving verdicts.
+	ActiveVersion string
+	// Active is the active model's drift snapshot (zero when the
+	// active model carries no drift detector).
+	Active drift.Status
+	// HasCandidate reports whether a shadow candidate is staged.
+	HasCandidate bool
+	// CandidateVersion identifies the staged candidate, empty without
+	// one.
+	CandidateVersion string
+	// Candidate is the candidate's drift snapshot against its own
+	// reference distribution.
+	Candidate drift.Status
+	// Divergence is the PSI between the active and candidate live
+	// score windows — how differently the two models see the same
+	// traffic.
+	Divergence float64
 }
 
 // ObserveBatch records one coalescer flush of n posts.
@@ -396,6 +438,49 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 			fmt.Fprintf(cw, "mh_cascade_adjudicator_tokens_total{dir=\"out\"} %d\n", u.TokensOut)
 			writeHeader("mh_cascade_adjudicator_cost_usd", "Cumulative adjudicator spend in USD.", "counter")
 			fmt.Fprintf(cw, "mh_cascade_adjudicator_cost_usd %g\n", u.CostUSD)
+		}
+	}
+
+	if m.DriftStats != nil {
+		ds := m.DriftStats()
+		b2i := func(b bool) int {
+			if b {
+				return 1
+			}
+			return 0
+		}
+		writeHeader("mh_drift_psi", "Population stability index of live stage-1 scores vs the active model's training-time reference.", "gauge")
+		fmt.Fprintf(cw, "mh_drift_psi %g\n", ds.Active.PSI)
+		writeHeader("mh_drift_ks", "Kolmogorov-Smirnov statistic of live stage-1 scores vs the active model's reference.", "gauge")
+		fmt.Fprintf(cw, "mh_drift_ks %g\n", ds.Active.KS)
+		writeHeader("mh_drift_alarm", "1 once the active model's drift crossed the alarm threshold (latched).", "gauge")
+		fmt.Fprintf(cw, "mh_drift_alarm %d\n", b2i(ds.Active.Alarm))
+		writeHeader("mh_drift_window_posts", "Posts currently held in the active model's drift window.", "gauge")
+		fmt.Fprintf(cw, "mh_drift_window_posts %d\n", ds.Active.Samples)
+		writeHeader("mh_shadow_drift_psi", "PSI of the shadow candidate's live scores vs its own reference (0 without a candidate).", "gauge")
+		fmt.Fprintf(cw, "mh_shadow_drift_psi %g\n", ds.Candidate.PSI)
+		writeHeader("mh_shadow_drift_ks", "KS statistic of the shadow candidate's live scores vs its own reference (0 without a candidate).", "gauge")
+		fmt.Fprintf(cw, "mh_shadow_drift_ks %g\n", ds.Candidate.KS)
+		writeHeader("mh_shadow_divergence_psi", "PSI between the active and candidate live score windows (0 without a candidate).", "gauge")
+		fmt.Fprintf(cw, "mh_shadow_divergence_psi %g\n", ds.Divergence)
+		writeHeader("mh_shadow_staged", "1 while a shadow candidate is staged for promotion.", "gauge")
+		fmt.Fprintf(cw, "mh_shadow_staged %d\n", b2i(ds.HasCandidate))
+		writeHeader("mh_shadow_scored_total", "Posts scored by the shadow candidate alongside the active model.", "counter")
+		fmt.Fprintf(cw, "mh_shadow_scored_total %d\n", m.ShadowScored.Value())
+		writeHeader("mh_shadow_dropped_total", "Posts whose shadow scoring was skipped (queue full or candidate error).", "counter")
+		fmt.Fprintf(cw, "mh_shadow_dropped_total %d\n", m.ShadowDropped.Value())
+		writeHeader("mh_shadow_disagreements_total", "Shadow-scored posts where the candidate's verdict differed from the served one.", "counter")
+		fmt.Fprintf(cw, "mh_shadow_disagreements_total %d\n", m.ShadowDisagreements.Value())
+		writeHeader("mh_model_promotions_total", "Shadow candidates promoted to active.", "counter")
+		fmt.Fprintf(cw, "mh_model_promotions_total %d\n", m.Promotions.Value())
+		writeHeader("mh_calibration_refits_total", "Platt calibration refits applied from adjudication labels.", "counter")
+		fmt.Fprintf(cw, "mh_calibration_refits_total %d\n", m.Refits.Value())
+		writeHeader("mh_calibration_refit_failures_total", "Refit attempts that kept the old scaler (degenerate label split).", "counter")
+		fmt.Fprintf(cw, "mh_calibration_refit_failures_total %d\n", m.RefitFailures.Value())
+		writeHeader("mh_model_info", "Versions of the serving and staged models (value is always 1; identity lives in the labels).", "gauge")
+		fmt.Fprintf(cw, "mh_model_info{slot=\"active\",version=%q} 1\n", ds.ActiveVersion)
+		if ds.HasCandidate {
+			fmt.Fprintf(cw, "mh_model_info{slot=\"candidate\",version=%q} 1\n", ds.CandidateVersion)
 		}
 	}
 

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	mhd "repro"
+	"repro/internal/llm"
 	"repro/internal/obs"
 )
 
@@ -83,6 +84,12 @@ type Config struct {
 	// built WithAdjudicator); New panics otherwise — that is a wiring
 	// bug, not a runtime condition.
 	Cascade bool
+	// Shadow, when non-nil, enables the drift/shadow deployment layer:
+	// the serving model's scores feed a drift detector, an optionally
+	// staged candidate shadow-scores every request, and Promote (or
+	// POST /admin/promote) hot-swaps the candidate in. See
+	// ShadowConfig.
+	Shadow *ShadowConfig
 	// TraceSample enables request tracing on the latency-observed
 	// endpoints: 1 in every TraceSample requests is head-sampled into
 	// a recorded trace (1 traces everything; 0, the default, disables
@@ -147,6 +154,12 @@ type Server struct {
 	janitorDone chan struct{}
 	stopOnce    sync.Once
 
+	// Shadow deployment; all nil when Config.Shadow is nil.
+	shadow    *shadowScreener
+	refitStop chan struct{}
+	refitDone chan struct{}
+	refitOnce sync.Once
+
 	// cascadeCancel aborts the cascade adapter's base context; nil
 	// when cascade mode is off. Shutdown arms it on the drain budget
 	// so in-flight LLM adjudications cannot outlive the drain.
@@ -160,15 +173,53 @@ type Server struct {
 func New(det Screener, mon Assessor, cfg Config) *Server {
 	m := NewMetrics()
 	var cascadeCancel context.CancelFunc
+	var cascadeBase context.Context
 	if cfg.Cascade {
 		cs, ok := det.(CascadeScreener)
 		if !ok || !cs.HasCascade() {
 			panic("server: Config.Cascade set but the Screener has no cascade (build the detector WithAdjudicator)")
 		}
 		m.EnableCascade(cs.AdjudicatorUsage)
-		base, cancel := context.WithCancel(context.Background())
-		cascadeCancel = cancel
-		det = cascadeScreener{det: cs, m: m, base: base}
+		cascadeBase, cascadeCancel = context.WithCancel(context.Background())
+		det = cascadeScreener{det: cs, m: m, base: cascadeBase}
+	}
+	// The shadow wrapper slots in between the (possibly cascade-
+	// wrapped) detector and the coalescer, so every screen path —
+	// coalesced singles, the batch endpoint, per-post fallbacks —
+	// feeds drift and shadow scoring exactly once.
+	var shadow *shadowScreener
+	if sc := cfg.Shadow; sc != nil {
+		active := &modelSlot{serve: det, version: sc.ActiveVersion,
+			drift: sc.ActiveDrift, refit: sc.ActiveRefit}
+		var cand *modelSlot
+		if sc.Candidate != nil {
+			serve := sc.Candidate.Screener
+			if cfg.Cascade {
+				cs, ok := serve.(CascadeScreener)
+				if !ok || !cs.HasCascade() {
+					panic("server: cascade mode with a shadow candidate that has no cascade (build the candidate WithAdjudicator)")
+				}
+				serve = cascadeScreener{det: cs, m: m, base: cascadeBase}
+			}
+			cand = &modelSlot{serve: serve, score: sc.Candidate.Screener,
+				version: sc.Candidate.Version, drift: sc.Candidate.Drift,
+				refit: sc.Candidate.Refit}
+		}
+		shadow = newShadowScreener(active, cand, sc.buffer(), m)
+		det = shadow
+		m.DriftStats = shadow.stats
+		if cfg.Cascade {
+			// Adjudicator token accounting must follow promotions:
+			// read whichever model is active at scrape time.
+			m.CascadeUsage = func() llm.Usage {
+				if a := shadow.active.Load(); a != nil {
+					if csw, ok := a.serve.(cascadeScreener); ok {
+						return csw.det.AdjudicatorUsage()
+					}
+				}
+				return llm.Usage{}
+			}
+		}
 	}
 	s := &Server{
 		det:     det,
@@ -179,7 +230,13 @@ func New(det Screener, mon Assessor, cfg Config) *Server {
 		metrics: m,
 		start:   time.Now(),
 
+		shadow:        shadow,
 		cascadeCancel: cascadeCancel,
+	}
+	if sc := cfg.Shadow; sc != nil && sc.RefitEvery > 0 {
+		s.refitStop = make(chan struct{})
+		s.refitDone = make(chan struct{})
+		go s.refitLoop(sc.RefitEvery, sc.refitMinLabels())
 	}
 	if cfg.TraceSample > 0 {
 		m.EnableStages()
@@ -260,6 +317,15 @@ func (s *Server) stopJanitor() {
 	<-s.janitorDone
 }
 
+// stopRefit stops the calibration refit loop; safe to call repeatedly.
+func (s *Server) stopRefit() {
+	if s.refitStop == nil {
+		return
+	}
+	s.refitOnce.Do(func() { close(s.refitStop) })
+	<-s.refitDone
+}
+
 // Metrics exposes the server's metric set (for tests and embedding).
 func (s *Server) Metrics() *Metrics { return s.metrics }
 
@@ -273,6 +339,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/users/{id}/posts", s.instrument("user_observe", http.MethodPost, true, s.handleUserObserve))
 	mux.HandleFunc("/v1/users/{id}/risk", s.instrument("user_risk", http.MethodGet, true, s.handleUserRisk))
 	mux.HandleFunc("/v1/users/{id}", s.instrument("user_delete", http.MethodDelete, true, s.handleUserDelete))
+	mux.HandleFunc("/admin/promote", s.instrument("admin_promote", http.MethodPost, false, s.handleAdminPromote))
 	mux.HandleFunc("/healthz", s.instrument("healthz", http.MethodGet, false, s.handleHealthz))
 	mux.HandleFunc("/metrics", s.instrument("metrics", http.MethodGet, false, s.handleMetrics))
 	mux.HandleFunc("/debug/traces", s.instrument("debug_traces", http.MethodGet, false, s.handleDebugTraces))
@@ -373,6 +440,7 @@ func (s *Server) Start(addr string) (string, <-chan error, error) {
 // snapshot it consistently.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.stopJanitor()
+	s.stopRefit()
 	var err error
 	if s.http != nil {
 		err = s.http.Shutdown(ctx)
@@ -389,6 +457,11 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 	if cerr := s.coal.CloseContext(ctx); err == nil {
 		err = cerr
+	}
+	if s.shadow != nil {
+		// After the coalescer drain: late enqueues just land on the
+		// drop counter once the worker is gone.
+		s.shadow.close()
 	}
 	return err
 }

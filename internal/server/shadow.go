@@ -1,0 +1,389 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	mhd "repro"
+	"repro/internal/drift"
+)
+
+// This file is the shadow-deployment layer: a wrapper between the
+// coalescer and the detector that (a) feeds every served verdict's
+// top score into the active model's drift detector, (b) asynchronously
+// scores the same posts with a staged candidate model — recorded,
+// never served — and (c) hot-swaps the candidate into the active slot
+// on an explicit promote, behind an atomic pointer so in-flight
+// requests, sessions, and the coalescer are untouched.
+
+// ErrNoShadow is returned by Promote when the server was built
+// without a Shadow config.
+var ErrNoShadow = errors.New("server: shadow deployment not enabled")
+
+// ErrNoCandidate is returned by Promote when no candidate is staged
+// (including immediately after a successful promote — the candidate
+// slot empties on promotion).
+var ErrNoCandidate = errors.New("server: no shadow candidate staged")
+
+// Refitter is the calibration-refit surface of a model; *mhd.Detector
+// built WithAdjudicator satisfies it.
+type Refitter interface {
+	RefitCalibration(minLabels int) (int, error)
+}
+
+// Model describes one deployable model for shadow configuration.
+type Model struct {
+	// Screener is the model's stage-1 screening surface.
+	Screener Screener
+	// Version identifies the model in /metrics and report stamps
+	// (typically the registry content address).
+	Version string
+	// Drift, when non-nil, compares the model's live scores against
+	// its training-time reference distribution.
+	Drift *drift.Detector
+	// Refit, when non-nil, lets the periodic refit loop recalibrate
+	// the model while it is active.
+	Refit Refitter
+}
+
+// ShadowConfig enables the drift/shadow layer. The "active" fields
+// describe the Screener passed to New (which keeps serving); Candidate
+// optionally stages a second model that shadow-scores the same
+// traffic until promoted.
+type ShadowConfig struct {
+	// ActiveVersion labels the serving model; stamped into every
+	// report's model_version field.
+	ActiveVersion string
+	// ActiveDrift, when non-nil, watches the serving model's score
+	// distribution (mh_drift_psi / mh_drift_ks).
+	ActiveDrift *drift.Detector
+	// ActiveRefit, when non-nil, is recalibrated by the refit loop.
+	ActiveRefit Refitter
+	// Candidate, when non-nil, is shadow-deployed: it scores every
+	// request alongside the active model without ever serving, until
+	// Promote swaps it in. In cascade mode the candidate must also be
+	// a CascadeScreener with an armed cascade (it serves through the
+	// cascade once promoted); New panics otherwise, the same wiring
+	// contract as Config.Cascade itself.
+	Candidate *Model
+	// Buffer bounds the queue of pending shadow-scoring jobs
+	// (default 128 batches). When full, jobs are dropped and counted
+	// in mh_shadow_dropped_total — shadow scoring must never add
+	// latency or backpressure to serving.
+	Buffer int
+	// RefitEvery, when positive, refits the active model's Platt
+	// calibration from buffered adjudication labels on this cadence.
+	RefitEvery time.Duration
+	// RefitMinLabels is the minimum label count a refit needs
+	// (default 200).
+	RefitMinLabels int
+}
+
+func (c *ShadowConfig) buffer() int {
+	if c.Buffer <= 0 {
+		return 128
+	}
+	return c.Buffer
+}
+
+func (c *ShadowConfig) refitMinLabels() int {
+	if c.RefitMinLabels <= 0 {
+		return 200
+	}
+	return c.RefitMinLabels
+}
+
+// modelSlot is one deployed model as the wrapper sees it. Promotion
+// swaps whole slots, so a model's drift detector, refit hook, and
+// version travel with its weights atomically.
+type modelSlot struct {
+	// serve is what the coalescer path calls while this slot is
+	// active (cascade-wrapped in cascade mode).
+	serve Screener
+	// score is the raw stage-1 surface used for shadow scoring while
+	// this slot is the candidate — deliberately not the cascade: the
+	// shadow must not spend adjudicator budget or pollute the
+	// mh_cascade_* counters with traffic that is never served.
+	score   Screener
+	version string
+	drift   *drift.Detector
+	refit   Refitter
+}
+
+// shadowJob is one served batch queued for candidate scoring: the
+// texts plus the verdicts that were actually served, for the
+// disagreement counter.
+type shadowJob struct {
+	texts []string
+	conds []mhd.Disorder
+}
+
+// shadowScreener wraps the serving Screener with drift observation
+// and asynchronous candidate scoring. It sits between the coalescer
+// and the detector, so every screen path — coalesced singles, batch
+// endpoint, per-post fallback — flows through it exactly once.
+type shadowScreener struct {
+	m         *Metrics
+	active    atomic.Pointer[modelSlot]
+	candidate atomic.Pointer[modelSlot]
+
+	jobs chan shadowJob
+	// base bounds in-flight candidate scoring; cancelled on close so
+	// a slow candidate cannot wedge shutdown.
+	base       context.Context
+	baseCancel context.CancelFunc
+	closeOnce  sync.Once
+	done       chan struct{}
+}
+
+func newShadowScreener(active, candidate *modelSlot, buffer int, m *Metrics) *shadowScreener {
+	base, cancel := context.WithCancel(context.Background())
+	sh := &shadowScreener{
+		m:          m,
+		jobs:       make(chan shadowJob, buffer),
+		base:       base,
+		baseCancel: cancel,
+		done:       make(chan struct{}),
+	}
+	sh.active.Store(active)
+	if candidate != nil {
+		sh.candidate.Store(candidate)
+	}
+	go sh.worker()
+	return sh
+}
+
+// topScore is the drift observable: the served top-softmax score, the
+// same statistic ReferenceScores draws from the training mixture.
+func topScore(rep mhd.Report) float64 {
+	top := 0.0
+	for _, s := range rep.Scores {
+		if s > top {
+			top = s
+		}
+	}
+	return top
+}
+
+// Screen implements Screener (the coalescer's per-post fallback path).
+func (sh *shadowScreener) Screen(text string) (mhd.Report, error) {
+	slot := sh.active.Load()
+	rep, err := slot.serve.Screen(text)
+	if err != nil {
+		return rep, err
+	}
+	sh.observe(slot, rep)
+	sh.enqueue([]string{text}, []mhd.Report{rep})
+	return rep, nil
+}
+
+// ScreenBatchContext implements Screener (the coalescer flush and the
+// batch endpoint).
+func (sh *shadowScreener) ScreenBatchContext(ctx context.Context, texts []string) ([]mhd.Report, error) {
+	slot := sh.active.Load()
+	reps, err := slot.serve.ScreenBatchContext(ctx, texts)
+	if err != nil {
+		return reps, err
+	}
+	for i := range reps {
+		sh.observe(slot, reps[i])
+	}
+	sh.enqueue(texts, reps)
+	return reps, nil
+}
+
+func (sh *shadowScreener) observe(slot *modelSlot, rep mhd.Report) {
+	if slot.drift != nil {
+		slot.drift.Observe(topScore(rep))
+	}
+}
+
+// enqueue stages one served batch for candidate scoring; drops (and
+// counts) when no candidate is staged or the queue is full, never
+// blocking the serving path.
+func (sh *shadowScreener) enqueue(texts []string, reps []mhd.Report) {
+	if sh.candidate.Load() == nil {
+		return
+	}
+	job := shadowJob{
+		texts: append([]string(nil), texts...),
+		conds: make([]mhd.Disorder, len(reps)),
+	}
+	for i := range reps {
+		job.conds[i] = reps[i].Condition
+	}
+	select {
+	case sh.jobs <- job:
+	default:
+		sh.m.ShadowDropped.Add(int64(len(texts)))
+	}
+}
+
+func (sh *shadowScreener) worker() {
+	defer close(sh.done)
+	for {
+		select {
+		case job := <-sh.jobs:
+			sh.scoreJob(job)
+		case <-sh.base.Done():
+			return
+		}
+	}
+}
+
+// scoreJob runs one batch through the candidate: its scores feed the
+// candidate's drift detector and the disagreement counter, nothing
+// else — shadow verdicts are never served, cached, or session-folded.
+func (sh *shadowScreener) scoreJob(job shadowJob) {
+	cand := sh.candidate.Load()
+	if cand == nil {
+		return // promoted or never staged since enqueue
+	}
+	t0 := time.Now()
+	reps, err := cand.score.ScreenBatchContext(sh.base, job.texts)
+	sh.m.ObserveStage("shadow_score", time.Since(t0))
+	if err != nil {
+		sh.m.ShadowDropped.Add(int64(len(job.texts)))
+		return
+	}
+	var disagreed int64
+	for i := range reps {
+		if cand.drift != nil {
+			cand.drift.Observe(topScore(reps[i]))
+		}
+		if reps[i].Condition != job.conds[i] {
+			disagreed++
+		}
+	}
+	sh.m.ShadowScored.Add(int64(len(reps)))
+	sh.m.ShadowDisagreements.Add(disagreed)
+}
+
+// promote moves the candidate into the active slot. The whole slot
+// swaps — weights, version, drift detector, refit hook — so drift
+// tracking and recalibration follow the model, not the deployment.
+// Concurrent promotes are safe: the candidate Swap is the linearization
+// point, the loser gets ErrNoCandidate.
+func (sh *shadowScreener) promote() (old, cur *modelSlot, err error) {
+	cand := sh.candidate.Swap(nil)
+	if cand == nil {
+		return nil, nil, ErrNoCandidate
+	}
+	old = sh.active.Swap(cand)
+	return old, cand, nil
+}
+
+// stats is the Metrics.DriftStats supplier.
+func (sh *shadowScreener) stats() DriftStats {
+	var ds DriftStats
+	a := sh.active.Load()
+	if a != nil {
+		ds.ActiveVersion = a.version
+		if a.drift != nil {
+			ds.Active = a.drift.Snapshot()
+		}
+	}
+	if c := sh.candidate.Load(); c != nil {
+		ds.HasCandidate = true
+		ds.CandidateVersion = c.version
+		if c.drift != nil {
+			ds.Candidate = c.drift.Snapshot()
+		}
+		if a != nil {
+			ds.Divergence = drift.Divergence(a.drift, c.drift)
+		}
+	}
+	return ds
+}
+
+// close stops the worker and aborts in-flight candidate scoring.
+func (sh *shadowScreener) close() {
+	sh.closeOnce.Do(sh.baseCancel)
+	<-sh.done
+}
+
+// PromoteResult reports a completed hot swap.
+type PromoteResult struct {
+	// From and To are the previously-active and newly-active model
+	// versions.
+	From string `json:"from"`
+	To   string `json:"to"`
+}
+
+// Promote hot-swaps the staged shadow candidate into the active slot:
+// subsequent requests are served (and version-stamped) by the
+// promoted model while in-flight requests finish on the old one.
+// Sessions, the coalescer, and admission state are untouched; the
+// result cache is purged because its reports carry the retired
+// model's scores.
+func (s *Server) Promote() (PromoteResult, error) {
+	if s.shadow == nil {
+		return PromoteResult{}, ErrNoShadow
+	}
+	t0 := time.Now()
+	old, cur, err := s.shadow.promote()
+	if err != nil {
+		return PromoteResult{}, err
+	}
+	s.cache.Purge()
+	s.metrics.Promotions.Inc()
+	s.metrics.ObserveStage("promote", time.Since(t0))
+	res := PromoteResult{To: cur.version}
+	if old != nil {
+		res.From = old.version
+	}
+	return res, nil
+}
+
+// ModelVersion returns the version of the currently serving model
+// (empty when the server runs unversioned, i.e. without a Shadow
+// config).
+func (s *Server) ModelVersion() string {
+	if s.shadow == nil {
+		return ""
+	}
+	if a := s.shadow.active.Load(); a != nil {
+		return a.version
+	}
+	return ""
+}
+
+// refitLoop periodically refits the active model's calibration from
+// its buffered adjudication labels. Runs until Shutdown.
+func (s *Server) refitLoop(every time.Duration, minLabels int) {
+	defer close(s.refitDone)
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			s.runRefit(minLabels)
+		case <-s.refitStop:
+			return
+		}
+	}
+}
+
+// runRefit performs one refit pass on whichever model is active right
+// now; a skipped refit (buffer not yet full enough) counts as
+// neither success nor failure.
+func (s *Server) runRefit(minLabels int) {
+	slot := s.shadow.active.Load()
+	if slot == nil || slot.refit == nil {
+		return
+	}
+	t0 := time.Now()
+	_, err := slot.refit.RefitCalibration(minLabels)
+	s.metrics.ObserveStage("refit", time.Since(t0))
+	switch {
+	case err == nil:
+		s.metrics.Refits.Inc()
+	case errors.Is(err, mhd.ErrRefitSkipped):
+		// Not enough labels yet; try again next tick.
+	default:
+		s.metrics.RefitFailures.Inc()
+	}
+}

@@ -1,0 +1,360 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	mhd "repro"
+	"repro/internal/drift"
+)
+
+// shadowFake is a Screener whose verdict and top score are fixed, so
+// tests can stage two models that visibly disagree and drive the
+// drift detectors deterministically.
+type shadowFake struct {
+	mu    sync.Mutex
+	cond  mhd.Disorder
+	score float64
+	calls int
+}
+
+func (f *shadowFake) rep() mhd.Report {
+	f.mu.Lock()
+	f.calls++
+	cond, score := f.cond, f.score
+	f.mu.Unlock()
+	return mhd.Report{
+		Condition:  cond,
+		Confidence: score,
+		Scores:     map[string]float64{cond.String(): score},
+	}
+}
+
+func (f *shadowFake) Screen(text string) (mhd.Report, error) { return f.rep(), nil }
+
+func (f *shadowFake) ScreenBatchContext(ctx context.Context, texts []string) ([]mhd.Report, error) {
+	reps := make([]mhd.Report, len(texts))
+	for i := range reps {
+		reps[i] = f.rep()
+	}
+	return reps, nil
+}
+
+func (f *shadowFake) callCount() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.calls
+}
+
+// uniformRef is a reference score sample spread over (0, 1), enough
+// for any bin count a test uses.
+func uniformRef(n int) []float64 {
+	ref := make([]float64, n)
+	for i := range ref {
+		ref[i] = (float64(i) + 0.5) / float64(n)
+	}
+	return ref
+}
+
+func mustDrift(t *testing.T, cfg drift.Config) *drift.Detector {
+	t.Helper()
+	d, err := drift.New(uniformRef(64), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func TestShadowScoresAndPromotes(t *testing.T) {
+	active := &shadowFake{cond: mhd.Control, score: 0.9}
+	cand := &shadowFake{cond: mhd.Depression, score: 0.6}
+	dcfg := drift.Config{Bins: 8, Window: 64, MinSamples: 4, Alarm: -1}
+	s, ts := newTestServer(t, &fakeScreener{}, Config{}) // unrelated server: promote must 501
+	_ = s
+	code, _ := doPost(t, ts.URL+"/admin/promote", map[string]any{})
+	if code != http.StatusNotImplemented {
+		t.Fatalf("promote without shadow: status %d, want 501", code)
+	}
+
+	sh := New(active, nil, Config{
+		MaxBatch: 1, MaxDelay: time.Millisecond, CacheSize: 64,
+		Shadow: &ShadowConfig{
+			ActiveVersion: "v1",
+			ActiveDrift:   mustDrift(t, dcfg),
+			Candidate: &Model{
+				Screener: cand,
+				Version:  "v2",
+				Drift:    mustDrift(t, dcfg),
+			},
+		},
+	})
+	hs := newHTTPServer(t, sh)
+
+	const posts = 8
+	for i := 0; i < posts; i++ {
+		code, body := doPost(t, hs.URL+"/v1/screen", map[string]any{"text": fmt.Sprintf("post number %d", i)})
+		if code != http.StatusOK {
+			t.Fatalf("screen %d: status %d: %s", i, code, body)
+		}
+		var rep WireReport
+		if err := json.Unmarshal([]byte(body), &rep); err != nil {
+			t.Fatal(err)
+		}
+		if rep.ModelVersion != "v1" {
+			t.Fatalf("pre-promote report stamped %q, want v1", rep.ModelVersion)
+		}
+		if rep.Condition != mhd.Control.String() {
+			t.Fatalf("served the candidate's verdict: %q", rep.Condition)
+		}
+	}
+
+	// Shadow scoring is async; every post must eventually be scored by
+	// the candidate, and every one of them disagrees by construction.
+	m := sh.Metrics()
+	waitFor(t, "shadow scoring to drain", func() bool {
+		return m.ShadowScored.Value()+m.ShadowDropped.Value() >= posts
+	})
+	if m.ShadowDropped.Value() > 0 {
+		t.Fatalf("shadow dropped %d posts with an idle queue", m.ShadowDropped.Value())
+	}
+	if got := m.ShadowDisagreements.Value(); got != m.ShadowScored.Value() {
+		t.Fatalf("disagreements %d != scored %d (models always disagree)", got, m.ShadowScored.Value())
+	}
+	if cand.callCount() == 0 {
+		t.Fatal("candidate never scored")
+	}
+
+	ds := m.DriftStats()
+	if ds.ActiveVersion != "v1" || !ds.HasCandidate || ds.CandidateVersion != "v2" {
+		t.Fatalf("drift stats wrong: %+v", ds)
+	}
+	if ds.Active.Samples == 0 || ds.Candidate.Samples == 0 {
+		t.Fatalf("drift windows not fed: %+v", ds)
+	}
+	// Active scores 0.9, candidate 0.6 — the two live windows must
+	// diverge.
+	if ds.Divergence <= 0 {
+		t.Fatalf("divergence %v, want > 0", ds.Divergence)
+	}
+
+	resp, err := http.Get(hs.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	expo, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		`mh_model_info{slot="active",version="v1"} 1`,
+		`mh_model_info{slot="candidate",version="v2"} 1`,
+		"mh_shadow_staged 1",
+		"mh_drift_psi ",
+		"mh_shadow_divergence_psi ",
+		`mh_requests_total{endpoint="admin_promote"}`,
+	} {
+		if !strings.Contains(string(expo), want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+
+	// Warm the cache, then promote: the hot swap must purge it so the
+	// retired model's reports cannot outlive it.
+	doPost(t, hs.URL+"/v1/screen", map[string]any{"text": "warm me"})
+	code, body := doPost(t, hs.URL+"/v1/screen", map[string]any{"text": "warm me"})
+	var cachedRep WireReport
+	if err := json.Unmarshal([]byte(body), &cachedRep); err != nil {
+		t.Fatal(err)
+	}
+	if code != http.StatusOK || !cachedRep.Cached {
+		t.Fatalf("warm-up did not cache: %d %s", code, body)
+	}
+
+	code, body = doPost(t, hs.URL+"/admin/promote", map[string]any{})
+	if code != http.StatusOK {
+		t.Fatalf("promote: status %d: %s", code, body)
+	}
+	var res PromoteResult
+	if err := json.Unmarshal([]byte(body), &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.From != "v1" || res.To != "v2" {
+		t.Fatalf("promote result %+v, want v1 -> v2", res)
+	}
+
+	// The promoted model serves — new verdict, new stamp, cache cold.
+	code, body = doPost(t, hs.URL+"/v1/screen", map[string]any{"text": "warm me"})
+	if code != http.StatusOK {
+		t.Fatalf("post-promote screen: %d: %s", code, body)
+	}
+	var rep WireReport
+	if err := json.Unmarshal([]byte(body), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Cached {
+		t.Fatal("promotion did not purge the result cache")
+	}
+	if rep.ModelVersion != "v2" {
+		t.Fatalf("post-promote report stamped %q, want v2", rep.ModelVersion)
+	}
+	if rep.Condition != mhd.Depression.String() {
+		t.Fatalf("post-promote verdict %q, want the candidate's", rep.Condition)
+	}
+	if m.Promotions.Value() != 1 {
+		t.Fatalf("promotions counter %d, want 1", m.Promotions.Value())
+	}
+
+	// The candidate slot emptied; promoting again conflicts.
+	code, _ = doPost(t, hs.URL+"/admin/promote", map[string]any{})
+	if code != http.StatusConflict {
+		t.Fatalf("second promote: status %d, want 409", code)
+	}
+
+	ds = m.DriftStats()
+	if ds.ActiveVersion != "v2" || ds.HasCandidate {
+		t.Fatalf("post-promote drift stats wrong: %+v", ds)
+	}
+}
+
+// TestShadowDriftAlarm drives the active model's score distribution
+// away from its uniform reference and checks the alarm latches.
+func TestShadowDriftAlarm(t *testing.T) {
+	active := &shadowFake{cond: mhd.Control, score: 0.97}
+	d := mustDrift(t, drift.Config{Bins: 8, Window: 64, MinSamples: 8, Alarm: 0.5})
+	sh := New(active, nil, Config{
+		MaxBatch: 1, MaxDelay: time.Millisecond, CacheSize: -1,
+		Shadow: &ShadowConfig{ActiveVersion: "v1", ActiveDrift: d},
+	})
+	hs := newHTTPServer(t, sh)
+	for i := 0; i < 32; i++ {
+		code, body := doPost(t, hs.URL+"/v1/screen", map[string]any{"text": fmt.Sprintf("shifted %d", i)})
+		if code != http.StatusOK {
+			t.Fatalf("screen: %d: %s", code, body)
+		}
+	}
+	ds := sh.Metrics().DriftStats()
+	if !ds.Active.Alarm {
+		t.Fatalf("constant 0.97 scores vs uniform reference did not alarm: %+v", ds.Active)
+	}
+	resp, err := http.Get(hs.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	expo, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(expo), "mh_drift_alarm 1") {
+		t.Error("mh_drift_alarm not raised in the exposition")
+	}
+}
+
+// stubRefitter counts refit calls and returns a configured error.
+type stubRefitter struct {
+	mu    sync.Mutex
+	calls int
+	err   error
+}
+
+func (r *stubRefitter) RefitCalibration(minLabels int) (int, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.calls++
+	return minLabels, r.err
+}
+
+func TestRefitLoop(t *testing.T) {
+	ref := &stubRefitter{}
+	sh := New(&shadowFake{cond: mhd.Control, score: 0.5}, nil, Config{
+		CacheSize: -1,
+		Shadow: &ShadowConfig{
+			ActiveVersion: "v1",
+			ActiveRefit:   ref,
+			RefitEvery:    2 * time.Millisecond,
+		},
+	})
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		sh.Shutdown(ctx)
+	})
+	m := sh.Metrics()
+	waitFor(t, "a successful refit", func() bool { return m.Refits.Value() >= 1 })
+
+	// A degenerate refit keeps ticking but lands on the failure
+	// counter instead.
+	ref.mu.Lock()
+	ref.err = fmt.Errorf("degenerate split")
+	ref.mu.Unlock()
+	waitFor(t, "a failed refit", func() bool { return m.RefitFailures.Value() >= 1 })
+
+	// Skips (not enough labels) are neither success nor failure.
+	before := m.Refits.Value()
+	ref.mu.Lock()
+	ref.err = mhd.ErrRefitSkipped
+	ref.mu.Unlock()
+	calls := func() int { ref.mu.Lock(); defer ref.mu.Unlock(); return ref.calls }
+	base := calls()
+	waitFor(t, "refit ticks to continue", func() bool { return calls() > base+2 })
+	if m.Refits.Value() != before {
+		t.Fatal("skipped refits counted as successes")
+	}
+}
+
+func TestCachePurge(t *testing.T) {
+	c := NewCache(32)
+	for i := 0; i < 10; i++ {
+		c.Put(fmt.Sprintf("post %d", i), mhd.Report{Confidence: float64(i)})
+	}
+	if c.Len() != 10 {
+		t.Fatalf("cache holds %d, want 10", c.Len())
+	}
+	c.Purge()
+	if c.Len() != 0 {
+		t.Fatalf("purged cache holds %d entries", c.Len())
+	}
+	if _, hit := c.Get("post 3"); hit {
+		t.Fatal("purged entry still served")
+	}
+	// The purged cache must keep accepting entries.
+	c.Put("fresh", mhd.Report{})
+	if _, hit := c.Get("fresh"); !hit {
+		t.Fatal("purged cache rejects new entries")
+	}
+	// And a nil cache tolerates Purge like every other method.
+	var nc *Cache
+	nc.Purge()
+}
+
+// newHTTPServer wraps a constructed Server in an httptest server with
+// cleanup, for tests that build the Server themselves.
+func newHTTPServer(t *testing.T, s *Server) *httptest.Server {
+	t.Helper()
+	hs := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		hs.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	})
+	return hs
+}

@@ -81,14 +81,28 @@ func (st *Store) Snapshot(w io.Writer) error {
 // so the loaded state is durable and stale WAL records cannot
 // resurrect sessions the snapshot replaced. Failed restores leave the
 // store untouched and are counted in Stats.RestoreFailures.
+//
+// The whole restore — clear, reload, and the post-restore checkpoint —
+// runs under the checkpoint mutex. Restore replaces the store shard by
+// shard, so a checkpoint pass interleaving with it (the periodic
+// ticker, or the degraded-mode heal probe) would serialize a torn
+// half-restored shard to disk and then compact away the generations
+// that could have recovered the consistent state. Holding ckptMu
+// closes that window: every checkpoint ever written captures either
+// the full pre-restore or the full post-restore contents.
 func (st *Store) Restore(r io.Reader) error {
+	if st.wal != nil {
+		st.wal.ckptMu.Lock()
+		defer st.wal.ckptMu.Unlock()
+	}
 	err := st.restore(r)
 	if err != nil {
 		st.restoreFailures.Add(1)
 		return err
 	}
 	if st.wal != nil {
-		if cerr := st.CheckpointNow(); cerr != nil {
+		// checkpointAll, not CheckpointNow: ckptMu is already held.
+		if cerr := st.checkpointAll(); cerr != nil {
 			st.wal.warnf("post-restore checkpoint failed; restored state not yet durable", cerr)
 		}
 	}

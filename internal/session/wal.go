@@ -711,15 +711,22 @@ func (st *Store) flushAll() {
 		}
 		if err := log.Flush(); err != nil {
 			sh.mu.Lock()
-			// Re-check: a checkpoint may have rotated the log away
-			// while we flushed the old one.
-			if sh.wal.log == log {
+			// Re-check: a checkpoint may have rotated the log away while
+			// we flushed the old one. In that case the records live on in
+			// the checkpoint that superseded the segment, so the failure
+			// is not a durability loss — degrading the shard, bumping the
+			// error counter, or warning would all report a healthy store
+			// as broken.
+			current := sh.wal.log == log
+			if current {
 				sh.wal.ok = false
 				w.degraded.Store(true)
 			}
 			sh.mu.Unlock()
-			w.appendErrs.Add(1)
-			w.warnf("wal flush failed; shard degraded to in-memory", err, obs.F("shard", i))
+			if current {
+				w.appendErrs.Add(1)
+				w.warnf("wal flush failed; shard degraded to in-memory", err, obs.F("shard", i))
+			}
 		}
 	}
 }

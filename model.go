@@ -1,0 +1,216 @@
+package mhd
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/baseline"
+	"repro/internal/corpus"
+	"repro/internal/domain"
+	"repro/internal/registry"
+	"repro/internal/task"
+)
+
+// This file is the detector's model-lifecycle surface: exporting the
+// trained stage-1 model (plus calibration) as a registry artifact,
+// rebuilding a servable detector from one, producing the training-time
+// reference score distribution drift detection compares live traffic
+// against, and the periodic calibration refit that consumes
+// adjudication verdicts as free labels.
+
+// ErrRefitSkipped reports that RefitCalibration did not run because
+// the label buffer has not accumulated enough adjudication verdicts
+// yet. Not a failure: the current calibration simply stays active.
+var ErrRefitSkipped = errors.New("mhd: refit skipped: not enough adjudication labels yet")
+
+// ExportArtifact snapshots the detector's stage-1 model and (when a
+// cascade is armed) its current calibration into a registry artifact.
+// Only the baseline engine has weights to export.
+func (d *Detector) ExportArtifact() (*registry.Artifact, error) {
+	lr, ok := d.clf.(*baseline.LogisticRegression)
+	if !ok {
+		return nil, fmt.Errorf("mhd: engine %q has no exportable artifact (only \"baseline\" does)", d.engine)
+	}
+	clf, err := lr.Export()
+	if err != nil {
+		return nil, err
+	}
+	art := &registry.Artifact{Classifier: clf}
+	if cal := d.cal.Load(); cal != nil {
+		art.Calibration = &registry.Calibration{A: cal.A, B: cal.B, Identity: cal.Identity}
+	}
+	return art, nil
+}
+
+// SaveModel exports the detector's artifact into the registry at dir
+// and returns the stored manifest. Content addressing makes repeated
+// saves of an unchanged model idempotent. source is recorded as
+// free-form provenance ("boot", "shadow-candidate", ...).
+func (d *Detector) SaveModel(dir, source string) (registry.Manifest, error) {
+	art, err := d.ExportArtifact()
+	if err != nil {
+		return registry.Manifest{}, err
+	}
+	st, err := registry.Open(dir, nil)
+	if err != nil {
+		return registry.Manifest{}, err
+	}
+	return st.Save(art, registry.Meta{
+		Engine:    d.engine,
+		Seed:      d.seed,
+		TrainSize: d.trainSize,
+		Labels:    append([]string(nil), d.labelNames...),
+		Source:    source,
+	})
+}
+
+// ModelID computes the content address the detector's current
+// artifact would store under, without writing anything.
+func (d *Detector) ModelID() (string, error) {
+	art, err := d.ExportArtifact()
+	if err != nil {
+		return "", err
+	}
+	return registry.ID(art)
+}
+
+// LoadDetector rebuilds a servable detector from a registry artifact
+// instead of training one. The usual options apply; training-shape
+// options (WithTrainingSize) are ignored because no training runs,
+// and the engine is forced to "baseline" (the only engine with stored
+// weights). A cascade armed via WithAdjudicator refits calibration on
+// the loaded weights' held-out split exactly as NewDetector would; in
+// its absence the stored calibration (if any) is kept so a later
+// promote-then-arm retains provenance.
+func LoadDetector(dir, id string, opts ...Option) (*Detector, error) {
+	st, err := registry.Open(dir, nil)
+	if err != nil {
+		return nil, err
+	}
+	art, man, err := st.Load(id)
+	if err != nil {
+		return nil, err
+	}
+	cfg := detectorConfig{engine: "baseline", seed: man.Seed, trainSize: man.TrainSize,
+		band: DefaultBand, adjudicators: 4, suspicionK: 4, suspicion: 0.25}
+	if cfg.trainSize <= 0 {
+		cfg.trainSize = 2400
+	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	labels := domain.AllDisorders()
+	labelNames := make([]string, len(labels))
+	probs := make([]float64, len(labels))
+	for i, l := range labels {
+		labelNames[i] = l.String()
+		probs[i] = (1 - 0.3) / float64(len(labels)-1)
+	}
+	probs[0] = 0.3
+	if art.Classifier.NumClasses != len(labels) {
+		return nil, fmt.Errorf("mhd: artifact %s has %d classes, this build screens %d", id, art.Classifier.NumClasses, len(labels))
+	}
+	clf, err := baseline.LoadLogisticRegression(art.Classifier)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.quantBits != 0 {
+		if err := clf.EnableQuantization(cfg.quantBits); err != nil {
+			return nil, fmt.Errorf("mhd: %w", err)
+		}
+	}
+	d := &Detector{labels: labels, labelNames: labelNames, workers: cfg.workers,
+		engine: "baseline", seed: cfg.seed, trainSize: cfg.trainSize, probs: probs,
+		harden: cfg.harden, suspicionK: cfg.suspicionK, suspicionRate: cfg.suspicion}
+	d.clf = clf
+	d.fast, _ = d.clf.(task.BatchPredictor)
+	if art.Calibration != nil {
+		d.cal.Store(&baseline.PlattScaler{A: art.Calibration.A, B: art.Calibration.B, Identity: art.Calibration.Identity})
+	}
+	if cfg.adjModel != "" {
+		if err := d.armCascade(cfg, probs); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}
+
+// ReferenceScores screens n held-out synthetic posts (a corpus seeded
+// apart from both the training and calibration splits) and returns
+// the raw stage-1 top-softmax score of each — the training-time
+// reference distribution a drift detector compares live traffic
+// against. The reference histogram contract: these are the same
+// scores the serving path feeds drift.Detector.Observe (pre-guardrail
+// max softmax), drawn from the same synthetic mixture the model was
+// trained on.
+func (d *Detector) ReferenceScores(n int) ([]float64, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("mhd: reference corpus size %d must be >= 1", n)
+	}
+	spec := corpus.Spec{
+		Name: "detector-ref", Kind: corpus.KindDisorder,
+		Classes: d.labels, ClassProbs: d.probs,
+		N: n, Difficulty: 0.5, Seed: d.seed + 104729,
+	}
+	ds, err := spec.Build()
+	if err != nil {
+		return nil, err
+	}
+	exs := ds.Examples()
+	scores := make([]float64, 0, len(exs))
+	for _, ex := range exs {
+		pred, err := d.clf.Predict(ex.Text)
+		if err != nil {
+			return nil, fmt.Errorf("mhd: reference predict: %w", err)
+		}
+		top := 0.0
+		for _, s := range pred.Scores {
+			if s > top {
+				top = s
+			}
+		}
+		scores = append(scores, top)
+	}
+	return scores, nil
+}
+
+// CalibrationLabels returns how many adjudication-verdict labels the
+// refit buffer currently holds (0 without a cascade).
+func (d *Detector) CalibrationLabels() int {
+	if d.calLabels == nil {
+		return 0
+	}
+	return d.calLabels.Len()
+}
+
+// RefitCalibration refits the stage-1 Platt calibration on the
+// buffered adjudication verdicts and atomically swaps it in, leaving
+// sessions, the cascade pool, and in-flight screens untouched. The
+// refit is bit-reproducible given the same buffer state. Returns the
+// number of labels consumed.
+//
+// The current scaler is kept when the buffer holds fewer than
+// minLabels labels (ErrRefitSkipped; minLabels is clamped up to the
+// fit's own minimum of 10) and when the buffered split is degenerate
+// (baseline.ErrDegenerateCalibration) — a refit must never make
+// calibration worse than doing nothing.
+func (d *Detector) RefitCalibration(minLabels int) (int, error) {
+	if d.calLabels == nil {
+		return 0, fmt.Errorf("mhd: RefitCalibration without a cascade (see WithAdjudicator)")
+	}
+	if minLabels < 10 {
+		minLabels = 10
+	}
+	confs, correct := d.calLabels.Snapshot()
+	if len(confs) < minLabels {
+		return len(confs), ErrRefitSkipped
+	}
+	cal, err := baseline.FitPlatt(confs, correct)
+	if err != nil {
+		// Degenerate split (e.g. the adjudicator agreed with every
+		// stage-1 verdict in the window): keep the current scaler.
+		return len(confs), err
+	}
+	d.cal.Store(cal)
+	return len(confs), nil
+}

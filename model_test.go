@@ -1,0 +1,173 @@
+package mhd
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/baseline"
+)
+
+// TestSaveLoadDetectorRoundTrip: a detector saved to the registry and
+// reloaded must produce identical reports — the hot-swap guarantee
+// that a promoted model serves exactly the scores its shadow scored.
+func TestSaveLoadDetectorRoundTrip(t *testing.T) {
+	det, err := NewDetector(WithTrainingSize(400), WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	man, err := det.SaveModel(dir, "test-boot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.Engine != "baseline" || man.Seed != 3 || man.TrainSize != 400 || man.Source != "test-boot" {
+		t.Fatalf("manifest provenance wrong: %+v", man)
+	}
+	id, err := det.ModelID()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != man.ID {
+		t.Fatalf("ModelID %s != saved manifest ID %s", id, man.ID)
+	}
+
+	loaded, err := LoadDetector(dir, man.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, text := range []string{
+		"i feel hopeless and empty every morning",
+		"great hike with friends this weekend",
+		"my heart races and i cannot breathe in crowds",
+	} {
+		want, err := det.Screen(text)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := loaded.Screen(text)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Condition != want.Condition || got.Confidence != want.Confidence {
+			t.Fatalf("loaded detector diverged on %q: %+v vs %+v", text, got, want)
+		}
+		for k, v := range want.Scores {
+			if got.Scores[k] != v {
+				t.Fatalf("score %q diverged: %v vs %v", k, got.Scores[k], v)
+			}
+		}
+	}
+	// Saving the loaded detector again must hit the same content
+	// address: export → load → export is a fixed point.
+	man2, err := loaded.SaveModel(dir, "round-trip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man2.ID != man.ID {
+		t.Fatalf("round-tripped model changed identity: %s -> %s", man.ID, man2.ID)
+	}
+}
+
+func TestExportArtifactRequiresBaseline(t *testing.T) {
+	det, err := NewDetector(WithEngine("tiny-1b-sim"), WithTrainingSize(400))
+	if err != nil {
+		t.Skipf("sim engine unavailable: %v", err)
+	}
+	if _, err := det.ExportArtifact(); err == nil {
+		t.Fatal("LLM engine exported an artifact")
+	}
+}
+
+func TestReferenceScores(t *testing.T) {
+	det, err := NewDetector(WithTrainingSize(400), WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores, err := det.ReferenceScores(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scores) != 200 {
+		t.Fatalf("got %d scores, want 200", len(scores))
+	}
+	for _, s := range scores {
+		if s <= 0 || s > 1 {
+			t.Fatalf("reference score %v outside (0,1]", s)
+		}
+	}
+	// Determinism: the reference corpus is seeded, so two draws agree.
+	again, err := det.ReferenceScores(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range scores {
+		if scores[i] != again[i] {
+			t.Fatal("reference scores not deterministic")
+		}
+	}
+	if _, err := det.ReferenceScores(0); err == nil {
+		t.Fatal("zero-size reference accepted")
+	}
+}
+
+// TestRefitCalibration drives the refit path directly: too-few labels
+// skip, a healthy buffer swaps the scaler atomically, a degenerate
+// buffer keeps the old scaler.
+func TestRefitCalibration(t *testing.T) {
+	det, err := NewDetector(WithTrainingSize(400), WithSeed(7), WithAdjudicator("tiny-1b-sim"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := det.RefitCalibration(10); !errors.Is(err, ErrRefitSkipped) {
+		t.Fatalf("empty buffer refit: err = %v, want ErrRefitSkipped", err)
+	}
+	before := det.cal.Load()
+
+	// A mixed, spread label set must refit and swap.
+	for i := 0; i < 100; i++ {
+		det.calLabels.Add(0.3+0.005*float64(i), i%3 != 0)
+	}
+	n, err := det.RefitCalibration(10)
+	if err != nil {
+		t.Fatalf("refit on healthy buffer: %v", err)
+	}
+	if n != 100 {
+		t.Fatalf("consumed %d labels, want 100", n)
+	}
+	after := det.cal.Load()
+	if after == before {
+		t.Fatal("refit did not swap the scaler")
+	}
+	if after.Identity {
+		t.Fatal("healthy refit produced the identity fallback")
+	}
+
+	// Drown the buffer in one-sided labels: degenerate split, keep the
+	// freshly fitted scaler.
+	det2, err := NewDetector(WithTrainingSize(400), WithSeed(7), WithAdjudicator("tiny-1b-sim"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		det2.calLabels.Add(0.5+0.004*float64(i), true)
+	}
+	kept := det2.cal.Load()
+	if _, err := det2.RefitCalibration(10); !errors.Is(err, baseline.ErrDegenerateCalibration) {
+		t.Fatalf("one-sided refit: err = %v, want ErrDegenerateCalibration", err)
+	}
+	if det2.cal.Load() != kept {
+		t.Fatal("degenerate refit must keep the current scaler")
+	}
+
+	// No cascade, no refit surface.
+	plain, err := NewDetector(WithTrainingSize(400))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := plain.RefitCalibration(10); err == nil {
+		t.Fatal("refit without a cascade accepted")
+	}
+	if plain.CalibrationLabels() != 0 {
+		t.Fatal("cascade-less detector reports labels")
+	}
+}
